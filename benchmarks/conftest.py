@@ -1,0 +1,64 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark module regenerates one paper artifact (figure or claim; see
+DESIGN.md §4 and EXPERIMENTS.md).  Modules record their series with
+:func:`record_table`; after the run, every table is printed in the terminal
+summary so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the regenerated figures alongside pytest-benchmark's timing table.
+
+Wall-clock timings (pytest-benchmark) measure the *implementation* cost;
+virtual-time/bytes/request columns measure the *modelled network* cost, which
+is what the paper's architectural claims are about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_TABLES: list[tuple[str, list[str], list[list[object]]]] = []
+
+
+def record_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Register a regenerated figure/claim series for the final report."""
+    _TABLES.append((title, headers, rows))
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("REPRODUCED PAPER ARTIFACTS (see EXPERIMENTS.md for interpretation)")
+    write("=" * 78)
+    for title, headers, rows in _TABLES:
+        write("")
+        write(f"--- {title}")
+        widths = [
+            max(len(headers[i]), *(len(_format_cell(r[i])) for r in rows))
+            for i in range(len(headers))
+        ]
+        write("  " + "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        for row in rows:
+            write(
+                "  "
+                + "  ".join(
+                    _format_cell(cell).ljust(widths[i])
+                    for i, cell in enumerate(row)
+                )
+            )
+    write("")
+
+
+@pytest.fixture(scope="session")
+def deployment():
+    """One full portal deployment shared by the benchmark session."""
+    from repro.portal.uiserver import PortalDeployment
+
+    return PortalDeployment.build()

@@ -1,0 +1,126 @@
+"""Ablation A2 — three discovery mechanisms under partial failure.
+
+§2 names UDDI *and* WSIL as the discovery options; §3.4 proposes the
+container hierarchy.  This ablation compares all three on the same
+federation of service providers:
+
+- lookup cost (round trips + virtual time) to enumerate every batch-script
+  service;
+- behaviour when one provider site is down: the central registries still
+  answer completely (stale entries included), while the WSIL crawl returns
+  a partial answer but only costs the reachable sites.
+
+There is no single winner — which is the honest 2002 state of the art the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.discovery.registry import ContainerRegistry, DiscoveryClient, deploy_discovery
+from repro.discovery.wsil import InspectionDocument, inspect, publish_inspection
+from repro.transport.server import HttpServer
+from repro.uddi.model import BusinessEntity, BusinessService
+from repro.uddi.registry import UddiRegistry
+from repro.uddi.service import UddiClient, deploy_uddi
+
+SITES = [f"site{i}.a2" for i in range(6)]
+
+
+@pytest.fixture(scope="module")
+def a2(deployment):
+    network = deployment.network
+    # one service per site, advertised in all three systems
+    uddi_registry, uddi_url = deploy_uddi(network, "uddi.a2",
+                                          registry=UddiRegistry())
+    container_registry, container_url = deploy_discovery(
+        network, "container.a2", registry=ContainerRegistry()
+    )
+    uddi = UddiClient(network, uddi_url, source="ui.a2")
+    containers = DiscoveryClient(network, container_url, source="ui.a2")
+
+    entity = uddi.save_business(BusinessEntity("", "A2 federation"))
+    previous_doc: InspectionDocument | None = None
+    for index, site in enumerate(SITES):
+        server = HttpServer(site, network)
+        document = InspectionDocument()
+        document.add_service(f"bsg-{index}", f"http://{site}/bsg.wsdl",
+                             "batch script generation")
+        if previous_doc is not None:
+            document.add_link(f"http://{SITES[index - 1]}/inspection.wsil")
+        publish_inspection(server, document)
+        previous_doc = document
+        uddi.save_service(BusinessService(
+            "", entity.key, f"bsg-{index}",
+            description="batch script generation",
+        ))
+        containers.register(f"services/bsg-{index}",
+                            {"kind": "batch-script", "site": site})
+    crawl_root = f"http://{SITES[-1]}/inspection.wsil"
+
+    def measure(func):
+        before = network.stats.snapshot()
+        start = network.clock.now
+        found = func()
+        delta = network.stats.delta(before)
+        return len(found), delta.requests, (network.clock.now - start) * 1000
+
+    queries = {
+        "UDDI (central)": lambda: uddi.find_service("bsg-%"),
+        "container hierarchy (central)": lambda: containers.query(
+            {"kind": "batch-script"}
+        ),
+        "WSIL crawl (decentralized)": lambda: inspect(
+            network, crawl_root, source="ui.a2"
+        ),
+    }
+
+    rows = []
+    healthy = {}
+    for label, func in queries.items():
+        found, requests, vtime = measure(func)
+        healthy[label] = found
+        rows.append([label, "all sites up", found, requests, vtime])
+
+    # take a mid-chain site down: the crawl loses everything behind it
+    network.take_down(SITES[3])
+    degraded = {}
+    for label, func in queries.items():
+        found, requests, vtime = measure(func)
+        degraded[label] = found
+        rows.append([label, f"{SITES[3]} down", found, requests, vtime])
+    network.bring_up(SITES[3])
+
+    record_table(
+        "A2 (ablation) — discovery mechanisms and partial failure",
+        ["mechanism", "condition", "services_found", "requests", "vtime_ms"],
+        rows,
+    )
+    # everyone finds everything when healthy
+    assert set(healthy.values()) == {len(SITES)}
+    # central registries keep answering (stale or not); the crawl degrades
+    assert degraded["UDDI (central)"] == len(SITES)
+    assert degraded["container hierarchy (central)"] == len(SITES)
+    assert degraded["WSIL crawl (decentralized)"] < len(SITES)
+    # the crawl costs one request per site; central costs one total
+    crawl_row = next(r for r in rows if r[0].startswith("WSIL") and r[1] == "all sites up")
+    central_row = next(r for r in rows if r[0].startswith("UDDI") and r[1] == "all sites up")
+    assert crawl_row[3] == len(SITES)
+    assert central_row[3] == 1
+
+    return {"uddi": uddi, "containers": containers, "network": network,
+            "crawl_root": crawl_root}
+
+
+def test_a2_uddi_lookup(benchmark, a2):
+    benchmark(lambda: a2["uddi"].find_service("bsg-%"))
+
+
+def test_a2_container_lookup(benchmark, a2):
+    benchmark(lambda: a2["containers"].query({"kind": "batch-script"}))
+
+
+def test_a2_wsil_crawl(benchmark, a2):
+    benchmark(lambda: inspect(a2["network"], a2["crawl_root"], source="ui.a2"))

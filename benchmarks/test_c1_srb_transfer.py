@@ -1,0 +1,97 @@
+"""Experiment C1 — §3.2: "This transfer mechanism does not scale well."
+
+The SRB web service's ``get`` streams the file as a (base64) string inside
+the SOAP envelope.  We sweep file sizes and compare bytes-on-wire and
+virtual transfer time against the out-of-band transfer extension
+(``transfer_url`` + raw HTTP).
+
+Expected shape: the SOAP path carries ~4/3 the payload bytes plus envelope
+overhead at every size; the relative overhead is flat (~33%+) so the
+absolute waste grows linearly with file size — exactly why the paper calls
+string streaming "only ... a proof of concept".
+"""
+
+from __future__ import annotations
+
+import base64
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.services.datamgmt import SRBWS_NAMESPACE
+from repro.soap.client import SoapClient
+from repro.transport.client import HttpClient
+
+SIZES = [1024, 8 * 1024, 64 * 1024, 512 * 1024, 2 * 1024 * 1024]
+
+
+@pytest.fixture(scope="module")
+def c1(deployment):
+    network = deployment.network
+    client = SoapClient(
+        network, deployment.endpoints["srb"], SRBWS_NAMESPACE, source="ui.c1"
+    )
+    http = HttpClient(network, "ui.c1")
+    payloads = {}
+    for size in SIZES:
+        data = bytes((i * 131 + 7) % 256 for i in range(size))
+        payloads[size] = data
+        client.call(
+            "put", f"/home/portal/c1-{size}",
+            base64.b64encode(data).decode("ascii"),
+        )
+
+    rows = []
+    for size in SIZES:
+        path = f"/home/portal/c1-{size}"
+        before = network.stats.snapshot()
+        start = network.clock.now
+        client.call("get", path)
+        soap_vtime = network.clock.now - start
+        soap_bytes = network.stats.delta(before).bytes_received
+
+        url_path = client.call("transfer_url", path)
+        before = network.stats.snapshot()
+        start = network.clock.now
+        response = http.get(f"http://srbws.sdsc.edu{url_path}")
+        oob_vtime = network.clock.now - start
+        oob_bytes = network.stats.delta(before).bytes_received
+        assert response.body.encode("latin-1") == payloads[size]
+
+        rows.append([
+            size, soap_bytes, oob_bytes, soap_bytes / oob_bytes,
+            soap_vtime * 1000, oob_vtime * 1000,
+        ])
+    record_table(
+        "C1 / §3.2 — SOAP string streaming vs out-of-band transfer (get)",
+        ["file_bytes", "soap_wire_bytes", "oob_wire_bytes", "amplification",
+         "soap_vtime_ms", "oob_vtime_ms"],
+        rows,
+    )
+    # shape: amplification stays >= ~1.3x at every size and the absolute gap grows
+    assert all(row[3] > 1.25 for row in rows)
+    gaps = [row[1] - row[2] for row in rows]
+    assert gaps == sorted(gaps)
+    # the virtual transfer time gap also widens with size
+    assert (rows[-1][4] - rows[-1][5]) > (rows[0][4] - rows[0][5])
+
+    return {"client": client, "http": http, "network": network}
+
+
+def test_c1_soap_get_64k(benchmark, c1):
+    benchmark(lambda: c1["client"].call("get", "/home/portal/c1-65536"))
+
+
+def test_c1_oob_get_64k(benchmark, c1):
+    client, http = c1["client"], c1["http"]
+
+    def transfer():
+        path = client.call("transfer_url", "/home/portal/c1-65536")
+        return http.get(f"http://srbws.sdsc.edu{path}")
+
+    benchmark(transfer)
+
+
+def test_c1_soap_put_64k(benchmark, c1):
+    payload = base64.b64encode(b"y" * 65536).decode("ascii")
+    benchmark(lambda: c1["client"].call("put", "/home/portal/c1-put", payload))

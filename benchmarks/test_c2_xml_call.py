@@ -1,0 +1,101 @@
+"""Experiment C2 — §3.2: xml_call batches SRB commands over one connection.
+
+"The xml_call method allows the client to create a single request string
+consisting of multiple SRB commands expressed in XML and sent to the Web
+Service using a single connection."
+
+We sweep the batch size K and compare K separate SOAP calls (each on a
+fresh connection, as a 2002 non-keep-alive client would) against a single
+xml_call carrying all K commands.
+
+Expected shape: the separate path pays K connections and K round trips; the
+batched path pays exactly 1 of each, so its advantage grows linearly with K
+and is dominated by connection setup + latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.services.datamgmt import SRBWS_NAMESPACE, make_request_xml, parse_results_xml
+from repro.soap.client import SoapClient
+from repro.transport.client import HttpClient
+
+BATCH_SIZES = [1, 4, 16, 64]
+
+
+@pytest.fixture(scope="module")
+def c2(deployment):
+    network = deployment.network
+    # the 2002-style client: a fresh connection per call
+    fresh_http = HttpClient(network, "ui.c2", keep_alive=False)
+    per_call = SoapClient(
+        network, deployment.endpoints["srb"], SRBWS_NAMESPACE,
+        source="ui.c2", http_client=fresh_http,
+    )
+    batched = SoapClient(
+        network, deployment.endpoints["srb"], SRBWS_NAMESPACE,
+        source="ui.c2b",
+        http_client=HttpClient(network, "ui.c2b", keep_alive=False),
+    )
+    per_call.call("ls", "/home/portal", "")  # ensure the path exists / warm
+
+    rows = []
+    results = {}
+    for k in BATCH_SIZES:
+        commands = [("ls", ["/home/portal"])] * k
+
+        before = network.stats.snapshot()
+        start = network.clock.now
+        for name, args in commands:
+            per_call.call(name, args[0], "")
+        separate_vtime = network.clock.now - start
+        separate = network.stats.delta(before)
+
+        before = network.stats.snapshot()
+        start = network.clock.now
+        response = batched.call("xml_call", make_request_xml(commands))
+        batch_vtime = network.clock.now - start
+        batch = network.stats.delta(before)
+        assert len(parse_results_xml(response)) == k
+
+        results[k] = (separate, batch, separate_vtime, batch_vtime)
+        rows.append([
+            k, separate.connections, batch.connections,
+            separate.requests, batch.requests,
+            separate_vtime * 1000, batch_vtime * 1000,
+            separate_vtime / batch_vtime,
+        ])
+    record_table(
+        "C2 / §3.2 — K separate SOAP calls vs one xml_call",
+        ["K", "sep_conns", "batch_conns", "sep_reqs", "batch_reqs",
+         "sep_vtime_ms", "batch_vtime_ms", "speedup"],
+        rows,
+    )
+    # shape: the batch always uses exactly one connection and one request,
+    # and its advantage grows with K
+    for row in rows:
+        assert row[2] == 1 and row[4] == 1
+        assert row[1] == row[0] and row[3] == row[0]
+    speedups = [row[7] for row in rows]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 10  # at K=64 batching wins by an order of magnitude
+
+    return {"per_call": per_call, "batched": batched}
+
+
+def test_c2_sixteen_separate_calls(benchmark, c2):
+    client = c2["per_call"]
+
+    def run():
+        for _ in range(16):
+            client.call("ls", "/home/portal", "")
+
+    benchmark(run)
+
+
+def test_c2_one_xml_call_of_sixteen(benchmark, c2):
+    client = c2["batched"]
+    request = make_request_xml([("ls", ["/home/portal"])] * 16)
+    benchmark(lambda: client.call("xml_call", request))

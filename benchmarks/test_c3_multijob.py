@@ -1,0 +1,104 @@
+"""Experiment C3 — §3.1: the multi-job XML submission document.
+
+"The DTD ... was designed to allow multiple jobs to be included in a single
+XML string and passed to the Web Service as one request.  The Web Service
+executes the jobs sequentially, and returns the results as an XML document."
+
+We sweep the job count J and compare J separate ``run`` calls against one
+``run_xml`` request carrying all J jobs.
+
+Expected shape: total job execution time is identical (both execute
+sequentially on the same simulated resources); the XML document form saves
+(J-1) request/response exchanges of wire overhead, so its advantage is a
+fixed per-job wire saving — visible but modest, exactly what a batching DTD
+buys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.grid.jobs import JobSpec
+from repro.services.jobsubmit import GLOBUSRUN_NAMESPACE, jobs_to_xml
+from repro.soap.client import SoapClient
+from repro.transport.client import HttpClient
+from repro.xmlutil.element import parse_xml
+
+JOB_COUNTS = [1, 4, 16]
+
+
+def _specs(j):
+    return [
+        ("modi4.iu.edu",
+         JobSpec(name=f"job{i}", executable="sleep", arguments=["2"],
+                 wallclock_limit=600))
+        for i in range(j)
+    ]
+
+
+@pytest.fixture(scope="module")
+def c3(deployment):
+    network = deployment.network
+    client = SoapClient(
+        network, deployment.endpoints["globusrun"], GLOBUSRUN_NAMESPACE,
+        source="ui.c3",
+        http_client=HttpClient(network, "ui.c3", keep_alive=False),
+    )
+
+    service_host = "globusrun.sdsc.edu"
+
+    rows = []
+    for j in JOB_COUNTS:
+        before = network.stats.snapshot()
+        start = network.clock.now
+        for contact, spec in _specs(j):
+            client.call("run", contact, spec.executable,
+                        " ".join(spec.arguments), 1, "", 600)
+        separate_vtime = network.clock.now - start
+        separate = network.stats.delta(before)
+
+        before = network.stats.snapshot()
+        start = network.clock.now
+        response = client.call("run_xml", jobs_to_xml(_specs(j)))
+        batch_vtime = network.clock.now - start
+        batch = network.stats.delta(before)
+        assert len(parse_xml(response).findall("result")) == j
+
+        rows.append([
+            j,
+            separate.per_host_requests.get(service_host, 0),
+            batch.per_host_requests.get(service_host, 0),
+            separate_vtime, batch_vtime,
+            (separate_vtime - batch_vtime) * 1000,
+        ])
+    record_table(
+        "C3 / §3.1 — J run calls vs one multi-job run_xml document",
+        ["J", "sep_ws_reqs", "batch_ws_reqs", "sep_vtime_s", "batch_vtime_s",
+         "wire_saving_ms"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] == 1              # one web-service request regardless of J
+        assert row[1] == row[0]         # vs one per job
+        # execution dominates: both within ~J * job-time; saving positive for J>1
+    assert rows[-1][5] > rows[0][5]     # the saving grows with J
+
+    return {"client": client}
+
+
+def test_c3_four_separate_runs(benchmark, c3):
+    client = c3["client"]
+
+    def run():
+        for contact, spec in _specs(4):
+            client.call("run", contact, spec.executable,
+                        " ".join(spec.arguments), 1, "", 600)
+
+    benchmark(run)
+
+
+def test_c3_one_xml_document_of_four(benchmark, c3):
+    client = c3["client"]
+    document = jobs_to_xml(_specs(4))
+    benchmark(lambda: client.call("run_xml", document))

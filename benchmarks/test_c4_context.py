@@ -1,0 +1,145 @@
+"""Experiment C4 — §3.3: the 60-method context manager and placeholder
+contexts.
+
+Two of the paper's observations, measured:
+
+1. "this service contained over 60 methods ... the service will have to be
+   broken up into more reasonable parts" — we count the method surface of
+   the monolith against the decomposed services.
+2. "Making this into an independent service introduced unnecessary overhead
+   because we needed to create artificial contexts (sessions) for HotPage
+   users" — we measure script generation through the legacy
+   context-coupled generator (placeholder create + property write + remove
+   per stateless call) against the refactored, context-free generator.
+
+Expected shape: the decomposed services are an order of magnitude smaller
+per interface; the legacy path costs 3 extra context-manager round trips
+per script for stateless callers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.services.batchscript import (
+    BSG_NAMESPACE,
+    IuBatchScriptGenerator,
+    IuLegacyBatchScriptGenerator,
+)
+from repro.services.context import (
+    CONTEXT_NAMESPACE,
+    ContextManagerService,
+    PropertyService,
+    SessionArchiveService,
+    UserContextService,
+    ContextStore,
+)
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.server import HttpServer
+
+PARAMS = {"executable": "/apps/x", "cpus": "1", "wallTime": "600"}
+
+
+def _method_count(obj) -> int:
+    return len([
+        name for name in dir(obj)
+        if not name.startswith("_") and callable(getattr(obj, name))
+    ])
+
+
+@pytest.fixture(scope="module")
+def c4(deployment):
+    network = deployment.network
+    store = ContextStore(network.clock)
+    monolith = ContextManagerService(store)
+    rows = [
+        ["ContextManager (monolith)", _method_count(monolith)],
+        ["UserContextService", _method_count(UserContextService(store))],
+        ["PropertyService", _method_count(PropertyService(store))],
+        ["SessionArchiveService", _method_count(SessionArchiveService(store))],
+    ]
+    record_table(
+        "C4 / §3.3 — interface surface: monolith vs decomposition",
+        ["service", "public methods"],
+        rows,
+    )
+    assert rows[0][1] > 60
+    assert all(row[1] <= 8 for row in rows[1:])
+
+    # deploy a context manager + both generator styles as remote services
+    cm_host = HttpServer("cm.c4", network)
+    cm_soap = SoapService("cm", CONTEXT_NAMESPACE)
+    cm_impl = ContextManagerService(clock=network.clock)
+    cm_soap.expose_object(cm_impl)
+    cm_url = cm_soap.mount(cm_host, "/cm")
+    cm_client = SoapClient(network, cm_url, CONTEXT_NAMESPACE, source="bsg.c4")
+
+    class RemoteContextFacade:
+        """The legacy generator's view of the (now remote) context manager."""
+
+        def createPlaceholderContext(self):
+            return cm_client.call("createPlaceholderContext")
+
+        def setSessionProperty(self, user, problem, session, key, value):
+            return cm_client.call("setSessionProperty", user, problem,
+                                  session, key, value)
+
+        def removePlaceholder(self, path):
+            return cm_client.call("removePlaceholder", path)
+
+    legacy = IuLegacyBatchScriptGenerator(RemoteContextFacade())
+    refactored = IuBatchScriptGenerator()
+
+    server = HttpServer("bsg.c4", network)
+    legacy_soap = SoapService("legacy", BSG_NAMESPACE)
+    legacy_soap.expose(legacy.generateScript)
+    legacy_url = legacy_soap.mount(server, "/legacy")
+    refactored_soap = SoapService("refactored", BSG_NAMESPACE)
+    refactored_soap.expose(refactored.generateScript)
+    refactored_url = refactored_soap.mount(server, "/refactored")
+
+    legacy_client = SoapClient(network, legacy_url, BSG_NAMESPACE, source="ui.c4")
+    refactored_client = SoapClient(network, refactored_url, BSG_NAMESPACE,
+                                   source="ui.c4")
+    for client in (legacy_client, refactored_client):
+        client.call("generateScript", "PBS", PARAMS)  # warm
+
+    def measure(client, repeat=5):
+        start = network.clock.now
+        before = network.stats.snapshot()
+        for _ in range(repeat):
+            client.call("generateScript", "PBS", PARAMS)
+        delta = network.stats.delta(before)
+        return ((network.clock.now - start) / repeat * 1000,
+                delta.requests / repeat,
+                delta.per_host_requests.get("cm.c4", 0) / repeat)
+
+    overhead_rows = []
+    stats = {}
+    for label, client in (("legacy (context-coupled)", legacy_client),
+                          ("refactored (independent)", refactored_client)):
+        vtime, requests, cm_requests = measure(client)
+        stats[label] = (vtime, requests, cm_requests)
+        overhead_rows.append([label, vtime, requests, cm_requests])
+    record_table(
+        "C4 — stateless (HotPage-style) script generation cost per call",
+        ["generator", "vtime_ms", "total_reqs", "context_mgr_reqs"],
+        overhead_rows,
+    )
+    legacy_stats = stats["legacy (context-coupled)"]
+    clean_stats = stats["refactored (independent)"]
+    assert legacy_stats[2] == 3.0    # placeholder create + set + remove
+    assert clean_stats[2] == 0.0
+    assert legacy_stats[0] > clean_stats[0] * 2
+
+    return {"legacy": legacy_client, "refactored": refactored_client}
+
+
+def test_c4_legacy_contextful_generation(benchmark, c4):
+    benchmark(lambda: c4["legacy"].call("generateScript", "PBS", PARAMS))
+
+
+def test_c4_refactored_generation(benchmark, c4):
+    benchmark(lambda: c4["refactored"].call("generateScript", "PBS", PARAMS))

@@ -1,0 +1,141 @@
+"""Experiment C5 — §3.4: UDDI cannot describe queuing-system support.
+
+"UDDI lacked flexible descriptions that could be used to distinguish between
+something as simple as one script generator service that supports PBS and
+GRD and another that supports LSF and NQS ... We developed workarounds with
+the string description, but this works only by convention."
+
+Workload: a registry of script-generator services published by groups that
+each follow *their own* description convention (as real 2002 portal groups
+did).  Query: "find a generator that supports LSF".  We compare:
+
+- UDDI description-substring search (the paper's workaround),
+- UDDI general-keyword categoryBag search (only partially adopted —
+  conventions again),
+- the paper's proposed container-hierarchy registry with structured
+  ``queuing-system`` metadata.
+
+Expected shape: the container hierarchy achieves perfect precision and
+recall; the substring workaround suffers false positives (negated mentions)
+and false negatives (spelled-out scheduler names); the category search has
+perfect precision but poor recall (not everyone categorizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.discovery.registry import ContainerRegistry, DiscoveryClient, deploy_discovery
+from repro.uddi.model import BusinessEntity, BusinessService, KeyedReference
+from repro.uddi.registry import UddiRegistry
+from repro.uddi.service import UddiClient, deploy_uddi
+
+# (name, schedulers actually supported, description text, categorizes?)
+PROVIDERS = [
+    ("HotPage Generator", {"LSF", "NQS"},
+     "Batch script generation. schedulers: LSF,NQS", True),
+    ("Gateway Generator", {"PBS", "GRD"},
+     "Batch script generation. schedulers: PBS,GRD", True),
+    ("NPACI Legacy Generator", {"LSF"},
+     "Generates scripts for the Load Sharing Facility on blue horizon", False),
+    ("Cactus Portal Generator", {"PBS"},
+     "PBS script tool. We formerly supported LSF but dropped it in 2001",
+     False),
+    ("Unicore Bridge", {"NQS"},
+     "NQS request generator for the T3E", True),
+    ("Alliance Generator", {"LSF", "PBS"},
+     "supports LSF and PBS queuing systems", False),
+]
+
+TARGET = "LSF"
+TRUTH = {name for name, schedulers, _d, _c in PROVIDERS if TARGET in schedulers}
+
+
+def _metrics(found: set[str]) -> tuple[float, float]:
+    if not found:
+        return 0.0, 0.0
+    true_positives = len(found & TRUTH)
+    precision = true_positives / len(found)
+    recall = true_positives / len(TRUTH)
+    return precision, recall
+
+
+@pytest.fixture(scope="module")
+def c5(deployment):
+    network = deployment.network
+    uddi_registry, uddi_url = deploy_uddi(network, "uddi.c5",
+                                          registry=UddiRegistry())
+    container_registry, discovery_url = deploy_discovery(
+        network, "discovery.c5", registry=ContainerRegistry()
+    )
+    uddi = UddiClient(network, uddi_url, source="ui.c5")
+    discovery = DiscoveryClient(network, discovery_url, source="ui.c5")
+
+    entity = uddi.save_business(BusinessEntity("", "GCE testbed"))
+    for name, schedulers, description, categorizes in PROVIDERS:
+        category_bag = []
+        if categorizes:
+            category_bag = [
+                KeyedReference("uddi:general-keywords", "scheduler", s)
+                for s in sorted(schedulers)
+            ]
+        uddi.save_service(BusinessService(
+            "", entity.key, name, description=description,
+            category_bag=category_bag,
+        ))
+        discovery.register(
+            f"script-generators/{name.replace(' ', '-').lower()}",
+            {"queuing-system": sorted(schedulers), "name": name},
+        )
+
+    results = {}
+    # (a) the string-description workaround
+    found = {s.name for s in uddi.find_service(description_contains=TARGET)}
+    results["UDDI description substring"] = found
+    # (b) the keyword categoryBag convention
+    found = {
+        s.name
+        for s in uddi.find_service(
+            category_refs=[KeyedReference("uddi:general-keywords", "", TARGET)]
+        )
+    }
+    results["UDDI category keyword"] = found
+    # (c) the proposed container hierarchy
+    found = {
+        hit["metadata"]["name"][0]
+        for hit in discovery.query({"queuing-system": TARGET})
+    }
+    results["container hierarchy"] = found
+
+    rows = []
+    for label, found in results.items():
+        precision, recall = _metrics(found)
+        rows.append([label, len(found), precision, recall])
+    record_table(
+        f"C5 / §3.4 — discovering 'supports {TARGET}' "
+        f"({len(PROVIDERS)} services, {len(TRUTH)} true)",
+        ["mechanism", "returned", "precision", "recall"],
+        rows,
+    )
+
+    by_label = {row[0]: (row[2], row[3]) for row in rows}
+    # the container hierarchy is exact
+    assert by_label["container hierarchy"] == (1.0, 1.0)
+    # the substring workaround has both error kinds
+    precision, recall = by_label["UDDI description substring"]
+    assert precision < 1.0    # "formerly supported LSF" false positive
+    assert recall < 1.0       # "Load Sharing Facility" false negative
+    # the category convention is precise but incomplete
+    precision, recall = by_label["UDDI category keyword"]
+    assert precision == 1.0 and recall < 1.0
+
+    return {"uddi": uddi, "discovery": discovery}
+
+
+def test_c5_uddi_description_search(benchmark, c5):
+    benchmark(lambda: c5["uddi"].find_service(description_contains=TARGET))
+
+
+def test_c5_container_structured_query(benchmark, c5):
+    benchmark(lambda: c5["discovery"].query({"queuing-system": TARGET}))

@@ -1,0 +1,86 @@
+"""Experiment C7 — §3.1: a Web Service using another Web Service.
+
+"The interaction between the batch job submission Web Service and the
+Globusrun Web Service demonstrates a Web Service using another Web Service
+to perform a task."
+
+We measure the cost of the extra hop: submitting the same job directly to
+the Globusrun service versus through the composed batch-job service, across
+a sweep of job runtimes.
+
+Expected shape: the composition adds a fixed wire cost (one extra SOAP
+round trip), so its *relative* overhead shrinks as the job runtime grows —
+service composition is essentially free for real workloads, which is the
+paper's architectural bet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.services.jobsubmit import BATCHJOB_NAMESPACE, GLOBUSRUN_NAMESPACE, deploy_batchjob
+from repro.soap.client import SoapClient
+
+RUNTIMES = [0.1, 1.0, 10.0, 60.0]
+
+
+@pytest.fixture(scope="module")
+def c7(deployment):
+    network = deployment.network
+    _impl, batch_url = deploy_batchjob(
+        network, deployment.endpoints["globusrun"], "batchjob.c7"
+    )
+    direct = SoapClient(network, deployment.endpoints["globusrun"],
+                        GLOBUSRUN_NAMESPACE, source="ui.c7")
+    composed = SoapClient(network, batch_url, BATCHJOB_NAMESPACE,
+                          source="ui.c7")
+    direct.call("run", "blue.sdsc.edu", "sleep", "0.01", 1, "", 600)
+    composed.call("submit_batch", "blue.sdsc.edu", "sleep 0.01 walltime=600")
+
+    rows = []
+    for runtime in RUNTIMES:
+        start = network.clock.now
+        direct.call("run", "blue.sdsc.edu", "sleep", str(runtime), 1, "", 600)
+        direct_vtime = network.clock.now - start
+
+        start = network.clock.now
+        composed.call(
+            "submit_batch", "blue.sdsc.edu", f"sleep {runtime} walltime=600"
+        )
+        composed_vtime = network.clock.now - start
+
+        overhead = composed_vtime - direct_vtime
+        rows.append([
+            runtime, direct_vtime, composed_vtime, overhead * 1000,
+            overhead / composed_vtime * 100,
+        ])
+    record_table(
+        "C7 / §3.1 — direct Globusrun vs composed batch-job service",
+        ["job_runtime_s", "direct_vtime_s", "composed_vtime_s",
+         "overhead_ms", "overhead_%"],
+        rows,
+    )
+    # shape: absolute overhead ~constant; relative overhead monotonically down
+    overheads_ms = [row[3] for row in rows]
+    assert max(overheads_ms) < min(overheads_ms) * 3 + 50
+    relative = [row[4] for row in rows]
+    assert relative == sorted(relative, reverse=True)
+    assert relative[-1] < 1.0  # under 1% for a 60s job
+
+    return {"direct": direct, "composed": composed}
+
+
+def test_c7_direct_globusrun(benchmark, c7):
+    benchmark(
+        lambda: c7["direct"].call("run", "blue.sdsc.edu", "sleep", "0.05",
+                                  1, "", 600)
+    )
+
+
+def test_c7_composed_batch_service(benchmark, c7):
+    benchmark(
+        lambda: c7["composed"].call(
+            "submit_batch", "blue.sdsc.edu", "sleep 0.05 walltime=600"
+        )
+    )

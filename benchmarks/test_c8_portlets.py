@@ -1,0 +1,126 @@
+"""Experiment C8 — §5.4: WebFormPortlet aggregation.
+
+"a particular portlet could contain application interfaces for structural
+mechanics, chemistry, physics, and fluid dynamics applications, but each
+individual user's interface consists only of the interfaces that interest
+him."
+
+We sweep the number of remote application UIs aggregated into one portal
+page, measure the composite render cost, and measure the three
+WebFormPortlet features (link following, form posting, session keeping)
+through the container.
+
+Expected shape: page aggregation cost grows linearly with the portlet
+count (one remote fetch each on first render; cached copies after);
+per-user layouts only pay for the portlets a user selected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.appws.schemas import combined_schema
+from repro.portlets.container import PortletContainer
+from repro.portlets.registry import PortletEntry
+from repro.transport.client import HttpClient
+from repro.transport.server import HttpServer
+from repro.wizard.generator import SchemaWizard
+
+PORTLET_COUNTS = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def c8(deployment):
+    network = deployment.network
+    # eight wizard-generated application editors on a remote host
+    apps_server = HttpServer("apps.c8", network)
+    wizard = SchemaWizard(network, source_host="apps.c8")
+    wizard.load(combined_schema())
+    webapps = []
+    for index in range(max(PORTLET_COUNTS)):
+        webapps.append(
+            wizard.deploy(apps_server, f"editor-{index}", "queue",
+                          title=f"Application editor {index}")
+        )
+
+    container = PortletContainer(network, "portal.c8", columns=3)
+    for index, webapp in enumerate(webapps):
+        container.registry.register(PortletEntry(
+            f"editor-{index}", "WebFormPortlet", webapp.url(),
+            title=f"Editor {index}",
+        ))
+
+    rows = []
+    for count in PORTLET_COUNTS:
+        user = f"user{count}"
+        container.set_layout(user, [f"editor-{i}" for i in range(count)])
+        before = network.stats.snapshot()
+        start = network.clock.now
+        page = container.render_page(user)
+        cold = network.clock.now - start
+        cold_fetches = network.stats.delta(before).requests
+
+        start = network.clock.now
+        before = network.stats.snapshot()
+        container.render_page(user)
+        warm = network.clock.now - start
+        warm_fetches = network.stats.delta(before).requests
+
+        assert page.count('<table class="portlet">') == count
+        rows.append([count, cold * 1000, cold_fetches, warm * 1000,
+                     warm_fetches])
+    record_table(
+        "C8 / §5.4 — portal page aggregation vs portlet count",
+        ["portlets", "cold_vtime_ms", "cold_fetches", "warm_vtime_ms",
+         "warm_fetches"],
+        rows,
+    )
+    # shape: one remote fetch per portlet on the cold render, none warm
+    for row in rows:
+        assert row[2] == row[0]
+        assert row[4] == 0
+    cold_times = [row[1] for row in rows]
+    assert cold_times == sorted(cold_times)
+
+    browser = HttpClient(network, "browser.c8")
+    return {"container": container, "browser": browser, "network": network}
+
+
+def test_c8_cold_aggregation_four_portlets(benchmark, c8):
+    container = c8["container"]
+    container.set_layout("bench-user", [f"editor-{i}" for i in range(4)])
+
+    def cold_render():
+        # drop the per-user instances so every render re-fetches
+        for key in [k for k in container._instances if k[0] == "bench-user"]:
+            del container._instances[key]
+        container.render_page("bench-user")
+
+    benchmark(cold_render)
+
+
+def test_c8_warm_aggregation_four_portlets(benchmark, c8):
+    container = c8["container"]
+    container.set_layout("warm-user", [f"editor-{i}" for i in range(4)])
+    container.render_page("warm-user")
+    benchmark(lambda: container.render_page("warm-user"))
+
+
+def test_c8_form_submission_through_portlet(benchmark, c8):
+    container, browser = c8["container"], c8["browser"]
+    container.set_layout("poster", ["editor-0"])
+    browser.get("http://portal.c8/portal?user=poster")
+    target = "http%3A%2F%2Fapps.c8%2Fwebapps%2Feditor-0%2Fsave"
+    url = (
+        "http://portal.c8/portal?user=poster&portlet=editor-0"
+        f"&target={target}&method=POST"
+    )
+    fields = {
+        "instanceName": "bench",
+        "queue.queuingSystem": "PBS",
+        "queue.queueName": "workq",
+        "queue.maxWallTime": "600",
+        "queue.maxCpus": "4",
+    }
+    benchmark(lambda: browser.post_form(url, fields))

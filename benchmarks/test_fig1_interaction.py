@@ -1,0 +1,130 @@
+"""Experiment F1 — Figure 1: the basic Web-Services interaction.
+
+The figure's flow: the User Interface server consults the UDDI registry,
+follows the service's WSDL link, binds a client proxy to the SOAP Service
+Provider, and invokes.  We regenerate the figure as a cost series:
+
+- ``stovepipe``  — the three-tier baseline: a permanently wired client
+  (no discovery, connection already warm).
+- ``ws-cold``    — the full Figure 1 path per request.
+- ``ws-warm``    — Figure 1 with the proxy bound once and reused (how the
+  paper's UI server actually works: it "maintains client proxies").
+
+plus a sweep of UDDI inquiry cost against registry size.  Expected shape:
+cold discovery costs several extra round trips, the warm path is within a
+connection-setup of the stovepipe — interoperability is nearly free once
+bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.uddi.model import BindingTemplate, BusinessEntity, BusinessService
+from repro.uddi.service import UddiClient
+from repro.wsdl.proxy import client_from_wsdl
+
+PARAMS = {"executable": "/apps/code", "cpus": "1", "wallTime": "600"}
+
+
+@pytest.fixture(scope="module")
+def fig1(deployment):
+    """Measure the three paths in virtual time and record the series."""
+    network = deployment.network
+    uddi = UddiClient(network, deployment.endpoints["uddi"], source="ui.f1")
+
+    def cold_call():
+        services = uddi.find_service("%batch script generator%")
+        wsdl_url = services[0].bindings[0].wsdl_url
+        client = client_from_wsdl(network, wsdl_url, source="ui.f1.cold")
+        return client.generateScript("PBS", PARAMS)
+
+    warm = client_from_wsdl(
+        network,
+        uddi.find_service("%Gateway%")[0].bindings[0].wsdl_url,
+        source="ui.f1",
+    )
+
+    def warm_call():
+        return warm.generateScript("PBS", PARAMS)
+
+    # the stovepipe baseline: same wire, no discovery, proxy pre-wired
+    from repro.soap.client import SoapClient
+    from repro.services.batchscript import BSG_NAMESPACE
+
+    stovepipe = SoapClient(
+        network, deployment.endpoints["bsg-iu"], BSG_NAMESPACE, source="ui.f1"
+    )
+    stovepipe.call("listSchedulers")  # warm the connection
+
+    def stovepipe_call():
+        return stovepipe.call("generateScript", "PBS", PARAMS)
+
+    def vtime(func, repeat=5):
+        start = network.clock.now
+        before = network.stats.snapshot()
+        for _ in range(repeat):
+            func()
+        delta = network.stats.delta(before)
+        return (network.clock.now - start) / repeat, delta.requests / repeat
+
+    rows = []
+    for label, func in (
+        ("stovepipe", stovepipe_call),
+        ("ws-cold", cold_call),
+        ("ws-warm", warm_call),
+    ):
+        per_call_vtime, per_call_requests = vtime(func)
+        rows.append([label, per_call_vtime * 1000, per_call_requests])
+    record_table(
+        "F1 / Figure 1 — interaction cost per request (virtual network)",
+        ["path", "vtime_ms", "requests"],
+        rows,
+    )
+
+    # shape assertions: cold pays for discovery, warm is near the stovepipe
+    by_label = {row[0]: row for row in rows}
+    assert by_label["ws-cold"][1] > by_label["ws-warm"][1] * 1.5
+    assert by_label["ws-warm"][1] < by_label["stovepipe"][1] * 2.0
+    assert by_label["ws-cold"][2] >= 3  # find + wsdl + invoke
+
+    # UDDI inquiry cost vs registry size
+    size_rows = []
+    for extra in (0, 50, 200, 800):
+        entity = deployment.uddi.save_business(
+            BusinessEntity("", f"filler-org-{extra}")
+        )
+        for index in range(extra):
+            deployment.uddi.save_service(
+                BusinessService(
+                    "", entity.key, f"filler-service-{extra}-{index}",
+                    description="unrelated",
+                )
+            )
+        start = network.clock.now
+        hits = uddi.find_service("%batch script generator%")
+        size_rows.append(
+            [len(deployment.uddi._services), len(hits),
+             (network.clock.now - start) * 1000]
+        )
+    record_table(
+        "F1 — UDDI inquiry vs registry size",
+        ["registry_size", "hits", "inquiry_vtime_ms"],
+        size_rows,
+    )
+    assert all(row[1] == 2 for row in size_rows)  # precision holds
+
+    return {"cold": cold_call, "warm": warm_call, "stovepipe": stovepipe_call}
+
+
+def test_fig1_cold_discovery_and_invoke(benchmark, fig1):
+    benchmark(fig1["cold"])
+
+
+def test_fig1_warm_bound_proxy_invoke(benchmark, fig1):
+    benchmark(fig1["warm"])
+
+
+def test_fig1_stovepipe_baseline(benchmark, fig1):
+    benchmark(fig1["stovepipe"])

@@ -1,0 +1,148 @@
+"""Experiment F2 — Figure 2: the SAML/Kerberos authentication service.
+
+Regenerates the protocol's cost profile: the one-time login (kinit + TGS +
+GSS establishment + begin_session), then the per-request "atomic step" in
+three configurations:
+
+- ``unauthenticated`` — no security (the baseline SSP).
+- ``atomic-step``     — the paper's protocol: signed assertion per request,
+  SPP forwards to the Authentication Service for verification.
+- ``cached-verify``   — the extension: the SPP caches positive verdicts
+  until the assertion expires.
+
+Expected shape: the atomic step roughly doubles per-request wire time (one
+extra round trip SPP->AuthService); caching recovers almost all of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.security.authservice import AssertionInterceptor, ClientSecuritySession
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.server import HttpServer
+
+NS = "urn:bench:protected"
+
+
+def _make_ssp(deployment, host, *, interceptor=None):
+    server = HttpServer(host, deployment.network)
+    soap = SoapService(host, NS)
+    soap.expose(lambda x: x, "echo")
+    if interceptor is not None:
+        soap.add_interceptor(interceptor)
+    return soap.mount(server, "/svc")
+
+
+@pytest.fixture(scope="module")
+def fig2(deployment):
+    network = deployment.network
+    auth_url = deployment.endpoints["auth"]
+
+    open_url = _make_ssp(deployment, "open.bench")
+    atomic_url = _make_ssp(
+        deployment, "atomic.bench",
+        interceptor=AssertionInterceptor(
+            network, auth_url, spp_host="atomic.bench", clock=network.clock
+        ),
+    )
+    cached_url = _make_ssp(
+        deployment, "cached.bench",
+        interceptor=AssertionInterceptor(
+            network, auth_url, spp_host="cached.bench", clock=network.clock,
+            cache=True,
+        ),
+    )
+
+    # one-time login cost
+    start = network.clock.now
+    session = ClientSecuritySession(network, deployment.kdc, auth_url,
+                                    ui_host="ui.f2")
+    session.login("alice", "alpine")
+    login_vtime = network.clock.now - start
+
+    bare = SoapClient(network, open_url, NS, source="ui.f2")
+    atomic = session.secure(SoapClient(network, atomic_url, NS, source="ui.f2"))
+    # the cached interceptor needs a stable assertion to get cache hits;
+    # give it a window long enough to outlive thousands of benchmark rounds
+    # of virtual time (each round advances the shared clock)
+    session.assertion_lifetime = 10**7
+    stable = session.make_assertion()
+    session.assertion_lifetime = 300.0
+    cached = SoapClient(network, cached_url, NS, source="ui.f2")
+    cached.add_header_provider(lambda m, p: [stable.to_xml()])
+    for client in (bare, atomic, cached):
+        client.call("echo", "warmup")
+
+    def measure(client, repeat=10):
+        start = network.clock.now
+        before = network.stats.snapshot()
+        for _ in range(repeat):
+            client.call("echo", "x")
+        delta = network.stats.delta(before)
+        return (network.clock.now - start) / repeat * 1000, delta.requests / repeat
+
+    rows = [["login (one-time)", login_vtime * 1000, "-"]]
+    results = {}
+    for label, client in (
+        ("unauthenticated", bare),
+        ("atomic-step", atomic),
+        ("cached-verify", cached),
+    ):
+        vtime_ms, requests = measure(client)
+        results[label] = (vtime_ms, requests)
+        rows.append([label, vtime_ms, requests])
+    record_table(
+        "F2 / Figure 2 — per-request cost of the authentication protocol",
+        ["configuration", "vtime_ms", "requests/call"],
+        rows,
+    )
+
+    # shape: atomic step ~2x the unauthenticated wire cost; caching recovers it
+    assert results["atomic-step"][1] == results["unauthenticated"][1] + 1
+    assert results["atomic-step"][0] > results["unauthenticated"][0] * 1.5
+    assert results["cached-verify"][0] < results["atomic-step"][0] * 0.75
+
+    return {
+        "bare": bare, "atomic": atomic, "cached": cached,
+        "session": session, "network": network, "deployment": deployment,
+    }
+
+
+def test_fig2_unauthenticated_call(benchmark, fig2):
+    benchmark(lambda: fig2["bare"].call("echo", "x"))
+
+
+def test_fig2_atomic_step_call(benchmark, fig2):
+    benchmark(lambda: fig2["atomic"].call("echo", "x"))
+
+
+def test_fig2_cached_verification_call(benchmark, fig2):
+    benchmark(lambda: fig2["cached"].call("echo", "x"))
+
+
+def test_fig2_login_flow(benchmark, fig2):
+    deployment = fig2["deployment"]
+
+    def login():
+        session = ClientSecuritySession(
+            deployment.network, deployment.kdc, deployment.endpoints["auth"],
+            ui_host="ui.f2.login",
+        )
+        session.login("bob", "builder")
+        session.logout()
+
+    benchmark(login)
+
+
+def test_fig2_assertion_sign_and_verify(benchmark, fig2):
+    """CPU cost of the cryptographic core (no network)."""
+    session = fig2["session"]
+
+    def sign_verify():
+        assertion = session.make_assertion()
+        assert assertion.verify_signature(session._context.session_key())
+
+    benchmark(sign_verify)

@@ -1,0 +1,130 @@
+"""Experiment F3 — Figure 3: the schema wizard pipeline.
+
+Regenerates the pipeline's stage costs (schema -> SOM -> generated classes
+-> template-rendered form page) and the scaling of page generation with
+schema size, plus the form -> instance -> form round trip.
+
+Expected shape: every stage is sub-millisecond-to-millisecond CPU work;
+page-generation cost grows linearly with the number of schema elements
+(each element renders one template nugget).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.appws.schemas import combined_schema
+from repro.wizard.generator import SchemaWizard
+from repro.xmlutil.schema import (
+    BuiltinType,
+    XsdComplexType,
+    XsdElement,
+    XsdSchema,
+    parse_schema,
+)
+
+
+def _synthetic_schema(n_elements: int) -> XsdSchema:
+    schema = XsdSchema(target_namespace="urn:bench")
+    ctype = XsdComplexType(
+        "Big",
+        sequence=[
+            XsdElement(f"field{i:04d}", BuiltinType.STRING,
+                       documentation=f"Field number {i}")
+            for i in range(n_elements)
+        ],
+    )
+    schema.add_complex_type(ctype)
+    schema.add_element(XsdElement("big", "Big"))
+    return schema.resolve()
+
+
+@pytest.fixture(scope="module")
+def fig3(deployment):
+    xsd_text = combined_schema().serialize()
+
+    # per-stage wall time on the real descriptor schema
+    stages = []
+    t0 = time.perf_counter()
+    wizard = SchemaWizard()
+    schema = wizard.load(xsd_text)
+    t1 = time.perf_counter()
+    classes = wizard.classes()
+    t2 = time.perf_counter()
+    page = wizard.render_page("application", action="/save", base="/form")
+    t3 = time.perf_counter()
+    stages.append(["parse schema -> SOM", (t1 - t0) * 1000])
+    stages.append(["generate binding classes", (t2 - t1) * 1000])
+    stages.append(["render form page", (t3 - t2) * 1000])
+    record_table(
+        "F3 / Figure 3 — wizard stage costs (application schema, wall ms)",
+        ["stage", "wall_ms"],
+        stages,
+    )
+    assert len(classes) >= 8
+    assert "<form" in page
+
+    # scaling of page generation with schema size
+    rows = []
+    timings = {}
+    for n in (8, 32, 128, 512):
+        big = _synthetic_schema(n)
+        w = SchemaWizard()
+        w.load(big)
+        start = time.perf_counter()
+        body = w.render_form_body("big")
+        elapsed = (time.perf_counter() - start) * 1000
+        timings[n] = elapsed
+        rows.append([n, elapsed, body.count("<input")])
+    record_table(
+        "F3 — form generation vs schema size",
+        ["elements", "wall_ms", "inputs_rendered"],
+        rows,
+    )
+    # linear-ish growth: 64x the elements should be way under 64^2 the time
+    assert timings[512] < timings[8] * 64 * 8
+    assert rows[-1][2] == 512
+
+    return {"wizard": wizard, "xsd": xsd_text}
+
+
+def test_fig3_stage1_parse_schema(benchmark, fig3):
+    benchmark(lambda: SchemaWizard().load(fig3["xsd"]))
+
+
+def test_fig3_stage2_generate_classes(benchmark, fig3):
+    xsd = fig3["xsd"]
+
+    def generate():
+        wizard = SchemaWizard()
+        wizard.load(xsd)
+        return wizard.classes()
+
+    benchmark(generate)
+
+
+def test_fig3_stage3_render_application_form(benchmark, fig3):
+    wizard = fig3["wizard"]
+    benchmark(
+        lambda: wizard.render_page("application", action="/save", base="/f")
+    )
+
+
+def test_fig3_form_instance_roundtrip(benchmark, fig3):
+    wizard = fig3["wizard"]
+    form = {
+        "queue.queuingSystem": "PBS",
+        "queue.queueName": "workq",
+        "queue.maxWallTime": "3600",
+        "queue.maxCpus": "64",
+    }
+
+    def roundtrip():
+        instance = wizard.form_to_instance("queue", form)
+        values = wizard.instance_to_values("queue", instance)
+        assert values["queue.queueName"] == "workq"
+
+    benchmark(roundtrip)

@@ -1,0 +1,104 @@
+"""Experiment F4 — Figure 4: the integrated service-based portal.
+
+Regenerates the "distributed operating system" view as measurements of the
+two interface levels: a shell command (tool-chest level) versus the
+system-level grid calls it encapsulates, and the cost of composing core
+services into pipelines.
+
+Expected shape: each added pipeline stage costs roughly one more
+service round trip; the full application run (runapp) touches the
+batch-script, job-submission, and context services without the UI host ever
+contacting a gatekeeper directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.portal.uiserver import UserInterfaceServer
+
+
+@pytest.fixture(scope="module")
+def fig4(deployment):
+    ui = UserInterfaceServer(deployment, host="ui.f4")
+    ui.login("alice", "alpine")
+    shell = ui.make_shell("alice")
+    network = deployment.network
+    shell.run("srbls /home/portal")  # warm connections
+
+    pipelines = [
+        ("echo hello", "echo hello"),
+        ("genscript", "genscript PBS executable=/x cpus=1 wallTime=600"),
+        ("genscript|srbput",
+         "genscript PBS executable=/x cpus=1 wallTime=600"
+         " | srbput /home/portal/f4.pbs"),
+        ("genscript|validate|srbput",
+         "genscript PBS executable=/x cpus=1 wallTime=600"
+         " | validate PBS | srbput /home/portal/f4b.pbs"),
+    ]
+    rows = []
+    for label, line in pipelines:
+        start = network.clock.now
+        before = network.stats.snapshot()
+        shell.run(line)
+        delta = network.stats.delta(before)
+        rows.append([label, (network.clock.now - start) * 1000, delta.requests])
+    record_table(
+        "F4 / Figure 4 — portal shell pipelines (tool-chest level)",
+        ["pipeline", "vtime_ms", "service_requests"],
+        rows,
+    )
+    assert rows[0][2] == 0      # pure-local stages cost no wire traffic
+    assert rows[1][2] == 1      # one core-service call
+    assert rows[2][2] == 2      # two core-service calls
+    assert rows[3][2] == 3      # each pipeline stage adds one round trip
+
+    # the two interface levels: a runapp touches services, which touch the grid
+    before = network.stats.snapshot()
+    start = network.clock.now
+    shell.run("runapp Gaussian modi4.iu.edu basisSize=60 | archive alice/f4/run")
+    delta = network.stats.delta(before)
+    per_host = {
+        host: count for host, count in delta.per_host_requests.items() if count
+    }
+    record_table(
+        "F4 — full application run: requests per host (two interface levels)",
+        ["host", "requests"],
+        sorted(per_host.items()),
+    )
+    # the UI talked to appws + context; appws talked to bsg + globusrun;
+    # only globusrun talked to the gatekeeper
+    assert per_host.get("appws.gridportal.org", 0) >= 3
+    assert per_host.get("modi4.iu.edu", 0) >= 1
+    assert per_host.get("bsg.iu.edu", 0) >= 1
+
+    return {"shell": shell, "ui": ui}
+
+
+def test_fig4_shell_single_service_command(benchmark, fig4):
+    benchmark(
+        lambda: fig4["shell"].run(
+            "genscript PBS executable=/x cpus=1 wallTime=600"
+        )
+    )
+
+
+def test_fig4_shell_two_stage_pipeline(benchmark, fig4):
+    benchmark(
+        lambda: fig4["shell"].run(
+            "genscript GRD executable=/x cpus=1 wallTime=600"
+            " | srbput /home/portal/bench.grd"
+        )
+    )
+
+
+def test_fig4_full_application_run(benchmark, fig4):
+    benchmark(
+        lambda: fig4["shell"].run("runapp Gaussian modi4.iu.edu basisSize=40")
+    )
+
+
+def test_fig4_portal_page_render(benchmark, fig4):
+    container = fig4["ui"].container
+    benchmark(lambda: container.render_page("alice"))

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""The paper's future-work pointers, implemented (§2, §4, §6).
+
+Four things the paper names but did not build, demonstrated together:
+
+1. WSIL — the decentralized discovery alternative to UDDI;
+2. Akenti-style access control conveyed as SAML attribute statements;
+3. application factories — per-user, resource-bound service instances;
+4. WSRP — remote portlets rendered by a producer instead of HTML scraping.
+
+Run:  python examples/beyond_the_paper.py
+"""
+
+from repro.faults import AuthorizationError
+from repro.appws.catalog import build_catalog
+from repro.appws.factory import FACTORY_NAMESPACE, INSTANCE_NAMESPACE, deploy_factory
+from repro.discovery.wsil import InspectionDocument, inspect, publish_inspection
+from repro.portal import PortalDeployment
+from repro.portlets.base import LocalPortlet
+from repro.portlets.container import PortletContainer
+from repro.portlets.wsrp import (
+    WsrpConsumerPortlet,
+    WsrpProducer,
+    deploy_wsrp_producer,
+    discover_portlets,
+)
+from repro.security.akenti import (
+    AkentiInterceptor,
+    AttributeAuthority,
+    PolicyEngine,
+    UseCondition,
+)
+from repro.security.saml import SamlAssertion
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.server import HttpServer
+
+
+def main() -> None:
+    deployment = PortalDeployment.build()
+    network = deployment.network
+
+    # ---- 1. WSIL -----------------------------------------------------------
+    print("== 1. WSIL: decentralized inspection documents ==")
+    iu = HttpServer("www.iu-portal.example", network)
+    sdsc = HttpServer("www.sdsc-portal.example", network)
+    publish_inspection(iu, InspectionDocument()
+                       .add_service("Gateway BSG", deployment.endpoints["bsg-iu"] + ".wsdl")
+                       .add_link("http://www.sdsc-portal.example/inspection.wsil"))
+    publish_inspection(sdsc, InspectionDocument()
+                       .add_service("HotPage BSG", deployment.endpoints["bsg-sdsc"] + ".wsdl")
+                       .add_service("SRB WS", deployment.endpoints["srb"]))
+    for service in inspect(network, "http://www.iu-portal.example/inspection.wsil"):
+        print(f"   crawled: {service.name:<12} -> {service.wsdl_location}")
+
+    # ---- 2. Akenti ------------------------------------------------------------
+    print("\n== 2. Akenti: certificate-based access control over SOAP ==")
+    engine = PolicyEngine()
+    npaci = AttributeAuthority("NPACI")
+    engine.trust_authority(npaci)
+    engine.add_use_condition("globusrun", UseCondition({"allocation": ("TG-CHE",)}))
+    engine.store_certificate(npaci.issue("alice", "allocation", "TG-CHE"))
+
+    server = HttpServer("guarded.sdsc.edu", network)
+    soap = SoapService("GuardedRun", "urn:guarded")
+    soap.expose(deployment.globusrun.run)
+    soap.add_interceptor(AkentiInterceptor(engine, "globusrun", network.clock))
+    endpoint = soap.mount(server, "/run")
+
+    def client_for(user: str) -> SoapClient:
+        client = SoapClient(network, endpoint, "urn:guarded", source="ui")
+        assertion = SamlAssertion(issuer="ui", subject=user,
+                                  not_on_or_after=network.clock.now + 10**6)
+        client.add_header_provider(lambda m, p: [assertion.to_xml()])
+        return client
+
+    output = client_for("alice").call("run", "modi4.iu.edu", "echo",
+                                      "authorized run", 1, "", 60)
+    print(f"   alice (holds allocation=TG-CHE): {output.strip()!r}")
+    try:
+        client_for("mallory").call("run", "modi4.iu.edu", "echo", "x", 1, "", 60)
+    except AuthorizationError as err:
+        print(f"   mallory: {err.message}")
+    decision = engine.check_access("alice", "globusrun", "run")
+    saml = engine.decision_assertion(decision, now=network.clock.now)
+    print(f"   decision as SAML: {saml.attributes['akenti:decision']} "
+          f"(signed by {saml.issuer}, verifiable: "
+          f"{engine.verify_decision_assertion(saml)})")
+
+    # ---- 3. application factories --------------------------------------------------
+    print("\n== 3. application factories: per-user resource-bound instances ==")
+    _factory, factory_url = deploy_factory(
+        network, build_catalog(), deployment.endpoints["globusrun"]
+    )
+    factory = SoapClient(network, factory_url, FACTORY_NAMESPACE, source="ui")
+    instance_url = factory.call("create", "Gaussian", "modi4.iu.edu")
+    print(f"   factory created a private instance service at {instance_url}")
+    instance = SoapClient(network, instance_url, INSTANCE_NAMESPACE, source="ui")
+    instance.call("configure", {"basisSize": 120})
+    print(f"   configure -> {instance.call('status')}")
+    print(f"   run       -> {instance.call('run')}")
+    print("   output    -> " +
+          instance.call("output").strip().splitlines()[-1])
+
+    # ---- 4. WSRP -------------------------------------------------------------------
+    print("\n== 4. WSRP: remote portlets without HTML scraping ==")
+    producer = WsrpProducer()
+    producer.register_portlet(
+        "grid-status",
+        lambda user: LocalPortlet(
+            "grid-status",
+            lambda: "<p>"
+            + " | ".join(
+                f"{host}: {resource.scheduler.free_cpus} cpus free"
+                for host, resource in sorted(deployment.testbed.items())
+            )
+            + "</p>",
+        ),
+        "Grid status",
+    )
+    wsrp_url = deploy_wsrp_producer(network, producer, "producer.sdsc.edu")
+    print(f"   producer offers: {discover_portlets(network, wsrp_url)}")
+    container = PortletContainer(network, "portal.iu.edu")
+    container.add_local_portlet(
+        WsrpConsumerPortlet("grid-status", network, wsrp_url, "grid-status",
+                            "alice", title="Grid status (remote via WSRP)")
+    )
+    container.set_layout("alice", ["grid-status"])
+    page = container.render_page("alice")
+    start = page.find("<p>")
+    print("   aggregated markup: " + page[start:page.find("</p>") + 4])
+
+
+if __name__ == "__main__":
+    main()

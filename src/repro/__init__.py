@@ -1,0 +1,46 @@
+"""Interoperable Web Services for Computational Portals — a reproduction.
+
+A full Python reimplementation of the system described in M. Pierce,
+G. Fox, C. Youn, S. Mock, K. Mueller, O. Balsoy, "Interoperable Web Services
+for Computational Portals", SC 2002 — including every substrate the paper's
+services sat on (SOAP/WSDL/UDDI stacks, a simulated grid with four batch
+schedulers, an SRB, Kerberos/GSI/SAML security, a mini CORBA ORB for the
+legacy WebFlow system, a Velocity-style template engine, and a Jetspeed-like
+portlet container), all running over a deterministic in-process virtual
+network.
+
+Quick start::
+
+    from repro.portal import PortalDeployment, UserInterfaceServer
+
+    deployment = PortalDeployment.build()
+    ui = UserInterfaceServer(deployment)
+    ui.login("alice", "alpine")
+    shell = ui.make_shell("alice")
+    print(shell.run("runapp Gaussian modi4.iu.edu basisSize=100"))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "faults",
+    "xmlutil",
+    "template",
+    "transport",
+    "soap",
+    "wsdl",
+    "uddi",
+    "discovery",
+    "security",
+    "grid",
+    "corba",
+    "srb",
+    "services",
+    "appws",
+    "wizard",
+    "portlets",
+    "portal",
+]

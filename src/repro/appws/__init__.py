@@ -1,0 +1,57 @@
+"""Application Web Services (§5).
+
+"The important next step is to define a general purpose set of schemas that
+describes how to use a particular application and bind it to the services it
+needs.  These schemas are the foundation for what we call Application Web
+Services."
+
+- :mod:`repro.appws.schemas` — the abstract descriptor schemas
+  (application / host / queue, "implemented in a container hierarchy") and
+  the application-*instance* schema used for session archiving.
+- :mod:`repro.appws.descriptors` — generated binding classes plus the
+  application lifecycle (abstract → prepared → running → archived).
+- :mod:`repro.appws.adapter` — the coarse-grained adapter over the generated
+  get/set calls ("the resulting [full] interface is extremely complicated
+  ... Instead we are building an adapter class").
+- :mod:`repro.appws.catalog` — ready-made descriptors for the synthetic
+  science codes the simulated grid runs.
+- :mod:`repro.appws.service` — the Application Web Service itself: publish
+  and download descriptors, prepare instances, and run them through the
+  bound core services.
+"""
+
+from repro.appws.schemas import (
+    APPLICATION_NS,
+    application_schema,
+    combined_schema,
+    host_schema,
+    instance_schema,
+    queue_schema,
+)
+from repro.appws.descriptors import (
+    LIFECYCLE_STATES,
+    ApplicationLifecycle,
+    descriptor_classes,
+    instance_classes,
+)
+from repro.appws.adapter import ApplicationAdapter, InstanceAdapter
+from repro.appws.catalog import build_catalog
+from repro.appws.service import ApplicationWebService, deploy_application_service
+
+__all__ = [
+    "APPLICATION_NS",
+    "application_schema",
+    "combined_schema",
+    "host_schema",
+    "instance_schema",
+    "queue_schema",
+    "LIFECYCLE_STATES",
+    "ApplicationLifecycle",
+    "descriptor_classes",
+    "instance_classes",
+    "ApplicationAdapter",
+    "InstanceAdapter",
+    "build_catalog",
+    "ApplicationWebService",
+    "deploy_application_service",
+]

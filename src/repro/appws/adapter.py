@@ -1,0 +1,218 @@
+"""Coarse-grained adapters over the generated descriptor bindings.
+
+§5.2: "Converting all of the Castor methods to WSDL can be done but the
+resulting interface is extremely complicated ... Instead we are building an
+adapter class that encapsulates several Castor-generated get and set calls
+into a smaller interface definition for common tasks."
+
+Each adapter method below performs the multi-call sequences a prototype user
+interface actually needs, so the SOAP layer exposes a handful of
+coarse-grained operations instead of hundreds of getters and setters.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.faults import InvalidRequestError, ResourceNotFoundError
+from repro.appws.descriptors import descriptor_classes, instance_classes
+from repro.xmlutil.binding import BoundObject
+
+
+class ApplicationAdapter:
+    """Common tasks over an abstract Application descriptor."""
+
+    def __init__(self, application: BoundObject | None = None, *, name: str = "",
+                 version: str = "", description: str = ""):
+        classes = descriptor_classes()
+        if application is not None:
+            self.application = application
+        else:
+            if not name:
+                raise InvalidRequestError("application name is required")
+            info = classes["BasicInformation"](name=name)
+            if version:
+                info.version = version
+            if description:
+                info.description = description
+            self.application = classes["Application"](basic_information=info)
+
+    # -- reading ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.application.basic_information.name
+
+    @property
+    def version(self) -> str:
+        return self.application.basic_information.version or ""
+
+    def describe(self) -> dict[str, Any]:
+        """The summary a portal listing page shows (several gets in one)."""
+        info = self.application.basic_information
+        return {
+            "name": info.name,
+            "version": info.version or "",
+            "description": info.description or "",
+            "hosts": [h.dns_name for h in self.application.host],
+            "services": self.required_services(),
+            "inputs": [f.name for f in self.input_fields()],
+        }
+
+    def hosts(self) -> list[BoundObject]:
+        return list(self.application.host)
+
+    def host_named(self, dns_name: str) -> BoundObject:
+        for host in self.application.host:
+            if host.dns_name == dns_name:
+                return host
+        raise ResourceNotFoundError(
+            f"application {self.name!r} has no host {dns_name!r}",
+            {"host": dns_name},
+        )
+
+    def queues_on(self, dns_name: str) -> list[BoundObject]:
+        return list(self.host_named(dns_name).queue)
+
+    def input_fields(self) -> list[BoundObject]:
+        comm = self.application.internal_communication
+        return list(comm.input) if comm is not None else []
+
+    def output_fields(self) -> list[BoundObject]:
+        comm = self.application.internal_communication
+        return list(comm.output) if comm is not None else []
+
+    def required_services(self) -> list[str]:
+        env = self.application.execution_environment
+        if env is None:
+            return []
+        return [binding.service for binding in env.service]
+
+    def service_endpoint(self, kind: str, host: str = "") -> str:
+        """The bound endpoint for a core service (host-specific bindings
+        take precedence over generic ones)."""
+        env = self.application.execution_environment
+        if env is None:
+            return ""
+        generic = ""
+        for binding in env.service:
+            if binding.service != kind:
+                continue
+            if binding.host_ref == host and binding.endpoint:
+                return binding.endpoint
+            if not binding.host_ref and binding.endpoint:
+                generic = binding.endpoint
+        return generic
+
+    def parameter(self, name: str, default: str = "") -> str:
+        for param in self.application.parameter:
+            if param.name == name:
+                return param.value
+        return default
+
+    # -- editing (what the application developer does) ----------------------------------
+
+    def add_host(
+        self,
+        dns_name: str,
+        executable_path: str,
+        *,
+        workspace: str = "",
+        queues: list[tuple[str, str]] | None = None,
+        parameters: dict[str, str] | None = None,
+    ) -> BoundObject:
+        """Add a host binding with its queues in one call (wraps ~10 sets)."""
+        classes = descriptor_classes()
+        host = classes["Host"](dns_name=dns_name, executable_path=executable_path)
+        if workspace:
+            host.workspace_directory = workspace
+        for system, queue_name in queues or []:
+            host.add_queue(
+                classes["Queue"](queuing_system=system, queue_name=queue_name)
+            )
+        for key, value in (parameters or {}).items():
+            host.add_parameter(classes["Parameter"](name=key, value=value))
+        self.application.add_host(host)
+        return host
+
+    def add_input_field(self, name: str, label: str, field_type: str = "string",
+                        description: str = "") -> BoundObject:
+        classes = descriptor_classes()
+        comm = self.application.internal_communication
+        if comm is None:
+            comm = classes["InternalCommunication"]()
+            self.application.internal_communication = comm
+        field = classes["IoField"](name=name, label=label, field_type=field_type)
+        if description:
+            field.description = description
+        comm.add_input(field)
+        return field
+
+    def add_output_field(self, name: str, label: str, field_type: str = "file") -> BoundObject:
+        classes = descriptor_classes()
+        comm = self.application.internal_communication
+        if comm is None:
+            comm = classes["InternalCommunication"]()
+            self.application.internal_communication = comm
+        field = classes["IoField"](name=name, label=label, field_type=field_type)
+        comm.add_output(field)
+        return field
+
+    def require_service(self, kind: str, endpoint: str = "", host: str = "") -> None:
+        classes = descriptor_classes()
+        env = self.application.execution_environment
+        if env is None:
+            env = classes["ExecutionEnvironment"]()
+            self.application.execution_environment = env
+        binding = classes["ServiceBinding"](service=kind)
+        if endpoint:
+            binding.endpoint = endpoint
+        if host:
+            binding.host_ref = host
+        env.add_service(binding)
+
+    def set_parameter(self, name: str, value: str) -> None:
+        classes = descriptor_classes()
+        for param in self.application.parameter:
+            if param.name == name:
+                param.value = value
+                return
+        self.application.add_parameter(classes["Parameter"](name=name, value=value))
+
+    # -- marshalling -------------------------------------------------------------------
+
+    def marshal(self) -> str:
+        return self.application.to_xml("application").serialize()
+
+    @staticmethod
+    def unmarshal(xml: str) -> "ApplicationAdapter":
+        cls = descriptor_classes()["Application"]
+        return ApplicationAdapter(cls.unmarshal(xml))
+
+
+class InstanceAdapter:
+    """Common read tasks over an ApplicationInstance descriptor."""
+
+    def __init__(self, instance: BoundObject):
+        self.instance = instance
+
+    @staticmethod
+    def unmarshal(xml: str) -> "InstanceAdapter":
+        cls = instance_classes()["ApplicationInstance"]
+        return InstanceAdapter(cls.unmarshal(xml))
+
+    def summary(self) -> dict[str, Any]:
+        inst = self.instance
+        return {
+            "id": inst.id,
+            "application": inst.application_name,
+            "state": inst.state,
+            "host": inst.host or "",
+            "queue": inst.queue or "",
+            "jobId": inst.job_id or "",
+            "inputs": list(inst.input_file),
+            "output": inst.output_location or "",
+            "submitted": inst.submitted,
+            "completed": inst.completed,
+            "parameters": {p.name: p.value for p in inst.parameter},
+        }

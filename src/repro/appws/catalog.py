@@ -1,0 +1,109 @@
+"""Ready-made application descriptors for the simulated science codes.
+
+§5's motivating example is "the application description for the chemistry
+code Gaussian ... can be standard across portals"; this module builds that
+descriptor (and two more) against the simulated grid's application registry
+(:mod:`repro.grid.apps`), with host/queue bindings matching the default
+testbed.
+"""
+
+from __future__ import annotations
+
+from repro.appws.adapter import ApplicationAdapter
+
+
+def gaussian_descriptor(endpoints: dict[str, str] | None = None) -> ApplicationAdapter:
+    """The chemistry code: runtime driven by the basis-set size."""
+    app = ApplicationAdapter(
+        name="Gaussian",
+        version="98.A7",
+        description="Ab initio electronic structure package.",
+    )
+    app.add_input_field("basisSize", "Basis set size", "integer",
+                        "Number of basis functions (drives the runtime).")
+    app.add_output_field("logFile", "SCF output log")
+    app.add_host(
+        "modi4.iu.edu", "/usr/local/apps/g98/g98",
+        workspace="/scratch/gaussian",
+        queues=[("PBS", "workq"), ("PBS", "express")],
+        parameters={"GAUSS_SCRDIR": "/scratch/gaussian"},
+    )
+    app.add_host(
+        "blue.sdsc.edu", "/paci/sdsc/apps/g98/g98",
+        workspace="/gpfs/scratch",
+        queues=[("LSF", "workq")],
+    )
+    app.set_parameter("discipline", "chemistry")
+    _bind_services(app, endpoints)
+    return app
+
+
+def ansys_descriptor(endpoints: dict[str, str] | None = None) -> ApplicationAdapter:
+    """The structural mechanics code."""
+    app = ApplicationAdapter(
+        name="ANSYS",
+        version="5.7",
+        description="Finite-element structural mechanics solver.",
+    )
+    app.add_input_field("elements", "Element count", "integer",
+                        "Mesh size (drives the runtime).")
+    app.add_input_field("meshFile", "Mesh file", "file",
+                        "SRB path of the input mesh.")
+    app.add_output_field("resultsFile", "Results database")
+    app.add_host(
+        "octopus.iu.edu", "/opt/ansys57/bin/ansys",
+        queues=[("GRD", "workq")],
+    )
+    app.set_parameter("discipline", "structural-mechanics")
+    _bind_services(app, endpoints)
+    return app
+
+
+def mm5_descriptor(endpoints: dict[str, str] | None = None) -> ApplicationAdapter:
+    """The mesoscale weather model (a parallel code)."""
+    app = ApplicationAdapter(
+        name="MM5",
+        version="3.5",
+        description="PSU/NCAR mesoscale weather model.",
+    )
+    app.add_input_field("forecastHours", "Forecast hours", "integer")
+    app.add_input_field("cpus", "Processors", "integer",
+                        "MM5 scales with processor count.")
+    app.add_output_field("forecast", "Forecast output")
+    app.add_host(
+        "blue.sdsc.edu", "/paci/sdsc/apps/mm5/mm5",
+        queues=[("LSF", "workq")],
+    )
+    app.add_host(
+        "t3e.sdsc.edu", "/usr/apps/mm5/mm5",
+        queues=[("NQS", "workq")],
+    )
+    app.set_parameter("discipline", "atmospheric-science")
+    _bind_services(app, endpoints)
+    return app
+
+
+def _bind_services(app: ApplicationAdapter, endpoints: dict[str, str] | None) -> None:
+    """Record the core services the application needs, binding endpoints
+    when the deployment provides them."""
+    endpoints = endpoints or {}
+    app.require_service(
+        "batch-script-generation", endpoints.get("batch-script-generation", "")
+    )
+    app.require_service("job-submission", endpoints.get("job-submission", ""))
+    app.require_service("file-transfer", endpoints.get("file-transfer", ""))
+    app.require_service(
+        "context-management", endpoints.get("context-management", "")
+    )
+
+
+def build_catalog(
+    endpoints: dict[str, str] | None = None,
+) -> dict[str, ApplicationAdapter]:
+    """All stock descriptors, keyed by application name."""
+    apps = [
+        gaussian_descriptor(endpoints),
+        ansys_descriptor(endpoints),
+        mm5_descriptor(endpoints),
+    ]
+    return {app.name: app for app in apps}

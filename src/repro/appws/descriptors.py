@@ -1,0 +1,132 @@
+"""Generated descriptor bindings and the application lifecycle."""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+
+from repro.faults import InvalidRequestError
+from repro.appws.schemas import combined_schema, instance_schema
+from repro.xmlutil.binding import BoundObject, bind_schema
+
+#: §5.1's four phases plus the proposed refinements of "running".
+LIFECYCLE_STATES = (
+    "abstract",
+    "prepared",
+    "queued",
+    "running",
+    "sleeping",
+    "terminating",
+    "archived",
+    "failed",
+)
+
+#: legal state transitions (the crucial distinction is abstract -> the rest)
+_TRANSITIONS: dict[str, tuple[str, ...]] = {
+    "abstract": ("prepared",),
+    "prepared": ("queued", "failed"),
+    "queued": ("running", "failed", "terminating"),
+    "running": ("sleeping", "terminating", "archived", "failed"),
+    "sleeping": ("running", "terminating", "failed"),
+    "terminating": ("archived", "failed"),
+    "archived": (),
+    "failed": (),
+}
+
+
+@lru_cache(maxsize=1)
+def descriptor_classes() -> dict[str, type[BoundObject]]:
+    """Binding classes for the abstract descriptor schemas (the "Castor
+    source generator" output for application/host/queue)."""
+    return bind_schema(combined_schema())
+
+
+@lru_cache(maxsize=1)
+def instance_classes() -> dict[str, type[BoundObject]]:
+    """Binding classes for the application-instance schema."""
+    return bind_schema(instance_schema())
+
+
+_instance_ids = itertools.count(1)
+
+
+class ApplicationLifecycle:
+    """Drives an application instance through §5.1's states.
+
+    Wraps an ``ApplicationInstance`` bound object; every transition is
+    checked against the legal state machine, and the wrapped instance can be
+    marshalled at any point for session archiving.
+    """
+
+    def __init__(self, application_name: str, version: str = ""):
+        cls = instance_classes()["ApplicationInstance"]
+        self.instance = cls(
+            application_name=application_name,
+            state="abstract",
+            id=f"inst-{next(_instance_ids):08d}",
+        )
+        if version:
+            self.instance.version = version
+
+    @classmethod
+    def from_instance(cls, instance: BoundObject) -> "ApplicationLifecycle":
+        obj = cls.__new__(cls)
+        obj.instance = instance
+        return obj
+
+    @property
+    def state(self) -> str:
+        return self.instance.state
+
+    @property
+    def instance_id(self) -> str:
+        return self.instance.id
+
+    def transition(self, new_state: str) -> str:
+        """Move to *new_state*; raises on an illegal transition."""
+        if new_state not in LIFECYCLE_STATES:
+            raise InvalidRequestError(f"unknown lifecycle state {new_state!r}")
+        allowed = _TRANSITIONS[self.state]
+        if new_state not in allowed:
+            raise InvalidRequestError(
+                f"illegal transition {self.state!r} -> {new_state!r}; "
+                f"allowed: {list(allowed)}",
+                {"from": self.state, "to": new_state},
+            )
+        self.instance.state = new_state
+        return new_state
+
+    # -- convenience steps matching the service flow ---------------------------
+
+    def prepare(self, *, host: str, queue: str = "",
+                parameters: dict[str, str] | None = None) -> None:
+        """(a) abstract -> (b) prepared: the user's choices are recorded."""
+        self.transition("prepared")
+        self.instance.host = host
+        if queue:
+            self.instance.queue = queue
+        param_cls = instance_classes()["Parameter"]
+        for name, value in (parameters or {}).items():
+            self.instance.add_parameter(param_cls(name=name, value=value))
+
+    def submitted(self, job_id: str, at: float) -> None:
+        self.transition("queued")
+        self.instance.job_id = job_id
+        self.instance.submitted = at
+
+    def running(self) -> None:
+        self.transition("running")
+
+    def archive(self, *, output_location: str, at: float) -> None:
+        """-> (d) archived: the completed run's metadata is final."""
+        if self.state in ("queued", "sleeping"):
+            self.transition("running")
+        self.transition("archived")
+        self.instance.output_location = output_location
+        self.instance.completed = at
+
+    def fail(self) -> None:
+        self.transition("failed")
+
+    def marshal(self) -> str:
+        return self.instance.to_xml("applicationInstance").serialize()

@@ -1,0 +1,201 @@
+"""Application factory services.
+
+§6: "These services may be bound to specific resources through a factory
+creation process, such as discussed in Ref. [37]" (Gannon et al., "Grid Web
+Services and Application Factories").  The factory pattern: instead of one
+shared application service, a client asks a *factory* to instantiate a
+private, resource-bound service instance, receives that instance's own
+endpoint, and talks to it directly — per-instance state without a central
+session table.
+
+:class:`ApplicationFactoryService` creates such instances for applications
+in a catalogue: each instance is a small SOAP service (configure / run /
+status / output / destroy) mounted at its own path on the factory host,
+pre-bound to one application on one compute resource.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.faults import InvalidRequestError, ResourceNotFoundError
+from repro.appws.adapter import ApplicationAdapter
+from repro.appws.descriptors import ApplicationLifecycle
+from repro.services.jobsubmit import GLOBUSRUN_NAMESPACE
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+FACTORY_NAMESPACE = "urn:gce:application-factory"
+INSTANCE_NAMESPACE = "urn:gce:application-instance-service"
+
+
+class ApplicationInstanceService:
+    """One factory-created instance: a private service bound to one
+    application on one resource."""
+
+    def __init__(
+        self,
+        factory: "ApplicationFactoryService",
+        instance_id: str,
+        app: ApplicationAdapter,
+        host: str,
+    ):
+        self.factory = factory
+        self.instance_id = instance_id
+        self.app = app
+        self.host = host
+        self.lifecycle = ApplicationLifecycle(app.name, app.version)
+        self._output = ""
+        self._configured: dict[str, str] = {}
+
+    # -- the instance's own interface -------------------------------------------
+
+    def configure(self, choices: dict[str, Any]) -> str:
+        """Fix the run's parameters; abstract -> prepared."""
+        known = {f.name for f in self.app.input_fields()}
+        unknown = set(choices) - known
+        if unknown:
+            raise InvalidRequestError(
+                f"choices {sorted(unknown)} are not inputs of {self.app.name!r}"
+            )
+        self._configured = {k: str(v) for k, v in choices.items()}
+        host_binding = self.app.host_named(self.host)
+        queues = list(host_binding.queue)
+        self.lifecycle.prepare(
+            host=self.host,
+            queue=queues[0].queue_name if queues else "",
+            parameters=self._configured,
+        )
+        return self.lifecycle.state
+
+    def run(self) -> str:
+        """Execute on the bound resource through the Globusrun service."""
+        if self.lifecycle.state != "prepared":
+            raise InvalidRequestError(
+                f"instance is {self.lifecycle.state!r}; configure it first"
+            )
+        host_binding = self.app.host_named(self.host)
+        arguments = " ".join(
+            self._configured[f.name]
+            for f in self.app.input_fields()
+            if f.name in self._configured
+        )
+        self.lifecycle.submitted(job_id="", at=self.factory.clock.now)
+        try:
+            self._output = self.factory.globusrun.call(
+                "run", self.host, host_binding.executable_path, arguments,
+                int(self._configured.get("cpus", "1") or 1),
+                self.lifecycle.instance.queue or "", 86400,
+            )
+        except Exception:
+            self.lifecycle.fail()
+            raise
+        self.lifecycle.archive(
+            output_location=f"factory:{self.instance_id}", at=self.factory.clock.now
+        )
+        return self.lifecycle.state
+
+    def status(self) -> str:
+        return self.lifecycle.state
+
+    def output(self) -> str:
+        if not self._output:
+            raise ResourceNotFoundError("instance has produced no output yet")
+        return self._output
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "instance": self.instance_id,
+            "application": self.app.name,
+            "host": self.host,
+            "state": self.lifecycle.state,
+            "choices": dict(self._configured),
+        }
+
+    def destroy(self) -> bool:
+        """Unmount this instance's endpoint and forget it."""
+        return self.factory._destroy(self.instance_id)
+
+
+class ApplicationFactoryService:
+    """The factory: ``create(application, host)`` returns a fresh instance
+    endpoint bound to that application on that resource."""
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        catalog: dict[str, ApplicationAdapter],
+        globusrun_endpoint: str,
+        *,
+        host: str = "factory.gridportal.org",
+    ):
+        self.network = network
+        self.clock = network.clock
+        self.catalog = dict(catalog)
+        self.host = host
+        self.server = HttpServer(host, network)
+        self.globusrun = SoapClient(
+            network, globusrun_endpoint, GLOBUSRUN_NAMESPACE, source=host
+        )
+        self._ids = itertools.count(1)
+        self._instances: dict[str, ApplicationInstanceService] = {}
+        self.instances_created = 0
+
+    # -- the factory interface ----------------------------------------------------
+
+    def list_applications(self) -> list[str]:
+        return sorted(self.catalog)
+
+    def create(self, application: str, host: str) -> str:
+        """Instantiate a resource-bound service; returns its endpoint URL."""
+        app = self.catalog.get(application)
+        if app is None:
+            raise ResourceNotFoundError(
+                f"factory knows no application {application!r}"
+            )
+        app.host_named(host)  # validates the binding exists
+        instance_id = f"appinst-{next(self._ids):06d}"
+        instance = ApplicationInstanceService(self, instance_id, app, host)
+        self._instances[instance_id] = instance
+
+        soap = SoapService(instance_id, INSTANCE_NAMESPACE)
+        soap.expose(instance.configure)
+        soap.expose(instance.run)
+        soap.expose(instance.status)
+        soap.expose(instance.output)
+        soap.expose(instance.describe)
+        soap.expose(instance.destroy)
+        endpoint = soap.mount(self.server, f"/instances/{instance_id}")
+        self.instances_created += 1
+        return endpoint
+
+    def active_instances(self) -> list[str]:
+        return sorted(self._instances)
+
+    def _destroy(self, instance_id: str) -> bool:
+        if instance_id not in self._instances:
+            return False
+        del self._instances[instance_id]
+        self.server.unmount(f"/instances/{instance_id}")
+        return True
+
+
+def deploy_factory(
+    network: VirtualNetwork,
+    catalog: dict[str, ApplicationAdapter],
+    globusrun_endpoint: str,
+    host: str = "factory.gridportal.org",
+) -> tuple[ApplicationFactoryService, str]:
+    """Stand up a factory; returns (factory, factory endpoint URL)."""
+    factory = ApplicationFactoryService(
+        network, catalog, globusrun_endpoint, host=host
+    )
+    soap = SoapService("ApplicationFactory", FACTORY_NAMESPACE)
+    soap.expose(factory.list_applications)
+    soap.expose(factory.create)
+    soap.expose(factory.active_instances)
+    endpoint = soap.mount(factory.server, "/factory")
+    return factory, endpoint

@@ -1,0 +1,296 @@
+"""The application / host / queue descriptor schemas and the instance schema.
+
+§5.1: "The abstract application description is implemented as a set of three
+schemas: application, host, and queue.  These are implemented in a container
+hierarchy, with applications containing one or more hosts, and hosts
+containing queuing system descriptions."
+
+Each schema is built programmatically with the SOM and serializes to a real
+XSD document (the paper published theirs at a URL; ours are published on
+the virtual network by :mod:`repro.appws.service`).  The instance schema
+mirrors §5.1's second set: "Instances of these schemas are used instead to
+contain the metadata about particular application runs: the input files
+used, the location of the output, the resources used for the computation."
+"""
+
+from __future__ import annotations
+
+from repro.xmlutil.schema import (
+    UNBOUNDED,
+    BuiltinType,
+    XsdAttribute,
+    XsdComplexType,
+    XsdElement,
+    XsdSchema,
+    XsdSimpleType,
+)
+
+APPLICATION_NS = "urn:gce:schema:application"
+HOST_NS = "urn:gce:schema:host"
+QUEUE_NS = "urn:gce:schema:queue"
+INSTANCE_NS = "urn:gce:schema:application-instance"
+
+
+def _parameter_type() -> XsdComplexType:
+    """The general-purpose name/value parameter element: "a general purpose
+    'parameter' element that allows for arbitrary name-value pairs"."""
+    return XsdComplexType(
+        "Parameter",
+        attributes=[
+            XsdAttribute("name", BuiltinType.STRING, required=True),
+            XsdAttribute("value", BuiltinType.STRING, required=True),
+        ],
+        documentation="Arbitrary name-value pair.",
+    )
+
+
+def queue_schema() -> XsdSchema:
+    """The queue description schema (innermost container)."""
+    schema = XsdSchema(target_namespace=QUEUE_NS)
+    schema.add_simple_type(
+        XsdSimpleType(
+            "QueuingSystem",
+            enumeration=["PBS", "LSF", "NQS", "GRD"],
+            documentation="Supported batch queuing systems.",
+        )
+    )
+    schema.add_complex_type(
+        XsdComplexType(
+            "Queue",
+            sequence=[
+                XsdElement("queuingSystem", "QueuingSystem",
+                           documentation="The batch system managing this queue."),
+                XsdElement("queueName", BuiltinType.STRING,
+                           documentation="The queue to submit into."),
+                XsdElement("maxWallTime", BuiltinType.DOUBLE, min_occurs=0,
+                           default="86400",
+                           documentation="Queue wallclock limit in seconds."),
+                XsdElement("maxCpus", BuiltinType.INT, min_occurs=0,
+                           default="1024",
+                           documentation="Maximum processors per job."),
+            ],
+            documentation="Information needed to perform queue submissions.",
+        )
+    )
+    schema.add_element(XsdElement("queue", "Queue"))
+    return schema.resolve()
+
+
+def host_schema() -> XsdSchema:
+    """The host binding schema (middle container)."""
+    schema = XsdSchema(target_namespace=HOST_NS)
+    for stype in queue_schema().simple_types.values():
+        schema.add_simple_type(stype)
+    for ctype in queue_schema().complex_types.values():
+        schema.add_complex_type(ctype)
+    schema.add_complex_type(_parameter_type())
+    schema.add_complex_type(
+        XsdComplexType(
+            "Host",
+            sequence=[
+                XsdElement("dnsName", BuiltinType.STRING,
+                           documentation="Fully qualified resource name."),
+                XsdElement("ipAddress", BuiltinType.STRING, min_occurs=0,
+                           documentation="Dotted-quad address, if fixed."),
+                XsdElement("executablePath", BuiltinType.STRING,
+                           documentation="Location of the executable on this host."),
+                XsdElement("workspaceDirectory", BuiltinType.STRING, min_occurs=0,
+                           documentation="Scratch/workspace directory."),
+                XsdElement("parameter", "Parameter", min_occurs=0,
+                           max_occurs=UNBOUNDED,
+                           documentation="Host-specific settings, e.g. environment variables."),
+                XsdElement("queue", "Queue", min_occurs=0, max_occurs=UNBOUNDED,
+                           documentation="Queues available on this host."),
+            ],
+            documentation=(
+                "All of the information needed to invoke the parent "
+                "application on one resource."
+            ),
+        )
+    )
+    schema.add_element(XsdElement("host", "Host"))
+    return schema.resolve()
+
+
+def application_schema() -> XsdSchema:
+    """The abstract application description schema (outer container)."""
+    schema = XsdSchema(target_namespace=APPLICATION_NS)
+    host = host_schema()
+    for stype in host.simple_types.values():
+        schema.add_simple_type(stype)
+    for ctype in host.complex_types.values():
+        schema.add_complex_type(ctype)
+
+    schema.add_simple_type(
+        XsdSimpleType(
+            "CoreServiceKind",
+            enumeration=[
+                "job-submission",
+                "batch-script-generation",
+                "file-transfer",
+                "context-management",
+                "monitoring",
+            ],
+            documentation="The core portal services an application may bind.",
+        )
+    )
+    schema.add_complex_type(
+        XsdComplexType(
+            "ServiceBinding",
+            sequence=[
+                XsdElement("service", "CoreServiceKind",
+                           documentation="Which core service this binding names."),
+                XsdElement("endpoint", BuiltinType.ANYURI, min_occurs=0,
+                           documentation="Concrete SOAP endpoint, when bound."),
+                XsdElement("hostRef", BuiltinType.STRING, min_occurs=0,
+                           documentation="dnsName of the host this binding applies to."),
+            ],
+            documentation="A required core service and its (optional) binding.",
+        )
+    )
+    schema.add_complex_type(
+        XsdComplexType(
+            "BasicInformation",
+            sequence=[
+                XsdElement("name", BuiltinType.STRING,
+                           documentation="Application name, e.g. Gaussian."),
+                XsdElement("version", BuiltinType.STRING, min_occurs=0,
+                           documentation="Code version string."),
+                XsdElement("optionFlag", BuiltinType.STRING, min_occurs=0,
+                           max_occurs=UNBOUNDED,
+                           documentation="Invocation option flags."),
+                XsdElement("description", BuiltinType.STRING, min_occurs=0,
+                           documentation="Human-readable summary."),
+            ],
+            documentation="Application name, version, and option flags.",
+        )
+    )
+    schema.add_complex_type(
+        XsdComplexType(
+            "IoField",
+            sequence=[
+                XsdElement("label", BuiltinType.STRING,
+                           documentation="Display label for the field."),
+                XsdElement("description", BuiltinType.STRING, min_occurs=0),
+                XsdElement("fieldType", XsdSimpleType(
+                    "", enumeration=["file", "string", "integer", "float"]),
+                    documentation="How the user interface should render it."),
+                XsdElement("transport", "ServiceBinding", min_occurs=0,
+                           documentation="Core service needed to read or write the field."),
+            ],
+            attributes=[XsdAttribute("name", BuiltinType.STRING, required=True)],
+            documentation="One input, output, or error field of the code.",
+        )
+    )
+    schema.add_complex_type(
+        XsdComplexType(
+            "InternalCommunication",
+            sequence=[
+                XsdElement("input", "IoField", min_occurs=0, max_occurs=UNBOUNDED),
+                XsdElement("output", "IoField", min_occurs=0, max_occurs=UNBOUNDED),
+                XsdElement("error", "IoField", min_occurs=0, max_occurs=UNBOUNDED),
+            ],
+            documentation="Input, output, and error fields for the code.",
+        )
+    )
+    schema.add_complex_type(
+        XsdComplexType(
+            "ExecutionEnvironment",
+            sequence=[
+                XsdElement("service", "ServiceBinding", min_occurs=0,
+                           max_occurs=UNBOUNDED,
+                           documentation="Core services needed to execute the application."),
+            ],
+            documentation=(
+                "The list of core services needed to execute the "
+                "application, with host bindings."
+            ),
+        )
+    )
+    schema.add_complex_type(
+        XsdComplexType(
+            "Application",
+            sequence=[
+                XsdElement("basicInformation", "BasicInformation"),
+                XsdElement("internalCommunication", "InternalCommunication",
+                           min_occurs=0),
+                XsdElement("executionEnvironment", "ExecutionEnvironment",
+                           min_occurs=0),
+                XsdElement("parameter", "Parameter", min_occurs=0,
+                           max_occurs=UNBOUNDED,
+                           documentation="Arbitrary information not covered above."),
+                XsdElement("host", "Host", min_occurs=0, max_occurs=UNBOUNDED,
+                           documentation="Hosts this application is deployed on."),
+            ],
+            documentation="The portal-independent abstract application description.",
+        )
+    )
+    schema.add_element(XsdElement("application", "Application"))
+    return schema.resolve()
+
+
+def instance_schema() -> XsdSchema:
+    """The application-instance schema (states (b)-(d): prepared, running,
+    archived) — the backbone of the session archiving system."""
+    schema = XsdSchema(target_namespace=INSTANCE_NS)
+    schema.add_complex_type(_parameter_type())
+    schema.add_simple_type(
+        XsdSimpleType(
+            "LifecycleState",
+            enumeration=[
+                "abstract",
+                "prepared",
+                "queued",
+                "running",
+                "sleeping",
+                "terminating",
+                "archived",
+                "failed",
+            ],
+            documentation="§5.1's application lifecycle states (with the "
+                          "proposed refinements of 'running').",
+        )
+    )
+    schema.add_complex_type(
+        XsdComplexType(
+            "ApplicationInstance",
+            sequence=[
+                XsdElement("applicationName", BuiltinType.STRING),
+                XsdElement("version", BuiltinType.STRING, min_occurs=0),
+                XsdElement("state", "LifecycleState"),
+                XsdElement("host", BuiltinType.STRING, min_occurs=0,
+                           documentation="The resource chosen for the run."),
+                XsdElement("queue", BuiltinType.STRING, min_occurs=0),
+                XsdElement("inputFile", BuiltinType.STRING, min_occurs=0,
+                           max_occurs=UNBOUNDED,
+                           documentation="SRB paths of the input files used."),
+                XsdElement("outputLocation", BuiltinType.STRING, min_occurs=0,
+                           documentation="Where the run's output lives."),
+                XsdElement("jobId", BuiltinType.STRING, min_occurs=0),
+                XsdElement("submitted", BuiltinType.DOUBLE, min_occurs=0),
+                XsdElement("completed", BuiltinType.DOUBLE, min_occurs=0),
+                XsdElement("parameter", "Parameter", min_occurs=0,
+                           max_occurs=UNBOUNDED,
+                           documentation="The user's specific choices."),
+            ],
+            attributes=[XsdAttribute("id", BuiltinType.STRING, required=True)],
+            documentation="Metadata about one particular application run.",
+        )
+    )
+    schema.add_element(XsdElement("applicationInstance", "ApplicationInstance"))
+    return schema.resolve()
+
+
+def combined_schema() -> XsdSchema:
+    """All descriptor types in one schema (convenient for binding and for
+    the schema wizard, which needs the full container hierarchy)."""
+    schema = XsdSchema(target_namespace=APPLICATION_NS)
+    for source in (application_schema(), host_schema(), queue_schema(), instance_schema()):
+        for name, stype in source.simple_types.items():
+            schema.simple_types.setdefault(name, stype)
+        for name, ctype in source.complex_types.items():
+            schema.complex_types.setdefault(name, ctype)
+        for element in source.elements:
+            if schema.find_element(element.name) is None:
+                schema.add_element(element)
+    return schema.resolve()

@@ -1,0 +1,291 @@
+"""The Application Web Service: descriptors bound to core services.
+
+§5: "application descriptors also specify the core services that are
+required to run the application and provide context in which those services
+are used."  This service is the aggregation point: it publishes the
+descriptor schemas and per-application descriptors (for the schema wizard
+and remote UIs to download), prepares instances from user choices, and runs
+them by *composing the core web services* — batch script generation, job
+submission, and context archival all happen through SOAP clients, not local
+calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.faults import InvalidRequestError, ResourceNotFoundError
+from repro.appws.adapter import ApplicationAdapter, InstanceAdapter
+from repro.appws.descriptors import ApplicationLifecycle
+from repro.appws.schemas import combined_schema, instance_schema
+from repro.services.batchscript import BSG_NAMESPACE
+from repro.services.jobsubmit import GLOBUSRUN_NAMESPACE
+from repro.services.context import CONTEXT_NAMESPACE
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+APPWS_NAMESPACE = "urn:gce:application-web-service"
+
+
+class ApplicationWebService:
+    """Serves application descriptors and drives instances through the
+    lifecycle by calling the bound core services."""
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        catalog: dict[str, ApplicationAdapter],
+        *,
+        service_host: str,
+        bsg_endpoints: dict[str, str],
+        globusrun_endpoint: str,
+        context_endpoint: str = "",
+    ):
+        self.network = network
+        self.clock = network.clock
+        self.catalog = dict(catalog)
+        self.service_host = service_host
+        self._bsg_clients = {
+            system.upper(): SoapClient(network, url, BSG_NAMESPACE, source=service_host)
+            for system, url in bsg_endpoints.items()
+        }
+        self._globusrun = SoapClient(
+            network, globusrun_endpoint, GLOBUSRUN_NAMESPACE, source=service_host
+        )
+        self._context = (
+            SoapClient(network, context_endpoint, CONTEXT_NAMESPACE, source=service_host)
+            if context_endpoint
+            else None
+        )
+        self._instances: dict[str, ApplicationLifecycle] = {}
+        self._outputs: dict[str, str] = {}
+        self._scripts: dict[str, str] = {}
+        self.runs_completed = 0
+
+    # -- descriptor publication ------------------------------------------------
+
+    def list_applications(self) -> list[dict[str, Any]]:
+        """Catalogue summaries for a portal listing page."""
+        return [app.describe() for app in self.catalog.values()]
+
+    def get_descriptor(self, name: str) -> str:
+        """The portal-independent application description, as XML."""
+        return self._app(name).marshal()
+
+    def get_descriptor_schema(self) -> str:
+        """The abstract application/host/queue schema set, as XSD."""
+        return combined_schema().serialize(indent=None)
+
+    def get_instance_schema(self) -> str:
+        return instance_schema().serialize(indent=None)
+
+    def publish(self, descriptor_xml: str) -> str:
+        """Add (or replace) an application from its marshalled descriptor —
+        how an application developer deploys to this portal."""
+        adapter = ApplicationAdapter.unmarshal(descriptor_xml)
+        self.catalog[adapter.name] = adapter
+        return adapter.name
+
+    def _app(self, name: str) -> ApplicationAdapter:
+        app = self.catalog.get(name)
+        if app is None:
+            raise ResourceNotFoundError(
+                f"no application {name!r}; known: {sorted(self.catalog)}",
+                {"application": name},
+            )
+        return app
+
+    # -- the lifecycle ----------------------------------------------------------------
+
+    def prepare(self, name: str, host: str, choices: dict[str, Any]) -> str:
+        """(a) -> (b): fix the user's choices; returns the instance id."""
+        app = self._app(name)
+        host_binding = app.host_named(host)
+        known_fields = {field.name for field in app.input_fields()}
+        unknown = set(choices) - known_fields
+        if unknown:
+            raise InvalidRequestError(
+                f"choices {sorted(unknown)} are not inputs of {name!r}; "
+                f"inputs: {sorted(known_fields)}"
+            )
+        queues = list(host_binding.queue)
+        queue_name = queues[0].queue_name if queues else ""
+        lifecycle = ApplicationLifecycle(name, app.version)
+        lifecycle.prepare(
+            host=host,
+            queue=queue_name,
+            parameters={key: str(value) for key, value in choices.items()},
+        )
+        self._instances[lifecycle.instance_id] = lifecycle
+        return lifecycle.instance_id
+
+    def _lifecycle(self, instance_id: str) -> ApplicationLifecycle:
+        lifecycle = self._instances.get(instance_id)
+        if lifecycle is None:
+            raise ResourceNotFoundError(
+                f"no instance {instance_id!r}", {"instance": instance_id}
+            )
+        return lifecycle
+
+    def run(self, instance_id: str) -> str:
+        """(b) -> (c) -> (d): generate the script through the batch-script
+        service, submit through the Globusrun service, archive the result.
+        Returns the final state."""
+        lifecycle = self._lifecycle(instance_id)
+        inst = lifecycle.instance
+        app = self._app(inst.application_name)
+        host_binding = app.host_named(inst.host)
+        queues = list(host_binding.queue)
+        system = queues[0].queuing_system if queues else "PBS"
+
+        choices = {p.name: p.value for p in inst.parameter}
+        arguments = " ".join(
+            choices[field.name]
+            for field in app.input_fields()
+            if field.name in choices and field.field_type in ("integer", "float", "string")
+        )
+        cpus = int(choices.get("cpus", "1") or 1)
+
+        # 1. batch script generation through the common interface
+        bsg = self._bsg_clients.get(system.upper())
+        if bsg is None:
+            raise InvalidRequestError(
+                f"no batch script generator bound for {system!r}",
+                {"scheduler": system},
+            )
+        params = {
+            "jobName": f"{inst.application_name}-{instance_id}",
+            "executable": host_binding.executable_path,
+            "arguments": arguments,
+            "queue": inst.queue or "",
+            "cpus": str(cpus),
+            "wallTime": "86400",
+        }
+        script = bsg.call("generateScript", system, params)
+        self._scripts[instance_id] = script
+
+        # 2. job submission through the Globusrun web service
+        lifecycle.submitted(job_id="", at=self.clock.now)
+        try:
+            output = self._globusrun.call(
+                "run",
+                inst.host,
+                host_binding.executable_path,
+                arguments,
+                cpus,
+                inst.queue or "",
+                86400,
+            )
+        except Exception:
+            lifecycle.fail()
+            raise
+        self._outputs[instance_id] = output
+
+        # 3. archive the completed run
+        lifecycle.archive(
+            output_location=f"portal:{self.service_host}/output/{instance_id}",
+            at=self.clock.now,
+        )
+        self.runs_completed += 1
+        return lifecycle.state
+
+    def status(self, instance_id: str) -> str:
+        return self._lifecycle(instance_id).state
+
+    def get_instance(self, instance_id: str) -> str:
+        """The marshalled instance descriptor (for archiving/editing)."""
+        return self._lifecycle(instance_id).marshal()
+
+    def get_output(self, instance_id: str) -> str:
+        output = self._outputs.get(instance_id)
+        if output is None:
+            raise ResourceNotFoundError(
+                f"no output for instance {instance_id!r} (not run yet?)"
+            )
+        return output
+
+    def get_script(self, instance_id: str) -> str:
+        script = self._scripts.get(instance_id)
+        if script is None:
+            raise ResourceNotFoundError(
+                f"no script for instance {instance_id!r} (not run yet?)"
+            )
+        return script
+
+    def archive_to_context(
+        self, instance_id: str, user: str, problem: str, session: str
+    ) -> bool:
+        """Store the instance descriptor in the context manager's session
+        (the session-archiving backbone of §5.1)."""
+        if self._context is None:
+            raise InvalidRequestError("no context manager bound to this service")
+        lifecycle = self._lifecycle(instance_id)
+        self._context.call("createUserContext", user)
+        self._context.call("createProblemContext", user, problem)
+        self._context.call("createSessionContext", user, problem, session)
+        self._context.call(
+            "setSessionDescriptor", user, problem, session, lifecycle.marshal()
+        )
+        return True
+
+    def instance_summary(self, instance_id: str) -> dict[str, Any]:
+        return InstanceAdapter(self._lifecycle(instance_id).instance).summary()
+
+
+def deploy_application_service(
+    network: VirtualNetwork,
+    catalog: dict[str, ApplicationAdapter],
+    *,
+    host: str = "appws.gridportal.org",
+    bsg_endpoints: dict[str, str],
+    globusrun_endpoint: str,
+    context_endpoint: str = "",
+) -> tuple[ApplicationWebService, str]:
+    """Stand up the Application Web Service; also publishes the descriptor
+    schemas and each application's descriptor XML at plain HTTP URLs (the
+    paper's "[s]chemas are also available from <URL>")."""
+    impl = ApplicationWebService(
+        network,
+        catalog,
+        service_host=host,
+        bsg_endpoints=bsg_endpoints,
+        globusrun_endpoint=globusrun_endpoint,
+        context_endpoint=context_endpoint,
+    )
+    server = HttpServer(host, network)
+    soap = SoapService("ApplicationWebService", APPWS_NAMESPACE)
+    soap.expose(impl.list_applications)
+    soap.expose(impl.get_descriptor)
+    soap.expose(impl.get_descriptor_schema)
+    soap.expose(impl.get_instance_schema)
+    soap.expose(impl.publish)
+    soap.expose(impl.prepare)
+    soap.expose(impl.run)
+    soap.expose(impl.status)
+    soap.expose(impl.get_instance)
+    soap.expose(impl.get_output)
+    soap.expose(impl.get_script)
+    soap.expose(impl.archive_to_context)
+    soap.expose(impl.instance_summary)
+    endpoint = soap.mount(server, "/appws")
+
+    schema_text = combined_schema().serialize()
+
+    def serve_schema(request: HttpRequest) -> HttpResponse:
+        return HttpResponse(200, {"Content-Type": "text/xml"}, schema_text)
+
+    server.mount("/schema/application.xsd", serve_schema)
+
+    def serve_descriptor(request: HttpRequest) -> HttpResponse:
+        name = request.url.path.rsplit("/", 1)[-1].removesuffix(".xml")
+        if name not in impl.catalog:
+            return HttpResponse(404, body=f"no application {name!r}")
+        return HttpResponse(
+            200, {"Content-Type": "text/xml"}, impl.catalog[name].marshal()
+        )
+
+    server.mount("/descriptors", serve_descriptor)
+    return impl, endpoint

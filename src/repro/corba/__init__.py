@@ -1,0 +1,37 @@
+"""A miniature CORBA ORB and the legacy WebFlow system.
+
+§3.1: "The IU team implemented the SOAP job submission service as a wrapper
+around a client for the 'legacy' CORBA-based WebFlow system.  This involved
+implementing a set of utility methods for initializing the client ORB, which
+we used to bridge between SOAP and IIOP."
+
+To reproduce that bridge faithfully there has to be a CORBA system to
+bridge *to*, so this package provides one:
+
+- :mod:`repro.corba.cdr` — CDR-style binary marshalling of basic types.
+- :mod:`repro.corba.orb` — an ORB: servant activation, IOR stringification,
+  an IIOP-like endpoint on the virtual network, and dynamic client stubs.
+- :mod:`repro.corba.webflow` — the WebFlow server: a CORBA servant offering
+  context-scoped job management over the simulated grid.
+"""
+
+from repro.corba.cdr import CdrError, marshal, unmarshal
+from repro.corba.orb import (
+    CorbaSystemException,
+    CorbaUserException,
+    Orb,
+    RemoteStub,
+)
+from repro.corba.webflow import WebFlowServant, deploy_webflow
+
+__all__ = [
+    "CdrError",
+    "marshal",
+    "unmarshal",
+    "CorbaSystemException",
+    "CorbaUserException",
+    "Orb",
+    "RemoteStub",
+    "WebFlowServant",
+    "deploy_webflow",
+]

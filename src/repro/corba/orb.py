@@ -1,0 +1,162 @@
+"""The miniature ORB: servant activation, IORs, IIOP endpoint, stubs."""
+
+from __future__ import annotations
+
+import base64
+import itertools
+from typing import Any
+
+from repro.corba.cdr import CdrError, marshal, unmarshal
+from repro.transport.client import HttpClient
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+
+class CorbaSystemException(RuntimeError):
+    """ORB-level failure: bad IOR, unknown object, marshalling error."""
+
+
+class CorbaUserException(RuntimeError):
+    """An exception raised by the servant and relayed to the client."""
+
+    def __init__(self, exc_type: str, message: str):
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type
+        self.exc_message = message
+
+
+class Orb:
+    """One Object Request Broker instance (one per host, typically).
+
+    Server side: ``activate(servant, name)`` registers a servant and
+    returns its stringified IOR; the IIOP endpoint is mounted on the given
+    HTTP server under ``/iiop``.  Client side: ``string_to_object(ior)``
+    returns a :class:`RemoteStub` whose attribute calls marshal through CDR
+    and travel the virtual network.
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        *,
+        host: str = "",
+        server: HttpServer | None = None,
+    ):
+        self.network = network
+        self.host = host or (server.host if server else "orb-client")
+        self._servants: dict[str, Any] = {}
+        self._keys = itertools.count(1)
+        self._http = HttpClient(network, self.host)
+        if server is not None:
+            server.mount("/iiop", self._handle_iiop)
+        self.requests_served = 0
+
+    # -- server side -------------------------------------------------------------
+
+    def activate(self, servant: Any, interface: str) -> str:
+        """Register a servant; returns its stringified IOR."""
+        key = f"obj{next(self._keys):04d}"
+        self._servants[key] = servant
+        return f"IOR:{self.host}/{key}#{interface}"
+
+    def deactivate(self, ior: str) -> None:
+        _host, key, _iface = _parse_ior(ior)
+        self._servants.pop(key, None)
+
+    def _handle_iiop(self, request: HttpRequest) -> HttpResponse:
+        try:
+            payload = unmarshal(base64.b64decode(request.body))
+            key = payload["object"]
+            operation = payload["operation"]
+            args = payload["args"]
+        except (CdrError, KeyError, ValueError) as exc:
+            return _iiop_reply({"status": "system", "message": f"bad request: {exc}"})
+        servant = self._servants.get(key)
+        if servant is None:
+            return _iiop_reply(
+                {"status": "system", "message": f"no object with key {key!r}"}
+            )
+        method = getattr(servant, operation, None)
+        if method is None or operation.startswith("_") or not callable(method):
+            return _iiop_reply(
+                {"status": "system", "message": f"no operation {operation!r}"}
+            )
+        try:
+            result = method(*args)
+        except Exception as exc:  # noqa: BLE001 - servant boundary
+            return _iiop_reply(
+                {
+                    "status": "user",
+                    "exc_type": type(exc).__name__,
+                    "message": str(exc),
+                }
+            )
+        self.requests_served += 1
+        try:
+            return _iiop_reply({"status": "ok", "result": result})
+        except CdrError as exc:
+            return _iiop_reply(
+                {"status": "system", "message": f"unmarshallable result: {exc}"}
+            )
+
+    # -- client side ---------------------------------------------------------------
+
+    def string_to_object(self, ior: str) -> "RemoteStub":
+        host, key, interface = _parse_ior(ior)
+        return RemoteStub(self, host, key, interface)
+
+    def invoke(self, host: str, key: str, operation: str, args: list[Any]) -> Any:
+        body = base64.b64encode(
+            marshal({"object": key, "operation": operation, "args": list(args)})
+        ).decode("ascii")
+        response = self._http.post(f"http://{host}/iiop", body)
+        if not response.ok:
+            raise CorbaSystemException(f"IIOP transport error: HTTP {response.status}")
+        reply = unmarshal(base64.b64decode(response.body))
+        status = reply.get("status")
+        if status == "ok":
+            return reply.get("result")
+        if status == "user":
+            raise CorbaUserException(reply.get("exc_type", "?"), reply.get("message", ""))
+        raise CorbaSystemException(reply.get("message", "unknown ORB failure"))
+
+
+class RemoteStub:
+    """A dynamic client stub for one remote CORBA object."""
+
+    def __init__(self, orb: Orb, host: str, key: str, interface: str):
+        self._orb = orb
+        self._host = host
+        self._key = key
+        self.interface = interface
+
+    def __getattr__(self, operation: str):
+        if operation.startswith("_"):
+            raise AttributeError(operation)
+
+        def invoke(*args: Any) -> Any:
+            return self._orb.invoke(self._host, self._key, operation, list(args))
+
+        invoke.__name__ = operation
+        return invoke
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RemoteStub {self.interface} at {self._host}/{self._key}>"
+
+
+def _parse_ior(ior: str) -> tuple[str, str, str]:
+    if not ior.startswith("IOR:"):
+        raise CorbaSystemException(f"not a stringified IOR: {ior[:30]!r}")
+    body = ior[4:]
+    address, _, interface = body.partition("#")
+    host, _, key = address.partition("/")
+    if not host or not key:
+        raise CorbaSystemException(f"malformed IOR: {ior!r}")
+    return host, key, interface
+
+
+def _iiop_reply(payload: dict[str, Any]) -> HttpResponse:
+    return HttpResponse(
+        200, body=base64.b64encode(marshal(payload)).decode("ascii")
+    )

@@ -1,0 +1,135 @@
+"""The legacy WebFlow system: a CORBA servant for context-scoped jobs.
+
+Gateway "performs job submission by direct submittal to queuing systems"
+through its CORBA-based WebFlow middle tier.  The servant here offers the
+interface the IU SOAP wrapper in :mod:`repro.services.jobsubmit` bridges to:
+hierarchical user/problem/session contexts, and job submission *directly* to
+batch schedulers (no Globus in this path — that is the point of the
+IU/SDSC contrast in §3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.faults import ContextError, ResourceNotFoundError
+from repro.grid.queuing.base import BatchScheduler
+from repro.corba.orb import Orb
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+
+class WebFlowServant:
+    """The WebFlow job-management servant.
+
+    Contexts form a slash-separated hierarchy (user/problem/session); every
+    job is submitted within a context and is listed by it.
+    """
+
+    def __init__(self, schedulers: dict[str, BatchScheduler]):
+        self._schedulers = dict(schedulers)
+        self._contexts: dict[str, list[str]] = {"": []}
+        self._jobs: dict[str, tuple[str, str]] = {}  # handle -> (host, job id)
+        self._handles = itertools.count(1)
+
+    # -- contexts ------------------------------------------------------------
+
+    def addContext(self, path: str) -> str:
+        path = path.strip("/")
+        if not path:
+            raise ContextError("context path must be non-empty")
+        parts = path.split("/")
+        for i in range(1, len(parts) + 1):
+            self._contexts.setdefault("/".join(parts[:i]), [])
+        return path
+
+    def removeContext(self, path: str) -> bool:
+        path = path.strip("/")
+        removed = False
+        for existing in list(self._contexts):
+            if existing == path or existing.startswith(path + "/"):
+                del self._contexts[existing]
+                removed = True
+        if not removed:
+            raise ContextError(f"no context {path!r}")
+        return True
+
+    def listContexts(self, path: str) -> list[str]:
+        path = path.strip("/")
+        prefix = path + "/" if path else ""
+        return sorted(
+            ctx[len(prefix):]
+            for ctx in self._contexts
+            if ctx and ctx.startswith(prefix) and "/" not in ctx[len(prefix):]
+        )
+
+    def hasContext(self, path: str) -> bool:
+        return path.strip("/") in self._contexts
+
+    # -- jobs ------------------------------------------------------------------
+
+    def _context_jobs(self, context: str) -> list[str]:
+        context = context.strip("/")
+        if context not in self._contexts:
+            raise ContextError(f"no context {context!r}", {"context": context})
+        return self._contexts[context]
+
+    def _scheduler(self, host: str) -> BatchScheduler:
+        scheduler = self._schedulers.get(host)
+        if scheduler is None:
+            raise ResourceNotFoundError(
+                f"WebFlow knows no backend host {host!r}", {"host": host}
+            )
+        return scheduler
+
+    def submitJob(self, context: str, host: str, script: str) -> str:
+        """Submit a batch script (in the host's own dialect) directly to the
+        host's queuing system; returns a WebFlow job handle."""
+        jobs = self._context_jobs(context)
+        scheduler = self._scheduler(host)
+        job_id = scheduler.submit_script(script)
+        handle = f"wf-{next(self._handles):06d}"
+        self._jobs[handle] = (host, job_id)
+        jobs.append(handle)
+        return handle
+
+    def _record(self, handle: str):
+        if handle not in self._jobs:
+            raise ResourceNotFoundError(f"no WebFlow job {handle!r}")
+        host, job_id = self._jobs[handle]
+        return self._scheduler(host).job(job_id)
+
+    def getJobStatus(self, handle: str) -> str:
+        return self._record(handle).state.value
+
+    def getJobOutput(self, handle: str) -> str:
+        return self._record(handle).stdout
+
+    def getJobError(self, handle: str) -> str:
+        return self._record(handle).stderr
+
+    def cancelJob(self, handle: str) -> bool:
+        if handle not in self._jobs:
+            raise ResourceNotFoundError(f"no WebFlow job {handle!r}")
+        host, job_id = self._jobs[handle]
+        self._scheduler(host).cancel(job_id)
+        return True
+
+    def listJobs(self, context: str) -> list[str]:
+        return list(self._context_jobs(context))
+
+    def backendHosts(self) -> list[str]:
+        return sorted(self._schedulers)
+
+
+def deploy_webflow(
+    network: VirtualNetwork,
+    schedulers: dict[str, BatchScheduler],
+    host: str = "webflow.iu.edu",
+) -> tuple[WebFlowServant, str, Orb]:
+    """Stand up a WebFlow server; returns (servant, IOR, server ORB)."""
+    server = HttpServer(host, network)
+    orb = Orb(network, server=server)
+    servant = WebFlowServant(schedulers)
+    ior = orb.activate(servant, "WebFlow::JobManager")
+    return servant, ior, orb

@@ -1,0 +1,22 @@
+"""The paper's proposed alternative to UDDI.
+
+§3.4: "A more appropriate discovery system should be built around a
+recursive, self-describing XML container hierarchy into which metadata about
+services may be flexibly mapped.  Possible implementations of such systems
+include LDAP or an XML database."
+
+:class:`MetadataContainer` is that hierarchy; :class:`ContainerRegistry`
+exposes it as a SOAP web service with structured metadata queries — the
+experiment in ``benchmarks/test_c5_discovery.py`` measures its
+precision/recall against UDDI's string-convention workaround.
+"""
+
+from repro.discovery.container import MetadataContainer
+from repro.discovery.registry import ContainerRegistry, DiscoveryClient, deploy_discovery
+
+__all__ = [
+    "MetadataContainer",
+    "ContainerRegistry",
+    "DiscoveryClient",
+    "deploy_discovery",
+]

@@ -1,0 +1,147 @@
+"""A recursive, self-describing XML container hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.xmlutil.element import XmlElement, parse_xml
+
+
+@dataclass
+class MetadataContainer:
+    """A node in the hierarchy: a name, multi-valued metadata, children.
+
+    The structure is "self-describing": it serializes to XML in which every
+    metadata key appears as an element, so a client needs no out-of-band
+    schema to interpret an unfamiliar subtree (the property the paper wants
+    from an LDAP/XML-database-backed discovery service).
+    """
+
+    name: str
+    metadata: dict[str, list[str]] = field(default_factory=dict)
+    children: dict[str, "MetadataContainer"] = field(default_factory=dict)
+
+    # -- hierarchy manipulation --------------------------------------------------
+
+    def ensure_path(self, path: str) -> "MetadataContainer":
+        """Return the container at *path*, creating intermediate nodes.
+
+        Paths look like Unix paths: ``portals/IU/script-generators``.
+        """
+        node = self
+        for part in _split_path(path):
+            if part not in node.children:
+                node.children[part] = MetadataContainer(part)
+            node = node.children[part]
+        return node
+
+    def lookup(self, path: str) -> "MetadataContainer | None":
+        node = self
+        for part in _split_path(path):
+            child = node.children.get(part)
+            if child is None:
+                return None
+            node = child
+        return node
+
+    def remove(self, path: str) -> bool:
+        parts = _split_path(path)
+        if not parts:
+            return False
+        parent = self.lookup("/".join(parts[:-1])) if parts[:-1] else self
+        if parent is None or parts[-1] not in parent.children:
+            return False
+        del parent.children[parts[-1]]
+        return True
+
+    def set_meta(self, key: str, *values: str) -> "MetadataContainer":
+        self.metadata[key] = list(values)
+        return self
+
+    def add_meta(self, key: str, value: str) -> "MetadataContainer":
+        self.metadata.setdefault(key, []).append(value)
+        return self
+
+    def meta(self, key: str) -> list[str]:
+        return list(self.metadata.get(key, []))
+
+    def meta_one(self, key: str, default: str = "") -> str:
+        values = self.metadata.get(key)
+        return values[0] if values else default
+
+    # -- traversal and query ---------------------------------------------------------
+
+    def walk(self, prefix: str = "") -> Iterator[tuple[str, "MetadataContainer"]]:
+        """Yield (path, container) for this node and every descendant."""
+        path = f"{prefix}/{self.name}" if prefix or self.name else self.name
+        yield path, self
+        for child in self.children.values():
+            yield from child.walk(path)
+
+    def query(
+        self,
+        where: dict[str, str] | None = None,
+        *,
+        scope: str = "",
+        predicate: Callable[["MetadataContainer"], bool] | None = None,
+    ) -> list[tuple[str, "MetadataContainer"]]:
+        """Structured search.
+
+        ``where`` requires each key to have the given value among its values
+        (exact, case-sensitive match on structured metadata — no string
+        convention involved).  ``scope`` restricts the search to a subtree.
+        """
+        root = self.lookup(scope) if scope else self
+        if root is None:
+            return []
+        results: list[tuple[str, MetadataContainer]] = []
+        for path, node in root.walk():
+            if where and not all(
+                value in node.metadata.get(key, []) for key, value in where.items()
+            ):
+                continue
+            if predicate is not None and not predicate(node):
+                continue
+            results.append((path, node))
+        return results
+
+    # -- XML round trip -----------------------------------------------------------
+
+    def to_xml(self) -> XmlElement:
+        node = XmlElement("container", {"name": self.name})
+        for key, values in self.metadata.items():
+            for value in values:
+                node.child("meta", text=value).set("key", key)
+        for child in self.children.values():
+            node.append(child.to_xml())
+        return node
+
+    def serialize(self, indent: int | None = 2) -> str:
+        return self.to_xml().serialize(indent=indent, declaration=True)
+
+    @staticmethod
+    def from_xml(source: str | XmlElement) -> "MetadataContainer":
+        node = parse_xml(source) if isinstance(source, str) else source
+        if node.tag.local != "container":
+            raise ValueError(f"not a container element: {node.tag}")
+        container = MetadataContainer(node.get("name", "") or "")
+        for meta in node.findall("meta"):
+            container.add_meta(meta.get("key", "") or "", meta.text)
+        for child in node.findall("container"):
+            sub = MetadataContainer.from_xml(child)
+            container.children[sub.name] = sub
+        return container
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetadataContainer):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.metadata == other.metadata
+            and self.children == other.children
+        )
+
+
+def _split_path(path: str) -> list[str]:
+    return [part for part in path.strip("/").split("/") if part]

@@ -1,0 +1,121 @@
+"""The container-hierarchy discovery service over SOAP."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.faults import DiscoveryError
+from repro.discovery.container import MetadataContainer
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+DISCOVERY_NAMESPACE = "urn:gce:container-discovery"
+
+
+class ContainerRegistry:
+    """Server-side state: one hierarchy root plus registration helpers."""
+
+    def __init__(self):
+        self.root = MetadataContainer("")
+
+    def register_service(
+        self, path: str, metadata: dict[str, list[str] | str]
+    ) -> None:
+        """Register (or update) a service entry at *path* with structured
+        metadata, e.g. ``{"queuing-system": ["PBS", "GRD"], "wsdl": url}``."""
+        node = self.root.ensure_path(path)
+        for key, value in metadata.items():
+            values = [value] if isinstance(value, str) else list(value)
+            node.set_meta(key, *values)
+
+    def unregister(self, path: str) -> None:
+        if not self.root.remove(path):
+            raise DiscoveryError(f"no container at path {path!r}", {"path": path})
+
+    # -- SOAP facade (dict/list payloads) ----------------------------------------
+
+    def soap_register(self, path: str, metadata: dict[str, Any]) -> str:
+        """Register a service entry; returns the normalized path."""
+        self.register_service(path, metadata)
+        return "/" + path.strip("/")
+
+    def soap_unregister(self, path: str) -> bool:
+        """Remove the container at *path* (faults if absent)."""
+        self.unregister(path)
+        return True
+
+    def soap_query(self, where: dict[str, Any], scope: str) -> list[dict[str, Any]]:
+        """Structured query; returns [{path, metadata}, ...].
+
+        Only containers carrying *all* requested key/value pairs match —
+        "metadata about services may be flexibly mapped" and queried exactly.
+        """
+        flat_where = {
+            key: value if isinstance(value, str) else str(value)
+            for key, value in (where or {}).items()
+        }
+        out: list[dict[str, Any]] = []
+        for path, node in self.root.query(flat_where, scope=scope):
+            if not node.metadata:
+                continue  # structural nodes are not service entries
+            out.append({"path": path, "metadata": dict(node.metadata)})
+        return out
+
+    def soap_describe(self, path: str) -> str:
+        """Return the self-describing XML for a subtree."""
+        node = self.root.lookup(path)
+        if node is None:
+            raise DiscoveryError(f"no container at path {path!r}", {"path": path})
+        return node.serialize(indent=None)
+
+    def soap_children(self, path: str) -> list[str]:
+        """List the child container names under *path*."""
+        node = self.root.lookup(path)
+        if node is None:
+            raise DiscoveryError(f"no container at path {path!r}", {"path": path})
+        return sorted(node.children)
+
+
+def deploy_discovery(
+    network: VirtualNetwork,
+    host: str = "discovery.gridforum.org",
+    *,
+    registry: ContainerRegistry | None = None,
+) -> tuple[ContainerRegistry, str]:
+    """Stand up the discovery service; returns (registry, endpoint URL)."""
+    registry = registry or ContainerRegistry()
+    server = HttpServer(host, network)
+    service = SoapService("ContainerDiscovery", DISCOVERY_NAMESPACE)
+    service.expose(registry.soap_register, "register")
+    service.expose(registry.soap_unregister, "unregister")
+    service.expose(registry.soap_query, "query")
+    service.expose(registry.soap_describe, "describe")
+    service.expose(registry.soap_children, "children")
+    endpoint = service.mount(server, "/discovery")
+    return registry, endpoint
+
+
+class DiscoveryClient:
+    """Typed client for the container discovery service."""
+
+    def __init__(self, network: VirtualNetwork, endpoint: str, *, source: str = "client"):
+        self._soap = SoapClient(network, endpoint, DISCOVERY_NAMESPACE, source=source)
+
+    def register(self, path: str, metadata: dict[str, Any]) -> str:
+        return self._soap.call("register", path, metadata)
+
+    def unregister(self, path: str) -> bool:
+        return self._soap.call("unregister", path)
+
+    def query(
+        self, where: dict[str, str], scope: str = ""
+    ) -> list[dict[str, Any]]:
+        return self._soap.call("query", where, scope)
+
+    def describe(self, path: str) -> MetadataContainer:
+        return MetadataContainer.from_xml(self._soap.call("describe", path))
+
+    def children(self, path: str) -> list[str]:
+        return self._soap.call("children", path)

@@ -1,0 +1,155 @@
+"""WS-Inspection (WSIL) — the paper's other named discovery mechanism.
+
+§2 lists "the Web Services Inspection Language (WSIL)" alongside UDDI as
+the naming/discovery options.  WSIL is the decentralized one: each provider
+publishes an inspection document at a well-known URL on its *own* host,
+listing its services' WSDL locations and linking to further inspection
+documents; a client crawls the link graph instead of querying a central
+registry.
+
+This module implements the subset the portal needs: inspection documents
+with ``<service>`` (name + WSDL description location) and ``<link>``
+(reference to another inspection document) entries, publication on a
+virtual-network host, and a cycle-safe crawler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults import DiscoveryError
+from repro.transport.client import HttpClient
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.network import TransportError, VirtualNetwork
+from repro.transport.server import HttpServer
+from repro.xmlutil.element import XmlElement, parse_xml
+
+WSIL_NS = "http://schemas.xmlsoap.org/ws/2001/10/inspection/"
+
+#: the conventional well-known location
+WELL_KNOWN_PATH = "/inspection.wsil"
+
+
+@dataclass
+class ServiceEntry:
+    """One advertised service: a name, abstract, and its WSDL location."""
+
+    name: str
+    wsdl_location: str
+    abstract: str = ""
+
+
+@dataclass
+class InspectionDocument:
+    """A WSIL document: services plus links to other inspection documents."""
+
+    services: list[ServiceEntry] = field(default_factory=list)
+    links: list[str] = field(default_factory=list)
+
+    def add_service(
+        self, name: str, wsdl_location: str, abstract: str = ""
+    ) -> "InspectionDocument":
+        self.services.append(ServiceEntry(name, wsdl_location, abstract))
+        return self
+
+    def add_link(self, location: str) -> "InspectionDocument":
+        self.links.append(location)
+        return self
+
+    # -- XML round trip ------------------------------------------------------
+
+    def to_xml(self) -> XmlElement:
+        root = XmlElement((WSIL_NS and f"{{{WSIL_NS}}}inspection") or "inspection")
+        for service in self.services:
+            node = root.child(f"{{{WSIL_NS}}}service")
+            if service.name:
+                node.child(f"{{{WSIL_NS}}}name", text=service.name)
+            if service.abstract:
+                node.child(f"{{{WSIL_NS}}}abstract", text=service.abstract)
+            desc = node.child(f"{{{WSIL_NS}}}description")
+            desc.set("referencedNamespace", "http://schemas.xmlsoap.org/wsdl/")
+            desc.set("location", service.wsdl_location)
+        for link in self.links:
+            node = root.child(f"{{{WSIL_NS}}}link")
+            node.set("referencedNamespace", WSIL_NS)
+            node.set("location", link)
+        return root
+
+    def serialize(self) -> str:
+        return self.to_xml().serialize(indent=2, declaration=True)
+
+    @staticmethod
+    def parse(source: str | XmlElement) -> "InspectionDocument":
+        root = parse_xml(source) if isinstance(source, str) else source
+        if root.tag.local != "inspection":
+            raise DiscoveryError(f"not a WSIL document: <{root.tag.local}>")
+        document = InspectionDocument()
+        for node in root.findall("service"):
+            desc = node.find("description")
+            document.services.append(
+                ServiceEntry(
+                    name=node.findtext("name"),
+                    abstract=node.findtext("abstract"),
+                    wsdl_location=(desc.get("location", "") or "") if desc is not None else "",
+                )
+            )
+        for node in root.findall("link"):
+            location = node.get("location", "") or ""
+            if location:
+                document.links.append(location)
+        return document
+
+
+def publish_inspection(
+    server: HttpServer,
+    document: InspectionDocument,
+    path: str = WELL_KNOWN_PATH,
+) -> str:
+    """Serve an inspection document on a host; returns its URL."""
+    text = document.serialize()
+
+    def handler(request: HttpRequest) -> HttpResponse:
+        return HttpResponse(200, {"Content-Type": "text/xml"}, text)
+
+    server.mount(path, handler)
+    return f"http://{server.host}{path}"
+
+
+def inspect(
+    network: VirtualNetwork,
+    url: str,
+    *,
+    source: str = "client",
+    follow_links: bool = True,
+    max_documents: int = 64,
+) -> list[ServiceEntry]:
+    """Crawl an inspection-document graph; returns every advertised service.
+
+    Cycle-safe (each document fetched once) and bounded by *max_documents*.
+    Unreachable linked documents are skipped — decentralization means
+    partial answers, which is itself a contrast with the UDDI central
+    registry (see ``benchmarks/test_a2_discovery_modes.py``).
+    """
+    client = HttpClient(network, source)
+    seen: set[str] = set()
+    queue = [url]
+    services: list[ServiceEntry] = []
+    while queue and len(seen) < max_documents:
+        current = queue.pop(0)
+        if current in seen:
+            continue
+        seen.add(current)
+        try:
+            response = client.get(current)
+        except TransportError:
+            continue
+        if not response.ok:
+            continue
+        try:
+            document = InspectionDocument.parse(response.body)
+        except (ValueError, DiscoveryError):
+            continue
+        services.extend(document.services)
+        if follow_links:
+            queue.extend(document.links)
+    return services

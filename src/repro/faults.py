@@ -1,0 +1,187 @@
+"""Common portal error taxonomy.
+
+Section 3 of the paper: "Interoperability also requires consistent error
+messaging.  SOAP calls to services may result in both SOAP errors and
+implementation errors (such as, the file didn't get transferred because the
+disk was full).  Thus the standard set of portal services that we are building
+must define and relay a common set of error messages for this second class of
+errors."
+
+This module defines that common set.  Every portal web service in
+:mod:`repro.services` raises subclasses of :class:`PortalError` for
+*implementation* errors; the SOAP layer (:mod:`repro.soap`) maps them onto
+SOAP faults with a stable ``faultcode``/``detail`` convention so that a client
+written against one provider's service decodes errors from any other
+provider's service identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class PortalError(Exception):
+    """Base class for the common portal error vocabulary.
+
+    Attributes:
+        code: stable machine-readable error code (``"Portal.<Category>"``).
+        message: human-readable description.
+        detail: optional structured payload (service specific, but always
+            expressible as string key/value pairs so it survives SOAP detail
+            encoding).
+    """
+
+    code = "Portal.Error"
+
+    def __init__(self, message: str, detail: dict[str, str] | None = None):
+        super().__init__(message)
+        self.message = message
+        self.detail: dict[str, str] = dict(detail or {})
+
+    def to_detail(self) -> dict[str, str]:
+        """Flatten into the string map carried in a SOAP fault detail."""
+        out = {"code": self.code, "message": self.message}
+        for key, value in self.detail.items():
+            out[f"detail.{key}"] = str(value)
+        return out
+
+    @staticmethod
+    def from_detail(detail: dict[str, str]) -> "PortalError":
+        """Reconstruct the matching :class:`PortalError` subclass from a SOAP
+        fault detail map produced by :meth:`to_detail`."""
+        code = detail.get("code", "Portal.Error")
+        message = detail.get("message", "unknown portal error")
+        extra = {
+            key[len("detail."):]: value
+            for key, value in detail.items()
+            if key.startswith("detail.")
+        }
+        cls = _CODE_REGISTRY.get(code, PortalError)
+        err = cls.__new__(cls)
+        PortalError.__init__(err, message, extra)
+        return err
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(code={self.code!r}, message={self.message!r})"
+
+
+class AuthenticationError(PortalError):
+    """The caller could not be authenticated (bad ticket, expired proxy,
+    unverifiable SAML assertion)."""
+
+    code = "Portal.Authentication"
+
+
+class AuthorizationError(PortalError):
+    """The caller is authenticated but not permitted to perform the action."""
+
+    code = "Portal.Authorization"
+
+
+class ResourceNotFoundError(PortalError):
+    """A named resource (file, collection, context, job, host) does not exist."""
+
+    code = "Portal.ResourceNotFound"
+
+
+class ResourceExhaustedError(PortalError):
+    """A backend resource limit was hit (the paper's canonical example: the
+    file didn't get transferred because the disk was full)."""
+
+    code = "Portal.ResourceExhausted"
+
+
+class InvalidRequestError(PortalError):
+    """The request was syntactically valid SOAP but semantically invalid for
+    the service (bad job description, malformed XML payload, unknown queue)."""
+
+    code = "Portal.InvalidRequest"
+
+
+class ServiceUnavailableError(PortalError):
+    """A required backend (queuing system, SRB server, KDC) is unreachable."""
+
+    code = "Portal.ServiceUnavailable"
+
+
+class JobError(PortalError):
+    """Job submission or execution failed on the computational backend."""
+
+    code = "Portal.Job"
+
+
+class DataTransferError(PortalError):
+    """A data management operation failed mid-transfer."""
+
+    code = "Portal.DataTransfer"
+
+
+class ContextError(PortalError):
+    """Context-manager specific failure (missing context, bad hierarchy)."""
+
+    code = "Portal.Context"
+
+
+class DiscoveryError(PortalError):
+    """Registry lookup/publication failure (UDDI or container hierarchy)."""
+
+    code = "Portal.Discovery"
+
+
+class SchemaError(PortalError):
+    """An XML document failed schema validation or binding."""
+
+    code = "Portal.Schema"
+
+
+_CODE_REGISTRY: dict[str, type[PortalError]] = {
+    cls.code: cls
+    for cls in (
+        PortalError,
+        AuthenticationError,
+        AuthorizationError,
+        ResourceNotFoundError,
+        ResourceExhaustedError,
+        InvalidRequestError,
+        ServiceUnavailableError,
+        JobError,
+        DataTransferError,
+        ContextError,
+        SchemaError,
+        DiscoveryError,
+    )
+}
+
+
+@dataclass
+class ErrorReport:
+    """A normalized record of a service-side error, suitable for relaying to
+    monitoring portlets or archival in a user context."""
+
+    code: str
+    message: str
+    service: str = ""
+    operation: str = ""
+    detail: dict[str, str] = field(default_factory=dict)
+
+    @staticmethod
+    def from_error(
+        err: PortalError, *, service: str = "", operation: str = ""
+    ) -> "ErrorReport":
+        return ErrorReport(
+            code=err.code,
+            message=err.message,
+            service=service,
+            operation=operation,
+            detail=dict(err.detail),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "service": self.service,
+            "operation": self.operation,
+            "detail": dict(self.detail),
+        }

@@ -1,0 +1,35 @@
+"""The simulated computational grid.
+
+The paper's job-submission and batch-script services sit on top of Globus
+GRAM and four queuing systems (PBS, LSF, NQS, GRD).  None of that 2002
+infrastructure is available, so this package rebuilds the behaviour:
+
+- :mod:`repro.grid.jobs` — job specifications, states, and records.
+- :mod:`repro.grid.apps` — the simulated application registry (what
+  "executing" a job produces, and how long it takes in virtual time).
+- :mod:`repro.grid.queuing` — discrete-event batch schedulers with
+  dialect-correct script generation/parsing for PBS, LSF, NQS, and GRD.
+- :mod:`repro.grid.gram` — a GSI-authenticated gatekeeper (GRAM analogue),
+  RSL parsing, and the ``globusrun`` client.
+- :mod:`repro.grid.resources` — compute hosts tying a scheduler, a
+  gatekeeper, and a virtual-network HTTP server together.
+"""
+
+from repro.grid.jobs import JobRecord, JobSpec, JobState
+from repro.grid.apps import ApplicationRegistry, default_registry
+from repro.grid.gram import Gatekeeper, GramClient, parse_rsl, rsl_for
+from repro.grid.resources import ComputeResource, build_testbed
+
+__all__ = [
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "ApplicationRegistry",
+    "default_registry",
+    "Gatekeeper",
+    "GramClient",
+    "parse_rsl",
+    "rsl_for",
+    "ComputeResource",
+    "build_testbed",
+]

@@ -1,0 +1,139 @@
+"""The simulated application registry.
+
+"Executing" a job on the virtual grid means looking its executable up here:
+each entry computes a deterministic (duration, stdout, exit code) from the
+job spec.  The default registry carries the kinds of codes the paper's
+portals front — a chemistry package, a structural-mechanics solver, a CFD
+code — plus small Unix-ish utilities used by tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.grid.jobs import JobSpec
+
+
+@dataclass
+class ExecutionResult:
+    """What a simulated application run produces."""
+
+    duration: float
+    stdout: str
+    exit_code: int = 0
+    stderr: str = ""
+
+
+AppFunction = Callable[[JobSpec, str], ExecutionResult]
+
+
+def _stable_fraction(text: str) -> float:
+    """A deterministic pseudo-random fraction in [0, 1) from a string."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class ApplicationRegistry:
+    """Maps executable paths/names to simulated behaviours."""
+
+    def __init__(self, *, default_duration: float = 60.0):
+        self._apps: dict[str, AppFunction] = {}
+        self.default_duration = default_duration
+
+    def register(self, executable: str, func: AppFunction) -> None:
+        self._apps[executable] = func
+
+    def knows(self, executable: str) -> bool:
+        return self._basename(executable) in self._apps or executable in self._apps
+
+    @staticmethod
+    def _basename(path: str) -> str:
+        return path.rsplit("/", 1)[-1]
+
+    def execute(self, spec: JobSpec, host: str) -> ExecutionResult:
+        """Run a job spec; unknown executables get generic behaviour with a
+        deterministic duration derived from the spec."""
+        func = self._apps.get(spec.executable) or self._apps.get(
+            self._basename(spec.executable)
+        )
+        if func is not None:
+            return func(spec, host)
+        fraction = _stable_fraction(f"{host}:{spec.command_line()}")
+        duration = min(
+            self.default_duration * (0.5 + fraction), spec.wallclock_limit
+        )
+        stdout = (
+            f"[{host}] {spec.command_line()}\n"
+            f"completed in {duration:.1f}s on {spec.cpus} cpu(s)\n"
+        )
+        return ExecutionResult(duration=duration, stdout=stdout)
+
+
+def default_registry() -> ApplicationRegistry:
+    """The standard simulated-application catalogue."""
+    registry = ApplicationRegistry()
+
+    def _echo(spec: JobSpec, host: str) -> ExecutionResult:
+        return ExecutionResult(0.1, " ".join(spec.arguments) + "\n")
+
+    def _hostname(spec: JobSpec, host: str) -> ExecutionResult:
+        return ExecutionResult(0.05, host + "\n")
+
+    def _sleep(spec: JobSpec, host: str) -> ExecutionResult:
+        seconds = float(spec.arguments[0]) if spec.arguments else 1.0
+        return ExecutionResult(seconds, "")
+
+    def _fail(spec: JobSpec, host: str) -> ExecutionResult:
+        code = int(spec.arguments[0]) if spec.arguments else 1
+        return ExecutionResult(0.1, "", exit_code=code, stderr="simulated failure\n")
+
+    def _gaussian(spec: JobSpec, host: str) -> ExecutionResult:
+        """A chemistry code (the paper's example application): runtime scales
+        with the basis-set size passed as the first argument."""
+        basis = int(spec.arguments[0]) if spec.arguments else 100
+        duration = min(0.002 * basis**1.5, spec.wallclock_limit)
+        energy = -76.0 - _stable_fraction(f"gaussian:{basis}")
+        stdout = (
+            f" Entering Gaussian System\n"
+            f" basis functions: {basis}\n"
+            f" SCF Done:  E(RHF) = {energy:.6f}\n"
+            f" Normal termination of Gaussian\n"
+        )
+        return ExecutionResult(duration, stdout)
+
+    def _ansys(spec: JobSpec, host: str) -> ExecutionResult:
+        """Structural mechanics: runtime scales with element count."""
+        elements = int(spec.arguments[0]) if spec.arguments else 1000
+        duration = min(0.0005 * elements, spec.wallclock_limit)
+        stress = 100.0 * (1.0 + _stable_fraction(f"ansys:{elements}"))
+        return ExecutionResult(
+            duration,
+            f"ANSYS solve complete: {elements} elements\n"
+            f"max von Mises stress: {stress:.2f} MPa\n",
+        )
+
+    def _mm5(spec: JobSpec, host: str) -> ExecutionResult:
+        """Mesoscale weather model: runtime scales with forecast hours and
+        inversely with cpus."""
+        hours = int(spec.arguments[0]) if spec.arguments else 24
+        duration = min(2.0 * hours / max(spec.cpus, 1), spec.wallclock_limit)
+        return ExecutionResult(
+            duration,
+            f"MM5 forecast complete: {hours}h on {spec.cpus} cpus\n",
+        )
+
+    registry.register("echo", _echo)
+    registry.register("/bin/echo", _echo)
+    registry.register("hostname", _hostname)
+    registry.register("/bin/hostname", _hostname)
+    registry.register("sleep", _sleep)
+    registry.register("/bin/sleep", _sleep)
+    registry.register("false", _fail)
+    registry.register("fail", _fail)
+    registry.register("g98", _gaussian)
+    registry.register("gaussian", _gaussian)
+    registry.register("ansys", _ansys)
+    registry.register("mm5", _mm5)
+    return registry

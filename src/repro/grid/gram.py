@@ -1,0 +1,314 @@
+"""GRAM: the GSI-authenticated gatekeeper and the ``globusrun`` client.
+
+The SDSC "Globusrun Web Service uses the Python implementation of GSI SOAP
+and pyGlobus to perform the submission of secure and authenticated jobs on
+the Grid."  This module is the pyGlobus/GRAM layer under that service: a
+gatekeeper endpoint per compute resource that verifies a proxy-certificate
+chain, checks the grid-map file, parses RSL, and hands the job to the local
+batch scheduler.
+
+The wire protocol is JSON over the virtual network's HTTP (GRAM predates
+SOAP and is not a web service — the Globusrun *web service* in
+:mod:`repro.services.jobsubmit` wraps this client).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.faults import (
+    AuthenticationError,
+    AuthorizationError,
+    InvalidRequestError,
+    JobError,
+    ResourceNotFoundError,
+)
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing.base import BatchScheduler
+from repro.security import crypto
+from repro.security.gsi import GsiError, ProxyCertificate, SimpleCA
+from repro.transport.client import HttpClient
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.network import VirtualNetwork
+
+# ---------------------------------------------------------------------------
+# RSL (Resource Specification Language) subset
+# ---------------------------------------------------------------------------
+
+
+def rsl_for(spec: JobSpec) -> str:
+    """Render a job spec as an RSL string."""
+    parts = [f"(executable={spec.executable})"]
+    if spec.arguments:
+        parts.append(f"(arguments={' '.join(spec.arguments)})")
+    if spec.cpus != 1:
+        parts.append(f"(count={spec.cpus})")
+    if spec.queue:
+        parts.append(f"(queue={spec.queue})")
+    parts.append(f"(maxWallTime={int(spec.wallclock_limit)})")
+    if spec.directory:
+        parts.append(f"(directory={spec.directory})")
+    if spec.name != "job":
+        parts.append(f"(jobName={spec.name})")
+    if spec.account:
+        parts.append(f"(project={spec.account})")
+    if spec.environment:
+        env = "".join(
+            f"({key} {value})" for key, value in sorted(spec.environment.items())
+        )
+        parts.append(f"(environment={env})")
+    return "&" + "".join(parts)
+
+
+def parse_rsl(rsl: str) -> JobSpec:
+    """Parse an RSL string into a job spec (subset grammar)."""
+    text = rsl.strip()
+    if not text.startswith("&"):
+        raise InvalidRequestError(f"RSL must start with '&': {text[:30]!r}")
+    spec = JobSpec(name="job", executable="")
+    for key, value in _rsl_pairs(text[1:]):
+        if key == "executable":
+            spec.executable = value
+        elif key == "arguments":
+            spec.arguments = value.split()
+        elif key == "count":
+            spec.cpus = int(value)
+        elif key == "queue":
+            spec.queue = value
+        elif key == "maxWallTime":
+            spec.wallclock_limit = float(value)
+        elif key == "directory":
+            spec.directory = value
+        elif key == "jobName":
+            spec.name = value
+        elif key == "project":
+            spec.account = value
+        elif key == "environment":
+            for env_key, env_value in _rsl_env_pairs(value):
+                spec.environment[env_key] = env_value
+        else:
+            raise InvalidRequestError(f"unknown RSL attribute {key!r}")
+    if not spec.executable:
+        raise InvalidRequestError("RSL specifies no executable")
+    return spec
+
+
+def _rsl_pairs(text: str):
+    """Yield (key, value) from '(k=v)(k=v)...' honouring nested parens."""
+    i = 0
+    while i < len(text):
+        if text[i].isspace():
+            i += 1
+            continue
+        if text[i] != "(":
+            raise InvalidRequestError(f"malformed RSL near {text[i:i+20]!r}")
+        depth, start = 1, i + 1
+        i += 1
+        while i < len(text) and depth:
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+            i += 1
+        if depth:
+            raise InvalidRequestError("unbalanced parentheses in RSL")
+        clause = text[start:i - 1]
+        key, eq, value = clause.partition("=")
+        if not eq:
+            raise InvalidRequestError(f"RSL clause has no '=': {clause!r}")
+        yield key.strip(), value.strip()
+
+
+def _rsl_env_pairs(text: str):
+    """Yield (key, value) from '(K V)(K2 V2)'."""
+    i = 0
+    while i < len(text):
+        if text[i].isspace():
+            i += 1
+            continue
+        if text[i] != "(":
+            raise InvalidRequestError(f"malformed RSL environment: {text!r}")
+        end = text.find(")", i)
+        if end < 0:
+            raise InvalidRequestError("unbalanced RSL environment clause")
+        inner = text[i + 1:end]
+        key, _, value = inner.partition(" ")
+        yield key.strip(), value.strip()
+        i = end + 1
+
+
+# ---------------------------------------------------------------------------
+# proxy chain serialization (simulation shortcut: see security/crypto.py)
+# ---------------------------------------------------------------------------
+
+
+def serialize_chain(leaf: ProxyCertificate) -> list[dict[str, Any]]:
+    """Serialize a proxy chain, leaf first, for the simulated wire."""
+    return [
+        {
+            "subject": cert.subject,
+            "issuer": cert.issuer,
+            "not_after": cert.not_after,
+            "depth": cert.depth,
+            "signature": crypto.b64(cert.signature),
+            "signing_key": crypto.b64(cert.signing_key),
+        }
+        for cert in leaf.chain()
+    ]
+
+
+def deserialize_chain(data: list[dict[str, Any]]) -> ProxyCertificate:
+    """Rebuild the linked chain; returns the leaf."""
+    parent: ProxyCertificate | None = None
+    for entry in reversed(data):
+        parent = ProxyCertificate(
+            subject=entry["subject"],
+            issuer=entry["issuer"],
+            not_after=float(entry["not_after"]),
+            depth=int(entry["depth"]),
+            signature=crypto.unb64(entry["signature"]),
+            signing_key=crypto.unb64(entry["signing_key"]),
+            parent=parent,
+        )
+    if parent is None:
+        raise AuthenticationError("empty proxy chain")
+    return parent
+
+
+# ---------------------------------------------------------------------------
+# Gatekeeper
+# ---------------------------------------------------------------------------
+
+
+class Gatekeeper:
+    """The per-resource GRAM gatekeeper.
+
+    Verifies the submitted GSI proxy chain against the CA, maps the grid
+    identity to a local account through the grid-map file, then parses the
+    RSL and submits to the local scheduler.
+    """
+
+    def __init__(self, scheduler: BatchScheduler, ca: SimpleCA):
+        self.scheduler = scheduler
+        self.ca = ca
+        self.gridmap: dict[str, str] = {}
+        self.submissions = 0
+
+    def add_gridmap_entry(self, identity: str, local_user: str) -> None:
+        self.gridmap[identity] = local_user
+
+    def _authorize(self, chain_data: list[dict[str, Any]]) -> str:
+        try:
+            leaf = deserialize_chain(chain_data)
+            identity = self.ca.verify_chain(leaf, now=self.scheduler.clock.now)
+        except (GsiError, KeyError, ValueError) as exc:
+            raise AuthenticationError(f"GSI authentication failed: {exc}") from exc
+        if identity not in self.gridmap:
+            raise AuthorizationError(
+                f"identity {identity!r} not in grid-map file",
+                {"identity": identity},
+            )
+        return self.gridmap[identity]
+
+    # -- operations -------------------------------------------------------------
+
+    def submit(self, chain_data: list[dict[str, Any]], rsl: str) -> str:
+        local_user = self._authorize(chain_data)
+        spec = parse_rsl(rsl)
+        spec.environment.setdefault("LOGNAME", local_user)
+        self.submissions += 1
+        return self.scheduler.submit(spec)
+
+    def status(self, chain_data: list[dict[str, Any]], job_id: str) -> dict[str, Any]:
+        self._authorize(chain_data)
+        return self.scheduler.job(job_id).summary()
+
+    def output(self, chain_data: list[dict[str, Any]], job_id: str) -> dict[str, str]:
+        self._authorize(chain_data)
+        record = self.scheduler.job(job_id)
+        if not record.finished:
+            raise JobError(f"job {job_id} still {record.state.value}")
+        return {"stdout": record.stdout, "stderr": record.stderr}
+
+    def cancel(self, chain_data: list[dict[str, Any]], job_id: str) -> bool:
+        self._authorize(chain_data)
+        self.scheduler.cancel(job_id)
+        return True
+
+    # -- HTTP face ------------------------------------------------------------------
+
+    def handle_http(self, request: HttpRequest) -> HttpResponse:
+        try:
+            payload = json.loads(request.body)
+            op = payload.get("op", "")
+            chain = payload.get("proxy", [])
+            if op == "submit":
+                result: Any = self.submit(chain, payload["rsl"])
+            elif op == "status":
+                result = self.status(chain, payload["job"])
+            elif op == "output":
+                result = self.output(chain, payload["job"])
+            elif op == "cancel":
+                result = self.cancel(chain, payload["job"])
+            else:
+                raise InvalidRequestError(f"unknown GRAM operation {op!r}")
+        except (AuthenticationError, AuthorizationError) as exc:
+            return HttpResponse(
+                403, body=json.dumps({"error": exc.code, "message": exc.message})
+            )
+        except (InvalidRequestError, JobError, ResourceNotFoundError) as exc:
+            return HttpResponse(
+                400, body=json.dumps({"error": exc.code, "message": exc.message})
+            )
+        except (json.JSONDecodeError, KeyError) as exc:
+            return HttpResponse(
+                400,
+                body=json.dumps(
+                    {"error": "Portal.InvalidRequest", "message": str(exc)}
+                ),
+            )
+        return HttpResponse(200, body=json.dumps({"result": result}))
+
+
+class GramClient:
+    """The ``globusrun`` client side."""
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        proxy: ProxyCertificate,
+        *,
+        source: str = "client",
+    ):
+        self.network = network
+        self.proxy = proxy
+        self._http = HttpClient(network, source)
+        self._chain = serialize_chain(proxy)
+
+    def _call(self, contact: str, op: str, **fields: Any) -> Any:
+        payload = {"op": op, "proxy": self._chain, **fields}
+        response = self._http.post(
+            f"http://{contact}/jobmanager", json.dumps(payload)
+        )
+        data = json.loads(response.body)
+        if not response.ok:
+            code = data.get("error", "Portal.Job")
+            message = data.get("message", "GRAM request failed")
+            from repro.faults import PortalError
+
+            raise PortalError.from_detail({"code": code, "message": message})
+        return data["result"]
+
+    def submit(self, contact: str, rsl: str) -> str:
+        """globusrun: submit an RSL job to a gatekeeper contact (host name)."""
+        return self._call(contact, "submit", rsl=rsl)
+
+    def status(self, contact: str, job_id: str) -> dict[str, Any]:
+        return self._call(contact, "status", job=job_id)
+
+    def output(self, contact: str, job_id: str) -> dict[str, str]:
+        return self._call(contact, "output", job=job_id)
+
+    def cancel(self, contact: str, job_id: str) -> bool:
+        return self._call(contact, "cancel", job=job_id)

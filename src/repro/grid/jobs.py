@@ -1,0 +1,115 @@
+"""Job specifications, lifecycle states, and records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a batch job.
+
+    §5.1 notes the "running" state of an application "may be subdivided into
+    queued, running, sleeping, terminating, and so on"; these are the states
+    our schedulers distinguish.
+    """
+
+    PENDING = "pending"        # accepted, not yet eligible (held)
+    QUEUED = "queued"          # waiting for resources
+    RUNNING = "running"
+    TERMINATING = "terminating"  # cancel requested, still occupying cpus
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class JobSpec:
+    """A scheduler-neutral job description.
+
+    This is the common data model the interoperable batch-script generators
+    agree on; each queuing-system dialect renders it into (and parses it
+    from) its own directive syntax.
+    """
+
+    name: str = "job"
+    executable: str = "/bin/true"
+    arguments: list[str] = field(default_factory=list)
+    queue: str = ""
+    cpus: int = 1
+    wallclock_limit: float = 3600.0  # seconds
+    memory_mb: int = 0
+    stdout_path: str = ""
+    stderr_path: str = ""
+    directory: str = ""
+    account: str = ""
+    environment: dict[str, str] = field(default_factory=dict)
+    priority: int = 0
+
+    def command_line(self) -> str:
+        parts = [self.executable] + list(self.arguments)
+        return " ".join(parts)
+
+    def copy(self, **overrides) -> "JobSpec":
+        return replace(self, arguments=list(self.arguments),
+                       environment=dict(self.environment), **overrides)
+
+    def validate(self) -> list[str]:
+        """Sanity checks shared by every submission front end."""
+        problems: list[str] = []
+        if not self.executable:
+            problems.append("executable must be set")
+        if self.cpus < 1:
+            problems.append(f"cpus must be >= 1, got {self.cpus}")
+        if self.wallclock_limit <= 0:
+            problems.append(
+                f"wallclock_limit must be positive, got {self.wallclock_limit}"
+            )
+        if self.memory_mb < 0:
+            problems.append(f"memory_mb must be >= 0, got {self.memory_mb}")
+        return problems
+
+
+@dataclass
+class JobRecord:
+    """A job as tracked by a scheduler."""
+
+    job_id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    submit_time: float = 0.0
+    start_time: float | None = None
+    end_time: float | None = None
+    exit_code: int | None = None
+    stdout: str = ""
+    stderr: str = ""
+    host: str = ""
+
+    @property
+    def finished(self) -> bool:
+        return self.state.finished
+
+    @property
+    def wait_time(self) -> float | None:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    def summary(self) -> dict[str, object]:
+        """A qstat-style row."""
+        return {
+            "job_id": self.job_id,
+            "name": self.spec.name,
+            "queue": self.spec.queue,
+            "cpus": self.spec.cpus,
+            "state": self.state.value,
+            "submit_time": self.submit_time,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "exit_code": self.exit_code,
+            "host": self.host,
+        }

@@ -1,0 +1,45 @@
+"""Batch-queuing-system simulators.
+
+One discrete-event scheduler core (:mod:`repro.grid.queuing.base`) with four
+scheduler *dialects* — PBS, LSF, NQS, and GRD/SGE — matching the systems the
+paper's two batch-script-generator implementations supported ("one script
+generator service that supports PBS and GRD and another that supports LSF
+and NQS").  Each dialect renders a :class:`repro.grid.jobs.JobSpec` into its
+own directive syntax and parses submitted scripts back.
+"""
+
+from repro.grid.queuing.base import BatchScheduler, QueueDefinition, ScriptDialect
+from repro.grid.queuing.pbs import PbsDialect
+from repro.grid.queuing.lsf import LsfDialect
+from repro.grid.queuing.nqs import NqsDialect
+from repro.grid.queuing.grd import GrdDialect
+
+DIALECTS: dict[str, type[ScriptDialect]] = {
+    "PBS": PbsDialect,
+    "LSF": LsfDialect,
+    "NQS": NqsDialect,
+    "GRD": GrdDialect,
+}
+
+
+def make_dialect(name: str) -> ScriptDialect:
+    """Instantiate a dialect by scheduler name (PBS/LSF/NQS/GRD)."""
+    try:
+        return DIALECTS[name.upper()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown queuing system {name!r}; known: {sorted(DIALECTS)}"
+        ) from None
+
+
+__all__ = [
+    "BatchScheduler",
+    "QueueDefinition",
+    "ScriptDialect",
+    "PbsDialect",
+    "LsfDialect",
+    "NqsDialect",
+    "GrdDialect",
+    "DIALECTS",
+    "make_dialect",
+]

@@ -1,0 +1,82 @@
+"""The GRD (Global Resource Director / SGE family) dialect — ``#$`` directives."""
+
+from __future__ import annotations
+
+from repro.faults import InvalidRequestError
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing.base import ScriptDialect
+from repro.grid.queuing.timefmt import from_hms, to_hms
+
+
+class GrdDialect(ScriptDialect):
+    """GRD/SGE: ``#$ -N name``, ``-q queue``, ``-pe mpi N``,
+    ``-l h_rt=HH:MM:SS``, ``-l h_vmem=<n>M``, ``-o/-e``, ``-A account``,
+    ``-p priority``, ``-v K=V``."""
+
+    name = "GRD"
+
+    def directive_lines(self, spec: JobSpec) -> list[str]:
+        lines = [f"#$ -N {spec.name}"]
+        if spec.queue:
+            lines.append(f"#$ -q {spec.queue}")
+        lines.append(f"#$ -pe mpi {spec.cpus}")
+        lines.append(f"#$ -l h_rt={to_hms(spec.wallclock_limit)}")
+        if spec.memory_mb:
+            lines.append(f"#$ -l h_vmem={spec.memory_mb}M")
+        if spec.stdout_path:
+            lines.append(f"#$ -o {spec.stdout_path}")
+        if spec.stderr_path:
+            lines.append(f"#$ -e {spec.stderr_path}")
+        if spec.account:
+            lines.append(f"#$ -A {spec.account}")
+        if spec.priority:
+            lines.append(f"#$ -p {spec.priority}")
+        for key, value in sorted(spec.environment.items()):
+            lines.append(f"#$ -v {key}={value}")
+        return lines
+
+    def is_directive(self, line: str) -> bool:
+        return line.startswith("#$ ")
+
+    def parse_directive(self, line: str, spec: JobSpec) -> None:
+        body = line[len("#$ "):].strip()
+        flag, _, value = body.partition(" ")
+        value = value.strip()
+        if not flag.startswith("-"):
+            raise InvalidRequestError(f"malformed GRD directive: {line!r}")
+        option = flag[1:]
+        if option == "N":
+            spec.name = value
+        elif option == "q":
+            spec.queue = value
+        elif option == "pe":
+            parts = value.split()
+            if len(parts) != 2:
+                raise InvalidRequestError(f"malformed -pe directive: {line!r}")
+            spec.cpus = int(parts[1])
+        elif option == "l":
+            key, _, val = value.partition("=")
+            key, val = key.strip(), val.strip()
+            if key == "h_rt":
+                spec.wallclock_limit = from_hms(val)
+            elif key == "h_vmem":
+                spec.memory_mb = int(val.rstrip("M") or 0)
+            else:
+                raise InvalidRequestError(
+                    f"unknown GRD resource {key!r}", {"directive": line}
+                )
+        elif option == "o":
+            spec.stdout_path = value
+        elif option == "e":
+            spec.stderr_path = value
+        elif option == "A":
+            spec.account = value
+        elif option == "p":
+            spec.priority = int(value)
+        elif option == "v":
+            key, _, val = value.partition("=")
+            spec.environment[key.strip()] = val.strip()
+        else:
+            raise InvalidRequestError(
+                f"unknown GRD option -{option}", {"directive": line}
+            )

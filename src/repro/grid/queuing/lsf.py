@@ -1,0 +1,71 @@
+"""The LSF (Load Sharing Facility) script dialect — ``#BSUB`` directives."""
+
+from __future__ import annotations
+
+from repro.faults import InvalidRequestError
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing.base import ScriptDialect
+from repro.grid.queuing.timefmt import to_minutes
+
+
+class LsfDialect(ScriptDialect):
+    """LSF: ``#BSUB -J name``, ``-q queue``, ``-n cpus``, ``-W minutes``,
+    ``-M mem-KB``, ``-o/-e``, ``-P project``, ``-sp priority``.
+
+    Note the dialect frictions the interoperability experiment is about:
+    walltime in whole minutes (rounded up from the spec's seconds) and
+    memory in kilobytes.
+    """
+
+    name = "LSF"
+
+    def directive_lines(self, spec: JobSpec) -> list[str]:
+        lines = [f"#BSUB -J {spec.name}"]
+        if spec.queue:
+            lines.append(f"#BSUB -q {spec.queue}")
+        lines.append(f"#BSUB -n {spec.cpus}")
+        lines.append(f"#BSUB -W {to_minutes(spec.wallclock_limit)}")
+        if spec.memory_mb:
+            lines.append(f"#BSUB -M {spec.memory_mb * 1024}")
+        if spec.stdout_path:
+            lines.append(f"#BSUB -o {spec.stdout_path}")
+        if spec.stderr_path:
+            lines.append(f"#BSUB -e {spec.stderr_path}")
+        if spec.account:
+            lines.append(f"#BSUB -P {spec.account}")
+        if spec.priority:
+            lines.append(f"#BSUB -sp {spec.priority}")
+        return lines
+
+    def is_directive(self, line: str) -> bool:
+        return line.startswith("#BSUB ")
+
+    def parse_directive(self, line: str, spec: JobSpec) -> None:
+        body = line[len("#BSUB "):].strip()
+        flag, _, value = body.partition(" ")
+        value = value.strip()
+        if not flag.startswith("-"):
+            raise InvalidRequestError(f"malformed LSF directive: {line!r}")
+        option = flag[1:]
+        if option == "J":
+            spec.name = value
+        elif option == "q":
+            spec.queue = value
+        elif option == "n":
+            spec.cpus = int(value)
+        elif option == "W":
+            spec.wallclock_limit = float(value) * 60.0
+        elif option == "M":
+            spec.memory_mb = int(value) // 1024
+        elif option == "o":
+            spec.stdout_path = value
+        elif option == "e":
+            spec.stderr_path = value
+        elif option == "P":
+            spec.account = value
+        elif option == "sp":
+            spec.priority = int(value)
+        else:
+            raise InvalidRequestError(
+                f"unknown LSF option -{option}", {"directive": line}
+            )

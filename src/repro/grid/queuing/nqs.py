@@ -1,0 +1,67 @@
+"""The NQS (Network Queuing System) script dialect — ``#QSUB`` directives."""
+
+from __future__ import annotations
+
+import math
+
+from repro.faults import InvalidRequestError
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing.base import ScriptDialect
+
+
+class NqsDialect(ScriptDialect):
+    """NQS: ``#QSUB -r name``, ``-q queue``, ``-lP cpus``, ``-lT seconds``,
+    ``-lM <n>mb``, ``-o/-eo``, ``-A account``, ``-p priority``."""
+
+    name = "NQS"
+
+    def directive_lines(self, spec: JobSpec) -> list[str]:
+        lines = [f"#QSUB -r {spec.name}"]
+        if spec.queue:
+            lines.append(f"#QSUB -q {spec.queue}")
+        lines.append(f"#QSUB -lP {spec.cpus}")
+        lines.append(f"#QSUB -lT {int(math.ceil(spec.wallclock_limit))}")
+        if spec.memory_mb:
+            lines.append(f"#QSUB -lM {spec.memory_mb}mb")
+        if spec.stdout_path:
+            lines.append(f"#QSUB -o {spec.stdout_path}")
+        if spec.stderr_path:
+            lines.append(f"#QSUB -eo {spec.stderr_path}")
+        if spec.account:
+            lines.append(f"#QSUB -A {spec.account}")
+        if spec.priority:
+            lines.append(f"#QSUB -p {spec.priority}")
+        return lines
+
+    def is_directive(self, line: str) -> bool:
+        return line.startswith("#QSUB ")
+
+    def parse_directive(self, line: str, spec: JobSpec) -> None:
+        body = line[len("#QSUB "):].strip()
+        flag, _, value = body.partition(" ")
+        value = value.strip()
+        if not flag.startswith("-"):
+            raise InvalidRequestError(f"malformed NQS directive: {line!r}")
+        option = flag[1:]
+        if option == "r":
+            spec.name = value
+        elif option == "q":
+            spec.queue = value
+        elif option == "lP":
+            spec.cpus = int(value)
+        elif option == "lT":
+            spec.wallclock_limit = float(value)
+        elif option == "lM":
+            spec.memory_mb = int(value.rstrip("mb") or 0)
+        elif option == "o":
+            spec.stdout_path = value
+        elif option == "eo":
+            spec.stderr_path = value
+        elif option == "A":
+            spec.account = value
+        elif option == "p":
+            spec.priority = int(value)
+        else:
+            raise InvalidRequestError(
+                f"unknown NQS option -{option}", {"directive": line}
+            )

@@ -1,0 +1,82 @@
+"""The PBS (Portable Batch System) script dialect — ``#PBS`` directives."""
+
+from __future__ import annotations
+
+from repro.faults import InvalidRequestError
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing.base import ScriptDialect
+from repro.grid.queuing.timefmt import from_hms, to_hms
+
+
+class PbsDialect(ScriptDialect):
+    """PBS: ``#PBS -N name``, ``-q queue``, ``-l nodes=N``,
+    ``-l walltime=HH:MM:SS``, ``-l mem=<n>mb``, ``-o/-e``, ``-A account``,
+    ``-v K=V,...``, ``-p priority``."""
+
+    name = "PBS"
+
+    def directive_lines(self, spec: JobSpec) -> list[str]:
+        lines = [f"#PBS -N {spec.name}"]
+        if spec.queue:
+            lines.append(f"#PBS -q {spec.queue}")
+        lines.append(f"#PBS -l nodes={spec.cpus}")
+        lines.append(f"#PBS -l walltime={to_hms(spec.wallclock_limit)}")
+        if spec.memory_mb:
+            lines.append(f"#PBS -l mem={spec.memory_mb}mb")
+        if spec.stdout_path:
+            lines.append(f"#PBS -o {spec.stdout_path}")
+        if spec.stderr_path:
+            lines.append(f"#PBS -e {spec.stderr_path}")
+        if spec.account:
+            lines.append(f"#PBS -A {spec.account}")
+        if spec.priority:
+            lines.append(f"#PBS -p {spec.priority}")
+        if spec.environment:
+            pairs = ",".join(f"{k}={v}" for k, v in sorted(spec.environment.items()))
+            lines.append(f"#PBS -v {pairs}")
+        return lines
+
+    def is_directive(self, line: str) -> bool:
+        return line.startswith("#PBS ")
+
+    def parse_directive(self, line: str, spec: JobSpec) -> None:
+        body = line[len("#PBS "):].strip()
+        if not body.startswith("-") or len(body) < 2:
+            raise InvalidRequestError(f"malformed PBS directive: {line!r}")
+        flag, _, value = body.partition(" ")
+        option, value = flag[1:], value.strip()
+        if option == "N":
+            spec.name = value
+        elif option == "q":
+            spec.queue = value
+        elif option == "o":
+            spec.stdout_path = value
+        elif option == "e":
+            spec.stderr_path = value
+        elif option == "A":
+            spec.account = value
+        elif option == "p":
+            spec.priority = int(value)
+        elif option == "v":
+            for pair in value.split(","):
+                if "=" in pair:
+                    key, _, val = pair.partition("=")
+                    spec.environment[key.strip()] = val.strip()
+        elif option == "l":
+            for resource in value.split(","):
+                key, _, val = resource.partition("=")
+                key, val = key.strip(), val.strip()
+                if key == "nodes":
+                    spec.cpus = int(val)
+                elif key == "walltime":
+                    spec.wallclock_limit = from_hms(val)
+                elif key == "mem":
+                    spec.memory_mb = int(val.rstrip("mb") or 0)
+                else:
+                    raise InvalidRequestError(
+                        f"unknown PBS resource {key!r}", {"directive": line}
+                    )
+        else:
+            raise InvalidRequestError(
+                f"unknown PBS option -{option}", {"directive": line}
+            )

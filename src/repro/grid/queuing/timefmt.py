@@ -1,0 +1,30 @@
+"""Walltime lexical forms used by the scheduler dialects."""
+
+from __future__ import annotations
+
+import math
+
+
+def to_hms(seconds: float) -> str:
+    """Render seconds as ``HH:MM:SS`` (rounded up to a whole second)."""
+    total = int(math.ceil(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    return f"{hours:02d}:{minutes:02d}:{secs:02d}"
+
+
+def from_hms(text: str) -> float:
+    """Parse ``HH:MM:SS``, ``MM:SS``, or bare seconds."""
+    parts = text.strip().split(":")
+    if len(parts) == 1:
+        return float(parts[0])
+    if len(parts) == 2:
+        return int(parts[0]) * 60 + float(parts[1])
+    if len(parts) == 3:
+        return int(parts[0]) * 3600 + int(parts[1]) * 60 + float(parts[2])
+    raise ValueError(f"bad walltime {text!r}")
+
+
+def to_minutes(seconds: float) -> int:
+    """Whole minutes, rounded up (LSF's ``-W`` granularity)."""
+    return int(math.ceil(seconds / 60.0))

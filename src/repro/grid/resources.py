@@ -1,0 +1,85 @@
+"""Compute resources: scheduler + gatekeeper + HTTP presence on the network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grid.apps import ApplicationRegistry, default_registry
+from repro.grid.gram import Gatekeeper
+from repro.grid.queuing import make_dialect
+from repro.grid.queuing.base import BatchScheduler, QueueDefinition
+from repro.security.gsi import SimpleCA
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+
+@dataclass
+class ComputeResource:
+    """One grid resource: a host on the virtual network running a batch
+    scheduler behind a GRAM gatekeeper."""
+
+    host: str
+    scheduler: BatchScheduler
+    gatekeeper: Gatekeeper
+    server: HttpServer
+
+    @property
+    def queuing_system(self) -> str:
+        return self.scheduler.dialect.name
+
+    @property
+    def contact(self) -> str:
+        """The globusrun contact string for this resource."""
+        return self.host
+
+
+def deploy_resource(
+    network: VirtualNetwork,
+    ca: SimpleCA,
+    host: str,
+    queuing_system: str,
+    *,
+    cpus: int = 64,
+    queues: list[QueueDefinition] | None = None,
+    registry: ApplicationRegistry | None = None,
+) -> ComputeResource:
+    """Stand up one compute resource on the network."""
+    scheduler = BatchScheduler(
+        host,
+        make_dialect(queuing_system),
+        clock=network.clock,
+        cpus=cpus,
+        queues=queues,
+        registry=registry,
+    )
+    gatekeeper = Gatekeeper(scheduler, ca)
+    server = HttpServer(host, network)
+    server.mount("/jobmanager", gatekeeper.handle_http)
+    return ComputeResource(host, scheduler, gatekeeper, server)
+
+
+# The default testbed mirrors the GCE interoperability testbed's shape: two
+# sites, four resources, one per queuing system the paper names.
+DEFAULT_TESTBED = [
+    ("modi4.iu.edu", "PBS", 128),
+    ("octopus.iu.edu", "GRD", 64),
+    ("blue.sdsc.edu", "LSF", 256),
+    ("t3e.sdsc.edu", "NQS", 64),
+]
+
+
+def build_testbed(
+    network: VirtualNetwork,
+    ca: SimpleCA,
+    *,
+    resources: list[tuple[str, str, int]] | None = None,
+    registry: ApplicationRegistry | None = None,
+) -> dict[str, ComputeResource]:
+    """Deploy the standard multi-site testbed; returns host -> resource."""
+    registry = registry or default_registry()
+    out: dict[str, ComputeResource] = {}
+    for host, system, cpus in resources or DEFAULT_TESTBED:
+        out[host] = deploy_resource(
+            network, ca, host, system, cpus=cpus, registry=registry
+        )
+    return out

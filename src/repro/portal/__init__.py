@@ -1,0 +1,19 @@
+"""The integrated portal architecture (§6 / Figure 4).
+
+"The integrated architecture begins to resemble a distributed operating
+system: user interactions are through a finite list of basic commands that
+operate in a 'shell' or execution environment.  These commands encapsulate
+'system' level calls to actually interact with computing resources."
+
+- :mod:`repro.portal.shell` — the portal shell: named commands over the
+  core web services, composable with pipes ("redirecting output through
+  pipes, for example").
+- :mod:`repro.portal.uiserver` — the User Interface server: per-user
+  security sessions, client proxies to every deployed service, the portlet
+  container, and wizard-generated application UIs, on one host.
+"""
+
+from repro.portal.shell import PortalShell, ShellError
+from repro.portal.uiserver import PortalDeployment, UserInterfaceServer
+
+__all__ = ["PortalShell", "ShellError", "PortalDeployment", "UserInterfaceServer"]

@@ -1,0 +1,141 @@
+"""The stovepipe: a faithful pre-web-services three-tier portal.
+
+§1: "A major shortcoming of the three-tiered computing portal design is its
+lack of interoperability.  The three-tiered architecture results in a
+classic stove-pipe problem: user interfaces are locked into particular
+middle tiers, which in turn are locked into specific back end systems."
+
+This module implements that problem so the reproduction can measure the
+paper's solution against it (the F1 benchmark's baseline) and demonstrate
+the lock-in concretely (tests/integration/test_stovepipe.py):
+
+- two middle tiers with *incompatible interfaces* — the Gateway-style tier
+  speaks contexts + batch scripts, the HotPage-style tier speaks command
+  lines — because that is exactly how independently evolved portals looked;
+- each middle tier hardwired to its own backend kind;
+- a UI tier written against one middle tier's method names, unusable
+  against the other without a rewrite.
+
+Nothing here publishes WSDL, speaks SOAP, or appears in any registry: the
+only machine interface is the HTML the UI tier emits.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.faults import InvalidRequestError, ResourceNotFoundError
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing.base import BatchScheduler
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+
+class GatewayStyleMiddleTier:
+    """The IU-flavoured legacy middle tier: context-scoped batch scripts.
+
+    Interface shape (method names, argument conventions) deliberately
+    mirrors WebFlow idioms and matches *nothing else*.
+    """
+
+    def __init__(self, backend: BatchScheduler):
+        if backend.dialect.name not in ("PBS", "GRD"):
+            raise InvalidRequestError(
+                "the Gateway middle tier only drives PBS/GRD backends"
+            )
+        self._backend = backend
+        self._contexts: dict[str, list[str]] = {}
+
+    def openUserContext(self, user: str) -> str:
+        self._contexts.setdefault(user, [])
+        return user
+
+    def submitBatchScript(self, context: str, script: str) -> str:
+        if context not in self._contexts:
+            raise InvalidRequestError(f"no user context {context!r}")
+        job_id = self._backend.submit_script(script)
+        self._contexts[context].append(job_id)
+        return job_id
+
+    def retrieveJobOutput(self, context: str, job_id: str) -> str:
+        if job_id not in self._contexts.get(context, []):
+            raise ResourceNotFoundError(
+                f"job {job_id!r} not in context {context!r}"
+            )
+        return self._backend.wait_for(job_id).stdout
+
+
+class HotPageStyleMiddleTier:
+    """The SDSC-flavoured legacy middle tier: command lines, no contexts.
+
+    A *different* vocabulary for the same job: ``run_command`` /
+    ``get_result`` with positional conventions of its own.
+    """
+
+    def __init__(self, backend: BatchScheduler):
+        if backend.dialect.name not in ("LSF", "NQS"):
+            raise InvalidRequestError(
+                "the HotPage middle tier only drives LSF/NQS backends"
+            )
+        self._backend = backend
+        self._results: dict[str, str] = {}
+        self._ids = itertools.count(1)
+
+    def run_command(self, command_line: str, cpus: int, minutes: int) -> str:
+        words = command_line.split()
+        if not words:
+            raise InvalidRequestError("empty command line")
+        job_id = self._backend.submit(JobSpec(
+            name="hotpage-job",
+            executable=words[0],
+            arguments=words[1:],
+            cpus=cpus,
+            wallclock_limit=minutes * 60.0,
+        ))
+        handle = f"hp{next(self._ids):05d}"
+        self._results[handle] = job_id
+        return handle
+
+    def get_result(self, handle: str) -> str:
+        job_id = self._results.get(handle)
+        if job_id is None:
+            raise ResourceNotFoundError(f"unknown HotPage job {handle!r}")
+        return self._backend.wait_for(job_id).stdout
+
+
+class GatewayLegacyUI:
+    """A UI tier written against :class:`GatewayStyleMiddleTier`'s method
+    names.  Handing it any other middle tier fails at call time — the
+    stovepipe, demonstrated."""
+
+    def __init__(self, middle_tier, host: str, network: VirtualNetwork):
+        self.middle_tier = middle_tier
+        self.host = host
+        server = HttpServer(host, network)
+        server.mount("/gateway", self.handle)
+
+    def submit_page(self) -> str:
+        return (
+            "<html><body><h1>Gateway job submission</h1>"
+            '<form method="POST" action="/gateway/submit">'
+            '<input type="text" name="user"/>'
+            '<textarea name="script"></textarea>'
+            '<input type="submit"/></form></body></html>'
+        )
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        if request.method == "GET":
+            return HttpResponse(200, {"Content-Type": "text/html"},
+                                self.submit_page())
+        form = request.form()
+        user = form.get("user", "anonymous")
+        script = form.get("script", "")
+        # hardwired to the Gateway middle-tier vocabulary:
+        context = self.middle_tier.openUserContext(user)
+        job_id = self.middle_tier.submitBatchScript(context, script)
+        output = self.middle_tier.retrieveJobOutput(context, job_id)
+        return HttpResponse(
+            200, {"Content-Type": "text/html"},
+            f"<html><body><h1>Job {job_id}</h1><pre>{output}</pre></body></html>",
+        )

@@ -1,0 +1,197 @@
+"""The portal shell: composable commands over core portal services.
+
+"One may envision a scripting environment for example that provides the
+syntax for linking the various core services (redirecting output through
+pipes, for example) and the logic for executing services."
+
+Commands are the *tool chest* of Figure 4: each one wraps a SOAP client
+call; none touches the system-level grid services directly.  ``run`` parses
+a pipeline string, threading each command's stdout into the next command's
+stdin.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable
+
+from repro.faults import InvalidRequestError, PortalError
+
+# A command: (args, stdin) -> stdout
+Command = Callable[[list[str], str], str]
+
+
+class ShellError(RuntimeError):
+    """Pipeline parse or execution failure."""
+
+
+class PortalShell:
+    """A per-user execution environment of registered commands.
+
+    Beyond pipes, the scripting environment supports:
+
+    - variables: ``setvar NAME value`` and ``$NAME`` token substitution;
+    - redirection against a pluggable file store (the UI server wires it to
+      the SRB): ``< path`` feeds a stored file into the first stage's
+      stdin, ``> path`` stores the final stdout.
+    """
+
+    def __init__(self, user: str = "guest"):
+        self.user = user
+        self._commands: dict[str, Command] = {}
+        self._help: dict[str, str] = {}
+        self.variables: dict[str, str] = {"USER": user}
+        self._read_file: Callable[[str], str] | None = None
+        self._write_file: Callable[[str, str], None] | None = None
+        self.register("help", self._cmd_help, "help - list available commands")
+        self.register("echo", self._cmd_echo, "echo [words...] - emit words")
+        self.register("cat", self._cmd_cat, "cat - pass stdin through")
+        self.register("setvar", self._cmd_setvar,
+                      "setvar NAME value - set a shell variable ($NAME)")
+        self.commands_run = 0
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, name: str, command: Command, help_text: str = "") -> None:
+        self._commands[name] = command
+        self._help[name] = help_text or name
+
+    def register_store(
+        self,
+        reader: Callable[[str], str] | None,
+        writer: Callable[[str, str], None] | None,
+    ) -> None:
+        """Attach the file store used by ``<`` / ``>`` redirection."""
+        self._read_file = reader
+        self._write_file = writer
+
+    def commands(self) -> list[str]:
+        """The finite list of basic commands."""
+        return sorted(self._commands)
+
+    # -- built-ins ------------------------------------------------------------------
+
+    def _cmd_help(self, args: list[str], stdin: str) -> str:
+        return "\n".join(self._help[name] for name in self.commands())
+
+    @staticmethod
+    def _cmd_echo(args: list[str], stdin: str) -> str:
+        return " ".join(args)
+
+    @staticmethod
+    def _cmd_cat(args: list[str], stdin: str) -> str:
+        return stdin
+
+    def _cmd_setvar(self, args: list[str], stdin: str) -> str:
+        if len(args) < 1:
+            raise ShellError("usage: setvar NAME [value]  (value defaults to stdin)")
+        name = args[0]
+        if not name.isidentifier():
+            raise ShellError(f"bad variable name {name!r}")
+        self.variables[name] = " ".join(args[1:]) if len(args) > 1 else stdin
+        return self.variables[name]
+
+    # -- execution ----------------------------------------------------------------------
+
+    def _substitute(self, word: str) -> str:
+        if word.startswith("$") and word[1:] in self.variables:
+            return self.variables[word[1:]]
+        return word
+
+    def run_command(self, line: str, stdin: str = "") -> str:
+        """Run one command (no pipes)."""
+        try:
+            words = shlex.split(line)
+        except ValueError as exc:
+            raise ShellError(f"cannot parse command {line!r}: {exc}") from exc
+        if not words:
+            raise ShellError("empty command")
+        words = [self._substitute(word) for word in words]
+        name, args = words[0], words[1:]
+        command = self._commands.get(name)
+        if command is None:
+            raise ShellError(
+                f"unknown command {name!r}; try 'help' "
+                f"(available: {', '.join(self.commands())})"
+            )
+        try:
+            result = command(args, stdin)
+        except PortalError as err:
+            raise ShellError(f"{name}: {err.code}: {err.message}") from err
+        self.commands_run += 1
+        return result
+
+    def run(self, pipeline: str, stdin: str = "") -> str:
+        """Run a pipeline: ``[cmd < src |] cmd args | ... [> dest]``."""
+        stages = [stage.strip() for stage in pipeline.split("|")]
+        if any(not stage for stage in stages):
+            raise ShellError(f"empty pipeline stage in {pipeline!r}")
+        stages[0], stdin = self._apply_input_redirect(stages[0], stdin)
+        stages[-1], dest = self._split_output_redirect(stages[-1])
+        if not stages[0] or not stages[-1]:
+            raise ShellError("redirection without a command")
+        data = stdin
+        for stage in stages:
+            data = self.run_command(stage, data)
+        if dest is not None:
+            if self._write_file is None:
+                raise ShellError("no file store attached for '>' redirection")
+            self._write_file(dest, data)
+        return data
+
+    def run_script(self, script: str) -> list[str]:
+        """Run a multi-line portal script: one pipeline per line, ``#``
+        comments and blank lines skipped, variables persisting across
+        lines.  Returns each pipeline's output."""
+        outputs: list[str] = []
+        for lineno, raw_line in enumerate(script.splitlines(), start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                outputs.append(self.run(line))
+            except ShellError as exc:
+                raise ShellError(f"line {lineno}: {exc}") from exc
+        return outputs
+
+    def _apply_input_redirect(self, stage: str, stdin: str) -> tuple[str, str]:
+        if "<" not in stage:
+            return stage, stdin
+        command, _, source = stage.partition("<")
+        source = self._substitute(source.strip())
+        if not source:
+            raise ShellError("'<' without a source path")
+        if self._read_file is None:
+            raise ShellError("no file store attached for '<' redirection")
+        try:
+            return command.strip(), self._read_file(source)
+        except PortalError as err:
+            raise ShellError(f"<{source}: {err.code}: {err.message}") from err
+
+    def _split_output_redirect(self, stage: str) -> tuple[str, str | None]:
+        if ">" not in stage:
+            return stage, None
+        command, _, dest = stage.partition(">")
+        dest = self._substitute(dest.strip())
+        if not dest:
+            raise ShellError("'>' without a destination path")
+        return command.strip(), dest
+
+
+def parse_kv_args(args: list[str]) -> tuple[list[str], dict[str, str]]:
+    """Split shell args into positionals and key=value settings."""
+    positional: list[str] = []
+    settings: dict[str, str] = {}
+    for arg in args:
+        key, eq, value = arg.partition("=")
+        if eq and key.isidentifier():
+            settings[key] = value
+        else:
+            positional.append(arg)
+    return positional, settings
+
+
+def require_args(args: list[str], count: int, usage: str) -> list[str]:
+    if len(args) < count:
+        raise InvalidRequestError(f"usage: {usage}")
+    return args

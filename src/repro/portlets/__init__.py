@@ -1,0 +1,31 @@
+"""The portlet layer (§5.4).
+
+A Jetspeed-analogue with the four properties the paper lists: portlet types
+for local and remote content; remote-content portlets that proxy the URL and
+keep an in-memory copy; an administrator-edited XML registry
+(``local-portlets.xreg``); and per-user display customization.  On top of
+the basic :class:`WebPagePortlet`, :class:`WebFormPortlet` implements the
+paper's three extensions:
+
+1. "The portlet can post HTML Form parameters."
+2. "The portlet maintains session state with remote Tomcat servers."
+3. "The portlet remaps URLs in the remote page, so that the content of
+   pages loaded from followed links and clicked buttons is loaded inside
+   the portlet window."
+"""
+
+from repro.portlets.base import LocalPortlet, Portlet
+from repro.portlets.registry import PortletEntry, PortletRegistry
+from repro.portlets.webpage import WebPagePortlet
+from repro.portlets.webform import WebFormPortlet
+from repro.portlets.container import PortletContainer
+
+__all__ = [
+    "Portlet",
+    "LocalPortlet",
+    "PortletEntry",
+    "PortletRegistry",
+    "WebPagePortlet",
+    "WebFormPortlet",
+    "PortletContainer",
+]

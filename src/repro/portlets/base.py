@@ -1,0 +1,50 @@
+"""The portlet interface and simple local portlets."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class Portlet:
+    """One component window on a portal page.
+
+    ``render()`` returns the portlet's current HTML fragment.
+    ``interact(...)`` handles a user action routed back to this portlet by
+    the container (following a link or submitting a form inside the portlet
+    window) and returns the new fragment.
+    """
+
+    def __init__(self, name: str, title: str = ""):
+        self.name = name
+        self.title = title or name
+
+    def render(self, container_base: str) -> str:
+        raise NotImplementedError
+
+    def interact(
+        self,
+        container_base: str,
+        *,
+        target: str,
+        method: str = "GET",
+        fields: dict[str, str] | None = None,
+    ) -> str:
+        """Default: interactions just re-render (local portlets rarely care)."""
+        return self.render(container_base)
+
+
+class LocalPortlet(Portlet):
+    """A portlet rendering locally generated content ("portlet types exist
+    to retrieve both local and remote web content")."""
+
+    def __init__(
+        self,
+        name: str,
+        renderer: Callable[[], str],
+        title: str = "",
+    ):
+        super().__init__(name, title)
+        self._renderer = renderer
+
+    def render(self, container_base: str) -> str:
+        return self._renderer()

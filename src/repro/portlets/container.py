@@ -1,0 +1,128 @@
+"""The portlet container: per-user layouts, aggregation, interaction routing.
+
+"Each component web page is contained in a table and the final composite
+web page is a collection of nested HTML tables, each containing material
+loaded from the specified content server. ... Users can customize their
+portal displays by decorating them with only those portlets that interest
+them."
+"""
+
+from __future__ import annotations
+
+from repro.faults import InvalidRequestError
+from repro.portlets.base import Portlet
+from repro.portlets.registry import PortletRegistry
+from repro.transport.http import HttpRequest, HttpResponse, parse_query
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+
+class PortletContainer:
+    """One portal's container, mounted at ``/portal`` on its host.
+
+    Remote portlets are instantiated lazily *per user* so each user gets an
+    independent remote session (feature 2 of WebFormPortlet works per user).
+    Local portlets are registered programmatically and shared.
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        host: str = "portal.gridportal.org",
+        *,
+        registry: PortletRegistry | None = None,
+        columns: int = 2,
+        server: HttpServer | None = None,
+    ):
+        self.network = network
+        self.host = host
+        self.registry = registry or PortletRegistry()
+        self.columns = max(1, columns)
+        self._local: dict[str, Portlet] = {}
+        self._instances: dict[tuple[str, str], Portlet] = {}
+        self._layouts: dict[str, list[str]] = {}
+        self.pages_rendered = 0
+        self.server = server or HttpServer(host, network)
+        self.server.mount("/portal", self.handle)
+
+    # -- configuration ------------------------------------------------------------
+
+    def add_local_portlet(self, portlet: Portlet) -> None:
+        self._local[portlet.name] = portlet
+
+    def available_portlets(self) -> list[str]:
+        return sorted(set(self.registry.names()) | set(self._local))
+
+    def set_layout(self, user: str, portlet_names: list[str]) -> None:
+        """A user decorates their display with the portlets that interest
+        them."""
+        unknown = [n for n in portlet_names if n not in self.available_portlets()]
+        if unknown:
+            raise InvalidRequestError(f"unknown portlets in layout: {unknown}")
+        self._layouts[user] = list(portlet_names)
+
+    def layout(self, user: str) -> list[str]:
+        return list(self._layouts.get(user, self.available_portlets()))
+
+    # -- portlet instances -----------------------------------------------------------
+
+    def portlet_for(self, user: str, name: str) -> Portlet:
+        if name in self._local:
+            return self._local[name]
+        key = (user, name)
+        if key not in self._instances:
+            self._instances[key] = self.registry.instantiate(
+                name, self.network, container_host=self.host
+            )
+        return self._instances[key]
+
+    def base_url(self, user: str) -> str:
+        return f"/portal?user={user}"
+
+    # -- aggregation: the nested-table composite page ------------------------------------
+
+    def render_page(self, user: str) -> str:
+        """The composite page: a collection of nested HTML tables."""
+        names = self.layout(user)
+        rows: list[list[str]] = []
+        for index in range(0, len(names), self.columns):
+            rows.append(names[index:index + self.columns])
+        base = self.base_url(user)
+        cells: list[str] = []
+        cells.append(f"<html><head><title>{self.host} portal: {user}</title></head><body>")
+        cells.append(f"<h1>Portal for {user}</h1>")
+        cells.append('<table class="portal">')
+        for row in rows:
+            cells.append("<tr>")
+            for name in row:
+                portlet = self.portlet_for(user, name)
+                fragment = portlet.render(base)
+                cells.append(
+                    '<td valign="top"><table class="portlet">'
+                    f'<tr><th class="portlet-title">{portlet.title}</th></tr>'
+                    f"<tr><td>{fragment}</td></tr></table></td>"
+                )
+            cells.append("</tr>")
+        cells.append("</table></body></html>")
+        self.pages_rendered += 1
+        return "".join(cells)
+
+    # -- HTTP handling ------------------------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        query = parse_query(request.url.query)
+        user = query.get("user", "guest")
+        portlet_name = query.get("portlet", "")
+        if portlet_name:
+            portlet = self.portlet_for(user, portlet_name)
+            target = query.get("target", "")
+            method = query.get("method", request.method)
+            fields = request.form() if request.method == "POST" else {}
+            if not target:
+                return HttpResponse(400, body="portlet interaction needs a target")
+            portlet.interact(
+                self.base_url(user), target=target, method=method, fields=fields
+            )
+        return HttpResponse(
+            200, {"Content-Type": "text/html"}, self.render_page(user)
+        )

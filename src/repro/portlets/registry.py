@@ -1,0 +1,114 @@
+"""The portlet registry: the ``local-portlets.xreg`` configuration.
+
+"Portal administrators decide which content sources to provide.  In
+Jetspeed, this is done by editing an XML configuration file
+(local-portlets.xreg) to extend the appropriate portlet."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults import InvalidRequestError
+from repro.portlets.base import Portlet
+from repro.portlets.webform import WebFormPortlet
+from repro.portlets.webpage import WebPagePortlet
+from repro.transport.network import VirtualNetwork
+from repro.xmlutil.element import XmlElement, parse_xml
+
+
+@dataclass
+class PortletEntry:
+    """One xreg registration."""
+
+    name: str
+    type: str  # "WebPagePortlet" | "WebFormPortlet"
+    url: str = ""
+    title: str = ""
+    parameters: dict[str, str] = field(default_factory=dict)
+
+    def to_xml(self) -> XmlElement:
+        node = XmlElement("portlet-entry", {"name": self.name, "type": self.type})
+        if self.title:
+            node.child("title", text=self.title)
+        if self.url:
+            node.child("url", text=self.url)
+        for key, value in sorted(self.parameters.items()):
+            node.child("parameter", text=value).set("name", key)
+        return node
+
+    @staticmethod
+    def from_xml(node: XmlElement) -> "PortletEntry":
+        entry = PortletEntry(
+            name=node.get("name", "") or "",
+            type=node.get("type", "") or "",
+            title=node.findtext("title"),
+            url=node.findtext("url"),
+        )
+        for param in node.findall("parameter"):
+            entry.parameters[param.get("name", "") or ""] = param.text
+        return entry
+
+
+class PortletRegistry:
+    """All registered portlet entries, round-trippable through xreg XML."""
+
+    KNOWN_TYPES = ("WebPagePortlet", "WebFormPortlet")
+
+    def __init__(self):
+        self._entries: dict[str, PortletEntry] = {}
+
+    def register(self, entry: PortletEntry) -> None:
+        if entry.type not in self.KNOWN_TYPES:
+            raise InvalidRequestError(
+                f"unknown portlet type {entry.type!r}; known: {self.KNOWN_TYPES}"
+            )
+        if not entry.url:
+            raise InvalidRequestError(
+                f"portlet entry {entry.name!r} needs a content url"
+            )
+        self._entries[entry.name] = entry
+
+    def unregister(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    def entry(self, name: str) -> PortletEntry | None:
+        return self._entries.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    # -- xreg round trip ----------------------------------------------------------
+
+    def to_xreg(self) -> str:
+        root = XmlElement("registry")
+        for name in self.names():
+            root.append(self._entries[name].to_xml())
+        return root.serialize(indent=2, declaration=True)
+
+    @staticmethod
+    def from_xreg(text: str) -> "PortletRegistry":
+        root = parse_xml(text)
+        if root.tag.local != "registry":
+            raise InvalidRequestError(f"not an xreg document: {root.tag}")
+        registry = PortletRegistry()
+        for node in root.findall("portlet-entry"):
+            registry.register(PortletEntry.from_xml(node))
+        return registry
+
+    # -- instantiation --------------------------------------------------------------
+
+    def instantiate(
+        self, name: str, network: VirtualNetwork, *, container_host: str
+    ) -> Portlet:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise InvalidRequestError(f"no portlet entry {name!r}")
+        cls = WebFormPortlet if entry.type == "WebFormPortlet" else WebPagePortlet
+        return cls(
+            entry.name,
+            entry.url,
+            network,
+            title=entry.title or entry.name,
+            container_host=container_host,
+        )

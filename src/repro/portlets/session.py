@@ -1,0 +1,136 @@
+"""Distributed portlet session state.
+
+§3.3: "The aggregation of distributed portlets into portals will also
+introduce the need for a distributed session state."  When a user's portal
+page aggregates WebFormPortlets, the interesting state — which remote page
+each portlet is on, and the session cookies it holds against the remote
+server — lives in the container's per-user portlet instances.  If the user
+moves to a different portal server (or the server restarts), that state is
+gone and every remote session starts over.
+
+This module provides the distributed answer: a :class:`SessionStateService`
+(a SOAP web service holding serialized per-user portlet state) plus
+container hooks to checkpoint and restore.  A user can render a page on
+portal A, have portal B restore from the shared service, and continue the
+same remote sessions — cookies included.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.portlets.container import PortletContainer
+from repro.portlets.webpage import WebPagePortlet
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.http import parse_url
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+SESSION_NAMESPACE = "urn:gce:portlet-session-state"
+
+
+class SessionStateService:
+    """The shared store: (user, portlet) -> opaque serialized state."""
+
+    def __init__(self):
+        self._states: dict[str, dict[str, str]] = {}
+        self.saves = 0
+        self.restores = 0
+
+    def save(self, user: str, portlet: str, state: str) -> bool:
+        """Store one portlet's serialized state for a user."""
+        self._states.setdefault(user, {})[portlet] = state
+        self.saves += 1
+        return True
+
+    def load(self, user: str, portlet: str) -> str:
+        """The stored state, or the empty string."""
+        self.restores += 1
+        return self._states.get(user, {}).get(portlet, "")
+
+    def drop(self, user: str) -> int:
+        """Forget a user's distributed session; returns entries removed."""
+        return len(self._states.pop(user, {}))
+
+    def users(self) -> list[str]:
+        return sorted(self._states)
+
+
+def deploy_session_state(
+    network: VirtualNetwork, host: str = "sessions.gridportal.org"
+) -> tuple[SessionStateService, str]:
+    """Stand up the shared session-state service; returns (impl, URL)."""
+    impl = SessionStateService()
+    server = HttpServer(host, network)
+    soap = SoapService("PortletSessionState", SESSION_NAMESPACE)
+    soap.expose(impl.save)
+    soap.expose(impl.load)
+    soap.expose(impl.drop)
+    soap.expose(impl.users)
+    return impl, soap.mount(server, "/sessions")
+
+
+def _portlet_state(portlet: WebPagePortlet) -> str:
+    """Serialize the state worth distributing: the current URL and the
+    cookie jar against the remote host."""
+    host = parse_url(portlet.current_url).host
+    return json.dumps({
+        "current_url": portlet.current_url,
+        "cookies": portlet.client.cookies_for(host),
+    })
+
+
+def _restore_portlet_state(portlet: WebPagePortlet, state: str) -> None:
+    record = json.loads(state)
+    portlet.current_url = record["current_url"]
+    host = parse_url(portlet.current_url).host
+    jar = portlet.client._cookies.setdefault(host, {})
+    jar.update(record.get("cookies", {}))
+    # force a refetch of the restored location on next render
+    portlet.raw = ""
+    portlet.document = None
+
+
+class DistributedSessionContainer(PortletContainer):
+    """A portlet container that checkpoints remote-portlet state to a
+    shared :class:`SessionStateService` and restores it on first touch, so
+    any portal server in the federation resumes the user's sessions."""
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        host: str,
+        session_endpoint: str,
+        **kwargs: Any,
+    ):
+        super().__init__(network, host, **kwargs)
+        self._sessions = SoapClient(
+            network, session_endpoint, SESSION_NAMESPACE, source=host
+        )
+        self._restored: set[tuple[str, str]] = set()
+
+    def portlet_for(self, user: str, name: str):
+        first_touch = (
+            name not in self._local and (user, name) not in self._instances
+        )
+        portlet = super().portlet_for(user, name)
+        key = (user, name)
+        if first_touch and isinstance(portlet, WebPagePortlet) and key not in self._restored:
+            self._restored.add(key)
+            state = self._sessions.call("load", user, name)
+            if state:
+                _restore_portlet_state(portlet, state)
+        return portlet
+
+    def checkpoint(self, user: str) -> int:
+        """Push every remote portlet's state to the shared service;
+        returns the number of portlets checkpointed."""
+        count = 0
+        for (owner, name), portlet in self._instances.items():
+            if owner != user or not isinstance(portlet, WebPagePortlet):
+                continue
+            self._sessions.call("save", user, name, _portlet_state(portlet))
+            count += 1
+        return count

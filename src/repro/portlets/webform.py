@@ -1,0 +1,115 @@
+"""WebFormPortlet: forms, remote sessions, and URL remapping.
+
+"We have written a general purpose portlet that extends Jetspeed's simple
+WebPagePortlet ... 1. The portlet can post HTML Form parameters.  2. The
+portlet maintains session state with remote Tomcat servers.  3. The portlet
+remaps URLs in the remote page, so that the content of pages loaded from
+followed links and clicked buttons is loaded inside the portlet window."
+
+Session state comes for free from the cookie jar in
+:class:`repro.transport.client.HttpClient` (feature 2); this class adds the
+form POST path (feature 1) and the link/action rewriting (feature 3).
+"""
+
+from __future__ import annotations
+
+from repro.portlets.webpage import WebPagePortlet
+from repro.transport.http import encode_query, parse_url
+from repro.xmlutil.element import XmlElement
+
+
+class WebFormPortlet(WebPagePortlet):
+    """The paper's extended remote-content portlet."""
+
+    # -- feature 1: posting forms --------------------------------------------------
+
+    def post(self, url: str, fields: dict[str, str]) -> str:
+        """POST form parameters to the remote server and take the response
+        as the new in-memory copy."""
+        response = self.client.post_form(url, fields)
+        self.fetches += 1
+        self.current_url = str(parse_url(url))
+        self.raw = response.body
+        try:
+            from repro.xmlutil.element import parse_xml
+
+            self.document = parse_xml(response.body)
+        except ValueError:
+            self.document = None
+        return self.raw
+
+    # -- feature 2: remote session state -------------------------------------------
+
+    def remote_cookies(self) -> dict[str, str]:
+        """The session cookies currently held against the remote host."""
+        return self.client.cookies_for(parse_url(self.current_url).host)
+
+    # -- feature 3: URL remapping ------------------------------------------------------
+
+    def _portlet_url(self, container_base: str, target: str, *, post: bool) -> str:
+        query = {"portlet": self.name, "target": target}
+        if post:
+            query["method"] = "POST"
+        separator = "&" if "?" in container_base else "?"
+        return f"{container_base}{separator}{encode_query(query)}"
+
+    def _remap(self, node: XmlElement, container_base: str) -> None:
+        base = parse_url(self.current_url)
+        for element in node.iter():
+            local = element.tag.local.lower()
+            if local == "a":
+                href = element.get("href")
+                if href and not href.startswith("#"):
+                    absolute = str(base.resolve(href))
+                    element.set("href", self._portlet_url(
+                        container_base, absolute, post=False
+                    ))
+            elif local == "form":
+                action = element.get("action") or self.current_url
+                absolute = str(base.resolve(action))
+                element.set("action", self._portlet_url(
+                    container_base, absolute, post=True
+                ))
+                element.set("method", "POST")
+
+    def content_fragment_remapped(self, container_base: str) -> str:
+        """The portlet window content with every link and form action routed
+        back through the container.
+
+        Remapping happens on a clone so the pristine in-memory copy can be
+        re-rendered (possibly under a different container base) without
+        re-wrapping already-remapped URLs.
+        """
+        if self.document is None:
+            return self.content_fragment()
+        snapshot = self.document.clone()
+        body = snapshot.find("body")
+        root = body if body is not None else snapshot
+        self._remap(root, container_base)
+        return "".join(
+            child.serialize() if isinstance(child, XmlElement) else child
+            for child in root.content
+        )
+
+    # -- container protocol ----------------------------------------------------------------
+
+    def render(self, container_base: str) -> str:
+        if not self.raw and self.document is None:
+            self.fetch()
+        return self.content_fragment_remapped(container_base)
+
+    def interact(
+        self,
+        container_base: str,
+        *,
+        target: str,
+        method: str = "GET",
+        fields: dict[str, str] | None = None,
+    ) -> str:
+        """A click or submit routed back from the container: perform the
+        remote request, then re-render inside the portlet window."""
+        if method.upper() == "POST":
+            self.post(target, fields or {})
+        else:
+            self.fetch(target)
+        return self.content_fragment_remapped(container_base)

@@ -1,0 +1,174 @@
+"""WSRP-style remote portlets.
+
+§6: "These client interfaces themselves can be aggregated into a portal
+interface.  The discovery, binding, and communication between such portlet
+components may be handled through standards such as the WSRP."
+
+Where :class:`repro.portlets.webform.WebFormPortlet` proxies *raw HTML*
+from a remote web server (screen-scraping with URL remapping), WSRP makes
+the portlet itself the remote service: a *producer* hosts portlet
+implementations and exposes ``getServiceDescription`` / ``getMarkup`` /
+``performBlockingInteraction`` over SOAP; the consumer's container renders
+markup fragments it receives, with no HTML rewriting at all.
+
+The ablation in ``benchmarks/test_a3_remote_portlets.py`` compares the two
+approaches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.faults import InvalidRequestError
+from repro.portlets.base import Portlet
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+WSRP_NAMESPACE = "urn:oasis:names:tc:wsrp:v1"
+
+# a producer-side factory: user -> a fresh portlet instance for that user
+PortletFactory = Callable[[str], Portlet]
+
+
+class WsrpProducer:
+    """Hosts portlets and serves their markup over SOAP.
+
+    Per-user portlet instances give each consumer user independent state
+    (the WSRP session concept), mirroring what the container does for
+    local WebFormPortlets.
+    """
+
+    def __init__(self):
+        self._factories: dict[str, tuple[PortletFactory, str]] = {}
+        self._instances: dict[tuple[str, str], Portlet] = {}
+        self.markup_requests = 0
+        self.interactions = 0
+
+    def register_portlet(
+        self, handle: str, factory: PortletFactory, title: str = ""
+    ) -> None:
+        self._factories[handle] = (factory, title or handle)
+
+    def _instance(self, handle: str, user: str) -> Portlet:
+        if handle not in self._factories:
+            raise InvalidRequestError(
+                f"producer offers no portlet {handle!r}",
+                {"handle": handle},
+            )
+        key = (handle, user)
+        if key not in self._instances:
+            self._instances[key] = self._factories[handle][0](user)
+        return self._instances[key]
+
+    # -- the WSRP operations ---------------------------------------------------
+
+    def get_service_description(self) -> list[dict[str, str]]:
+        """The offered portlets (handle + title)."""
+        return [
+            {"handle": handle, "title": title}
+            for handle, (_factory, title) in sorted(self._factories.items())
+        ]
+
+    def get_markup(self, handle: str, user: str, base_url: str) -> str:
+        """Render a portlet's current markup for *user*.
+
+        ``base_url`` is the *consumer's* interaction URL base, so any
+        navigation the portlet emits routes back through the consumer.
+        """
+        self.markup_requests += 1
+        return self._instance(handle, user).render(base_url)
+
+    def perform_blocking_interaction(
+        self,
+        handle: str,
+        user: str,
+        base_url: str,
+        target: str,
+        method: str,
+        fields: dict[str, Any],
+    ) -> str:
+        """Process a user interaction and return the new markup."""
+        self.interactions += 1
+        portlet = self._instance(handle, user)
+        return portlet.interact(
+            base_url,
+            target=target,
+            method=method or "GET",
+            fields={k: str(v) for k, v in (fields or {}).items()},
+        )
+
+    def release_session(self, handle: str, user: str) -> bool:
+        """Drop the per-user instance (WSRP session release)."""
+        return self._instances.pop((handle, user), None) is not None
+
+
+def deploy_wsrp_producer(
+    network: VirtualNetwork,
+    producer: WsrpProducer,
+    host: str,
+    *,
+    path: str = "/wsrp",
+) -> str:
+    """Expose a producer over SOAP; returns the endpoint URL."""
+    server = HttpServer(host, network)
+    soap = SoapService("WsrpProducer", WSRP_NAMESPACE)
+    soap.expose(producer.get_service_description)
+    soap.expose(producer.get_markup)
+    soap.expose(producer.perform_blocking_interaction)
+    soap.expose(producer.release_session)
+    return soap.mount(server, path)
+
+
+class WsrpConsumerPortlet(Portlet):
+    """The consumer-side proxy: one remote portlet in the local container.
+
+    Unlike WebFormPortlet there is no HTML rewriting here — the producer
+    renders against the consumer's base URL directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: VirtualNetwork,
+        producer_endpoint: str,
+        handle: str,
+        user: str,
+        *,
+        title: str = "",
+        consumer_host: str = "portal",
+    ):
+        super().__init__(name, title)
+        self.handle = handle
+        self.user = user
+        self._client = SoapClient(
+            network, producer_endpoint, WSRP_NAMESPACE, source=consumer_host
+        )
+
+    def render(self, container_base: str) -> str:
+        return self._client.call(
+            "get_markup", self.handle, self.user, container_base
+        )
+
+    def interact(
+        self,
+        container_base: str,
+        *,
+        target: str,
+        method: str = "GET",
+        fields: dict[str, str] | None = None,
+    ) -> str:
+        return self._client.call(
+            "perform_blocking_interaction",
+            self.handle, self.user, container_base, target, method,
+            dict(fields or {}),
+        )
+
+
+def discover_portlets(
+    network: VirtualNetwork, endpoint: str, *, source: str = "portal"
+) -> list[dict[str, str]]:
+    """Consumer-side discovery: what does this producer offer?"""
+    client = SoapClient(network, endpoint, WSRP_NAMESPACE, source=source)
+    return client.call("get_service_description")

@@ -1,0 +1,49 @@
+"""The secure-web-services layer (§4 / Figure 2).
+
+The paper builds single sign-on for SOAP services from four pieces, all
+reproduced here as behavioural simulators (HMAC/XOR stand in for real
+cryptography — see ``crypto.py``'s warning):
+
+- :mod:`repro.security.kerberos` — a KDC with principals, keytabs, ticket
+  granting, and session keys.
+- :mod:`repro.security.gss` — GSS-API-style context establishment and
+  ``wrap``/``unwrap``/``get_mic`` ("we are also developing signing methods
+  based on the GSS API wrap and unwrap methods").
+- :mod:`repro.security.gsi` — Globus-style proxy-certificate chains with
+  delegation (the SDSC services are "GSI authenticated").
+- :mod:`repro.security.saml` — mechanism-independent signed assertions
+  carried in SOAP headers.
+- :mod:`repro.security.authservice` — the Figure 2 Authentication Service:
+  keytab confined to one well-secured server, client/server session objects
+  holding the symmetric key halves, and per-request assertion verification
+  delegated by the SOAP Service Provider (the "atomic step").
+"""
+
+from repro.security.kerberos import KerberosError, Kdc, Keytab, Ticket
+from repro.security.gss import GssContext, GssError
+from repro.security.gsi import GsiError, ProxyCertificate, SimpleCA
+from repro.security.saml import SamlAssertion, SAML_NS
+from repro.security.authservice import (
+    AssertionInterceptor,
+    AuthenticationService,
+    ClientSecuritySession,
+    deploy_auth_service,
+)
+
+__all__ = [
+    "KerberosError",
+    "Kdc",
+    "Keytab",
+    "Ticket",
+    "GssContext",
+    "GssError",
+    "GsiError",
+    "ProxyCertificate",
+    "SimpleCA",
+    "SamlAssertion",
+    "SAML_NS",
+    "AssertionInterceptor",
+    "AuthenticationService",
+    "ClientSecuritySession",
+    "deploy_auth_service",
+]

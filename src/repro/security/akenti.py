@@ -1,0 +1,227 @@
+"""Akenti-style certificate-based access control.
+
+§4: "SAML can also be used to convey access control decisions made by other
+mechanisms, such as Akenti" and "Further work needs to be done, for
+instance, on access control."  This module is that further work, modelled
+on Akenti's design (Thompson et al., USENIX Security '99):
+
+- *use conditions* attached to resources by their stakeholders: boolean
+  requirements over user attributes ("group=chemistry AND role=submitter");
+- *attribute certificates*: signed statements by attribute authorities that
+  a user possesses an attribute;
+- a *policy engine* that gathers certificates, evaluates the use
+  conditions, and issues the decision as a signed SAML assertion carrying
+  an AttributeStatement — which is exactly how the paper wants decisions
+  conveyed to SOAP services.
+
+:class:`AkentiInterceptor` enforces decisions in front of a
+:class:`repro.soap.SoapService`, composing with (not replacing) the
+Figure 2 authentication interceptor: authentication says *who*, Akenti says
+*may they*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults import AuthorizationError
+from repro.security import crypto
+from repro.security.saml import SamlAssertion
+from repro.soap.message import SoapEnvelope
+
+
+@dataclass(frozen=True)
+class AttributeCertificate:
+    """A signed claim: *issuer* asserts *user* has *attribute* = *value*."""
+
+    user: str
+    attribute: str
+    value: str
+    issuer: str
+    signature: bytes = b""
+
+    def tbs(self) -> bytes:
+        return f"{self.user}|{self.attribute}|{self.value}|{self.issuer}".encode()
+
+
+class AttributeAuthority:
+    """Issues attribute certificates under its signing key."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._key = crypto.new_key(f"attr-authority:{name}".encode())
+
+    def issue(self, user: str, attribute: str, value: str) -> AttributeCertificate:
+        cert = AttributeCertificate(user, attribute, value, self.name)
+        return AttributeCertificate(
+            user, attribute, value, self.name,
+            signature=crypto.sign(self._key, cert.tbs()),
+        )
+
+    def verify(self, cert: AttributeCertificate) -> bool:
+        return cert.issuer == self.name and crypto.verify(
+            self._key, cert.tbs(), cert.signature
+        )
+
+
+@dataclass
+class UseCondition:
+    """One stakeholder requirement on a resource.
+
+    ``require`` maps attribute -> acceptable values; a user satisfies the
+    condition if, for every attribute, they hold a *verified* certificate
+    with one of the acceptable values, issued by a trusted authority.
+    """
+
+    require: dict[str, tuple[str, ...]]
+    actions: tuple[str, ...] = ("*",)  # which operations this condition gates
+
+    def covers(self, action: str) -> bool:
+        return "*" in self.actions or action in self.actions
+
+
+@dataclass
+class AccessDecision:
+    """The policy engine's verdict, conveyable as a SAML assertion."""
+
+    user: str
+    resource: str
+    action: str
+    granted: bool
+    reason: str = ""
+    attributes_used: dict[str, str] = field(default_factory=dict)
+
+    def to_saml(self, issuer: str, key: bytes, *, now: float,
+                lifetime: float = 300.0) -> SamlAssertion:
+        """Convey the decision as a signed SAML assertion (the paper's
+        mechanism for carrying Akenti decisions)."""
+        attributes = {
+            "akenti:resource": self.resource,
+            "akenti:action": self.action,
+            "akenti:decision": "Permit" if self.granted else "Deny",
+        }
+        for name, value in self.attributes_used.items():
+            attributes[f"akenti:attr:{name}"] = value
+        assertion = SamlAssertion(
+            issuer=issuer,
+            subject=self.user,
+            method="urn:akenti:certificate-based",
+            auth_instant=now,
+            not_before=now,
+            not_on_or_after=now + lifetime,
+            attributes=attributes,
+        )
+        return assertion.sign(key)
+
+
+class PolicyEngine:
+    """The Akenti core: resources, use conditions, trusted authorities."""
+
+    def __init__(self, name: str = "akenti.policy"):
+        self.name = name
+        self._key = crypto.new_key(f"akenti:{name}".encode())
+        self._authorities: dict[str, AttributeAuthority] = {}
+        self._conditions: dict[str, list[UseCondition]] = {}
+        self._certificates: list[AttributeCertificate] = []
+        self.decisions_made = 0
+
+    # -- administration -----------------------------------------------------
+
+    def trust_authority(self, authority: AttributeAuthority) -> None:
+        self._authorities[authority.name] = authority
+
+    def add_use_condition(self, resource: str, condition: UseCondition) -> None:
+        self._conditions.setdefault(resource, []).append(condition)
+
+    def store_certificate(self, cert: AttributeCertificate) -> None:
+        """Certificates are gathered into the engine's store (Akenti pulls
+        them from distributed repositories; ours is one in-memory pool)."""
+        self._certificates.append(cert)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _verified_attributes(self, user: str) -> dict[str, set[str]]:
+        attributes: dict[str, set[str]] = {}
+        for cert in self._certificates:
+            if cert.user != user:
+                continue
+            authority = self._authorities.get(cert.issuer)
+            if authority is None or not authority.verify(cert):
+                continue
+            attributes.setdefault(cert.attribute, set()).add(cert.value)
+        return attributes
+
+    def check_access(self, user: str, resource: str, action: str = "*") -> AccessDecision:
+        """Evaluate every applicable use condition; all must be satisfied.
+
+        A resource with no use conditions is closed (fail-safe default).
+        """
+        conditions = [
+            c for c in self._conditions.get(resource, []) if c.covers(action)
+        ]
+        if not conditions:
+            self.decisions_made += 1
+            return AccessDecision(
+                user, resource, action, False,
+                reason=f"no use conditions grant access to {resource!r}",
+            )
+        held = self._verified_attributes(user)
+        used: dict[str, str] = {}
+        for condition in conditions:
+            for attribute, acceptable in condition.require.items():
+                values = held.get(attribute, set())
+                match = next((v for v in acceptable if v in values), None)
+                if match is None:
+                    self.decisions_made += 1
+                    return AccessDecision(
+                        user, resource, action, False,
+                        reason=(
+                            f"user lacks a verified {attribute!r} in "
+                            f"{list(acceptable)}"
+                        ),
+                    )
+                used[attribute] = match
+        self.decisions_made += 1
+        return AccessDecision(user, resource, action, True,
+                              attributes_used=used)
+
+    def decision_assertion(self, decision: AccessDecision, *, now: float) -> SamlAssertion:
+        return decision.to_saml(self.name, self._key, now=now)
+
+    def verify_decision_assertion(self, assertion: SamlAssertion) -> bool:
+        return assertion.issuer == self.name and assertion.verify_signature(
+            self._key
+        )
+
+
+class AkentiInterceptor:
+    """Require a Permit decision for every method of a protected service.
+
+    The resource name is ``<service-resource>/<method>``; operations can be
+    gated individually through use-condition ``actions``.  The subject is
+    taken from the request's (already-verified) SAML authentication
+    assertion, so this interceptor is registered *after* the Figure 2
+    :class:`repro.security.authservice.AssertionInterceptor`.
+    """
+
+    def __init__(self, engine: PolicyEngine, resource: str, clock):
+        self.engine = engine
+        self.resource = resource
+        self.clock = clock
+        self.denials = 0
+
+    def __call__(self, method: str, params: list, envelope: SoapEnvelope) -> None:
+        header = envelope.header("Assertion")
+        if header is None:
+            raise AuthorizationError(
+                "no authenticated subject to authorize (missing assertion)"
+            )
+        subject = SamlAssertion.from_xml(header).subject
+        decision = self.engine.check_access(subject, self.resource, method)
+        if not decision.granted:
+            self.denials += 1
+            raise AuthorizationError(
+                f"Akenti denies {subject!r} {method!r} on "
+                f"{self.resource!r}: {decision.reason}",
+                {"resource": self.resource, "action": method},
+            )

@@ -1,0 +1,77 @@
+"""Toy symmetric crypto for the security simulators.
+
+.. warning::
+   This is a *behavioural stand-in*, *not* security: a deterministic XOR
+   stream cipher keyed by SHA-256 plus HMAC-SHA256 authentication.  It
+   preserves the properties the protocol simulation needs — data is opaque
+   without the key, tampering is detected, both ends must share the key —
+   while staying dependency-free and fast.  Do not reuse outside the
+   simulator.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import os
+
+
+def new_key(seed: bytes | None = None) -> bytes:
+    """Generate a 32-byte key (random, or derived from a seed for
+    deterministic tests)."""
+    if seed is None:
+        return os.urandom(32)
+    return hashlib.sha256(b"key:" + seed).digest()
+
+
+def derive_key(base: bytes, label: str) -> bytes:
+    """Derive a sub-key bound to a label (e.g. per-session keys)."""
+    return hmac.new(base, b"derive:" + label.encode("utf-8"), hashlib.sha256).digest()
+
+
+def _keystream(key: bytes, nbytes: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        out.extend(hashlib.sha256(key + counter.to_bytes(8, "big")).digest())
+        counter += 1
+    return bytes(out[:nbytes])
+
+
+def encrypt(key: bytes, plaintext: bytes) -> bytes:
+    """Encrypt-then-MAC; output = ciphertext || 32-byte tag."""
+    stream = _keystream(key, len(plaintext))
+    ciphertext = bytes(a ^ b for a, b in zip(plaintext, stream))
+    tag = hmac.new(key, ciphertext, hashlib.sha256).digest()
+    return ciphertext + tag
+
+
+def decrypt(key: bytes, blob: bytes) -> bytes:
+    """Verify the tag and decrypt; raises ValueError on tampering or a wrong
+    key."""
+    if len(blob) < 32:
+        raise ValueError("ciphertext too short")
+    ciphertext, tag = blob[:-32], blob[-32:]
+    expected = hmac.new(key, ciphertext, hashlib.sha256).digest()
+    if not hmac.compare_digest(tag, expected):
+        raise ValueError("message authentication failed")
+    stream = _keystream(key, len(ciphertext))
+    return bytes(a ^ b for a, b in zip(ciphertext, stream))
+
+
+def sign(key: bytes, data: bytes) -> bytes:
+    """Detached HMAC-SHA256 signature."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def verify(key: bytes, data: bytes, signature: bytes) -> bool:
+    return hmac.compare_digest(sign(key, data), signature)
+
+
+def b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def unb64(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))

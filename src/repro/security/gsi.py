@@ -1,0 +1,121 @@
+"""Simulated Grid Security Infrastructure: proxy-certificate chains.
+
+The SDSC services in §3 are "GSI authenticated" via pyGlobus/GSI-SOAP.  The
+simulator models the pieces the job-submission and SRB paths exercise: a CA
+issuing user credentials, limited-lifetime proxy certificates derived from
+them (including proxy-of-proxy delegation), and chain verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.security import crypto
+
+
+class GsiError(Exception):
+    """Credential verification failure."""
+
+
+@dataclass
+class ProxyCertificate:
+    """A (simulated) X.509 certificate in a GSI chain.
+
+    ``signature`` binds (subject, issuer, not_after, depth) under the
+    *issuer's* signing key; each proxy carries its own ``signing_key`` so it
+    can in turn delegate.
+    """
+
+    subject: str
+    issuer: str
+    not_after: float
+    depth: int
+    signature: bytes
+    signing_key: bytes = field(repr=False, default=b"")
+    parent: "ProxyCertificate | None" = None
+
+    def tbs(self) -> bytes:
+        """The to-be-signed byte string."""
+        return f"{self.subject}|{self.issuer}|{self.not_after}|{self.depth}".encode()
+
+    def sign_proxy(self, *, lifetime: float, now: float) -> "ProxyCertificate":
+        """Delegate: issue a child proxy, lifetime capped by this cert's."""
+        if not self.signing_key:
+            raise GsiError(f"{self.subject!r} cannot sign (no key material)")
+        not_after = min(now + lifetime, self.not_after)
+        child = ProxyCertificate(
+            subject=f"{self.subject}/CN=proxy",
+            issuer=self.subject,
+            not_after=not_after,
+            depth=self.depth + 1,
+            signature=b"",
+            signing_key=crypto.new_key(),
+            parent=self,
+        )
+        child.signature = crypto.sign(self.signing_key, child.tbs())
+        return child
+
+    def chain(self) -> list["ProxyCertificate"]:
+        """This certificate and its ancestry, leaf first."""
+        out: list[ProxyCertificate] = []
+        node: ProxyCertificate | None = self
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        return out
+
+    @property
+    def identity(self) -> str:
+        """The end-entity identity: the subject with proxy CNs stripped."""
+        return self.subject.split("/CN=proxy")[0]
+
+
+class SimpleCA:
+    """A one-realm certificate authority."""
+
+    def __init__(self, name: str = "/O=Grid/CN=Reproduction CA"):
+        self.name = name
+        self._key = crypto.new_key(name.encode("utf-8"))
+        self._issued: dict[str, bytes] = {}
+
+    def issue_credential(
+        self, subject: str, *, lifetime: float, now: float
+    ) -> ProxyCertificate:
+        """Issue a long-term user credential signed by the CA."""
+        cert = ProxyCertificate(
+            subject=subject,
+            issuer=self.name,
+            not_after=now + lifetime,
+            depth=0,
+            signature=b"",
+            signing_key=crypto.new_key(),
+        )
+        cert.signature = crypto.sign(self._key, cert.tbs())
+        self._issued[subject] = cert.signing_key
+        return cert
+
+    def verify_chain(self, leaf: ProxyCertificate, *, now: float) -> str:
+        """Verify a proxy chain up to this CA; returns the grid identity.
+
+        Checks signatures link-by-link, expiry of every certificate, and
+        monotonically increasing delegation depth.
+        """
+        chain = leaf.chain()
+        root = chain[-1]
+        if root.issuer != self.name:
+            raise GsiError(f"chain does not terminate at CA {self.name!r}")
+        if not crypto.verify(self._key, root.tbs(), root.signature):
+            raise GsiError("root credential signature invalid")
+        for cert in chain:
+            if cert.not_after < now:
+                raise GsiError(f"certificate {cert.subject!r} expired")
+        for child, parent in zip(chain, chain[1:]):
+            if child.issuer != parent.subject:
+                raise GsiError(
+                    f"issuer mismatch: {child.issuer!r} != {parent.subject!r}"
+                )
+            if child.depth != parent.depth + 1:
+                raise GsiError("delegation depth not monotone")
+            if not crypto.verify(parent.signing_key, child.tbs(), child.signature):
+                raise GsiError(f"signature on {child.subject!r} invalid")
+        return leaf.identity

@@ -1,0 +1,87 @@
+"""GSS-API-style security contexts over Kerberos tickets.
+
+§4: "To support Kerberos, we are also developing signing methods based on
+the GSS API wrap and unwrap methods."  A :class:`GssContext` pair is
+established from a service ticket (initiator side) and a keytab (acceptor
+side); both ends then share a per-context key for ``wrap``/``unwrap``
+(sealing) and ``get_mic``/``verify_mic`` (detached signing — the method the
+Authentication Service uses to sign SAML assertions).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.security import crypto
+from repro.security.kerberos import KerberosError, Keytab, Ticket
+
+
+class GssError(Exception):
+    """Context-establishment or message-protection failure."""
+
+
+class GssContext:
+    """One end of an established GSS security context."""
+
+    def __init__(self, initiator: str, acceptor: str, context_key: bytes):
+        self.initiator = initiator
+        self.acceptor = acceptor
+        self._key = context_key
+        self.established = True
+
+    # -- establishment ------------------------------------------------------
+
+    @staticmethod
+    def init_sec_context(ticket: Ticket) -> tuple["GssContext", bytes]:
+        """Initiator side: produce (context, token-to-send)."""
+        context_key = crypto.derive_key(ticket.session_key, "gss-context")
+        token = json.dumps(
+            {
+                "service": ticket.service,
+                "client": ticket.client,
+                "ticket": crypto.b64(ticket.blob),
+            }
+        ).encode("utf-8")
+        return GssContext(ticket.client, ticket.service, context_key), token
+
+    @staticmethod
+    def accept_sec_context(
+        token: bytes, keytab: Keytab, *, now: float
+    ) -> "GssContext":
+        """Acceptor side: open the initiator token with the keytab."""
+        try:
+            record = json.loads(token.decode("utf-8"))
+            service = record["service"]
+            client, session_key, _expires = keytab.decrypt_ticket(
+                service, crypto.unb64(record["ticket"]), now=now
+            )
+        except (KeyError, ValueError, KerberosError) as exc:
+            raise GssError(f"cannot accept security context: {exc}") from exc
+        if client != record.get("client"):
+            raise GssError("initiator token client mismatch")
+        context_key = crypto.derive_key(session_key, "gss-context")
+        return GssContext(client, service, context_key)
+
+    def session_key(self) -> bytes:
+        """The shared context key (used to sign SAML assertions)."""
+        return self._key
+
+    # -- message protection -----------------------------------------------------
+
+    def wrap(self, data: bytes) -> bytes:
+        """Seal (encrypt + integrity-protect) a message."""
+        return crypto.encrypt(self._key, data)
+
+    def unwrap(self, token: bytes) -> bytes:
+        """Open a sealed message; raises :class:`GssError` on tampering."""
+        try:
+            return crypto.decrypt(self._key, token)
+        except ValueError as exc:
+            raise GssError(f"unwrap failed: {exc}") from exc
+
+    def get_mic(self, data: bytes) -> bytes:
+        """Detached integrity token over *data*."""
+        return crypto.sign(self._key, data)
+
+    def verify_mic(self, data: bytes, mic: bytes) -> bool:
+        return crypto.verify(self._key, data, mic)

@@ -1,0 +1,167 @@
+"""A Kerberos simulator: KDC, principals, keytabs, tickets.
+
+Models the parts of Kerberos the Figure 2 protocol uses:
+
+- principals registered in a realm, with long-term keys derived from
+  passwords (users) or generated into keytabs (services);
+- an AS exchange (``authenticate``) yielding a ticket-granting ticket;
+- a TGS exchange (``get_service_ticket``) yielding a service ticket that
+  carries a fresh session key, encrypted under the *service's* long-term key
+  so only a keytab holder can extract it;
+- ticket lifetimes measured on the simulation clock.
+
+"Kerberos servers authenticate using a keytab file.  This keytab must be
+kept secure and usually is readable only by privileged users" — in the
+reproduction, exactly one :class:`Keytab` object per service exists, held by
+the Authentication Service host.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.security import crypto
+from repro.transport.clock import SimClock
+
+
+class KerberosError(Exception):
+    """Authentication failures at the KDC or during ticket decryption."""
+
+
+@dataclass
+class Ticket:
+    """A service ticket as held by a *client*.
+
+    ``session_key`` is the client's copy; ``blob`` is the server part
+    (client principal + session key + expiry) sealed under the service's
+    long-term key.
+    """
+
+    client: str
+    service: str
+    session_key: bytes
+    expires: float
+    blob: bytes
+
+    @property
+    def b64_blob(self) -> str:
+        return crypto.b64(self.blob)
+
+
+class Keytab:
+    """A service's long-term key material (one entry per principal)."""
+
+    def __init__(self):
+        self._keys: dict[str, bytes] = {}
+
+    def add(self, principal: str, key: bytes) -> None:
+        self._keys[principal] = key
+
+    def key_for(self, principal: str) -> bytes:
+        if principal not in self._keys:
+            raise KerberosError(f"keytab has no entry for {principal!r}")
+        return self._keys[principal]
+
+    def principals(self) -> list[str]:
+        return sorted(self._keys)
+
+    def decrypt_ticket(
+        self, service: str, blob: bytes, *, now: float
+    ) -> tuple[str, bytes, float]:
+        """Open a ticket blob; returns (client principal, session key,
+        expiry).  Raises on bad key, tampering, or expiry."""
+        try:
+            payload = crypto.decrypt(self.key_for(service), blob)
+        except ValueError as exc:
+            raise KerberosError(f"ticket not decryptable by {service!r}: {exc}") from exc
+        record = json.loads(payload.decode("utf-8"))
+        if record["expires"] < now:
+            raise KerberosError(
+                f"ticket for {record['client']!r} expired at {record['expires']}"
+            )
+        return record["client"], crypto.unb64(record["key"]), record["expires"]
+
+
+class Kdc:
+    """The key distribution center for one realm."""
+
+    TGS = "krbtgt"
+
+    def __init__(
+        self,
+        realm: str,
+        clock: SimClock | None = None,
+        *,
+        ticket_lifetime: float = 8 * 3600.0,
+    ):
+        self.realm = realm
+        self.clock = clock or SimClock()
+        self.ticket_lifetime = ticket_lifetime
+        self._user_keys: dict[str, bytes] = {}
+        self._service_keys: dict[str, bytes] = {}
+        self._service_keys[self.TGS] = crypto.new_key(
+            f"{realm}/{self.TGS}".encode("utf-8")
+        )
+
+    # -- registration -----------------------------------------------------------
+
+    def add_user(self, principal: str, password: str) -> None:
+        self._user_keys[principal] = crypto.new_key(
+            f"{self.realm}/{principal}:{password}".encode("utf-8")
+        )
+
+    def add_service(self, principal: str, keytab: Keytab) -> None:
+        """Register a service principal and write its key into *keytab*."""
+        key = crypto.new_key(f"{self.realm}/svc/{principal}".encode("utf-8"))
+        self._service_keys[principal] = key
+        keytab.add(principal, key)
+
+    def has_user(self, principal: str) -> bool:
+        return principal in self._user_keys
+
+    # -- exchanges ----------------------------------------------------------------
+
+    def _issue(self, client: str, service: str, service_key: bytes) -> Ticket:
+        session_key = crypto.new_key()
+        expires = self.clock.now + self.ticket_lifetime
+        payload = json.dumps(
+            {"client": client, "key": crypto.b64(session_key), "expires": expires}
+        ).encode("utf-8")
+        return Ticket(
+            client=client,
+            service=service,
+            session_key=session_key,
+            expires=expires,
+            blob=crypto.encrypt(service_key, payload),
+        )
+
+    def authenticate(self, principal: str, password: str) -> Ticket:
+        """AS exchange: password login yields a TGT (this is what happens
+        when "a user logs in through a web browser and gets a Kerberos
+        ticket on the User Interface server")."""
+        expected = self._user_keys.get(principal)
+        if expected is None:
+            raise KerberosError(f"unknown principal {principal!r}")
+        supplied = crypto.new_key(
+            f"{self.realm}/{principal}:{password}".encode("utf-8")
+        )
+        if supplied != expected:
+            raise KerberosError(f"bad password for {principal!r}")
+        return self._issue(principal, self.TGS, self._service_keys[self.TGS])
+
+    def get_service_ticket(self, tgt: Ticket, service: str) -> Ticket:
+        """TGS exchange: trade a valid TGT for a service ticket."""
+        if tgt.service != self.TGS:
+            raise KerberosError("not a ticket-granting ticket")
+        keytab = Keytab()
+        keytab.add(self.TGS, self._service_keys[self.TGS])
+        client, _key, _expires = keytab.decrypt_ticket(
+            self.TGS, tgt.blob, now=self.clock.now
+        )
+        if client != tgt.client:
+            raise KerberosError("TGT client mismatch")
+        service_key = self._service_keys.get(service)
+        if service_key is None:
+            raise KerberosError(f"unknown service principal {service!r}")
+        return self._issue(client, service, service_key)

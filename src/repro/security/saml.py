@@ -1,0 +1,130 @@
+"""SAML assertions (1.x subset) for SOAP headers.
+
+§4: "Assertions are mechanism-independent, digitally signed claims about
+authentication ... SAML assertions are added to SOAP messages."  The
+simulator implements authentication-statement assertions with validity
+conditions and a detached signature over the canonical serialization.
+Signing/verification keys are GSS context keys (see
+:mod:`repro.security.authservice`), so the mechanism stays pluggable exactly
+as the paper intends ("we have attempted to keep our design general").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.security import crypto
+from repro.xmlutil.element import XmlElement, parse_xml
+from repro.xmlutil.qname import QName
+
+SAML_NS = "urn:oasis:names:tc:SAML:1.0:assertion"
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class SamlAssertion:
+    """A signed authentication assertion.
+
+    Attributes mirror the SAML 1.x AuthenticationStatement essentials:
+    issuer, subject (the authenticated principal), authentication method
+    URI, the instant of authentication, and a validity window.  ``attributes``
+    carries extra claims (the paper mentions conveying access-control
+    decisions from systems like Akenti; those ride here).
+    """
+
+    issuer: str
+    subject: str
+    method: str = "urn:oasis:names:tc:SAML:1.0:am:unspecified"
+    auth_instant: float = 0.0
+    not_before: float = 0.0
+    not_on_or_after: float = float("inf")
+    assertion_id: str = field(default_factory=lambda: f"assert-{next(_ids):08d}")
+    attributes: dict[str, str] = field(default_factory=dict)
+    signature: bytes = b""
+
+    METHOD_KERBEROS = "urn:oasis:names:tc:SAML:1.0:am:Kerberos"
+    METHOD_X509 = "urn:oasis:names:tc:SAML:1.0:am:X509-PKI"
+    METHOD_PASSWORD = "urn:oasis:names:tc:SAML:1.0:am:password"
+
+    # -- canonical form and signing -------------------------------------------
+
+    def canonical_bytes(self) -> bytes:
+        """The byte string that is signed (everything except the signature)."""
+        attrs = "&".join(f"{k}={v}" for k, v in sorted(self.attributes.items()))
+        return (
+            f"{self.assertion_id}|{self.issuer}|{self.subject}|{self.method}|"
+            f"{self.auth_instant!r}|{self.not_before!r}|{self.not_on_or_after!r}|"
+            f"{attrs}"
+        ).encode("utf-8")
+
+    def sign(self, key: bytes) -> "SamlAssertion":
+        self.signature = crypto.sign(key, self.canonical_bytes())
+        return self
+
+    def verify_signature(self, key: bytes) -> bool:
+        return bool(self.signature) and crypto.verify(
+            key, self.canonical_bytes(), self.signature
+        )
+
+    def is_valid_at(self, now: float) -> bool:
+        return self.not_before <= now < self.not_on_or_after
+
+    # -- XML round trip ------------------------------------------------------------
+
+    def to_xml(self) -> XmlElement:
+        node = XmlElement(QName(SAML_NS, "Assertion"))
+        node.set("AssertionID", self.assertion_id)
+        node.set("Issuer", self.issuer)
+        conditions = node.child(QName(SAML_NS, "Conditions"))
+        conditions.set("NotBefore", repr(self.not_before))
+        conditions.set("NotOnOrAfter", repr(self.not_on_or_after))
+        stmt = node.child(QName(SAML_NS, "AuthenticationStatement"))
+        stmt.set("AuthenticationMethod", self.method)
+        stmt.set("AuthenticationInstant", repr(self.auth_instant))
+        subject = stmt.child(QName(SAML_NS, "Subject"))
+        subject.child(QName(SAML_NS, "NameIdentifier"), text=self.subject)
+        if self.attributes:
+            attr_stmt = node.child(QName(SAML_NS, "AttributeStatement"))
+            for key, value in sorted(self.attributes.items()):
+                attr = attr_stmt.child(QName(SAML_NS, "Attribute"))
+                attr.set("AttributeName", key)
+                attr.child(QName(SAML_NS, "AttributeValue"), text=value)
+        if self.signature:
+            node.child(QName(SAML_NS, "Signature"), text=crypto.b64(self.signature))
+        return node
+
+    @staticmethod
+    def from_xml(source: str | XmlElement) -> "SamlAssertion":
+        node = parse_xml(source) if isinstance(source, str) else source
+        if node.tag.local != "Assertion":
+            raise ValueError(f"not a SAML assertion: {node.tag}")
+        assertion = SamlAssertion(
+            issuer=node.get("Issuer", "") or "",
+            subject="",
+            assertion_id=node.get("AssertionID", "") or "",
+        )
+        conditions = node.find("Conditions")
+        if conditions is not None:
+            assertion.not_before = float(conditions.get("NotBefore", "0.0") or 0.0)
+            not_after = conditions.get("NotOnOrAfter", "inf") or "inf"
+            assertion.not_on_or_after = float(not_after)
+        stmt = node.find("AuthenticationStatement")
+        if stmt is not None:
+            assertion.method = stmt.get("AuthenticationMethod", "") or ""
+            assertion.auth_instant = float(
+                stmt.get("AuthenticationInstant", "0.0") or 0.0
+            )
+            subject = stmt.find("Subject")
+            if subject is not None:
+                assertion.subject = subject.findtext("NameIdentifier")
+        attr_stmt = node.find("AttributeStatement")
+        if attr_stmt is not None:
+            for attr in attr_stmt.findall("Attribute"):
+                name = attr.get("AttributeName", "") or ""
+                assertion.attributes[name] = attr.findtext("AttributeValue")
+        sig = node.find("Signature")
+        if sig is not None:
+            assertion.signature = crypto.unb64(sig.text)
+        return assertion

@@ -1,0 +1,70 @@
+"""The core portal web services (§3 of the paper).
+
+Each module deploys one of the basic services the paper identifies as
+"some of the basic portal Web Services":
+
+- :mod:`repro.services.jobsubmit` — the SDSC Globusrun web service (plain
+  strings and XML multi-job forms), the batch-job service that composes it,
+  and the IU SOAP→IIOP WebFlow bridge.
+- :mod:`repro.services.datamgmt` — the SRB web services (``ls``, ``cat``,
+  ``get``, ``put``, ``xml_call``) plus the out-of-band transfer extension.
+- :mod:`repro.services.context` — the Gateway context manager, both as the
+  60-method monolith the paper criticises and as the decomposed services it
+  recommends.
+- :mod:`repro.services.batchscript` — the interoperable batch script
+  generator: one agreed WSDL interface, two independent implementations
+  (IU: PBS+GRD, SDSC: LSF+NQS), and two client styles.
+"""
+
+from repro.services.jobsubmit import (
+    BatchJobService,
+    GlobusrunService,
+    WebFlowJobService,
+    deploy_globusrun,
+    deploy_batchjob,
+    deploy_webflow_bridge,
+)
+from repro.services.datamgmt import SrbWebService, deploy_srb_service
+from repro.services.context import (
+    ContextManagerService,
+    PropertyService,
+    SessionArchiveService,
+    UserContextService,
+    deploy_context_manager,
+    deploy_decomposed_context_services,
+)
+from repro.services.batchscript import (
+    BSG_NAMESPACE,
+    BatchScriptGenerator,
+    IuBatchScriptGenerator,
+    SdscBatchScriptGenerator,
+    JavaStyleBsgClient,
+    PythonStyleBsgClient,
+    bsg_interface_wsdl,
+    deploy_batch_script_generator,
+)
+
+__all__ = [
+    "BatchJobService",
+    "GlobusrunService",
+    "WebFlowJobService",
+    "deploy_globusrun",
+    "deploy_batchjob",
+    "deploy_webflow_bridge",
+    "SrbWebService",
+    "deploy_srb_service",
+    "ContextManagerService",
+    "PropertyService",
+    "SessionArchiveService",
+    "UserContextService",
+    "deploy_context_manager",
+    "deploy_decomposed_context_services",
+    "BSG_NAMESPACE",
+    "BatchScriptGenerator",
+    "IuBatchScriptGenerator",
+    "SdscBatchScriptGenerator",
+    "JavaStyleBsgClient",
+    "PythonStyleBsgClient",
+    "bsg_interface_wsdl",
+    "deploy_batch_script_generator",
+]

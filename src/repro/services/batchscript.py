@@ -1,0 +1,334 @@
+"""The interoperable batch script generation service (§3.4).
+
+"SDSC and IU each converted legacy batch script generation tools into SOAP
+services ... we agreed to a common service interface, implemented it
+separately with support for different queuing systems, entered information
+into a UDDI repository and developed clients that could list services
+supported by each group and search for services that support particular
+queuing systems.  Scripts could then be created through either service."
+
+This module provides:
+
+- the agreed common interface (:data:`BSG_NAMESPACE`,
+  :func:`bsg_interface_wsdl`), with the shared string-map data model;
+- two independent implementations — :class:`IuBatchScriptGenerator`
+  (Gateway-derived: PBS and GRD) and :class:`SdscBatchScriptGenerator`
+  (HotPage-derived: LSF and NQS) — which deliberately *do not share code*
+  beyond the scheduler dialects themselves;
+- two client styles standing in for the paper's Java and Python clients:
+  :class:`JavaStyleBsgClient` sends typed SOAP parameters,
+  :class:`PythonStyleBsgClient` sends everything as strings.  Experiment C6
+  checks all four client x server pairs interoperate;
+- the legacy IU variant that was "tightly integrated with the context
+  manager" and needs a placeholder context per stateless call
+  (:class:`IuLegacyBatchScriptGenerator`, experiment C4).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.faults import InvalidRequestError
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing import make_dialect
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+from repro.wsdl.model import WsdlDocument, WsdlOperation, WsdlPart
+
+BSG_NAMESPACE = "urn:gce:batch-script-generator"
+
+# The common data model: the string-keyed job parameter map every
+# implementation accepts.  (The paper: "SOAP and WSDL were adequate for the
+# service's simple interface"; the params stay simple strings.)
+JOB_PARAM_KEYS = (
+    "jobName",
+    "executable",
+    "arguments",
+    "queue",
+    "cpus",
+    "wallTime",      # seconds
+    "memoryMb",
+    "stdout",
+    "stderr",
+    "directory",
+    "account",
+)
+
+
+def bsg_interface_wsdl(service_name: str, endpoint: str) -> WsdlDocument:
+    """The agreed common WSDL interface, parameterized only by endpoint."""
+    return WsdlDocument(
+        service_name=service_name,
+        target_namespace=BSG_NAMESPACE,
+        endpoint=endpoint,
+        documentation=(
+            "GCE common batch script generation interface: generate batch "
+            "scripts for named queuing systems from a string job-parameter map."
+        ),
+        operations=[
+            WsdlOperation(
+                "listSchedulers",
+                "Queuing systems this implementation supports.",
+                [],
+                WsdlPart("return", "xsd:anyType"),
+            ),
+            WsdlOperation(
+                "supportsScheduler",
+                "Whether the named queuing system is supported.",
+                [WsdlPart("scheduler", "xsd:string")],
+                WsdlPart("return", "xsd:boolean"),
+            ),
+            WsdlOperation(
+                "generateScript",
+                "Render a batch script for the scheduler from job parameters.",
+                [WsdlPart("scheduler", "xsd:string"), WsdlPart("params", "xsd:anyType")],
+                WsdlPart("return", "xsd:string"),
+            ),
+            WsdlOperation(
+                "validateScript",
+                "Parse a script and report problems (empty list = valid).",
+                [WsdlPart("scheduler", "xsd:string"), WsdlPart("script", "xsd:string")],
+                WsdlPart("return", "xsd:anyType"),
+            ),
+        ],
+    )
+
+
+def params_to_spec(params: dict[str, Any]) -> JobSpec:
+    """Decode the common string-map data model into a job spec.
+
+    Values may arrive typed (Java-style clients) or as strings
+    (Python-style clients); both decode identically — this coercion is what
+    makes the cross-language interoperability work.
+    """
+    unknown = set(params) - set(JOB_PARAM_KEYS)
+    if unknown:
+        raise InvalidRequestError(
+            f"unknown job parameters: {sorted(unknown)}",
+            {"unknown": ",".join(sorted(unknown))},
+        )
+
+    def text(key: str, default: str = "") -> str:
+        value = params.get(key, default)
+        return default if value is None else str(value)
+
+    def number(key: str, default: float) -> float:
+        value = params.get(key)
+        if value in (None, ""):
+            return default
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise InvalidRequestError(
+                f"parameter {key!r} is not numeric: {value!r}"
+            ) from None
+
+    spec = JobSpec(
+        name=text("jobName", "job") or "job",
+        executable=text("executable"),
+        arguments=text("arguments").split(),
+        queue=text("queue"),
+        cpus=int(number("cpus", 1)),
+        wallclock_limit=number("wallTime", 3600.0),
+        memory_mb=int(number("memoryMb", 0)),
+        stdout_path=text("stdout"),
+        stderr_path=text("stderr"),
+        directory=text("directory"),
+        account=text("account"),
+    )
+    if not spec.executable:
+        raise InvalidRequestError("job parameter 'executable' is required")
+    problems = spec.validate()
+    if problems:
+        raise InvalidRequestError("; ".join(problems))
+    return spec
+
+
+class BatchScriptGenerator:
+    """Shared behaviour of both implementations of the common interface."""
+
+    #: queuing systems this implementation supports; set by subclasses
+    SCHEDULERS: tuple[str, ...] = ()
+    provider = "generic"
+
+    def __init__(self):
+        self._dialects = {name: make_dialect(name) for name in self.SCHEDULERS}
+        self.scripts_generated = 0
+
+    # -- the agreed interface ---------------------------------------------------
+
+    def listSchedulers(self) -> list[str]:
+        """Queuing systems this implementation supports."""
+        return list(self.SCHEDULERS)
+
+    def supportsScheduler(self, scheduler: str) -> bool:
+        """Whether the named queuing system is supported."""
+        return str(scheduler).upper() in self._dialects
+
+    def generateScript(self, scheduler: str, params: dict[str, Any]) -> str:
+        """Render a batch script for *scheduler* from the job-parameter map."""
+        dialect = self._dialects.get(str(scheduler).upper())
+        if dialect is None:
+            raise InvalidRequestError(
+                f"{self.provider} generator does not support {scheduler!r}; "
+                f"supported: {list(self.SCHEDULERS)}",
+                {"scheduler": str(scheduler)},
+            )
+        self.scripts_generated += 1
+        return dialect.generate(params_to_spec(params))
+
+    def validateScript(self, scheduler: str, script: str) -> list[str]:
+        """Parse a script in the scheduler's dialect; returns problems."""
+        dialect = self._dialects.get(str(scheduler).upper())
+        if dialect is None:
+            raise InvalidRequestError(
+                f"{self.provider} generator does not support {scheduler!r}"
+            )
+        try:
+            spec = dialect.parse(script)
+        except InvalidRequestError as err:
+            return [err.message]
+        return spec.validate()
+
+
+class IuBatchScriptGenerator(BatchScriptGenerator):
+    """The Gateway-derived implementation: PBS and GRD."""
+
+    SCHEDULERS = ("PBS", "GRD")
+    provider = "IU"
+
+
+class SdscBatchScriptGenerator(BatchScriptGenerator):
+    """The HotPage-derived implementation: LSF and NQS."""
+
+    SCHEDULERS = ("LSF", "NQS")
+    provider = "SDSC"
+
+
+class IuLegacyBatchScriptGenerator(IuBatchScriptGenerator):
+    """The pre-refactor Gateway generator, "initially tightly integrated with
+    the context manager": every call must happen inside a session context,
+    so stateless callers cost a placeholder context create + destroy
+    ("introduced unnecessary overhead").  Experiment C4 measures it.
+    """
+
+    provider = "IU-legacy"
+
+    def __init__(self, context_manager):
+        super().__init__()
+        self._cm = context_manager
+        self.placeholders_created = 0
+
+    def generateScript(
+        self, scheduler: str, params: dict[str, Any], context: str = ""
+    ) -> str:
+        if context:
+            script = super().generateScript(scheduler, params)
+            self._cm.setSessionProperty(*context.split("/"), "lastScript", script)
+            return script
+        # the HotPage (stateless) path: manufacture an artificial session
+        placeholder = self._cm.createPlaceholderContext()
+        self.placeholders_created += 1
+        try:
+            script = super().generateScript(scheduler, params)
+            self._cm.setSessionProperty(*placeholder.split("/"), "lastScript", script)
+            return script
+        finally:
+            self._cm.removePlaceholder(placeholder)
+
+
+def deploy_batch_script_generator(
+    network: VirtualNetwork,
+    impl: BatchScriptGenerator,
+    host: str,
+    *,
+    path: str = "/bsg",
+) -> tuple[str, WsdlDocument]:
+    """Deploy an implementation of the common interface on *host*; returns
+    (endpoint URL, its WSDL)."""
+    server = HttpServer(host, network)
+    soap = SoapService(f"{impl.provider}BatchScriptGenerator", BSG_NAMESPACE)
+    soap.expose(impl.listSchedulers)
+    soap.expose(impl.supportsScheduler)
+    soap.expose(impl.generateScript)
+    soap.expose(impl.validateScript)
+    endpoint = soap.mount(server, path)
+    wsdl = bsg_interface_wsdl(soap.name, endpoint)
+    from repro.wsdl.proxy import publish_wsdl
+
+    publish_wsdl(server, wsdl, f"{path}.wsdl")
+    return endpoint, wsdl
+
+
+class JavaStyleBsgClient:
+    """A 'Java' client: sends typed parameters (ints stay ints)."""
+
+    def __init__(self, network: VirtualNetwork, endpoint: str, *, source: str = "client"):
+        self._soap = SoapClient(network, endpoint, BSG_NAMESPACE, source=source)
+
+    def list_schedulers(self) -> list[str]:
+        return self._soap.call("listSchedulers")
+
+    def supports(self, scheduler: str) -> bool:
+        return self._soap.call("supportsScheduler", scheduler)
+
+    def generate(self, scheduler: str, spec: JobSpec) -> str:
+        params: dict[str, Any] = {
+            "jobName": spec.name,
+            "executable": spec.executable,
+            "arguments": " ".join(spec.arguments),
+            "cpus": spec.cpus,                     # typed int
+            "wallTime": spec.wallclock_limit,      # typed double
+            "memoryMb": spec.memory_mb,            # typed int
+        }
+        for key, value in (
+            ("queue", spec.queue),
+            ("stdout", spec.stdout_path),
+            ("stderr", spec.stderr_path),
+            ("directory", spec.directory),
+            ("account", spec.account),
+        ):
+            if value:
+                params[key] = value
+        return self._soap.call("generateScript", scheduler, params)
+
+    def validate(self, scheduler: str, script: str) -> list[str]:
+        return self._soap.call("validateScript", scheduler, script)
+
+
+class PythonStyleBsgClient:
+    """A 'Python' client: sends every parameter as a plain string."""
+
+    def __init__(self, network: VirtualNetwork, endpoint: str, *, source: str = "client"):
+        self._soap = SoapClient(network, endpoint, BSG_NAMESPACE, source=source)
+
+    def list_schedulers(self) -> list[str]:
+        return self._soap.call("listSchedulers")
+
+    def supports(self, scheduler: str) -> bool:
+        return self._soap.call("supportsScheduler", scheduler)
+
+    def generate(self, scheduler: str, spec: JobSpec) -> str:
+        params = {
+            "jobName": spec.name,
+            "executable": spec.executable,
+            "arguments": " ".join(spec.arguments),
+            "cpus": str(spec.cpus),
+            "wallTime": str(spec.wallclock_limit),
+            "memoryMb": str(spec.memory_mb),
+        }
+        for key, value in (
+            ("queue", spec.queue),
+            ("stdout", spec.stdout_path),
+            ("stderr", spec.stderr_path),
+            ("directory", spec.directory),
+            ("account", spec.account),
+        ):
+            if value:
+                params[key] = value
+        return self._soap.call("generateScript", scheduler, params)
+
+    def validate(self, scheduler: str, script: str) -> list[str]:
+        return self._soap.call("validateScript", scheduler, script)

@@ -1,0 +1,707 @@
+"""The context (session) management service (§3.3).
+
+Gateway "implements a service for capturing and organizing the user's
+session (or context) for archival purposes ... We organize context in a
+container structure that can be mapped to a directory structure such as the
+Unix file system ... separate contexts for each user, and subdivide the user
+contexts into problem contexts, which are further divided into session
+contexts."
+
+Two deployment styles, because the paper critiques its own service:
+
+- :class:`ContextManagerService` — the faithful monolith.  "Also notable is
+  that this service contained over 60 methods ... To implement this
+  properly, the service will have to be broken up into more reasonable
+  parts."  It also reproduces the placeholder-context workaround: "we were
+  forced to create placeholder contexts in our SOAP wrappers" for stateless
+  (HotPage-style) callers.
+- :class:`UserContextService` / :class:`PropertyService` /
+  :class:`SessionArchiveService` — the decomposition the paper calls for.
+
+Experiment C4 compares the two.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.faults import ContextError
+from repro.soap.server import SoapService
+from repro.transport.clock import SimClock
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+from repro.xmlutil.element import XmlElement, parse_xml
+
+CONTEXT_NAMESPACE = "urn:iu:context-manager"
+USERCTX_NAMESPACE = "urn:gce:user-context"
+PROPERTY_NAMESPACE = "urn:gce:context-property"
+ARCHIVE_NAMESPACE = "urn:gce:session-archive"
+
+
+@dataclass
+class ContextNode:
+    """A node in the context tree."""
+
+    name: str
+    created: float = 0.0
+    modified: float = 0.0
+    placeholder: bool = False
+    descriptor: str = ""
+    properties: dict[str, str] = field(default_factory=dict)
+    children: dict[str, "ContextNode"] = field(default_factory=dict)
+
+    def to_xml(self) -> XmlElement:
+        node = XmlElement("context", {"name": self.name})
+        if self.placeholder:
+            node.set("placeholder", "true")
+        for key, value in sorted(self.properties.items()):
+            node.child("property", text=value).set("key", key)
+        if self.descriptor:
+            node.child("descriptor", text=self.descriptor)
+        for child in self.children.values():
+            node.append(child.to_xml())
+        return node
+
+    @staticmethod
+    def from_xml(source: str | XmlElement, *, now: float = 0.0) -> "ContextNode":
+        el = parse_xml(source) if isinstance(source, str) else source
+        if el.tag.local != "context":
+            raise ContextError(f"not a context element: {el.tag}")
+        node = ContextNode(
+            name=el.get("name", "") or "",
+            created=now,
+            modified=now,
+            placeholder=(el.get("placeholder") == "true"),
+            descriptor=el.findtext("descriptor"),
+        )
+        for prop in el.findall("property"):
+            node.properties[prop.get("key", "") or ""] = prop.text
+        for child in el.findall("context"):
+            sub = ContextNode.from_xml(child, now=now)
+            node.children[sub.name] = sub
+        return node
+
+
+class ContextStore:
+    """The shared tree: user -> problem -> session, plus archives."""
+
+    def __init__(self, clock: SimClock | None = None):
+        self.clock = clock or SimClock()
+        self.root = ContextNode("", created=self.clock.now, modified=self.clock.now)
+        self.archives: dict[str, ContextNode] = {}
+        self._placeholder_ids = itertools.count(1)
+
+    # -- generic node algebra -----------------------------------------------------
+
+    def node(self, path: str) -> ContextNode:
+        current = self.root
+        for part in self._parts(path):
+            child = current.children.get(part)
+            if child is None:
+                raise ContextError(f"no context {path!r}", {"path": path})
+            current = child
+        return current
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.node(path)
+            return True
+        except ContextError:
+            return False
+
+    def create(self, path: str, *, placeholder: bool = False) -> ContextNode:
+        current = self.root
+        now = self.clock.now
+        for part in self._parts(path):
+            if part not in current.children:
+                current.children[part] = ContextNode(
+                    part, created=now, modified=now, placeholder=placeholder
+                )
+            current = current.children[part]
+        return current
+
+    def remove(self, path: str) -> None:
+        parts = self._parts(path)
+        if not parts:
+            raise ContextError("cannot remove the root context")
+        parent = self.node("/".join(parts[:-1]))
+        if parts[-1] not in parent.children:
+            raise ContextError(f"no context {path!r}", {"path": path})
+        del parent.children[parts[-1]]
+        parent.modified = self.clock.now
+
+    def rename(self, path: str, new_name: str) -> None:
+        parts = self._parts(path)
+        if not parts:
+            raise ContextError("cannot rename the root context")
+        parent = self.node("/".join(parts[:-1]))
+        if new_name in parent.children:
+            raise ContextError(f"context {new_name!r} already exists")
+        node = parent.children.pop(parts[-1], None)
+        if node is None:
+            raise ContextError(f"no context {path!r}", {"path": path})
+        node.name = new_name
+        node.modified = self.clock.now
+        parent.children[new_name] = node
+
+    def copy(self, src: str, dst: str) -> None:
+        node = self.node(src)
+        clone = ContextNode.from_xml(node.to_xml(), now=self.clock.now)
+        parts = self._parts(dst)
+        parent = self.create("/".join(parts[:-1])) if parts[:-1] else self.root
+        clone.name = parts[-1]
+        parent.children[parts[-1]] = clone
+
+    def move(self, src: str, dst: str) -> None:
+        self.copy(src, dst)
+        self.remove(src)
+
+    @staticmethod
+    def _parts(path: str) -> list[str]:
+        return [p for p in path.strip("/").split("/") if p]
+
+
+class ContextManagerService:
+    """The faithful 60+-method Gateway context manager monolith.
+
+    Method naming follows the original's level-specific style — one family
+    of methods per hierarchy level — which is exactly why the interface
+    ballooned.  Paths: user / user+problem / user+problem+session.
+    """
+
+    def __init__(self, store: ContextStore | None = None, clock: SimClock | None = None):
+        self.store = store or ContextStore(clock)
+        self.calls = 0
+
+    def _touch(self, path: str) -> None:
+        self.store.node(path).modified = self.store.clock.now
+
+    # ---- user contexts -------------------------------------------------------
+
+    def createUserContext(self, user: str) -> str:
+        """Create a top-level context for a portal user."""
+        self.calls += 1
+        self.store.create(user)
+        return user
+
+    def removeUserContext(self, user: str) -> bool:
+        self.calls += 1
+        self.store.remove(user)
+        return True
+
+    def hasUserContext(self, user: str) -> bool:
+        self.calls += 1
+        return self.store.exists(user)
+
+    def listUserContexts(self) -> list[str]:
+        self.calls += 1
+        return sorted(self.store.root.children)
+
+    def renameUserContext(self, user: str, new_name: str) -> bool:
+        self.calls += 1
+        self.store.rename(user, new_name)
+        return True
+
+    def getUserCreated(self, user: str) -> float:
+        self.calls += 1
+        return self.store.node(user).created
+
+    def getUserModified(self, user: str) -> float:
+        self.calls += 1
+        return self.store.node(user).modified
+
+    def touchUser(self, user: str) -> bool:
+        self.calls += 1
+        self._touch(user)
+        return True
+
+    def countProblems(self, user: str) -> int:
+        self.calls += 1
+        return len(self.store.node(user).children)
+
+    def exportUserXml(self, user: str) -> str:
+        self.calls += 1
+        return self.store.node(user).to_xml().serialize()
+
+    # ---- problem contexts --------------------------------------------------------
+
+    def createProblemContext(self, user: str, problem: str) -> str:
+        """Create a problem context under a user."""
+        self.calls += 1
+        if not self.store.exists(user):
+            raise ContextError(f"no user context {user!r}")
+        self.store.create(f"{user}/{problem}")
+        return f"{user}/{problem}"
+
+    def removeProblemContext(self, user: str, problem: str) -> bool:
+        self.calls += 1
+        self.store.remove(f"{user}/{problem}")
+        return True
+
+    def hasProblemContext(self, user: str, problem: str) -> bool:
+        self.calls += 1
+        return self.store.exists(f"{user}/{problem}")
+
+    def listProblemContexts(self, user: str) -> list[str]:
+        self.calls += 1
+        return sorted(self.store.node(user).children)
+
+    def renameProblemContext(self, user: str, problem: str, new_name: str) -> bool:
+        self.calls += 1
+        self.store.rename(f"{user}/{problem}", new_name)
+        return True
+
+    def getProblemCreated(self, user: str, problem: str) -> float:
+        self.calls += 1
+        return self.store.node(f"{user}/{problem}").created
+
+    def getProblemModified(self, user: str, problem: str) -> float:
+        self.calls += 1
+        return self.store.node(f"{user}/{problem}").modified
+
+    def touchProblem(self, user: str, problem: str) -> bool:
+        self.calls += 1
+        self._touch(f"{user}/{problem}")
+        return True
+
+    def countSessions(self, user: str, problem: str) -> int:
+        self.calls += 1
+        return len(self.store.node(f"{user}/{problem}").children)
+
+    def copyProblemContext(self, user: str, problem: str, new_name: str) -> bool:
+        self.calls += 1
+        self.store.copy(f"{user}/{problem}", f"{user}/{new_name}")
+        return True
+
+    # ---- session contexts -----------------------------------------------------------
+
+    def createSessionContext(self, user: str, problem: str, session: str) -> str:
+        """Create a session context under a problem."""
+        self.calls += 1
+        if not self.store.exists(f"{user}/{problem}"):
+            raise ContextError(f"no problem context {user}/{problem}")
+        self.store.create(f"{user}/{problem}/{session}")
+        return f"{user}/{problem}/{session}"
+
+    def removeSessionContext(self, user: str, problem: str, session: str) -> bool:
+        self.calls += 1
+        self.store.remove(f"{user}/{problem}/{session}")
+        return True
+
+    def hasSessionContext(self, user: str, problem: str, session: str) -> bool:
+        self.calls += 1
+        return self.store.exists(f"{user}/{problem}/{session}")
+
+    def listSessionContexts(self, user: str, problem: str) -> list[str]:
+        self.calls += 1
+        return sorted(self.store.node(f"{user}/{problem}").children)
+
+    def renameSessionContext(
+        self, user: str, problem: str, session: str, new_name: str
+    ) -> bool:
+        self.calls += 1
+        self.store.rename(f"{user}/{problem}/{session}", new_name)
+        return True
+
+    def getSessionCreated(self, user: str, problem: str, session: str) -> float:
+        self.calls += 1
+        return self.store.node(f"{user}/{problem}/{session}").created
+
+    def getSessionModified(self, user: str, problem: str, session: str) -> float:
+        self.calls += 1
+        return self.store.node(f"{user}/{problem}/{session}").modified
+
+    def touchSession(self, user: str, problem: str, session: str) -> bool:
+        self.calls += 1
+        self._touch(f"{user}/{problem}/{session}")
+        return True
+
+    def copySessionContext(
+        self, user: str, problem: str, session: str, new_name: str
+    ) -> bool:
+        self.calls += 1
+        self.store.copy(
+            f"{user}/{problem}/{session}", f"{user}/{problem}/{new_name}"
+        )
+        return True
+
+    def moveSessionContext(
+        self, user: str, problem: str, session: str, new_problem: str
+    ) -> bool:
+        self.calls += 1
+        self.store.move(
+            f"{user}/{problem}/{session}", f"{user}/{new_problem}/{session}"
+        )
+        return True
+
+    def getSessionDescriptor(self, user: str, problem: str, session: str) -> str:
+        """The application-instance descriptor XML archived in the session."""
+        self.calls += 1
+        return self.store.node(f"{user}/{problem}/{session}").descriptor
+
+    def setSessionDescriptor(
+        self, user: str, problem: str, session: str, descriptor: str
+    ) -> bool:
+        self.calls += 1
+        node = self.store.node(f"{user}/{problem}/{session}")
+        node.descriptor = descriptor
+        node.modified = self.store.clock.now
+        return True
+
+    # ---- properties, one family per level --------------------------------------------
+
+    def setUserProperty(self, user: str, key: str, value: str) -> bool:
+        self.calls += 1
+        node = self.store.node(user)
+        node.properties[key] = value
+        node.modified = self.store.clock.now
+        return True
+
+    def getUserProperty(self, user: str, key: str) -> str:
+        self.calls += 1
+        return self.store.node(user).properties.get(key, "")
+
+    def hasUserProperty(self, user: str, key: str) -> bool:
+        self.calls += 1
+        return key in self.store.node(user).properties
+
+    def removeUserProperty(self, user: str, key: str) -> bool:
+        self.calls += 1
+        return self.store.node(user).properties.pop(key, None) is not None
+
+    def listUserProperties(self, user: str) -> list[str]:
+        self.calls += 1
+        return sorted(self.store.node(user).properties)
+
+    def clearUserProperties(self, user: str) -> bool:
+        self.calls += 1
+        self.store.node(user).properties.clear()
+        return True
+
+    def setProblemProperty(self, user: str, problem: str, key: str, value: str) -> bool:
+        self.calls += 1
+        node = self.store.node(f"{user}/{problem}")
+        node.properties[key] = value
+        node.modified = self.store.clock.now
+        return True
+
+    def getProblemProperty(self, user: str, problem: str, key: str) -> str:
+        self.calls += 1
+        return self.store.node(f"{user}/{problem}").properties.get(key, "")
+
+    def hasProblemProperty(self, user: str, problem: str, key: str) -> bool:
+        self.calls += 1
+        return key in self.store.node(f"{user}/{problem}").properties
+
+    def removeProblemProperty(self, user: str, problem: str, key: str) -> bool:
+        self.calls += 1
+        return (
+            self.store.node(f"{user}/{problem}").properties.pop(key, None) is not None
+        )
+
+    def listProblemProperties(self, user: str, problem: str) -> list[str]:
+        self.calls += 1
+        return sorted(self.store.node(f"{user}/{problem}").properties)
+
+    def clearProblemProperties(self, user: str, problem: str) -> bool:
+        self.calls += 1
+        self.store.node(f"{user}/{problem}").properties.clear()
+        return True
+
+    def setSessionProperty(
+        self, user: str, problem: str, session: str, key: str, value: str
+    ) -> bool:
+        self.calls += 1
+        node = self.store.node(f"{user}/{problem}/{session}")
+        node.properties[key] = value
+        node.modified = self.store.clock.now
+        return True
+
+    def getSessionProperty(
+        self, user: str, problem: str, session: str, key: str
+    ) -> str:
+        self.calls += 1
+        return self.store.node(f"{user}/{problem}/{session}").properties.get(key, "")
+
+    def hasSessionProperty(
+        self, user: str, problem: str, session: str, key: str
+    ) -> bool:
+        self.calls += 1
+        return key in self.store.node(f"{user}/{problem}/{session}").properties
+
+    def removeSessionProperty(
+        self, user: str, problem: str, session: str, key: str
+    ) -> bool:
+        self.calls += 1
+        return (
+            self.store.node(f"{user}/{problem}/{session}").properties.pop(key, None)
+            is not None
+        )
+
+    def listSessionProperties(self, user: str, problem: str, session: str) -> list[str]:
+        self.calls += 1
+        return sorted(self.store.node(f"{user}/{problem}/{session}").properties)
+
+    def clearSessionProperties(self, user: str, problem: str, session: str) -> bool:
+        self.calls += 1
+        self.store.node(f"{user}/{problem}/{session}").properties.clear()
+        return True
+
+    # ---- archival ----------------------------------------------------------------------
+
+    def archiveSession(self, user: str, problem: str, session: str) -> str:
+        """Snapshot a session for later recovery; returns the archive key."""
+        self.calls += 1
+        node = self.store.node(f"{user}/{problem}/{session}")
+        key = f"{user}/{problem}/{session}@{self.store.clock.now:.3f}"
+        self.store.archives[key] = ContextNode.from_xml(
+            node.to_xml(), now=self.store.clock.now
+        )
+        return key
+
+    def restoreSession(self, archive_key: str, user: str, problem: str, session: str) -> bool:
+        """Recover an archived session into the live tree (users 'can recover
+        and edit old sessions later')."""
+        self.calls += 1
+        snapshot = self.store.archives.get(archive_key)
+        if snapshot is None:
+            raise ContextError(f"no archive {archive_key!r}")
+        clone = ContextNode.from_xml(snapshot.to_xml(), now=self.store.clock.now)
+        clone.name = session
+        parent = self.store.create(f"{user}/{problem}")
+        parent.children[session] = clone
+        return True
+
+    def listArchivedSessions(self, user: str) -> list[str]:
+        self.calls += 1
+        return sorted(k for k in self.store.archives if k.startswith(user + "/"))
+
+    def removeArchivedSession(self, archive_key: str) -> bool:
+        self.calls += 1
+        if archive_key not in self.store.archives:
+            raise ContextError(f"no archive {archive_key!r}")
+        del self.store.archives[archive_key]
+        return True
+
+    def exportSessionXml(self, user: str, problem: str, session: str) -> str:
+        self.calls += 1
+        return self.store.node(f"{user}/{problem}/{session}").to_xml().serialize()
+
+    def importSessionXml(self, user: str, problem: str, xml: str) -> str:
+        self.calls += 1
+        node = ContextNode.from_xml(xml, now=self.store.clock.now)
+        parent = self.store.create(f"{user}/{problem}")
+        parent.children[node.name] = node
+        return f"{user}/{problem}/{node.name}"
+
+    def getArchiveCount(self) -> int:
+        self.calls += 1
+        return len(self.store.archives)
+
+    def purgeArchive(self, user: str) -> int:
+        self.calls += 1
+        keys = [k for k in self.store.archives if k.startswith(user + "/")]
+        for key in keys:
+            del self.store.archives[key]
+        return len(keys)
+
+    # ---- placeholder contexts (the HotPage workaround) -------------------------------------
+
+    def createPlaceholderContext(self) -> str:
+        """The §3 workaround: "we needed to create artificial contexts
+        (sessions) for HotPage users".  Creates a throwaway
+        user/problem/session path for a stateless caller."""
+        self.calls += 1
+        n = next(self.store._placeholder_ids)
+        path = f"__placeholder__/anonymous/session-{n:06d}"
+        self.store.create(path, placeholder=True)
+        return path
+
+    def isPlaceholder(self, path: str) -> bool:
+        self.calls += 1
+        return self.store.node(path).placeholder
+
+    def removePlaceholder(self, path: str) -> bool:
+        self.calls += 1
+        if not self.store.node(path).placeholder:
+            raise ContextError(f"{path!r} is not a placeholder context")
+        self.store.remove(path)
+        return True
+
+    def placeholderCount(self) -> int:
+        self.calls += 1
+        root = self.store.root.children.get("__placeholder__")
+        if root is None:
+            return 0
+        return sum(len(problem.children) for problem in root.children.values())
+
+    # ---- module contexts (service implementations live in contexts too) ----------------------
+
+    def registerModule(self, name: str, descriptor: str) -> bool:
+        """Gateway modules (service implementations) also exist in contexts."""
+        self.calls += 1
+        node = self.store.create(f"__modules__/{name}")
+        node.descriptor = descriptor
+        return True
+
+    def unregisterModule(self, name: str) -> bool:
+        self.calls += 1
+        self.store.remove(f"__modules__/{name}")
+        return True
+
+    def listModules(self) -> list[str]:
+        self.calls += 1
+        modules = self.store.root.children.get("__modules__")
+        return sorted(modules.children) if modules else []
+
+    def hasModule(self, name: str) -> bool:
+        self.calls += 1
+        return self.store.exists(f"__modules__/{name}")
+
+    def getModuleProperty(self, name: str, key: str) -> str:
+        self.calls += 1
+        return self.store.node(f"__modules__/{name}").properties.get(key, "")
+
+    def setModuleProperty(self, name: str, key: str, value: str) -> bool:
+        self.calls += 1
+        self.store.node(f"__modules__/{name}").properties[key] = value
+        return True
+
+
+# ---------------------------------------------------------------------------
+# The decomposition the paper recommends
+# ---------------------------------------------------------------------------
+
+
+class UserContextService:
+    """Hierarchy CRUD on generic paths — one small interface."""
+
+    def __init__(self, store: ContextStore):
+        self.store = store
+
+    def create(self, path: str) -> str:
+        """Create a context (and intermediate levels) at *path*."""
+        self.store.create(path)
+        return path
+
+    def remove(self, path: str) -> bool:
+        self.store.remove(path)
+        return True
+
+    def exists(self, path: str) -> bool:
+        return self.store.exists(path)
+
+    def list(self, path: str) -> list[str]:
+        return sorted(self.store.node(path).children)
+
+    def rename(self, path: str, new_name: str) -> bool:
+        self.store.rename(path, new_name)
+        return True
+
+    def info(self, path: str) -> dict[str, Any]:
+        node = self.store.node(path)
+        return {
+            "name": node.name,
+            "created": node.created,
+            "modified": node.modified,
+            "children": len(node.children),
+        }
+
+
+class PropertyService:
+    """Key/value properties on any context path."""
+
+    def __init__(self, store: ContextStore):
+        self.store = store
+
+    def set(self, path: str, key: str, value: str) -> bool:
+        node = self.store.node(path)
+        node.properties[key] = value
+        node.modified = self.store.clock.now
+        return True
+
+    def get(self, path: str, key: str) -> str:
+        return self.store.node(path).properties.get(key, "")
+
+    def remove(self, path: str, key: str) -> bool:
+        return self.store.node(path).properties.pop(key, None) is not None
+
+    def list(self, path: str) -> list[str]:
+        return sorted(self.store.node(path).properties)
+
+
+class SessionArchiveService:
+    """Archival/recovery of session subtrees."""
+
+    def __init__(self, store: ContextStore):
+        self.store = store
+
+    def archive(self, path: str) -> str:
+        node = self.store.node(path)
+        key = f"{path.strip('/')}@{self.store.clock.now:.3f}"
+        self.store.archives[key] = ContextNode.from_xml(
+            node.to_xml(), now=self.store.clock.now
+        )
+        return key
+
+    def restore(self, archive_key: str, path: str) -> bool:
+        snapshot = self.store.archives.get(archive_key)
+        if snapshot is None:
+            raise ContextError(f"no archive {archive_key!r}")
+        parts = path.strip("/").split("/")
+        clone = ContextNode.from_xml(snapshot.to_xml(), now=self.store.clock.now)
+        clone.name = parts[-1]
+        parent = self.store.create("/".join(parts[:-1])) if parts[:-1] else self.store.root
+        parent.children[parts[-1]] = clone
+        return True
+
+    def list(self, prefix: str) -> list[str]:
+        return sorted(k for k in self.store.archives if k.startswith(prefix))
+
+    def export_xml(self, path: str) -> str:
+        return self.store.node(path).to_xml().serialize()
+
+    def import_xml(self, parent_path: str, xml: str) -> str:
+        node = ContextNode.from_xml(xml, now=self.store.clock.now)
+        parent = self.store.create(parent_path)
+        parent.children[node.name] = node
+        return f"{parent_path.strip('/')}/{node.name}"
+
+
+def deploy_context_manager(
+    network: VirtualNetwork,
+    host: str = "gateway.iu.edu",
+    *,
+    store: ContextStore | None = None,
+    server: HttpServer | None = None,
+) -> tuple[ContextManagerService, str]:
+    """Deploy the monolith; returns (impl, endpoint URL)."""
+    impl = ContextManagerService(store, network.clock)
+    server = server or HttpServer(host, network)
+    soap = SoapService("ContextManager", CONTEXT_NAMESPACE)
+    soap.expose_object(impl)
+    return impl, soap.mount(server, "/context")
+
+
+def deploy_decomposed_context_services(
+    network: VirtualNetwork,
+    host: str = "contexts.iu.edu",
+    *,
+    store: ContextStore | None = None,
+) -> dict[str, str]:
+    """Deploy the three decomposed services on one host; returns
+    service-name -> endpoint URL."""
+    store = store or ContextStore(network.clock)
+    server = HttpServer(host, network)
+    endpoints: dict[str, str] = {}
+    for name, namespace, impl, path in (
+        ("user-context", USERCTX_NAMESPACE, UserContextService(store), "/user-context"),
+        ("property", PROPERTY_NAMESPACE, PropertyService(store), "/property"),
+        ("session-archive", ARCHIVE_NAMESPACE, SessionArchiveService(store), "/archive"),
+    ):
+        soap = SoapService(name, namespace)
+        soap.expose_object(impl)
+        endpoints[name] = soap.mount(server, path)
+    return endpoints

@@ -1,0 +1,208 @@
+"""Data management web services over the SRB (§3.2).
+
+"The methods exposed in the SRB Web Services are ls, cat, get, put, and
+xml_call. ... The get and put methods transfer a file between an SRB
+collection and the client by simply streaming the file as a string.  This
+transfer mechanism does not scale well, and was only used as a proof of
+concept.  The xml_call method allows the client to create a single request
+string consisting of multiple SRB commands expressed in XML and sent to the
+Web Service using a single connection."
+
+Experiments C1 (string-streaming scaling) and C2 (xml_call batching) run
+against this module.  As the "future work" extension, :meth:`transfer_url`
+provides out-of-band transfer: the bytes travel a plain HTTP endpoint with
+no SOAP envelope or base64 amplification.
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+from typing import Any
+
+from repro.faults import InvalidRequestError, PortalError
+from repro.srb.commands import Scommands
+from repro.soap.server import SoapService
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+from repro.xmlutil.element import XmlElement, parse_xml
+
+SRBWS_NAMESPACE = "urn:sdsc:srb-web-service"
+
+
+class SrbWebService:
+    """The SOAP face over an authenticated Scommand toolchain."""
+
+    def __init__(self, scommands: Scommands):
+        self.scommands = scommands
+        self._tokens: dict[str, str] = {}  # transfer token -> SRB path
+        self._token_ids = itertools.count(1)
+        self.commands_executed = 0
+
+    # -- the five paper methods -------------------------------------------------
+
+    def ls(self, collection: str, directory: str) -> list[str]:
+        """Directory listing of ``<collection>/<directory>`` as a string array."""
+        path = f"{collection.rstrip('/')}/{directory.strip('/')}" if directory else collection
+        self.commands_executed += 1
+        return self.scommands.Sls(path)
+
+    def cat(self, path: str) -> str:
+        """File contents as a string."""
+        self.commands_executed += 1
+        return self.scommands.Scat(path)
+
+    def get(self, path: str) -> str:
+        """Stream a file to the client as a (base64) string — the paper's
+        proof-of-concept mechanism that "does not scale well"."""
+        self.commands_executed += 1
+        return base64.b64encode(self.scommands.Sget(path)).decode("ascii")
+
+    def put(self, path: str, data: str) -> int:
+        """Stream a (base64) string from the client into the SRB."""
+        self.commands_executed += 1
+        try:
+            payload = base64.b64decode(data.encode("ascii"), validate=True)
+        except Exception as exc:
+            raise InvalidRequestError(f"put payload is not base64: {exc}") from exc
+        return self.scommands.Sput(path, payload)
+
+    def xml_call(self, request_xml: str) -> str:
+        """Execute multiple SRB commands from one XML request string.
+
+        Commands run sequentially; each result carries its own status so one
+        failure doesn't poison the batch.
+        """
+        try:
+            root = parse_xml(request_xml)
+        except ValueError as exc:
+            raise InvalidRequestError(f"malformed xml_call request: {exc}") from exc
+        if root.tag.local != "srbRequest":
+            raise InvalidRequestError(
+                f"expected <srbRequest>, got <{root.tag.local}>"
+            )
+        results = XmlElement("srbResults")
+        for command in root.findall("command"):
+            name = command.get("name", "") or ""
+            args = [arg.text for arg in command.findall("arg")]
+            node = results.child("result")
+            node.set("command", name)
+            try:
+                value = self._dispatch(name, args)
+            except PortalError as err:
+                node.set("status", "error")
+                node.child("error", text=f"{err.code}: {err.message}")
+                continue
+            node.set("status", "ok")
+            if isinstance(value, list):
+                for item in value:
+                    node.child("item", text=str(item))
+            elif value is not None:
+                node.child("value", text=str(value))
+        return results.serialize(declaration=True)
+
+    def _dispatch(self, name: str, args: list[str]) -> Any:
+        def need(count: int) -> list[str]:
+            if len(args) != count:
+                raise InvalidRequestError(
+                    f"srb command {name!r} takes {count} arg(s), got {len(args)}"
+                )
+            return args
+
+        self.commands_executed += 1
+        if name == "ls":
+            return self.scommands.Sls(need(1)[0])
+        if name == "cat":
+            return self.scommands.Scat(need(1)[0])
+        if name == "get":
+            return base64.b64encode(self.scommands.Sget(need(1)[0])).decode("ascii")
+        if name == "put":
+            path, data = need(2)
+            return self.scommands.Sput(path, base64.b64decode(data))
+        if name == "mkdir":
+            self.scommands.Smkdir(need(1)[0])
+            return "created"
+        if name == "rm":
+            self.scommands.Srm(need(1)[0])
+            return "removed"
+        if name == "replicate":
+            path, resource = need(2)
+            return self.scommands.Sreplicate(path, resource)
+        raise InvalidRequestError(f"unknown srb command {name!r}")
+
+    # -- out-of-band transfer extension -----------------------------------------------
+
+    def transfer_url(self, path: str) -> str:
+        """Issue a one-time token for out-of-band download of *path*; the
+        returned URL path is served raw by :meth:`handle_transfer`."""
+        # fail fast if unreadable, so the SOAP call carries the error
+        self.scommands.Sget(path)
+        token = f"t{next(self._token_ids):08d}"
+        self._tokens[token] = path
+        return f"/transfer/{token}"
+
+    def handle_transfer(self, request: HttpRequest) -> HttpResponse:
+        token = request.url.path.rsplit("/", 1)[-1]
+        path = self._tokens.pop(token, None)
+        if path is None:
+            return HttpResponse(404, body="unknown or used transfer token")
+        data = self.scommands.Sget(path)
+        # latin-1 maps bytes 1:1 onto the str-typed simulated wire
+        return HttpResponse(
+            200,
+            {"Content-Type": "application/octet-stream"},
+            data.decode("latin-1"),
+        )
+
+
+def make_request_xml(commands: list[tuple[str, list[str]]]) -> str:
+    """Client-side helper: build an xml_call request document."""
+    root = XmlElement("srbRequest")
+    for name, args in commands:
+        node = root.child("command")
+        node.set("name", name)
+        for arg in args:
+            node.child("arg", text=arg)
+    return root.serialize(declaration=True)
+
+
+def parse_results_xml(text: str) -> list[dict[str, Any]]:
+    """Client-side helper: decode an xml_call results document."""
+    root = parse_xml(text)
+    out: list[dict[str, Any]] = []
+    for node in root.findall("result"):
+        entry: dict[str, Any] = {
+            "command": node.get("command", ""),
+            "status": node.get("status", ""),
+        }
+        items = node.findall("item")
+        if items:
+            entry["items"] = [item.text for item in items]
+        value = node.find("value")
+        if value is not None:
+            entry["value"] = value.text
+        error = node.find("error")
+        if error is not None:
+            entry["error"] = error.text
+        out.append(entry)
+    return out
+
+
+def deploy_srb_service(
+    network: VirtualNetwork,
+    scommands: Scommands,
+    host: str = "srbws.sdsc.edu",
+) -> tuple[SrbWebService, str]:
+    """Stand up the SRB web service; returns (impl, SOAP endpoint URL)."""
+    impl = SrbWebService(scommands)
+    server = HttpServer(host, network)
+    soap = SoapService("SrbWebService", SRBWS_NAMESPACE)
+    soap.expose(impl.ls)
+    soap.expose(impl.cat)
+    soap.expose(impl.get)
+    soap.expose(impl.put)
+    soap.expose(impl.xml_call)
+    soap.expose(impl.transfer_url)
+    server.mount("/transfer", impl.handle_transfer)
+    return impl, soap.mount(server, "/srb")

@@ -1,0 +1,352 @@
+"""Job submission web services (§3.1).
+
+Three services, as in the paper:
+
+- :class:`GlobusrunService` (SDSC): wraps the GRAM/globusrun layer.  "The
+  Web Service exposes two different methods for job execution, one that
+  accepts the parameters of a job as a set of plain strings and returns the
+  results as a string, and one that accepts an XML definition of a job, and
+  returns the results as an XML string.  The DTD for the latter mechanism
+  was designed to allow multiple jobs to be included in a single XML string
+  ... The Web Service executes the jobs sequentially."
+- :class:`BatchJobService` (SDSC): "takes string arguments that define the
+  host and batch scheduler commands to be run ... the batch job submission
+  Web Service uses the Globusrun job submission service previously
+  described" — a Web Service using another Web Service (experiment C7).
+- :class:`WebFlowJobService` (IU): "a wrapper around a client for the
+  'legacy' CORBA-based WebFlow system ... we used to bridge between SOAP
+  and IIOP."
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.faults import InvalidRequestError, JobError
+from repro.corba.orb import CorbaSystemException, CorbaUserException, Orb
+from repro.grid.gram import GramClient, rsl_for
+from repro.grid.jobs import JobSpec
+from repro.grid.resources import ComputeResource
+from repro.security.gsi import ProxyCertificate
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+from repro.xmlutil.element import XmlElement, parse_xml
+
+GLOBUSRUN_NAMESPACE = "urn:sdsc:globusrun"
+BATCHJOB_NAMESPACE = "urn:sdsc:batch-job"
+WEBFLOW_NAMESPACE = "urn:iu:webflow-job"
+
+
+# ---------------------------------------------------------------------------
+# The multi-job XML document format (the paper's DTD analogue)
+# ---------------------------------------------------------------------------
+
+
+def jobs_to_xml(specs: list[tuple[str, JobSpec]]) -> str:
+    """Render [(contact, spec), ...] as a multi-job request document."""
+    root = XmlElement("jobs")
+    for contact, spec in specs:
+        job = root.child("job")
+        job.set("host", contact)
+        job.child("name", text=spec.name)
+        job.child("executable", text=spec.executable)
+        for arg in spec.arguments:
+            job.child("argument", text=arg)
+        job.child("count", text=str(spec.cpus))
+        if spec.queue:
+            job.child("queue", text=spec.queue)
+        job.child("maxWallTime", text=str(int(spec.wallclock_limit)))
+    return root.serialize(declaration=True)
+
+
+def jobs_from_xml(text: str) -> list[tuple[str, JobSpec]]:
+    """Parse a multi-job request document."""
+    root = parse_xml(text)
+    if root.tag.local != "jobs":
+        raise InvalidRequestError(f"expected <jobs> document, got <{root.tag.local}>")
+    out: list[tuple[str, JobSpec]] = []
+    for job in root.findall("job"):
+        contact = job.get("host", "") or ""
+        if not contact:
+            raise InvalidRequestError("<job> element lacks a host attribute")
+        spec = JobSpec(
+            name=job.findtext("name", "job") or "job",
+            executable=job.findtext("executable"),
+            arguments=[arg.text for arg in job.findall("argument")],
+            cpus=int(job.findtext("count", "1") or 1),
+            queue=job.findtext("queue", "") or "",
+            wallclock_limit=float(job.findtext("maxWallTime", "3600") or 3600),
+        )
+        if not spec.executable:
+            raise InvalidRequestError("<job> element lacks an executable")
+        out.append((contact, spec))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Globusrun web service (SDSC)
+# ---------------------------------------------------------------------------
+
+
+class GlobusrunService:
+    """The Globusrun web service implementation.
+
+    Holds a delegated GSI proxy (the GSI-SOAP analogue) and a map of known
+    gatekeeper contacts.  Jobs run to completion before the call returns,
+    matching the paper's synchronous "returns the results as a string".
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        resources: dict[str, ComputeResource],
+        proxy: ProxyCertificate,
+        *,
+        service_host: str = "globusrun.sdsc.edu",
+    ):
+        self.resources = resources
+        self.gram = GramClient(network, proxy, source=service_host)
+        self.jobs_run = 0
+
+    def _resource(self, contact: str) -> ComputeResource:
+        resource = self.resources.get(contact)
+        if resource is None:
+            raise JobError(f"unknown gatekeeper contact {contact!r}", {"host": contact})
+        return resource
+
+    def _run_one(self, contact: str, spec: JobSpec) -> tuple[str, str, int]:
+        """Submit and wait; returns (job id, stdout, exit code)."""
+        resource = self._resource(contact)
+        job_id = self.gram.submit(contact, rsl_for(spec))
+        record = resource.scheduler.wait_for(job_id)
+        self.jobs_run += 1
+        exit_code = record.exit_code if record.exit_code is not None else -1
+        return job_id, record.stdout, exit_code
+
+    # -- exposed methods -----------------------------------------------------
+
+    def run(
+        self,
+        host: str,
+        executable: str,
+        arguments: str,
+        count: int,
+        queue: str,
+        max_wall_time: int,
+    ) -> str:
+        """Plain-strings job execution; returns the job output as a string."""
+        spec = JobSpec(
+            name="globusrun",
+            executable=executable,
+            arguments=arguments.split() if arguments else [],
+            cpus=int(count) if count else 1,
+            queue=queue,
+            wallclock_limit=float(max_wall_time) if max_wall_time else 3600.0,
+        )
+        _job_id, stdout, exit_code = self._run_one(host, spec)
+        if exit_code != 0:
+            raise JobError(
+                f"job exited with code {exit_code}",
+                {"host": host, "exit_code": str(exit_code)},
+            )
+        return stdout
+
+    def run_xml(self, jobs_xml: str) -> str:
+        """XML multi-job execution: one request, sequential runs, XML results.
+
+        Failures do not abort the batch; each <result> carries its own
+        status, preserving the common error vocabulary in-band.
+        """
+        requests = jobs_from_xml(jobs_xml)
+        results = XmlElement("results")
+        for contact, spec in requests:
+            node = results.child("result")
+            node.set("host", contact)
+            node.set("name", spec.name)
+            try:
+                job_id, stdout, exit_code = self._run_one(contact, spec)
+            except JobError as err:
+                node.set("status", "error")
+                node.child("error", text=err.message)
+                continue
+            node.set("status", "ok" if exit_code == 0 else "failed")
+            node.set("jobId", job_id)
+            node.child("exitCode", text=str(exit_code))
+            node.child("output", text=stdout)
+        return results.serialize(declaration=True)
+
+    def list_contacts(self) -> list[str]:
+        """The gatekeeper contacts this deployment can reach."""
+        return sorted(self.resources)
+
+
+def deploy_globusrun(
+    network: VirtualNetwork,
+    resources: dict[str, ComputeResource],
+    proxy: ProxyCertificate,
+    host: str = "globusrun.sdsc.edu",
+) -> tuple[GlobusrunService, str]:
+    """Stand up the Globusrun web service; returns (impl, endpoint URL)."""
+    impl = GlobusrunService(network, resources, proxy, service_host=host)
+    server = HttpServer(host, network)
+    soap = SoapService("Globusrun", GLOBUSRUN_NAMESPACE)
+    soap.expose(impl.run)
+    soap.expose(impl.run_xml)
+    soap.expose(impl.list_contacts)
+    return impl, soap.mount(server, "/globusrun")
+
+
+# ---------------------------------------------------------------------------
+# Batch job web service (SDSC) — composes the Globusrun web service
+# ---------------------------------------------------------------------------
+
+
+class BatchJobService:
+    """Submits batch scheduler command strings via the Globusrun service.
+
+    The string format is ``<host> <executable> [args...]`` plus optional
+    ``key=value`` settings (count=, queue=, walltime=), parsed exactly as
+    the paper describes: "these string arguments are parsed, and the batch
+    job submission Web Service uses the Globusrun job submission service".
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        globusrun_endpoint: str,
+        *,
+        service_host: str = "batchjob.sdsc.edu",
+    ):
+        self._globusrun = SoapClient(
+            network, globusrun_endpoint, GLOBUSRUN_NAMESPACE, source=service_host
+        )
+        self.requests_handled = 0
+
+    def submit_batch(self, host: str, command: str) -> str:
+        """Parse the command string and run it on *host* via Globusrun."""
+        if not command.strip():
+            raise InvalidRequestError("empty batch command")
+        settings = {"count": "1", "queue": "", "walltime": "3600"}
+        words: list[str] = []
+        for token in command.split():
+            key, eq, value = token.partition("=")
+            if eq and key in settings:
+                settings[key] = value
+            else:
+                words.append(token)
+        if not words:
+            raise InvalidRequestError(f"no executable in command {command!r}")
+        self.requests_handled += 1
+        return self._globusrun.call(
+            "run",
+            host,
+            words[0],
+            " ".join(words[1:]),
+            int(settings["count"]),
+            settings["queue"],
+            int(settings["walltime"]),
+        )
+
+
+def deploy_batchjob(
+    network: VirtualNetwork,
+    globusrun_endpoint: str,
+    host: str = "batchjob.sdsc.edu",
+) -> tuple[BatchJobService, str]:
+    impl = BatchJobService(network, globusrun_endpoint, service_host=host)
+    server = HttpServer(host, network)
+    soap = SoapService("BatchJob", BATCHJOB_NAMESPACE)
+    soap.expose(impl.submit_batch)
+    return impl, soap.mount(server, "/batchjob")
+
+
+# ---------------------------------------------------------------------------
+# WebFlow bridge service (IU) — SOAP to IIOP
+# ---------------------------------------------------------------------------
+
+
+class WebFlowJobService:
+    """The IU job submission service: SOAP methods wrapping a WebFlow CORBA
+    client, including the "utility methods for initializing the client ORB"."""
+
+    def __init__(self, network: VirtualNetwork, webflow_ior: str, *, service_host: str):
+        self._network = network
+        self._ior = webflow_ior
+        self._service_host = service_host
+        self._orb: Orb | None = None
+        self._stub = None
+        self.bridged_calls = 0
+
+    # -- the ORB utility methods the paper mentions ---------------------------
+
+    def init_orb(self) -> bool:
+        """Initialize the client ORB and resolve the WebFlow object."""
+        self._orb = Orb(self._network, host=self._service_host)
+        self._stub = self._orb.string_to_object(self._ior)
+        return True
+
+    def orb_initialized(self) -> bool:
+        return self._stub is not None
+
+    def _webflow(self):
+        if self._stub is None:
+            self.init_orb()
+        return self._stub
+
+    def _bridge(self, operation: str, *args: Any) -> Any:
+        try:
+            result = getattr(self._webflow(), operation)(*args)
+        except CorbaUserException as exc:
+            raise JobError(
+                f"WebFlow rejected {operation}: {exc.exc_message}",
+                {"operation": operation, "corba_exception": exc.exc_type},
+            ) from exc
+        except CorbaSystemException as exc:
+            raise JobError(
+                f"ORB failure during {operation}: {exc}", {"operation": operation}
+            ) from exc
+        self.bridged_calls += 1
+        return result
+
+    # -- exposed methods (the wrapped WebFlow methods) --------------------------------
+
+    def add_context(self, context: str) -> str:
+        return self._bridge("addContext", context)
+
+    def submit_job(self, context: str, host: str, script: str) -> str:
+        return self._bridge("submitJob", context, host, script)
+
+    def get_job_status(self, handle: str) -> str:
+        return self._bridge("getJobStatus", handle)
+
+    def get_job_output(self, handle: str) -> str:
+        return self._bridge("getJobOutput", handle)
+
+    def cancel_job(self, handle: str) -> bool:
+        return self._bridge("cancelJob", handle)
+
+    def list_jobs(self, context: str) -> list[str]:
+        return self._bridge("listJobs", context)
+
+    def backend_hosts(self) -> list[str]:
+        return self._bridge("backendHosts")
+
+
+def deploy_webflow_bridge(
+    network: VirtualNetwork,
+    webflow_ior: str,
+    host: str = "gateway.iu.edu",
+) -> tuple[WebFlowJobService, str]:
+    impl = WebFlowJobService(network, webflow_ior, service_host=host)
+    server = HttpServer(host, network)
+    soap = SoapService("WebFlowJob", WEBFLOW_NAMESPACE)
+    soap.expose(impl.add_context)
+    soap.expose(impl.submit_job)
+    soap.expose(impl.get_job_status)
+    soap.expose(impl.get_job_output)
+    soap.expose(impl.cancel_job)
+    soap.expose(impl.list_jobs)
+    soap.expose(impl.backend_hosts)
+    return impl, soap.mount(server, "/webflow")

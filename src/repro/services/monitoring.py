@@ -1,0 +1,134 @@
+"""The job-monitoring core service.
+
+§5.4: a portal aggregates "interfaces to core services such as file
+transfer or job monitoring that may interest a user", and the application
+descriptor schema (:mod:`repro.appws.schemas`) lists ``monitoring`` among
+the bindable core services.  This module provides that service: a SOAP face
+over the grid testbed's schedulers offering qstat-style views, per-job
+status, and grid-wide load — plus a ready-made portlet rendering it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.faults import ResourceNotFoundError
+from repro.grid.resources import ComputeResource
+from repro.portlets.base import Portlet
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+MONITORING_NAMESPACE = "urn:gce:job-monitoring"
+
+
+class JobMonitoringService:
+    """Aggregated, read-only views over every testbed scheduler."""
+
+    def __init__(self, resources: dict[str, ComputeResource]):
+        self.resources = resources
+        self.queries_served = 0
+
+    def _resource(self, host: str) -> ComputeResource:
+        resource = self.resources.get(host)
+        if resource is None:
+            raise ResourceNotFoundError(
+                f"monitoring knows no resource {host!r}", {"host": host}
+            )
+        return resource
+
+    # -- exposed methods ----------------------------------------------------------
+
+    def hosts(self) -> list[str]:
+        """The monitored compute resources."""
+        return sorted(self.resources)
+
+    def grid_load(self) -> list[dict[str, Any]]:
+        """One row per resource: queuing system, cpu counts, queue depth."""
+        self.queries_served += 1
+        rows: list[dict[str, Any]] = []
+        for host in sorted(self.resources):
+            resource = self.resources[host]
+            scheduler = resource.scheduler
+            records = scheduler.jobs()
+            rows.append({
+                "host": host,
+                "system": resource.queuing_system,
+                "cpus": scheduler.cpus,
+                "free_cpus": scheduler.free_cpus,
+                "running": sum(1 for r in records if r.state.value == "running"),
+                "queued": sum(1 for r in records if r.state.value == "queued"),
+                "completed": scheduler.completed_count,
+            })
+        return rows
+
+    def qstat(self, host: str) -> list[dict[str, Any]]:
+        """The scheduler's full job table for one resource."""
+        self.queries_served += 1
+        return self._resource(host).scheduler.qstat()
+
+    def job_status(self, host: str, job_id: str) -> dict[str, Any]:
+        """One job's summary row (faults if unknown)."""
+        self.queries_served += 1
+        return self._resource(host).scheduler.job(job_id).summary()
+
+    def user_jobs(self, logname: str) -> list[dict[str, Any]]:
+        """Every job across the grid whose LOGNAME matches *logname*."""
+        self.queries_served += 1
+        rows: list[dict[str, Any]] = []
+        for host in sorted(self.resources):
+            for record in self.resources[host].scheduler.jobs():
+                if record.spec.environment.get("LOGNAME") == logname:
+                    rows.append(record.summary())
+        return rows
+
+
+def deploy_monitoring(
+    network: VirtualNetwork,
+    resources: dict[str, ComputeResource],
+    host: str = "monitor.gridportal.org",
+) -> tuple[JobMonitoringService, str]:
+    """Stand up the monitoring service; returns (impl, endpoint URL)."""
+    impl = JobMonitoringService(resources)
+    server = HttpServer(host, network)
+    soap = SoapService("JobMonitoring", MONITORING_NAMESPACE)
+    soap.expose(impl.hosts)
+    soap.expose(impl.grid_load)
+    soap.expose(impl.qstat)
+    soap.expose(impl.job_status)
+    soap.expose(impl.user_jobs)
+    return impl, soap.mount(server, "/monitor")
+
+
+class GridLoadPortlet(Portlet):
+    """A local portlet rendering the monitoring service's grid-load view —
+    the HotPage-style machine-status window."""
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        endpoint: str,
+        *,
+        name: str = "grid-load",
+        title: str = "Grid load",
+        source: str = "portal",
+    ):
+        super().__init__(name, title)
+        self._client = SoapClient(
+            network, endpoint, MONITORING_NAMESPACE, source=source
+        )
+
+    def render(self, container_base: str) -> str:
+        rows = self._client.call("grid_load")
+        cells = ['<table class="grid-load">'
+                 "<tr><th>host</th><th>system</th><th>free/total cpus</th>"
+                 "<th>running</th><th>queued</th></tr>"]
+        for row in rows:
+            cells.append(
+                f"<tr><td>{row['host']}</td><td>{row['system']}</td>"
+                f"<td>{row['free_cpus']}/{row['cpus']}</td>"
+                f"<td>{row['running']}</td><td>{row['queued']}</td></tr>"
+            )
+        cells.append("</table>")
+        return "".join(cells)

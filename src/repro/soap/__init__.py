@@ -1,0 +1,39 @@
+"""A SOAP 1.1-subset stack.
+
+The paper's services are "implemented in both Python and Java" over SOAP with
+string-heavy interfaces.  This package provides the full invocation path:
+
+- :mod:`repro.soap.encoding` — SOAP-encoding of typed values (strings, ints,
+  doubles, booleans, base64, arrays, structs, XML literals, nils).
+- :mod:`repro.soap.message` — envelope/header/body model and SOAP faults,
+  including the mapping of the portal's common error vocabulary
+  (:mod:`repro.faults`) onto fault details (§3's "consistent error
+  messaging").
+- :mod:`repro.soap.server` — :class:`SoapService`: a method registry plus the
+  HTTP endpoint that dispatches SOAP requests to registered callables.
+- :mod:`repro.soap.client` — :class:`SoapClient`: a dynamic proxy that
+  encodes calls, decodes responses, re-raises portal errors, and supports
+  pluggable header providers (used for SAML assertions in §4).
+"""
+
+from repro.soap.encoding import SOAP_ENC_NS, decode_value, encode_value
+from repro.soap.message import (
+    SOAP_ENV_NS,
+    SoapEnvelope,
+    SoapFault,
+    SoapFaultError,
+)
+from repro.soap.server import SoapService
+from repro.soap.client import SoapClient
+
+__all__ = [
+    "SOAP_ENC_NS",
+    "SOAP_ENV_NS",
+    "decode_value",
+    "encode_value",
+    "SoapEnvelope",
+    "SoapFault",
+    "SoapFaultError",
+    "SoapService",
+    "SoapClient",
+]

@@ -1,0 +1,111 @@
+"""SOAP-encoding of typed Python values.
+
+Implements the subset of SOAP 1.1 Section-5 encoding that the portal
+services exchange: simple types with ``xsi:type`` hints, arrays, structs,
+``xsi:nil`` for nulls, base64 binary, and embedded XML-literal payloads (the
+paper's job-submission and SRB services pass "an XML definition of a job ...
+as an XML string"; the XML-literal form carries it without double-escaping,
+while plain strings remain fully supported).
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+from repro.xmlutil.element import XmlElement
+from repro.xmlutil.qname import QName
+
+SOAP_ENC_NS = "http://schemas.xmlsoap.org/soap/encoding/"
+XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
+XSD_NS = "http://www.w3.org/2001/XMLSchema"
+
+_TYPE_ATTR = QName(XSI_NS, "type")
+_NIL_ATTR = QName(XSI_NS, "nil")
+_ARRAY_TYPE_ATTR = QName(SOAP_ENC_NS, "arrayType")
+
+
+class SoapEncodingError(ValueError):
+    """Raised when a value cannot be encoded or decoded."""
+
+
+def encode_value(name: str | QName, value: Any) -> XmlElement:
+    """Encode a Python value as a SOAP-encoded element named *name*."""
+    node = XmlElement(name)
+    _encode_into(node, value)
+    return node
+
+
+def _set_type(node: XmlElement, xsd_type: str) -> None:
+    node.attributes[_TYPE_ATTR] = xsd_type
+
+
+def _encode_into(node: XmlElement, value: Any) -> None:
+    if value is None:
+        node.attributes[_NIL_ATTR] = "true"
+    elif isinstance(value, bool):
+        _set_type(node, "xsd:boolean")
+        node.set_text("true" if value else "false")
+    elif isinstance(value, int):
+        _set_type(node, "xsd:int")
+        node.set_text(str(value))
+    elif isinstance(value, float):
+        _set_type(node, "xsd:double")
+        node.set_text(repr(value))
+    elif isinstance(value, str):
+        _set_type(node, "xsd:string")
+        node.set_text(value)
+    elif isinstance(value, bytes):
+        _set_type(node, "xsd:base64Binary")
+        node.set_text(base64.b64encode(value).decode("ascii"))
+    elif isinstance(value, XmlElement):
+        _set_type(node, "enc:XmlLiteral")
+        node.content = [value]
+    elif isinstance(value, (list, tuple)):
+        _set_type(node, "enc:Array")
+        node.attributes[_ARRAY_TYPE_ATTR] = f"xsd:anyType[{len(value)}]"
+        for item in value:
+            node.append(encode_value("item", item))
+    elif isinstance(value, dict):
+        _set_type(node, "enc:Struct")
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SoapEncodingError(
+                    f"struct keys must be strings, got {type(key).__name__}"
+                )
+            node.append(encode_value(key, item))
+    else:
+        raise SoapEncodingError(
+            f"cannot SOAP-encode value of type {type(value).__name__}"
+        )
+
+
+def decode_value(node: XmlElement) -> Any:
+    """Decode a SOAP-encoded element back to a Python value."""
+    if node.attributes.get(_NIL_ATTR) == "true":
+        return None
+    xsi_type = node.attributes.get(_TYPE_ATTR, "")
+    local = xsi_type.split(":", 1)[-1] if xsi_type else ""
+    if local == "XmlLiteral":
+        children = node.children
+        if len(children) != 1:
+            raise SoapEncodingError("XmlLiteral must wrap exactly one element")
+        return children[0]
+    if local == "Array" or _ARRAY_TYPE_ATTR in node.attributes:
+        return [decode_value(item) for item in node.children]
+    if local == "Struct":
+        return {child.tag.local: decode_value(child) for child in node.children}
+    if local in ("boolean",):
+        return node.text.strip() in ("true", "1")
+    if local in ("int", "integer", "long", "short"):
+        return int(node.text.strip())
+    if local in ("double", "float", "decimal"):
+        return float(node.text.strip())
+    if local in ("base64Binary",):
+        return base64.b64decode(node.text.strip())
+    if local in ("string", "anyURI", "dateTime"):
+        return node.text
+    # untyped: infer structs from element children, else treat as string
+    if node.children:
+        return {child.tag.local: decode_value(child) for child in node.children}
+    return node.text

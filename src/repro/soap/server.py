@@ -1,0 +1,152 @@
+"""SOAP service dispatch: a method registry mounted as an HTTP endpoint.
+
+A :class:`SoapService` is the paper's "SOAP Service Provider" (SSP) for one
+service: it owns a namespace, a set of exposed methods, and optional request
+interceptors (the security layer in §4 registers one to demand verified SAML
+assertions before any method runs).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.faults import InvalidRequestError, PortalError
+from repro.soap.encoding import decode_value
+from repro.soap.message import (
+    SoapEnvelope,
+    SoapFault,
+    response_envelope,
+)
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.server import HttpServer
+
+# An interceptor inspects (method name, params, envelope) before dispatch and
+# raises a PortalError to reject the call.
+Interceptor = Callable[[str, list[Any], SoapEnvelope], None]
+
+
+@dataclass
+class ExposedMethod:
+    """Metadata for one exposed operation (drives WSDL generation)."""
+
+    name: str
+    func: Callable[..., Any]
+    doc: str = ""
+    param_names: list[str] = field(default_factory=list)
+
+
+class SoapService:
+    """A SOAP server for one service namespace.
+
+    Methods are exposed explicitly (``expose``) or in bulk from an object
+    (``expose_object``), mirroring how the paper's teams wrapped existing
+    implementations ("the SOAP server methods wrapped the existing WebFlow
+    methods").
+    """
+
+    def __init__(self, name: str, namespace: str):
+        self.name = name
+        self.namespace = namespace
+        self.methods: dict[str, ExposedMethod] = {}
+        self.interceptors: list[Interceptor] = []
+        self.calls_served = 0
+        self.faults_returned = 0
+
+    # -- registration ----------------------------------------------------------
+
+    def expose(
+        self, func: Callable[..., Any], name: str | None = None
+    ) -> "SoapService":
+        method_name = name or func.__name__
+        try:
+            params = [
+                p.name
+                for p in inspect.signature(func).parameters.values()
+                if p.name != "self"
+            ]
+        except (TypeError, ValueError):  # builtins etc.
+            params = []
+        self.methods[method_name] = ExposedMethod(
+            name=method_name,
+            func=func,
+            doc=inspect.getdoc(func) or "",
+            param_names=params,
+        )
+        return self
+
+    def expose_object(self, obj: Any, only: list[str] | None = None) -> "SoapService":
+        """Expose every public method of *obj* (or the listed subset)."""
+        for attr in dir(obj):
+            if attr.startswith("_"):
+                continue
+            if only is not None and attr not in only:
+                continue
+            func = getattr(obj, attr)
+            if callable(func):
+                self.expose(func, name=attr)
+        return self
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        self.interceptors.append(interceptor)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def dispatch(self, envelope: SoapEnvelope) -> SoapEnvelope:
+        """Execute one request envelope, always returning a response (faults
+        included — never raising)."""
+        method_name = envelope.body.tag.local
+        try:
+            exposed = self.methods.get(method_name)
+            if exposed is None:
+                raise InvalidRequestError(
+                    f"service {self.name!r} has no method {method_name!r}",
+                    {"method": method_name},
+                )
+            params = [decode_value(child) for child in envelope.body.children]
+            for interceptor in self.interceptors:
+                interceptor(method_name, params, envelope)
+            result = exposed.func(*params)
+        except PortalError as err:
+            self.faults_returned += 1
+            return SoapEnvelope(
+                SoapFault.from_portal_error(err, actor=self.name).to_xml()
+            )
+        except Exception as exc:  # noqa: BLE001 - service boundary
+            self.faults_returned += 1
+            fault = SoapFault(
+                faultcode="Server",
+                faultstring=f"unhandled {type(exc).__name__}: {exc}",
+                faultactor=self.name,
+            )
+            return SoapEnvelope(fault.to_xml())
+        self.calls_served += 1
+        return response_envelope(self.namespace, method_name, result)
+
+    # -- HTTP endpoint -------------------------------------------------------------
+
+    def handle_http(self, request: HttpRequest) -> HttpResponse:
+        """The HTTP face of the service (mounted on an
+        :class:`repro.transport.server.HttpServer`)."""
+        if request.method != "POST":
+            return HttpResponse(405, body="SOAP endpoint requires POST")
+        try:
+            envelope = SoapEnvelope.parse(request.body)
+        except ValueError as exc:
+            fault = SoapFault("Client", f"malformed SOAP request: {exc}", self.name)
+            return HttpResponse(
+                500,
+                {"Content-Type": "text/xml"},
+                SoapEnvelope(fault.to_xml()).serialize(),
+            )
+        response = self.dispatch(envelope)
+        status = 500 if response.is_fault else 200
+        return HttpResponse(
+            status, {"Content-Type": "text/xml"}, response.serialize()
+        )
+
+    def mount(self, server: HttpServer, path: str = "/soap") -> str:
+        """Mount this service on a host; returns the endpoint URL."""
+        server.mount(path, self.handle_http)
+        return f"http://{server.host}{path}"

@@ -1,0 +1,31 @@
+"""A Storage Resource Broker (SRB) simulator.
+
+§3.2's data-management web services are thin SOAP wrappers over "the GSI
+authenticated SRB command line utilities".  This package rebuilds that
+stack:
+
+- :mod:`repro.srb.storage` — physical storage resources with capacity
+  accounting (so "the file didn't get transferred because the disk was
+  full" is a reachable state, as §3 demands of the error vocabulary).
+- :mod:`repro.srb.catalog` — the MCAT metadata catalogue: hierarchical
+  collections, data objects, replicas, user metadata.
+- :mod:`repro.srb.server` — the SRB server: GSI-authenticated sessions,
+  permission checks, and the core operations.
+- :mod:`repro.srb.commands` — the Scommand utilities (Sls, Scat, Sget,
+  Sput, Smkdir, Srm, Sreplicate) that the web service layer shells out to.
+"""
+
+from repro.srb.storage import StorageResource
+from repro.srb.catalog import Collection, DataObject, Mcat
+from repro.srb.server import SrbServer, SrbSession
+from repro.srb.commands import Scommands
+
+__all__ = [
+    "StorageResource",
+    "Collection",
+    "DataObject",
+    "Mcat",
+    "SrbServer",
+    "SrbSession",
+    "Scommands",
+]

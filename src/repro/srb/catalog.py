@@ -1,0 +1,171 @@
+"""The MCAT: SRB's metadata catalogue."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults import InvalidRequestError, ResourceNotFoundError
+
+
+@dataclass
+class DataObject:
+    """A logical file: replicas on one or more storage resources."""
+
+    name: str
+    size: int = 0
+    owner: str = ""
+    created: float = 0.0
+    modified: float = 0.0
+    replicas: list[tuple[str, str]] = field(default_factory=list)  # (resource, blob id)
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def replica_on(self, resource: str) -> str | None:
+        for res, blob_id in self.replicas:
+            if res == resource:
+                return blob_id
+        return None
+
+
+@dataclass
+class Collection:
+    """A hierarchical namespace node (directory)."""
+
+    name: str
+    owner: str = ""
+    collections: dict[str, "Collection"] = field(default_factory=dict)
+    objects: dict[str, DataObject] = field(default_factory=dict)
+    acl: dict[str, str] = field(default_factory=dict)  # user -> "r" | "rw"
+
+
+def split_path(path: str) -> list[str]:
+    parts = [p for p in path.strip().split("/") if p]
+    for part in parts:
+        if part in (".", ".."):
+            raise InvalidRequestError(f"relative components not allowed: {path!r}")
+    return parts
+
+
+class Mcat:
+    """The catalogue proper: path algebra over collections and objects."""
+
+    def __init__(self):
+        self.root = Collection("/", owner="srbAdmin")
+
+    # -- navigation ----------------------------------------------------------
+
+    def collection(self, path: str) -> Collection:
+        node = self.root
+        for part in split_path(path):
+            child = node.collections.get(part)
+            if child is None:
+                raise ResourceNotFoundError(
+                    f"no collection {path!r}", {"path": path}
+                )
+            node = child
+        return node
+
+    def parent_and_name(self, path: str) -> tuple[Collection, str]:
+        parts = split_path(path)
+        if not parts:
+            raise InvalidRequestError("path must name an entry, not the root")
+        parent = self.root
+        for part in parts[:-1]:
+            child = parent.collections.get(part)
+            if child is None:
+                raise ResourceNotFoundError(
+                    f"no collection {'/' + '/'.join(parts[:-1])!r}", {"path": path}
+                )
+            parent = child
+        return parent, parts[-1]
+
+    def data_object(self, path: str) -> DataObject:
+        parent, name = self.parent_and_name(path)
+        obj = parent.objects.get(name)
+        if obj is None:
+            raise ResourceNotFoundError(f"no data object {path!r}", {"path": path})
+        return obj
+
+    def exists(self, path: str) -> bool:
+        try:
+            parent, name = self.parent_and_name(path)
+        except (ResourceNotFoundError, InvalidRequestError):
+            return False
+        return name in parent.objects or name in parent.collections
+
+    # -- mutation --------------------------------------------------------------
+
+    def make_collection(self, path: str, owner: str) -> Collection:
+        node = self.root
+        for part in split_path(path):
+            if part in node.objects:
+                raise InvalidRequestError(
+                    f"{part!r} is a data object, not a collection", {"path": path}
+                )
+            node = node.collections.setdefault(part, Collection(part, owner=owner))
+        return node
+
+    def remove_collection(self, path: str, *, force: bool = False) -> None:
+        parent, name = self.parent_and_name(path)
+        target = parent.collections.get(name)
+        if target is None:
+            raise ResourceNotFoundError(f"no collection {path!r}", {"path": path})
+        if (target.collections or target.objects) and not force:
+            raise InvalidRequestError(
+                f"collection {path!r} is not empty", {"path": path}
+            )
+        del parent.collections[name]
+
+    def put_object(self, path: str, obj: DataObject) -> None:
+        parent, name = self.parent_and_name(path)
+        if name in parent.collections:
+            raise InvalidRequestError(
+                f"{path!r} is a collection", {"path": path}
+            )
+        obj.name = name
+        parent.objects[name] = obj
+
+    def remove_object(self, path: str) -> DataObject:
+        parent, name = self.parent_and_name(path)
+        obj = parent.objects.pop(name, None)
+        if obj is None:
+            raise ResourceNotFoundError(f"no data object {path!r}", {"path": path})
+        return obj
+
+    # -- queries ------------------------------------------------------------------
+
+    def listing(self, path: str) -> list[dict[str, object]]:
+        """An Sls-style listing of a collection."""
+        node = self.collection(path)
+        rows: list[dict[str, object]] = []
+        for name in sorted(node.collections):
+            rows.append({"name": name + "/", "type": "collection", "size": 0})
+        for name in sorted(node.objects):
+            obj = node.objects[name]
+            rows.append(
+                {
+                    "name": name,
+                    "type": "object",
+                    "size": obj.size,
+                    "owner": obj.owner,
+                    "replicas": len(obj.replicas),
+                }
+            )
+        return rows
+
+    def find_by_metadata(
+        self, where: dict[str, str], path: str = "/"
+    ) -> list[tuple[str, DataObject]]:
+        """All objects under *path* whose user metadata matches *where*."""
+        results: list[tuple[str, DataObject]] = []
+
+        def visit(node: Collection, prefix: str) -> None:
+            for name, obj in node.objects.items():
+                if all(obj.metadata.get(k) == v for k, v in where.items()):
+                    results.append((f"{prefix}/{name}", obj))
+            for name, child in node.collections.items():
+                visit(child, f"{prefix}/{name}")
+
+        start = self.collection(path)
+        prefix = "/" + "/".join(split_path(path)) if split_path(path) else ""
+        visit(start, prefix)
+        return results

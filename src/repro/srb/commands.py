@@ -1,0 +1,94 @@
+"""The Scommand utilities.
+
+"These SRB Web Services are GSI authenticated, and use the GSI
+authenticated SRB command line utilities."  :class:`Scommands` is that
+utility layer: a thin, string-oriented face over an authenticated
+:class:`repro.srb.server.SrbSession`, shaped like the real ``Sls``/``Sget``
+tools (text rows in, text out) so the SOAP layer above it stays as thin as
+the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.security.gsi import ProxyCertificate
+from repro.srb.server import SrbServer, SrbSession
+
+
+class Scommands:
+    """One user's Scommand toolchain (Sinit ... Sexit)."""
+
+    def __init__(self, server: SrbServer, proxy: ProxyCertificate):
+        self.server = server
+        self._proxy = proxy
+        self._session: SrbSession | None = None
+
+    # -- session management (Sinit / Sexit) ----------------------------------
+
+    def Sinit(self) -> str:
+        """Open the authenticated session; returns the SRB user name."""
+        self._session = self.server.connect(self._proxy)
+        return self._session.user
+
+    def Sexit(self) -> None:
+        if self._session is not None:
+            self.server.disconnect(self._session)
+            self._session = None
+
+    @property
+    def session(self) -> SrbSession:
+        if self._session is None:
+            self.Sinit()
+        assert self._session is not None
+        return self._session
+
+    # -- commands -----------------------------------------------------------------
+
+    def Sls(self, collection: str) -> list[str]:
+        """Directory listing: one formatted row per entry."""
+        rows = self.server.ls(self.session, collection)
+        out: list[str] = []
+        for row in rows:
+            if row["type"] == "collection":
+                out.append(f"  C- {row['name']}")
+            else:
+                out.append(f"  {row['size']:>10} {row['owner']:<12} {row['name']}")
+        return out
+
+    def Scat(self, path: str) -> str:
+        """File contents as text."""
+        return self.server.get(self.session, path).decode("utf-8", errors="replace")
+
+    def Sget(self, path: str) -> bytes:
+        """File contents as bytes (local copy)."""
+        return self.server.get(self.session, path)
+
+    def Sput(self, path: str, data: bytes | str, *, resource: str = "") -> int:
+        """Store data at *path*; returns the byte count."""
+        payload = data.encode("utf-8") if isinstance(data, str) else data
+        obj = self.server.put(self.session, path, payload, resource=resource)
+        return obj.size
+
+    def Smkdir(self, path: str) -> None:
+        self.server.mkdir(self.session, path)
+
+    def Srm(self, path: str) -> None:
+        self.server.rm(self.session, path)
+
+    def Srmdir(self, path: str, *, force: bool = False) -> None:
+        self.server.rmdir(self.session, path, force=force)
+
+    def Sreplicate(self, path: str, resource: str) -> int:
+        """Replicate to another resource; returns the new replica count."""
+        obj = self.server.replicate(self.session, path, resource)
+        return len(obj.replicas)
+
+    def Smeta(self, path: str, **metadata: str) -> None:
+        """Attach user metadata to an object."""
+        self.server.set_metadata(self.session, path, dict(metadata))
+
+    def Squery(self, path: str = "/", **where: str) -> list[str]:
+        """Paths of objects matching the metadata query."""
+        return self.server.query_metadata(self.session, dict(where), path)
+
+    def Schmod(self, path: str, user: str, access: str) -> None:
+        self.server.chmod(self.session, path, user, access)

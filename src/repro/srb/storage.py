@@ -1,0 +1,58 @@
+"""Physical storage resources behind the SRB."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.faults import ResourceExhaustedError, ResourceNotFoundError
+
+
+class StorageResource:
+    """A named storage system with finite capacity.
+
+    Stores immutable blobs by generated id; the MCAT references them as
+    replicas.  Writing past capacity raises the canonical portal error
+    ("the disk was full").
+    """
+
+    def __init__(self, name: str, capacity_bytes: int = 2**40):
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self._blobs: dict[str, bytes] = {}
+        self._ids = itertools.count(1)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def write(self, data: bytes) -> str:
+        """Store a blob; returns its physical id."""
+        if self.used_bytes + len(data) > self.capacity_bytes:
+            raise ResourceExhaustedError(
+                f"storage resource {self.name!r} is full "
+                f"({self.free_bytes} bytes free, {len(data)} needed)",
+                {"resource": self.name, "free": str(self.free_bytes)},
+            )
+        blob_id = f"{self.name}:{next(self._ids):08d}"
+        self._blobs[blob_id] = data
+        self.used_bytes += len(data)
+        return blob_id
+
+    def read(self, blob_id: str) -> bytes:
+        if blob_id not in self._blobs:
+            raise ResourceNotFoundError(
+                f"no blob {blob_id!r} on {self.name!r}", {"blob": blob_id}
+            )
+        return self._blobs[blob_id]
+
+    def delete(self, blob_id: str) -> None:
+        data = self._blobs.pop(blob_id, None)
+        if data is None:
+            raise ResourceNotFoundError(
+                f"no blob {blob_id!r} on {self.name!r}", {"blob": blob_id}
+            )
+        self.used_bytes -= len(data)
+
+    def __contains__(self, blob_id: str) -> bool:
+        return blob_id in self._blobs

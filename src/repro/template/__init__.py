@@ -1,0 +1,22 @@
+"""A small Velocity-style template engine.
+
+Figure 3 of the paper generates user-interface pages by running Velocity
+templates over the schema object model: "As types are detected the Velocity
+engine is started and used to create a JSP page with the appropriate property
+values obtained from the SOM ... Each template generates a JSP nugget that is
+used to build up the final page."
+
+This package provides the equivalent: a template language with ``$var``
+references, ``#if``/``#elseif``/``#else``, ``#foreach``, ``#set`` and
+``#include`` directives, used by :mod:`repro.wizard` to render form nuggets
+and by :mod:`repro.portlets` for page chrome.
+"""
+
+from repro.template.engine import (
+    Template,
+    TemplateError,
+    TemplateLoader,
+    render,
+)
+
+__all__ = ["Template", "TemplateError", "TemplateLoader", "render"]

@@ -1,0 +1,511 @@
+"""Velocity-style template engine: parser, AST, and renderer."""
+
+from __future__ import annotations
+
+import html
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class TemplateError(ValueError):
+    """Raised for template syntax errors and render-time failures."""
+
+
+# ---------------------------------------------------------------------------
+# Expression mini-language
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+      (?P<number>-?\d+(?:\.\d+)?)
+    | (?P<string>"[^"]*"|'[^']*')
+    | (?P<ref>\$\{?[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*(?:\(\))?)*\}?)
+    | (?P<op>==|!=|<=|>=|&&|\|\||[()<>!+])
+    | (?P<word>true|false|null|and|or|not|in)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize_expr(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            if text[pos:].strip() == "":
+                break
+            raise TemplateError(f"bad expression near {text[pos:]!r}")
+        pos = match.end()
+        kind = match.lastgroup or ""
+        tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent parser for the boolean/comparison expression
+    language used in ``#if`` and ``#set`` directives."""
+
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise TemplateError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def parse(self) -> "Expr":
+        expr = self.parse_or()
+        if self.peek() is not None:
+            raise TemplateError(f"trailing tokens in expression: {self.tokens[self.pos:]}")
+        return expr
+
+    def parse_or(self) -> "Expr":
+        left = self.parse_and()
+        while self.peek() in (("op", "||"), ("word", "or")):
+            self.take()
+            right = self.parse_and()
+            left = BoolOp("or", left, right)
+        return left
+
+    def parse_and(self) -> "Expr":
+        left = self.parse_not()
+        while self.peek() in (("op", "&&"), ("word", "and")):
+            self.take()
+            right = self.parse_not()
+            left = BoolOp("and", left, right)
+        return left
+
+    def parse_not(self) -> "Expr":
+        if self.peek() in (("op", "!"), ("word", "not")):
+            self.take()
+            return NotOp(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> "Expr":
+        left = self.parse_additive()
+        token = self.peek()
+        if token and token[0] == "op" and token[1] in ("==", "!=", "<", ">", "<=", ">="):
+            self.take()
+            right = self.parse_additive()
+            return Compare(token[1], left, right)
+        return left
+
+    def parse_additive(self) -> "Expr":
+        left = self.parse_atom()
+        while self.peek() == ("op", "+"):
+            self.take()
+            left = Concat(left, self.parse_atom())
+        return left
+
+    def parse_atom(self) -> "Expr":
+        kind, value = self.take()
+        if kind == "number":
+            return Literal(float(value) if "." in value else int(value))
+        if kind == "string":
+            return Literal(value[1:-1])
+        if kind == "word":
+            if value == "true":
+                return Literal(True)
+            if value == "false":
+                return Literal(False)
+            if value == "null":
+                return Literal(None)
+            raise TemplateError(f"unexpected word {value!r}")
+        if kind == "ref":
+            return Reference.parse(value)
+        if kind == "op" and value == "(":
+            inner = self.parse_or()
+            if self.take() != ("op", ")"):
+                raise TemplateError("expected ')'")
+            return inner
+        raise TemplateError(f"unexpected token {value!r}")
+
+
+class Expr:
+    def evaluate(self, ctx: dict[str, Any]) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class Literal(Expr):
+    value: Any
+
+    def evaluate(self, ctx: dict[str, Any]) -> Any:
+        return self.value
+
+
+@dataclass
+class Reference(Expr):
+    """A ``$name.path.to.attr`` reference with dict/attr/method lookup."""
+
+    name: str
+    path: tuple[str, ...] = ()
+
+    @staticmethod
+    def parse(text: str) -> "Reference":
+        body = text[1:]
+        if body.startswith("{") and body.endswith("}"):
+            body = body[1:-1]
+        parts = body.split(".")
+        return Reference(parts[0], tuple(parts[1:]))
+
+    def evaluate(self, ctx: dict[str, Any]) -> Any:
+        if self.name not in ctx:
+            return None
+        value = ctx[self.name]
+        for step in self.path:
+            call = step.endswith("()")
+            attr = step[:-2] if call else step
+            if isinstance(value, dict) and attr in value:
+                value = value[attr]
+            elif hasattr(value, attr):
+                value = getattr(value, attr)
+            else:
+                return None
+            if call:
+                value = value()
+        return value
+
+    def render_text(self) -> str:
+        return "$" + ".".join((self.name,) + self.path)
+
+
+@dataclass
+class Compare(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, ctx: dict[str, Any]) -> Any:
+        lhs, rhs = self.left.evaluate(ctx), self.right.evaluate(ctx)
+        if self.op == "==":
+            return lhs == rhs
+        if self.op == "!=":
+            return lhs != rhs
+        try:
+            if self.op == "<":
+                return lhs < rhs
+            if self.op == ">":
+                return lhs > rhs
+            if self.op == "<=":
+                return lhs <= rhs
+            return lhs >= rhs
+        except TypeError as exc:
+            raise TemplateError(f"cannot compare {lhs!r} {self.op} {rhs!r}") from exc
+
+
+@dataclass
+class BoolOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, ctx: dict[str, Any]) -> Any:
+        if self.op == "and":
+            return bool(self.left.evaluate(ctx)) and bool(self.right.evaluate(ctx))
+        return bool(self.left.evaluate(ctx)) or bool(self.right.evaluate(ctx))
+
+
+@dataclass
+class NotOp(Expr):
+    operand: Expr
+
+    def evaluate(self, ctx: dict[str, Any]) -> Any:
+        return not self.operand.evaluate(ctx)
+
+
+@dataclass
+class Concat(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, ctx: dict[str, Any]) -> Any:
+        lhs, rhs = self.left.evaluate(ctx), self.right.evaluate(ctx)
+        if isinstance(lhs, (int, float)) and isinstance(rhs, (int, float)):
+            return lhs + rhs
+        return f"{_stringify(lhs)}{_stringify(rhs)}"
+
+
+def parse_expression(text: str) -> Expr:
+    return _ExprParser(_tokenize_expr(text)).parse()
+
+
+# ---------------------------------------------------------------------------
+# Template AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Node:
+    def render(self, ctx: dict[str, Any], out: list[str], loader: "TemplateLoader | None") -> None:
+        raise NotImplementedError  # pragma: no cover
+
+
+@dataclass
+class TextNode(Node):
+    text: str
+
+    def render(self, ctx, out, loader) -> None:
+        out.append(self.text)
+
+
+@dataclass
+class VarNode(Node):
+    ref: Reference
+    escape: bool = False
+
+    def render(self, ctx, out, loader) -> None:
+        value = self.ref.evaluate(ctx)
+        if value is None:
+            # Velocity leaves unresolvable $refs in the output verbatim
+            out.append(self.ref.render_text())
+            return
+        text = _stringify(value)
+        out.append(html.escape(text, quote=True) if self.escape else text)
+
+
+@dataclass
+class IfNode(Node):
+    branches: list[tuple[Expr, list[Node]]]
+    else_body: list[Node] = field(default_factory=list)
+
+    def render(self, ctx, out, loader) -> None:
+        for cond, body in self.branches:
+            if cond.evaluate(ctx):
+                for node in body:
+                    node.render(ctx, out, loader)
+                return
+        for node in self.else_body:
+            node.render(ctx, out, loader)
+
+
+@dataclass
+class ForeachNode(Node):
+    var: str
+    iterable: Expr
+    body: list[Node]
+
+    def render(self, ctx, out, loader) -> None:
+        items = self.iterable.evaluate(ctx)
+        if items is None:
+            return
+        saved_var = ctx.get(self.var, _MISSING)
+        saved_count = ctx.get("velocityCount", _MISSING)
+        for index, item in enumerate(items):
+            ctx[self.var] = item
+            ctx["velocityCount"] = index + 1  # Velocity's 1-based loop counter
+            for node in self.body:
+                node.render(ctx, out, loader)
+        _restore(ctx, self.var, saved_var)
+        _restore(ctx, "velocityCount", saved_count)
+
+
+@dataclass
+class SetNode(Node):
+    var: str
+    expr: Expr
+
+    def render(self, ctx, out, loader) -> None:
+        ctx[self.var] = self.expr.evaluate(ctx)
+
+
+@dataclass
+class IncludeNode(Node):
+    name_expr: Expr
+
+    def render(self, ctx, out, loader) -> None:
+        if loader is None:
+            raise TemplateError("#include used without a TemplateLoader")
+        name = _stringify(self.name_expr.evaluate(ctx))
+        loader.get(name)._render_into(ctx, out, loader)
+
+
+_MISSING = object()
+
+
+def _restore(ctx: dict[str, Any], key: str, saved: Any) -> None:
+    if saved is _MISSING:
+        ctx.pop(key, None)
+    else:
+        ctx[key] = saved
+
+
+def _stringify(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Template parser
+# ---------------------------------------------------------------------------
+
+_DIRECTIVE_RE = re.compile(
+    r"""
+      \#(?P<dir>if|elseif|else|end|foreach|set|include)\b
+      (?:\s*\((?P<arg>[^()]*(?:\([^()]*\)[^()]*)*)\))?
+    | (?P<evar>\$!\{?[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*(?:\(\))?)*\}?)
+    | (?P<var>\$\{?[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*(?:\(\))?)*\}?)
+    """,
+    re.VERBOSE,
+)
+
+_FOREACH_RE = re.compile(
+    r"^\s*\$\{?([A-Za-z_][A-Za-z0-9_]*)\}?\s+in\s+(.*)$", re.DOTALL
+)
+_SET_RE = re.compile(r"^\s*\$\{?([A-Za-z_][A-Za-z0-9_]*)\}?\s*=\s*(.*)$", re.DOTALL)
+
+
+class Template:
+    """A compiled template; ``render(**context)`` produces a string.
+
+    ``$!ref`` renders HTML-escaped; ``$ref`` renders raw (matching the
+    convention our form templates use for attribute values).
+    """
+
+    def __init__(self, source: str, name: str = "<template>"):
+        self.name = name
+        self.source = source
+        self.nodes = _TemplateParser(source, name).parse()
+
+    def render(self, loader: "TemplateLoader | None" = None, /, **context: Any) -> str:
+        return self.render_context(dict(context), loader)
+
+    def render_context(
+        self, context: dict[str, Any], loader: "TemplateLoader | None" = None
+    ) -> str:
+        out: list[str] = []
+        self._render_into(context, out, loader)
+        return "".join(out)
+
+    def _render_into(
+        self, ctx: dict[str, Any], out: list[str], loader: "TemplateLoader | None"
+    ) -> None:
+        for node in self.nodes:
+            node.render(ctx, out, loader)
+
+
+class _TemplateParser:
+    def __init__(self, source: str, name: str):
+        self.source = source
+        self.name = name
+        self.pos = 0
+
+    def parse(self) -> list[Node]:
+        nodes, terminator = self._parse_block(root=True)
+        assert terminator is None
+        return nodes
+
+    def _parse_block(self, root: bool = False) -> tuple[list[Node], str | None]:
+        """Parse until #end/#else/#elseif (or EOF when root)."""
+        nodes: list[Node] = []
+        while True:
+            match = _DIRECTIVE_RE.search(self.source, self.pos)
+            if match is None:
+                if not root:
+                    raise TemplateError(f"{self.name}: unterminated block")
+                nodes.append(TextNode(self.source[self.pos:]))
+                self.pos = len(self.source)
+                return nodes, None
+            if match.start() > self.pos:
+                nodes.append(TextNode(self.source[self.pos:match.start()]))
+            self.pos = match.end()
+            if match.group("var"):
+                nodes.append(VarNode(Reference.parse(match.group("var"))))
+                continue
+            if match.group("evar"):
+                raw = match.group("evar")
+                nodes.append(VarNode(Reference.parse("$" + raw[2:]), escape=True))
+                continue
+            directive = match.group("dir")
+            arg = match.group("arg") or ""
+            if directive in ("end", "else", "elseif"):
+                if root:
+                    raise TemplateError(f"{self.name}: #{directive} without open block")
+                self._pending_arg = arg
+                return nodes, directive
+            if directive == "if":
+                nodes.append(self._parse_if(arg))
+            elif directive == "foreach":
+                nodes.append(self._parse_foreach(arg))
+            elif directive == "set":
+                set_match = _SET_RE.match(arg)
+                if set_match is None:
+                    raise TemplateError(f"{self.name}: malformed #set({arg})")
+                nodes.append(
+                    SetNode(set_match.group(1), parse_expression(set_match.group(2)))
+                )
+            elif directive == "include":
+                nodes.append(IncludeNode(parse_expression(arg)))
+            else:  # pragma: no cover
+                raise TemplateError(f"{self.name}: unknown directive #{directive}")
+
+    def _parse_if(self, condition: str) -> IfNode:
+        branches: list[tuple[Expr, list[Node]]] = []
+        current_cond = parse_expression(condition)
+        body, terminator = self._parse_block()
+        branches.append((current_cond, body))
+        else_body: list[Node] = []
+        while terminator == "elseif":
+            cond = parse_expression(self._pending_arg)
+            body, terminator = self._parse_block()
+            branches.append((cond, body))
+        if terminator == "else":
+            else_body, terminator = self._parse_block()
+        if terminator != "end":
+            raise TemplateError(f"{self.name}: #if not closed with #end")
+        return IfNode(branches, else_body)
+
+    def _parse_foreach(self, arg: str) -> ForeachNode:
+        match = _FOREACH_RE.match(arg)
+        if match is None:
+            raise TemplateError(f"{self.name}: malformed #foreach({arg})")
+        body, terminator = self._parse_block()
+        if terminator != "end":
+            raise TemplateError(f"{self.name}: #foreach not closed with #end")
+        return ForeachNode(match.group(1), parse_expression(match.group(2)), body)
+
+
+class TemplateLoader:
+    """A named collection of templates with compile caching (the analogue of
+    Velocity's resource loader for the wizard's template set)."""
+
+    def __init__(self, sources: dict[str, str] | None = None):
+        self._sources: dict[str, str] = dict(sources or {})
+        self._compiled: dict[str, Template] = {}
+
+    def add(self, name: str, source: str) -> None:
+        self._sources[name] = source
+        self._compiled.pop(name, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def get(self, name: str) -> Template:
+        if name not in self._compiled:
+            if name not in self._sources:
+                raise TemplateError(f"no template named {name!r}")
+            self._compiled[name] = Template(self._sources[name], name)
+        return self._compiled[name]
+
+    def render(self, name: str, /, **context: Any) -> str:
+        return self.get(name).render_context(dict(context), self)
+
+
+def render(source: str, **context: Any) -> str:
+    """One-shot convenience: compile and render *source*."""
+    return Template(source).render_context(dict(context))

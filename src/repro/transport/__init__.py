@@ -1,0 +1,48 @@
+"""Simulated network transport.
+
+The paper's services ran on web servers at Indiana University and SDSC; the
+measurable claims are about *interaction shape*: how many connections and
+round trips a protocol costs, and how message size scales.  This package
+provides a deterministic in-process substitute:
+
+- :mod:`repro.transport.clock` — a virtual clock advanced by network activity.
+- :mod:`repro.transport.http` — HTTP request/response records and URL algebra.
+- :mod:`repro.transport.network` — the :class:`VirtualNetwork`: named hosts,
+  per-link latency and bandwidth, connection-setup cost, failure injection,
+  and full wire accounting (:class:`WireStats`).
+- :mod:`repro.transport.server` — a route-dispatching HTTP server to mount on
+  a host.
+- :mod:`repro.transport.client` — an HTTP client with cookie-based sessions
+  (needed by :class:`repro.portlets.WebFormPortlet` to "maintain session
+  state with remote Tomcat servers").
+"""
+
+from repro.transport.clock import SimClock
+from repro.transport.http import (
+    HttpRequest,
+    HttpResponse,
+    Url,
+    parse_url,
+)
+from repro.transport.network import (
+    LinkSpec,
+    TransportError,
+    VirtualNetwork,
+    WireStats,
+)
+from repro.transport.server import HttpServer
+from repro.transport.client import HttpClient
+
+__all__ = [
+    "SimClock",
+    "HttpRequest",
+    "HttpResponse",
+    "Url",
+    "parse_url",
+    "LinkSpec",
+    "TransportError",
+    "VirtualNetwork",
+    "WireStats",
+    "HttpServer",
+    "HttpClient",
+]

@@ -1,0 +1,110 @@
+"""An HTTP client with keep-alive connections and cookie sessions."""
+
+from __future__ import annotations
+
+from repro.transport.http import (
+    HttpRequest,
+    HttpResponse,
+    Url,
+    encode_query,
+    parse_url,
+)
+from repro.transport.network import VirtualNetwork
+
+
+class HttpClient:
+    """A client endpoint on the virtual network.
+
+    - Keep-alive: the first request to a host pays connection setup; later
+      requests on the same client reuse the connection until :meth:`close`.
+    - Cookies: ``Set-Cookie`` response headers are stored per host and sent
+      back as ``Cookie`` — this is how :class:`repro.portlets.WebFormPortlet`
+      "maintains session state with remote Tomcat servers".
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        source: str = "client",
+        *,
+        keep_alive: bool = True,
+    ):
+        self.network = network
+        self.source = source
+        self.keep_alive = keep_alive
+        self._open_connections: set[str] = set()
+        self._cookies: dict[str, dict[str, str]] = {}
+
+    # -- cookie jar ----------------------------------------------------------
+
+    def cookies_for(self, host: str) -> dict[str, str]:
+        return dict(self._cookies.get(host, {}))
+
+    def clear_cookies(self, host: str | None = None) -> None:
+        if host is None:
+            self._cookies.clear()
+        else:
+            self._cookies.pop(host, None)
+
+    def _store_cookies(self, host: str, response: HttpResponse) -> None:
+        set_cookie = response.headers.get("Set-Cookie")
+        if not set_cookie:
+            return
+        jar = self._cookies.setdefault(host, {})
+        for part in set_cookie.split(";"):
+            part = part.strip()
+            if "=" in part and part.split("=", 1)[0] not in ("Path", "Max-Age"):
+                name, value = part.split("=", 1)
+                jar[name] = value
+
+    # -- requests ------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        url: str | Url,
+        body: str = "",
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        target = parse_url(url) if isinstance(url, str) else url
+        all_headers = dict(headers or {})
+        jar = self._cookies.get(target.host)
+        if jar:
+            all_headers["Cookie"] = "; ".join(f"{k}={v}" for k, v in jar.items())
+        request = HttpRequest(method, target, all_headers, body)
+        fresh = not (self.keep_alive and target.host in self._open_connections)
+        response = self.network.send(
+            request, source=self.source, new_connection=fresh
+        )
+        if self.keep_alive:
+            self._open_connections.add(target.host)
+        self._store_cookies(target.host, response)
+        return response
+
+    def get(self, url: str | Url, headers: dict[str, str] | None = None) -> HttpResponse:
+        return self.request("GET", url, "", headers)
+
+    def post(
+        self,
+        url: str | Url,
+        body: str,
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        return self.request("POST", url, body, headers)
+
+    def post_form(
+        self,
+        url: str | Url,
+        fields: dict[str, str],
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        all_headers = {"Content-Type": "application/x-www-form-urlencoded"}
+        all_headers.update(headers or {})
+        return self.request("POST", url, encode_query(fields), all_headers)
+
+    def close(self, host: str | None = None) -> None:
+        """Drop keep-alive connections (next request pays setup again)."""
+        if host is None:
+            self._open_connections.clear()
+        else:
+            self._open_connections.discard(host)

@@ -1,0 +1,33 @@
+"""A virtual clock.
+
+All latency in the simulated network advances this clock rather than sleeping,
+so benchmarks measure both real CPU cost (wall time of the in-process work)
+and modelled network cost (virtual seconds) independently and depend on no
+real timers.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic virtual time in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance time by a non-negative duration; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

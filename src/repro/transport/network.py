@@ -1,0 +1,179 @@
+"""The virtual network: hosts, links, wire accounting, failure injection."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.transport.clock import SimClock
+from repro.transport.http import HttpRequest, HttpResponse
+
+
+class TransportError(ConnectionError):
+    """A network-level failure (host down, injected fault, no route)."""
+
+
+@dataclass
+class LinkSpec:
+    """Timing parameters of a (directed) link between two hosts.
+
+    ``connect_latency`` models TCP(+TLS/GSI handshake) setup and is paid once
+    per *connection*; ``latency`` is the one-way propagation delay paid per
+    message; ``bandwidth`` (bytes/second) converts message size to serialization
+    delay.  Defaults approximate a 2002 wide-area path between IU and SDSC.
+    """
+
+    latency: float = 0.020
+    bandwidth: float = 1.25e6  # 10 Mbit/s
+    connect_latency: float = 0.060
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass
+class WireStats:
+    """Cumulative wire accounting for benchmarks and tests."""
+
+    connections: int = 0
+    requests: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    per_host_requests: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "WireStats":
+        return WireStats(
+            self.connections,
+            self.requests,
+            self.bytes_sent,
+            self.bytes_received,
+            dict(self.per_host_requests),
+        )
+
+    def delta(self, earlier: "WireStats") -> "WireStats":
+        """Stats accumulated since an earlier :meth:`snapshot`."""
+        return WireStats(
+            self.connections - earlier.connections,
+            self.requests - earlier.requests,
+            self.bytes_sent - earlier.bytes_sent,
+            self.bytes_received - earlier.bytes_received,
+            {
+                host: count - earlier.per_host_requests.get(host, 0)
+                for host, count in self.per_host_requests.items()
+            },
+        )
+
+
+Handler = Callable[[HttpRequest], HttpResponse]
+
+
+class VirtualNetwork:
+    """An in-process network of named hosts.
+
+    Hosts are registered with a request handler (usually an
+    :class:`repro.transport.server.HttpServer`).  ``send`` routes a request,
+    advances the shared virtual clock by the modelled transfer time, updates
+    :class:`WireStats`, and applies any injected failures.  Everything is
+    deterministic: jitter comes from a seeded PRNG.
+    """
+
+    def __init__(self, clock: SimClock | None = None, *, seed: int = 0):
+        self.clock = clock or SimClock()
+        self.stats = WireStats()
+        self._hosts: dict[str, Handler] = {}
+        self._default_link = LinkSpec()
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        self._down: set[str] = set()
+        self._fail_next: dict[str, int] = {}
+        self._jitter = 0.0
+        self._rng = random.Random(seed)
+
+    # -- topology ------------------------------------------------------------
+
+    def register(self, host: str, handler: Handler) -> None:
+        """Attach a request handler to a host name."""
+        self._hosts[host] = handler
+
+    def unregister(self, host: str) -> None:
+        self._hosts.pop(host, None)
+
+    def hosts(self) -> list[str]:
+        return sorted(self._hosts)
+
+    def set_default_link(self, link: LinkSpec) -> None:
+        self._default_link = link
+
+    def set_link(self, src: str, dst: str, link: LinkSpec) -> None:
+        """Override timing for the directed link src -> dst."""
+        self._links[(src, dst)] = link
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        return self._links.get((src, dst), self._default_link)
+
+    def set_jitter(self, fraction: float) -> None:
+        """Multiply transfer times by ``1 ± U(0, fraction)`` (deterministic)."""
+        self._jitter = max(0.0, fraction)
+
+    # -- failure injection -----------------------------------------------------
+
+    def take_down(self, host: str) -> None:
+        """Make a host unreachable until :meth:`bring_up`."""
+        self._down.add(host)
+
+    def bring_up(self, host: str) -> None:
+        self._down.discard(host)
+
+    def fail_next(self, host: str, times: int = 1) -> None:
+        """Inject *times* transport failures for the next requests to host."""
+        self._fail_next[host] = self._fail_next.get(host, 0) + times
+
+    # -- the wire ------------------------------------------------------------
+
+    def send(
+        self,
+        request: HttpRequest,
+        *,
+        source: str = "client",
+        new_connection: bool = True,
+    ) -> HttpResponse:
+        """Deliver a request and return the response, advancing the clock.
+
+        ``new_connection=False`` models a kept-alive connection (no
+        connection-setup latency); the HTTP client below manages this and the
+        xml_call experiment (C2) depends on it.
+        """
+        host = request.url.host
+        if host not in self._hosts:
+            raise TransportError(f"no route to host {host!r}")
+        if host in self._down:
+            raise TransportError(f"host {host!r} is down")
+        if self._fail_next.get(host, 0) > 0:
+            self._fail_next[host] -= 1
+            raise TransportError(f"injected transport failure contacting {host!r}")
+
+        link = self.link(source, host)
+        elapsed = 0.0
+        if new_connection:
+            self.stats.connections += 1
+            elapsed += link.connect_latency
+        elapsed += link.transfer_time(request.size)
+
+        self.stats.requests += 1
+        self.stats.bytes_sent += request.size
+        self.stats.per_host_requests[host] = (
+            self.stats.per_host_requests.get(host, 0) + 1
+        )
+
+        response = self._hosts[host](request)
+
+        back = self.link(host, source)
+        elapsed += back.transfer_time(response.size)
+        if self._jitter:
+            elapsed *= 1.0 + self._rng.uniform(-self._jitter, self._jitter)
+        self.clock.advance(elapsed)
+        self.stats.bytes_received += response.size
+        return response
+
+    def reset_stats(self) -> None:
+        self.stats = WireStats()

@@ -1,0 +1,51 @@
+"""A route-dispatching HTTP server to mount on a virtual-network host."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.network import VirtualNetwork
+
+RouteHandler = Callable[[HttpRequest], HttpResponse]
+
+
+class HttpServer:
+    """Dispatches requests by path prefix, longest prefix wins.
+
+    Each portal host (UI server, SOAP service provider, UDDI server,
+    authentication service) is one ``HttpServer`` with one or more mounted
+    endpoints.
+    """
+
+    def __init__(self, host: str, network: VirtualNetwork | None = None):
+        self.host = host
+        self._routes: dict[str, RouteHandler] = {}
+        if network is not None:
+            network.register(host, self)
+
+    def mount(self, path: str, handler: RouteHandler) -> None:
+        """Mount a handler at a path prefix (``/soap``, ``/wsdl/...``)."""
+        if not path.startswith("/"):
+            raise ValueError(f"mount path must start with '/': {path!r}")
+        self._routes[path.rstrip("/") or "/"] = handler
+
+    def unmount(self, path: str) -> None:
+        self._routes.pop(path.rstrip("/") or "/", None)
+
+    def routes(self) -> list[str]:
+        return sorted(self._routes)
+
+    def __call__(self, request: HttpRequest) -> HttpResponse:
+        path = request.url.path or "/"
+        best: str | None = None
+        for prefix in self._routes:
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/") or prefix == "/":
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+        if best is None:
+            return HttpResponse(404, body=f"no handler for {path}")
+        try:
+            return self._routes[best](request)
+        except Exception as exc:  # noqa: BLE001 - server boundary
+            return HttpResponse(500, body=f"internal server error: {exc}")

@@ -1,0 +1,33 @@
+"""A UDDI v2-subset registry.
+
+Implements the pieces of UDDI the paper exercised: businessEntities for the
+portal groups, businessServices with bindingTemplates pointing at WSDL files
+and SOAP endpoints, tModels for interface fingerprints, and the
+category/identifier bags whose industry-taxonomy orientation the paper found
+"obviously inappropriate" for describing queuing-system support — along with
+the string-description workaround "this works only by convention".
+
+The registry itself is exposed as a SOAP web service ("UDDI is a specialized
+Web Service"), so lookup traffic shows up in the Figure 1 benchmark.
+"""
+
+from repro.uddi.model import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    KeyedReference,
+    TModel,
+)
+from repro.uddi.registry import UddiRegistry
+from repro.uddi.service import UddiClient, deploy_uddi
+
+__all__ = [
+    "BindingTemplate",
+    "BusinessEntity",
+    "BusinessService",
+    "KeyedReference",
+    "TModel",
+    "UddiRegistry",
+    "UddiClient",
+    "deploy_uddi",
+]

@@ -1,0 +1,158 @@
+"""UDDI data structures (v2 subset)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# The standard checked taxonomies a 2002 UDDI registry ships with.  The
+# paper's point: these describe *commercial* entities, so grid-portal
+# capability metadata has nowhere structured to go.
+STANDARD_TAXONOMIES = {
+    "uddi:naics": "North American Industry Classification System",
+    "uddi:unspsc": "Universal Standard Products and Services Classification",
+    "uddi:iso3166": "ISO 3166 geographic taxonomy",
+    "uddi:general-keywords": "General keywords (uncontrolled strings)",
+}
+
+
+@dataclass
+class KeyedReference:
+    """A categoryBag/identifierBag entry: (tModelKey, keyName, keyValue)."""
+
+    tmodel_key: str
+    key_name: str = ""
+    key_value: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "tModelKey": self.tmodel_key,
+            "keyName": self.key_name,
+            "keyValue": self.key_value,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, str]) -> "KeyedReference":
+        return KeyedReference(
+            data.get("tModelKey", ""),
+            data.get("keyName", ""),
+            data.get("keyValue", ""),
+        )
+
+
+@dataclass
+class TModel:
+    """A technical model: a named interface fingerprint with an overview URL
+    (conventionally pointing at the WSDL)."""
+
+    key: str
+    name: str
+    description: str = ""
+    overview_url: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "key": self.key,
+            "name": self.name,
+            "description": self.description,
+            "overviewURL": self.overview_url,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, str]) -> "TModel":
+        return TModel(
+            data.get("key", ""),
+            data.get("name", ""),
+            data.get("description", ""),
+            data.get("overviewURL", ""),
+        )
+
+
+@dataclass
+class BindingTemplate:
+    """A concrete endpoint of a service: access point + implemented tModels."""
+
+    key: str
+    service_key: str
+    access_point: str
+    tmodel_keys: list[str] = field(default_factory=list)
+    wsdl_url: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "serviceKey": self.service_key,
+            "accessPoint": self.access_point,
+            "tModelKeys": list(self.tmodel_keys),
+            "wsdlURL": self.wsdl_url,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "BindingTemplate":
+        return BindingTemplate(
+            data.get("key", ""),
+            data.get("serviceKey", ""),
+            data.get("accessPoint", ""),
+            list(data.get("tModelKeys", [])),
+            data.get("wsdlURL", ""),
+        )
+
+
+@dataclass
+class BusinessService:
+    """A published service belonging to a businessEntity."""
+
+    key: str
+    business_key: str
+    name: str
+    description: str = ""
+    category_bag: list[KeyedReference] = field(default_factory=list)
+    bindings: list[BindingTemplate] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "businessKey": self.business_key,
+            "name": self.name,
+            "description": self.description,
+            "categoryBag": [ref.to_dict() for ref in self.category_bag],
+            "bindings": [b.to_dict() for b in self.bindings],
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "BusinessService":
+        return BusinessService(
+            data.get("key", ""),
+            data.get("businessKey", ""),
+            data.get("name", ""),
+            data.get("description", ""),
+            [KeyedReference.from_dict(r) for r in data.get("categoryBag", [])],
+            [BindingTemplate.from_dict(b) for b in data.get("bindings", [])],
+        )
+
+
+@dataclass
+class BusinessEntity:
+    """A publishing organization (a portal group, in the paper's mapping)."""
+
+    key: str
+    name: str
+    description: str = ""
+    contacts: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "name": self.name,
+            "description": self.description,
+            "contacts": list(self.contacts),
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "BusinessEntity":
+        return BusinessEntity(
+            data.get("key", ""),
+            data.get("name", ""),
+            data.get("description", ""),
+            list(data.get("contacts", [])),
+        )

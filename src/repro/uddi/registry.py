@@ -1,0 +1,179 @@
+"""The UDDI registry: publish and inquiry APIs."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.faults import DiscoveryError, InvalidRequestError
+from repro.uddi.model import (
+    STANDARD_TAXONOMIES,
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    KeyedReference,
+    TModel,
+)
+
+
+class UddiRegistry:
+    """An in-memory UDDI node.
+
+    Inquiry follows the v2 API shape: ``find_business``/``find_service`` by
+    name pattern (``%`` wildcard) and/or categoryBag match, ``get_*_detail``
+    by key.  Category references must cite a registered tModel; only the
+    standard commercial taxonomies and published interface tModels exist,
+    which is exactly the limitation the paper ran into.
+    """
+
+    def __init__(self):
+        self._businesses: dict[str, BusinessEntity] = {}
+        self._services: dict[str, BusinessService] = {}
+        self._tmodels: dict[str, TModel] = {}
+        self._counter = itertools.count(1)
+        for key, name in STANDARD_TAXONOMIES.items():
+            self._tmodels[key] = TModel(key, name, "standard checked taxonomy")
+
+    def _new_key(self, prefix: str) -> str:
+        return f"uuid:{prefix}-{next(self._counter):08d}"
+
+    # -- publish API ----------------------------------------------------------
+
+    def save_business(self, entity: BusinessEntity) -> BusinessEntity:
+        if not entity.key:
+            entity.key = self._new_key("be")
+        self._businesses[entity.key] = entity
+        return entity
+
+    def save_tmodel(self, tmodel: TModel) -> TModel:
+        if not tmodel.key:
+            tmodel.key = self._new_key("tm")
+        self._tmodels[tmodel.key] = tmodel
+        return tmodel
+
+    def save_service(self, service: BusinessService) -> BusinessService:
+        if service.business_key not in self._businesses:
+            raise DiscoveryError(
+                f"unknown businessKey {service.business_key!r}",
+                {"businessKey": service.business_key},
+            )
+        for ref in service.category_bag:
+            if ref.tmodel_key not in self._tmodels:
+                raise InvalidRequestError(
+                    f"categoryBag references unregistered tModel {ref.tmodel_key!r}",
+                    {"tModelKey": ref.tmodel_key},
+                )
+        if not service.key:
+            service.key = self._new_key("bs")
+        for binding in service.bindings:
+            if not binding.key:
+                binding.key = self._new_key("bt")
+            binding.service_key = service.key
+        self._services[service.key] = service
+        return service
+
+    def save_binding(self, binding: BindingTemplate) -> BindingTemplate:
+        service = self._services.get(binding.service_key)
+        if service is None:
+            raise DiscoveryError(
+                f"unknown serviceKey {binding.service_key!r}",
+                {"serviceKey": binding.service_key},
+            )
+        if not binding.key:
+            binding.key = self._new_key("bt")
+        service.bindings.append(binding)
+        return binding
+
+    def delete_service(self, service_key: str) -> None:
+        if service_key not in self._services:
+            raise DiscoveryError(f"unknown serviceKey {service_key!r}")
+        del self._services[service_key]
+
+    # -- inquiry API -------------------------------------------------------------
+
+    @staticmethod
+    def _name_matches(pattern: str, name: str) -> bool:
+        """UDDI name match: case-insensitive, ``%`` is a trailing/leading
+        wildcard (approximation of the v2 wildcard rules)."""
+        if not pattern:
+            return True
+        pattern_l, name_l = pattern.lower(), name.lower()
+        if pattern_l.startswith("%") and pattern_l.endswith("%") and len(pattern_l) > 1:
+            return pattern_l.strip("%") in name_l
+        if pattern_l.endswith("%"):
+            return name_l.startswith(pattern_l[:-1])
+        if pattern_l.startswith("%"):
+            return name_l.endswith(pattern_l[1:])
+        return name_l == pattern_l
+
+    def find_business(self, name_pattern: str = "") -> list[BusinessEntity]:
+        return [
+            entity
+            for entity in self._businesses.values()
+            if self._name_matches(name_pattern, entity.name)
+        ]
+
+    def find_service(
+        self,
+        name_pattern: str = "",
+        business_key: str = "",
+        category_refs: list[KeyedReference] | None = None,
+        description_contains: str = "",
+    ) -> list[BusinessService]:
+        """Inquiry over published services.
+
+        ``category_refs`` match requires every reference to appear exactly in
+        the service's categoryBag (tModelKey + keyValue).
+        ``description_contains`` is the string-convention workaround the
+        paper used: a case-insensitive substring scan over descriptions.
+        """
+        results: list[BusinessService] = []
+        for service in self._services.values():
+            if business_key and service.business_key != business_key:
+                continue
+            if not self._name_matches(name_pattern, service.name):
+                continue
+            if category_refs:
+                bag = {(r.tmodel_key, r.key_value) for r in service.category_bag}
+                if not all(
+                    (ref.tmodel_key, ref.key_value) in bag for ref in category_refs
+                ):
+                    continue
+            if (
+                description_contains
+                and description_contains.lower() not in service.description.lower()
+            ):
+                continue
+            results.append(service)
+        return results
+
+    def find_tmodel(self, name_pattern: str = "") -> list[TModel]:
+        return [
+            tm
+            for tm in self._tmodels.values()
+            if self._name_matches(name_pattern, tm.name)
+        ]
+
+    def get_business_detail(self, key: str) -> BusinessEntity:
+        if key not in self._businesses:
+            raise DiscoveryError(f"unknown businessKey {key!r}")
+        return self._businesses[key]
+
+    def get_service_detail(self, key: str) -> BusinessService:
+        if key not in self._services:
+            raise DiscoveryError(f"unknown serviceKey {key!r}")
+        return self._services[key]
+
+    def get_tmodel_detail(self, key: str) -> TModel:
+        if key not in self._tmodels:
+            raise DiscoveryError(f"unknown tModelKey {key!r}")
+        return self._tmodels[key]
+
+    def services_implementing(self, tmodel_key: str) -> list[BusinessService]:
+        """All services with a binding that implements the given interface
+        tModel — the paper's cross-group 'who supports the common batch
+        script interface' query."""
+        return [
+            service
+            for service in self._services.values()
+            if any(tmodel_key in b.tmodel_keys for b in service.bindings)
+        ]

@@ -1,0 +1,166 @@
+"""The UDDI registry as a SOAP web service, plus a typed client."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+from repro.uddi.model import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    KeyedReference,
+    TModel,
+)
+from repro.uddi.registry import UddiRegistry
+
+UDDI_NAMESPACE = "urn:uddi-org:api_v2"
+
+
+class _UddiSoapFacade:
+    """Dict-in/dict-out methods exposed over SOAP (SOAP structs map cleanly
+    onto the model's to_dict/from_dict forms)."""
+
+    def __init__(self, registry: UddiRegistry):
+        self._registry = registry
+
+    def save_business(self, entity: dict[str, Any]) -> dict[str, Any]:
+        """Publish (or update) a businessEntity; returns it with its key."""
+        return self._registry.save_business(BusinessEntity.from_dict(entity)).to_dict()
+
+    def save_tmodel(self, tmodel: dict[str, Any]) -> dict[str, Any]:
+        """Publish a tModel (interface fingerprint); returns it with its key."""
+        return self._registry.save_tmodel(TModel.from_dict(tmodel)).to_dict()
+
+    def save_service(self, service: dict[str, Any]) -> dict[str, Any]:
+        """Publish a businessService with its bindingTemplates."""
+        return self._registry.save_service(BusinessService.from_dict(service)).to_dict()
+
+    def save_binding(self, binding: dict[str, Any]) -> dict[str, Any]:
+        """Add a bindingTemplate to an existing service."""
+        return self._registry.save_binding(BindingTemplate.from_dict(binding)).to_dict()
+
+    def find_business(self, name_pattern: str) -> list[dict[str, Any]]:
+        """Inquiry: businesses whose name matches the pattern."""
+        return [e.to_dict() for e in self._registry.find_business(name_pattern)]
+
+    def find_service(
+        self,
+        name_pattern: str,
+        business_key: str,
+        category_refs: list[dict[str, str]],
+        description_contains: str,
+    ) -> list[dict[str, Any]]:
+        """Inquiry: services by name/category/description-substring."""
+        refs = [KeyedReference.from_dict(r) for r in category_refs or []]
+        return [
+            s.to_dict()
+            for s in self._registry.find_service(
+                name_pattern, business_key, refs, description_contains
+            )
+        ]
+
+    def find_tmodel(self, name_pattern: str) -> list[dict[str, Any]]:
+        """Inquiry: tModels whose name matches the pattern."""
+        return [t.to_dict() for t in self._registry.find_tmodel(name_pattern)]
+
+    def get_service_detail(self, key: str) -> dict[str, Any]:
+        """Fetch one businessService by key."""
+        return self._registry.get_service_detail(key).to_dict()
+
+    def get_business_detail(self, key: str) -> dict[str, Any]:
+        """Fetch one businessEntity by key."""
+        return self._registry.get_business_detail(key).to_dict()
+
+    def get_tmodel_detail(self, key: str) -> dict[str, Any]:
+        """Fetch one tModel by key."""
+        return self._registry.get_tmodel_detail(key).to_dict()
+
+    def services_implementing(self, tmodel_key: str) -> list[dict[str, Any]]:
+        """Services whose bindings implement the given interface tModel."""
+        return [s.to_dict() for s in self._registry.services_implementing(tmodel_key)]
+
+
+def deploy_uddi(
+    network: VirtualNetwork,
+    host: str = "uddi.gridforum.org",
+    *,
+    registry: UddiRegistry | None = None,
+) -> tuple[UddiRegistry, str]:
+    """Stand up a UDDI node on the virtual network; returns (registry, URL)."""
+    registry = registry or UddiRegistry()
+    server = HttpServer(host, network)
+    service = SoapService("UDDI", UDDI_NAMESPACE)
+    service.expose_object(_UddiSoapFacade(registry))
+    endpoint = service.mount(server, "/uddi")
+    return registry, endpoint
+
+
+class UddiClient:
+    """A typed client proxy to a remote UDDI node."""
+
+    def __init__(self, network: VirtualNetwork, endpoint: str, *, source: str = "client"):
+        self._soap = SoapClient(network, endpoint, UDDI_NAMESPACE, source=source)
+
+    def save_business(self, entity: BusinessEntity) -> BusinessEntity:
+        return BusinessEntity.from_dict(self._soap.call("save_business", entity.to_dict()))
+
+    def save_tmodel(self, tmodel: TModel) -> TModel:
+        return TModel.from_dict(self._soap.call("save_tmodel", tmodel.to_dict()))
+
+    def save_service(self, service: BusinessService) -> BusinessService:
+        return BusinessService.from_dict(
+            self._soap.call("save_service", service.to_dict())
+        )
+
+    def save_binding(self, binding: BindingTemplate) -> BindingTemplate:
+        return BindingTemplate.from_dict(
+            self._soap.call("save_binding", binding.to_dict())
+        )
+
+    def find_business(self, name_pattern: str = "") -> list[BusinessEntity]:
+        return [
+            BusinessEntity.from_dict(d)
+            for d in self._soap.call("find_business", name_pattern)
+        ]
+
+    def find_service(
+        self,
+        name_pattern: str = "",
+        business_key: str = "",
+        category_refs: list[KeyedReference] | None = None,
+        description_contains: str = "",
+    ) -> list[BusinessService]:
+        return [
+            BusinessService.from_dict(d)
+            for d in self._soap.call(
+                "find_service",
+                name_pattern,
+                business_key,
+                [r.to_dict() for r in category_refs or []],
+                description_contains,
+            )
+        ]
+
+    def find_tmodel(self, name_pattern: str = "") -> list[TModel]:
+        return [
+            TModel.from_dict(d) for d in self._soap.call("find_tmodel", name_pattern)
+        ]
+
+    def get_service_detail(self, key: str) -> BusinessService:
+        return BusinessService.from_dict(self._soap.call("get_service_detail", key))
+
+    def get_business_detail(self, key: str) -> BusinessEntity:
+        return BusinessEntity.from_dict(self._soap.call("get_business_detail", key))
+
+    def get_tmodel_detail(self, key: str) -> TModel:
+        return TModel.from_dict(self._soap.call("get_tmodel_detail", key))
+
+    def services_implementing(self, tmodel_key: str) -> list[BusinessService]:
+        return [
+            BusinessService.from_dict(d)
+            for d in self._soap.call("services_implementing", tmodel_key)
+        ]

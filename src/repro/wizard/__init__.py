@@ -1,0 +1,24 @@
+"""The schema wizard (Figure 3).
+
+"A Java class (SchemaParser ...) is initialized with a URL for the desired
+schema ... creates an in-memory representation of the schema using Castor's
+Schema Object Model ... also invokes Castor's source generator to create
+Java classes that are data bindings for the schema ... we can also automate
+the view ... by defining JSP templates (in Velocity) for several different
+schema constituent types: single simple types, enumerated simple types,
+unbounded simple types, and complex types."
+
+The pipeline here is stage-for-stage the same:
+
+  XSD (URL or object) -> SOM -> generated binding classes
+                              -> Velocity-style nuggets -> an XHTML form page
+                              -> deployed web application (render + save)
+
+with the round trip: submitted forms marshal to schema instances, and "old
+instances can be read in and unmarshaled to fill out the form elements."
+"""
+
+from repro.wizard.templates import wizard_templates
+from repro.wizard.generator import SchemaWizard, WizardWebApp
+
+__all__ = ["wizard_templates", "SchemaWizard", "WizardWebApp"]

@@ -1,0 +1,385 @@
+"""The SchemaParser/wizard pipeline and its deployed web application."""
+
+from __future__ import annotations
+
+
+from repro.faults import SchemaError
+from repro.template.engine import TemplateLoader
+from repro.transport.client import HttpClient
+from repro.transport.http import HttpRequest, HttpResponse, encode_query
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+from repro.wizard.templates import wizard_templates
+from repro.xmlutil.binding import BoundObject, bind_schema
+from repro.xmlutil.element import XmlElement, parse_xml
+from repro.xmlutil.schema import (
+    ElementType,
+    XsdComplexType,
+    XsdElement,
+    XsdSchema,
+    XsdSimpleType,
+    parse_schema,
+)
+from repro.xmlutil.validation import SchemaValidator
+
+
+class SchemaWizard:
+    """The SchemaParser analogue: schema in, form pages + data classes out.
+
+    ``SchemaWizard(network).load(url)`` fetches and validates the schema
+    (stage 1), ``classes()`` runs the source generator (stage 2),
+    ``render_form(...)`` runs the template engine over the SOM (stage 3),
+    and ``deploy(...)`` mounts the result as a web application (stage 4).
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork | None = None,
+        *,
+        templates: TemplateLoader | None = None,
+        source_host: str = "wizard-client",
+    ):
+        self.network = network
+        self.templates = templates or wizard_templates()
+        self.source_host = source_host
+        self.schema: XsdSchema | None = None
+        self._classes: dict[str, type[BoundObject]] | None = None
+
+    # -- stage 1: load and validate the schema, build the SOM --------------------
+
+    def load(self, source: str | XsdSchema) -> XsdSchema:
+        """Accepts a schema URL (fetched over the network), an XSD document
+        string, or an already-built SOM."""
+        if isinstance(source, XsdSchema):
+            self.schema = source.resolve()
+        elif source.startswith("http://") or source.startswith("https://"):
+            if self.network is None:
+                raise SchemaError("wizard has no network to fetch the schema URL")
+            response = HttpClient(self.network, self.source_host).get(source)
+            if not response.ok:
+                raise SchemaError(
+                    f"fetching schema {source} failed: HTTP {response.status}"
+                )
+            self.schema = parse_schema(response.body)
+        else:
+            try:
+                self.schema = parse_schema(source)
+            except ValueError as exc:
+                raise SchemaError(f"invalid schema document: {exc}") from exc
+        self._classes = None
+        return self.schema
+
+    def _require_schema(self) -> XsdSchema:
+        if self.schema is None:
+            raise SchemaError("no schema loaded")
+        return self.schema
+
+    # -- stage 2: the source generator --------------------------------------------
+
+    def classes(self, package: str = "") -> dict[str, type[BoundObject]]:
+        """Generate (and cache) the data-binding classes — "one JavaBean
+        class per schema element"."""
+        if self._classes is None:
+            self._classes = bind_schema(self._require_schema(), class_prefix=package)
+        return self._classes
+
+    # -- stage 3: the view — map the SOM onto templates ---------------------------------
+
+    def _constituent(self, etype: ElementType) -> str:
+        """Classify an element type into the four templated kinds."""
+        schema = self._require_schema()
+        etype = schema.resolve_type(etype)
+        if isinstance(etype, XsdComplexType):
+            return "complex"
+        if isinstance(etype, XsdSimpleType) and etype.enumeration:
+            return "enumerated"
+        return "simple"
+
+    def field_names(self, root: str) -> list[str]:
+        """The dotted form-field names the generated form will contain."""
+        names: list[str] = []
+
+        def visit(decl: XsdElement, path: str) -> None:
+            schema = self._require_schema()
+            etype = schema.resolve_type(decl.type)
+            if isinstance(etype, XsdComplexType):
+                for attr in etype.attributes:
+                    names.append(f"{path}.@{attr.name}")
+                for child in etype.sequence:
+                    visit(child, f"{path}.{child.name}")
+            else:
+                names.append(path)
+
+        root_decl = self._root_decl(root)
+        visit(root_decl, root_decl.name)
+        return names
+
+    def _root_decl(self, root: str) -> XsdElement:
+        schema = self._require_schema()
+        decl = schema.find_element(root)
+        if decl is None:
+            raise SchemaError(f"schema has no global element {root!r}")
+        return decl
+
+    def render_form_body(
+        self, root: str, values: dict[str, str] | None = None
+    ) -> str:
+        """Render the nugget stack for the root element (no page shell)."""
+        values = values or {}
+        parts: list[str] = []
+        self._render_element(self._root_decl(root), self._root_decl(root).name,
+                             parts, values)
+        return "".join(parts)
+
+    def _render_element(
+        self,
+        decl: XsdElement,
+        path: str,
+        parts: list[str],
+        values: dict[str, str],
+    ) -> None:
+        schema = self._require_schema()
+        etype = schema.resolve_type(decl.type)
+        label = decl.name
+        doc = decl.documentation
+        if isinstance(etype, XsdComplexType):
+            parts.append(
+                self.templates.render(
+                    "complex_open", label=label, doc=doc or etype.documentation
+                )
+            )
+            for attr in etype.attributes:
+                parts.append(
+                    self.templates.render(
+                        "simple_single",
+                        name=f"{path}.@{attr.name}",
+                        label=f"{attr.name} (attribute)",
+                        value=values.get(f"{path}.@{attr.name}", attr.default or ""),
+                        doc=attr.documentation,
+                    )
+                )
+            for child in etype.sequence:
+                self._render_element(child, f"{path}.{child.name}", parts, values)
+            parts.append(self.templates.render("complex_close"))
+            return
+        value = values.get(path, decl.default or "")
+        if decl.repeated:
+            parts.append(
+                self.templates.render(
+                    "simple_unbounded", name=path, label=label, value=value, doc=doc
+                )
+            )
+            return
+        if isinstance(etype, XsdSimpleType) and etype.enumeration:
+            selected = value or (etype.enumeration[0] if etype.enumeration else "")
+            options = [
+                {"value": option, "selected": option == selected}
+                for option in etype.enumeration
+            ]
+            parts.append(
+                self.templates.render(
+                    "simple_enumerated", name=path, label=label,
+                    options=options, doc=doc,
+                )
+            )
+            return
+        parts.append(
+            self.templates.render(
+                "simple_single", name=path, label=label, value=value, doc=doc
+            )
+        )
+
+    def render_page(
+        self,
+        root: str,
+        *,
+        action: str,
+        base: str,
+        title: str = "",
+        values: dict[str, str] | None = None,
+        instances: list[str] | None = None,
+        instance_name: str = "",
+    ) -> str:
+        """Assemble the final page from nuggets (the JSP-include step)."""
+        return self.templates.render(
+            "page",
+            title=title or f"{root} editor",
+            action=action,
+            base=base,
+            body=self.render_form_body(root, values),
+            instances=instances or [],
+            instanceName=instance_name,
+        )
+
+    # -- the form <-> instance round trip ------------------------------------------------
+
+    def form_to_instance(self, root: str, form: dict[str, str]) -> XmlElement:
+        """Marshal submitted form fields back to an XML schema instance."""
+        decl = self._root_decl(root)
+        return self._build_element(decl, decl.name, form)
+
+    def _build_element(
+        self, decl: XsdElement, path: str, form: dict[str, str]
+    ) -> XmlElement:
+        schema = self._require_schema()
+        etype = schema.resolve_type(decl.type)
+        node = XmlElement(decl.name)
+        if isinstance(etype, XsdComplexType):
+            for attr in etype.attributes:
+                raw = form.get(f"{path}.@{attr.name}", attr.default or "")
+                if raw or attr.required:
+                    node.set(attr.name, raw)
+            for child in etype.sequence:
+                child_path = f"{path}.{child.name}"
+                if self._constituent(child.type) == "complex":
+                    touched = any(
+                        key.startswith(child_path + ".") and value.strip()
+                        for key, value in form.items()
+                    )
+                    if touched or child.min_occurs > 0:
+                        node.append(self._build_element(child, child_path, form))
+                    continue
+                raw = form.get(child_path, "")
+                if child.repeated:
+                    items = [line.strip() for line in raw.splitlines() if line.strip()]
+                    for item in items:
+                        node.child(child.name, text=item)
+                elif raw:
+                    node.child(child.name, text=raw)
+                elif child.min_occurs > 0:
+                    node.child(child.name, text=child.default or "")
+            return node
+        raw = form.get(path, decl.default or "")
+        node.set_text(raw)
+        return node
+
+    def instance_to_values(self, root: str, instance: XmlElement) -> dict[str, str]:
+        """Flatten an instance back into form values (loading old sessions)."""
+        values: dict[str, str] = {}
+
+        def visit(decl: XsdElement, node: XmlElement, path: str) -> None:
+            schema = self._require_schema()
+            etype = schema.resolve_type(decl.type)
+            if isinstance(etype, XsdComplexType):
+                for attr in etype.attributes:
+                    raw = node.get(attr.name)
+                    if raw is not None:
+                        values[f"{path}.@{attr.name}"] = raw
+                for child in etype.sequence:
+                    matches = node.findall(child.name)
+                    child_path = f"{path}.{child.name}"
+                    if not matches:
+                        continue
+                    if isinstance(schema.resolve_type(child.type), XsdComplexType):
+                        visit(child, matches[0], child_path)
+                    elif child.repeated:
+                        values[child_path] = "\n".join(m.text for m in matches)
+                    else:
+                        values[child_path] = matches[0].text
+            else:
+                values[path] = node.text
+
+        decl = self._root_decl(root)
+        visit(decl, instance, decl.name)
+        return values
+
+    # -- stage 4: deploy as a web application ---------------------------------------------
+
+    def deploy(
+        self,
+        server: HttpServer,
+        project: str,
+        root: str,
+        *,
+        title: str = "",
+    ) -> "WizardWebApp":
+        """Mount the generated form as ``/webapps/<project>`` on *server*
+        (the ``$TOMCAT_HOME/webapps/<project_name>`` step)."""
+        app = WizardWebApp(self, server.host, project, root, title=title)
+        server.mount(f"/webapps/{project}", app.handle)
+        return app
+
+
+class WizardWebApp:
+    """The deployed form application: GET renders, POST saves instances."""
+
+    def __init__(
+        self,
+        wizard: SchemaWizard,
+        host: str,
+        project: str,
+        root: str,
+        *,
+        title: str = "",
+    ):
+        self.wizard = wizard
+        self.host = host
+        self.project = project
+        self.root = root
+        self.title = title or f"{project}: {root}"
+        self.base_path = f"/webapps/{project}"
+        self.instances: dict[str, str] = {}  # name -> serialized XML
+        self.saves = 0
+
+    # -- request handling --------------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        if request.method == "GET":
+            return self._render(request)
+        if request.method == "POST":
+            return self._save(request)
+        return HttpResponse(405, body="GET or POST only")
+
+    def _render(self, request: HttpRequest) -> HttpResponse:
+        params = request.form()
+        values: dict[str, str] = {}
+        instance_name = params.get("instance", "")
+        if instance_name and instance_name in self.instances:
+            instance = parse_xml(self.instances[instance_name])
+            values = self.wizard.instance_to_values(self.root, instance)
+        page = self.wizard.render_page(
+            self.root,
+            action=f"{self.base_path}/save",
+            base=self.base_path,
+            title=self.title,
+            values=values,
+            instances=sorted(self.instances),
+            instance_name=instance_name,
+        )
+        return HttpResponse(200, {"Content-Type": "text/html"}, page)
+
+    def _save(self, request: HttpRequest) -> HttpResponse:
+        form = request.form()
+        name = form.get("instanceName", "") or f"instance-{self.saves + 1}"
+        instance = self.wizard.form_to_instance(self.root, form)
+        issues = SchemaValidator(self.wizard._require_schema()).validate(instance)
+        self.instances[name] = instance.serialize(declaration=True)
+        self.saves += 1
+        page = self.wizard.templates.render(
+            "saved",
+            title=self.title,
+            instanceName=name,
+            base=self.base_path,
+            valid=not issues,
+            issueCount=len(issues),
+            issues=[str(issue) for issue in issues],
+        )
+        return HttpResponse(200, {"Content-Type": "text/html"}, page)
+
+    # -- programmatic access (used by tests and benchmarks) ----------------------------
+
+    def save_instance(self, name: str, values: dict[str, str]) -> list[str]:
+        """Save an instance directly from a value map; returns issues."""
+        instance = self.wizard.form_to_instance(self.root, values)
+        issues = SchemaValidator(self.wizard._require_schema()).validate(instance)
+        self.instances[name] = instance.serialize(declaration=True)
+        self.saves += 1
+        return [str(issue) for issue in issues]
+
+    def url(self) -> str:
+        return f"http://{self.host}{self.base_path}"
+
+    def form_url(self, instance: str = "") -> str:
+        if instance:
+            return f"{self.url()}?{encode_query({'instance': instance})}"
+        return self.url()

@@ -1,0 +1,91 @@
+"""The wizard's view templates, one per schema constituent type.
+
+Exactly the four constituent types the paper lists — single simple,
+enumerated simple, unbounded simple, and complex — plus the page shell that
+assembles the nuggets (the analogue of the ``<%@ include %>`` directives).
+"""
+
+from __future__ import annotations
+
+from repro.template.engine import TemplateLoader
+
+SIMPLE_SINGLE = """\
+<p class="field">
+  <label for="$!name">$!label</label>
+  <input type="text" name="$!name" id="$!name" value="$!value"/>#if($doc) <span class="doc">$!doc</span>#end
+</p>
+"""
+
+SIMPLE_ENUMERATED = """\
+<p class="field">
+  <label for="$!name">$!label</label>
+  <select name="$!name" id="$!name">
+#foreach($opt in $options)    <option value="$!opt.value"#if($opt.selected) selected="selected"#end>$!opt.value</option>
+#end  </select>#if($doc) <span class="doc">$!doc</span>#end
+</p>
+"""
+
+SIMPLE_UNBOUNDED = """\
+<p class="field">
+  <label for="$!name">$!label (one per line)</label>
+  <textarea name="$!name" id="$!name" rows="4" cols="40">$!value</textarea>#if($doc) <span class="doc">$!doc</span>#end
+</p>
+"""
+
+COMPLEX_OPEN = """\
+<fieldset class="complex">
+  <legend>$!label</legend>#if($doc) <span class="doc">$!doc</span>#end
+"""
+
+COMPLEX_CLOSE = """\
+</fieldset>
+"""
+
+PAGE = """\
+<html>
+<head><title>$!title</title></head>
+<body>
+<h1>$!title</h1>
+#if($instances)<div class="instances">
+<p>Saved instances:</p>
+<ul>
+#foreach($inst in $instances)  <li><a href="$!base?instance=$!inst">$!inst</a></li>
+#end</ul>
+</div>
+#end<form method="POST" action="$!action">
+<p class="field"><label for="instanceName">Instance name</label>
+<input type="text" name="instanceName" id="instanceName" value="$!instanceName"/></p>
+$body<p><input type="submit" value="Save"/></p>
+</form>
+</body>
+</html>
+"""
+
+SAVED = """\
+<html>
+<head><title>$!title</title></head>
+<body>
+<h1>Saved</h1>
+<p>Instance <b>$!instanceName</b> saved#if($valid) and validated#else with $issueCount validation issue(s)#end.</p>
+#if($issues)<ul class="issues">
+#foreach($issue in $issues)  <li>$!issue</li>
+#end</ul>
+#end<p><a href="$!base">Back to the form</a></p>
+</body>
+</html>
+"""
+
+
+def wizard_templates() -> TemplateLoader:
+    """The standard wizard template set."""
+    return TemplateLoader(
+        {
+            "simple_single": SIMPLE_SINGLE,
+            "simple_enumerated": SIMPLE_ENUMERATED,
+            "simple_unbounded": SIMPLE_UNBOUNDED,
+            "complex_open": COMPLEX_OPEN,
+            "complex_close": COMPLEX_CLOSE,
+            "page": PAGE,
+            "saved": SAVED,
+        }
+    )

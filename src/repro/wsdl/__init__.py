@@ -1,0 +1,32 @@
+"""WSDL 1.1-subset support.
+
+The paper's interoperability method is: "we agreed to a common service
+interface [in WSDL] ... and developed clients" independently.  This package
+provides the pieces of that workflow:
+
+- :mod:`repro.wsdl.model` — WSDL document model, generation from a live
+  :class:`repro.soap.SoapService`, XML serialization, and parsing.
+- :mod:`repro.wsdl.proxy` — publishing a WSDL document at an HTTP URL and
+  building a dynamic :class:`repro.soap.SoapClient` from a (possibly remote)
+  WSDL document, which is the "bind to the SSP" step of Figure 1.
+"""
+
+from repro.wsdl.model import (
+    WsdlDocument,
+    WsdlOperation,
+    WsdlPart,
+    generate_wsdl,
+    parse_wsdl,
+)
+from repro.wsdl.proxy import client_from_wsdl, fetch_wsdl, publish_wsdl
+
+__all__ = [
+    "WsdlDocument",
+    "WsdlOperation",
+    "WsdlPart",
+    "generate_wsdl",
+    "parse_wsdl",
+    "client_from_wsdl",
+    "fetch_wsdl",
+    "publish_wsdl",
+]

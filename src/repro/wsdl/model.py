@@ -1,0 +1,188 @@
+"""WSDL document model, generation, serialization, and parsing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlutil.element import XmlElement, parse_xml
+from repro.xmlutil.qname import QName
+
+WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+WSDL_SOAP_NS = "http://schemas.xmlsoap.org/wsdl/soap/"
+
+
+@dataclass
+class WsdlPart:
+    """One message part: a named, xsd-typed parameter or return value."""
+
+    name: str
+    type: str = "xsd:anyType"
+
+
+@dataclass
+class WsdlOperation:
+    """One portType operation with its input/output messages."""
+
+    name: str
+    documentation: str = ""
+    inputs: list[WsdlPart] = field(default_factory=list)
+    output: WsdlPart = field(default_factory=lambda: WsdlPart("return"))
+
+
+@dataclass
+class WsdlDocument:
+    """A WSDL 1.1 ``definitions`` document (RPC/encoded style).
+
+    The paper's services are single-interface: one portType, one SOAP
+    binding, one service port.  ``endpoint`` is the SOAP address location.
+    """
+
+    service_name: str
+    target_namespace: str
+    endpoint: str
+    operations: list[WsdlOperation] = field(default_factory=list)
+    documentation: str = ""
+
+    def operation(self, name: str) -> WsdlOperation | None:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        return None
+
+    def operation_names(self) -> list[str]:
+        return [op.name for op in self.operations]
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_xml(self) -> XmlElement:
+        root = XmlElement(QName(WSDL_NS, "definitions"))
+        root.set("name", self.service_name)
+        root.set("targetNamespace", self.target_namespace)
+        if self.documentation:
+            root.child(QName(WSDL_NS, "documentation"), text=self.documentation)
+
+        for op in self.operations:
+            request = root.child(QName(WSDL_NS, "message"))
+            request.set("name", f"{op.name}Request")
+            for part in op.inputs:
+                part_el = request.child(QName(WSDL_NS, "part"))
+                part_el.set("name", part.name).set("type", part.type)
+            response = root.child(QName(WSDL_NS, "message"))
+            response.set("name", f"{op.name}Response")
+            out = response.child(QName(WSDL_NS, "part"))
+            out.set("name", op.output.name).set("type", op.output.type)
+
+        port_type = root.child(QName(WSDL_NS, "portType"))
+        port_type.set("name", f"{self.service_name}PortType")
+        for op in self.operations:
+            op_el = port_type.child(QName(WSDL_NS, "operation"))
+            op_el.set("name", op.name)
+            if op.documentation:
+                op_el.child(QName(WSDL_NS, "documentation"), text=op.documentation)
+            op_el.child(QName(WSDL_NS, "input")).set(
+                "message", f"tns:{op.name}Request"
+            )
+            op_el.child(QName(WSDL_NS, "output")).set(
+                "message", f"tns:{op.name}Response"
+            )
+
+        binding = root.child(QName(WSDL_NS, "binding"))
+        binding.set("name", f"{self.service_name}SoapBinding")
+        binding.set("type", f"tns:{self.service_name}PortType")
+        soap_binding = binding.child(QName(WSDL_SOAP_NS, "binding"))
+        soap_binding.set("style", "rpc")
+        soap_binding.set("transport", "http://schemas.xmlsoap.org/soap/http")
+        for op in self.operations:
+            op_el = binding.child(QName(WSDL_NS, "operation"))
+            op_el.set("name", op.name)
+            op_el.child(QName(WSDL_SOAP_NS, "operation")).set(
+                "soapAction", f"{self.target_namespace}#{op.name}"
+            )
+
+        service = root.child(QName(WSDL_NS, "service"))
+        service.set("name", self.service_name)
+        port = service.child(QName(WSDL_NS, "port"))
+        port.set("name", f"{self.service_name}Port")
+        port.set("binding", f"tns:{self.service_name}SoapBinding")
+        port.child(QName(WSDL_SOAP_NS, "address")).set("location", self.endpoint)
+        return root
+
+    def serialize(self, indent: int | None = 2) -> str:
+        return self.to_xml().serialize(indent=indent, declaration=True)
+
+
+def generate_wsdl(service, endpoint: str) -> WsdlDocument:
+    """Generate a WSDL document from a live :class:`repro.soap.SoapService`.
+
+    Parameter types default to ``xsd:anyType`` — the string-heavy interfaces
+    the paper favours serialize faithfully under the SOAP-encoding layer
+    regardless, and the typed SOAP encoding carries ``xsi:type`` hints.
+    """
+    operations = [
+        WsdlOperation(
+            name=exposed.name,
+            documentation=exposed.doc,
+            inputs=[WsdlPart(param) for param in exposed.param_names],
+        )
+        for exposed in service.methods.values()
+    ]
+    return WsdlDocument(
+        service_name=service.name,
+        target_namespace=service.namespace,
+        endpoint=endpoint,
+        operations=operations,
+    )
+
+
+def parse_wsdl(source: str | XmlElement) -> WsdlDocument:
+    """Parse a WSDL document back into the model."""
+    root = parse_xml(source) if isinstance(source, str) else source
+    if root.tag != QName(WSDL_NS, "definitions"):
+        raise ValueError(f"not a WSDL definitions document: {root.tag}")
+
+    messages: dict[str, list[WsdlPart]] = {}
+    for message in root.findall(QName(WSDL_NS, "message")):
+        parts = [
+            WsdlPart(p.get("name", "") or "", p.get("type", "xsd:anyType") or "xsd:anyType")
+            for p in message.findall(QName(WSDL_NS, "part"))
+        ]
+        messages[message.get("name", "") or ""] = parts
+
+    operations: list[WsdlOperation] = []
+    port_type = root.find(QName(WSDL_NS, "portType"))
+    if port_type is not None:
+        for op_el in port_type.findall(QName(WSDL_NS, "operation")):
+            name = op_el.get("name", "") or ""
+            doc = op_el.findtext(QName(WSDL_NS, "documentation")).strip()
+            input_el = op_el.find(QName(WSDL_NS, "input"))
+            output_el = op_el.find(QName(WSDL_NS, "output"))
+            inputs: list[WsdlPart] = []
+            output = WsdlPart("return")
+            if input_el is not None:
+                ref = (input_el.get("message", "") or "").split(":", 1)[-1]
+                inputs = messages.get(ref, [])
+            if output_el is not None:
+                ref = (output_el.get("message", "") or "").split(":", 1)[-1]
+                outs = messages.get(ref, [])
+                if outs:
+                    output = outs[0]
+            operations.append(WsdlOperation(name, doc, inputs, output))
+
+    endpoint = ""
+    service_el = root.find(QName(WSDL_NS, "service"))
+    service_name = root.get("name", "") or ""
+    if service_el is not None:
+        service_name = service_el.get("name", service_name) or service_name
+        port = service_el.find(QName(WSDL_NS, "port"))
+        if port is not None:
+            address = port.find(QName(WSDL_SOAP_NS, "address"))
+            if address is not None:
+                endpoint = address.get("location", "") or ""
+
+    return WsdlDocument(
+        service_name=service_name,
+        target_namespace=root.get("targetNamespace", "") or "",
+        endpoint=endpoint,
+        operations=operations,
+        documentation=root.findtext(QName(WSDL_NS, "documentation")).strip(),
+    )

@@ -1,0 +1,64 @@
+"""Publishing WSDL and binding clients from it (Figure 1's discovery flow)."""
+
+from __future__ import annotations
+
+from repro.soap.client import SoapClient
+from repro.transport.client import HttpClient
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+from repro.wsdl.model import WsdlDocument, parse_wsdl
+
+
+def publish_wsdl(server: HttpServer, document: WsdlDocument, path: str) -> str:
+    """Serve a WSDL document at ``http://<host><path>``; returns that URL.
+
+    "The UDDI maintains links to the service providers' WSDL files" — those
+    links point at URLs produced here.
+    """
+    text = document.serialize()
+
+    def handler(request: HttpRequest) -> HttpResponse:
+        return HttpResponse(200, {"Content-Type": "text/xml"}, text)
+
+    server.mount(path, handler)
+    return f"http://{server.host}{path}"
+
+
+def fetch_wsdl(
+    network: VirtualNetwork, url: str, *, source: str = "client"
+) -> WsdlDocument:
+    """Download and parse a WSDL document from the virtual network."""
+    response = HttpClient(network, source).get(url)
+    if not response.ok:
+        raise ConnectionError(f"fetching WSDL {url} failed: HTTP {response.status}")
+    return parse_wsdl(response.body)
+
+
+def client_from_wsdl(
+    network: VirtualNetwork,
+    document: WsdlDocument | str,
+    *,
+    source: str = "client",
+    http_client: HttpClient | None = None,
+) -> SoapClient:
+    """Bind a dynamic client proxy from a WSDL document (or its URL).
+
+    This is the "client examines the UDDI for the desired service and then
+    binds to the SSP" step: the returned proxy exposes every WSDL operation
+    as a callable attribute.
+    """
+    if isinstance(document, str):
+        document = fetch_wsdl(network, document, source=source)
+    if not document.endpoint:
+        raise ValueError("WSDL document has no soap:address endpoint")
+    client = SoapClient(
+        network,
+        document.endpoint,
+        document.target_namespace,
+        source=source,
+        http_client=http_client,
+    )
+    # attach the interface description for callers that introspect it
+    client.wsdl = document  # type: ignore[attr-defined]
+    return client

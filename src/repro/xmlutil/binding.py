@@ -1,0 +1,271 @@
+"""Castor-style XML data binding: schema -> generated Python classes.
+
+The paper uses Castor's source generator: "This generates one JavaBean class
+per schema element.  Each element comes with the associated get and set
+methods needed to modify element values and attributes, add or delete
+children, etc."  :class:`BindingGenerator` is the Python analogue: for every
+complex type in a schema it manufactures a class with
+
+- a typed property per sequence element (lists for repeated elements),
+- a typed property per attribute,
+- JavaBean-style ``get_x()`` / ``set_x()`` / ``add_x()`` / ``delete_x()``
+  methods (the adapter layer in :mod:`repro.appws.adapter` wraps these),
+- ``to_xml()`` (marshal) and ``from_xml()`` (unmarshal) round-tripping
+  through :class:`repro.xmlutil.element.XmlElement`.
+"""
+
+from __future__ import annotations
+
+import keyword
+from typing import Any
+
+from repro.xmlutil.element import XmlElement
+from repro.xmlutil.qname import QName
+from repro.xmlutil.schema import (
+    BuiltinType,
+    ElementType,
+    XsdAttribute,
+    XsdComplexType,
+    XsdElement,
+    XsdSchema,
+    XsdSimpleType,
+)
+
+
+def _python_name(name: str) -> str:
+    """Convert an XML name to a safe Python identifier (camelCase -> snake)."""
+    out: list[str] = []
+    for i, ch in enumerate(name):
+        if ch.isupper():
+            if i and (name[i - 1].islower() or (i + 1 < len(name) and name[i + 1].islower())):
+                out.append("_")
+            out.append(ch.lower())
+        elif ch in "-.":
+            out.append("_")
+        else:
+            out.append(ch)
+    ident = "".join(out)
+    if keyword.iskeyword(ident) or not ident.isidentifier():
+        ident += "_"
+    return ident
+
+
+class BoundObject:
+    """Base class of all generated binding classes.
+
+    Subclasses carry class-level metadata (``_ctype``, ``_schema``,
+    ``_field_names``) installed by :class:`BindingGenerator`; instances keep
+    their state in ``_values``.
+    """
+
+    _ctype: XsdComplexType
+    _schema: XsdSchema
+    _element_fields: dict[str, XsdElement]
+    _attribute_fields: dict[str, XsdAttribute]
+
+    def __init__(self, **kwargs: Any):
+        self._values: dict[str, Any] = {}
+        for field, decl in self._element_fields.items():
+            if decl.repeated:
+                self._values[field] = []
+            elif decl.default is not None:
+                self._values[field] = self._parse_simple(decl.type, decl.default)
+            else:
+                self._values[field] = None
+        for field, attr in self._attribute_fields.items():
+            self._values[field] = (
+                self._parse_simple(attr.type, attr.default)
+                if attr.default is not None
+                else None
+            )
+        for key, value in kwargs.items():
+            if key not in self._values:
+                raise AttributeError(
+                    f"{type(self).__name__} has no field {key!r}"
+                )
+            setattr(self, key, value)
+
+    # -- simple-type lexical conversion -------------------------------------
+
+    @staticmethod
+    def _base_of(etype: ElementType) -> BuiltinType | None:
+        if isinstance(etype, BuiltinType):
+            return etype
+        if isinstance(etype, XsdSimpleType):
+            return etype.base
+        return None
+
+    @classmethod
+    def _parse_simple(cls, etype: ElementType, text: str) -> Any:
+        base = cls._base_of(etype)
+        return base.parse(text) if base is not None else text
+
+    @classmethod
+    def _format_simple(cls, etype: ElementType, value: Any) -> str:
+        base = cls._base_of(etype)
+        return base.format(value) if base is not None else str(value)
+
+    # -- marshalling ---------------------------------------------------------
+
+    def to_xml(self, tag: str | QName | None = None) -> XmlElement:
+        """Marshal this object (and nested bound objects) to XML."""
+        if tag is None:
+            tag = QName(self._schema.target_namespace, self._ctype.name or "item")
+        node = XmlElement(tag)
+        ns = self._schema.target_namespace
+        for field, attr in self._attribute_fields.items():
+            value = self._values.get(field)
+            if value is not None:
+                node.set(attr.name, self._format_simple(attr.type, value))
+        for field, decl in self._element_fields.items():
+            value = self._values.get(field)
+            items = value if decl.repeated else ([] if value is None else [value])
+            for item in items:
+                if isinstance(item, BoundObject):
+                    node.append(item.to_xml(QName(ns, decl.name)))
+                else:
+                    node.child(QName(ns, decl.name)).set_text(
+                        self._format_simple(decl.type, item)
+                    )
+        return node
+
+    def marshal(self, indent: int | None = 2) -> str:
+        """Serialize to an XML document string (Castor ``marshal``)."""
+        return self.to_xml().serialize(indent=indent, declaration=True)
+
+    @classmethod
+    def from_xml(cls, node: XmlElement) -> "BoundObject":
+        """Unmarshal an XML element into an instance of this class."""
+        obj = cls()
+        for field, attr in cls._attribute_fields.items():
+            raw = node.get(attr.name)
+            if raw is not None:
+                obj._values[field] = cls._parse_simple(attr.type, raw)
+        for field, decl in cls._element_fields.items():
+            matches = node.findall(decl.name)
+            etype = cls._schema.resolve_type(decl.type)
+            parsed: list[Any] = []
+            for match in matches:
+                if isinstance(etype, XsdComplexType):
+                    child_cls = cls._registry[etype.name]  # type: ignore[attr-defined]
+                    parsed.append(child_cls.from_xml(match))
+                else:
+                    parsed.append(cls._parse_simple(etype, match.text))
+            if decl.repeated:
+                obj._values[field] = parsed
+            elif parsed:
+                obj._values[field] = parsed[0]
+        return obj
+
+    @classmethod
+    def unmarshal(cls, text: str) -> "BoundObject":
+        """Parse an XML document string and unmarshal it (Castor style)."""
+        from repro.xmlutil.element import parse_xml
+
+        return cls.from_xml(parse_xml(text))
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._values == other._values
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = type(self).__name__
+        inner = ", ".join(
+            f"{k}={v!r}" for k, v in self._values.items() if v not in (None, [])
+        )
+        return f"{name}({inner})"
+
+
+class BindingGenerator:
+    """Generates binding classes for every named complex type in a schema.
+
+    The result of :meth:`generate` maps complex-type name -> class; all
+    classes share a ``_registry`` so nested unmarshalling can find the class
+    for a child complex type.
+    """
+
+    def __init__(self, schema: XsdSchema, class_prefix: str = ""):
+        self.schema = schema.resolve()
+        self.class_prefix = class_prefix
+
+    def generate(self) -> dict[str, type[BoundObject]]:
+        registry: dict[str, type[BoundObject]] = {}
+        for name, ctype in self.schema.complex_types.items():
+            registry[name] = self._generate_class(ctype, registry)
+        for cls in registry.values():
+            cls._registry = registry  # type: ignore[attr-defined]
+        return registry
+
+    def _generate_class(
+        self, ctype: XsdComplexType, registry: dict[str, type[BoundObject]]
+    ) -> type[BoundObject]:
+        element_fields: dict[str, XsdElement] = {}
+        attribute_fields: dict[str, XsdAttribute] = {}
+        namespace: dict[str, Any] = {}
+
+        for decl in ctype.sequence:
+            field = _python_name(decl.name)
+            if field in element_fields:
+                raise ValueError(
+                    f"duplicate field {field!r} in complex type {ctype.name!r}"
+                )
+            element_fields[field] = decl
+            self._install_accessors(namespace, field, repeated=decl.repeated)
+        for attr in ctype.attributes:
+            field = _python_name(attr.name)
+            if field in element_fields or field in attribute_fields:
+                field += "_attr"
+            attribute_fields[field] = attr
+            self._install_accessors(namespace, field, repeated=False)
+
+        namespace["_ctype"] = ctype
+        namespace["_schema"] = self.schema
+        namespace["_element_fields"] = element_fields
+        namespace["_attribute_fields"] = attribute_fields
+        namespace["__doc__"] = (
+            ctype.documentation or f"Generated binding for complex type {ctype.name!r}."
+        )
+        class_name = self.class_prefix + _class_name(ctype.name or "Anonymous")
+        return type(class_name, (BoundObject,), namespace)
+
+    @staticmethod
+    def _install_accessors(
+        namespace: dict[str, Any], field: str, *, repeated: bool
+    ) -> None:
+        def getter(self: BoundObject, _f: str = field) -> Any:
+            return self._values[_f]
+
+        def setter(self: BoundObject, value: Any, _f: str = field) -> None:
+            self._values[_f] = value
+
+        namespace[field] = property(getter, setter)
+        namespace[f"get_{field}"] = lambda self, _f=field: self._values[_f]
+
+        def bean_setter(self: BoundObject, value: Any, _f: str = field) -> None:
+            self._values[_f] = value
+
+        namespace[f"set_{field}"] = bean_setter
+        if repeated:
+            def adder(self: BoundObject, value: Any, _f: str = field) -> None:
+                self._values[_f].append(value)
+
+            def deleter(self: BoundObject, value: Any, _f: str = field) -> None:
+                self._values[_f].remove(value)
+
+            namespace[f"add_{field}"] = adder
+            namespace[f"delete_{field}"] = deleter
+
+
+def _class_name(name: str) -> str:
+    parts = name.replace("-", "_").replace(".", "_").split("_")
+    return "".join(p[:1].upper() + p[1:] for p in parts if p)
+
+
+def bind_schema(
+    schema: XsdSchema, class_prefix: str = ""
+) -> dict[str, type[BoundObject]]:
+    """Convenience wrapper: generate binding classes for *schema*."""
+    return BindingGenerator(schema, class_prefix).generate()

@@ -1,0 +1,457 @@
+"""A lightweight XML infoset with serializer and hand-rolled parser.
+
+The portal layers exchange *documents*, not streams, and need deterministic
+serialization (for signing in :mod:`repro.security.saml`) plus namespace-aware
+access (for SOAP envelopes).  This module provides exactly that and nothing
+more: elements, attributes, character data, namespaces, comments-skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from repro.xmlutil.qname import QName
+
+_ESCAPES_TEXT = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ESCAPES_ATTR = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+_NAMED_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+class XmlParseError(ValueError):
+    """Raised on malformed XML input; carries the byte offset of the error."""
+
+    def __init__(self, message: str, pos: int):
+        super().__init__(f"{message} (at offset {pos})")
+        self.pos = pos
+
+
+def _escape(text: str, table: dict[str, str]) -> str:
+    for raw, repl in table.items():
+        if raw in text:
+            text = text.replace(raw, repl)
+    return text
+
+
+Content = Union["XmlElement", str]
+
+
+class XmlElement:
+    """An XML element: qualified tag, attributes, ordered mixed content.
+
+    Content is a list whose items are either child :class:`XmlElement` objects
+    or text strings; this supports the mixed content needed by the portlet
+    HTML-rewriting layer while keeping simple documents simple.
+    """
+
+    __slots__ = ("tag", "attributes", "content")
+
+    def __init__(
+        self,
+        tag: QName | str,
+        attributes: dict[QName | str, str] | None = None,
+        content: Iterable[Content] | None = None,
+        text: str | None = None,
+    ):
+        self.tag: QName = tag if isinstance(tag, QName) else QName.parse(tag)
+        self.attributes: dict[QName, str] = {}
+        for key, value in (attributes or {}).items():
+            self.set(key, value)
+        self.content: list[Content] = list(content or [])
+        if text is not None:
+            self.content.append(text)
+
+    # -- attribute access -------------------------------------------------
+
+    def set(self, key: QName | str, value: str) -> "XmlElement":
+        qkey = key if isinstance(key, QName) else QName.parse(key)
+        self.attributes[qkey] = str(value)
+        return self
+
+    def get(self, key: QName | str, default: str | None = None) -> str | None:
+        qkey = key if isinstance(key, QName) else QName.parse(key)
+        return self.attributes.get(qkey, default)
+
+    # -- content access ----------------------------------------------------
+
+    @property
+    def children(self) -> list["XmlElement"]:
+        """Element children only (text nodes skipped)."""
+        return [c for c in self.content if isinstance(c, XmlElement)]
+
+    @property
+    def text(self) -> str:
+        """Concatenation of all *direct* text content."""
+        return "".join(c for c in self.content if isinstance(c, str))
+
+    def set_text(self, text: str) -> "XmlElement":
+        """Replace all content with a single text node."""
+        self.content = [text]
+        return self
+
+    def append(self, child: Content) -> "XmlElement":
+        self.content.append(child)
+        return self
+
+    def extend(self, children: Iterable[Content]) -> "XmlElement":
+        self.content.extend(children)
+        return self
+
+    def child(self, tag: QName | str, text: str | None = None) -> "XmlElement":
+        """Create, append, and return a new child element (builder style)."""
+        el = XmlElement(tag, text=text)
+        self.content.append(el)
+        return el
+
+    def find(self, tag: QName | str) -> "XmlElement | None":
+        """First direct child with the given tag.
+
+        A bare local name matches any namespace; a full QName matches exactly.
+        """
+        for el in self._match(tag):
+            return el
+        return None
+
+    def findall(self, tag: QName | str) -> list["XmlElement"]:
+        """All direct children with the given tag (bare name = any namespace)."""
+        return list(self._match(tag))
+
+    def findtext(self, tag: QName | str, default: str = "") -> str:
+        el = self.find(tag)
+        return el.text if el is not None else default
+
+    def _match(self, tag: QName | str) -> Iterator["XmlElement"]:
+        if isinstance(tag, str) and not tag.startswith("{"):
+            for el in self.children:
+                if el.tag.local == tag:
+                    yield el
+            return
+        qtag = tag if isinstance(tag, QName) else QName.parse(tag)
+        for el in self.children:
+            if el.tag == qtag:
+                yield el
+
+    def clone(self) -> "XmlElement":
+        """A deep copy (children cloned, text shared — strings are immutable)."""
+        copy = XmlElement(self.tag)
+        copy.attributes = dict(self.attributes)
+        copy.content = [
+            c.clone() if isinstance(c, XmlElement) else c for c in self.content
+        ]
+        return copy
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """Depth-first iteration over this element and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    # -- serialization -----------------------------------------------------
+
+    def serialize(self, indent: int | None = None, declaration: bool = False) -> str:
+        """Serialize to a string.
+
+        Namespace prefixes are assigned deterministically in document order
+        (``ns0``, ``ns1``, ...), which makes serialization canonical enough
+        for the HMAC-based signing used by :mod:`repro.security.saml`.
+        """
+        parts: list[str] = []
+        if declaration:
+            parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+            if indent is not None:
+                parts.append("\n")
+        prefixes: dict[str, str] = {}
+        self._serialize(parts, prefixes, indent, 0, parent_pretty=False)
+        return "".join(parts)
+
+    def _prefix_for(
+        self, ns: str, prefixes: dict[str, str], declared: list[str]
+    ) -> str:
+        if not ns:
+            return ""
+        if ns not in prefixes:
+            prefixes[ns] = f"ns{len(prefixes)}"
+            declared.append(ns)
+        return prefixes[ns] + ":"
+
+    def _serialize(
+        self,
+        parts: list[str],
+        prefixes: dict[str, str],
+        indent: int | None,
+        depth: int,
+        parent_pretty: bool,
+    ) -> None:
+        # indentation is only safe around element-only content; a parent with
+        # mixed content must not have whitespace injected between its children
+        pad = "\n" + " " * (indent * depth) if parent_pretty and depth else ""
+        # inherited prefixes are shared down the tree; new ones get declared here
+        declared: list[str] = []
+        local_prefixes = dict(prefixes)
+        tag = self._prefix_for(self.tag.namespace, local_prefixes, declared) + self.tag.local
+        attr_parts: list[str] = []
+        for key, value in self.attributes.items():
+            name = self._prefix_for(key.namespace, local_prefixes, declared) + key.local
+            attr_parts.append(f' {name}="{_escape(value, _ESCAPES_ATTR)}"')
+        for ns in declared:
+            prefix = local_prefixes[ns]
+            attr_parts.append(f' xmlns:{prefix}="{_escape(ns, _ESCAPES_ATTR)}"')
+        open_tag = f"{pad}<{tag}{''.join(attr_parts)}"
+        if not self.content:
+            parts.append(open_tag + "/>")
+            return
+        parts.append(open_tag + ">")
+        pretty = indent is not None and all(
+            isinstance(c, XmlElement) for c in self.content
+        )
+        for item in self.content:
+            if isinstance(item, str):
+                parts.append(_escape(item, _ESCAPES_TEXT))
+            else:
+                item._serialize(parts, local_prefixes, indent, depth + 1, pretty)
+        if pretty:
+            parts.append("\n" + " " * ((indent or 0) * depth))
+        parts.append(f"</{tag}>")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XmlElement {self.tag.clark()} children={len(self.children)}>"
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality ignoring pure-whitespace text nodes."""
+        if not isinstance(other, XmlElement):
+            return NotImplemented
+        if self.tag != other.tag or self.attributes != other.attributes:
+            return False
+        return self._significant_content() == other._significant_content()
+
+    def _significant_content(self) -> list[Content]:
+        """Content normalized for comparison: whitespace-only text dropped,
+        adjacent text runs merged (a parser cannot distinguish them)."""
+        merged: list[Content] = []
+        for item in self.content:
+            if isinstance(item, str) and merged and isinstance(merged[-1], str):
+                merged[-1] = merged[-1] + item
+            else:
+                merged.append(item)
+        return [
+            c for c in merged if isinstance(c, XmlElement) or c.strip()
+        ]
+
+    __hash__ = None  # type: ignore[assignment]  # mutable
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    """A small recursive-descent, namespace-aware XML parser."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.n = len(text)
+
+    def fail(self, message: str) -> XmlParseError:
+        return XmlParseError(message, self.pos)
+
+    def parse_document(self) -> XmlElement:
+        self._skip_misc()
+        if self.pos >= self.n or self.text[self.pos] != "<":
+            raise self.fail("expected root element")
+        root = self._parse_element({"": "", "xml": "http://www.w3.org/XML/1998/namespace"})
+        self._skip_misc()
+        if self.pos != self.n:
+            raise self.fail("trailing content after root element")
+        return root
+
+    def _skip_misc(self) -> None:
+        """Skip whitespace, comments, processing instructions, and DOCTYPE."""
+        while self.pos < self.n:
+            ch = self.text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif self.text.startswith("<?", self.pos):
+                end = self.text.find("?>", self.pos)
+                if end < 0:
+                    raise self.fail("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos)
+                if end < 0:
+                    raise self.fail("unterminated comment")
+                self.pos = end + 3
+            elif self.text.startswith("<!DOCTYPE", self.pos):
+                depth = 0
+                while self.pos < self.n:
+                    c = self.text[self.pos]
+                    self.pos += 1
+                    if c == "<":
+                        depth += 1
+                    elif c == ">":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                else:
+                    raise self.fail("unterminated DOCTYPE")
+            else:
+                return
+
+    def _parse_name(self) -> str:
+        start = self.pos
+        while self.pos < self.n and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_.:-"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.fail("expected a name")
+        return self.text[start:self.pos]
+
+    def _skip_ws(self) -> None:
+        while self.pos < self.n and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _resolve(self, name: str, nsmap: dict[str, str], *, attr: bool) -> QName:
+        if ":" in name:
+            prefix, local = name.split(":", 1)
+            if prefix not in nsmap:
+                raise self.fail(f"undeclared namespace prefix {prefix!r}")
+            return QName(nsmap[prefix], local)
+        # default namespace applies to elements, never to attributes
+        return QName("" if attr else nsmap.get("", ""), name)
+
+    def _parse_element(self, parent_nsmap: dict[str, str]) -> XmlElement:
+        assert self.text[self.pos] == "<"
+        self.pos += 1
+        name = self._parse_name()
+        raw_attrs: list[tuple[str, str]] = []
+        nsmap = dict(parent_nsmap)
+        while True:
+            self._skip_ws()
+            if self.pos >= self.n:
+                raise self.fail("unterminated start tag")
+            if self.text[self.pos] in "/>":
+                break
+            attr_name = self._parse_name()
+            self._skip_ws()
+            if self.pos >= self.n or self.text[self.pos] != "=":
+                raise self.fail(f"expected '=' after attribute {attr_name!r}")
+            self.pos += 1
+            self._skip_ws()
+            quote = self.text[self.pos] if self.pos < self.n else ""
+            if quote not in ("'", '"'):
+                raise self.fail("attribute value must be quoted")
+            self.pos += 1
+            end = self.text.find(quote, self.pos)
+            if end < 0:
+                raise self.fail("unterminated attribute value")
+            value = _decode_entities(self.text[self.pos:end], self)
+            self.pos = end + 1
+            if attr_name == "xmlns":
+                nsmap[""] = value
+            elif attr_name.startswith("xmlns:"):
+                nsmap[attr_name[6:]] = value
+            else:
+                raw_attrs.append((attr_name, value))
+
+        element = XmlElement(self._resolve(name, nsmap, attr=False))
+        for attr_name, value in raw_attrs:
+            element.attributes[self._resolve(attr_name, nsmap, attr=True)] = value
+
+        if self.text[self.pos] == "/":
+            if not self.text.startswith("/>", self.pos):
+                raise self.fail("malformed empty-element tag")
+            self.pos += 2
+            return element
+        self.pos += 1  # consume '>'
+        self._parse_content(element, nsmap, name)
+        return element
+
+    def _parse_content(
+        self, element: XmlElement, nsmap: dict[str, str], open_name: str
+    ) -> None:
+        buf: list[str] = []
+
+        def flush() -> None:
+            if buf:
+                text = "".join(buf)
+                buf.clear()
+                element.content.append(text)
+
+        while True:
+            if self.pos >= self.n:
+                raise self.fail(f"unterminated element <{open_name}>")
+            ch = self.text[self.pos]
+            if ch != "<":
+                nxt = self.text.find("<", self.pos)
+                if nxt < 0:
+                    raise self.fail(f"unterminated element <{open_name}>")
+                buf.append(_decode_entities(self.text[self.pos:nxt], self))
+                self.pos = nxt
+                continue
+            if self.text.startswith("</", self.pos):
+                flush()
+                self.pos += 2
+                close = self._parse_name()
+                if close != open_name:
+                    raise self.fail(
+                        f"mismatched close tag </{close}> for <{open_name}>"
+                    )
+                self._skip_ws()
+                if self.pos >= self.n or self.text[self.pos] != ">":
+                    raise self.fail("malformed close tag")
+                self.pos += 1
+                return
+            if self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos)
+                if end < 0:
+                    raise self.fail("unterminated comment")
+                self.pos = end + 3
+                continue
+            if self.text.startswith("<![CDATA[", self.pos):
+                end = self.text.find("]]>", self.pos)
+                if end < 0:
+                    raise self.fail("unterminated CDATA section")
+                buf.append(self.text[self.pos + 9:end])
+                self.pos = end + 3
+                continue
+            if self.text.startswith("<?", self.pos):
+                end = self.text.find("?>", self.pos)
+                if end < 0:
+                    raise self.fail("unterminated processing instruction")
+                self.pos = end + 2
+                continue
+            flush()
+            element.content.append(self._parse_element(nsmap))
+
+
+def _decode_entities(text: str, parser: _Parser) -> str:
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i)
+        if end < 0:
+            raise parser.fail("unterminated entity reference")
+        entity = text[i + 1:end]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            out.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            out.append(chr(int(entity[1:])))
+        elif entity in _NAMED_ENTITIES:
+            out.append(_NAMED_ENTITIES[entity])
+        else:
+            raise parser.fail(f"unknown entity &{entity};")
+        i = end + 1
+    return "".join(out)
+
+
+def parse_xml(text: str) -> XmlElement:
+    """Parse an XML document string into an :class:`XmlElement` tree."""
+    return _Parser(text).parse_document()

@@ -1,0 +1,41 @@
+"""Namespace-qualified XML names."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class QName:
+    """A namespace-qualified name, ``{namespace}local``.
+
+    ``namespace`` may be the empty string for unqualified names.  QNames are
+    hashable and comparable so they may be used as dictionary keys throughout
+    the SOAP/WSDL layers.
+    """
+
+    namespace: str
+    local: str
+
+    def __post_init__(self) -> None:
+        if not self.local:
+            raise ValueError("QName local part must be non-empty")
+
+    @staticmethod
+    def parse(text: str) -> "QName":
+        """Parse Clark notation (``{ns}local``) or a bare local name."""
+        if text.startswith("{"):
+            end = text.find("}")
+            if end < 0:
+                raise ValueError(f"malformed Clark-notation QName: {text!r}")
+            return QName(text[1:end], text[end + 1:])
+        return QName("", text)
+
+    def clark(self) -> str:
+        """Render in Clark notation (``{ns}local`` / bare local)."""
+        if self.namespace:
+            return "{%s}%s" % (self.namespace, self.local)
+        return self.local
+
+    def __str__(self) -> str:
+        return self.clark()

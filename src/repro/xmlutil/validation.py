@@ -1,0 +1,161 @@
+"""Instance-document validation against an XSD-subset schema.
+
+Used by the schema wizard ("SchemaParser (after validating the schema) ..."),
+by the application-descriptor services before accepting a descriptor upload,
+and by the SOAP layer when decoding complex-typed payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlutil.element import XmlElement
+from repro.xmlutil.schema import (
+    UNBOUNDED,
+    BuiltinType,
+    ElementType,
+    XsdComplexType,
+    XsdElement,
+    XsdSchema,
+    XsdSimpleType,
+)
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One violation: an XPath-like location and a message."""
+
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.message}"
+
+
+class SchemaValidator:
+    """Validates :class:`XmlElement` trees against an :class:`XsdSchema`."""
+
+    def __init__(self, schema: XsdSchema):
+        self.schema = schema
+
+    def validate(self, document: XmlElement) -> list[ValidationIssue]:
+        """Validate a document against the matching global element
+        declaration; returns all violations (empty list = valid)."""
+        decl = self.schema.find_element(document.tag.local)
+        if decl is None:
+            return [
+                ValidationIssue(
+                    f"/{document.tag.local}",
+                    f"no global element declaration named {document.tag.local!r}",
+                )
+            ]
+        issues: list[ValidationIssue] = []
+        self._validate_element(document, decl, f"/{document.tag.local}", issues)
+        return issues
+
+    def is_valid(self, document: XmlElement) -> bool:
+        return not self.validate(document)
+
+    # -- internals ----------------------------------------------------------
+
+    def _validate_element(
+        self,
+        node: XmlElement,
+        decl: XsdElement,
+        path: str,
+        issues: list[ValidationIssue],
+    ) -> None:
+        etype: ElementType = self.schema.resolve_type(decl.type)
+        if isinstance(etype, BuiltinType):
+            self._check_simple_text(node, XsdSimpleType("", base=etype), path, issues)
+        elif isinstance(etype, XsdSimpleType):
+            self._check_simple_text(node, etype, path, issues)
+        elif isinstance(etype, XsdComplexType):
+            self._validate_complex(node, etype, path, issues)
+        else:  # pragma: no cover - resolve_type raises for unknown refs
+            raise AssertionError(etype)
+
+    def _check_simple_text(
+        self,
+        node: XmlElement,
+        stype: XsdSimpleType,
+        path: str,
+        issues: list[ValidationIssue],
+    ) -> None:
+        if node.children:
+            issues.append(
+                ValidationIssue(path, "simple-typed element has element children")
+            )
+            return
+        for message in stype.check(node.text):
+            issues.append(ValidationIssue(path, message))
+
+    def _validate_complex(
+        self,
+        node: XmlElement,
+        ctype: XsdComplexType,
+        path: str,
+        issues: list[ValidationIssue],
+    ) -> None:
+        # attributes
+        declared_attrs = {attr.name: attr for attr in ctype.attributes}
+        for attr in ctype.attributes:
+            value = node.get(attr.name)
+            if value is None:
+                if attr.required:
+                    issues.append(
+                        ValidationIssue(path, f"missing required attribute {attr.name!r}")
+                    )
+                continue
+            atype = attr.type
+            stype = (
+                atype
+                if isinstance(atype, XsdSimpleType)
+                else XsdSimpleType("", base=atype)
+                if isinstance(atype, BuiltinType)
+                else XsdSimpleType("")
+            )
+            for message in stype.check(value):
+                issues.append(ValidationIssue(f"{path}/@{attr.name}", message))
+        for key in node.attributes:
+            if key.local not in declared_attrs and not key.namespace:
+                issues.append(
+                    ValidationIssue(path, f"undeclared attribute {key.local!r}")
+                )
+
+        if not ctype.mixed and node.text.strip() and ctype.sequence:
+            issues.append(ValidationIssue(path, "unexpected character data"))
+
+        # sequence content: children must appear in declared order with
+        # occurrence counts inside [minOccurs, maxOccurs]
+        children = node.children
+        index = 0
+        for decl in ctype.sequence:
+            count = 0
+            while index < len(children) and children[index].tag.local == decl.name:
+                child_path = f"{path}/{decl.name}[{count}]"
+                self._validate_element(children[index], decl, child_path, issues)
+                index += 1
+                count += 1
+            if count < decl.min_occurs:
+                issues.append(
+                    ValidationIssue(
+                        path,
+                        f"element {decl.name!r} occurs {count} time(s), "
+                        f"minOccurs is {decl.min_occurs}",
+                    )
+                )
+            if decl.max_occurs != UNBOUNDED and count > decl.max_occurs:
+                issues.append(
+                    ValidationIssue(
+                        path,
+                        f"element {decl.name!r} occurs {count} time(s), "
+                        f"maxOccurs is {decl.max_occurs}",
+                    )
+                )
+        for extra in children[index:]:
+            issues.append(
+                ValidationIssue(
+                    path, f"unexpected element {extra.tag.local!r} in sequence"
+                )
+            )

@@ -1,0 +1,86 @@
+import pytest
+
+from repro.faults import InvalidRequestError, ResourceNotFoundError
+from repro.appws.adapter import ApplicationAdapter, InstanceAdapter
+from repro.appws.catalog import build_catalog, gaussian_descriptor
+from repro.appws.descriptors import ApplicationLifecycle
+
+
+def test_build_and_describe():
+    app = ApplicationAdapter(name="Code", version="1.0", description="d")
+    app.add_input_field("n", "Size", "integer")
+    app.add_output_field("log", "Log file")
+    app.add_host("h1", "/bin/code", queues=[("PBS", "workq")],
+                 parameters={"ENV": "x"})
+    app.require_service("job-submission", "http://g/run")
+    summary = app.describe()
+    assert summary["name"] == "Code"
+    assert summary["hosts"] == ["h1"]
+    assert summary["inputs"] == ["n"]
+    assert "job-submission" in summary["services"]
+
+
+def test_host_and_queue_lookup():
+    app = gaussian_descriptor()
+    host = app.host_named("modi4.iu.edu")
+    assert host.executable_path.endswith("g98")
+    queues = app.queues_on("modi4.iu.edu")
+    assert [q.queue_name for q in queues] == ["workq", "express"]
+    with pytest.raises(ResourceNotFoundError):
+        app.host_named("nowhere")
+
+
+def test_service_endpoint_host_binding_precedence():
+    app = ApplicationAdapter(name="X")
+    app.require_service("job-submission", "http://generic")
+    app.require_service("job-submission", "http://specific", host="h1")
+    assert app.service_endpoint("job-submission", "h1") == "http://specific"
+    assert app.service_endpoint("job-submission", "h2") == "http://generic"
+    assert app.service_endpoint("file-transfer") == ""
+
+
+def test_parameters():
+    app = ApplicationAdapter(name="X")
+    app.set_parameter("discipline", "chemistry")
+    app.set_parameter("discipline", "physics")  # update, not duplicate
+    assert app.parameter("discipline") == "physics"
+    assert app.parameter("missing", "default") == "default"
+    assert len(app.application.parameter) == 1
+
+
+def test_marshal_unmarshal_descriptor():
+    original = gaussian_descriptor({"job-submission": "http://g"})
+    xml = original.marshal()
+    back = ApplicationAdapter.unmarshal(xml)
+    assert back.name == "Gaussian"
+    assert back.version == original.version
+    assert [h.dns_name for h in back.hosts()] == [
+        h.dns_name for h in original.hosts()
+    ]
+    assert back.service_endpoint("job-submission") == "http://g"
+    assert back.marshal() == xml  # stable serialization
+
+
+def test_catalog_contents():
+    catalog = build_catalog()
+    assert set(catalog) == {"Gaussian", "ANSYS", "MM5"}
+    for app in catalog.values():
+        assert app.hosts(), f"{app.name} has no host bindings"
+        assert "batch-script-generation" in app.required_services()
+
+
+def test_name_required():
+    with pytest.raises(InvalidRequestError):
+        ApplicationAdapter()
+
+
+def test_instance_adapter_summary():
+    lifecycle = ApplicationLifecycle("ANSYS", "5.7")
+    lifecycle.prepare(host="octopus.iu.edu", queue="workq",
+                      parameters={"elements": "5000"})
+    summary = InstanceAdapter(lifecycle.instance).summary()
+    assert summary["application"] == "ANSYS"
+    assert summary["state"] == "prepared"
+    assert summary["parameters"] == {"elements": "5000"}
+    roundtrip = InstanceAdapter.unmarshal(lifecycle.marshal()).summary()
+    assert roundtrip == summary

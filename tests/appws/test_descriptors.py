@@ -1,0 +1,95 @@
+import pytest
+
+from repro.faults import InvalidRequestError
+from repro.appws.descriptors import (
+    LIFECYCLE_STATES,
+    ApplicationLifecycle,
+    descriptor_classes,
+    instance_classes,
+)
+
+
+def test_descriptor_classes_cover_schema():
+    classes = descriptor_classes()
+    for name in ("Application", "Host", "Queue", "BasicInformation",
+                 "InternalCommunication", "ExecutionEnvironment", "IoField",
+                 "ServiceBinding", "Parameter"):
+        assert name in classes
+
+
+def test_lifecycle_happy_path():
+    lifecycle = ApplicationLifecycle("Gaussian", "98")
+    assert lifecycle.state == "abstract"
+    lifecycle.prepare(host="modi4.iu.edu", queue="workq",
+                      parameters={"basisSize": "100"})
+    assert lifecycle.state == "prepared"
+    lifecycle.submitted("1.modi4", at=5.0)
+    assert lifecycle.state == "queued"
+    lifecycle.running()
+    lifecycle.archive(output_location="srb:/out", at=50.0)
+    assert lifecycle.state == "archived"
+    inst = lifecycle.instance
+    assert inst.host == "modi4.iu.edu"
+    assert inst.job_id == "1.modi4"
+    assert inst.submitted == 5.0 and inst.completed == 50.0
+    assert {p.name: p.value for p in inst.parameter} == {"basisSize": "100"}
+
+
+def test_illegal_transitions_rejected():
+    lifecycle = ApplicationLifecycle("X")
+    with pytest.raises(InvalidRequestError):
+        lifecycle.transition("running")  # abstract cannot jump to running
+    lifecycle.transition("prepared")
+    with pytest.raises(InvalidRequestError):
+        lifecycle.transition("archived")
+    with pytest.raises(InvalidRequestError):
+        lifecycle.transition("made-up-state")
+
+
+def test_archive_from_queued_passes_through_running():
+    lifecycle = ApplicationLifecycle("X")
+    lifecycle.prepare(host="h")
+    lifecycle.submitted("j", at=0.0)
+    lifecycle.archive(output_location="o", at=1.0)
+    assert lifecycle.state == "archived"
+
+
+def test_terminal_states_are_terminal():
+    lifecycle = ApplicationLifecycle("X")
+    lifecycle.prepare(host="h")
+    lifecycle.fail()
+    with pytest.raises(InvalidRequestError):
+        lifecycle.transition("prepared")
+
+
+def test_marshalled_instance_reloadable():
+    lifecycle = ApplicationLifecycle("MM5", "3.5")
+    lifecycle.prepare(host="t3e.sdsc.edu", parameters={"hours": "24"})
+    xml = lifecycle.marshal()
+    cls = instance_classes()["ApplicationInstance"]
+    reloaded = ApplicationLifecycle.from_instance(cls.unmarshal(xml))
+    assert reloaded.state == "prepared"
+    assert reloaded.instance.application_name == "MM5"
+    # the reloaded instance continues through the lifecycle
+    reloaded.submitted("7.t3e", at=2.0)
+    assert reloaded.state == "queued"
+
+
+def test_instance_ids_unique():
+    a = ApplicationLifecycle("X")
+    b = ApplicationLifecycle("X")
+    assert a.instance_id != b.instance_id
+
+
+def test_every_state_reachable():
+    reachable = {"abstract"}
+    frontier = ["abstract"]
+    from repro.appws.descriptors import _TRANSITIONS
+
+    while frontier:
+        state = frontier.pop()
+        for nxt in _TRANSITIONS[state]:
+            if nxt not in reachable:
+                reachable.add(nxt)
+                frontier.append(nxt)
+    assert reachable == set(LIFECYCLE_STATES)

@@ -1,0 +1,95 @@
+import pytest
+
+from repro.faults import InvalidRequestError, ResourceNotFoundError
+from repro.appws.factory import (
+    FACTORY_NAMESPACE,
+    INSTANCE_NAMESPACE,
+    deploy_factory,
+)
+from repro.soap.client import SoapClient
+
+
+@pytest.fixture(scope="module")
+def factory(deployment):
+    from repro.appws.catalog import build_catalog
+
+    impl, endpoint = deploy_factory(
+        deployment.network,
+        build_catalog(),
+        deployment.endpoints["globusrun"],
+        host="factory.test",
+    )
+    client = SoapClient(deployment.network, endpoint, FACTORY_NAMESPACE,
+                        source="ui.factory")
+    return deployment, impl, client
+
+
+def _instance_client(deployment, endpoint):
+    return SoapClient(deployment.network, endpoint, INSTANCE_NAMESPACE,
+                      source="ui.factory")
+
+
+def test_factory_lists_catalog(factory):
+    _deployment, _impl, client = factory
+    assert client.call("list_applications") == ["ANSYS", "Gaussian", "MM5"]
+
+
+def test_create_configure_run_destroy(factory):
+    deployment, impl, client = factory
+    endpoint = client.call("create", "Gaussian", "modi4.iu.edu")
+    assert "/instances/appinst-" in endpoint
+    instance = _instance_client(deployment, endpoint)
+
+    assert instance.call("status") == "abstract"
+    assert instance.call("configure", {"basisSize": 90}) == "prepared"
+    assert instance.call("run") == "archived"
+    assert "SCF Done" in instance.call("output")
+    description = instance.call("describe")
+    assert description["application"] == "Gaussian"
+    assert description["host"] == "modi4.iu.edu"
+
+    # destroy unmounts the endpoint
+    assert instance.call("destroy") is True
+    from repro.transport.client import HttpClient
+
+    response = HttpClient(deployment.network, "ui.factory").post(endpoint, "x")
+    assert response.status == 404
+
+
+def test_each_instance_is_independent(factory):
+    deployment, _impl, client = factory
+    a = _instance_client(deployment, client.call("create", "MM5", "blue.sdsc.edu"))
+    b = _instance_client(deployment, client.call("create", "MM5", "t3e.sdsc.edu"))
+    a.call("configure", {"forecastHours": 6})
+    assert a.call("status") == "prepared"
+    assert b.call("status") == "abstract"  # untouched
+    assert a.call("describe")["host"] == "blue.sdsc.edu"
+    assert b.call("describe")["host"] == "t3e.sdsc.edu"
+
+
+def test_create_validates_inputs(factory):
+    deployment, _impl, client = factory
+    with pytest.raises(ResourceNotFoundError):
+        client.call("create", "Fortran77", "modi4.iu.edu")
+    with pytest.raises(ResourceNotFoundError):
+        client.call("create", "Gaussian", "cray.nowhere")
+
+
+def test_instance_guards_lifecycle(factory):
+    deployment, _impl, client = factory
+    instance = _instance_client(
+        deployment, client.call("create", "ANSYS", "octopus.iu.edu")
+    )
+    with pytest.raises(InvalidRequestError):
+        instance.call("run")  # not configured yet
+    with pytest.raises(InvalidRequestError):
+        instance.call("configure", {"warpFactor": 9})
+    with pytest.raises(ResourceNotFoundError):
+        instance.call("output")
+
+
+def test_active_instances_listed(factory):
+    _deployment, impl, client = factory
+    count_before = len(client.call("active_instances"))
+    client.call("create", "Gaussian", "modi4.iu.edu")
+    assert len(client.call("active_instances")) == count_before + 1

@@ -1,0 +1,78 @@
+from repro.appws.schemas import (
+    application_schema,
+    combined_schema,
+    host_schema,
+    instance_schema,
+    queue_schema,
+)
+from repro.xmlutil.schema import XsdComplexType, parse_schema
+from repro.xmlutil.validation import SchemaValidator
+from repro.xmlutil.element import XmlElement
+
+
+def test_container_hierarchy_application_host_queue():
+    """The paper's modular container hierarchy: applications contain hosts,
+    hosts contain queue descriptions."""
+    schema = application_schema()
+    app = schema.complex_types["Application"]
+    host_el = app.element("host")
+    assert isinstance(host_el.type, XsdComplexType)
+    assert host_el.type.name == "Host"
+    queue_el = host_el.type.element("queue")
+    assert queue_el.type.name == "Queue"
+
+
+def test_application_schema_has_paper_elements():
+    app = application_schema().complex_types["Application"]
+    names = [el.name for el in app.sequence]
+    # 1. basic information  2. internal communication
+    # 3. execution environment  4. generic parameter
+    assert names[:4] == [
+        "basicInformation",
+        "internalCommunication",
+        "executionEnvironment",
+        "parameter",
+    ]
+
+
+def test_queue_enumeration_matches_supported_schedulers():
+    schema = queue_schema()
+    assert schema.simple_types["QueuingSystem"].enumeration == [
+        "PBS", "LSF", "NQS", "GRD"
+    ]
+
+
+def test_lifecycle_states_in_instance_schema():
+    schema = instance_schema()
+    states = schema.simple_types["LifecycleState"].enumeration
+    for required in ("abstract", "prepared", "running", "archived"):
+        assert required in states
+    # the proposed refinements of "running"
+    for refinement in ("queued", "sleeping", "terminating"):
+        assert refinement in states
+
+
+def test_all_schemas_serialize_to_parseable_xsd():
+    for builder in (application_schema, host_schema, queue_schema,
+                    instance_schema, combined_schema):
+        schema = builder()
+        reparsed = parse_schema(schema.serialize())
+        assert sorted(reparsed.complex_types) == sorted(schema.complex_types)
+
+
+def test_combined_schema_has_all_global_elements():
+    names = {el.name for el in combined_schema().elements}
+    assert {"application", "host", "queue", "applicationInstance"} <= names
+
+
+def test_validator_accepts_wellformed_host_instance():
+    schema = combined_schema()
+    host = XmlElement("host")
+    host.child("dnsName", text="modi4.iu.edu")
+    host.child("executablePath", text="/apps/g98")
+    queue = host.child("queue")
+    queue.child("queuingSystem", text="PBS")
+    queue.child("queueName", text="workq")
+    assert SchemaValidator(schema).validate(host) == []
+    queue.find("queuingSystem").set_text("SLURM")  # not a 2002 scheduler
+    assert SchemaValidator(schema).validate(host) != []

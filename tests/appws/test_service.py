@@ -1,0 +1,113 @@
+import pytest
+
+from repro.faults import InvalidRequestError, ResourceNotFoundError
+from repro.appws.adapter import ApplicationAdapter
+from repro.appws.service import APPWS_NAMESPACE
+from repro.soap.client import SoapClient
+from repro.transport.client import HttpClient
+from repro.xmlutil.schema import parse_schema
+
+
+@pytest.fixture
+def appws_client(deployment):
+    return SoapClient(
+        deployment.network,
+        deployment.endpoints["appws"],
+        APPWS_NAMESPACE,
+        source="ui.test",
+    )
+
+
+def test_list_and_descriptor_download(appws_client):
+    apps = appws_client.call("list_applications")
+    assert {a["name"] for a in apps} >= {"Gaussian", "ANSYS", "MM5"}
+    xml = appws_client.call("get_descriptor", "Gaussian")
+    adapter = ApplicationAdapter.unmarshal(xml)
+    assert adapter.name == "Gaussian"
+    with pytest.raises(ResourceNotFoundError):
+        appws_client.call("get_descriptor", "Fortran77Monolith")
+
+
+def test_schema_published_over_http(deployment):
+    response = HttpClient(deployment.network, "ui.test").get(
+        "http://appws.gridportal.org/schema/application.xsd"
+    )
+    assert response.ok
+    schema = parse_schema(response.body)
+    assert "Application" in schema.complex_types
+
+
+def test_descriptor_published_over_http(deployment):
+    response = HttpClient(deployment.network, "ui.test").get(
+        "http://appws.gridportal.org/descriptors/MM5.xml"
+    )
+    assert response.ok
+    assert ApplicationAdapter.unmarshal(response.body).name == "MM5"
+    missing = HttpClient(deployment.network, "ui.test").get(
+        "http://appws.gridportal.org/descriptors/Nope.xml"
+    )
+    assert missing.status == 404
+
+
+def test_full_lifecycle_through_core_services(deployment, appws_client):
+    instance = appws_client.call(
+        "prepare", "Gaussian", "modi4.iu.edu", {"basisSize": 120}
+    )
+    assert appws_client.call("status", instance) == "prepared"
+    final = appws_client.call("run", instance)
+    assert final == "archived"
+    output = appws_client.call("get_output", instance)
+    assert "Normal termination" in output
+    script = appws_client.call("get_script", instance)
+    assert script.startswith("#!/bin/sh")
+    assert "#PBS" in script  # modi4 is a PBS resource
+    summary = appws_client.call("instance_summary", instance)
+    assert summary["state"] == "archived"
+    assert summary["parameters"] == {"basisSize": "120"}
+
+
+def test_lsf_host_uses_sdsc_generator(deployment, appws_client):
+    instance = appws_client.call(
+        "prepare", "Gaussian", "blue.sdsc.edu", {"basisSize": 50}
+    )
+    appws_client.call("run", instance)
+    script = appws_client.call("get_script", instance)
+    assert "#BSUB" in script
+
+
+def test_prepare_validates_choices(deployment, appws_client):
+    with pytest.raises(InvalidRequestError):
+        appws_client.call(
+            "prepare", "Gaussian", "modi4.iu.edu", {"warpFactor": 9}
+        )
+    with pytest.raises(ResourceNotFoundError):
+        appws_client.call("prepare", "Gaussian", "cray.nowhere", {})
+
+
+def test_archive_to_context_manager(deployment, appws_client):
+    instance = appws_client.call(
+        "prepare", "ANSYS", "octopus.iu.edu", {"elements": 100}
+    )
+    appws_client.call("run", instance)
+    appws_client.call("archive_to_context", instance, "carol", "struct", "s1")
+    descriptor = deployment.context.getSessionDescriptor("carol", "struct", "s1")
+    assert "ANSYS" in descriptor
+    assert "archived" in descriptor
+
+
+def test_publish_new_application(deployment, appws_client):
+    app = ApplicationAdapter(name="NewCode", version="0.1")
+    app.add_host("modi4.iu.edu", "/apps/newcode", queues=[("PBS", "workq")])
+    name = appws_client.call("publish", app.marshal())
+    assert name == "NewCode"
+    assert "NewCode" in {
+        a["name"] for a in appws_client.call("list_applications")
+    }
+
+
+def test_output_before_run_is_error(deployment, appws_client):
+    instance = appws_client.call(
+        "prepare", "MM5", "blue.sdsc.edu", {"forecastHours": 6}
+    )
+    with pytest.raises(ResourceNotFoundError):
+        appws_client.call("get_output", instance)

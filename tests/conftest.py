@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.security.gsi import SimpleCA
+from repro.transport.clock import SimClock
+from repro.transport.network import VirtualNetwork
+
+
+@pytest.fixture
+def network() -> VirtualNetwork:
+    """A fresh virtual network with its own clock."""
+    return VirtualNetwork()
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def ca() -> SimpleCA:
+    return SimpleCA()
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """The full portal deployment (module-scoped: building it brings up the
+    whole Figure 4 architecture)."""
+    from repro.portal.uiserver import PortalDeployment
+
+    return PortalDeployment.build()

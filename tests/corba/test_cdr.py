@@ -1,0 +1,74 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corba.cdr import CdrError, marshal, unmarshal
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -(2**40),
+        2**40,
+        1.5,
+        "",
+        "unicode: naïve ☃",
+        [],
+        [1, "two", None, [3.0]],
+        {},
+        {"k": 1, "nested": {"x": [True]}},
+    ],
+)
+def test_roundtrip(value):
+    assert unmarshal(marshal(value)) == value
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(CdrError):
+        marshal(object())
+    with pytest.raises(CdrError):
+        marshal({1: "int key"})
+
+
+def test_truncated_stream_rejected():
+    data = marshal("hello world")
+    with pytest.raises(CdrError):
+        unmarshal(data[:-3])
+    with pytest.raises(CdrError):
+        unmarshal(b"")
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(CdrError):
+        unmarshal(marshal(1) + b"\x00")
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(CdrError):
+        unmarshal(b"\xfe")
+
+
+cdr_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-2**63, 2**63 - 1),
+        st.floats(allow_nan=False),
+        st.text(max_size=30),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=15,
+)
+
+
+@given(cdr_values)
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_property(value):
+    assert unmarshal(marshal(value)) == value

@@ -1,0 +1,90 @@
+import pytest
+
+from repro.corba.orb import (
+    CorbaSystemException,
+    CorbaUserException,
+    Orb,
+    _parse_ior,
+)
+from repro.transport.server import HttpServer
+
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+    def increment(self, by):
+        self.value += by
+        return self.value
+
+    def crash(self):
+        raise RuntimeError("servant exploded")
+
+    def _secret(self):  # pragma: no cover - must not be callable remotely
+        return "hidden"
+
+
+@pytest.fixture
+def orbs(network):
+    server = HttpServer("corba.host", network)
+    server_orb = Orb(network, server=server)
+    client_orb = Orb(network, host="client.host")
+    return server_orb, client_orb
+
+
+def test_activate_invoke(network, orbs):
+    server_orb, client_orb = orbs
+    servant = Counter()
+    ior = server_orb.activate(servant, "Test::Counter")
+    stub = client_orb.string_to_object(ior)
+    assert stub.interface == "Test::Counter"
+    assert stub.increment(5) == 5
+    assert stub.increment(2) == 7
+    assert servant.value == 7
+    assert server_orb.requests_served == 2
+
+
+def test_user_exception_relayed(network, orbs):
+    server_orb, client_orb = orbs
+    ior = server_orb.activate(Counter(), "Test::Counter")
+    stub = client_orb.string_to_object(ior)
+    with pytest.raises(CorbaUserException) as exc_info:
+        stub.crash()
+    assert exc_info.value.exc_type == "RuntimeError"
+    assert "exploded" in exc_info.value.exc_message
+
+
+def test_unknown_operation_and_private_blocked(network, orbs):
+    server_orb, client_orb = orbs
+    ior = server_orb.activate(Counter(), "Test::Counter")
+    stub = client_orb.string_to_object(ior)
+    with pytest.raises(CorbaSystemException):
+        stub.decrement(1)
+
+
+def test_deactivated_object_unreachable(network, orbs):
+    server_orb, client_orb = orbs
+    ior = server_orb.activate(Counter(), "Test::Counter")
+    stub = client_orb.string_to_object(ior)
+    assert stub.increment(1) == 1
+    server_orb.deactivate(ior)
+    with pytest.raises(CorbaSystemException):
+        stub.increment(1)
+
+
+def test_malformed_ior_rejected(orbs):
+    _server_orb, client_orb = orbs
+    with pytest.raises(CorbaSystemException):
+        client_orb.string_to_object("notanior")
+    with pytest.raises(CorbaSystemException):
+        _parse_ior("IOR:hostonly")
+
+
+def test_two_servants_independent(network, orbs):
+    server_orb, client_orb = orbs
+    a = server_orb.activate(Counter(), "Test::Counter")
+    b = server_orb.activate(Counter(), "Test::Counter")
+    stub_a = client_orb.string_to_object(a)
+    stub_b = client_orb.string_to_object(b)
+    stub_a.increment(10)
+    assert stub_b.increment(1) == 1

@@ -1,0 +1,95 @@
+import pytest
+
+from repro.corba.orb import CorbaUserException, Orb
+from repro.corba.webflow import deploy_webflow
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing import make_dialect
+from repro.grid.queuing.base import BatchScheduler
+
+
+@pytest.fixture
+def webflow(network):
+    schedulers = {
+        "pbs.host": BatchScheduler("pbs.host", make_dialect("PBS"),
+                                   clock=network.clock, cpus=8),
+        "lsf.host": BatchScheduler("lsf.host", make_dialect("LSF"),
+                                   clock=network.clock, cpus=8),
+    }
+    servant, ior, _orb = deploy_webflow(network, schedulers)
+    client = Orb(network, host="gateway").string_to_object(ior)
+    return servant, client, schedulers
+
+
+def test_context_hierarchy(webflow):
+    _servant, client, _s = webflow
+    client.addContext("alice/proj/s1")
+    client.addContext("alice/proj/s2")
+    assert client.listContexts("alice/proj") == ["s1", "s2"]
+    assert client.listContexts("alice") == ["proj"]
+    assert client.hasContext("alice/proj")
+    client.removeContext("alice/proj/s1")
+    assert client.listContexts("alice/proj") == ["s2"]
+
+
+def test_direct_submission_to_queuing_system(webflow):
+    _servant, client, schedulers = webflow
+    client.addContext("u/p/s")
+    script = make_dialect("PBS").generate(
+        JobSpec(name="direct", executable="echo", arguments=["webflow"],
+                wallclock_limit=60)
+    )
+    handle = client.submitJob("u/p/s", "pbs.host", script)
+    assert handle.startswith("wf-")
+    schedulers["pbs.host"].run_until_complete()
+    assert client.getJobStatus(handle) == "done"
+    assert client.getJobOutput(handle) == "webflow\n"
+    assert client.listJobs("u/p/s") == [handle]
+
+
+def test_submission_requires_context(webflow):
+    _servant, client, _s = webflow
+    script = make_dialect("PBS").generate(
+        JobSpec(executable="echo", wallclock_limit=60)
+    )
+    with pytest.raises(CorbaUserException):
+        client.submitJob("ghost/p/s", "pbs.host", script)
+
+
+def test_unknown_backend_host(webflow):
+    _servant, client, _s = webflow
+    client.addContext("u/p/s")
+    script = make_dialect("PBS").generate(
+        JobSpec(executable="echo", wallclock_limit=60)
+    )
+    with pytest.raises(CorbaUserException):
+        client.submitJob("u/p/s", "cray.nowhere", script)
+
+
+def test_wrong_dialect_script_rejected(webflow):
+    _servant, client, _s = webflow
+    client.addContext("u/p/s")
+    pbs_script = make_dialect("PBS").generate(
+        JobSpec(executable="echo", wallclock_limit=60)
+    )
+    # an LSF host cannot parse a PBS script's resource semantics, but a PBS
+    # script parses as bare commands under LSF rules; dialect safety comes
+    # from validation: here the LSF parse ignores #PBS lines as comments, so
+    # the job still runs — assert the behaviour is defined, not an ORB crash
+    handle = client.submitJob("u/p/s", "lsf.host", pbs_script)
+    assert handle.startswith("wf-")
+
+
+def test_cancel(webflow):
+    _servant, client, schedulers = webflow
+    client.addContext("u/p/s")
+    script = make_dialect("PBS").generate(
+        JobSpec(executable="sleep", arguments=["500"], wallclock_limit=600)
+    )
+    handle = client.submitJob("u/p/s", "pbs.host", script)
+    assert client.cancelJob(handle)
+    assert client.getJobStatus(handle) == "cancelled"
+
+
+def test_backend_hosts_listing(webflow):
+    _servant, client, _s = webflow
+    assert client.backendHosts() == ["lsf.host", "pbs.host"]

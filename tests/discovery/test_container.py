@@ -1,0 +1,81 @@
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.container import MetadataContainer
+
+
+@pytest.fixture
+def tree():
+    root = MetadataContainer("")
+    root.ensure_path("portals/IU/script-generators/gateway").set_meta(
+        "queuing-system", "PBS", "GRD"
+    ).set_meta("wsdl", "http://iu/bsg.wsdl")
+    root.ensure_path("portals/SDSC/script-generators/hotpage").set_meta(
+        "queuing-system", "LSF", "NQS"
+    )
+    root.ensure_path("portals/SDSC/data/srb").set_meta("kind", "data-management")
+    return root
+
+
+def test_lookup_and_ensure(tree):
+    node = tree.lookup("portals/IU/script-generators/gateway")
+    assert node is not None
+    assert node.meta("queuing-system") == ["PBS", "GRD"]
+    assert tree.lookup("portals/nowhere") is None
+    # ensure_path is idempotent
+    again = tree.ensure_path("portals/IU/script-generators/gateway")
+    assert again is node
+
+
+def test_query_by_metadata(tree):
+    hits = tree.query({"queuing-system": "LSF"})
+    assert [path for path, _ in hits] == ["/portals/SDSC/script-generators/hotpage"]
+    assert tree.query({"queuing-system": "PBS"}, scope="portals/SDSC") == []
+    assert len(tree.query({})) >= 6  # every node matches an empty filter
+
+
+def test_query_requires_all_pairs(tree):
+    gateway = tree.lookup("portals/IU/script-generators/gateway")
+    gateway.add_meta("interface", "urn:bsg")
+    assert tree.query({"queuing-system": "PBS", "interface": "urn:bsg"})
+    assert not tree.query({"queuing-system": "LSF", "interface": "urn:bsg"})
+
+
+def test_remove_subtree(tree):
+    assert tree.remove("portals/SDSC/data")
+    assert tree.lookup("portals/SDSC/data") is None
+    assert not tree.remove("portals/SDSC/data")
+
+
+def test_walk_paths(tree):
+    paths = [path for path, _ in tree.walk()]
+    assert "/portals/IU/script-generators/gateway" in paths
+
+
+def test_xml_self_description_roundtrip(tree):
+    text = tree.serialize()
+    back = MetadataContainer.from_xml(text)
+    assert back == tree
+
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+
+@given(
+    paths=st.lists(st.lists(names, min_size=1, max_size=4), min_size=1, max_size=6),
+    key=names,
+    value=names,
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(paths, key, value):
+    root = MetadataContainer("")
+    for parts in paths:
+        root.ensure_path("/".join(parts)).add_meta(key, value)
+    assert MetadataContainer.from_xml(root.serialize()) == root
+    # every registered path is findable by its metadata
+    hits = {path for path, _ in root.query({key: value})}
+    for parts in paths:
+        assert "/" + "/".join(parts) in hits

@@ -1,0 +1,64 @@
+import pytest
+
+from repro.faults import DiscoveryError
+from repro.discovery.registry import DiscoveryClient, deploy_discovery
+
+
+@pytest.fixture
+def discovery(network):
+    registry, url = deploy_discovery(network)
+    client = DiscoveryClient(network, url, source="ui")
+    client.register(
+        "portals/IU/script-generators/gateway",
+        {"queuing-system": ["PBS", "GRD"], "endpoint": "http://iu/bsg"},
+    )
+    client.register(
+        "portals/SDSC/script-generators/hotpage",
+        {"queuing-system": ["LSF", "NQS"], "endpoint": "http://sdsc/bsg"},
+    )
+    return registry, client
+
+
+def test_structured_query_is_precise(discovery):
+    _registry, client = discovery
+    hits = client.query({"queuing-system": "GRD"})
+    assert len(hits) == 1
+    assert hits[0]["path"] == "/portals/IU/script-generators/gateway"
+    assert hits[0]["metadata"]["endpoint"] == ["http://iu/bsg"]
+
+
+def test_query_scoped_to_subtree(discovery):
+    _registry, client = discovery
+    assert client.query({"queuing-system": "PBS"}, scope="portals/SDSC") == []
+
+
+def test_children_listing(discovery):
+    _registry, client = discovery
+    assert client.children("portals") == ["IU", "SDSC"]
+    with pytest.raises(DiscoveryError):
+        client.children("nowhere")
+
+
+def test_describe_returns_self_describing_xml(discovery):
+    _registry, client = discovery
+    subtree = client.describe("portals/IU")
+    assert subtree.name == "IU"
+    node = subtree.lookup("script-generators/gateway")
+    assert node.meta("queuing-system") == ["PBS", "GRD"]
+
+
+def test_unregister(discovery):
+    _registry, client = discovery
+    assert client.unregister("portals/IU/script-generators/gateway")
+    assert client.query({"queuing-system": "PBS"}) == []
+    with pytest.raises(DiscoveryError):
+        client.unregister("portals/IU/script-generators/gateway")
+
+
+def test_reregistration_updates_metadata(discovery):
+    _registry, client = discovery
+    client.register(
+        "portals/IU/script-generators/gateway", {"queuing-system": ["PBS"]}
+    )
+    hits = client.query({"queuing-system": "GRD"})
+    assert hits == []

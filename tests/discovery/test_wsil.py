@@ -1,0 +1,81 @@
+import pytest
+
+from repro.faults import DiscoveryError
+from repro.discovery.wsil import (
+    InspectionDocument,
+    inspect,
+    publish_inspection,
+)
+from repro.transport.server import HttpServer
+
+
+@pytest.fixture
+def federation(network):
+    """Three sites: IU links to SDSC, SDSC links to NCSA and back to IU
+    (a cycle), NCSA is a leaf."""
+    iu = HttpServer("iu.wsil", network)
+    sdsc = HttpServer("sdsc.wsil", network)
+    ncsa = HttpServer("ncsa.wsil", network)
+
+    iu_doc = InspectionDocument()
+    iu_doc.add_service("Gateway BSG", "http://iu.wsil/bsg.wsdl", "PBS+GRD scripts")
+    iu_doc.add_link("http://sdsc.wsil/inspection.wsil")
+    publish_inspection(iu, iu_doc)
+
+    sdsc_doc = InspectionDocument()
+    sdsc_doc.add_service("HotPage BSG", "http://sdsc.wsil/bsg.wsdl")
+    sdsc_doc.add_service("SRB WS", "http://sdsc.wsil/srb.wsdl")
+    sdsc_doc.add_link("http://ncsa.wsil/inspection.wsil")
+    sdsc_doc.add_link("http://iu.wsil/inspection.wsil")  # cycle
+    publish_inspection(sdsc, sdsc_doc)
+
+    ncsa_doc = InspectionDocument()
+    ncsa_doc.add_service("NCSA jobs", "http://ncsa.wsil/jobs.wsdl")
+    publish_inspection(ncsa, ncsa_doc)
+    return network
+
+
+def test_document_roundtrip():
+    doc = InspectionDocument()
+    doc.add_service("S", "http://h/s.wsdl", "an abstract")
+    doc.add_link("http://other/inspection.wsil")
+    back = InspectionDocument.parse(doc.serialize())
+    assert back.services[0].name == "S"
+    assert back.services[0].wsdl_location == "http://h/s.wsdl"
+    assert back.services[0].abstract == "an abstract"
+    assert back.links == ["http://other/inspection.wsil"]
+
+
+def test_parse_rejects_non_wsil():
+    with pytest.raises(DiscoveryError):
+        InspectionDocument.parse("<registry/>")
+
+
+def test_crawl_follows_links_once(federation):
+    services = inspect(federation, "http://iu.wsil/inspection.wsil",
+                       source="crawler")
+    names = sorted(s.name for s in services)
+    assert names == ["Gateway BSG", "HotPage BSG", "NCSA jobs", "SRB WS"]
+    # the IU<->SDSC cycle did not duplicate anything
+    assert len(names) == len(set(names))
+
+
+def test_crawl_without_links(federation):
+    services = inspect(federation, "http://sdsc.wsil/inspection.wsil",
+                       follow_links=False)
+    assert sorted(s.name for s in services) == ["HotPage BSG", "SRB WS"]
+
+
+def test_crawl_survives_dead_links(federation, network):
+    network.take_down("ncsa.wsil")
+    services = inspect(federation, "http://iu.wsil/inspection.wsil")
+    names = sorted(s.name for s in services)
+    # decentralization: partial answers when a site is down
+    assert names == ["Gateway BSG", "HotPage BSG", "SRB WS"]
+    network.bring_up("ncsa.wsil")
+
+
+def test_crawl_bounded(federation):
+    services = inspect(federation, "http://iu.wsil/inspection.wsil",
+                       max_documents=1)
+    assert sorted(s.name for s in services) == ["Gateway BSG"]

@@ -1,0 +1,61 @@
+from repro.grid.apps import ApplicationRegistry, default_registry
+from repro.grid.jobs import JobSpec
+
+
+def test_known_apps_deterministic():
+    registry = default_registry()
+    spec = JobSpec(executable="gaussian", arguments=["100"])
+    a = registry.execute(spec, "host1")
+    b = registry.execute(spec, "host1")
+    assert a.duration == b.duration
+    assert a.stdout == b.stdout
+    assert "Normal termination" in a.stdout
+
+
+def test_gaussian_scales_with_basis():
+    registry = default_registry()
+    small = registry.execute(JobSpec(executable="g98", arguments=["50"]), "h")
+    large = registry.execute(JobSpec(executable="g98", arguments=["500"]), "h")
+    assert large.duration > small.duration
+
+
+def test_mm5_scales_inversely_with_cpus():
+    registry = default_registry()
+    serial = registry.execute(
+        JobSpec(executable="mm5", arguments=["24"], cpus=1), "h"
+    )
+    parallel = registry.execute(
+        JobSpec(executable="mm5", arguments=["24"], cpus=8), "h"
+    )
+    assert parallel.duration < serial.duration
+
+
+def test_unknown_executable_gets_generic_behaviour():
+    registry = ApplicationRegistry(default_duration=10.0)
+    result = registry.execute(JobSpec(executable="/opt/custom/thing"), "h")
+    assert 0 < result.duration <= 15.0
+    assert result.exit_code == 0
+    assert "completed" in result.stdout
+
+
+def test_duration_capped_at_wallclock():
+    registry = default_registry()
+    result = registry.execute(
+        JobSpec(executable="g98", arguments=["100000"], wallclock_limit=5.0), "h"
+    )
+    assert result.duration <= 5.0
+
+
+def test_fail_app_exit_code():
+    registry = default_registry()
+    result = registry.execute(JobSpec(executable="fail", arguments=["3"]), "h")
+    assert result.exit_code == 3
+
+
+def test_basename_lookup():
+    registry = default_registry()
+    assert registry.knows("/usr/local/bin/g98")
+    result = registry.execute(
+        JobSpec(executable="/usr/local/bin/hostname"), "myhost"
+    )
+    assert result.stdout == "myhost\n"

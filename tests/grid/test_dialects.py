@@ -1,0 +1,125 @@
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import InvalidRequestError
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing import DIALECTS, make_dialect
+
+ALL = sorted(DIALECTS)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_generate_has_dialect_markers(name):
+    dialect = make_dialect(name)
+    script = dialect.generate(
+        JobSpec(name="j", executable="/bin/app", queue="workq", cpus=2,
+                wallclock_limit=3600)
+    )
+    marker = {"PBS": "#PBS", "LSF": "#BSUB", "NQS": "#QSUB", "GRD": "#$"}[name]
+    assert script.startswith("#!/bin/sh\n")
+    assert marker in script
+    # no other dialect's marker leaks in
+    for other, other_marker in (
+        ("PBS", "#PBS"), ("LSF", "#BSUB"), ("NQS", "#QSUB"), ("GRD", "#$ ")
+    ):
+        if other != name:
+            assert other_marker + " " not in script
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_full_roundtrip(name):
+    dialect = make_dialect(name)
+    spec = JobSpec(
+        name="chem-42",
+        executable="/apps/g98",
+        arguments=["300", "direct"],
+        queue="express",
+        cpus=16,
+        wallclock_limit=5400.0,
+        memory_mb=2048,
+        stdout_path="/scratch/out.log",
+        stderr_path="/scratch/err.log",
+        directory="/scratch/run",
+        account="TG-CHE",
+        environment={"GAUSS_SCRDIR": "/scratch", "OMP_NUM_THREADS": "16"},
+        priority=5,
+    )
+    parsed = dialect.parse(dialect.generate(spec))
+    assert parsed.name == spec.name
+    assert parsed.executable == spec.executable
+    assert parsed.arguments == spec.arguments
+    assert parsed.queue == spec.queue
+    assert parsed.cpus == spec.cpus
+    assert parsed.wallclock_limit == spec.wallclock_limit
+    assert parsed.memory_mb == spec.memory_mb
+    assert parsed.stdout_path == spec.stdout_path
+    assert parsed.stderr_path == spec.stderr_path
+    assert parsed.directory == spec.directory
+    assert parsed.account == spec.account
+    assert parsed.priority == spec.priority
+    if name in ("PBS", "GRD"):  # dialects that carry environment settings
+        assert parsed.environment == spec.environment
+
+
+def test_unknown_dialect_rejected():
+    with pytest.raises(ValueError):
+        make_dialect("SLURM")
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_parse_rejects_bad_directives(name):
+    dialect = make_dialect(name)
+    marker = {"PBS": "#PBS", "LSF": "#BSUB", "NQS": "#QSUB", "GRD": "#$"}[name]
+    with pytest.raises(InvalidRequestError):
+        dialect.parse(f"#!/bin/sh\n{marker} -ZZ bogus\n/bin/app\n")
+    with pytest.raises(InvalidRequestError):
+        dialect.parse("#!/bin/sh\n# only comments, no command\n")
+
+
+def test_parse_ignores_plain_comments():
+    dialect = make_dialect("PBS")
+    spec = dialect.parse("#!/bin/sh\n# a comment\n#PBS -N x\necho hi\n")
+    assert spec.name == "x"
+    assert spec.executable == "echo"
+
+
+names = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1,
+                max_size=10)
+paths = names.map(lambda s: "/tmp/" + s)
+
+
+@st.composite
+def specs(draw):
+    return JobSpec(
+        name=draw(names),
+        executable=draw(paths),
+        arguments=draw(st.lists(names, max_size=3)),
+        queue=draw(names),
+        cpus=draw(st.integers(1, 1024)),
+        # whole minutes so the LSF -W (minutes) round trip is exact
+        wallclock_limit=float(draw(st.integers(1, 10**4)) * 60),
+        memory_mb=draw(st.integers(0, 10**5)),
+        stdout_path=draw(paths),
+        account=draw(names),
+        priority=draw(st.integers(1, 100)),
+    )
+
+
+@given(spec=specs(), name=st.sampled_from(ALL))
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_property(spec, name):
+    dialect = make_dialect(name)
+    parsed = dialect.parse(dialect.generate(spec))
+    assert (parsed.name, parsed.executable, parsed.arguments) == (
+        spec.name, spec.executable, spec.arguments
+    )
+    assert (parsed.queue, parsed.cpus, parsed.wallclock_limit) == (
+        spec.queue, spec.cpus, spec.wallclock_limit
+    )
+    assert (parsed.memory_mb, parsed.stdout_path, parsed.account,
+            parsed.priority) == (
+        spec.memory_mb, spec.stdout_path, spec.account, spec.priority
+    )

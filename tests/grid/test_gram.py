@@ -1,0 +1,104 @@
+import pytest
+
+from repro.faults import (
+    AuthenticationError,
+    AuthorizationError,
+    JobError,
+    PortalError,
+    ResourceNotFoundError,
+)
+from repro.grid.gram import GramClient, rsl_for, serialize_chain, deserialize_chain
+from repro.grid.jobs import JobSpec
+from repro.grid.resources import build_testbed, deploy_resource
+
+
+IDENTITY = "/O=G/CN=alice"
+
+
+@pytest.fixture
+def grid(network, ca):
+    testbed = build_testbed(network, ca)
+    cred = ca.issue_credential(IDENTITY, lifetime=10**6, now=0.0)
+    proxy = cred.sign_proxy(lifetime=10**5, now=0.0)
+    for resource in testbed.values():
+        resource.gatekeeper.add_gridmap_entry(IDENTITY, "alice")
+    return testbed, GramClient(network, proxy, source="client"), cred
+
+
+def test_submit_status_output(network, grid):
+    testbed, client, _cred = grid
+    rsl = rsl_for(JobSpec(name="t", executable="echo", arguments=["grid hi"],
+                          wallclock_limit=60))
+    job_id = client.submit("modi4.iu.edu", rsl)
+    # the wire round trip itself advances virtual time, so a short job may
+    # already have completed by the time status is queried
+    assert client.status("modi4.iu.edu", job_id)["state"] in ("running", "done")
+    testbed["modi4.iu.edu"].scheduler.run_until_complete()
+    output = client.output("modi4.iu.edu", job_id)
+    assert output["stdout"] == "grid hi\n"
+
+
+def test_output_before_completion_is_error(network, grid):
+    testbed, client, _cred = grid
+    rsl = rsl_for(JobSpec(executable="sleep", arguments=["100"],
+                          wallclock_limit=600))
+    job_id = client.submit("blue.sdsc.edu", rsl)
+    with pytest.raises(JobError):
+        client.output("blue.sdsc.edu", job_id)
+
+
+def test_cancel(network, grid):
+    testbed, client, _cred = grid
+    rsl = rsl_for(JobSpec(executable="sleep", arguments=["100"],
+                          wallclock_limit=600))
+    job_id = client.submit("t3e.sdsc.edu", rsl)
+    assert client.cancel("t3e.sdsc.edu", job_id)
+    assert client.status("t3e.sdsc.edu", job_id)["state"] == "cancelled"
+
+
+def test_unauthorized_identity_rejected(network, ca, grid):
+    _testbed, _client, _cred = grid
+    outsider = ca.issue_credential("/O=G/CN=mallory", lifetime=10**4, now=0.0)
+    bad = GramClient(network, outsider.sign_proxy(lifetime=100, now=0.0))
+    rsl = rsl_for(JobSpec(executable="echo", wallclock_limit=60))
+    with pytest.raises(AuthorizationError):
+        bad.submit("modi4.iu.edu", rsl)
+
+
+def test_expired_proxy_rejected(network, ca, grid):
+    testbed, _client, cred = grid
+    short = cred.sign_proxy(lifetime=1.0, now=0.0)
+    client = GramClient(network, short)
+    network.clock.advance(100.0)
+    with pytest.raises(AuthenticationError):
+        client.submit("modi4.iu.edu", rsl_for(JobSpec(executable="echo",
+                                                      wallclock_limit=60)))
+
+
+def test_unknown_job_is_not_found(network, grid):
+    _testbed, client, _cred = grid
+    with pytest.raises(PortalError) as exc_info:
+        client.status("modi4.iu.edu", "999.modi4.iu.edu")
+    assert exc_info.value.code == "Portal.ResourceNotFound"
+
+
+def test_chain_serialization_roundtrip(ca):
+    cred = ca.issue_credential("/O=G/CN=x", lifetime=100.0, now=0.0)
+    proxy = cred.sign_proxy(lifetime=50.0, now=0.0)
+    rebuilt = deserialize_chain(serialize_chain(proxy))
+    assert rebuilt.subject == proxy.subject
+    assert ca.verify_chain(rebuilt, now=1.0) == "/O=G/CN=x"
+
+
+def test_testbed_has_all_four_queuing_systems(network, ca):
+    testbed = build_testbed(network, ca)
+    systems = {r.queuing_system for r in testbed.values()}
+    assert systems == {"PBS", "LSF", "NQS", "GRD"}
+
+
+def test_local_user_mapped_into_environment(network, grid):
+    testbed, client, _cred = grid
+    rsl = rsl_for(JobSpec(executable="echo", arguments=["x"], wallclock_limit=60))
+    job_id = client.submit("octopus.iu.edu", rsl)
+    record = testbed["octopus.iu.edu"].scheduler.job(job_id)
+    assert record.spec.environment["LOGNAME"] == "alice"

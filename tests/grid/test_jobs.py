@@ -1,0 +1,41 @@
+from repro.grid.jobs import JobRecord, JobSpec, JobState
+
+
+def test_spec_validation():
+    assert JobSpec(executable="x").validate() == []
+    bad = JobSpec(executable="", cpus=0, wallclock_limit=-1, memory_mb=-5)
+    problems = bad.validate()
+    assert len(problems) == 4
+
+
+def test_command_line():
+    spec = JobSpec(executable="/bin/echo", arguments=["a", "b"])
+    assert spec.command_line() == "/bin/echo a b"
+
+
+def test_copy_is_deep_for_mutables():
+    spec = JobSpec(executable="x", arguments=["1"], environment={"A": "1"})
+    clone = spec.copy(name="other")
+    clone.arguments.append("2")
+    clone.environment["B"] = "2"
+    assert spec.arguments == ["1"]
+    assert spec.environment == {"A": "1"}
+    assert clone.name == "other"
+
+
+def test_state_finished_classification():
+    assert JobState.DONE.finished
+    assert JobState.FAILED.finished
+    assert JobState.CANCELLED.finished
+    assert not JobState.RUNNING.finished
+    assert not JobState.QUEUED.finished
+
+
+def test_record_wait_time_and_summary():
+    record = JobRecord("1.h", JobSpec(executable="x"), submit_time=5.0)
+    assert record.wait_time is None
+    record.start_time = 12.0
+    assert record.wait_time == 7.0
+    summary = record.summary()
+    assert summary["job_id"] == "1.h"
+    assert summary["state"] == "queued"

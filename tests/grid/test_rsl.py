@@ -1,0 +1,55 @@
+import pytest
+
+from repro.faults import InvalidRequestError
+from repro.grid.gram import parse_rsl, rsl_for
+from repro.grid.jobs import JobSpec
+
+
+def test_roundtrip_full_spec():
+    spec = JobSpec(
+        name="run1",
+        executable="/apps/mm5",
+        arguments=["24", "fine"],
+        queue="workq",
+        cpus=8,
+        wallclock_limit=7200.0,
+        directory="/scratch",
+        account="TG-ATM",
+        environment={"A": "1", "B": "2"},
+    )
+    parsed = parse_rsl(rsl_for(spec))
+    assert parsed.name == spec.name
+    assert parsed.executable == spec.executable
+    assert parsed.arguments == spec.arguments
+    assert parsed.queue == spec.queue
+    assert parsed.cpus == spec.cpus
+    assert parsed.wallclock_limit == spec.wallclock_limit
+    assert parsed.directory == spec.directory
+    assert parsed.account == spec.account
+    assert parsed.environment == spec.environment
+
+
+def test_minimal_rsl():
+    spec = parse_rsl("&(executable=/bin/date)")
+    assert spec.executable == "/bin/date"
+    assert spec.cpus == 1
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "(executable=/bin/x)",       # missing &
+        "&(executable=/bin/x",       # unbalanced
+        "&(noequals)",
+        "&(mystery=1)(executable=/bin/x)",
+        "&(arguments=a b)",          # no executable
+    ],
+)
+def test_malformed_rsl_rejected(bad):
+    with pytest.raises(InvalidRequestError):
+        parse_rsl(bad)
+
+
+def test_environment_clause_parsing():
+    spec = parse_rsl("&(executable=x)(environment=(PATH /bin)(HOME /root))")
+    assert spec.environment == {"PATH": "/bin", "HOME": "/root"}

@@ -1,0 +1,40 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.queuing.timefmt import from_hms, to_hms, to_minutes
+
+
+def test_to_hms_known_values():
+    assert to_hms(0) == "00:00:00"
+    assert to_hms(59) == "00:00:59"
+    assert to_hms(3600) == "01:00:00"
+    assert to_hms(3661) == "01:01:01"
+    assert to_hms(360000) == "100:00:00"
+
+
+def test_to_hms_rounds_up_fractions():
+    assert to_hms(0.2) == "00:00:01"
+    assert to_hms(59.5) == "00:01:00"
+
+
+def test_from_hms_forms():
+    assert from_hms("01:30:00") == 5400.0
+    assert from_hms("05:30") == 330.0
+    assert from_hms("90") == 90.0
+    with pytest.raises(ValueError):
+        from_hms("1:2:3:4")
+    with pytest.raises(ValueError):
+        from_hms("abc")
+
+
+def test_to_minutes_rounds_up():
+    assert to_minutes(60) == 1
+    assert to_minutes(61) == 2
+    assert to_minutes(0.1) == 1
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=100, deadline=None)
+def test_hms_roundtrip_whole_seconds(seconds):
+    assert from_hms(to_hms(seconds)) == float(seconds)

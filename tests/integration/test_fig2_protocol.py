@@ -1,0 +1,111 @@
+"""Figure 2 end to end, with the SSP protecting a *real* portal service."""
+
+import pytest
+
+from repro.faults import AuthenticationError
+from repro.security.authservice import AssertionInterceptor, ClientSecuritySession
+from repro.services.batchscript import (
+    BSG_NAMESPACE,
+    IuBatchScriptGenerator,
+    deploy_batch_script_generator,
+)
+from repro.soap.client import SoapClient
+
+
+@pytest.fixture(scope="module")
+def protected(deployment):
+    """A batch-script SSP that demands verified SAML assertions."""
+    impl = IuBatchScriptGenerator()
+    endpoint, _wsdl = deploy_batch_script_generator(
+        deployment.network, impl, "securebsg.iu.edu"
+    )
+    interceptor = AssertionInterceptor(
+        deployment.network,
+        deployment.endpoints["auth"],
+        spp_host="securebsg.iu.edu",
+        clock=deployment.network.clock,
+    )
+    # reach into the mounted SOAP service to attach the interceptor
+    from repro.transport.http import HttpRequest, Url
+
+    # the deploy helper does not expose the SoapService; mount a second,
+    # protected service instead
+    from repro.soap.server import SoapService
+    from repro.transport.server import HttpServer
+
+    server = HttpServer("secured.iu.edu", deployment.network)
+    soap = SoapService("SecureBSG", BSG_NAMESPACE)
+    soap.expose(impl.generateScript)
+    soap.expose(impl.listSchedulers)
+    soap.add_interceptor(interceptor)
+    url = soap.mount(server, "/bsg")
+    return url, interceptor
+
+
+def test_single_sign_on_then_many_services(deployment, protected):
+    url, interceptor = protected
+    session = ClientSecuritySession(
+        deployment.network, deployment.kdc, deployment.endpoints["auth"],
+        ui_host="ui.fig2",
+    )
+    session.login("alice", "alpine")  # one login...
+    client = session.secure(
+        SoapClient(deployment.network, url, BSG_NAMESPACE, source="ui.fig2")
+    )
+    # ...then every call carries a fresh signed assertion
+    for _ in range(3):
+        assert client.call("listSchedulers") == ["PBS", "GRD"]
+    assert session.assertions_issued == 3
+    assert interceptor.verified_calls >= 3
+
+
+def test_atomic_step_involves_auth_service_hop(deployment, protected):
+    """The SPP 'does not check the signature of the request directly but
+    instead forwards to the Authentication Service'."""
+    url, _interceptor = protected
+    session = ClientSecuritySession(
+        deployment.network, deployment.kdc, deployment.endpoints["auth"],
+        ui_host="ui.fig2b",
+    )
+    session.login("bob", "builder")
+    client = session.secure(
+        SoapClient(deployment.network, url, BSG_NAMESPACE, source="ui.fig2b")
+    )
+    before = deployment.network.stats.snapshot()
+    verifications_before = deployment.auth.verifications
+    client.call("listSchedulers")
+    delta = deployment.network.stats.delta(before)
+    assert deployment.auth.verifications == verifications_before + 1
+    # at least two requests: UI->SPP and SPP->AuthService
+    assert delta.per_host_requests.get("auth.gridportal.org", 0) == 1
+
+
+def test_keytab_never_leaves_the_auth_service(deployment):
+    """The keytab object exists only inside the AuthenticationService."""
+    assert deployment.auth.keytab.principals() == ["authsvc"]
+
+
+def test_forged_assertion_rejected(deployment, protected):
+    url, _interceptor = protected
+    session = ClientSecuritySession(
+        deployment.network, deployment.kdc, deployment.endpoints["auth"],
+        ui_host="ui.fig2c",
+    )
+    session.login("alice", "alpine")
+    # craft an assertion signed with the wrong key
+    from repro.security import crypto
+    from repro.security.saml import SamlAssertion
+    from repro.xmlutil.element import XmlElement
+
+    forged = SamlAssertion(
+        issuer="ui.fig2c",
+        subject="alice",
+        not_before=0.0,
+        not_on_or_after=deployment.network.clock.now + 1000,
+        attributes={"session": session.session_id},
+    ).sign(crypto.new_key(b"attacker"))
+    client = SoapClient(deployment.network, url, BSG_NAMESPACE, source="ui.fig2c")
+    client.add_header_provider(lambda m, p: [forged.to_xml()])
+    with pytest.raises(AuthenticationError) as exc_info:
+        client.call("listSchedulers")
+    assert "signature invalid" in exc_info.value.message

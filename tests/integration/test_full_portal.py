@@ -1,0 +1,99 @@
+"""Figure 4 end to end: shell, application services, portlets over wizard UIs."""
+
+import pytest
+
+from repro.portal.uiserver import UserInterfaceServer
+from repro.portlets.registry import PortletEntry
+from repro.transport.client import HttpClient
+from repro.transport.server import HttpServer
+from repro.wizard.generator import SchemaWizard
+
+
+@pytest.fixture(scope="module")
+def ui(deployment):
+    return UserInterfaceServer(deployment, host="ui.full")
+
+
+def test_two_interface_levels(deployment, ui):
+    """The user interacts with the tool chest, never the grid directly: a
+    shell 'submit' translates into gatekeeper traffic *from the service
+    host*, not from the UI host."""
+    shell = ui.make_shell("alice")
+    before = deployment.network.stats.snapshot()
+    shell.run("submit modi4.iu.edu hostname")
+    delta = deployment.network.stats.delta(before)
+    # UI -> globusrun service host; service host -> gatekeeper
+    assert delta.per_host_requests.get("globusrun.sdsc.edu") == 1
+    assert delta.per_host_requests.get("modi4.iu.edu", 0) >= 1
+
+
+def test_pipeline_composes_three_core_services(deployment, ui):
+    shell = ui.make_shell("alice")
+    out = shell.run(
+        "genscript GRD executable=/apps/ansys cpus=4 wallTime=1200"
+        " | srbput /home/portal/ansys.grd"
+    )
+    assert "stored" in out
+    script = shell.run("srbcat /home/portal/ansys.grd")
+    assert "#$ -pe mpi 4" in script
+
+
+def test_wizard_ui_inside_webform_portlet(deployment, ui):
+    """§5.4's punchline: the wizard-generated application editor, hosted on
+    one server, is aggregated into a portlet container on another, with
+    forms posting through the portlet."""
+    network = deployment.network
+    # the application-host serves a wizard-generated editor
+    apps_server = HttpServer("apps.full", network)
+    wizard = SchemaWizard(network, source_host="apps.full")
+    wizard.load("http://appws.gridportal.org/schema/application.xsd")
+    webapp = wizard.deploy(apps_server, "queue-editor", "queue")
+
+    # the portal aggregates it
+    ui.container.registry.register(
+        PortletEntry("queue-editor", "WebFormPortlet", webapp.url(),
+                     title="Queue editor")
+    )
+    ui.container.set_layout("alice", ["queue-editor"])
+    browser = HttpClient(network, "browser.full")
+    page = browser.get(
+        f"http://{ui.container.host}/portal?user=alice"
+    ).body
+    assert "Queue editor" in page
+    assert 'name="queue.queuingSystem"' in page
+    # the form action was remapped through the container
+    assert "portlet=queue-editor" in page
+
+    # submit the form through the portlet window
+    import re
+
+    action_match = re.search(r'action="([^"]+)"', page)
+    assert action_match
+    action = action_match.group(1).replace("&amp;", "&")
+    response = browser.post_form(
+        f"http://{ui.container.host}{action}",
+        {
+            "instanceName": "through-portlet",
+            "queue.queuingSystem": "GRD",
+            "queue.queueName": "workq",
+            "queue.maxWallTime": "600",
+            "queue.maxCpus": "8",
+        },
+    )
+    assert response.ok
+    assert "through-portlet" in webapp.instances
+    assert "Saved" in response.body  # re-rendered inside the portal page
+
+
+def test_session_archival_backbone(deployment, ui):
+    """§5.1: instances of the instance schema 'form the backbone of a
+    session archiving system, which allows users to view and edit old
+    sessions'."""
+    shell = ui.make_shell("bob")
+    shell.run("runapp MM5 t3e.sdsc.edu forecastHours=12 | archive bob/wx/day1")
+    cm = deployment.context
+    descriptor = cm.getSessionDescriptor("bob", "wx", "day1")
+    assert "MM5" in descriptor
+    archive_key = cm.archiveSession("bob", "wx", "day1")
+    cm.restoreSession(archive_key, "bob", "wx", "day1-recovered")
+    assert cm.getSessionDescriptor("bob", "wx", "day1-recovered") == descriptor

@@ -1,0 +1,126 @@
+"""The GCE interoperable-web-services testbed scenario (paper ref [11]).
+
+"Services were deployed as part of the GCE testbed" — this test replays a
+full testbed day: both groups publish into every discovery system, each
+group's portal consumes the *other* group's services, and a user's work
+crosses all of them in one session.
+"""
+
+import pytest
+
+from repro.discovery.wsil import InspectionDocument, inspect, publish_inspection
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing import make_dialect
+from repro.portal.uiserver import UserInterfaceServer
+from repro.services.batchscript import JavaStyleBsgClient, PythonStyleBsgClient
+from repro.transport.server import HttpServer
+from repro.uddi.service import UddiClient
+from repro.wsdl.proxy import client_from_wsdl
+
+
+@pytest.fixture(scope="module")
+def testbed(deployment):
+    """Publish both groups' services in all three discovery systems."""
+    network = deployment.network
+    # WSIL federation on top of what PortalDeployment already registered
+    iu_site = HttpServer("testbed.iu.edu", network)
+    sdsc_site = HttpServer("testbed.sdsc.edu", network)
+    publish_inspection(
+        iu_site,
+        InspectionDocument()
+        .add_service("Gateway BSG", deployment.endpoints["bsg-iu"] + ".wsdl")
+        .add_link("http://testbed.sdsc.edu/inspection.wsil"),
+    )
+    publish_inspection(
+        sdsc_site,
+        InspectionDocument()
+        .add_service("HotPage BSG", deployment.endpoints["bsg-sdsc"] + ".wsdl"),
+    )
+    return deployment
+
+
+def test_all_three_discovery_systems_agree(testbed):
+    deployment = testbed
+    network = deployment.network
+    uddi = UddiClient(network, deployment.endpoints["uddi"], source="gce")
+    # UDDI sees both implementations of the common interface
+    tmodel = uddi.find_tmodel("gce:BatchScriptGenerator")[0]
+    uddi_endpoints = {
+        s.bindings[0].access_point
+        for s in uddi.services_implementing(tmodel.key)
+    }
+    # the container hierarchy sees both
+    container_endpoints = {
+        hit["metadata"]["endpoint"][0]
+        for hit in deployment.discovery.soap_query({"interface":
+                                                    "urn:gce:batch-script-generator"}, "")
+    }
+    # the WSIL crawl sees both
+    wsil_endpoints = {
+        entry.wsdl_location.removesuffix(".wsdl")
+        for entry in inspect(network, "http://testbed.iu.edu/inspection.wsil",
+                             source="gce")
+    }
+    expected = {deployment.endpoints["bsg-iu"], deployment.endpoints["bsg-sdsc"]}
+    assert uddi_endpoints == expected
+    assert container_endpoints == expected
+    assert wsil_endpoints == expected
+
+
+def test_cross_group_consumption(testbed):
+    """Each group's client drives the other group's service, discovered via
+    UDDI, bound via WSDL — the testbed's core demonstration."""
+    deployment = testbed
+    network = deployment.network
+    uddi = UddiClient(network, deployment.endpoints["uddi"], source="gce")
+    services = {s.name: s for s in uddi.find_service("%batch script generator%")}
+    spec = JobSpec(name="gce", executable="/apps/code", cpus=2,
+                   wallclock_limit=1800, queue="workq")
+
+    # the IU (Java-style) client uses SDSC's service
+    sdsc_wsdl = services["HotPage Batch Script Generator"].bindings[0].wsdl_url
+    sdsc_bound = client_from_wsdl(network, sdsc_wsdl, source="gateway.gce")
+    iu_client = JavaStyleBsgClient(network, sdsc_bound.endpoint,
+                                   source="gateway.gce")
+    lsf_script = iu_client.generate("LSF", spec)
+    assert make_dialect("LSF").parse(lsf_script).cpus == 2
+
+    # the SDSC (Python-style) client uses IU's service
+    iu_wsdl = services["Gateway Batch Script Generator"].bindings[0].wsdl_url
+    iu_bound = client_from_wsdl(network, iu_wsdl, source="hotpage.gce")
+    sdsc_client = PythonStyleBsgClient(network, iu_bound.endpoint,
+                                       source="hotpage.gce")
+    pbs_script = sdsc_client.generate("PBS", spec)
+    assert make_dialect("PBS").parse(pbs_script).cpus == 2
+
+
+def test_one_user_session_crosses_every_service(testbed):
+    """A single scripted session touching discovery, script generation, job
+    submission, data management, monitoring, and context archival."""
+    deployment = testbed
+    ui = UserInterfaceServer(deployment, host="ui.gce")
+    ui.login("bob", "builder")
+    shell = ui.make_shell("bob")
+    outputs = shell.run_script(
+        """
+        gridload
+        genscript NQS executable=/apps/mm5 arguments=6 cpus=8 wallTime=7200 > /home/portal/gce.nqs
+        validate NQS < /home/portal/gce.nqs
+        submit t3e.sdsc.edu mm5 6 count=8 walltime=7200 | srbput /home/portal/gce-forecast.out
+        srbcat /home/portal/gce-forecast.out | archive bob/gce/day1
+        """
+    )
+    assert "t3e.sdsc.edu" in outputs[0]
+    assert "#QSUB" in outputs[2]
+    assert outputs[3].startswith("stored")   # forecast landed in the SRB
+    assert outputs[4].startswith("archived")
+    descriptor = deployment.context.getSessionDescriptor("bob", "gce", "day1")
+    assert "MM5 forecast complete" in descriptor
+
+
+def test_wire_accounting_sanity(testbed):
+    """The virtual network's books balance: per-host requests sum to the
+    global request count."""
+    stats = testbed.network.stats
+    assert sum(stats.per_host_requests.values()) == stats.requests
+    assert stats.bytes_sent > 0 and stats.bytes_received > 0

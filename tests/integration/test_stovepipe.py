@@ -1,0 +1,98 @@
+"""The negative control: the three-tier stovepipe the paper criticises.
+
+These tests make §1's problem statement concrete — UIs locked to middle
+tiers, middle tiers locked to backends, no machine-readable interface — and
+then show the web-services stack removing each lock.
+"""
+
+import pytest
+
+from repro.faults import InvalidRequestError
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing import make_dialect
+from repro.grid.queuing.base import BatchScheduler
+from repro.portal.legacy import (
+    GatewayLegacyUI,
+    GatewayStyleMiddleTier,
+    HotPageStyleMiddleTier,
+)
+from repro.transport.client import HttpClient
+
+
+@pytest.fixture
+def backends(network):
+    pbs = BatchScheduler("pbs.legacy", make_dialect("PBS"),
+                         clock=network.clock, cpus=16)
+    lsf = BatchScheduler("lsf.legacy", make_dialect("LSF"),
+                         clock=network.clock, cpus=16)
+    return pbs, lsf
+
+
+def test_legacy_portal_works_inside_its_stovepipe(network, backends):
+    pbs, _lsf = backends
+    ui = GatewayLegacyUI(GatewayStyleMiddleTier(pbs), "legacy.iu.edu", network)
+    script = make_dialect("PBS").generate(
+        JobSpec(name="legacy", executable="echo", arguments=["it works"],
+                wallclock_limit=60)
+    )
+    browser = HttpClient(network, "browser")
+    response = browser.post_form(
+        "http://legacy.iu.edu/gateway/submit",
+        {"user": "alice", "script": script},
+    )
+    assert response.ok
+    assert "it works" in response.body
+
+
+def test_middle_tiers_locked_to_backend_kinds(backends):
+    """Each middle tier refuses the other group's queuing systems."""
+    pbs, lsf = backends
+    with pytest.raises(InvalidRequestError):
+        GatewayStyleMiddleTier(lsf)
+    with pytest.raises(InvalidRequestError):
+        HotPageStyleMiddleTier(pbs)
+
+
+def test_ui_locked_to_middle_tier_vocabulary(network, backends):
+    """Wiring the Gateway UI to the HotPage middle tier fails at call time:
+    the interfaces never agreed on anything."""
+    _pbs, lsf = backends
+    ui = GatewayLegacyUI(HotPageStyleMiddleTier(lsf), "mismatched.edu", network)
+    browser = HttpClient(network, "browser")
+    response = browser.post_form(
+        "http://mismatched.edu/gateway/submit",
+        {"user": "alice", "script": "#!/bin/sh\necho x\n"},
+    )
+    # the server caught an AttributeError: no openUserContext on HotPage
+    assert response.status == 500
+    assert "openUserContext" in response.body
+
+
+def test_legacy_portal_offers_no_machine_interface(network, backends):
+    """No WSDL, no SOAP endpoint, no registry entry — the only interface is
+    HTML meant for humans."""
+    pbs, _lsf = backends
+    GatewayLegacyUI(GatewayStyleMiddleTier(pbs), "legacy2.iu.edu", network)
+    browser = HttpClient(network, "browser")
+    assert browser.get("http://legacy2.iu.edu/gateway.wsdl").status == 404
+    page = browser.get("http://legacy2.iu.edu/gateway").body
+    assert "<form" in page  # HTML for a person, not an interface for a program
+
+
+def test_web_services_remove_each_lock(deployment):
+    """The positive control, side by side: through the common WSDL
+    interface the same client drives either group's implementation, and
+    the same service fronts any queuing system the provider supports."""
+    from repro.services.batchscript import PythonStyleBsgClient
+
+    spec = JobSpec(name="free", executable="/apps/x", cpus=2,
+                   wallclock_limit=600)
+    for endpoint, schedulers in (
+        (deployment.endpoints["bsg-iu"], ("PBS", "GRD")),
+        (deployment.endpoints["bsg-sdsc"], ("LSF", "NQS")),
+    ):
+        client = PythonStyleBsgClient(deployment.network, endpoint,
+                                      source="ui.free")
+        for scheduler in schedulers:
+            script = client.generate(scheduler, spec)
+            assert make_dialect(scheduler).parse(script).cpus == 2

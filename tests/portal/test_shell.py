@@ -1,0 +1,68 @@
+import pytest
+
+from repro.faults import InvalidRequestError
+from repro.portal.shell import PortalShell, ShellError, parse_kv_args
+
+
+@pytest.fixture
+def shell():
+    shell = PortalShell("tester")
+    shell.register("upper", lambda args, stdin: stdin.upper(),
+                   "upper - uppercase stdin")
+    shell.register("join", lambda args, stdin: "+".join(args),
+                   "join words")
+
+    def fail(args, stdin):
+        raise InvalidRequestError("bad command input")
+
+    shell.register("faulty", fail)
+    return shell
+
+
+def test_builtin_commands(shell):
+    assert shell.run_command("echo hello world") == "hello world"
+    assert shell.run_command("cat", "pass through") == "pass through"
+    assert "echo" in shell.run_command("help")
+
+
+def test_pipeline_threads_stdout_to_stdin(shell):
+    assert shell.run("echo grid portal | upper") == "GRID PORTAL"
+    assert shell.run("echo a | upper | cat | cat") == "A"
+    assert shell.commands_run == 6  # 2 stages + 4 stages
+
+
+def test_quoting(shell):
+    assert shell.run_command('echo "two words" second') == "two words second"
+
+
+def test_unknown_command(shell):
+    with pytest.raises(ShellError) as exc_info:
+        shell.run("echo x | frobnicate")
+    assert "frobnicate" in str(exc_info.value)
+
+
+def test_empty_pipeline_stage(shell):
+    with pytest.raises(ShellError):
+        shell.run("echo x | | upper")
+    with pytest.raises(ShellError):
+        shell.run_command("")
+
+
+def test_portal_errors_become_shell_errors(shell):
+    with pytest.raises(ShellError) as exc_info:
+        shell.run("faulty")
+    assert "Portal.InvalidRequest" in str(exc_info.value)
+
+
+def test_parse_kv_args():
+    positional, settings = parse_kv_args(
+        ["host1", "count=4", "/bin/x", "queue=workq", "a=b=c"]
+    )
+    assert positional == ["host1", "/bin/x"]
+    assert settings == {"count": "4", "queue": "workq", "a": "b=c"}
+
+
+def test_command_list_is_finite_and_sorted(shell):
+    commands = shell.commands()
+    assert commands == sorted(commands)
+    assert {"echo", "cat", "help", "upper"} <= set(commands)

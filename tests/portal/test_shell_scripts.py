@@ -1,0 +1,72 @@
+"""Tests for multi-line portal scripts."""
+
+import pytest
+
+from repro.portal.shell import PortalShell, ShellError
+
+
+@pytest.fixture
+def shell():
+    shell = PortalShell("dana")
+    shell.register("upper", lambda args, stdin: stdin.upper())
+    store: dict[str, str] = {}
+    shell.register_store(store.__getitem__, store.__setitem__)
+    shell._store = store  # type: ignore[attr-defined]
+    return shell
+
+
+def test_script_runs_line_by_line(shell):
+    outputs = shell.run_script(
+        """
+        # prepare the target
+        setvar NAME world
+        echo hello $NAME | upper
+        """
+    )
+    assert outputs == ["world", "HELLO WORLD"]
+
+
+def test_script_variables_persist_and_redirect(shell):
+    shell.run_script(
+        """
+        setvar OUT results.txt
+        echo computed value > $OUT
+        """
+    )
+    assert shell._store["results.txt"] == "computed value"
+
+
+def test_script_comments_and_blanks_skipped(shell):
+    assert shell.run_script("# nothing\n\n   \n# more nothing\n") == []
+
+
+def test_script_error_carries_line_number(shell):
+    with pytest.raises(ShellError) as exc_info:
+        shell.run_script("echo ok\nfrobnicate\n")
+    assert str(exc_info.value).startswith("line 2:")
+
+
+def test_full_portal_script(deployment):
+    """An end-to-end portal script composing four core services."""
+    from repro.portal.uiserver import UserInterfaceServer
+
+    shell = UserInterfaceServer(deployment, host="ui.script").make_shell("alice")
+    outputs = shell.run_script(
+        """
+        # generate, validate, and store a batch script
+        setvar SCRIPT /home/portal/scripted.pbs
+        genscript PBS executable=/apps/g98 arguments=120 cpus=4 wallTime=3600 > $SCRIPT
+        validate PBS < $SCRIPT
+        # run the chemistry code and archive the session
+        runapp Gaussian modi4.iu.edu basisSize=120 | archive alice/scripted/run
+        gridload
+        """
+    )
+    assert outputs[1].startswith("#!/bin/sh")  # genscript echoed its output
+    assert "#PBS" in outputs[2]                # validate passed it through
+    assert "archived" in outputs[3]
+    assert "modi4.iu.edu" in outputs[4]
+    descriptor = deployment.context.getSessionDescriptor(
+        "alice", "scripted", "run"
+    )
+    assert "SCF Done" in descriptor

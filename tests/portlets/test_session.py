@@ -1,0 +1,90 @@
+"""Distributed portlet session state (§3.3's future-work hook)."""
+
+import pytest
+
+from repro.portlets.registry import PortletEntry
+from repro.portlets.session import (
+    DistributedSessionContainer,
+    deploy_session_state,
+)
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.server import HttpServer
+
+PAGE_ONE = (
+    '<html><body><p>page one</p><a href="two.html">next</a></body></html>'
+)
+PAGE_TWO = '<html><body><p>page two, session {sid}</p></body></html>'
+
+
+@pytest.fixture
+def stack(network):
+    """A remote stateful app plus two portal servers sharing session state."""
+    remote = HttpServer("app.host", network)
+
+    def page_one(request: HttpRequest) -> HttpResponse:
+        headers = {}
+        if "sid=" not in request.headers.get("Cookie", ""):
+            headers["Set-Cookie"] = "sid=s-123"
+        return HttpResponse(200, headers, PAGE_ONE)
+
+    def page_two(request: HttpRequest) -> HttpResponse:
+        cookie = request.headers.get("Cookie", "(none)")
+        return HttpResponse(200, {}, PAGE_TWO.format(sid=cookie))
+
+    remote.mount("/ui", page_one)
+    remote.mount("/ui/two.html", page_two)
+
+    _service, endpoint = deploy_session_state(network)
+
+    def make_portal(host: str) -> DistributedSessionContainer:
+        container = DistributedSessionContainer(network, host, endpoint)
+        container.registry.register(
+            PortletEntry("app", "WebFormPortlet", "http://app.host/ui",
+                         title="The app")
+        )
+        container.set_layout("alice", ["app"])
+        return container
+
+    return make_portal("portal-a.host"), make_portal("portal-b.host"), _service
+
+
+def test_state_survives_moving_between_portal_servers(network, stack):
+    portal_a, portal_b, service = stack
+    # alice browses on portal A: lands on page one, follows the link
+    portal_a.render_page("alice")
+    portlet_a = portal_a.portlet_for("alice", "app")
+    portlet_a.interact("/portal?user=alice",
+                       target="http://app.host/ui/two.html")
+    assert portlet_a.remote_cookies() == {"sid": "s-123"}
+    assert portal_a.checkpoint("alice") == 1
+    assert service.saves == 1
+
+    # alice's next request lands on portal B: same page, same remote session
+    page = portal_b.render_page("alice")
+    assert "page two" in page
+    assert "sid=s-123" in page  # the cookie went with her
+
+
+def test_no_state_means_fresh_start(network, stack):
+    _portal_a, portal_b, _service = stack
+    page = portal_b.render_page("alice")
+    assert "page one" in page
+
+
+def test_checkpoint_counts_only_remote_portlets(network, stack):
+    portal_a, _portal_b, _service = stack
+    from repro.portlets.base import LocalPortlet
+
+    portal_a.add_local_portlet(LocalPortlet("motd", lambda: "<p>x</p>"))
+    portal_a.set_layout("alice", ["app", "motd"])
+    portal_a.render_page("alice")
+    assert portal_a.checkpoint("alice") == 1  # motd not checkpointed
+
+
+def test_drop_forgets_user(network, stack):
+    portal_a, _portal_b, service = stack
+    portal_a.render_page("alice")
+    portal_a.checkpoint("alice")
+    assert service.drop("alice") == 1
+    assert service.drop("alice") == 0
+    assert service.load("alice", "app") == ""

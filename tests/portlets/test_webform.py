@@ -1,0 +1,120 @@
+import pytest
+
+from repro.portlets.webform import WebFormPortlet
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.server import HttpServer
+
+FORM_PAGE = """\
+<html><head><title>Editor</title></head>
+<body>
+<a href="other.html">next page</a>
+<a href="/abs/path">absolute</a>
+<a href="#frag">fragment</a>
+<form action="save" method="GET">
+<input type="text" name="field"/>
+</form>
+</body></html>
+"""
+
+
+@pytest.fixture
+def remote(network):
+    server = HttpServer("apps.host", network)
+    state = {"saved": None, "visits": 0}
+
+    def editor(request: HttpRequest) -> HttpResponse:
+        state["visits"] += 1
+        headers = {}
+        if "sid=" not in request.headers.get("Cookie", ""):
+            headers["Set-Cookie"] = "sid=tomcat1"
+        return HttpResponse(200, headers, FORM_PAGE)
+
+    def save(request: HttpRequest) -> HttpResponse:
+        state["saved"] = request.form()
+        cookie = request.headers.get("Cookie", "")
+        body = (
+            "<html><body><p>saved in session "
+            f"{cookie}</p><a href=\"/webapps/editor\">back</a></body></html>"
+        )
+        return HttpResponse(200, {}, body)
+
+    server.mount("/webapps/editor", editor)
+    server.mount("/webapps/save", save)
+    server.mount(
+        "/webapps/other.html",
+        lambda r: HttpResponse(
+            200, {}, "<html><body><p>the other page</p></body></html>"
+        ),
+    )
+    return state
+
+
+@pytest.fixture
+def portlet(network, remote):
+    return WebFormPortlet(
+        "editor", "http://apps.host/webapps/editor", network,
+        container_host="portal.host",
+    )
+
+
+def test_feature3_urls_remapped_into_portlet_window(portlet):
+    fragment = portlet.render("/portal?user=alice")
+    # links and form actions now route through the container
+    assert 'href="/portal?user=alice&portlet=editor&target=' in fragment.replace(
+        "&amp;", "&"
+    )
+    assert "http%3A%2F%2Fapps.host%2Fwebapps%2Fother.html" in fragment
+    assert 'method="POST"' in fragment
+    assert "method=POST" in fragment  # the form action carries method=POST
+    # fragment-only links untouched
+    assert 'href="#frag"' in fragment
+
+
+def test_following_a_link_stays_inside_the_portlet(portlet):
+    portlet.render("/portal")
+    fragment = portlet.interact(
+        "/portal", target="http://apps.host/webapps/other.html", method="GET"
+    )
+    assert "the other page" in fragment
+
+
+def test_feature1_post_form_parameters(portlet, remote):
+    portlet.render("/portal")
+    fragment = portlet.interact(
+        "/portal",
+        target="http://apps.host/webapps/save",
+        method="POST",
+        fields={"field": "typed value"},
+    )
+    assert remote["saved"] == {"field": "typed value"}
+    assert "saved in session" in fragment
+    # the response's link got remapped too
+    assert "portlet=editor" in fragment
+
+
+def test_feature2_session_state_maintained(portlet, remote):
+    portlet.render("/portal")
+    assert portlet.remote_cookies() == {"sid": "tomcat1"}
+    fragment = portlet.interact(
+        "/portal", target="http://apps.host/webapps/save", method="POST",
+        fields={"field": "x"},
+    )
+    # the Tomcat session cookie accompanied the POST
+    assert "sid=tomcat1" in fragment
+
+
+def test_repeated_renders_do_not_rewrap_urls(portlet):
+    """Remapping must be idempotent across renders: the in-memory copy is
+    cloned, so URLs never get wrapped in container URLs twice."""
+    first = portlet.render("/portal?user=alice")
+    for _ in range(5):
+        again = portlet.render("/portal?user=alice")
+    assert again == first
+    assert again.count("portlet=editor") == first.count("portlet=editor")
+
+
+def test_sessions_independent_per_portlet_instance(network, remote):
+    a = WebFormPortlet("a", "http://apps.host/webapps/editor", network)
+    b = WebFormPortlet("b", "http://apps.host/webapps/editor", network)
+    a.render("/portal")
+    assert b.remote_cookies() == {}

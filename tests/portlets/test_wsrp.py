@@ -1,0 +1,107 @@
+import pytest
+
+from repro.faults import InvalidRequestError
+from repro.portlets.base import LocalPortlet, Portlet
+from repro.portlets.container import PortletContainer
+from repro.portlets.wsrp import (
+    WsrpConsumerPortlet,
+    WsrpProducer,
+    deploy_wsrp_producer,
+    discover_portlets,
+)
+
+
+class StatefulPortlet(Portlet):
+    """A producer-side portlet with per-instance state."""
+
+    def __init__(self, user: str):
+        super().__init__("counter", f"Counter for {user}")
+        self.user = user
+        self.count = 0
+
+    def render(self, container_base: str) -> str:
+        return (f'<p>{self.user} clicked {self.count} times</p>'
+                f'<a href="{container_base}&portlet=counter&target=click">+1</a>')
+
+    def interact(self, container_base, *, target, method="GET", fields=None):
+        if target == "click":
+            self.count += 1
+        return self.render(container_base)
+
+
+@pytest.fixture
+def producer_stack(network):
+    producer = WsrpProducer()
+    producer.register_portlet("counter", StatefulPortlet, "Click counter")
+    producer.register_portlet(
+        "motd",
+        lambda user: LocalPortlet("motd", lambda: f"<p>hello {user}</p>"),
+        "Message",
+    )
+    endpoint = deploy_wsrp_producer(network, producer, "producer.host")
+    return producer, endpoint
+
+
+def test_discovery(network, producer_stack):
+    _producer, endpoint = producer_stack
+    offered = discover_portlets(network, endpoint)
+    assert [(o["handle"], o["title"]) for o in offered] == [
+        ("counter", "Click counter"), ("motd", "Message"),
+    ]
+
+
+def test_remote_markup_and_interaction(network, producer_stack):
+    producer, endpoint = producer_stack
+    portlet = WsrpConsumerPortlet(
+        "remote-counter", network, endpoint, "counter", "alice",
+        title="Counter",
+    )
+    markup = portlet.render("/portal?user=alice")
+    assert "alice clicked 0 times" in markup
+    markup = portlet.interact("/portal?user=alice", target="click")
+    assert "alice clicked 1 times" in markup
+    assert producer.markup_requests == 1
+    assert producer.interactions == 1
+
+
+def test_per_user_state_on_the_producer(network, producer_stack):
+    _producer, endpoint = producer_stack
+    alice = WsrpConsumerPortlet("c", network, endpoint, "counter", "alice")
+    bob = WsrpConsumerPortlet("c", network, endpoint, "counter", "bob")
+    alice.interact("/p", target="click")
+    alice.interact("/p", target="click")
+    assert "alice clicked 2 times" in alice.render("/p")
+    assert "bob clicked 0 times" in bob.render("/p")
+
+
+def test_unknown_handle(network, producer_stack):
+    _producer, endpoint = producer_stack
+    portlet = WsrpConsumerPortlet("x", network, endpoint, "ghost", "alice")
+    with pytest.raises(InvalidRequestError):
+        portlet.render("/p")
+
+
+def test_release_session_resets_state(network, producer_stack):
+    producer, endpoint = producer_stack
+    portlet = WsrpConsumerPortlet("c", network, endpoint, "counter", "alice")
+    portlet.interact("/p", target="click")
+    assert producer.release_session("counter", "alice")
+    assert not producer.release_session("counter", "alice")  # already gone
+    # the next markup request lazily creates a fresh (zeroed) instance
+    assert "alice clicked 0 times" in portlet.render("/p")
+
+
+def test_wsrp_portlet_inside_container(network, producer_stack):
+    """The §6 vision: the container aggregates a *remote* portlet through
+    WSRP instead of HTML scraping."""
+    _producer, endpoint = producer_stack
+    container = PortletContainer(network, "consumer.host")
+    container.add_local_portlet(
+        WsrpConsumerPortlet("remote-counter", network, endpoint, "counter",
+                            "alice", title="Remote counter",
+                            consumer_host="consumer.host")
+    )
+    container.set_layout("alice", ["remote-counter"])
+    page = container.render_page("alice")
+    assert "Remote counter" in page
+    assert "alice clicked 0 times" in page

@@ -1,0 +1,126 @@
+import pytest
+
+from repro.faults import AuthorizationError
+from repro.security.akenti import (
+    AkentiInterceptor,
+    AttributeAuthority,
+    PolicyEngine,
+    UseCondition,
+)
+from repro.security.saml import SamlAssertion
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.clock import SimClock
+from repro.transport.server import HttpServer
+
+
+@pytest.fixture
+def engine():
+    engine = PolicyEngine()
+    npaci = AttributeAuthority("NPACI")
+    engine.trust_authority(npaci)
+    engine.add_use_condition(
+        "bsg-service",
+        UseCondition({"group": ("chemistry", "physics")}),
+    )
+    engine.add_use_condition(
+        "bsg-service",
+        UseCondition({"role": ("submitter",)}, actions=("generateScript",)),
+    )
+    engine.store_certificate(npaci.issue("alice", "group", "chemistry"))
+    engine.store_certificate(npaci.issue("alice", "role", "submitter"))
+    engine.store_certificate(npaci.issue("bob", "group", "chemistry"))
+    return engine, npaci
+
+
+def test_permit_with_all_attributes(engine):
+    eng, _ = engine
+    decision = eng.check_access("alice", "bsg-service", "generateScript")
+    assert decision.granted
+    assert decision.attributes_used == {"group": "chemistry", "role": "submitter"}
+
+
+def test_deny_missing_attribute(engine):
+    eng, _ = engine
+    decision = eng.check_access("bob", "bsg-service", "generateScript")
+    assert not decision.granted
+    assert "role" in decision.reason
+
+
+def test_read_only_action_needs_fewer_attributes(engine):
+    eng, _ = engine
+    # listSchedulers is not gated by the role condition
+    assert eng.check_access("bob", "bsg-service", "listSchedulers").granted
+
+
+def test_unknown_resource_fails_closed(engine):
+    eng, _ = engine
+    assert not eng.check_access("alice", "other-service", "x").granted
+
+
+def test_untrusted_authority_certificates_ignored(engine):
+    eng, _ = engine
+    rogue = AttributeAuthority("RogueCA")
+    eng.store_certificate(rogue.issue("mallory", "group", "chemistry"))
+    eng.store_certificate(rogue.issue("mallory", "role", "submitter"))
+    assert not eng.check_access("mallory", "bsg-service", "listSchedulers").granted
+
+
+def test_forged_certificate_ignored(engine):
+    eng, npaci = engine
+    from repro.security.akenti import AttributeCertificate
+
+    forged = AttributeCertificate("eve", "group", "chemistry", "NPACI",
+                                  signature=b"\x00" * 32)
+    eng.store_certificate(forged)
+    assert not eng.check_access("eve", "bsg-service", "listSchedulers").granted
+
+
+def test_decision_conveyed_as_signed_saml(engine):
+    eng, _ = engine
+    decision = eng.check_access("alice", "bsg-service", "generateScript")
+    assertion = eng.decision_assertion(decision, now=100.0)
+    assert eng.verify_decision_assertion(assertion)
+    assert assertion.attributes["akenti:decision"] == "Permit"
+    assert assertion.attributes["akenti:resource"] == "bsg-service"
+    # tampering with the decision breaks the signature
+    assertion.attributes["akenti:decision"] = "Deny"
+    assert not eng.verify_decision_assertion(assertion)
+    # round trip through XML keeps it verifiable
+    fresh = eng.decision_assertion(decision, now=100.0)
+    reparsed = SamlAssertion.from_xml(fresh.to_xml().serialize())
+    assert eng.verify_decision_assertion(reparsed)
+
+
+def test_interceptor_enforces_per_method(engine, network):
+    eng, _ = engine
+    clock = SimClock()
+    server = HttpServer("akenti.host", network)
+    soap = SoapService("bsg", "urn:bsg")
+    soap.expose(lambda: ["PBS"], "listSchedulers")
+    soap.expose(lambda s, p: "#!/bin/sh\n", "generateScript")
+    interceptor = AkentiInterceptor(eng, "bsg-service", clock)
+    soap.add_interceptor(interceptor)
+    url = soap.mount(server)
+
+    def client_for(user):
+        client = SoapClient(network, url, "urn:bsg", source="ui")
+        assertion = SamlAssertion(issuer="ui", subject=user,
+                                  not_on_or_after=10**9)
+        client.add_header_provider(lambda m, p: [assertion.to_xml()])
+        return client
+
+    alice = client_for("alice")
+    assert alice.call("listSchedulers") == ["PBS"]
+    assert alice.call("generateScript", "PBS", {}).startswith("#!")
+
+    bob = client_for("bob")
+    assert bob.call("listSchedulers") == ["PBS"]  # read allowed
+    with pytest.raises(AuthorizationError):
+        bob.call("generateScript", "PBS", {})     # write denied
+    assert interceptor.denials == 1
+
+    # no subject at all
+    anonymous = SoapClient(network, url, "urn:bsg", source="ui")
+    with pytest.raises(AuthorizationError):
+        anonymous.call("listSchedulers")

@@ -1,0 +1,124 @@
+import pytest
+
+from repro.faults import AuthenticationError
+from repro.security.authservice import (
+    AssertionInterceptor,
+    ClientSecuritySession,
+    deploy_auth_service,
+)
+from repro.security.kerberos import Kdc
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.server import HttpServer
+
+
+@pytest.fixture
+def stack(network):
+    kdc = Kdc("REALM", network.clock)
+    kdc.add_user("alice", "alpine")
+    kdc.add_user("bob", "builder")
+    auth, auth_url = deploy_auth_service(network, kdc, assertion_lifetime=300.0)
+
+    server = HttpServer("spp.host", network)
+    svc = SoapService("prot", "urn:prot")
+    svc.expose(lambda x: f"did {x}", "work")
+    interceptor = AssertionInterceptor(
+        network, auth_url, spp_host="spp.host", clock=network.clock
+    )
+    svc.add_interceptor(interceptor)
+    url = svc.mount(server)
+    return kdc, auth, auth_url, url, interceptor
+
+
+def _login(network, kdc, auth_url, user="alice", password="alpine"):
+    session = ClientSecuritySession(network, kdc, auth_url, ui_host="ui.host")
+    session.login(user, password)
+    return session
+
+
+def test_full_atomic_step(network, stack):
+    kdc, auth, auth_url, url, _interceptor = stack
+    session = _login(network, kdc, auth_url)
+    client = session.secure(SoapClient(network, url, "urn:prot", source="ui.host"))
+    assert client.work("t") == "did t"
+    assert auth.verifications == 1
+
+
+def test_unauthenticated_call_rejected(network, stack):
+    _kdc, _auth, _auth_url, url, _i = stack
+    bare = SoapClient(network, url, "urn:prot", source="evil.host")
+    with pytest.raises(AuthenticationError):
+        bare.work("t")
+
+
+def test_bad_login(network, stack):
+    kdc, _auth, auth_url, _url, _i = stack
+    with pytest.raises(AuthenticationError):
+        _login(network, kdc, auth_url, "alice", "wrong")
+    with pytest.raises(AuthenticationError):
+        _login(network, kdc, auth_url, "eve", "x")
+
+
+def test_expired_assertion_rejected(network, stack):
+    kdc, auth, auth_url, _url, _i = stack
+    session = _login(network, kdc, auth_url)
+    assertion = session.make_assertion()
+    network.clock.advance(600.0)
+    result = auth.verify(session.session_id, assertion.to_xml().serialize())
+    assert not result["valid"]
+    assert "expired" in result["reason"]
+
+
+def test_replayed_assertion_for_other_user_rejected(network, stack):
+    kdc, auth, auth_url, _url, _i = stack
+    alice = _login(network, kdc, auth_url, "alice", "alpine")
+    bob = _login(network, kdc, auth_url, "bob", "builder")
+    # bob steals alice's assertion but presents his own session id
+    stolen = alice.make_assertion()
+    stolen.attributes["session"] = bob.session_id
+    result = auth.verify(bob.session_id, stolen.to_xml().serialize())
+    assert not result["valid"]
+
+
+def test_logout_invalidates_session(network, stack):
+    kdc, auth, auth_url, url, _i = stack
+    session = _login(network, kdc, auth_url)
+    client = session.secure(SoapClient(network, url, "urn:prot", source="ui.host"))
+    assert client.work("a") == "did a"
+    session_id = session.session_id
+    assertion_xml = session.make_assertion().to_xml().serialize()
+    session.logout()
+    result = auth.verify(session_id, assertion_xml)
+    assert not result["valid"]
+    assert "unknown session" in result["reason"]
+
+
+def test_verification_cache_skips_repeat_hops(network, stack):
+    kdc, auth, auth_url, _url, _interceptor = stack
+    # a second SPP with caching enabled
+    server = HttpServer("spp2.host", network)
+    svc = SoapService("prot2", "urn:prot2")
+    svc.expose(lambda: "ok", "ping")
+    cached = AssertionInterceptor(
+        network, auth_url, spp_host="spp2.host", clock=network.clock, cache=True
+    )
+    svc.add_interceptor(cached)
+    url2 = svc.mount(server)
+
+    session = _login(network, kdc, auth_url)
+    client = SoapClient(network, url2, "urn:prot2", source="ui.host")
+    assertion = session.make_assertion()
+    client.add_header_provider(lambda m, p: [assertion.to_xml()])
+    for _ in range(5):
+        assert client.ping() == "ok"
+    assert cached.verified_calls == 1
+    assert cached.cache_hits == 4
+
+
+def test_active_sessions_counted(network, stack):
+    kdc, auth, auth_url, _url, _i = stack
+    before = auth.active_sessions()
+    session = _login(network, kdc, auth_url)
+    assert auth.active_sessions() == before + 1
+    session.logout()
+    assert auth.active_sessions() == before

@@ -1,0 +1,62 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security import crypto
+
+
+def test_encrypt_decrypt_roundtrip():
+    key = crypto.new_key(b"seed")
+    blob = crypto.encrypt(key, b"secret payload")
+    assert crypto.decrypt(key, blob) == b"secret payload"
+
+
+def test_wrong_key_rejected():
+    blob = crypto.encrypt(crypto.new_key(b"a"), b"data")
+    with pytest.raises(ValueError):
+        crypto.decrypt(crypto.new_key(b"b"), blob)
+
+
+def test_tampering_detected():
+    key = crypto.new_key(b"k")
+    blob = bytearray(crypto.encrypt(key, b"data"))
+    blob[0] ^= 0xFF
+    with pytest.raises(ValueError):
+        crypto.decrypt(key, bytes(blob))
+
+
+def test_truncated_blob_rejected():
+    with pytest.raises(ValueError):
+        crypto.decrypt(crypto.new_key(b"k"), b"short")
+
+
+def test_sign_verify():
+    key = crypto.new_key(b"k")
+    sig = crypto.sign(key, b"message")
+    assert crypto.verify(key, b"message", sig)
+    assert not crypto.verify(key, b"other", sig)
+    assert not crypto.verify(crypto.new_key(b"j"), b"message", sig)
+
+
+def test_derive_key_distinct_per_label():
+    base = crypto.new_key(b"base")
+    assert crypto.derive_key(base, "a") != crypto.derive_key(base, "b")
+    assert crypto.derive_key(base, "a") == crypto.derive_key(base, "a")
+
+
+def test_deterministic_seeded_keys_random_otherwise():
+    assert crypto.new_key(b"s") == crypto.new_key(b"s")
+    assert crypto.new_key() != crypto.new_key()
+
+
+@given(st.binary(max_size=2048), st.binary(min_size=1, max_size=32))
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_property(plaintext, seed):
+    key = crypto.new_key(seed)
+    assert crypto.decrypt(key, crypto.encrypt(key, plaintext)) == plaintext
+
+
+@given(st.binary(max_size=256))
+@settings(max_examples=40, deadline=None)
+def test_b64_roundtrip(data):
+    assert crypto.unb64(crypto.b64(data)) == data

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.security.gsi import GsiError, SimpleCA
+
+
+@pytest.fixture
+def credential(ca):
+    return ca.issue_credential("/O=G/CN=alice", lifetime=1000.0, now=0.0)
+
+
+def test_verify_user_credential(ca, credential):
+    assert ca.verify_chain(credential, now=10.0) == "/O=G/CN=alice"
+
+
+def test_proxy_delegation_chain(ca, credential):
+    proxy = credential.sign_proxy(lifetime=100.0, now=0.0)
+    proxy2 = proxy.sign_proxy(lifetime=50.0, now=0.0)
+    assert ca.verify_chain(proxy2, now=10.0) == "/O=G/CN=alice"
+    assert proxy2.depth == 2
+    assert len(proxy2.chain()) == 3
+
+
+def test_proxy_lifetime_capped_by_parent(ca, credential):
+    proxy = credential.sign_proxy(lifetime=10**9, now=0.0)
+    assert proxy.not_after == credential.not_after
+
+
+def test_expired_proxy_rejected(ca, credential):
+    proxy = credential.sign_proxy(lifetime=10.0, now=0.0)
+    with pytest.raises(GsiError):
+        ca.verify_chain(proxy, now=50.0)
+    # but the parent credential is still fine
+    assert ca.verify_chain(credential, now=50.0)
+
+
+def test_tampered_subject_rejected(ca, credential):
+    proxy = credential.sign_proxy(lifetime=100.0, now=0.0)
+    proxy.subject = "/O=G/CN=mallory/CN=proxy"
+    with pytest.raises(GsiError):
+        ca.verify_chain(proxy, now=1.0)
+
+
+def test_chain_from_other_ca_rejected(credential):
+    other = SimpleCA("/O=Other/CN=CA")
+    with pytest.raises(GsiError):
+        other.verify_chain(credential, now=1.0)
+
+
+def test_identity_strips_proxy_cns(ca, credential):
+    proxy = credential.sign_proxy(lifetime=10.0, now=0.0).sign_proxy(
+        lifetime=5.0, now=0.0
+    )
+    assert proxy.identity == "/O=G/CN=alice"
+
+
+def test_proxy_cannot_sign_without_key(ca, credential):
+    proxy = credential.sign_proxy(lifetime=10.0, now=0.0)
+    proxy.signing_key = b""
+    with pytest.raises(GsiError):
+        proxy.sign_proxy(lifetime=5.0, now=0.0)

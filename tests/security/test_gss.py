@@ -1,0 +1,79 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.gss import GssContext, GssError
+from repro.security.kerberos import Kdc, Keytab
+from repro.transport.clock import SimClock
+
+
+@pytest.fixture
+def contexts():
+    kdc = Kdc("R", SimClock())
+    kdc.add_user("alice", "pw")
+    keytab = Keytab()
+    kdc.add_service("svc", keytab)
+    ticket = kdc.get_service_ticket(kdc.authenticate("alice", "pw"), "svc")
+    initiator, token = GssContext.init_sec_context(ticket)
+    acceptor = GssContext.accept_sec_context(token, keytab, now=0.0)
+    return initiator, acceptor
+
+
+def test_establishment_yields_shared_key(contexts):
+    initiator, acceptor = contexts
+    assert initiator.session_key() == acceptor.session_key()
+    assert acceptor.initiator == "alice"
+    assert acceptor.acceptor == "svc"
+
+
+def test_wrap_unwrap_across_contexts(contexts):
+    initiator, acceptor = contexts
+    sealed = initiator.wrap(b"over the wire")
+    assert acceptor.unwrap(sealed) == b"over the wire"
+    assert initiator.unwrap(acceptor.wrap(b"reply")) == b"reply"
+
+
+def test_mic_across_contexts(contexts):
+    initiator, acceptor = contexts
+    mic = initiator.get_mic(b"assertion bytes")
+    assert acceptor.verify_mic(b"assertion bytes", mic)
+    assert not acceptor.verify_mic(b"tampered", mic)
+
+
+def test_unwrap_rejects_tampering(contexts):
+    initiator, acceptor = contexts
+    sealed = bytearray(initiator.wrap(b"x"))
+    sealed[-1] ^= 1
+    with pytest.raises(GssError):
+        acceptor.unwrap(bytes(sealed))
+
+
+def test_accept_rejects_garbage_token():
+    keytab = Keytab()
+    with pytest.raises(GssError):
+        GssContext.accept_sec_context(b"not json", keytab, now=0.0)
+
+
+def test_accept_rejects_wrong_keytab(contexts):
+    kdc = Kdc("R2", SimClock())
+    kdc.add_user("alice", "pw")
+    keytab = Keytab()
+    kdc.add_service("svc", keytab)
+    ticket = kdc.get_service_ticket(kdc.authenticate("alice", "pw"), "svc")
+    _ctx, token = GssContext.init_sec_context(ticket)
+    stranger = Keytab()
+    with pytest.raises(GssError):
+        GssContext.accept_sec_context(token, stranger, now=0.0)
+
+
+@given(st.binary(max_size=512))
+@settings(max_examples=50, deadline=None)
+def test_wrap_unwrap_property(data):
+    kdc = Kdc("P", SimClock())
+    kdc.add_user("u", "p")
+    keytab = Keytab()
+    kdc.add_service("s", keytab)
+    ticket = kdc.get_service_ticket(kdc.authenticate("u", "p"), "s")
+    initiator, token = GssContext.init_sec_context(ticket)
+    acceptor = GssContext.accept_sec_context(token, keytab, now=0.0)
+    assert acceptor.unwrap(initiator.wrap(data)) == data

@@ -1,0 +1,75 @@
+import pytest
+
+from repro.security.kerberos import Kdc, KerberosError, Keytab
+from repro.transport.clock import SimClock
+
+
+@pytest.fixture
+def kdc():
+    clock = SimClock()
+    kdc = Kdc("TEST.REALM", clock, ticket_lifetime=100.0)
+    kdc.add_user("alice", "pw")
+    return kdc
+
+
+def test_as_exchange(kdc):
+    tgt = kdc.authenticate("alice", "pw")
+    assert tgt.client == "alice"
+    assert tgt.service == Kdc.TGS
+    assert tgt.expires == 100.0
+
+
+def test_bad_password_and_unknown_user(kdc):
+    with pytest.raises(KerberosError):
+        kdc.authenticate("alice", "wrong")
+    with pytest.raises(KerberosError):
+        kdc.authenticate("mallory", "pw")
+
+
+def test_tgs_exchange_and_keytab_decrypt(kdc):
+    keytab = Keytab()
+    kdc.add_service("srv", keytab)
+    tgt = kdc.authenticate("alice", "pw")
+    ticket = kdc.get_service_ticket(tgt, "srv")
+    client, session_key, expires = keytab.decrypt_ticket(
+        "srv", ticket.blob, now=kdc.clock.now
+    )
+    assert client == "alice"
+    assert session_key == ticket.session_key
+    assert expires == ticket.expires
+
+
+def test_service_ticket_requires_tgt(kdc):
+    keytab = Keytab()
+    kdc.add_service("srv", keytab)
+    tgt = kdc.authenticate("alice", "pw")
+    ticket = kdc.get_service_ticket(tgt, "srv")
+    with pytest.raises(KerberosError):
+        kdc.get_service_ticket(ticket, "srv")  # not a TGT
+
+
+def test_unknown_service(kdc):
+    tgt = kdc.authenticate("alice", "pw")
+    with pytest.raises(KerberosError):
+        kdc.get_service_ticket(tgt, "ghost")
+
+
+def test_ticket_expiry(kdc):
+    keytab = Keytab()
+    kdc.add_service("srv", keytab)
+    ticket = kdc.get_service_ticket(kdc.authenticate("alice", "pw"), "srv")
+    kdc.clock.advance(500.0)
+    with pytest.raises(KerberosError):
+        keytab.decrypt_ticket("srv", ticket.blob, now=kdc.clock.now)
+
+
+def test_wrong_keytab_cannot_open_ticket(kdc):
+    keytab = Keytab()
+    other = Keytab()
+    kdc.add_service("srv", keytab)
+    kdc.add_service("other", other)
+    ticket = kdc.get_service_ticket(kdc.authenticate("alice", "pw"), "srv")
+    with pytest.raises(KerberosError):
+        other.decrypt_ticket("other", ticket.blob, now=0.0)
+    with pytest.raises(KerberosError):
+        other.decrypt_ticket("srv", ticket.blob, now=0.0)

@@ -1,0 +1,64 @@
+from repro.security import crypto
+from repro.security.saml import SamlAssertion
+
+
+def _assertion(**overrides):
+    defaults = dict(
+        issuer="ui.host",
+        subject="alice",
+        method=SamlAssertion.METHOD_KERBEROS,
+        auth_instant=10.0,
+        not_before=10.0,
+        not_on_or_after=310.0,
+        attributes={"session": "s1"},
+    )
+    defaults.update(overrides)
+    return SamlAssertion(**defaults)
+
+
+def test_xml_roundtrip_preserves_fields():
+    key = crypto.new_key(b"k")
+    original = _assertion().sign(key)
+    back = SamlAssertion.from_xml(original.to_xml().serialize())
+    assert back.issuer == original.issuer
+    assert back.subject == original.subject
+    assert back.method == original.method
+    assert back.attributes == original.attributes
+    assert back.not_on_or_after == original.not_on_or_after
+    assert back.verify_signature(key)
+
+
+def test_signature_covers_all_fields():
+    key = crypto.new_key(b"k")
+    assertion = _assertion().sign(key)
+    parsed = SamlAssertion.from_xml(assertion.to_xml().serialize())
+    parsed.subject = "mallory"
+    assert not parsed.verify_signature(key)
+
+
+def test_attribute_tampering_detected():
+    key = crypto.new_key(b"k")
+    assertion = _assertion().sign(key)
+    assertion.attributes["session"] = "hijacked"
+    assert not assertion.verify_signature(key)
+
+
+def test_unsigned_assertion_never_verifies():
+    assert not _assertion().verify_signature(crypto.new_key(b"k"))
+
+
+def test_validity_window():
+    assertion = _assertion(not_before=100.0, not_on_or_after=200.0)
+    assert not assertion.is_valid_at(99.9)
+    assert assertion.is_valid_at(100.0)
+    assert assertion.is_valid_at(199.9)
+    assert not assertion.is_valid_at(200.0)
+
+
+def test_assertion_ids_unique():
+    assert _assertion().assertion_id != _assertion().assertion_id
+
+
+def test_wrong_key_fails_verification():
+    assertion = _assertion().sign(crypto.new_key(b"right"))
+    assert not assertion.verify_signature(crypto.new_key(b"wrong"))

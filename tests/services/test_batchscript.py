@@ -1,0 +1,126 @@
+import pytest
+
+from repro.faults import InvalidRequestError
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing import make_dialect
+from repro.services.batchscript import (
+    IuBatchScriptGenerator,
+    IuLegacyBatchScriptGenerator,
+    JavaStyleBsgClient,
+    PythonStyleBsgClient,
+    SdscBatchScriptGenerator,
+    bsg_interface_wsdl,
+    deploy_batch_script_generator,
+    params_to_spec,
+)
+from repro.services.context import ContextManagerService
+from repro.transport.clock import SimClock
+from repro.wsdl.proxy import fetch_wsdl
+
+
+def test_params_to_spec_coerces_strings_and_types():
+    typed = params_to_spec({"executable": "/x", "cpus": 4, "wallTime": 60.0})
+    stringly = params_to_spec({"executable": "/x", "cpus": "4", "wallTime": "60"})
+    assert typed == stringly
+    assert typed.cpus == 4 and typed.wallclock_limit == 60.0
+
+
+def test_params_to_spec_rejects_bad_input():
+    with pytest.raises(InvalidRequestError):
+        params_to_spec({"cpus": 1})  # no executable
+    with pytest.raises(InvalidRequestError):
+        params_to_spec({"executable": "/x", "cpus": "four"})
+    with pytest.raises(InvalidRequestError):
+        params_to_spec({"executable": "/x", "mystery": "y"})
+
+
+def test_supported_schedulers_per_provider():
+    iu = IuBatchScriptGenerator()
+    sdsc = SdscBatchScriptGenerator()
+    assert iu.listSchedulers() == ["PBS", "GRD"]
+    assert sdsc.listSchedulers() == ["LSF", "NQS"]
+    assert iu.supportsScheduler("pbs")
+    assert not iu.supportsScheduler("LSF")
+    with pytest.raises(InvalidRequestError):
+        iu.generateScript("LSF", {"executable": "/x"})
+
+
+def test_generated_scripts_parse_under_target_dialect():
+    iu = IuBatchScriptGenerator()
+    script = iu.generateScript(
+        "GRD", {"executable": "/apps/code", "cpus": "8", "wallTime": "3600",
+                "queue": "workq", "jobName": "j1"}
+    )
+    spec = make_dialect("GRD").parse(script)
+    assert spec.cpus == 8 and spec.queue == "workq" and spec.name == "j1"
+    assert iu.validateScript("GRD", script) == []
+
+
+def test_validate_reports_problems():
+    sdsc = SdscBatchScriptGenerator()
+    problems = sdsc.validateScript("LSF", "#!/bin/sh\n#BSUB -ZZ\n/x\n")
+    assert problems
+    assert sdsc.validateScript("LSF", "#!/bin/sh\n# nothing\n") != []
+
+
+def test_interop_matrix_all_pairs(network):
+    """The C6 experiment in unit form: 2 providers x 2 client styles x their
+    schedulers, everything interoperating through the common interface."""
+    iu_url, _ = deploy_batch_script_generator(
+        network, IuBatchScriptGenerator(), "bsg.iu.edu"
+    )
+    sdsc_url, _ = deploy_batch_script_generator(
+        network, SdscBatchScriptGenerator(), "bsg.sdsc.edu"
+    )
+    spec = JobSpec(name="ix", executable="/apps/g98", arguments=["300"],
+                   cpus=4, wallclock_limit=3600, queue="workq")
+    for client_cls in (JavaStyleBsgClient, PythonStyleBsgClient):
+        for url, schedulers in ((iu_url, ("PBS", "GRD")),
+                                (sdsc_url, ("LSF", "NQS"))):
+            client = client_cls(network, url, source="ui")
+            assert sorted(client.list_schedulers()) == sorted(schedulers)
+            for scheduler in schedulers:
+                script = client.generate(scheduler, spec)
+                assert client.validate(scheduler, script) == []
+                parsed = make_dialect(scheduler).parse(script)
+                assert parsed.name == "ix" and parsed.cpus == 4
+
+
+def test_wsdl_published_and_identical_interface(network):
+    iu_url, iu_wsdl = deploy_batch_script_generator(
+        network, IuBatchScriptGenerator(), "bsg.iu.edu"
+    )
+    sdsc_url, sdsc_wsdl = deploy_batch_script_generator(
+        network, SdscBatchScriptGenerator(), "bsg.sdsc.edu"
+    )
+    fetched = fetch_wsdl(network, iu_url + ".wsdl", source="ui")
+    assert fetched.operation_names() == iu_wsdl.operation_names()
+    # the agreed interface: same operations, same namespace, different endpoint
+    assert iu_wsdl.operation_names() == sdsc_wsdl.operation_names()
+    assert iu_wsdl.target_namespace == sdsc_wsdl.target_namespace
+    assert iu_wsdl.endpoint != sdsc_wsdl.endpoint
+
+
+def test_interface_wsdl_document_shape():
+    doc = bsg_interface_wsdl("X", "http://h/bsg")
+    assert set(doc.operation_names()) == {
+        "listSchedulers", "supportsScheduler", "generateScript", "validateScript"
+    }
+
+
+def test_legacy_generator_needs_placeholder_contexts():
+    cm = ContextManagerService(clock=SimClock())
+    legacy = IuLegacyBatchScriptGenerator(cm)
+    params = {"executable": "/x", "cpus": "1", "wallTime": "60"}
+    # stateless (HotPage-style) call: a placeholder context is created+removed
+    script = legacy.generateScript("PBS", params)
+    assert script.startswith("#!/bin/sh")
+    assert legacy.placeholders_created == 1
+    assert cm.placeholderCount() == 0  # cleaned up afterwards
+    # a Gateway-style call inside a real session needs no placeholder
+    cm.createUserContext("u")
+    cm.createProblemContext("u", "p")
+    cm.createSessionContext("u", "p", "s")
+    legacy.generateScript("PBS", params, "u/p/s")
+    assert legacy.placeholders_created == 1
+    assert cm.getSessionProperty("u", "p", "s", "lastScript").startswith("#!")

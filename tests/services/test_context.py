@@ -1,0 +1,181 @@
+import pytest
+
+from repro.faults import ContextError
+from repro.services.context import (
+    ContextManagerService,
+    ContextStore,
+    PropertyService,
+    SessionArchiveService,
+    UserContextService,
+    deploy_context_manager,
+    deploy_decomposed_context_services,
+)
+from repro.soap.client import SoapClient
+from repro.transport.clock import SimClock
+
+
+@pytest.fixture
+def cm():
+    return ContextManagerService(clock=SimClock())
+
+
+def test_interface_has_over_sixty_methods(cm):
+    methods = [
+        name
+        for name in dir(cm)
+        if not name.startswith("_") and callable(getattr(cm, name))
+    ]
+    assert len(methods) > 60  # the paper: "contained over 60 methods"
+
+
+def test_three_level_hierarchy(cm):
+    cm.createUserContext("alice")
+    cm.createProblemContext("alice", "chem")
+    cm.createSessionContext("alice", "chem", "s1")
+    cm.createSessionContext("alice", "chem", "s2")
+    assert cm.listUserContexts() == ["alice"]
+    assert cm.listProblemContexts("alice") == ["chem"]
+    assert cm.listSessionContexts("alice", "chem") == ["s1", "s2"]
+    assert cm.countProblems("alice") == 1
+    assert cm.countSessions("alice", "chem") == 2
+
+
+def test_levels_enforce_parents(cm):
+    with pytest.raises(ContextError):
+        cm.createProblemContext("ghost", "p")
+    cm.createUserContext("u")
+    with pytest.raises(ContextError):
+        cm.createSessionContext("u", "ghost", "s")
+
+
+def test_properties_at_each_level(cm):
+    cm.createUserContext("u")
+    cm.createProblemContext("u", "p")
+    cm.createSessionContext("u", "p", "s")
+    cm.setUserProperty("u", "email", "u@example.org")
+    cm.setProblemProperty("u", "p", "code", "g98")
+    cm.setSessionProperty("u", "p", "s", "basis", "300")
+    assert cm.getUserProperty("u", "email") == "u@example.org"
+    assert cm.getProblemProperty("u", "p", "code") == "g98"
+    assert cm.getSessionProperty("u", "p", "s", "basis") == "300"
+    assert cm.listSessionProperties("u", "p", "s") == ["basis"]
+    assert cm.hasSessionProperty("u", "p", "s", "basis")
+    assert cm.removeSessionProperty("u", "p", "s", "basis")
+    assert not cm.hasSessionProperty("u", "p", "s", "basis")
+
+
+def test_rename_copy_move(cm):
+    cm.createUserContext("u")
+    cm.createProblemContext("u", "p")
+    cm.createSessionContext("u", "p", "s")
+    cm.setSessionProperty("u", "p", "s", "k", "v")
+    cm.copySessionContext("u", "p", "s", "s-copy")
+    assert cm.getSessionProperty("u", "p", "s-copy", "k") == "v"
+    cm.createProblemContext("u", "p2")
+    cm.moveSessionContext("u", "p", "s", "p2")
+    assert not cm.hasSessionContext("u", "p", "s")
+    assert cm.getSessionProperty("u", "p2", "s", "k") == "v"
+    cm.renameProblemContext("u", "p2", "renamed")
+    assert cm.hasProblemContext("u", "renamed")
+
+
+def test_archive_restore_roundtrip(cm):
+    cm.createUserContext("u")
+    cm.createProblemContext("u", "p")
+    cm.createSessionContext("u", "p", "s")
+    cm.setSessionProperty("u", "p", "s", "result", "42")
+    cm.setSessionDescriptor("u", "p", "s", "<instance/>")
+    key = cm.archiveSession("u", "p", "s")
+    # mutate and delete the live session
+    cm.setSessionProperty("u", "p", "s", "result", "clobbered")
+    cm.removeSessionContext("u", "p", "s")
+    # recover the archived snapshot
+    cm.restoreSession(key, "u", "p", "recovered")
+    assert cm.getSessionProperty("u", "p", "recovered", "result") == "42"
+    assert cm.getSessionDescriptor("u", "p", "recovered") == "<instance/>"
+    assert key in cm.listArchivedSessions("u")
+    assert cm.getArchiveCount() == 1
+    assert cm.purgeArchive("u") == 1
+
+
+def test_export_import_xml(cm):
+    cm.createUserContext("u")
+    cm.createProblemContext("u", "p")
+    cm.createSessionContext("u", "p", "s")
+    cm.setSessionProperty("u", "p", "s", "k", "v")
+    xml = cm.exportSessionXml("u", "p", "s")
+    cm.createUserContext("w")
+    cm.createProblemContext("w", "p")
+    path = cm.importSessionXml("w", "p", xml)
+    assert path == "w/p/s"
+    assert cm.getSessionProperty("w", "p", "s", "k") == "v"
+
+
+def test_placeholder_contexts(cm):
+    path = cm.createPlaceholderContext()
+    assert cm.isPlaceholder(path)
+    assert cm.placeholderCount() == 1
+    cm.removePlaceholder(path)
+    assert cm.placeholderCount() == 0
+    # non-placeholder contexts cannot be removed through the placeholder API
+    cm.createUserContext("real")
+    with pytest.raises(ContextError):
+        cm.removePlaceholder("real")
+
+
+def test_module_contexts(cm):
+    cm.registerModule("batch-script", "<module/>")
+    cm.setModuleProperty("batch-script", "version", "2")
+    assert cm.listModules() == ["batch-script"]
+    assert cm.hasModule("batch-script")
+    assert cm.getModuleProperty("batch-script", "version") == "2"
+    cm.unregisterModule("batch-script")
+    assert cm.listModules() == []
+
+
+def test_timestamps_move_with_clock(cm):
+    cm.createUserContext("u")
+    created = cm.getUserCreated("u")
+    cm.store.clock.advance(10)
+    cm.touchUser("u")
+    assert cm.getUserModified("u") == created + 10
+
+
+def test_monolith_over_soap(network):
+    impl, url = deploy_context_manager(network)
+    client = SoapClient(network, url, "urn:iu:context-manager", source="ui")
+    client.call("createUserContext", "remote")
+    client.call("createProblemContext", "remote", "p")
+    client.call("createSessionContext", "remote", "p", "s")
+    assert client.call("listSessionContexts", "remote", "p") == ["s"]
+    with pytest.raises(ContextError):
+        client.call("removeUserContext", "ghost")
+
+
+def test_decomposed_services_share_one_store(network):
+    endpoints = deploy_decomposed_context_services(network)
+    user = SoapClient(network, endpoints["user-context"],
+                      "urn:gce:user-context", source="ui")
+    prop = SoapClient(network, endpoints["property"],
+                      "urn:gce:context-property", source="ui")
+    archive = SoapClient(network, endpoints["session-archive"],
+                         "urn:gce:session-archive", source="ui")
+    user.call("create", "alice/chem/run1")
+    prop.call("set", "alice/chem/run1", "basis", "300")
+    key = archive.call("archive", "alice/chem/run1")
+    user.call("remove", "alice/chem/run1")
+    archive.call("restore", key, "alice/chem/run1")
+    assert prop.call("get", "alice/chem/run1", "basis") == "300"
+    info = user.call("info", "alice/chem")
+    assert info["children"] == 1
+
+
+def test_decomposed_interfaces_are_small():
+    store = ContextStore(SimClock())
+    for cls in (UserContextService, PropertyService, SessionArchiveService):
+        service = cls(store)
+        methods = [
+            n for n in dir(service)
+            if not n.startswith("_") and callable(getattr(service, n))
+        ]
+        assert len(methods) <= 8, f"{cls.__name__} grew too large: {methods}"

@@ -1,0 +1,144 @@
+import base64
+
+import pytest
+
+from repro.faults import InvalidRequestError, ResourceNotFoundError
+from repro.services.datamgmt import (
+    SRBWS_NAMESPACE,
+    deploy_srb_service,
+    make_request_xml,
+    parse_results_xml,
+)
+from repro.soap.client import SoapClient
+from repro.srb.commands import Scommands
+from repro.srb.server import SrbServer
+from repro.srb.storage import StorageResource
+from repro.transport.client import HttpClient
+
+IDENTITY = "/O=G/CN=portal"
+
+
+@pytest.fixture
+def stack(network, ca):
+    srb = SrbServer(ca, network.clock)
+    srb.add_resource(StorageResource("disk"), default=True)
+    srb.add_resource(StorageResource("tape"))
+    srb.register_user(IDENTITY, "portal")
+    cred = ca.issue_credential(IDENTITY, lifetime=10**6, now=0.0)
+    scommands = Scommands(srb, cred.sign_proxy(lifetime=10**5, now=0.0))
+    impl, url = deploy_srb_service(network, scommands)
+    client = SoapClient(network, url, SRBWS_NAMESPACE, source="ui")
+    return srb, impl, client
+
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def test_put_get_cat_ls(stack):
+    _srb, _impl, client = stack
+    assert client.call("put", "/home/portal/f.txt", _b64(b"hello")) == 5
+    assert client.call("cat", "/home/portal/f.txt") == "hello"
+    assert base64.b64decode(client.call("get", "/home/portal/f.txt")) == b"hello"
+    listing = client.call("ls", "/home/portal", "")
+    assert any("f.txt" in row for row in listing)
+    # the ls(collection, directory) two-argument form from the paper
+    listing2 = client.call("ls", "/home", "portal")
+    assert listing == listing2
+
+
+def test_put_rejects_non_base64(stack):
+    _srb, _impl, client = stack
+    with pytest.raises(InvalidRequestError):
+        client.call("put", "/home/portal/x", "not base64!!!")
+
+
+def test_missing_file_error_relayed(stack):
+    _srb, _impl, client = stack
+    with pytest.raises(ResourceNotFoundError):
+        client.call("cat", "/home/portal/ghost")
+
+
+def test_xml_call_batches_commands(stack):
+    _srb, impl, client = stack
+    request = make_request_xml([
+        ("mkdir", ["/home/portal/batch"]),
+        ("put", ["/home/portal/batch/a", _b64(b"abc")]),
+        ("ls", ["/home/portal/batch"]),
+        ("cat", ["/home/portal/batch/a"]),
+        ("cat", ["/home/portal/batch/missing"]),
+        ("rm", ["/home/portal/batch/a"]),
+    ])
+    results = parse_results_xml(client.call("xml_call", request))
+    statuses = [(r["command"], r["status"]) for r in results]
+    assert statuses == [
+        ("mkdir", "ok"), ("put", "ok"), ("ls", "ok"), ("cat", "ok"),
+        ("cat", "error"), ("rm", "ok"),
+    ]
+    assert results[3]["value"] == "abc"
+    assert "Portal.ResourceNotFound" in results[4]["error"]
+
+
+def test_xml_call_rejects_malformed_requests(stack):
+    _srb, _impl, client = stack
+    with pytest.raises(InvalidRequestError):
+        client.call("xml_call", "<wrongroot/>")
+    with pytest.raises(InvalidRequestError):
+        client.call("xml_call", "not xml at all <")
+    # wrong arity is an in-band per-command error
+    results = parse_results_xml(
+        client.call("xml_call", make_request_xml([("cat", [])]))
+    )
+    assert results[0]["status"] == "error"
+    # unknown command likewise
+    results = parse_results_xml(
+        client.call("xml_call", make_request_xml([("chown", ["x"])]))
+    )
+    assert results[0]["status"] == "error"
+
+
+def test_xml_call_uses_one_request(network, stack):
+    _srb, _impl, client = stack
+    before = network.stats.snapshot()
+    request = make_request_xml([("ls", ["/home/portal"])] * 10)
+    client.call("xml_call", request)
+    delta = network.stats.delta(before)
+    assert delta.requests == 1
+
+
+def test_out_of_band_transfer(network, stack):
+    _srb, _impl, client = stack
+    payload = bytes(range(256)) * 4
+    client.call("put", "/home/portal/blob", _b64(payload))
+    path = client.call("transfer_url", "/home/portal/blob")
+    raw = HttpClient(network, "ui").get(f"http://srbws.sdsc.edu{path}")
+    assert raw.ok
+    assert raw.body.encode("latin-1") == payload
+    # tokens are one-time
+    again = HttpClient(network, "ui").get(f"http://srbws.sdsc.edu{path}")
+    assert again.status == 404
+
+
+def test_transfer_url_checks_existence_up_front(stack):
+    _srb, _impl, client = stack
+    with pytest.raises(ResourceNotFoundError):
+        client.call("transfer_url", "/home/portal/nothere")
+
+
+def test_soap_string_transfer_amplifies_bytes(network, stack):
+    """The C1 claim in miniature: SOAP string streaming moves more bytes
+    than the out-of-band path for the same payload."""
+    _srb, _impl, client = stack
+    payload = bytes(range(256)) * 64  # 16 KiB, incompressible
+    client.call("put", "/home/portal/big", _b64(payload))
+
+    before = network.stats.snapshot()
+    client.call("get", "/home/portal/big")
+    soap_bytes = network.stats.delta(before).bytes_received
+
+    path = client.call("transfer_url", "/home/portal/big")
+    before = network.stats.snapshot()
+    HttpClient(network, "ui").get(f"http://srbws.sdsc.edu{path}")
+    oob_bytes = network.stats.delta(before).bytes_received
+
+    assert soap_bytes > oob_bytes * 1.25  # base64 + envelope overhead

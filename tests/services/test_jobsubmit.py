@@ -1,0 +1,142 @@
+import pytest
+
+from repro.faults import InvalidRequestError, JobError
+from repro.corba.webflow import deploy_webflow
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing import make_dialect
+from repro.grid.resources import build_testbed
+from repro.services.jobsubmit import (
+    BATCHJOB_NAMESPACE,
+    GLOBUSRUN_NAMESPACE,
+    WEBFLOW_NAMESPACE,
+    deploy_batchjob,
+    deploy_globusrun,
+    deploy_webflow_bridge,
+    jobs_from_xml,
+    jobs_to_xml,
+)
+from repro.soap.client import SoapClient
+from repro.xmlutil.element import parse_xml
+
+IDENTITY = "/O=G/CN=portal"
+
+
+@pytest.fixture
+def stack(network, ca):
+    testbed = build_testbed(network, ca)
+    cred = ca.issue_credential(IDENTITY, lifetime=10**6, now=0.0)
+    proxy = cred.sign_proxy(lifetime=10**5, now=0.0)
+    for resource in testbed.values():
+        resource.gatekeeper.add_gridmap_entry(IDENTITY, "portal")
+    impl, url = deploy_globusrun(network, testbed, proxy)
+    return testbed, impl, url
+
+
+def _client(network, url, ns=GLOBUSRUN_NAMESPACE):
+    return SoapClient(network, url, ns, source="ui")
+
+
+def test_run_plain_strings(network, stack):
+    _testbed, impl, url = stack
+    client = _client(network, url)
+    output = client.call("run", "modi4.iu.edu", "echo", "a b c", 1, "", 600)
+    assert output == "a b c\n"
+    assert impl.jobs_run == 1
+
+
+def test_run_failure_is_job_error(network, stack):
+    _testbed, _impl, url = stack
+    client = _client(network, url)
+    with pytest.raises(JobError) as exc_info:
+        client.call("run", "modi4.iu.edu", "fail", "9", 1, "", 600)
+    assert exc_info.value.detail["exit_code"] == "9"
+    with pytest.raises(JobError):
+        client.call("run", "unknown.host", "echo", "", 1, "", 600)
+
+
+def test_multi_job_xml_document_roundtrip():
+    specs = [
+        ("h1", JobSpec(name="a", executable="x", arguments=["1"], cpus=2,
+                       queue="q", wallclock_limit=60)),
+        ("h2", JobSpec(name="b", executable="y", wallclock_limit=120)),
+    ]
+    parsed = jobs_from_xml(jobs_to_xml(specs))
+    assert [(c, s.name, s.executable, s.cpus) for c, s in parsed] == [
+        ("h1", "a", "x", 2), ("h2", "b", "y", 1)
+    ]
+
+
+def test_run_xml_executes_sequentially_and_reports_per_job(network, stack):
+    _testbed, impl, url = stack
+    client = _client(network, url)
+    xml = jobs_to_xml([
+        ("modi4.iu.edu", JobSpec(name="ok", executable="echo",
+                                 arguments=["fine"], wallclock_limit=60)),
+        ("blue.sdsc.edu", JobSpec(name="boom", executable="fail",
+                                  wallclock_limit=60)),
+        ("nowhere.example", JobSpec(name="lost", executable="echo",
+                                    wallclock_limit=60)),
+    ])
+    results = parse_xml(client.call("run_xml", xml))
+    rows = results.findall("result")
+    assert [r.get("status") for r in rows] == ["ok", "failed", "error"]
+    assert rows[0].findtext("output") == "fine\n"
+    assert rows[1].findtext("exitCode") == "1"
+    assert "unknown gatekeeper" in rows[2].findtext("error")
+
+
+def test_run_xml_rejects_bad_document(network, stack):
+    _testbed, _impl, url = stack
+    client = _client(network, url)
+    with pytest.raises(InvalidRequestError):
+        client.call("run_xml", "<wrong/>")
+    with pytest.raises(InvalidRequestError):
+        client.call("run_xml", "<jobs><job><name>n</name></job></jobs>")
+
+
+def test_batch_service_composes_globusrun(network, stack):
+    _testbed, globusrun_impl, url = stack
+    batch_impl, batch_url = deploy_batchjob(network, url)
+    client = _client(network, batch_url, BATCHJOB_NAMESPACE)
+    output = client.call(
+        "submit_batch", "blue.sdsc.edu", "echo composed count=1 walltime=60"
+    )
+    assert output == "composed\n"
+    # the batch service really went through the Globusrun web service
+    assert globusrun_impl.jobs_run == 1
+    assert batch_impl.requests_handled == 1
+    with pytest.raises(InvalidRequestError):
+        client.call("submit_batch", "blue.sdsc.edu", "   ")
+    with pytest.raises(InvalidRequestError):
+        client.call("submit_batch", "blue.sdsc.edu", "count=2")
+
+
+def test_webflow_bridge_soap_to_iiop(network, stack):
+    testbed, _impl, _url = stack
+    schedulers = {host: r.scheduler for host, r in testbed.items()}
+    _servant, ior, _orb = deploy_webflow(network, schedulers)
+    bridge, bridge_url = deploy_webflow_bridge(network, ior)
+    client = _client(network, bridge_url, WEBFLOW_NAMESPACE)
+    client.call("add_context", "u/p/s")
+    script = make_dialect("PBS").generate(
+        JobSpec(name="bridged", executable="echo", arguments=["via corba"],
+                wallclock_limit=60)
+    )
+    handle = client.call("submit_job", "u/p/s", "modi4.iu.edu", script)
+    testbed["modi4.iu.edu"].scheduler.run_until_complete()
+    assert client.call("get_job_status", handle) == "done"
+    assert client.call("get_job_output", handle) == "via corba\n"
+    assert client.call("list_jobs", "u/p/s") == [handle]
+    assert bridge.bridged_calls >= 4
+    assert bridge.orb_initialized()
+
+
+def test_webflow_bridge_relays_corba_errors_as_portal_errors(network, stack):
+    testbed, _impl, _url = stack
+    schedulers = {host: r.scheduler for host, r in testbed.items()}
+    _servant, ior, _orb = deploy_webflow(network, schedulers)
+    _bridge, bridge_url = deploy_webflow_bridge(network, ior)
+    client = _client(network, bridge_url, WEBFLOW_NAMESPACE)
+    with pytest.raises(JobError) as exc_info:
+        client.call("submit_job", "ghost/p/s", "modi4.iu.edu", "#!/bin/sh\ntrue\n")
+    assert exc_info.value.detail.get("corba_exception") == "ContextError"

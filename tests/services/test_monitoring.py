@@ -1,0 +1,81 @@
+import pytest
+
+from repro.faults import ResourceNotFoundError
+from repro.grid.gram import rsl_for
+from repro.grid.jobs import JobSpec
+from repro.services.monitoring import (
+    MONITORING_NAMESPACE,
+    GridLoadPortlet,
+)
+from repro.soap.client import SoapClient
+
+
+@pytest.fixture
+def monitor(deployment):
+    return SoapClient(
+        deployment.network, deployment.endpoints["monitoring"],
+        MONITORING_NAMESPACE, source="ui.mon",
+    )
+
+
+def test_hosts_and_grid_load(deployment, monitor):
+    assert monitor.call("hosts") == sorted(deployment.testbed)
+    rows = monitor.call("grid_load")
+    assert len(rows) == len(deployment.testbed)
+    by_host = {row["host"]: row for row in rows}
+    assert by_host["blue.sdsc.edu"]["system"] == "LSF"
+    assert by_host["blue.sdsc.edu"]["cpus"] == 256
+    assert all(row["free_cpus"] <= row["cpus"] for row in rows)
+
+
+def test_qstat_and_job_status(deployment, monitor):
+    scheduler = deployment.testbed["octopus.iu.edu"].scheduler
+    job_id = scheduler.submit(JobSpec(name="watched", executable="sleep",
+                                      arguments=["50"], wallclock_limit=600))
+    rows = monitor.call("qstat", "octopus.iu.edu")
+    assert any(row["job_id"] == job_id for row in rows)
+    status = monitor.call("job_status", "octopus.iu.edu", job_id)
+    assert status["name"] == "watched"
+    with pytest.raises(ResourceNotFoundError):
+        monitor.call("job_status", "octopus.iu.edu", "999.nope")
+    with pytest.raises(ResourceNotFoundError):
+        monitor.call("qstat", "cray.nowhere")
+
+
+def test_user_jobs_across_the_grid(deployment, monitor):
+    """GRAM stamps LOGNAME; monitoring finds a user's jobs on every host."""
+    from repro.grid.gram import GramClient
+
+    cred = deployment.ca.issue_credential(
+        "/O=G/CN=watcher", lifetime=10**6, now=deployment.network.clock.now
+    )
+    proxy = cred.sign_proxy(lifetime=10**5, now=deployment.network.clock.now)
+    for resource in deployment.testbed.values():
+        resource.gatekeeper.add_gridmap_entry("/O=G/CN=watcher", "watcher")
+    gram = GramClient(deployment.network, proxy, source="ui.mon")
+    for host in ("modi4.iu.edu", "t3e.sdsc.edu"):
+        gram.submit(host, rsl_for(JobSpec(name=f"on-{host}", executable="sleep",
+                                          arguments=["20"],
+                                          wallclock_limit=600)))
+    mine = monitor.call("user_jobs", "watcher")
+    assert {row["host"] for row in mine} == {"modi4.iu.edu", "t3e.sdsc.edu"}
+
+
+def test_grid_load_portlet_renders_table(deployment):
+    portlet = GridLoadPortlet(
+        deployment.network, deployment.endpoints["monitoring"], source="p.mon"
+    )
+    html = portlet.render("/portal")
+    assert '<table class="grid-load">' in html
+    for host in deployment.testbed:
+        assert host in html
+
+
+def test_shell_monitoring_commands(deployment):
+    from repro.portal.uiserver import UserInterfaceServer
+
+    shell = UserInterfaceServer(deployment, host="ui.moncmd").make_shell("alice")
+    load = shell.run("gridload")
+    assert "blue.sdsc.edu" in load and "LSF" in load
+    table = shell.run("qstat modi4.iu.edu")
+    assert table  # jobs from earlier tests or "(no jobs)"

@@ -1,0 +1,125 @@
+import pytest
+
+from repro.faults import (
+    AuthenticationError,
+    InvalidRequestError,
+    ResourceNotFoundError,
+)
+from repro.soap.client import SoapClient
+from repro.soap.message import SoapEnvelope, SoapFaultError
+from repro.soap.server import SoapService
+from repro.transport.server import HttpServer
+from repro.xmlutil.element import XmlElement
+
+
+@pytest.fixture
+def service(network):
+    server = HttpServer("svc.example", network)
+    svc = SoapService("calc", "urn:calc")
+
+    def add(a, b):
+        """Add two numbers."""
+        return a + b
+
+    def fail_portal(path):
+        raise ResourceNotFoundError("nope", {"path": path})
+
+    def fail_random():
+        raise ValueError("unexpected internal thing")
+
+    svc.expose(add)
+    svc.expose(fail_portal)
+    svc.expose(fail_random)
+    url = svc.mount(server)
+    return svc, url
+
+
+@pytest.fixture
+def client(network, service):
+    _svc, url = service
+    return SoapClient(network, url, "urn:calc", source="client.example")
+
+
+def test_rpc_roundtrip(client, service):
+    assert client.call("add", 2, 3) == 5
+    assert client.add(10, -4) == 6  # attribute-magic stub
+    assert service[0].calls_served == 2
+
+
+def test_unknown_method_is_invalid_request(client):
+    with pytest.raises(InvalidRequestError):
+        client.call("subtract", 1, 2)
+
+
+def test_portal_error_reraised_with_type_and_detail(client):
+    with pytest.raises(ResourceNotFoundError) as exc_info:
+        client.fail_portal("/x")
+    assert exc_info.value.detail == {"path": "/x"}
+
+
+def test_unhandled_exception_becomes_generic_fault(client, service):
+    with pytest.raises(SoapFaultError) as exc_info:
+        client.fail_random()
+    assert "ValueError" in str(exc_info.value)
+    assert service[0].faults_returned >= 1
+
+
+def test_header_provider_attaches_headers(network, service):
+    svc, url = service
+    seen = []
+
+    def interceptor(method, params, envelope: SoapEnvelope):
+        header = envelope.header("Token")
+        seen.append(header.text if header is not None else None)
+
+    svc.add_interceptor(interceptor)
+    client = SoapClient(network, url, "urn:calc")
+    client.add_header_provider(
+        lambda method, params: [XmlElement("Token", text=f"tok-{method}")]
+    )
+    client.add(1, 1)
+    assert seen == ["tok-add"]
+
+
+def test_interceptor_rejection_blocks_dispatch(network, service):
+    svc, url = service
+
+    def deny(method, params, envelope):
+        raise AuthenticationError("no token")
+
+    svc.add_interceptor(deny)
+    served_before = svc.calls_served
+    client = SoapClient(network, url, "urn:calc")
+    with pytest.raises(AuthenticationError):
+        client.add(1, 1)
+    assert svc.calls_served == served_before
+
+
+def test_expose_object_bulk(network):
+    class Impl:
+        def visible(self):
+            return "v"
+
+        def _hidden(self):  # pragma: no cover - must not be exposed
+            return "h"
+
+    svc = SoapService("bulk", "urn:bulk")
+    svc.expose_object(Impl())
+    assert "visible" in svc.methods
+    assert "_hidden" not in svc.methods
+
+
+def test_malformed_request_returns_client_fault(network, service):
+    _svc, url = service
+    from repro.transport.client import HttpClient
+
+    response = HttpClient(network, "c").post(url, "this is not xml")
+    assert response.status == 500
+    assert "malformed SOAP request" in response.body
+
+
+def test_get_rejected(network, service):
+    _svc, url = service
+    from repro.transport.client import HttpClient
+
+    assert HttpClient(network, "c").get(url).status == 405

@@ -1,0 +1,91 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soap.encoding import SoapEncodingError, decode_value, encode_value
+from repro.xmlutil.element import XmlElement, parse_xml
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        "plain string",
+        "",
+        42,
+        -1,
+        3.14,
+        True,
+        False,
+        None,
+        b"\x00\x01binary\xff",
+        ["a", 1, None],
+        {"k": "v", "nested": {"x": [1, 2]}},
+        [],
+        {},
+    ],
+)
+def test_roundtrip_values(value):
+    node = encode_value("p", value)
+    assert decode_value(node) == value
+
+
+def test_roundtrip_through_wire_text():
+    value = {"items": [1, "two", 3.0, False, None], "blob": b"abc"}
+    text = encode_value("p", value).serialize()
+    assert decode_value(parse_xml(text)) == value
+
+
+def test_xml_literal_passthrough():
+    payload = XmlElement("jobs")
+    payload.child("job", text="j1")
+    node = encode_value("p", payload)
+    decoded = decode_value(parse_xml(node.serialize()))
+    assert isinstance(decoded, XmlElement)
+    assert decoded == payload
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(SoapEncodingError):
+        encode_value("p", object())
+    with pytest.raises(SoapEncodingError):
+        encode_value("p", {1: "non-string key"})
+
+
+def test_bool_not_confused_with_int():
+    assert decode_value(encode_value("p", True)) is True
+    assert decode_value(encode_value("p", 1)) == 1
+
+
+# strings that survive XML text content (no control chars, no lone CR)
+wire_text = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="\r",
+                           categories=("L", "N", "P", "S", "Zs")),
+    max_size=40,
+)
+
+soap_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-2**53, 2**53),
+        st.floats(allow_nan=False, allow_infinity=False),
+        wire_text,
+        st.binary(max_size=40),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+            children,
+            max_size=4,
+        ),
+    ),
+    max_leaves=12,
+)
+
+
+@given(soap_values)
+@settings(max_examples=120, deadline=None)
+def test_encode_decode_property(value):
+    text = encode_value("p", value).serialize()
+    assert decode_value(parse_xml(text)) == value

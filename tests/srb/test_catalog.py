@@ -1,0 +1,91 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import InvalidRequestError, ResourceNotFoundError
+from repro.srb.catalog import DataObject, Mcat, split_path
+
+
+@pytest.fixture
+def mcat():
+    cat = Mcat()
+    cat.make_collection("/home/alice/data", "alice")
+    cat.put_object("/home/alice/data/f1", DataObject("", size=3, owner="alice"))
+    return cat
+
+
+def test_collection_navigation(mcat):
+    assert mcat.collection("/home/alice").name == "alice"
+    with pytest.raises(ResourceNotFoundError):
+        mcat.collection("/home/bob")
+
+
+def test_object_lookup_and_listing(mcat):
+    obj = mcat.data_object("/home/alice/data/f1")
+    assert obj.size == 3
+    rows = mcat.listing("/home/alice")
+    assert rows == [{"name": "data/", "type": "collection", "size": 0}]
+    rows = mcat.listing("/home/alice/data")
+    assert rows[0]["name"] == "f1"
+    assert rows[0]["owner"] == "alice"
+
+
+def test_exists(mcat):
+    assert mcat.exists("/home/alice/data/f1")
+    assert mcat.exists("/home/alice/data")
+    assert not mcat.exists("/home/alice/ghost")
+    assert not mcat.exists("/no/such/deep/path")
+
+
+def test_name_collision_rules(mcat):
+    with pytest.raises(InvalidRequestError):
+        mcat.make_collection("/home/alice/data/f1/sub", "alice")
+    with pytest.raises(InvalidRequestError):
+        mcat.put_object("/home/alice/data", DataObject(""))
+
+
+def test_remove_collection_safety(mcat):
+    with pytest.raises(InvalidRequestError):
+        mcat.remove_collection("/home/alice")
+    mcat.remove_collection("/home/alice", force=True)
+    assert not mcat.exists("/home/alice")
+
+
+def test_remove_object(mcat):
+    removed = mcat.remove_object("/home/alice/data/f1")
+    assert removed.size == 3
+    with pytest.raises(ResourceNotFoundError):
+        mcat.remove_object("/home/alice/data/f1")
+
+
+def test_relative_components_rejected():
+    with pytest.raises(InvalidRequestError):
+        split_path("/home/../etc")
+
+
+def test_metadata_query(mcat):
+    obj = mcat.data_object("/home/alice/data/f1")
+    obj.metadata["kind"] = "input"
+    mcat.put_object(
+        "/home/alice/data/f2",
+        DataObject("", metadata={"kind": "output"}),
+    )
+    hits = mcat.find_by_metadata({"kind": "input"})
+    assert [path for path, _ in hits] == ["/home/alice/data/f1"]
+    scoped = mcat.find_by_metadata({"kind": "output"}, "/home/alice")
+    assert len(scoped) == 1
+
+
+segments = st.text(alphabet="abcdefg", min_size=1, max_size=5)
+
+
+@given(st.lists(st.lists(segments, min_size=1, max_size=4), min_size=1,
+                max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_make_then_lookup_property(paths):
+    cat = Mcat()
+    for parts in paths:
+        cat.make_collection("/".join(parts), "u")
+    for parts in paths:
+        node = cat.collection("/".join(parts))
+        assert node.name == parts[-1]

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.faults import ResourceNotFoundError
+from repro.srb.commands import Scommands
+from repro.srb.server import SrbServer
+from repro.srb.storage import StorageResource
+from repro.transport.clock import SimClock
+
+
+@pytest.fixture
+def scommands(ca):
+    server = SrbServer(ca, SimClock())
+    server.add_resource(StorageResource("disk"), default=True)
+    server.add_resource(StorageResource("tape"))
+    server.register_user("/O=G/CN=alice", "alice")
+    cred = ca.issue_credential("/O=G/CN=alice", lifetime=1000.0, now=0.0)
+    return Scommands(server, cred.sign_proxy(lifetime=500.0, now=0.0))
+
+
+def test_sinit_returns_user(scommands):
+    assert scommands.Sinit() == "alice"
+
+
+def test_implicit_session_on_first_command(scommands):
+    # no explicit Sinit: commands open the session lazily
+    scommands.Smkdir("/home/alice/work")
+    assert any("work" in row for row in scommands.Sls("/home/alice"))
+
+
+def test_put_cat_get_roundtrip(scommands):
+    size = scommands.Sput("/home/alice/hello.txt", "hello world")
+    assert size == 11
+    assert scommands.Scat("/home/alice/hello.txt") == "hello world"
+    assert scommands.Sget("/home/alice/hello.txt") == b"hello world"
+
+
+def test_ls_formatting(scommands):
+    scommands.Smkdir("/home/alice/sub")
+    scommands.Sput("/home/alice/f", b"123")
+    rows = scommands.Sls("/home/alice")
+    assert rows[0] == "  C- sub/"
+    assert "3" in rows[1] and "alice" in rows[1] and rows[1].endswith("f")
+
+
+def test_replicate_and_metadata(scommands):
+    scommands.Sput("/home/alice/d", b"x")
+    assert scommands.Sreplicate("/home/alice/d", "tape") == 2
+    scommands.Smeta("/home/alice/d", kind="output", code="mm5")
+    assert scommands.Squery("/home/alice", kind="output") == ["/home/alice/d"]
+
+
+def test_rm_and_rmdir(scommands):
+    scommands.Smkdir("/home/alice/t")
+    scommands.Sput("/home/alice/t/f", b"1")
+    scommands.Srm("/home/alice/t/f")
+    scommands.Srmdir("/home/alice/t")
+    with pytest.raises(ResourceNotFoundError):
+        scommands.Scat("/home/alice/t/f")
+
+
+def test_sexit_closes_session(scommands):
+    scommands.Sinit()
+    scommands.Sexit()
+    # the next command transparently reconnects
+    assert scommands.Sls("/home/alice") == []

@@ -1,0 +1,44 @@
+import pytest
+
+from repro.faults import ResourceExhaustedError, ResourceNotFoundError
+from repro.srb.storage import StorageResource
+
+
+def test_write_read_delete():
+    res = StorageResource("disk", capacity_bytes=100)
+    blob = res.write(b"0123456789")
+    assert res.read(blob) == b"0123456789"
+    assert res.used_bytes == 10
+    assert blob in res
+    res.delete(blob)
+    assert res.used_bytes == 0
+    assert blob not in res
+
+
+def test_capacity_enforced_exactly():
+    res = StorageResource("disk", capacity_bytes=10)
+    res.write(b"12345")
+    res.write(b"12345")  # exactly full is allowed
+    with pytest.raises(ResourceExhaustedError) as exc_info:
+        res.write(b"x")
+    assert exc_info.value.detail["resource"] == "disk"
+
+
+def test_delete_frees_capacity():
+    res = StorageResource("disk", capacity_bytes=10)
+    blob = res.write(b"x" * 10)
+    res.delete(blob)
+    res.write(b"y" * 10)  # fits again
+
+
+def test_missing_blob_errors():
+    res = StorageResource("disk")
+    with pytest.raises(ResourceNotFoundError):
+        res.read("disk:00000099")
+    with pytest.raises(ResourceNotFoundError):
+        res.delete("disk:00000099")
+
+
+def test_blob_ids_unique():
+    res = StorageResource("disk")
+    assert res.write(b"a") != res.write(b"a")

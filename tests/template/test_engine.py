@@ -1,0 +1,103 @@
+import pytest
+
+from repro.template.engine import Template, TemplateError, TemplateLoader, render
+
+
+def test_variable_substitution():
+    assert render("hello $name!", name="world") == "hello world!"
+    assert render("${a}-${b}", a=1, b=2) == "1-2"
+
+
+def test_unresolved_reference_left_verbatim():
+    # Velocity convention: unresolvable $refs stay in the output
+    assert render("x $missing y") == "x $missing y"
+
+
+def test_dotted_paths_and_methods():
+    class Thing:
+        label = "L"
+
+        def describe(self):
+            return "described"
+
+    assert render("$t.label/$t.describe()", t=Thing()) == "L/described"
+    assert render("$d.key", d={"key": "v"}) == "v"
+
+
+def test_escaped_variable():
+    assert render("$!x", x="<b>&") == "&lt;b&gt;&amp;"
+    assert render("$x", x="<b>") == "<b>"
+
+
+def test_if_elseif_else():
+    template = "#if($n > 10)big#elseif($n > 5)mid#else small#end"
+    assert render(template, n=20) == "big"
+    assert render(template, n=7) == "mid"
+    assert render(template, n=1) == " small"
+
+
+def test_boolean_operators():
+    assert render("#if($a && !$b)yes#end", a=True, b=False) == "yes"
+    assert render("#if($a || $b)yes#else no#end", a=False, b=False) == " no"
+    assert render('#if($s == "x")eq#end', s="x") == "eq"
+
+
+def test_foreach_with_velocity_count():
+    out = render("#foreach($i in $items)$velocityCount:$i;#end", items=["a", "b"])
+    assert out == "1:a;2:b;"
+
+
+def test_foreach_restores_outer_variable():
+    out = render("#set($i = 9)#foreach($i in $items)$i#end$i", items=[1, 2])
+    assert out == "129"
+
+
+def test_set_directive():
+    assert render('#set($x = "v")$x') == "v"
+    assert render("#set($y = $a + 1)$y", a=2) == "3"
+
+
+def test_string_concatenation():
+    assert render('#set($z = $a + "-suffix")$z', a="pre") == "pre-suffix"
+
+
+def test_include_via_loader():
+    loader = TemplateLoader({"inner": "INNER($x)", "outer": 'A#include("inner")B'})
+    assert loader.render("outer", x=1) == "AINNER(1)B"
+
+
+def test_include_without_loader_fails():
+    with pytest.raises(TemplateError):
+        Template('#include("x")').render()
+
+
+def test_unterminated_block_rejected():
+    with pytest.raises(TemplateError):
+        Template("#if($x)unclosed")
+    with pytest.raises(TemplateError):
+        Template("#end")
+
+
+def test_nested_structures():
+    template = (
+        "#foreach($row in $rows)"
+        "#if($row.ok)[$row.name]#end"
+        "#end"
+    )
+    rows = [{"ok": True, "name": "a"}, {"ok": False, "name": "b"},
+            {"ok": True, "name": "c"}]
+    assert render(template, rows=rows) == "[a][c]"
+
+
+def test_loader_caching_and_update():
+    loader = TemplateLoader()
+    loader.add("t", "v1 $x")
+    assert loader.render("t", x=1) == "v1 1"
+    loader.add("t", "v2 $x")
+    assert loader.render("t", x=1) == "v2 1"
+    with pytest.raises(TemplateError):
+        loader.get("missing")
+
+
+def test_literal_dollar_amount_untouched():
+    assert render("costs $5 total") == "costs $5 total"

@@ -1,0 +1,42 @@
+"""Property tests for the template engine."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.template.engine import render
+
+plain = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,;:!?",
+    max_size=40,
+)
+
+idents = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+
+@given(plain)
+@settings(max_examples=80, deadline=None)
+def test_plain_text_is_identity(text):
+    assert render(text) == text
+
+
+@given(idents, plain)
+@settings(max_examples=80, deadline=None)
+def test_single_variable_substitution(name, value):
+    assert render(f"[${{{name}}}]", **{name: value}) == f"[{value}]"
+
+
+@given(st.lists(plain, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_foreach_emits_once_per_item(items):
+    out = render("#foreach($x in $items)|#end", items=items)
+    assert out == "|" * len(items)
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100))
+@settings(max_examples=50, deadline=None)
+def test_comparison_matches_python(a, b):
+    out = render("#if($a < $b)lt#elseif($a == $b)eq#else gt#end", a=a, b=b)
+    expected = "lt" if a < b else ("eq" if a == b else " gt")
+    assert out == expected

@@ -1,0 +1,80 @@
+from repro.transport.client import HttpClient
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.server import HttpServer
+
+
+def _session_server(network, host="site"):
+    server = HttpServer(host, network)
+    hits = {"count": 0}
+
+    def handler(request: HttpRequest) -> HttpResponse:
+        hits["count"] += 1
+        cookie = request.headers.get("Cookie", "")
+        if "sid=" in cookie:
+            return HttpResponse(200, body=f"welcome back ({cookie})")
+        return HttpResponse(
+            200, {"Set-Cookie": "sid=abc123; Path=/"}, "first visit"
+        )
+
+    server.mount("/", handler)
+    return hits
+
+
+def test_cookie_session_maintained(network):
+    _session_server(network)
+    client = HttpClient(network, "browser")
+    first = client.get("http://site/")
+    assert first.body == "first visit"
+    assert client.cookies_for("site") == {"sid": "abc123"}
+    second = client.get("http://site/")
+    assert "welcome back" in second.body
+    assert "sid=abc123" in second.body
+
+
+def test_cookies_are_per_host(network):
+    _session_server(network, "a")
+    _session_server(network, "b")
+    client = HttpClient(network, "browser")
+    client.get("http://a/")
+    assert client.cookies_for("a") and not client.cookies_for("b")
+
+
+def test_keepalive_counts_one_connection(network):
+    _session_server(network)
+    client = HttpClient(network, "browser")
+    for _ in range(5):
+        client.get("http://site/")
+    assert network.stats.connections == 1
+    client.close()
+    client.get("http://site/")
+    assert network.stats.connections == 2
+
+
+def test_no_keepalive_counts_each_connection(network):
+    _session_server(network)
+    client = HttpClient(network, "browser", keep_alive=False)
+    for _ in range(3):
+        client.get("http://site/")
+    assert network.stats.connections == 3
+
+
+def test_post_form_encoding(network):
+    server = HttpServer("forms", network)
+    seen = {}
+
+    def handler(request: HttpRequest) -> HttpResponse:
+        seen.update(request.form())
+        return HttpResponse(200, body="ok")
+
+    server.mount("/submit", handler)
+    client = HttpClient(network, "browser")
+    client.post_form("http://forms/submit", {"name": "a b", "x": "1&2"})
+    assert seen == {"name": "a b", "x": "1&2"}
+
+
+def test_clear_cookies(network):
+    _session_server(network)
+    client = HttpClient(network, "browser")
+    client.get("http://site/")
+    client.clear_cookies()
+    assert client.cookies_for("site") == {}

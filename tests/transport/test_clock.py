@@ -1,0 +1,27 @@
+import pytest
+
+from repro.transport.clock import SimClock
+
+
+def test_starts_at_zero_and_advances():
+    clock = SimClock()
+    assert clock.now == 0.0
+    assert clock.advance(1.5) == 1.5
+    assert clock.advance(0.0) == 1.5
+    assert clock.now == 1.5
+
+
+def test_custom_start_and_reset():
+    clock = SimClock(100.0)
+    assert clock.now == 100.0
+    clock.advance(5)
+    clock.reset()
+    assert clock.now == 0.0
+    clock.reset(42.0)
+    assert clock.now == 42.0
+
+
+def test_negative_advance_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)

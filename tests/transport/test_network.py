@@ -1,0 +1,119 @@
+import pytest
+
+from repro.transport.http import HttpRequest, HttpResponse, Url
+from repro.transport.network import LinkSpec, TransportError, VirtualNetwork
+from repro.transport.server import HttpServer
+
+
+def echo(request: HttpRequest) -> HttpResponse:
+    return HttpResponse(200, body=request.body)
+
+
+def test_send_and_accounting(network):
+    network.register("svc", echo)
+    response = network.send(HttpRequest("POST", Url("svc", "/x"), body="hi"))
+    assert response.body == "hi"
+    assert network.stats.requests == 1
+    assert network.stats.connections == 1
+    assert network.stats.bytes_sent > 2
+    assert network.stats.per_host_requests["svc"] == 1
+
+
+def test_clock_advances_with_size(network):
+    network.register("svc", echo)
+    network.send(HttpRequest("POST", Url("svc", "/x"), body="x"))
+    t1 = network.clock.now
+    network.send(
+        HttpRequest("POST", Url("svc", "/x"), body="x" * 10**6),
+        new_connection=False,
+    )
+    t2 = network.clock.now - t1
+    assert t2 > t1  # the big message takes longer than the small one
+
+
+def test_keepalive_skips_connect_latency(network):
+    network.register("svc", echo)
+    network.send(HttpRequest("GET", Url("svc", "/")), new_connection=True)
+    t_fresh = network.clock.now
+    network.send(HttpRequest("GET", Url("svc", "/")), new_connection=False)
+    t_reused = network.clock.now - t_fresh
+    assert t_reused < t_fresh
+    assert network.stats.connections == 1
+
+
+def test_no_route(network):
+    with pytest.raises(TransportError):
+        network.send(HttpRequest("GET", Url("ghost", "/")))
+
+
+def test_host_down_and_up(network):
+    network.register("svc", echo)
+    network.take_down("svc")
+    with pytest.raises(TransportError):
+        network.send(HttpRequest("GET", Url("svc", "/")))
+    network.bring_up("svc")
+    assert network.send(HttpRequest("GET", Url("svc", "/"))).ok
+
+
+def test_fail_next_injects_n_failures(network):
+    network.register("svc", echo)
+    network.fail_next("svc", times=2)
+    for _ in range(2):
+        with pytest.raises(TransportError):
+            network.send(HttpRequest("GET", Url("svc", "/")))
+    assert network.send(HttpRequest("GET", Url("svc", "/"))).ok
+
+
+def test_per_link_override(network):
+    network.register("svc", echo)
+    network.set_link("client", "svc", LinkSpec(latency=1.0, connect_latency=0.0))
+    network.set_link("svc", "client", LinkSpec(latency=0.0, connect_latency=0.0))
+    network.send(HttpRequest("GET", Url("svc", "/")), new_connection=False)
+    assert network.clock.now >= 1.0
+
+
+def test_stats_snapshot_delta(network):
+    network.register("svc", echo)
+    network.send(HttpRequest("GET", Url("svc", "/")))
+    before = network.stats.snapshot()
+    network.send(HttpRequest("GET", Url("svc", "/")))
+    delta = network.stats.delta(before)
+    assert delta.requests == 1
+    assert delta.per_host_requests["svc"] == 1
+
+
+def test_jitter_is_deterministic():
+    def run(seed):
+        net = VirtualNetwork(seed=seed)
+        net.register("svc", echo)
+        net.set_jitter(0.2)
+        for _ in range(5):
+            net.send(HttpRequest("GET", Url("svc", "/")))
+        return net.clock.now
+
+    assert run(1) == run(1)
+    assert run(1) != run(2)
+
+
+def test_server_routing(network):
+    server = HttpServer("multi", network)
+    server.mount("/a", lambda r: HttpResponse(200, body="A"))
+    server.mount("/a/deeper", lambda r: HttpResponse(200, body="D"))
+    assert network.send(HttpRequest("GET", Url("multi", "/a"))).body == "A"
+    assert network.send(HttpRequest("GET", Url("multi", "/a/x"))).body == "A"
+    assert (
+        network.send(HttpRequest("GET", Url("multi", "/a/deeper/y"))).body == "D"
+    )
+    assert network.send(HttpRequest("GET", Url("multi", "/nope"))).status == 404
+
+
+def test_server_catches_handler_crash(network):
+    server = HttpServer("crashy", network)
+
+    def boom(request):
+        raise RuntimeError("kaput")
+
+    server.mount("/b", boom)
+    response = network.send(HttpRequest("GET", Url("crashy", "/b")))
+    assert response.status == 500
+    assert "kaput" in response.body

@@ -1,0 +1,111 @@
+import pytest
+
+from repro.faults import DiscoveryError, InvalidRequestError
+from repro.uddi.model import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    KeyedReference,
+    TModel,
+)
+from repro.uddi.registry import UddiRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = UddiRegistry()
+    iu = reg.save_business(BusinessEntity("", "Indiana University"))
+    sdsc = reg.save_business(BusinessEntity("", "SDSC"))
+    tm = reg.save_tmodel(TModel("", "gce:bsg-interface"))
+    reg.save_service(
+        BusinessService(
+            "", iu.key, "Gateway Script Generator",
+            description="schedulers: PBS,GRD",
+            category_bag=[KeyedReference("uddi:general-keywords", "scheduler", "PBS")],
+            bindings=[BindingTemplate("", "", "http://iu/bsg", [tm.key])],
+        )
+    )
+    reg.save_service(
+        BusinessService(
+            "", sdsc.key, "HotPage Script Generator",
+            description="schedulers: LSF,NQS",
+            bindings=[BindingTemplate("", "", "http://sdsc/bsg", [tm.key])],
+        )
+    )
+    return reg, iu, sdsc, tm
+
+
+def test_keys_assigned(registry):
+    reg, iu, _sdsc, tm = registry
+    assert iu.key.startswith("uuid:be-")
+    assert tm.key.startswith("uuid:tm-")
+
+
+def test_find_business_wildcards(registry):
+    reg = registry[0]
+    assert len(reg.find_business("%university%")) == 1
+    assert len(reg.find_business("SDSC")) == 1
+    assert len(reg.find_business("sdsc")) == 1  # case-insensitive
+    assert len(reg.find_business("")) == 2
+    assert reg.find_business("Indiana%")[0].name == "Indiana University"
+
+
+def test_find_service_by_name_and_business(registry):
+    reg, iu, _sdsc, _tm = registry
+    assert len(reg.find_service("%script generator%")) == 2
+    assert len(reg.find_service("%script%", business_key=iu.key)) == 1
+
+
+def test_find_service_by_category(registry):
+    reg = registry[0]
+    hits = reg.find_service(
+        category_refs=[KeyedReference("uddi:general-keywords", "", "PBS")]
+    )
+    assert [s.name for s in hits] == ["Gateway Script Generator"]
+
+
+def test_description_substring_workaround(registry):
+    reg = registry[0]
+    assert len(reg.find_service(description_contains="LSF")) == 1
+    assert len(reg.find_service(description_contains="schedulers:")) == 2
+
+
+def test_services_implementing_interface(registry):
+    reg, _iu, _sdsc, tm = registry
+    assert len(reg.services_implementing(tm.key)) == 2
+    assert reg.services_implementing("uuid:tm-none") == []
+
+
+def test_category_requires_registered_tmodel(registry):
+    reg, iu, _sdsc, _tm = registry
+    with pytest.raises(InvalidRequestError):
+        reg.save_service(
+            BusinessService(
+                "", iu.key, "Bad",
+                category_bag=[KeyedReference("uuid:tm-unregistered", "", "x")],
+            )
+        )
+
+
+def test_service_requires_business(registry):
+    reg = registry[0]
+    with pytest.raises(DiscoveryError):
+        reg.save_service(BusinessService("", "uuid:be-nope", "Orphan"))
+
+
+def test_get_detail_and_delete(registry):
+    reg = registry[0]
+    service = reg.find_service("%Gateway%")[0]
+    assert reg.get_service_detail(service.key).name == service.name
+    reg.delete_service(service.key)
+    with pytest.raises(DiscoveryError):
+        reg.get_service_detail(service.key)
+
+
+def test_save_binding_appends(registry):
+    reg = registry[0]
+    service = reg.find_service("%HotPage%")[0]
+    reg.save_binding(BindingTemplate("", service.key, "http://mirror/bsg"))
+    assert len(reg.get_service_detail(service.key).bindings) == 2
+    with pytest.raises(DiscoveryError):
+        reg.save_binding(BindingTemplate("", "uuid:bs-nope", "http://x"))

@@ -1,0 +1,50 @@
+import pytest
+
+from repro.faults import DiscoveryError
+from repro.uddi.model import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    KeyedReference,
+    TModel,
+)
+from repro.uddi.service import UddiClient, deploy_uddi
+
+
+@pytest.fixture
+def uddi(network):
+    registry, url = deploy_uddi(network)
+    return registry, UddiClient(network, url, source="ui")
+
+
+def test_publish_and_inquire_over_soap(uddi):
+    _registry, client = uddi
+    entity = client.save_business(BusinessEntity("", "Test Lab"))
+    tmodel = client.save_tmodel(TModel("", "iface", overview_url="http://w"))
+    service = client.save_service(
+        BusinessService(
+            "", entity.key, "My Service",
+            description="does things",
+            category_bag=[KeyedReference("uddi:general-keywords", "k", "v")],
+            bindings=[BindingTemplate("", "", "http://ep", [tmodel.key], "http://w")],
+        )
+    )
+    assert service.key
+    found = client.find_service("%my%")
+    assert [s.name for s in found] == ["My Service"]
+    assert found[0].bindings[0].access_point == "http://ep"
+    assert client.services_implementing(tmodel.key)[0].key == service.key
+    detail = client.get_business_detail(entity.key)
+    assert detail.name == "Test Lab"
+
+
+def test_error_relayed_over_soap(uddi):
+    _registry, client = uddi
+    with pytest.raises(DiscoveryError):
+        client.get_service_detail("uuid:bs-missing")
+
+
+def test_find_tmodel_includes_standard_taxonomies(uddi):
+    _registry, client = uddi
+    names = [t.name for t in client.find_tmodel("")]
+    assert any("NAICS" in n or "Classification" in n for n in names)

@@ -1,0 +1,164 @@
+import pytest
+
+from repro.faults import SchemaError
+from repro.appws.schemas import combined_schema
+from repro.transport.client import HttpClient
+from repro.transport.http import HttpResponse
+from repro.transport.server import HttpServer
+from repro.wizard.generator import SchemaWizard
+from repro.xmlutil.element import parse_xml
+from repro.xmlutil.schema import parse_schema
+from repro.xmlutil.validation import SchemaValidator
+
+SIMPLE_XSD = """\
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="Mode">
+    <xs:restriction base="xs:string">
+      <xs:enumeration value="fast"/><xs:enumeration value="careful"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:complexType name="Settings">
+    <xs:sequence>
+      <xs:element name="label" type="xs:string">
+        <xs:annotation><xs:documentation>A label.</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="mode" type="Mode"/>
+      <xs:element name="tag" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:string" use="required"/>
+  </xs:complexType>
+  <xs:element name="settings" type="Settings"/>
+</xs:schema>
+"""
+
+
+@pytest.fixture
+def wizard():
+    wizard = SchemaWizard()
+    wizard.load(SIMPLE_XSD)
+    return wizard
+
+
+def test_stage1_load_from_url(network):
+    server = HttpServer("schemas.org", network)
+    server.mount("/s.xsd", lambda r: HttpResponse(200, {}, SIMPLE_XSD))
+    wizard = SchemaWizard(network)
+    schema = wizard.load("http://schemas.org/s.xsd")
+    assert "Settings" in schema.complex_types
+    with pytest.raises(SchemaError):
+        wizard.load("http://schemas.org/missing.xsd")
+
+
+def test_stage1_rejects_invalid_schema():
+    with pytest.raises(SchemaError):
+        SchemaWizard().load("<xs:schema xmlns:xs='urn:wrong'/>")
+
+
+def test_stage2_source_generation(wizard):
+    classes = wizard.classes("Gen")
+    assert "Settings" in classes
+    obj = classes["Settings"](label="x", mode="fast", id="s1")
+    assert obj.label == "x"
+    assert type(obj).__name__ == "GenSettings"
+
+
+def test_stage3_constituent_templates(wizard):
+    body = wizard.render_form_body("settings")
+    # single simple -> text input; enumerated -> select; unbounded -> textarea
+    assert '<input type="text" name="settings.label"' in body
+    assert '<select name="settings.mode"' in body
+    assert '<option value="fast"' in body
+    assert '<textarea name="settings.tag"' in body
+    # complex wraps everything in a fieldset; attribute rendered as input
+    assert "<fieldset" in body
+    assert 'name="settings.@id"' in body
+    # documentation surfaces as the doc span
+    assert "A label." in body
+
+
+def test_field_names(wizard):
+    assert wizard.field_names("settings") == [
+        "settings.@id", "settings.label", "settings.mode", "settings.tag"
+    ]
+    with pytest.raises(SchemaError):
+        wizard.field_names("nosuchroot")
+
+
+def test_form_to_instance_and_back(wizard):
+    form = {
+        "settings.@id": "s1",
+        "settings.label": "hello",
+        "settings.mode": "careful",
+        "settings.tag": "a\nb\n\n",
+    }
+    instance = wizard.form_to_instance("settings", form)
+    assert SchemaValidator(wizard.schema).validate(instance) == []
+    assert instance.get("id") == "s1"
+    assert [t.text for t in instance.findall("tag")] == ["a", "b"]
+    values = wizard.instance_to_values("settings", instance)
+    assert values["settings.label"] == "hello"
+    assert values["settings.tag"] == "a\nb"
+    assert values["settings.@id"] == "s1"
+
+
+def test_deployed_webapp_get_post_reload(network):
+    wizard = SchemaWizard(network)
+    wizard.load(SIMPLE_XSD)
+    server = HttpServer("portal.host", network)
+    app = wizard.deploy(server, "settings-editor", "settings")
+    client = HttpClient(network, "browser")
+
+    page = client.get(app.url())
+    assert page.ok and "<form" in page.body
+
+    saved = client.post_form(
+        f"http://portal.host{app.base_path}/save",
+        {
+            "instanceName": "mine",
+            "settings.@id": "s9",
+            "settings.label": "from the browser",
+            "settings.mode": "fast",
+            "settings.tag": "t1",
+        },
+    )
+    assert "validated" in saved.body
+    assert app.saves == 1
+
+    # "Old instances can be read in and unmarshaled to fill out the form"
+    reloaded = client.get(app.form_url("mine")).body
+    assert 'value="from the browser"' in reloaded
+    assert 'value="s9"' in reloaded
+
+    instance = parse_xml(app.instances["mine"])
+    assert instance.findtext("label") == "from the browser"
+
+
+def test_invalid_submission_reports_issue_count(network):
+    wizard = SchemaWizard(network)
+    wizard.load(SIMPLE_XSD)
+    server = HttpServer("portal2.host", network)
+    app = wizard.deploy(server, "ed", "settings")
+    issues = app.save_instance("bad", {
+        "settings.@id": "x",
+        "settings.label": "ok",
+        "settings.mode": "turbo",  # not in the enumeration
+    })
+    assert issues
+    assert "enumeration" in issues[0]
+
+
+def test_wizard_drives_the_real_application_schema(network):
+    """Figure 3 end to end against the paper's actual descriptor schema."""
+    wizard = SchemaWizard(network)
+    wizard.load(combined_schema())
+    server = HttpServer("portal3.host", network)
+    app = wizard.deploy(server, "queue-editor", "queue")
+    issues = app.save_instance("q1", {
+        "queue.queuingSystem": "NQS",
+        "queue.queueName": "batch",
+        "queue.maxWallTime": "7200",
+        "queue.maxCpus": "128",
+    })
+    assert issues == []
+    instance = parse_xml(app.instances["q1"])
+    assert instance.findtext("queuingSystem") == "NQS"

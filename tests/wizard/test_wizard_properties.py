@@ -1,0 +1,82 @@
+"""Property test: the wizard's form <-> instance round trip holds for
+arbitrary generated schemas and values."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wizard.generator import SchemaWizard
+from repro.xmlutil.schema import (
+    BuiltinType,
+    XsdComplexType,
+    XsdElement,
+    XsdSchema,
+    XsdSimpleType,
+)
+from repro.xmlutil.validation import SchemaValidator
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+values = st.text(alphabet=string.ascii_letters + string.digits + " .-_",
+                 min_size=1, max_size=20).map(str.strip).filter(bool)
+
+
+@st.composite
+def schemas_and_forms(draw):
+    """A random flat complex type plus a matching filled-in form."""
+    field_names = draw(st.lists(names, min_size=1, max_size=6, unique=True))
+    sequence = []
+    form: dict[str, str] = {}
+    for field in field_names:
+        kind = draw(st.sampled_from(["string", "int", "enum", "repeated"]))
+        path = f"root.{field}"
+        if kind == "string":
+            sequence.append(XsdElement(field, BuiltinType.STRING))
+            form[path] = draw(values)
+        elif kind == "int":
+            sequence.append(XsdElement(field, BuiltinType.INT))
+            form[path] = str(draw(st.integers(-10**6, 10**6)))
+        elif kind == "enum":
+            options = draw(st.lists(values, min_size=1, max_size=4, unique=True))
+            sequence.append(
+                XsdElement(field, XsdSimpleType("", enumeration=options))
+            )
+            form[path] = draw(st.sampled_from(options))
+        else:
+            sequence.append(
+                XsdElement(field, BuiltinType.STRING, min_occurs=0,
+                           max_occurs=-1)
+            )
+            items = draw(st.lists(values, max_size=4))
+            form[path] = "\n".join(items)
+    schema = XsdSchema(target_namespace="")
+    schema.add_complex_type(XsdComplexType("Root", sequence=sequence))
+    schema.add_element(XsdElement("root", "Root"))
+    return schema.resolve(), form
+
+
+@given(schemas_and_forms())
+@settings(max_examples=60, deadline=None)
+def test_form_instance_form_roundtrip(case):
+    schema, form = case
+    wizard = SchemaWizard()
+    wizard.load(schema)
+    instance = wizard.form_to_instance("root", form)
+    assert SchemaValidator(schema).validate(instance) == []
+    recovered = wizard.instance_to_values("root", instance)
+    for path, value in form.items():
+        expected = "\n".join(
+            line.strip() for line in value.splitlines() if line.strip()
+        )
+        assert recovered.get(path, "") == expected
+
+
+@given(schemas_and_forms())
+@settings(max_examples=30, deadline=None)
+def test_rendered_form_contains_every_field(case):
+    schema, form = case
+    wizard = SchemaWizard()
+    wizard.load(schema)
+    body = wizard.render_form_body("root")
+    for path in form:
+        assert f'name="{path}"' in body

@@ -1,0 +1,59 @@
+from repro.soap.server import SoapService
+from repro.wsdl.model import WsdlDocument, WsdlOperation, WsdlPart, generate_wsdl, parse_wsdl
+
+
+def _sample_doc() -> WsdlDocument:
+    return WsdlDocument(
+        service_name="BatchScript",
+        target_namespace="urn:gce:bsg",
+        endpoint="http://bsg.iu.edu/bsg",
+        documentation="the agreed interface",
+        operations=[
+            WsdlOperation(
+                "generateScript",
+                "renders a script",
+                [WsdlPart("scheduler", "xsd:string"), WsdlPart("params")],
+            ),
+            WsdlOperation("listSchedulers", "", []),
+        ],
+    )
+
+
+def test_serialize_parse_roundtrip():
+    doc = _sample_doc()
+    parsed = parse_wsdl(doc.serialize())
+    assert parsed.service_name == doc.service_name
+    assert parsed.target_namespace == doc.target_namespace
+    assert parsed.endpoint == doc.endpoint
+    assert parsed.documentation == doc.documentation
+    assert parsed.operation_names() == doc.operation_names()
+    op = parsed.operation("generateScript")
+    assert [p.name for p in op.inputs] == ["scheduler", "params"]
+    assert op.documentation == "renders a script"
+
+
+def test_generate_from_live_service():
+    svc = SoapService("Echo", "urn:echo")
+
+    def shout(message, times):
+        """Repeat the message."""
+        return message * times
+
+    svc.expose(shout)
+    doc = generate_wsdl(svc, "http://h/echo")
+    op = doc.operation("shout")
+    assert op is not None
+    assert [p.name for p in op.inputs] == ["message", "times"]
+    assert op.documentation == "Repeat the message."
+    assert doc.endpoint == "http://h/echo"
+
+
+def test_parse_rejects_other_documents():
+    import pytest
+
+    with pytest.raises(ValueError):
+        parse_wsdl("<random/>")
+
+
+def test_operation_lookup_missing():
+    assert _sample_doc().operation("nope") is None

@@ -1,0 +1,41 @@
+import pytest
+
+from repro.soap.server import SoapService
+from repro.transport.server import HttpServer
+from repro.wsdl.model import generate_wsdl
+from repro.wsdl.proxy import client_from_wsdl, fetch_wsdl, publish_wsdl
+
+
+@pytest.fixture
+def published(network):
+    server = HttpServer("svc.host", network)
+    svc = SoapService("Adder", "urn:adder")
+    svc.expose(lambda a, b: a + b, "add")
+    endpoint = svc.mount(server, "/adder")
+    wsdl_url = publish_wsdl(server, generate_wsdl(svc, endpoint), "/adder.wsdl")
+    return wsdl_url
+
+
+def test_fetch_and_bind(network, published):
+    doc = fetch_wsdl(network, published, source="ui.host")
+    assert doc.endpoint == "http://svc.host/adder"
+    client = client_from_wsdl(network, doc, source="ui.host")
+    assert client.add(2, 5) == 7
+    assert client.wsdl.operation("add") is not None
+
+
+def test_bind_directly_from_url(network, published):
+    client = client_from_wsdl(network, published, source="ui.host")
+    assert client.call("add", 1, 1) == 2
+
+
+def test_fetch_missing_wsdl_fails(network, published):
+    with pytest.raises(ConnectionError):
+        fetch_wsdl(network, "http://svc.host/ghost.wsdl")
+
+
+def test_bind_requires_endpoint(network, published):
+    doc = fetch_wsdl(network, published)
+    doc.endpoint = ""
+    with pytest.raises(ValueError):
+        client_from_wsdl(network, doc)

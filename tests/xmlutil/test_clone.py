@@ -1,0 +1,19 @@
+from repro.xmlutil.element import XmlElement, parse_xml
+
+
+def test_clone_is_deep_and_equal():
+    original = parse_xml('<a x="1">text<b><c y="2">inner</c></b></a>')
+    copy = original.clone()
+    assert copy == original
+    # mutating the clone leaves the original untouched
+    copy.set("x", "changed")
+    copy.find("b").find("c").set_text("rewritten")
+    copy.append(XmlElement("new"))
+    assert original.get("x") == "1"
+    assert original.find("b").find("c").text == "inner"
+    assert original.find("new") is None
+
+
+def test_clone_preserves_mixed_content_order():
+    original = parse_xml("<p>one<b>two</b>three</p>")
+    assert original.clone().serialize() == original.serialize()

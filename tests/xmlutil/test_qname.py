@@ -1,0 +1,31 @@
+import pytest
+
+from repro.xmlutil.qname import QName
+
+
+def test_clark_roundtrip():
+    q = QName("urn:x", "local")
+    assert QName.parse(q.clark()) == q
+
+
+def test_bare_name():
+    q = QName.parse("item")
+    assert q.namespace == "" and q.local == "item"
+    assert q.clark() == "item"
+
+
+def test_empty_local_rejected():
+    with pytest.raises(ValueError):
+        QName("urn:x", "")
+
+
+def test_malformed_clark_rejected():
+    with pytest.raises(ValueError):
+        QName.parse("{unclosed")
+
+
+def test_hashable_and_distinct():
+    a = QName("urn:x", "n")
+    b = QName("urn:y", "n")
+    assert a != b
+    assert len({a, b, QName("urn:x", "n")}) == 2

@@ -1,0 +1,100 @@
+import pytest
+
+from repro.xmlutil.schema import (
+    UNBOUNDED,
+    BuiltinType,
+    XsdComplexType,
+    XsdElement,
+    XsdSchema,
+    XsdSimpleType,
+    parse_schema,
+)
+
+XSD = """\
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:t">
+  <xs:simpleType name="Color">
+    <xs:annotation><xs:documentation>A color.</xs:documentation></xs:annotation>
+    <xs:restriction base="xs:string">
+      <xs:enumeration value="red"/><xs:enumeration value="blue"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:simpleType name="Port">
+    <xs:restriction base="xs:int">
+      <xs:minInclusive value="1"/><xs:maxInclusive value="65535"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:complexType name="Item">
+    <xs:sequence>
+      <xs:element name="label" type="xs:string"/>
+      <xs:element name="color" type="Color" minOccurs="0"/>
+      <xs:element name="tag" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:string" use="required"/>
+  </xs:complexType>
+  <xs:element name="item" type="Item"/>
+</xs:schema>
+"""
+
+
+def test_parse_schema_structure():
+    schema = parse_schema(XSD)
+    assert schema.target_namespace == "urn:t"
+    item = schema.complex_types["Item"]
+    assert [el.name for el in item.sequence] == ["label", "color", "tag"]
+    assert item.sequence[2].max_occurs == UNBOUNDED
+    assert item.attribute("id").required
+    color = schema.simple_types["Color"]
+    assert color.enumeration == ["red", "blue"]
+    assert color.documentation == "A color."
+    # references resolved to objects
+    assert isinstance(item.sequence[1].type, XsdSimpleType)
+
+
+def test_simple_type_facets():
+    schema = parse_schema(XSD)
+    port = schema.simple_types["Port"]
+    assert port.check("80") == []
+    assert port.check("0") != []
+    assert port.check("70000") != []
+    assert port.check("notanumber") != []
+
+
+def test_builtin_lexical_roundtrip():
+    assert BuiltinType.INT.parse("42") == 42
+    assert BuiltinType.BOOLEAN.parse("true") is True
+    assert BuiltinType.BOOLEAN.format(False) == "false"
+    assert BuiltinType.DOUBLE.parse(BuiltinType.DOUBLE.format(1.5)) == 1.5
+    with pytest.raises(ValueError):
+        BuiltinType.BOOLEAN.parse("maybe")
+
+
+def test_schema_xsd_serialization_roundtrip():
+    original = parse_schema(XSD)
+    reparsed = parse_schema(original.serialize())
+    assert sorted(reparsed.complex_types) == sorted(original.complex_types)
+    assert sorted(reparsed.simple_types) == sorted(original.simple_types)
+    item = reparsed.complex_types["Item"]
+    assert [el.name for el in item.sequence] == ["label", "color", "tag"]
+    assert reparsed.simple_types["Color"].enumeration == ["red", "blue"]
+
+
+def test_programmatic_schema_with_unresolved_ref():
+    schema = XsdSchema(target_namespace="urn:p")
+    schema.add_complex_type(
+        XsdComplexType("Box", sequence=[XsdElement("part", "Part")])
+    )
+    with pytest.raises(KeyError):
+        schema.resolve()
+    schema.add_complex_type(XsdComplexType("Part", sequence=[XsdElement("n")]))
+    schema.resolve()
+    assert isinstance(schema.complex_types["Box"].sequence[0].type, XsdComplexType)
+
+
+def test_unknown_builtin_rejected():
+    with pytest.raises(ValueError):
+        BuiltinType.from_xsd_name("hexBinary")
+
+
+def test_parse_rejects_non_schema_document():
+    with pytest.raises(ValueError):
+        parse_schema("<notaschema/>")

@@ -1,0 +1,78 @@
+import pytest
+
+from repro.xmlutil.element import parse_xml
+from repro.xmlutil.schema import parse_schema
+from repro.xmlutil.validation import SchemaValidator
+
+XSD = """\
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Job">
+    <xs:sequence>
+      <xs:element name="name" type="xs:string"/>
+      <xs:element name="cpus" type="xs:int"/>
+      <xs:element name="flag" type="xs:string" minOccurs="0" maxOccurs="2"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:string" use="required"/>
+  </xs:complexType>
+  <xs:element name="job" type="Job"/>
+</xs:schema>
+"""
+
+
+@pytest.fixture
+def validator():
+    return SchemaValidator(parse_schema(XSD))
+
+
+def test_valid_instance(validator):
+    doc = parse_xml('<job id="1"><name>x</name><cpus>4</cpus><flag>a</flag></job>')
+    assert validator.validate(doc) == []
+    assert validator.is_valid(doc)
+
+
+def test_missing_required_attribute(validator):
+    doc = parse_xml("<job><name>x</name><cpus>4</cpus></job>")
+    issues = validator.validate(doc)
+    assert any("id" in issue.message for issue in issues)
+
+
+def test_wrong_type(validator):
+    doc = parse_xml('<job id="1"><name>x</name><cpus>four</cpus></job>')
+    issues = validator.validate(doc)
+    assert any("cpus" in issue.path for issue in issues)
+
+
+def test_sequence_order_enforced(validator):
+    doc = parse_xml('<job id="1"><cpus>4</cpus><name>x</name></job>')
+    assert validator.validate(doc) != []
+
+
+def test_max_occurs_enforced(validator):
+    doc = parse_xml(
+        '<job id="1"><name>x</name><cpus>1</cpus>'
+        "<flag>a</flag><flag>b</flag><flag>c</flag></job>"
+    )
+    issues = validator.validate(doc)
+    assert any("maxOccurs" in issue.message for issue in issues)
+
+
+def test_missing_required_element(validator):
+    doc = parse_xml('<job id="1"><name>x</name></job>')
+    issues = validator.validate(doc)
+    assert any("cpus" in issue.message for issue in issues)
+
+
+def test_unexpected_element(validator):
+    doc = parse_xml('<job id="1"><name>x</name><cpus>1</cpus><bogus/></job>')
+    issues = validator.validate(doc)
+    assert any("bogus" in issue.message for issue in issues)
+
+
+def test_unknown_root(validator):
+    assert validator.validate(parse_xml("<mystery/>")) != []
+
+
+def test_undeclared_attribute_flagged(validator):
+    doc = parse_xml('<job id="1" extra="x"><name>n</name><cpus>1</cpus></job>')
+    issues = validator.validate(doc)
+    assert any("extra" in issue.message for issue in issues)
