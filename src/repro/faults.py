@@ -30,9 +30,15 @@ class PortalError(Exception):
         detail: optional structured payload (service specific, but always
             expressible as string key/value pairs so it survives SOAP detail
             encoding).
+        retryable: whether a client may meaningfully retry the same request
+            (possibly against another provider of the same interface).  Part
+            of the common vocabulary: every provider's service classifies its
+            errors identically, so retry loops written against one provider
+            behave the same against all of them.
     """
 
     code = "Portal.Error"
+    retryable = False
 
     def __init__(self, message: str, detail: dict[str, str] | None = None):
         super().__init__(message)
@@ -90,6 +96,7 @@ class ResourceExhaustedError(PortalError):
     file didn't get transferred because the disk was full)."""
 
     code = "Portal.ResourceExhausted"
+    retryable = True
 
 
 class InvalidRequestError(PortalError):
@@ -103,6 +110,7 @@ class ServiceUnavailableError(PortalError):
     """A required backend (queuing system, SRB server, KDC) is unreachable."""
 
     code = "Portal.ServiceUnavailable"
+    retryable = True
 
 
 class JobError(PortalError):
@@ -115,6 +123,7 @@ class DataTransferError(PortalError):
     """A data management operation failed mid-transfer."""
 
     code = "Portal.DataTransfer"
+    retryable = True
 
 
 class ContextError(PortalError):
@@ -127,6 +136,18 @@ class DiscoveryError(PortalError):
     """Registry lookup/publication failure (UDDI or container hierarchy)."""
 
     code = "Portal.Discovery"
+
+
+class DeadlineExceededError(PortalError):
+    """The caller's deadline passed before the work completed.
+
+    Terminal by definition: the time budget is spent, so retrying the same
+    call cannot help.  Raised client-side when a retry loop runs out of time
+    and server-side when a request arrives with an already-expired deadline
+    header (the server sheds the doomed work instead of running it).
+    """
+
+    code = "Portal.DeadlineExceeded"
 
 
 class SchemaError(PortalError):
@@ -150,8 +171,14 @@ _CODE_REGISTRY: dict[str, type[PortalError]] = {
         ContextError,
         SchemaError,
         DiscoveryError,
+        DeadlineExceededError,
     )
 }
+
+
+def retryable_codes() -> dict[str, bool]:
+    """The full ``Portal.*`` code -> retryable classification table."""
+    return {code: cls.retryable for code, cls in sorted(_CODE_REGISTRY.items())}
 
 
 @dataclass

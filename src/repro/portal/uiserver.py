@@ -53,9 +53,14 @@ from repro.services.jobsubmit import (
     GlobusrunService,
     deploy_globusrun,
 )
+from repro.resilience.breaker import CircuitBreakerPolicy
+from repro.resilience.events import ResilienceLog
+from repro.resilience.failover import FailoverClient
+from repro.resilience.policy import RetryPolicy
 from repro.services.monitoring import (
     MONITORING_NAMESPACE,
     JobMonitoringService,
+    ResilienceEventsPortlet,
     deploy_monitoring,
 )
 from repro.soap.client import SoapClient
@@ -93,6 +98,7 @@ class PortalDeployment:
     context: ContextManagerService
     appws: ApplicationWebService
     monitoring: JobMonitoringService
+    resilience: ResilienceLog = field(default_factory=ResilienceLog)
     endpoints: dict[str, str] = field(default_factory=dict)
     users: dict[str, str] = field(default_factory=dict)
 
@@ -136,8 +142,11 @@ class PortalDeployment:
         discovery, discovery_url = deploy_discovery(network)
 
         # core services
+        resilience = ResilienceLog()
         globusrun, globusrun_url = deploy_globusrun(network, testbed, service_proxy)
-        monitoring, monitoring_url = deploy_monitoring(network, testbed)
+        monitoring, monitoring_url = deploy_monitoring(
+            network, testbed, resilience_log=resilience
+        )
         srb_ws, srb_ws_url = deploy_srb_service(network, scommands)
         context, context_url = deploy_context_manager(network)
         iu_bsg_url, iu_wsdl = deploy_batch_script_generator(
@@ -221,6 +230,7 @@ class PortalDeployment:
             context=context,
             appws=appws,
             monitoring=monitoring,
+            resilience=resilience,
             endpoints={
                 "auth": auth_url,
                 "uddi": uddi_url,
@@ -275,6 +285,48 @@ class UserInterfaceServer:
                 self.network, endpoint, namespaces[service], source=self.host
             )
         return self._clients[service]
+
+    def failover_client(
+        self,
+        interface_tmodel: str = "gce:BatchScriptGenerator",
+        namespace: str = BSG_NAMESPACE,
+        *,
+        sticky: bool = True,
+        timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_policy: CircuitBreakerPolicy | None = None,
+    ) -> FailoverClient:
+        """A proxy bound to *every* registered provider of an interface.
+
+        Providers are resolved from the deployment's UDDI registry over
+        SOAP, so a newly published implementation becomes a failover target
+        without portal code changes; retry/trip/failover events land in the
+        deployment-wide resilience log the monitoring portlet renders.
+        """
+        return FailoverClient.from_uddi(
+            self.network,
+            self.deployment.endpoints["uddi"],
+            interface_tmodel,
+            namespace,
+            source=self.host,
+            sticky=sticky,
+            timeout=timeout,
+            retry_policy=retry_policy or RetryPolicy(max_attempts=2),
+            breaker_policy=breaker_policy or CircuitBreakerPolicy(),
+            resilience_log=self.deployment.resilience,
+            service_name=interface_tmodel,
+        )
+
+    def add_resilience_portlet(self, *, tail: int = 20) -> ResilienceEventsPortlet:
+        """Register the resilience-events window with the portlet container."""
+        portlet = ResilienceEventsPortlet(
+            self.network,
+            self.deployment.endpoints["monitoring"],
+            source=self.host,
+            tail=tail,
+        )
+        self.container.add_local_portlet(portlet)
+        return portlet
 
     # -- login --------------------------------------------------------------------------
 

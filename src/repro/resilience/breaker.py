@@ -1,0 +1,146 @@
+"""Per-endpoint circuit breakers.
+
+A dead provider must not absorb a connect-latency round trip per request:
+after ``failure_threshold`` consecutive transport failures the breaker
+*opens* and requests to that host fail locally, instantly.  After a
+clock-driven ``cooldown`` it moves to *half-open* and lets a limited number
+of probe requests through; one success closes it, one failure re-opens it.
+
+The breaker lives at the transport layer (:class:`repro.transport.client.
+HttpClient` consults it per host), so every SOAP proxy sharing an HTTP
+client also shares breaker state — exactly what a portal's UI server wants
+when hundreds of user sessions fan out to the same provider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.transport.clock import SimClock
+from repro.transport.network import TransportError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class BreakerOpenError(TransportError):
+    """Raised locally (no wire traffic) when a host's breaker is open.
+
+    Subclasses :class:`TransportError` so existing transport-failure
+    handling — retry classification, failover rotation — applies unchanged.
+    """
+
+    def __init__(self, host: str, retry_at: float):
+        super().__init__(
+            f"circuit open for host {host!r} (next probe at t={retry_at:.3f})"
+        )
+        self.host = host
+        self.retry_at = retry_at
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Knobs for one breaker (shared by all breakers of one client)."""
+
+    failure_threshold: int = 3
+    cooldown: float = 30.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be at least 1")
+
+
+# Called on state transitions with (host, old_state, new_state).
+TripListener = Callable[[str, str, str], None]
+
+
+class CircuitBreaker:
+    """One host's breaker: closed / open / half-open, clock-driven cooldown."""
+
+    def __init__(
+        self,
+        host: str,
+        clock: SimClock,
+        policy: CircuitBreakerPolicy | None = None,
+        *,
+        on_transition: TripListener | None = None,
+    ):
+        self.host = host
+        self.clock = clock
+        self.policy = policy or CircuitBreakerPolicy()
+        self.on_transition = on_transition
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.trips = 0  # times the breaker opened
+        self._probes_in_flight = 0
+
+    # -- state machine -------------------------------------------------------
+
+    def _transition(self, new_state: str) -> None:
+        if new_state == self.state:
+            return
+        old = self.state
+        self.state = new_state
+        if new_state == OPEN:
+            self.trips += 1
+            self.opened_at = self.clock.now
+        if new_state in (CLOSED, HALF_OPEN):
+            self._probes_in_flight = 0
+        if self.on_transition is not None:
+            self.on_transition(self.host, old, new_state)
+
+    def allow(self) -> bool:
+        """Whether a request may go to the wire right now.
+
+        In the open state the cooldown is checked against the clock; once it
+        has elapsed the breaker moves to half-open and admits up to
+        ``half_open_probes`` concurrent probe requests.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock.now - self.opened_at >= self.policy.cooldown:
+                self._transition(HALF_OPEN)
+            else:
+                return False
+        # half-open: admit a bounded number of probes
+        if self._probes_in_flight < self.policy.half_open_probes:
+            self._probes_in_flight += 1
+            return True
+        return False
+
+    def check(self) -> None:
+        """Raise :class:`BreakerOpenError` unless :meth:`allow` admits."""
+        if not self.allow():
+            raise BreakerOpenError(
+                self.host, self.opened_at + self.policy.cooldown
+            )
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self._transition(OPEN)
+        elif (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._transition(OPEN)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(host={self.host!r}, state={self.state},"
+            f" failures={self.consecutive_failures}, trips={self.trips})"
+        )

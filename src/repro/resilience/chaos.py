@@ -1,0 +1,227 @@
+"""A seeded chaos harness over the virtual network.
+
+The ROADMAP asks for a portal that gracefully handles "as many scenarios as
+you can imagine"; this module imagines them on a schedule.  A
+:class:`ChaosMonkey` drives random fault injection — hosts taken down and
+repaired, transport-failure bursts, latency spikes, flapping — from a
+seeded PRNG against the :class:`~repro.transport.network.VirtualNetwork`,
+and a :class:`ChaosHarness` interleaves those faults with a workload.
+Everything runs on the virtual clock, so a chaos run with a fixed seed is
+*fully deterministic*: two runs produce identical
+:class:`~repro.faults.ErrorReport` streams, which is what makes resilience
+regressions diffable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.faults import PortalError
+from repro.resilience.events import ResilienceLog
+from repro.transport.network import TransportError, VirtualNetwork
+
+TAKE_DOWN = "Chaos.TakeDown"
+REPAIR = "Chaos.Repair"
+FAULT_BURST = "Chaos.FaultBurst"
+LATENCY_SPIKE = "Chaos.LatencySpike"
+FLAP = "Chaos.Flap"
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-step, per-host fault probabilities and magnitudes."""
+
+    p_take_down: float = 0.04
+    down_duration: tuple[float, float] = (2.0, 15.0)
+    p_fault_burst: float = 0.08
+    burst_size: tuple[int, int] = (1, 3)
+    p_latency_spike: float = 0.06
+    spike_magnitude: tuple[float, float] = (0.5, 3.0)
+    p_flap: float = 0.02
+    flap_phases: tuple[float, float] = (1.0, 4.0)
+
+
+class ChaosMonkey:
+    """Injects a random-but-reproducible fault schedule into the network.
+
+    Call :meth:`step` between workload iterations: due repairs are applied
+    first (a downed host comes back when its outage expires on the virtual
+    clock), then each target host independently draws one fault — or none —
+    for this step.  Hosts in ``protected`` are never touched (take the
+    registry down and nothing can discover the way around the outage).
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        hosts: list[str],
+        *,
+        seed: int = 0,
+        config: ChaosConfig | None = None,
+        log: ResilienceLog | None = None,
+        protected: tuple[str, ...] = (),
+    ):
+        self.network = network
+        self.clock = network.clock
+        self.hosts = sorted(set(hosts) - set(protected))
+        self.config = config or ChaosConfig()
+        # not `log or ...`: an empty ResilienceLog has len 0 and is falsy
+        self.log = log if log is not None else ResilienceLog()
+        self.faults_injected = 0
+        self._rng = random.Random(seed)
+        self._repairs: list[tuple[float, str]] = []  # (due time, host)
+        self._down: set[str] = set()
+
+    def _record(self, code: str, message: str, host: str, **detail: Any) -> None:
+        self.log.record(
+            code,
+            message,
+            service="chaos",
+            detail={"host": host, "t": f"{self.clock.now:.6f}",
+                    **{k: str(v) for k, v in detail.items()}},
+        )
+
+    def step(self) -> None:
+        """Apply due repairs, then draw this step's faults."""
+        now = self.clock.now
+        still_pending: list[tuple[float, str]] = []
+        for due, host in self._repairs:
+            if due <= now:
+                self.network.bring_up(host)
+                self._down.discard(host)
+                self._record(REPAIR, f"{host} repaired", host)
+            else:
+                still_pending.append((due, host))
+        self._repairs = still_pending
+
+        config = self.config
+        for host in self.hosts:
+            if host in self._down:
+                continue
+            draw = self._rng.random()
+            if draw < config.p_take_down:
+                duration = self._rng.uniform(*config.down_duration)
+                self.network.take_down(host)
+                self._down.add(host)
+                self._repairs.append((now + duration, host))
+                self.faults_injected += 1
+                self._record(
+                    TAKE_DOWN, f"{host} down for {duration:.3f}s", host,
+                    duration=f"{duration:.6f}",
+                )
+            elif draw < config.p_take_down + config.p_fault_burst:
+                size = self._rng.randint(*config.burst_size)
+                # don't stack bursts on a host that hasn't consumed the last
+                # one: a circuit breaker diverts traffic away from a faulty
+                # host, and unconsumed charges would otherwise pile up into
+                # a permanent outage no probe can ever clear
+                if self.network.pending_failures(host) == 0:
+                    self.network.fail_next(host, times=size)
+                    self.faults_injected += 1
+                    self._record(
+                        FAULT_BURST, f"{size} injected failures at {host}",
+                        host, size=size,
+                    )
+            elif draw < (
+                config.p_take_down + config.p_fault_burst + config.p_latency_spike
+            ):
+                magnitude = self._rng.uniform(*config.spike_magnitude)
+                self.network.set_latency_spike(host, 1.0, magnitude)
+                self.faults_injected += 1
+                self._record(
+                    LATENCY_SPIKE, f"+{magnitude:.3f}s latency at {host}", host,
+                    magnitude=f"{magnitude:.6f}",
+                )
+            else:
+                # clear any lingering spike so they don't accumulate forever
+                self.network.set_latency_spike(host, 0.0, 0.0)
+                threshold = (
+                    config.p_take_down
+                    + config.p_fault_burst
+                    + config.p_latency_spike
+                    + config.p_flap
+                )
+                if draw < threshold:
+                    up_for, down_for = config.flap_phases
+                    self.network.set_flapping(host, up_for, down_for)
+                    self._down.add(host)  # treat as faulted until repaired
+                    duration = self._rng.uniform(*config.down_duration)
+                    self._repairs.append((now + duration, host))
+                    self.faults_injected += 1
+                    self._record(
+                        FLAP,
+                        f"{host} flapping {up_for}/{down_for}s for {duration:.3f}s",
+                        host,
+                        duration=f"{duration:.6f}",
+                    )
+
+    def heal_all(self) -> None:
+        """Repair everything immediately (end-of-run cleanup)."""
+        for _, host in self._repairs:
+            self.network.bring_up(host)
+        self._repairs.clear()
+        for host in list(self._down):
+            self.network.bring_up(host)
+        self._down.clear()
+        for host in self.hosts:
+            self.network.set_latency_spike(host, 0.0, 0.0)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one harness run."""
+
+    iterations: int = 0
+    successes: int = 0
+    client_errors: list[str] = field(default_factory=list)
+    faults_injected: int = 0
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.iterations if self.iterations else 0.0
+
+
+class ChaosHarness:
+    """Runs a workload under a chaos monkey, collecting the event stream.
+
+    The workload is any callable taking the iteration index; client-visible
+    errors (portal errors and transport failures that escape the workload's
+    own resilience) are recorded, not raised — the report says how well the
+    resilience layer absorbed the schedule.
+    """
+
+    def __init__(self, network: VirtualNetwork, monkey: ChaosMonkey):
+        self.network = network
+        self.monkey = monkey
+        self.log = monkey.log
+
+    def run(
+        self, workload: Callable[[int], Any], iterations: int
+    ) -> ChaosReport:
+        report = ChaosReport(iterations=iterations)
+        for index in range(iterations):
+            self.monkey.step()
+            try:
+                workload(index)
+            except (PortalError, TransportError) as err:
+                code = (
+                    err.code if isinstance(err, PortalError)
+                    else type(err).__name__
+                )
+                report.client_errors.append(code)
+                self.log.record(
+                    "Chaos.ClientError",
+                    f"workload iteration {index} failed: {code}",
+                    service="chaos",
+                    operation=f"iteration-{index}",
+                    detail={"error": code},
+                )
+            else:
+                report.successes += 1
+        self.monkey.heal_all()
+        report.faults_injected = self.monkey.faults_injected
+        report.events = self.log.to_dicts()
+        return report

@@ -1,0 +1,66 @@
+"""The resilience event log.
+
+Every retry, breaker transition, failover rotation, and deadline shed is
+recorded as an :class:`repro.faults.ErrorReport` — the paper's normalized
+error record — with a ``Resilience.*`` code, so the monitoring service can
+relay the stream to portlets exactly like service-side errors.  The stream
+is also the determinism witness for the chaos harness: two runs with the
+same seed must produce identical logs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults import ErrorReport
+
+RETRY = "Resilience.Retry"
+BREAKER = "Resilience.Breaker"
+FAILOVER = "Resilience.Failover"
+DEADLINE = "Resilience.Deadline"
+GIVE_UP = "Resilience.GiveUp"
+
+
+class ResilienceLog:
+    """An append-only, observable stream of resilience events."""
+
+    def __init__(self):
+        self.events: list[ErrorReport] = []
+        self._subscribers: list[Callable[[ErrorReport], None]] = []
+
+    def subscribe(self, callback: Callable[[ErrorReport], None]) -> None:
+        self._subscribers.append(callback)
+
+    def record(
+        self,
+        code: str,
+        message: str,
+        *,
+        service: str = "",
+        operation: str = "",
+        detail: dict[str, str] | None = None,
+    ) -> ErrorReport:
+        report = ErrorReport(
+            code=code,
+            message=message,
+            service=service,
+            operation=operation,
+            detail={k: str(v) for k, v in (detail or {}).items()},
+        )
+        self.events.append(report)
+        for callback in self._subscribers:
+            callback(report)
+        return report
+
+    def by_code(self, code: str) -> list[ErrorReport]:
+        return [e for e in self.events if e.code == code]
+
+    def to_dicts(self) -> list[dict]:
+        """The full stream in comparable/serializable form."""
+        return [e.to_dict() for e in self.events]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,328 @@
+"""Discovery-driven failover across interoperable providers.
+
+The point of the paper's common WSDL interfaces (§3.4: the IU and SDSC
+batch-script generators) is that *any* provider's implementation can stand
+in for another.  :class:`FailoverClient` exploits that for availability: it
+resolves every provider of a service interface — from the UDDI registry,
+from WSIL inspection documents, or from the container-hierarchy discovery
+service — and rotates across them when one fails.  Terminal errors
+(``Portal.InvalidRequest`` and friends) are provider-independent and
+propagate immediately; retryable errors and transport failures rotate to
+the next provider.  A shared per-host circuit breaker keeps a dead
+provider from charging wire latency on every rotation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Sequence
+
+from repro.faults import DiscoveryError, PortalError, ServiceUnavailableError
+from repro.resilience.breaker import CircuitBreakerPolicy
+from repro.resilience.events import FAILOVER, GIVE_UP
+from repro.resilience.policy import Deadline, RetryPolicy, is_retryable
+from repro.soap.client import SoapClient
+from repro.transport.client import HttpClient
+from repro.transport.network import VirtualNetwork
+
+
+class FailoverClient:
+    """A dynamic RPC proxy bound to *all* providers of one interface.
+
+    - ``sticky=True`` (default): after a success the winning provider stays
+      preferred, so a dead provider stops seeing traffic entirely once the
+      first failover lands.
+    - ``sticky=False``: round-robin across providers per call (load
+      spreading); the circuit breaker then caps traffic to a dead provider
+      at its half-open probe rate.
+    - ``rounds``: how many full rotations across all providers to attempt
+      before giving up with ``Portal.ServiceUnavailable``.
+    - ``retry_policy`` applies *between* rounds (a full rotation that failed
+      everywhere backs off before trying again); within a round, rotation
+      itself is the retry.
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        endpoints: Sequence[str],
+        namespace: str,
+        *,
+        source: str = "client",
+        sticky: bool = True,
+        rounds: int = 2,
+        retry_policy: RetryPolicy | None = None,
+        breaker_policy: CircuitBreakerPolicy | None = None,
+        timeout: float | None = None,
+        resilience_log=None,
+        service_name: str = "",
+        retry_seed: int = 0,
+    ):
+        if not endpoints:
+            raise DiscoveryError("failover client needs at least one endpoint")
+        if rounds < 1:
+            raise ValueError("rounds must be at least 1")
+        self.network = network
+        self.clock = network.clock
+        self.namespace = namespace
+        self.endpoints = list(dict.fromkeys(endpoints))  # dedupe, keep order
+        self.sticky = sticky
+        self.rounds = rounds
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=rounds, base_delay=0.05
+        )
+        self.default_timeout = timeout
+        self.log = resilience_log
+        self.service_name = service_name or namespace
+        # one HTTP client for all providers: breakers are per host and shared
+        self.http = HttpClient(
+            network, source, breaker_policy=breaker_policy or CircuitBreakerPolicy()
+        )
+        self.clients = [
+            SoapClient(
+                network,
+                endpoint,
+                namespace,
+                http_client=self.http,
+                resilience_log=resilience_log,
+                service_name=self.service_name,
+                retry_seed=retry_seed + index,
+            )
+            for index, endpoint in enumerate(self.endpoints)
+        ]
+        self.calls_made = 0
+        self.failovers_performed = 0
+        self._preferred = 0
+        self._rotor = 0
+        self._rng = random.Random(retry_seed)
+
+    # -- provider resolution ---------------------------------------------------
+
+    @classmethod
+    def from_uddi(
+        cls,
+        network: VirtualNetwork,
+        uddi_endpoint: str,
+        interface_tmodel: str,
+        namespace: str,
+        *,
+        source: str = "client",
+        **kwargs: Any,
+    ) -> "FailoverClient":
+        """Resolve providers from a UDDI registry by interface tModel name.
+
+        This is the paper's cross-group query — "list services supported by
+        each group and search for services that support particular queuing
+        systems" — turned into an availability mechanism: every binding that
+        implements the common interface becomes a failover target.
+        """
+        from repro.uddi.service import UddiClient
+
+        uddi = UddiClient(network, uddi_endpoint, source=source)
+        tmodels = uddi.find_tmodel(interface_tmodel)
+        if not tmodels:
+            raise DiscoveryError(
+                f"no tModel matching {interface_tmodel!r} in the registry",
+                {"tModel": interface_tmodel},
+            )
+        endpoints: list[str] = []
+        for tmodel in tmodels:
+            for service in uddi.services_implementing(tmodel.key):
+                for binding in service.bindings:
+                    if tmodel.key in binding.tmodel_keys and binding.access_point:
+                        endpoints.append(binding.access_point)
+        if not endpoints:
+            raise DiscoveryError(
+                f"no bindings implement {interface_tmodel!r}",
+                {"tModel": interface_tmodel},
+            )
+        return cls(network, endpoints, namespace, source=source, **kwargs)
+
+    @classmethod
+    def from_wsil(
+        cls,
+        network: VirtualNetwork,
+        inspection_urls: str | Sequence[str],
+        namespace: str,
+        *,
+        source: str = "client",
+        name_contains: str = "",
+        **kwargs: Any,
+    ) -> "FailoverClient":
+        """Resolve providers by crawling WSIL inspection documents.
+
+        Each advertised service's WSDL is fetched to learn its concrete
+        endpoint; services whose WSDL is unreachable are skipped (WSIL is
+        the decentralized option — partial answers are expected).
+        """
+        from repro.discovery.wsil import inspect
+        from repro.transport.network import TransportError
+        from repro.wsdl.proxy import fetch_wsdl
+
+        urls = (
+            [inspection_urls]
+            if isinstance(inspection_urls, str)
+            else list(inspection_urls)
+        )
+        endpoints: list[str] = []
+        for url in urls:
+            for entry in inspect(network, url, source=source):
+                if name_contains and name_contains.lower() not in entry.name.lower():
+                    continue
+                if not entry.wsdl_location:
+                    continue
+                try:
+                    document = fetch_wsdl(network, entry.wsdl_location, source=source)
+                except (TransportError, ConnectionError, ValueError):
+                    continue
+                if document.target_namespace == namespace and document.endpoint:
+                    endpoints.append(document.endpoint)
+        if not endpoints:
+            raise DiscoveryError(
+                f"no WSIL services advertise namespace {namespace!r}",
+                {"namespace": namespace},
+            )
+        return cls(network, endpoints, namespace, source=source, **kwargs)
+
+    @classmethod
+    def from_discovery(
+        cls,
+        network: VirtualNetwork,
+        discovery_endpoint: str,
+        where: dict[str, str],
+        namespace: str,
+        *,
+        source: str = "client",
+        scope: str = "",
+        **kwargs: Any,
+    ) -> "FailoverClient":
+        """Resolve providers from the container-hierarchy discovery service
+        (every matching entry's ``endpoint`` metadatum becomes a target)."""
+        from repro.discovery.registry import DiscoveryClient
+
+        discovery = DiscoveryClient(network, discovery_endpoint, source=source)
+        endpoints: list[str] = []
+        for match in discovery.query(where, scope):
+            value = match.get("metadata", {}).get("endpoint")
+            if isinstance(value, list):
+                endpoints.extend(v for v in value if v)
+            elif value:
+                endpoints.append(value)
+        if not endpoints:
+            raise DiscoveryError(
+                f"no discovery entries matching {where!r} carry an endpoint",
+                {"where": ",".join(f"{k}={v}" for k, v in where.items())},
+            )
+        return cls(network, endpoints, namespace, source=source, **kwargs)
+
+    # -- calls -----------------------------------------------------------------
+
+    def breaker_state(self, endpoint: str) -> str:
+        """The breaker state for one endpoint's host (for tests/portlets)."""
+        from repro.transport.http import parse_url
+
+        breaker = self.http.breaker_for(parse_url(endpoint).host)
+        return breaker.state if breaker is not None else "closed"
+
+    def _start_index(self) -> int:
+        if self.sticky:
+            return self._preferred
+        index = self._rotor
+        self._rotor = (self._rotor + 1) % len(self.clients)
+        return index
+
+    def call(self, method: str, *params: Any, timeout: float | None = None) -> Any:
+        """Invoke ``method(*params)`` on whichever provider answers."""
+        budget = timeout if timeout is not None else self.default_timeout
+        deadline = Deadline.after(self.clock, budget) if budget is not None else None
+        self.calls_made += 1
+        count = len(self.clients)
+        start = self._start_index()
+        last_error: BaseException | None = None
+        attempts = 0
+        for round_number in range(self.rounds):
+            for offset in range(count):
+                index = (start + offset) % count
+                client = self.clients[index]
+                if deadline is not None and deadline.expired(self.clock):
+                    from repro.faults import DeadlineExceededError
+
+                    raise DeadlineExceededError(
+                        f"deadline passed during failover of {method!r}",
+                        {"method": method, "deadline": repr(deadline.at)},
+                    )
+                try:
+                    if deadline is not None:
+                        result = client.call(
+                            method, *params,
+                            timeout=deadline.remaining(self.clock),
+                        )
+                    else:
+                        result = client.call(method, *params)
+                except PortalError as err:
+                    if not err.retryable:
+                        raise  # provider-independent: every provider would refuse
+                    last_error = err
+                except Exception as exc:  # noqa: BLE001 - rotation boundary
+                    if not is_retryable(exc):
+                        raise
+                    last_error = exc
+                else:
+                    if self.sticky:
+                        self._preferred = index
+                    return result
+                attempts += 1
+                self._record_failover(
+                    method, client.endpoint,
+                    self.clients[(index + 1) % count].endpoint, last_error,
+                )
+                self.failovers_performed += 1
+            if round_number + 1 < self.rounds:
+                delay = self.retry_policy.backoff(round_number, self._rng)
+                if deadline is not None and self.clock.now + delay >= deadline.at:
+                    break
+                self.clock.advance(delay)
+        if self.log is not None:
+            self.log.record(
+                GIVE_UP,
+                f"all {count} providers failed for {method!r}",
+                service=self.service_name,
+                operation=method,
+                detail={"attempts": str(attempts)},
+            )
+        raise ServiceUnavailableError(
+            f"all {count} providers of {self.namespace} failed for {method!r}",
+            {
+                "method": method,
+                "endpoints": ",".join(self.endpoints),
+                "lastError": type(last_error).__name__ if last_error else "",
+            },
+        )
+
+    def _record_failover(
+        self,
+        method: str,
+        from_endpoint: str,
+        to_endpoint: str,
+        error: BaseException | None,
+    ) -> None:
+        if self.log is None:
+            return
+        code = error.code if isinstance(error, PortalError) else type(error).__name__
+        self.log.record(
+            FAILOVER,
+            f"{method!r} failed on {from_endpoint}; rotating to {to_endpoint}",
+            service=self.service_name,
+            operation=method,
+            detail={"from": from_endpoint, "to": to_endpoint, "error": code},
+        )
+
+    def __getattr__(self, name: str) -> Callable[..., Any]:
+        if name.startswith("_"):
+            raise AttributeError(name)
+
+        def invoke(*params: Any) -> Any:
+            return self.call(name, *params)
+
+        invoke.__name__ = name
+        return invoke

@@ -685,6 +685,27 @@ def deploy_context_manager(
     return impl, soap.mount(server, "/context")
 
 
+def deploy_replicated_context_manager(
+    network: VirtualNetwork,
+    hosts: tuple[str, ...] = ("context1.iu.edu", "context2.sdsc.edu"),
+    *,
+    store: ContextStore | None = None,
+) -> tuple[ContextStore, list[str]]:
+    """Deploy the context manager on several hosts over one shared store.
+
+    The replicas are interchangeable front-ends — the paper's provider
+    substitution applied to a *stateful* service: because state lives in the
+    shared store, a :class:`repro.resilience.failover.FailoverClient` can
+    rotate to a surviving replica mid-session without losing contexts.
+    Returns (the shared store, one endpoint URL per replica).
+    """
+    store = store or ContextStore(network.clock)
+    endpoints = [
+        deploy_context_manager(network, host, store=store)[1] for host in hosts
+    ]
+    return store, endpoints
+
+
 def deploy_decomposed_context_services(
     network: VirtualNetwork,
     host: str = "contexts.iu.edu",

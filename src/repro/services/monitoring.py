@@ -24,10 +24,17 @@ MONITORING_NAMESPACE = "urn:gce:job-monitoring"
 
 
 class JobMonitoringService:
-    """Aggregated, read-only views over every testbed scheduler."""
+    """Aggregated, read-only views over every testbed scheduler, plus the
+    portal-wide resilience event stream (retries, breaker trips, failovers
+    — see :mod:`repro.resilience.events`)."""
 
-    def __init__(self, resources: dict[str, ComputeResource]):
+    def __init__(
+        self,
+        resources: dict[str, ComputeResource],
+        resilience_log=None,
+    ):
         self.resources = resources
+        self.resilience_log = resilience_log
         self.queries_served = 0
 
     def _resource(self, host: str) -> ComputeResource:
@@ -83,14 +90,39 @@ class JobMonitoringService:
                     rows.append(record.summary())
         return rows
 
+    def resilience_events(self, limit: int = 0) -> list[dict[str, Any]]:
+        """The portal's resilience event stream, most recent last.
+
+        ``limit`` > 0 returns only the trailing *limit* events.
+        """
+        self.queries_served += 1
+        if self.resilience_log is None:
+            return []
+        events = self.resilience_log.to_dicts()
+        return events[-int(limit):] if limit and int(limit) > 0 else events
+
+    def resilience_summary(self) -> list[dict[str, Any]]:
+        """Event counts grouped by code (the portlet's headline numbers)."""
+        self.queries_served += 1
+        if self.resilience_log is None:
+            return []
+        counts: dict[str, int] = {}
+        for event in self.resilience_log.events:
+            counts[event.code] = counts.get(event.code, 0) + 1
+        return [
+            {"code": code, "count": counts[code]} for code in sorted(counts)
+        ]
+
 
 def deploy_monitoring(
     network: VirtualNetwork,
     resources: dict[str, ComputeResource],
     host: str = "monitor.gridportal.org",
+    *,
+    resilience_log=None,
 ) -> tuple[JobMonitoringService, str]:
     """Stand up the monitoring service; returns (impl, endpoint URL)."""
-    impl = JobMonitoringService(resources)
+    impl = JobMonitoringService(resources, resilience_log=resilience_log)
     server = HttpServer(host, network)
     soap = SoapService("JobMonitoring", MONITORING_NAMESPACE)
     soap.expose(impl.hosts)
@@ -98,6 +130,8 @@ def deploy_monitoring(
     soap.expose(impl.qstat)
     soap.expose(impl.job_status)
     soap.expose(impl.user_jobs)
+    soap.expose(impl.resilience_events)
+    soap.expose(impl.resilience_summary)
     return impl, soap.mount(server, "/monitor")
 
 
@@ -129,6 +163,49 @@ class GridLoadPortlet(Portlet):
                 f"<tr><td>{row['host']}</td><td>{row['system']}</td>"
                 f"<td>{row['free_cpus']}/{row['cpus']}</td>"
                 f"<td>{row['running']}</td><td>{row['queued']}</td></tr>"
+            )
+        cells.append("</table>")
+        return "".join(cells)
+
+
+class ResilienceEventsPortlet(Portlet):
+    """The resilience window: headline counts by event code plus the tail of
+    the retry/breaker-trip/failover stream, fetched over SOAP from the
+    monitoring service."""
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        endpoint: str,
+        *,
+        name: str = "resilience",
+        title: str = "Resilience events",
+        source: str = "portal",
+        tail: int = 20,
+    ):
+        super().__init__(name, title)
+        self.tail = tail
+        self._client = SoapClient(
+            network, endpoint, MONITORING_NAMESPACE, source=source
+        )
+
+    def render(self, container_base: str) -> str:
+        summary = self._client.call("resilience_summary")
+        events = self._client.call("resilience_events", self.tail)
+        cells = ['<table class="resilience-summary">'
+                 "<tr><th>event</th><th>count</th></tr>"]
+        for row in summary:
+            cells.append(
+                f"<tr><td>{row['code']}</td><td>{row['count']}</td></tr>"
+            )
+        cells.append("</table>")
+        cells.append('<table class="resilience-events">'
+                     "<tr><th>code</th><th>service</th><th>operation</th>"
+                     "<th>message</th></tr>")
+        for event in events:
+            cells.append(
+                f"<tr><td>{event['code']}</td><td>{event['service']}</td>"
+                f"<td>{event['operation']}</td><td>{event['message']}</td></tr>"
             )
         cells.append("</table>")
         return "".join(cells)

@@ -6,12 +6,22 @@ call into a request envelope, posts it over the virtual network, decodes the
 response, and re-raises the provider's portal errors locally.  Header
 providers let the security layer attach signed SAML assertions to every
 outgoing request without the application code knowing (§4).
+
+The proxy is also where client-side resilience lives: an optional
+:class:`~repro.resilience.policy.RetryPolicy` re-issues calls that failed
+with a *retryable* error (transport failures and ``PortalError.retryable``
+faults — the paper's common vocabulary makes the classification portable
+across providers), backing off by advancing the virtual clock; an optional
+per-call timeout stamps a deadline header on the request so the server can
+shed work whose caller has already given up.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable
 
+from repro.faults import DeadlineExceededError
 from repro.soap.message import (
     SoapEnvelope,
     SoapFault,
@@ -33,6 +43,9 @@ class SoapClient:
     Calls can be made explicitly (``client.call("ls", "/home")``) or through
     attribute magic (``client.ls("/home")``) — the latter reads like the
     generated client stubs the paper's teams used.
+
+    Without a ``retry_policy`` the proxy behaves exactly like the seed: one
+    attempt, first error wins.
     """
 
     def __init__(
@@ -43,24 +56,69 @@ class SoapClient:
         *,
         source: str = "client",
         http_client: HttpClient | None = None,
+        retry_policy=None,
+        breaker_policy=None,
+        timeout: float | None = None,
+        resilience_log=None,
+        service_name: str = "",
+        retry_seed: int = 0,
     ):
+        self.network = network
+        self.clock = network.clock
         self.endpoint = endpoint
         self.namespace = namespace
-        self.http = http_client or HttpClient(network, source)
+        self.retry_policy = retry_policy
+        self.default_timeout = timeout
+        self.log = resilience_log
+        self.service_name = service_name or endpoint
+        self.http = http_client or HttpClient(
+            network, source, breaker_policy=breaker_policy
+        )
+        if (
+            http_client is not None
+            and breaker_policy is not None
+            and http_client.breaker_policy is None
+        ):
+            http_client.breaker_policy = breaker_policy
+        if self.log is not None:
+            self.http.breaker_listener = self._record_breaker_transition
         self.header_providers: list[HeaderProvider] = []
         self.last_response: SoapEnvelope | None = None
         self.calls_made = 0
+        self.retries_performed = 0
+        self._retry_rng = random.Random(retry_seed)
 
     def add_header_provider(self, provider: HeaderProvider) -> None:
         self.header_providers.append(provider)
 
-    def call(self, method: str, *params: Any) -> Any:
-        """Invoke ``method(*params)`` on the remote service."""
+    # -- resilience plumbing --------------------------------------------------
+
+    def _record_breaker_transition(self, host: str, old: str, new: str) -> None:
+        from repro.resilience import events
+
+        self.log.record(
+            events.BREAKER,
+            f"breaker for {host!r}: {old} -> {new}",
+            service=self.service_name,
+            detail={"host": host, "from": old, "to": new},
+        )
+
+    @staticmethod
+    def _error_code(exc: BaseException) -> str:
+        from repro.faults import PortalError
+
+        return exc.code if isinstance(exc, PortalError) else type(exc).__name__
+
+    # -- the call path --------------------------------------------------------
+
+    def _call_once(self, method: str, params: list[Any], deadline) -> Any:
+        """One request/response round trip (the seed's whole call path)."""
         headers: list[XmlElement] = []
-        param_list = list(params)
         for provider in self.header_providers:
-            headers.extend(provider(method, param_list))
-        envelope = request_envelope(self.namespace, method, param_list, headers)
+            headers.extend(provider(method, params))
+        if deadline is not None:
+            headers.append(deadline.to_header())
+        envelope = request_envelope(self.namespace, method, params, headers)
         response = self.http.post(
             self.endpoint,
             envelope.serialize(),
@@ -81,6 +139,94 @@ class SoapClient:
         from repro.soap.encoding import decode_value
 
         return decode_value(return_node)
+
+    def call(self, method: str, *params: Any, timeout: float | None = None) -> Any:
+        """Invoke ``method(*params)`` on the remote service.
+
+        ``timeout`` (virtual seconds, default: the client's ``timeout``)
+        bounds the whole call including retries and backoff; it travels to
+        the server as a deadline header.
+        """
+        from repro.resilience.policy import NO_RETRY, Deadline, is_retryable
+
+        policy = self.retry_policy or NO_RETRY
+        budget = timeout if timeout is not None else self.default_timeout
+        deadline = Deadline.after(self.clock, budget) if budget is not None else None
+        param_list = list(params)
+        attempts = 0
+        while True:
+            if deadline is not None and deadline.expired(self.clock):
+                raise self._deadline_error(method, deadline)
+            try:
+                return self._call_once(method, param_list, deadline)
+            except Exception as exc:
+                attempts += 1
+                if not is_retryable(exc):
+                    raise
+                if not policy.retries_remaining(attempts):
+                    # a policy-less client gave nothing up — it made its one
+                    # attempt, and any rotation above logs its own events
+                    if self.retry_policy is not None:
+                        self._record_give_up(method, attempts, exc)
+                    raise
+                delay = policy.backoff(attempts - 1, self._retry_rng)
+                if deadline is not None and self.clock.now + delay >= deadline.at:
+                    raise self._deadline_error(method, deadline) from exc
+                self._record_retry(method, attempts, delay, exc)
+                self.retries_performed += 1
+                self.clock.advance(delay)
+
+    def _deadline_error(self, method: str, deadline) -> DeadlineExceededError:
+        err = DeadlineExceededError(
+            f"deadline passed calling {method!r} on {self.endpoint}",
+            {"method": method, "deadline": repr(deadline.at)},
+        )
+        if self.log is not None:
+            from repro.resilience import events
+
+            self.log.record(
+                events.DEADLINE,
+                err.message,
+                service=self.service_name,
+                operation=method,
+                detail={"endpoint": self.endpoint},
+            )
+        return err
+
+    def _record_retry(
+        self, method: str, attempts: int, delay: float, exc: BaseException
+    ) -> None:
+        if self.log is None:
+            return
+        from repro.resilience import events
+
+        self.log.record(
+            events.RETRY,
+            f"retry {attempts} of {method!r} after {self._error_code(exc)}",
+            service=self.service_name,
+            operation=method,
+            detail={
+                "endpoint": self.endpoint,
+                "attempt": str(attempts),
+                "backoff": f"{delay:.6f}",
+                "error": self._error_code(exc),
+            },
+        )
+
+    def _record_give_up(
+        self, method: str, attempts: int, exc: BaseException
+    ) -> None:
+        if self.log is None:
+            return
+        from repro.resilience import events
+
+        self.log.record(
+            events.GIVE_UP,
+            f"giving up on {method!r} after {attempts} attempts",
+            service=self.service_name,
+            operation=method,
+            detail={"endpoint": self.endpoint, "error": self._error_code(exc)},
+        )
 
     def __getattr__(self, name: str) -> Callable[..., Any]:
         if name.startswith("_"):

@@ -53,6 +53,9 @@ class SoapService:
         self.interceptors: list[Interceptor] = []
         self.calls_served = 0
         self.faults_returned = 0
+        #: the host clock (set by :meth:`mount`); enables deadline shedding
+        self.clock = None
+        self.requests_shed = 0
 
     # -- registration ----------------------------------------------------------
 
@@ -98,6 +101,7 @@ class SoapService:
         included — never raising)."""
         method_name = envelope.body.tag.local
         try:
+            self._shed_if_expired(method_name, envelope)
             exposed = self.methods.get(method_name)
             if exposed is None:
                 raise InvalidRequestError(
@@ -124,6 +128,27 @@ class SoapService:
         self.calls_served += 1
         return response_envelope(self.namespace, method_name, result)
 
+    def _shed_if_expired(self, method_name: str, envelope: SoapEnvelope) -> None:
+        """Reject work whose caller's deadline has already passed.
+
+        The client stamps each request with an absolute virtual-time
+        deadline header (:mod:`repro.resilience.policy`); by the time the
+        request has crossed the wire that budget may be spent, and running
+        the method would only produce an answer nobody is waiting for.
+        """
+        if self.clock is None or not envelope.headers:
+            return
+        from repro.faults import DeadlineExceededError
+        from repro.resilience.policy import Deadline
+
+        deadline = Deadline.from_headers(envelope.headers)
+        if deadline is not None and deadline.expired(self.clock):
+            self.requests_shed += 1
+            raise DeadlineExceededError(
+                f"deadline passed before {method_name!r} started; shedding",
+                {"method": method_name, "deadline": repr(deadline.at)},
+            )
+
     # -- HTTP endpoint -------------------------------------------------------------
 
     def handle_http(self, request: HttpRequest) -> HttpResponse:
@@ -149,4 +174,6 @@ class SoapService:
     def mount(self, server: HttpServer, path: str = "/soap") -> str:
         """Mount this service on a host; returns the endpoint URL."""
         server.mount(path, self.handle_http)
+        if server.network is not None:
+            self.clock = server.network.clock
         return f"http://{server.host}{path}"

@@ -1,4 +1,5 @@
-"""An HTTP client with keep-alive connections and cookie sessions."""
+"""An HTTP client with keep-alive connections, cookie sessions, and
+per-endpoint circuit breakers."""
 
 from __future__ import annotations
 
@@ -9,7 +10,7 @@ from repro.transport.http import (
     encode_query,
     parse_url,
 )
-from repro.transport.network import VirtualNetwork
+from repro.transport.network import TransportError, VirtualNetwork
 
 
 class HttpClient:
@@ -17,9 +18,15 @@ class HttpClient:
 
     - Keep-alive: the first request to a host pays connection setup; later
       requests on the same client reuse the connection until :meth:`close`.
+      A transport failure drops the connection, so the next attempt pays
+      setup again (retries are not free).
     - Cookies: ``Set-Cookie`` response headers are stored per host and sent
       back as ``Cookie`` — this is how :class:`repro.portlets.WebFormPortlet`
       "maintains session state with remote Tomcat servers".
+    - Circuit breakers: with a :class:`repro.resilience.breaker.
+      CircuitBreakerPolicy`, each host gets a breaker; when it is open,
+      requests fail locally with :class:`repro.resilience.breaker.
+      BreakerOpenError` instead of paying wire latency to a dead provider.
     """
 
     def __init__(
@@ -28,10 +35,15 @@ class HttpClient:
         source: str = "client",
         *,
         keep_alive: bool = True,
+        breaker_policy=None,
     ):
         self.network = network
         self.source = source
         self.keep_alive = keep_alive
+        self.breaker_policy = breaker_policy
+        self.breakers: dict[str, object] = {}
+        #: called with (host, old_state, new_state) on breaker transitions
+        self.breaker_listener = None
         self._open_connections: set[str] = set()
         self._cookies: dict[str, dict[str, str]] = {}
 
@@ -57,6 +69,30 @@ class HttpClient:
                 name, value = part.split("=", 1)
                 jar[name] = value
 
+    # -- circuit breakers -----------------------------------------------------
+
+    def breaker_for(self, host: str):
+        """The host's breaker (created on first use), or ``None`` when no
+        breaker policy is configured."""
+        if self.breaker_policy is None:
+            return None
+        breaker = self.breakers.get(host)
+        if breaker is None:
+            from repro.resilience.breaker import CircuitBreaker
+
+            breaker = CircuitBreaker(
+                host,
+                self.network.clock,
+                self.breaker_policy,
+                on_transition=self._on_breaker_transition,
+            )
+            self.breakers[host] = breaker
+        return breaker
+
+    def _on_breaker_transition(self, host: str, old: str, new: str) -> None:
+        if self.breaker_listener is not None:
+            self.breaker_listener(host, old, new)
+
     # -- requests ------------------------------------------------------------
 
     def request(
@@ -67,15 +103,27 @@ class HttpClient:
         headers: dict[str, str] | None = None,
     ) -> HttpResponse:
         target = parse_url(url) if isinstance(url, str) else url
+        breaker = self.breaker_for(target.host)
+        if breaker is not None:
+            breaker.check()
         all_headers = dict(headers or {})
         jar = self._cookies.get(target.host)
         if jar:
             all_headers["Cookie"] = "; ".join(f"{k}={v}" for k, v in jar.items())
         request = HttpRequest(method, target, all_headers, body)
         fresh = not (self.keep_alive and target.host in self._open_connections)
-        response = self.network.send(
-            request, source=self.source, new_connection=fresh
-        )
+        try:
+            response = self.network.send(
+                request, source=self.source, new_connection=fresh
+            )
+        except TransportError:
+            # the connection is gone; a retry pays setup again
+            self._open_connections.discard(target.host)
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
         if self.keep_alive:
             self._open_connections.add(target.host)
         self._store_cookies(target.host, response)

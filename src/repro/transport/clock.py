@@ -10,10 +10,16 @@ from __future__ import annotations
 
 
 class SimClock:
-    """Monotonic virtual time in seconds."""
+    """Monotonic virtual time in seconds.
+
+    ``advance`` uses Kahan (compensated) summation so that millions of tiny
+    increments — a retry policy backing off in 1 ms steps, say — do not
+    accumulate float rounding drift relative to the mathematically exact sum.
+    """
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
+        self._comp = 0.0  # Kahan compensation term
 
     @property
     def now(self) -> float:
@@ -23,11 +29,26 @@ class SimClock:
         """Advance time by a non-negative duration; returns the new time."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds}")
-        self._now += seconds
+        y = seconds - self._comp
+        t = self._now + y
+        self._comp = (t - self._now) - y
+        # compensation can momentarily make t dip below now by < 1 ulp;
+        # clamp so time never runs backwards
+        self._now = t if t >= self._now else self._now
+        return self._now
+
+    def sleep_until(self, t: float) -> float:
+        """Advance to absolute time *t* (no-op if *t* is in the past);
+        returns the new time.  The virtual analogue of sleeping until a
+        deadline or a breaker cooldown expiry."""
+        if t > self._now:
+            self._now = float(t)
+            self._comp = 0.0
         return self._now
 
     def reset(self, start: float = 0.0) -> None:
         self._now = float(start)
+        self._comp = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(now={self._now:.6f})"

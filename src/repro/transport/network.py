@@ -34,7 +34,14 @@ class LinkSpec:
 
 @dataclass
 class WireStats:
-    """Cumulative wire accounting for benchmarks and tests."""
+    """Cumulative wire accounting for benchmarks and tests.
+
+    ``requests`` / ``per_host_requests`` count *attempts* to any registered
+    host, including ones that fail in flight (host down, injected fault,
+    partition) — that is what lets tests assert a circuit breaker caps
+    traffic to a dead provider.  ``bytes_*`` only accumulate for delivered
+    messages.
+    """
 
     connections: int = 0
     requests: int = 0
@@ -86,6 +93,10 @@ class VirtualNetwork:
         self._links: dict[tuple[str, str], LinkSpec] = {}
         self._down: set[str] = set()
         self._fail_next: dict[str, int] = {}
+        self._error_rate: dict[str, float] = {}
+        self._latency_spike: dict[str, tuple[float, float]] = {}
+        self._flapping: dict[str, tuple[float, float, float]] = {}
+        self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
         self._jitter = 0.0
         self._rng = random.Random(seed)
 
@@ -118,15 +129,93 @@ class VirtualNetwork:
     # -- failure injection -----------------------------------------------------
 
     def take_down(self, host: str) -> None:
-        """Make a host unreachable until :meth:`bring_up`."""
+        """Make a host unreachable until :meth:`bring_up`.  Idempotent:
+        taking a down host down again is a no-op."""
         self._down.add(host)
 
     def bring_up(self, host: str) -> None:
+        """Restore a host (idempotent), cancelling any flapping schedule."""
         self._down.discard(host)
+        self._flapping.pop(host, None)
 
     def fail_next(self, host: str, times: int = 1) -> None:
-        """Inject *times* transport failures for the next requests to host."""
-        self._fail_next[host] = self._fail_next.get(host, 0) + times
+        """Inject *times* transport failures for the next requests to host.
+
+        Counts decrement once per failed request and never go negative;
+        injecting zero failures is a no-op rather than clearing prior ones.
+        """
+        if times < 0:
+            raise ValueError(f"cannot inject {times} failures")
+        if times:
+            self._fail_next[host] = self._fail_next.get(host, 0) + times
+
+    def pending_failures(self, host: str) -> int:
+        """How many injected :meth:`fail_next` failures are still queued."""
+        return self._fail_next.get(host, 0)
+
+    def set_error_rate(self, host: str, rate: float) -> None:
+        """Fail each request to *host* independently with probability *rate*
+        (drawn from the seeded PRNG — deterministic across runs).  Rate 0
+        clears the fault."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"error rate must be in [0, 1]: {rate}")
+        if rate:
+            self._error_rate[host] = rate
+        else:
+            self._error_rate.pop(host, None)
+
+    def set_latency_spike(
+        self, host: str, probability: float, magnitude: float
+    ) -> None:
+        """With *probability*, add *magnitude* virtual seconds to a request
+        to *host* — a garbage-collection pause or queue blip, not an error.
+        Probability 0 clears the fault."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"spike probability must be in [0, 1]: {probability}")
+        if probability and magnitude > 0:
+            self._latency_spike[host] = (probability, magnitude)
+        else:
+            self._latency_spike.pop(host, None)
+
+    def set_flapping(
+        self, host: str, up_for: float, down_for: float, start: float | None = None
+    ) -> None:
+        """Make a host alternate reachable/unreachable on a clock-driven
+        cycle: up for *up_for* seconds, then down for *down_for*, repeating
+        from *start* (default: now).  :meth:`bring_up` cancels the schedule."""
+        if up_for <= 0 or down_for <= 0:
+            raise ValueError("flap phases must be positive")
+        base = self.clock.now if start is None else float(start)
+        self._flapping[host] = (up_for, down_for, base)
+
+    def partition(self, side_a: set[str], side_b: set[str]) -> None:
+        """Cut all traffic between two groups of hosts (both directions).
+        Client sources count as hosts for membership purposes."""
+        self._partitions.append((frozenset(side_a), frozenset(side_b)))
+
+    def heal_partitions(self) -> None:
+        """Remove every network partition."""
+        self._partitions.clear()
+
+    def is_up(self, host: str) -> bool:
+        """Whether the host is currently reachable (down set + flap phase)."""
+        if host in self._down:
+            return False
+        flap = self._flapping.get(host)
+        if flap is not None:
+            up_for, down_for, base = flap
+            phase = (self.clock.now - base) % (up_for + down_for)
+            if phase >= up_for:
+                return False
+        return True
+
+    def _partitioned(self, source: str, host: str) -> bool:
+        for side_a, side_b in self._partitions:
+            if (source in side_a and host in side_b) or (
+                source in side_b and host in side_a
+            ):
+                return True
+        return False
 
     # -- the wire ------------------------------------------------------------
 
@@ -146,32 +235,52 @@ class VirtualNetwork:
         host = request.url.host
         if host not in self._hosts:
             raise TransportError(f"no route to host {host!r}")
-        if host in self._down:
-            raise TransportError(f"host {host!r} is down")
-        if self._fail_next.get(host, 0) > 0:
-            self._fail_next[host] -= 1
-            raise TransportError(f"injected transport failure contacting {host!r}")
-
-        link = self.link(source, host)
-        elapsed = 0.0
-        if new_connection:
-            self.stats.connections += 1
-            elapsed += link.connect_latency
-        elapsed += link.transfer_time(request.size)
-
         self.stats.requests += 1
-        self.stats.bytes_sent += request.size
         self.stats.per_host_requests[host] = (
             self.stats.per_host_requests.get(host, 0) + 1
         )
+        if not self.is_up(host):
+            raise TransportError(f"host {host!r} is down")
+        if self._partitioned(source, host):
+            raise TransportError(
+                f"network partition between {source!r} and {host!r}"
+            )
+        remaining = self._fail_next.get(host, 0)
+        if remaining > 0:
+            if remaining == 1:
+                self._fail_next.pop(host)
+            else:
+                self._fail_next[host] = remaining - 1
+            raise TransportError(f"injected transport failure contacting {host!r}")
+        error_rate = self._error_rate.get(host, 0.0)
+        if error_rate and self._rng.random() < error_rate:
+            raise TransportError(f"transient transport failure contacting {host!r}")
+
+        link = self.link(source, host)
+        forward = 0.0
+        if new_connection:
+            self.stats.connections += 1
+            forward += link.connect_latency
+        forward += link.transfer_time(request.size)
+        spike = self._latency_spike.get(host)
+        if spike is not None and self._rng.random() < spike[0]:
+            forward += spike[1]
+        factor = (
+            1.0 + self._rng.uniform(-self._jitter, self._jitter)
+            if self._jitter
+            else 1.0
+        )
+
+        # the clock advances by the forward-path time *before* the handler
+        # runs, so the server observes the request's true arrival time (this
+        # is what lets it shed work whose deadline passed in flight)
+        self.clock.advance(forward * factor)
+        self.stats.bytes_sent += request.size
 
         response = self._hosts[host](request)
 
-        back = self.link(host, source)
-        elapsed += back.transfer_time(response.size)
-        if self._jitter:
-            elapsed *= 1.0 + self._rng.uniform(-self._jitter, self._jitter)
-        self.clock.advance(elapsed)
+        back = self.link(host, source).transfer_time(response.size)
+        self.clock.advance(back * factor)
         self.stats.bytes_received += response.size
         return response
 

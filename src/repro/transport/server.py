@@ -20,6 +20,7 @@ class HttpServer:
 
     def __init__(self, host: str, network: VirtualNetwork | None = None):
         self.host = host
+        self.network = network
         self._routes: dict[str, RouteHandler] = {}
         if network is not None:
             network.register(host, self)

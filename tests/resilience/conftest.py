@@ -1,0 +1,58 @@
+"""Fixtures for the resilience suite: the IU/SDSC batch-script pair with
+both discovery systems populated, on a fresh virtual network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery.registry import deploy_discovery
+from repro.services.batchscript import (
+    BSG_NAMESPACE,
+    IuBatchScriptGenerator,
+    SdscBatchScriptGenerator,
+    deploy_batch_script_generator,
+)
+from repro.transport.network import VirtualNetwork
+from repro.uddi.model import BindingTemplate, BusinessEntity, BusinessService, TModel
+from repro.uddi.service import deploy_uddi
+
+IU_HOST = "bsg.iu.edu"
+SDSC_HOST = "bsg.sdsc.edu"
+
+
+@pytest.fixture
+def bsg_pair():
+    """(network, [iu endpoint, sdsc endpoint], uddi endpoint, discovery
+    endpoint) with both providers registered in UDDI and the container
+    hierarchy under the common interface."""
+    network = VirtualNetwork()
+    iu_url, _ = deploy_batch_script_generator(
+        network, IuBatchScriptGenerator(), IU_HOST
+    )
+    sdsc_url, _ = deploy_batch_script_generator(
+        network, SdscBatchScriptGenerator(), SDSC_HOST
+    )
+
+    uddi, uddi_url = deploy_uddi(network)
+    tmodel = uddi.save_tmodel(TModel("", "gce:BatchScriptGenerator", "common BSG"))
+    for name, url in (("IU", iu_url), ("SDSC", sdsc_url)):
+        entity = uddi.save_business(BusinessEntity("", name))
+        uddi.save_service(
+            BusinessService(
+                "", entity.key, f"{name} Batch Script Generator",
+                bindings=[BindingTemplate("", "", url, [tmodel.key], url + ".wsdl")],
+            )
+        )
+
+    registry, discovery_url = deploy_discovery(network)
+    for name, url, schedulers in (
+        ("IU", iu_url, ["PBS", "GRD"]),
+        ("SDSC", sdsc_url, ["LSF", "NQS"]),
+    ):
+        registry.register_service(
+            f"portals/{name}/script-generators/bsg",
+            {"interface": BSG_NAMESPACE, "endpoint": url,
+             "queuing-system": schedulers},
+        )
+
+    return network, [iu_url, sdsc_url], uddi_url, discovery_url

@@ -1,0 +1,166 @@
+"""The circuit breaker state machine and its HttpClient integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerOpenError,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+)
+from repro.transport.client import HttpClient
+from repro.transport.clock import SimClock
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.network import TransportError, VirtualNetwork
+
+
+def test_opens_after_threshold():
+    clock = SimClock()
+    breaker = CircuitBreaker("h", clock, CircuitBreakerPolicy(failure_threshold=3))
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 1
+    assert not breaker.allow()
+
+
+def test_success_resets_failure_count():
+    clock = SimClock()
+    breaker = CircuitBreaker("h", clock, CircuitBreakerPolicy(failure_threshold=2))
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_half_open_after_cooldown_then_close_on_success():
+    clock = SimClock()
+    policy = CircuitBreakerPolicy(failure_threshold=1, cooldown=10.0)
+    breaker = CircuitBreaker("h", clock, policy)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(9.9)
+    assert not breaker.allow()
+    clock.advance(0.2)
+    assert breaker.allow()  # the probe
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow()  # only one probe admitted
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_half_open_reopens_on_failed_probe():
+    clock = SimClock()
+    breaker = CircuitBreaker(
+        "h", clock, CircuitBreakerPolicy(failure_threshold=1, cooldown=5.0)
+    )
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 2
+    assert not breaker.allow()
+
+
+def test_transitions_are_reported():
+    clock = SimClock()
+    seen = []
+    breaker = CircuitBreaker(
+        "h", clock, CircuitBreakerPolicy(failure_threshold=1, cooldown=1.0),
+        on_transition=lambda host, old, new: seen.append((host, old, new)),
+    )
+    breaker.record_failure()
+    clock.advance(1.0)
+    breaker.allow()
+    breaker.record_success()
+    assert seen == [
+        ("h", CLOSED, OPEN),
+        ("h", OPEN, HALF_OPEN),
+        ("h", HALF_OPEN, CLOSED),
+    ]
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        CircuitBreakerPolicy(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreakerPolicy(cooldown=-1.0)
+
+
+# -- HttpClient integration --------------------------------------------------
+
+
+def echo(request: HttpRequest) -> HttpResponse:
+    return HttpResponse(200, body=request.body)
+
+
+def test_http_client_breaker_cuts_off_dead_host():
+    network = VirtualNetwork()
+    network.register("svc", echo)
+    client = HttpClient(
+        network, breaker_policy=CircuitBreakerPolicy(failure_threshold=3,
+                                                     cooldown=60.0)
+    )
+    network.take_down("svc")
+    for _ in range(3):
+        with pytest.raises(TransportError):
+            client.get("http://svc/")
+    wire_attempts = network.stats.per_host_requests["svc"]
+    assert wire_attempts == 3
+    # breaker now open: failures are local, nothing reaches the wire
+    for _ in range(10):
+        with pytest.raises(BreakerOpenError):
+            client.get("http://svc/")
+    assert network.stats.per_host_requests["svc"] == wire_attempts
+
+
+def test_http_client_breaker_recovers_via_probe():
+    network = VirtualNetwork()
+    network.register("svc", echo)
+    client = HttpClient(
+        network, breaker_policy=CircuitBreakerPolicy(failure_threshold=1,
+                                                     cooldown=5.0)
+    )
+    network.take_down("svc")
+    with pytest.raises(TransportError):
+        client.get("http://svc/")
+    with pytest.raises(BreakerOpenError):
+        client.get("http://svc/")
+    network.bring_up("svc")
+    network.clock.advance(5.0)
+    assert client.get("http://svc/").ok  # the probe succeeds and closes
+    assert client.breaker_for("svc").state == CLOSED
+
+
+def test_no_policy_means_no_breaker():
+    network = VirtualNetwork()
+    network.register("svc", echo)
+    client = HttpClient(network)
+    assert client.breaker_for("svc") is None
+    network.take_down("svc")
+    for _ in range(10):
+        with pytest.raises(TransportError):
+            client.get("http://svc/")
+    assert network.stats.per_host_requests["svc"] == 10
+
+
+def test_transport_failure_drops_keepalive_connection():
+    network = VirtualNetwork()
+    network.register("svc", echo)
+    client = HttpClient(network)
+    client.get("http://svc/")
+    assert network.stats.connections == 1
+    network.fail_next("svc")
+    with pytest.raises(TransportError):
+        client.get("http://svc/")
+    client.get("http://svc/")
+    # the retry had to re-connect after the failure
+    assert network.stats.connections == 2

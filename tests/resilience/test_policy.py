@@ -1,0 +1,197 @@
+"""Retry policy, deadline propagation, and error classification."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import faults
+from repro.resilience.breaker import BreakerOpenError
+from repro.resilience.events import ResilienceLog
+from repro.resilience.policy import (
+    NO_RETRY,
+    Deadline,
+    RetryPolicy,
+    is_retryable,
+)
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.clock import SimClock
+from repro.transport.network import LinkSpec, TransportError, VirtualNetwork
+from repro.transport.server import HttpServer
+
+NS = "urn:test:resilience"
+
+
+def deploy_echo(network: VirtualNetwork, host: str = "svc.test") -> str:
+    service = SoapService("Echo", NS)
+    service.expose(lambda value: value, "echo")
+
+    def flaky(value):
+        raise faults.ServiceUnavailableError("backend busy")
+
+    service.expose(flaky, "flaky")
+    return service.mount(HttpServer(host, network), "/echo")
+
+
+# -- RetryPolicy -----------------------------------------------------------
+
+
+def test_backoff_grows_and_caps():
+    policy = RetryPolicy(max_attempts=6, base_delay=1.0, multiplier=2.0,
+                         max_delay=5.0, jitter=0.0)
+    assert [policy.backoff(n) for n in range(4)] == [1.0, 2.0, 4.0, 5.0]
+
+
+def test_backoff_jitter_is_deterministic():
+    policy = RetryPolicy(jitter=0.5)
+    a = [policy.backoff(n, random.Random(7)) for n in range(5)]
+    b = [policy.backoff(n, random.Random(7)) for n in range(5)]
+    assert a == b
+    assert a != [policy.backoff(n, random.Random(8)) for n in range(5)]
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    assert NO_RETRY.max_attempts == 1
+
+
+# -- classification ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("code,cls", sorted(faults._CODE_REGISTRY.items()))
+def test_classification_matches_registry(code, cls):
+    err = cls("x")
+    assert is_retryable(err) == cls.retryable
+
+
+def test_transport_errors_always_retryable():
+    assert is_retryable(TransportError("down"))
+    assert is_retryable(BreakerOpenError("host", 1.0))
+    assert not is_retryable(RuntimeError("bug"))
+
+
+def test_expected_terminal_and_retryable_codes():
+    assert faults.ServiceUnavailableError.retryable
+    assert faults.ResourceExhaustedError.retryable
+    assert faults.DataTransferError.retryable
+    assert not faults.InvalidRequestError.retryable
+    assert not faults.AuthenticationError.retryable
+    assert not faults.DeadlineExceededError.retryable
+    table = faults.retryable_codes()
+    assert table["Portal.ServiceUnavailable"] is True
+    assert table["Portal.InvalidRequest"] is False
+
+
+# -- Deadline ----------------------------------------------------------------
+
+
+def test_deadline_header_roundtrip():
+    clock = SimClock(10.0)
+    deadline = Deadline.after(clock, 2.5)
+    assert deadline.at == 12.5
+    parsed = Deadline.from_headers([deadline.to_header()])
+    assert parsed == deadline
+    assert not deadline.expired(clock)
+    clock.advance(3.0)
+    assert deadline.expired(clock)
+    assert deadline.remaining(clock) < 0
+
+
+def test_malformed_deadline_header_ignored():
+    from repro.xmlutil.element import XmlElement
+    from repro.resilience.policy import DEADLINE_HEADER
+
+    assert Deadline.from_headers([XmlElement(DEADLINE_HEADER, text="soon")]) is None
+    assert Deadline.from_headers([]) is None
+
+
+# -- SoapClient retry loop ---------------------------------------------------
+
+
+def test_client_retries_transport_failures():
+    network = VirtualNetwork()
+    endpoint = deploy_echo(network)
+    log = ResilienceLog()
+    client = SoapClient(
+        network, endpoint, NS,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0),
+        resilience_log=log,
+    )
+    network.fail_next("svc.test", times=2)
+    t0 = network.clock.now
+    assert client.call("echo", "hi") == "hi"
+    assert client.retries_performed == 2
+    # both backoffs advanced the virtual clock (0.5 + 1.0 plus wire time)
+    assert network.clock.now - t0 >= 1.5
+    assert [e.code for e in log.events] == ["Resilience.Retry"] * 2
+
+
+def test_client_does_not_retry_terminal_faults():
+    network = VirtualNetwork()
+    endpoint = deploy_echo(network)
+    client = SoapClient(
+        network, endpoint, NS, retry_policy=RetryPolicy(max_attempts=5)
+    )
+    with pytest.raises(faults.InvalidRequestError):
+        client.call("nosuchmethod")
+    assert client.retries_performed == 0
+
+
+def test_client_retries_retryable_portal_faults_then_gives_up():
+    network = VirtualNetwork()
+    endpoint = deploy_echo(network)
+    log = ResilienceLog()
+    client = SoapClient(
+        network, endpoint, NS,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0),
+        resilience_log=log,
+    )
+    with pytest.raises(faults.ServiceUnavailableError):
+        client.call("flaky", "x")
+    assert client.retries_performed == 2
+    assert [e.code for e in log.events][-1] == "Resilience.GiveUp"
+
+
+def test_client_without_policy_behaves_like_seed():
+    network = VirtualNetwork()
+    endpoint = deploy_echo(network)
+    client = SoapClient(network, endpoint, NS)
+    network.fail_next("svc.test")
+    with pytest.raises(TransportError):
+        client.call("echo", "x")
+    assert client.call("echo", "x") == "x"
+
+
+def test_deadline_bounds_retries():
+    network = VirtualNetwork()
+    endpoint = deploy_echo(network)
+    client = SoapClient(
+        network, endpoint, NS,
+        retry_policy=RetryPolicy(max_attempts=10, base_delay=2.0, jitter=0.0),
+    )
+    network.fail_next("svc.test", times=10)
+    with pytest.raises(faults.DeadlineExceededError):
+        client.call("echo", "x", timeout=3.0)
+    # far fewer than 10 attempts fit in a 3 s budget with 2 s backoff
+    assert client.retries_performed <= 2
+
+
+def test_server_sheds_expired_deadline():
+    network = VirtualNetwork()
+    service = SoapService("Echo", NS)
+    service.expose(lambda value: value, "echo")
+    server = HttpServer("slow.test", network)
+    endpoint = service.mount(server, "/echo")
+    # one-way latency alone exceeds the caller's budget: the deadline is
+    # already spent when the request arrives, so the server sheds it
+    network.set_link("client", "slow.test", LinkSpec(latency=5.0))
+    client = SoapClient(network, endpoint, NS)
+    with pytest.raises(faults.DeadlineExceededError):
+        client.call("echo", "x", timeout=1.0)
+    assert service.requests_shed == 1
+    assert service.calls_served == 0

@@ -18,16 +18,32 @@ ALL_ERRORS = [
     faults.ContextError,
     faults.SchemaError,
     faults.DiscoveryError,
+    faults.DeadlineExceededError,
 ]
 
+# every class the wire vocabulary can name, straight from the registry
+REGISTERED = sorted(faults._CODE_REGISTRY.items())
 
-@pytest.mark.parametrize("cls", ALL_ERRORS)
-def test_detail_roundtrip_preserves_type(cls):
+
+def test_all_errors_covers_the_registry():
+    assert set(faults._CODE_REGISTRY.values()) <= set(ALL_ERRORS)
+
+
+@pytest.mark.parametrize("code,cls", REGISTERED)
+def test_detail_roundtrip_preserves_type(code, cls):
     err = cls("something broke", {"key": "value", "n": "2"})
+    assert err.code == code
     back = faults.PortalError.from_detail(err.to_detail())
     assert type(back) is cls
     assert back.message == "something broke"
     assert back.detail == {"key": "value", "n": "2"}
+
+
+@pytest.mark.parametrize("code,cls", REGISTERED)
+def test_retryability_survives_the_roundtrip(code, cls):
+    back = faults.PortalError.from_detail(cls("x").to_detail())
+    assert back.retryable == cls.retryable
+    assert faults.retryable_codes()[code] == cls.retryable
 
 
 def test_codes_unique():
@@ -41,6 +57,8 @@ def test_unknown_code_falls_back():
         {"code": "Portal.FutureThing", "message": "m"}
     )
     assert type(err) is faults.PortalError
+    # an unknown fault from a foreign provider is never blindly retried
+    assert err.retryable is False
 
 
 def test_detail_values_stringified():

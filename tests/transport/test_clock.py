@@ -25,3 +25,32 @@ def test_negative_advance_rejected():
     clock = SimClock()
     with pytest.raises(ValueError):
         clock.advance(-0.1)
+
+
+def test_sleep_until():
+    clock = SimClock(5.0)
+    assert clock.sleep_until(8.5) == 8.5
+    assert clock.now == 8.5
+    # sleeping until the past is a no-op, not a time machine
+    assert clock.sleep_until(3.0) == 8.5
+    assert clock.now == 8.5
+
+
+def test_many_tiny_advances_do_not_drift():
+    # 10^6 advances of 10^-6 s: naive summation drifts by ~1e-11 here,
+    # compensated summation stays exact to the last ulp
+    clock = SimClock()
+    for _ in range(1_000_000):
+        clock.advance(1e-6)
+    assert clock.now == pytest.approx(1.0, abs=1e-12)
+
+
+def test_time_is_monotonic():
+    clock = SimClock()
+    last = clock.now
+    for step in [1e-9, 0.1, 1e-12, 3.0, 0.0, 1e-7] * 50:
+        clock.advance(step)
+        assert clock.now >= last
+        last = clock.now
+    clock.sleep_until(last)  # exactly now: still monotonic
+    assert clock.now == last

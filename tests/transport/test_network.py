@@ -64,6 +64,117 @@ def test_fail_next_injects_n_failures(network):
     assert network.send(HttpRequest("GET", Url("svc", "/"))).ok
 
 
+def test_fail_next_counts_decrement_and_never_go_negative(network):
+    network.register("svc", echo)
+    with pytest.raises(ValueError):
+        network.fail_next("svc", times=-1)
+    network.fail_next("svc", times=0)  # no-op, not a clear
+    assert network.pending_failures("svc") == 0
+    network.fail_next("svc", times=1)
+    network.fail_next("svc", times=1)  # counts accumulate
+    assert network.pending_failures("svc") == 2
+    with pytest.raises(TransportError):
+        network.send(HttpRequest("GET", Url("svc", "/")))
+    assert network.pending_failures("svc") == 1
+    with pytest.raises(TransportError):
+        network.send(HttpRequest("GET", Url("svc", "/")))
+    assert network.pending_failures("svc") == 0
+    # the exhausted entry is gone: the next request sails through
+    assert network.send(HttpRequest("GET", Url("svc", "/"))).ok
+    assert network.pending_failures("svc") == 0
+
+
+def test_take_down_and_bring_up_are_idempotent(network):
+    network.register("svc", echo)
+    for _ in range(3):
+        network.take_down("svc")
+    with pytest.raises(TransportError):
+        network.send(HttpRequest("GET", Url("svc", "/")))
+    for _ in range(3):
+        network.bring_up("svc")
+    assert network.send(HttpRequest("GET", Url("svc", "/"))).ok
+    network.bring_up("svc")  # bringing up an up host stays a no-op
+    assert network.send(HttpRequest("GET", Url("svc", "/"))).ok
+
+
+def test_failed_attempts_still_count_in_stats(network):
+    network.register("svc", echo)
+    network.take_down("svc")
+    for _ in range(4):
+        with pytest.raises(TransportError):
+            network.send(HttpRequest("GET", Url("svc", "/")))
+    assert network.stats.per_host_requests["svc"] == 4
+    assert network.stats.requests == 4
+    assert network.stats.bytes_sent == 0  # nothing was delivered
+
+
+def test_error_rate_is_deterministic():
+    def run(seed):
+        net = VirtualNetwork(seed=seed)
+        net.register("svc", echo)
+        net.set_error_rate("svc", 0.5)
+        outcomes = []
+        for _ in range(20):
+            try:
+                net.send(HttpRequest("GET", Url("svc", "/")))
+                outcomes.append(True)
+            except TransportError:
+                outcomes.append(False)
+        return outcomes
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)
+    assert not all(run(3)) and any(run(3))  # rate 0.5 actually bites
+
+
+def test_error_rate_validation_and_clear(network):
+    network.register("svc", echo)
+    with pytest.raises(ValueError):
+        network.set_error_rate("svc", 1.5)
+    network.set_error_rate("svc", 1.0)
+    with pytest.raises(TransportError):
+        network.send(HttpRequest("GET", Url("svc", "/")))
+    network.set_error_rate("svc", 0.0)
+    assert network.send(HttpRequest("GET", Url("svc", "/"))).ok
+
+
+def test_latency_spike_slows_but_does_not_fail(network):
+    network.register("svc", echo)
+    network.send(HttpRequest("GET", Url("svc", "/")), new_connection=False)
+    baseline = network.clock.now
+    network.set_latency_spike("svc", 1.0, 2.0)
+    network.send(HttpRequest("GET", Url("svc", "/")), new_connection=False)
+    assert network.clock.now - baseline >= 2.0
+
+
+def test_flapping_host_follows_the_clock(network):
+    network.register("svc", echo)
+    network.set_flapping("svc", up_for=1.0, down_for=1.0, start=0.0)
+    assert network.is_up("svc")
+    network.clock.sleep_until(1.5)  # down phase
+    assert not network.is_up("svc")
+    with pytest.raises(TransportError):
+        network.send(HttpRequest("GET", Url("svc", "/")))
+    network.clock.sleep_until(2.1)  # back in an up phase
+    assert network.is_up("svc")
+    network.clock.sleep_until(3.5)
+    network.bring_up("svc")  # cancels the schedule even mid-down-phase
+    assert network.is_up("svc")
+
+
+def test_partition_cuts_both_directions(network):
+    network.register("svc", echo)
+    network.partition({"client"}, {"svc"})
+    with pytest.raises(TransportError):
+        network.send(HttpRequest("GET", Url("svc", "/")))
+    # unrelated sources still get through
+    assert network.send(
+        HttpRequest("GET", Url("svc", "/")), source="other"
+    ).ok
+    network.heal_partitions()
+    assert network.send(HttpRequest("GET", Url("svc", "/"))).ok
+
+
 def test_per_link_override(network):
     network.register("svc", echo)
     network.set_link("client", "svc", LinkSpec(latency=1.0, connect_latency=0.0))
