@@ -1,0 +1,71 @@
+"""Durable service state: write-ahead journals, recovery, idempotency.
+
+The paper's integrated architecture (§6) treats the portal as a distributed
+operating system whose stateful core — job queues, session contexts, SRB
+replicas, application lifecycle — must survive individual host failures.
+This package supplies the machinery:
+
+- :mod:`repro.durability.journal` — an append-only, checksum-chained
+  write-ahead :class:`Journal` stored on a host's
+  :class:`~repro.transport.network.HostDisk` (which survives
+  ``take_down``/``bring_up`` while process state does not).
+- :mod:`repro.durability.recovery` — the :class:`Recoverable` protocol
+  (``snapshot``/``replay``) stateful services implement.
+- :mod:`repro.durability.idempotency` — client-supplied idempotency keys
+  carried as a SOAP header (mirroring the resilience deadline header) so a
+  retried or failed-over submit returns the original result instead of
+  double-running.
+- :mod:`repro.durability.reconciler` — scans journals after a restart for
+  orphaned work (accepted but unresolved) and re-drives it to a terminal
+  state, reporting through the monitoring service's event stream.
+- :mod:`repro.durability.check` — the journal-invariant checker CI runs
+  over every journal the test suite produces
+  (``python -m repro.durability.check <dir>``).
+"""
+
+from repro.durability.idempotency import (
+    IDEMPOTENCY_HEADER,
+    IdempotencyIndex,
+    current_key,
+    idempotency_header,
+    key_from_headers,
+)
+from repro.durability.journal import (
+    Journal,
+    JournalCorruptError,
+    JournalRecord,
+    created_journals,
+)
+from repro.durability.reconciler import (
+    ORPHAN,
+    RECONCILE_FAILED,
+    RECONCILED,
+    RECOVERED,
+    ReconcilerService,
+    deploy_reconciler,
+    find_orphans,
+    record_recovery,
+)
+from repro.durability.recovery import Recoverable, recover
+
+__all__ = [
+    "IDEMPOTENCY_HEADER",
+    "IdempotencyIndex",
+    "Journal",
+    "JournalCorruptError",
+    "JournalRecord",
+    "ORPHAN",
+    "RECONCILED",
+    "RECONCILE_FAILED",
+    "RECOVERED",
+    "Recoverable",
+    "ReconcilerService",
+    "created_journals",
+    "current_key",
+    "deploy_reconciler",
+    "find_orphans",
+    "idempotency_header",
+    "key_from_headers",
+    "record_recovery",
+    "recover",
+]

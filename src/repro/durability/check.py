@@ -1,0 +1,122 @@
+"""The journal-invariant checker (``python -m repro.durability.check DIR``).
+
+CI runs the test suite with ``REPRO_JOURNAL_DIR`` set, which makes the suite
+export every journal any test produced as a ``.jsonl`` file (see
+``tests/durability/conftest.py``); this module then re-verifies each file
+offline:
+
+- the checksum chain and sequence numbering are intact (any truncation,
+  reordering, or edit anywhere in the log is detected);
+- lifecycle records reference work that was journaled first — a ``job-start``
+  / ``job-finish`` / ``job-cancel`` without a prior ``job-submit``, or a
+  ``batch-resolve`` without a prior ``batch-accept``, means some code path
+  mutated state without writing ahead;
+- no job finishes twice, no batch is accepted twice, and no idempotency key
+  maps to two different results.
+
+Exit status 0 means every journal passed; 1 means at least one violation
+(listed on stdout).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.durability.journal import Journal, JournalCorruptError, JournalRecord
+
+
+def check_records(records: list[JournalRecord], name: str) -> list[str]:
+    """Semantic invariants over one verified record list."""
+    problems: list[str] = []
+    submitted: set[str] = set()
+    finished: set[str] = set()
+    accepted: set[str] = set()
+    resolved: set[str] = set()
+    idem: dict[str, str] = {}
+    for record in records:
+        data = record.data
+        if record.kind == "job-submit":
+            job = str(data.get("job", ""))
+            if job in submitted:
+                problems.append(f"{name}: job {job} submitted twice")
+            submitted.add(job)
+        elif record.kind in ("job-start", "job-finish", "job-cancel"):
+            job = str(data.get("job", ""))
+            if job not in submitted:
+                problems.append(
+                    f"{name}: {record.kind} for {job} without a prior job-submit"
+                )
+            if record.kind == "job-finish":
+                if job in finished:
+                    problems.append(f"{name}: job {job} finished twice")
+                finished.add(job)
+        elif record.kind == "batch-accept":
+            batch = str(data.get("batch", ""))
+            if batch in accepted:
+                problems.append(f"{name}: batch {batch} accepted twice")
+            accepted.add(batch)
+        elif record.kind == "batch-resolve":
+            batch = str(data.get("batch", ""))
+            if batch not in accepted:
+                problems.append(
+                    f"{name}: batch-resolve for {batch} without a prior accept"
+                )
+            if batch in resolved:
+                problems.append(f"{name}: batch {batch} resolved twice")
+            resolved.add(batch)
+        elif record.kind == "idem":
+            key = str(data.get("key", ""))
+            result = str(data.get("result", ""))
+            if key in idem and idem[key] != result:
+                problems.append(
+                    f"{name}: idempotency key {key!r} maps to two results"
+                )
+            idem.setdefault(key, result)
+    return problems
+
+
+def check_file(path: Path) -> list[str]:
+    """Verify one exported journal file; returns its problems."""
+    try:
+        records = Journal.load_records(
+            path.read_text(encoding="utf-8"), name=path.name
+        )
+    except JournalCorruptError as exc:
+        return [str(exc)]
+    except (OSError, ValueError, KeyError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    return check_records(records, path.name)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.durability.check <journal-dir>")
+        return 2
+    root = Path(argv[0])
+    if not root.is_dir():
+        print(f"no such directory: {root}")
+        return 2
+    files = sorted(root.glob("*.jsonl"))
+    total_problems: list[str] = []
+    total_records = 0
+    for path in files:
+        problems = check_file(path)
+        if not problems:
+            n = sum(1 for line in path.read_text().splitlines() if line.strip())
+            total_records += n
+            print(f"ok   {path.name} ({n} records)")
+        else:
+            total_problems.extend(problems)
+            print(f"FAIL {path.name}")
+            for problem in problems:
+                print(f"     {problem}")
+    print(
+        f"{len(files)} journals, {total_records} records, "
+        f"{len(total_problems)} violations"
+    )
+    return 1 if total_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,98 @@
+"""Client-supplied idempotency keys.
+
+PR 1's retry loops re-issue calls that failed with a retryable error — which
+is safe for reads but double-submits jobs: the first attempt may have been
+accepted even though the response was lost in flight.  The fix is the same
+one the deadline header uses: the *client* stamps each logical call with a
+key; every layer that creates durable state (the SOAP dispatch cache, the
+GRAM gatekeeper) remembers the key alongside the result, and a replayed key
+returns the original result instead of running the work again.
+
+The key rides in a SOAP header entry (``urn:gce:durability Idempotency-Key``)
+so it crosses provider boundaries exactly like the deadline does.
+"""
+
+from __future__ import annotations
+
+from repro.durability.journal import Journal
+from repro.xmlutil.element import XmlElement
+from repro.xmlutil.qname import QName
+
+DURABILITY_NS = "urn:gce:durability"
+
+#: the SOAP header entry carrying the caller's idempotency key
+IDEMPOTENCY_HEADER = QName(DURABILITY_NS, "IdempotencyKey")
+
+
+def idempotency_header(key: str) -> XmlElement:
+    """Encode a key as the SOAP header entry servers look for."""
+    return XmlElement(IDEMPOTENCY_HEADER, text=key)
+
+
+def key_from_headers(headers: list[XmlElement]) -> str:
+    """Decode the idempotency-key header if present (missing/empty -> '')."""
+    for entry in headers:
+        if entry.tag == IDEMPOTENCY_HEADER:
+            return entry.text.strip()
+    return ""
+
+
+# The dispatch context: the SOAP server sets the inbound request's key here
+# while the service method runs, so deep layers (the globusrun batch path,
+# the gatekeeper) can derive per-job keys without every exposed method
+# signature growing a key parameter.  The simulation is single-threaded per
+# request, so a module-level slot is sufficient.
+_current_key = ""
+
+
+def set_current_key(key: str) -> None:
+    """Install the inbound request's idempotency key for the dispatch."""
+    global _current_key
+    _current_key = key
+
+
+def current_key() -> str:
+    """The idempotency key of the request currently being dispatched."""
+    return _current_key
+
+
+class IdempotencyIndex:
+    """A journal-backed key -> result map.
+
+    Appends one ``idem`` record per first-seen key; a fresh instance over
+    the same journal replays them, so deduplication survives a crash-restart
+    of the owning service.
+    """
+
+    RECORD_KIND = "idem"
+
+    def __init__(self, journal: Journal | None = None):
+        self.journal = journal
+        self._seen: dict[str, str] = {}
+        self.duplicates_served = 0
+        if journal is not None:
+            for record in journal.by_kind(self.RECORD_KIND):
+                self._seen[record.data["key"]] = record.data["result"]
+
+    def get(self, key: str) -> str | None:
+        """The recorded result for *key*, or ``None`` if unseen."""
+        if not key:
+            return None
+        result = self._seen.get(key)
+        if result is not None:
+            self.duplicates_served += 1
+        return result
+
+    def put(self, key: str, result: str) -> None:
+        """Durably record *key* -> *result* (first writer wins)."""
+        if not key or key in self._seen:
+            return
+        self._seen[key] = result
+        if self.journal is not None:
+            self.journal.append(self.RECORD_KIND, key=key, result=result)
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._seen

@@ -1,0 +1,175 @@
+"""The append-only write-ahead journal.
+
+A :class:`Journal` is a process-side handle over a named log on a host's
+:class:`~repro.transport.network.HostDisk`.  The disk — and therefore every
+record ever appended — survives ``take_down``/``bring_up``; the handle (and
+the service state it protected) does not.  A restarted service opens a new
+handle over the same log and replays it.
+
+Records are checksum-chained: each record's ``crc`` covers its own content
+*and* the previous record's ``crc``, so truncation, reordering, or editing
+anywhere in the log is detectable by :meth:`Journal.verify` and by the CI
+invariant checker (:mod:`repro.durability.check`).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+
+from repro.transport.clock import SimClock
+from repro.transport.network import HostDisk
+
+#: the chain seed for the first record
+GENESIS_CRC = "00000000"
+
+#: every Journal ever constructed, in order (the test suite's export hook —
+#: see tests/durability/conftest.py and repro.durability.check)
+_CREATED: list["Journal"] = []
+
+
+def created_journals() -> list["Journal"]:
+    """All journals constructed so far (oldest first)."""
+    return list(_CREATED)
+
+
+class JournalCorruptError(ValueError):
+    """The journal's checksum chain or sequence numbering is broken."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One immutable journal entry."""
+
+    seq: int
+    kind: str
+    data: dict = field(default_factory=dict)
+    t: float = 0.0
+    crc: str = GENESIS_CRC
+
+    def payload(self, prev_crc: str) -> str:
+        """The canonical byte string the checksum covers."""
+        return json.dumps(
+            [self.seq, self.kind, self.data, f"{self.t:.9f}", prev_crc],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "data": self.data,
+            "t": self.t,
+            "crc": self.crc,
+        }
+
+    @staticmethod
+    def from_dict(raw: dict) -> "JournalRecord":
+        return JournalRecord(
+            seq=int(raw["seq"]),
+            kind=str(raw["kind"]),
+            data=dict(raw.get("data", {})),
+            t=float(raw.get("t", 0.0)),
+            crc=str(raw.get("crc", GENESIS_CRC)),
+        )
+
+
+def _crc(payload: str) -> str:
+    return f"{zlib.crc32(payload.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+class Journal:
+    """An append-only log handle bound to one ``HostDisk`` log.
+
+    Two handles over the same ``(disk, name)`` pair see the same records —
+    that is exactly what crash recovery relies on: the pre-crash process
+    appended, the post-crash process replays.
+    """
+
+    def __init__(self, disk: HostDisk, name: str, *, clock: SimClock | None = None):
+        self.disk = disk
+        self.name = name
+        self.clock = clock
+        self._log: list[JournalRecord] = disk.log(name)
+        _CREATED.append(self)
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, kind: str, **data) -> JournalRecord:
+        """Durably append one record; returns it."""
+        prev_crc = self._log[-1].crc if self._log else GENESIS_CRC
+        record = JournalRecord(
+            seq=len(self._log) + 1,
+            kind=kind,
+            data=data,
+            t=self.clock.now if self.clock is not None else 0.0,
+        )
+        record = JournalRecord(
+            seq=record.seq,
+            kind=record.kind,
+            data=record.data,
+            t=record.t,
+            crc=_crc(record.payload(prev_crc)),
+        )
+        self._log.append(record)
+        return record
+
+    # -- reading ------------------------------------------------------------
+
+    def records(self) -> tuple[JournalRecord, ...]:
+        return tuple(self._log)
+
+    def by_kind(self, kind: str) -> list[JournalRecord]:
+        return [r for r in self._log if r.kind == kind]
+
+    def last(self) -> JournalRecord | None:
+        return self._log[-1] if self._log else None
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def __iter__(self):
+        return iter(tuple(self._log))
+
+    # -- integrity ----------------------------------------------------------
+
+    def verify(self) -> None:
+        """Raise :class:`JournalCorruptError` if the chain is broken."""
+        verify_chain(self._log, name=f"{self.disk.host}:{self.name}")
+
+    # -- serialization (for the CI invariant checker) -----------------------
+
+    def dump(self) -> str:
+        """The whole journal as JSON lines (one record per line)."""
+        return "\n".join(
+            json.dumps(r.to_dict(), sort_keys=True) for r in self._log
+        )
+
+    @staticmethod
+    def load_records(text: str, *, name: str = "journal") -> list[JournalRecord]:
+        """Parse a :meth:`dump` back into verified records."""
+        records = [
+            JournalRecord.from_dict(json.loads(line))
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        verify_chain(records, name=name)
+        return records
+
+
+def verify_chain(records: list[JournalRecord], *, name: str = "journal") -> None:
+    """Check sequence contiguity and the checksum chain of a record list."""
+    prev_crc = GENESIS_CRC
+    for index, record in enumerate(records):
+        if record.seq != index + 1:
+            raise JournalCorruptError(
+                f"{name}: record {index} has seq {record.seq}, expected {index + 1}"
+            )
+        expected = _crc(record.payload(prev_crc))
+        if record.crc != expected:
+            raise JournalCorruptError(
+                f"{name}: record {record.seq} checksum {record.crc} != {expected}"
+            )
+        prev_crc = record.crc

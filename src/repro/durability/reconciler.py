@@ -1,0 +1,209 @@
+"""Post-restart reconciliation of orphaned work.
+
+A write-ahead journal makes the *gap* between acceptance and completion
+visible: a ``batch-accept`` record with no matching ``batch-resolve`` means
+the service crashed while a client's accepted work was in flight.  The
+:class:`ReconcilerService` watches those journals, finds the orphans after a
+restart, and re-drives each one to a terminal state by calling the (now
+restarted) owning service's idempotent ``result`` method — completed jobs
+are never re-run because every per-job submission carries a deterministic
+idempotency key the gatekeeper deduplicates on.
+
+Progress is reported as ``Durability.*`` events on the portal's resilience
+log, which the monitoring service already relays to portlets.
+
+Imports here are deliberately minimal at module level (journal + event
+codes); the SOAP machinery is pulled in lazily so this module can sit in the
+``repro.durability`` package without creating import cycles with the layers
+that journal.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.durability.journal import Journal
+
+RECONCILER_NAMESPACE = "urn:gce:reconciler"
+
+#: a batch was accepted but never resolved (found during a scan)
+ORPHAN = "Durability.Orphan"
+#: an orphaned batch was re-driven to a terminal state
+RECONCILED = "Durability.Reconciled"
+#: re-driving an orphan failed (it remains an orphan)
+RECONCILE_FAILED = "Durability.ReconcileFailed"
+#: a service instance rebuilt its state from a journal
+RECOVERED = "Durability.Recovered"
+
+
+def find_orphans(journal: Journal) -> list[dict[str, Any]]:
+    """Accepted-but-unresolved batches in a globusrun-style journal."""
+    resolved = {r.data["batch"] for r in journal.by_kind("batch-resolve")}
+    return [
+        dict(r.data)
+        for r in journal.by_kind("batch-accept")
+        if r.data["batch"] not in resolved
+    ]
+
+
+def record_recovery(log, service: str, host: str, applied: int) -> None:
+    """Note on the resilience log that *service* replayed its journal."""
+    if log is None:
+        return
+    log.record(
+        RECOVERED,
+        f"{service} on {host} rebuilt from journal ({applied} records)",
+        service=service,
+        operation="replay",
+        detail={"host": host, "applied": str(applied)},
+    )
+
+
+class ReconcilerService:
+    """Scans watched journals for orphans and re-drives them.
+
+    ``watch`` registers one journal to scan (the host whose disk holds it,
+    the log name, and the SOAP endpoint + namespace of the service that can
+    finish the work).  ``scan`` is read-only discovery; ``reconcile`` calls
+    ``result(batch)`` on the owning service for every orphan, which is safe
+    to repeat: the service's journal replay makes ``result`` idempotent.
+    """
+
+    def __init__(
+        self,
+        network,
+        *,
+        resilience_log=None,
+        source: str = "reconciler.gridportal.org",
+    ):
+        self.network = network
+        self.log = resilience_log
+        self.source = source
+        self._targets: list[dict[str, str]] = []
+        self._reported: set[tuple[str, str]] = set()
+        self.orphans_found = 0
+        self.orphans_reconciled = 0
+
+    # -- configuration ------------------------------------------------------
+
+    def watch(
+        self, host: str, journal_name: str, endpoint: str, namespace: str
+    ) -> bool:
+        """Register a journal (and the service that can drain it)."""
+        target = {
+            "host": host,
+            "journal": journal_name,
+            "endpoint": endpoint,
+            "namespace": namespace,
+        }
+        if target not in self._targets:
+            self._targets.append(target)
+        return True
+
+    def watched(self) -> list[str]:
+        return [f"{t['host']}:{t['journal']}" for t in self._targets]
+
+    # -- discovery ----------------------------------------------------------
+
+    def _open(self, target: dict[str, str]) -> Journal:
+        return Journal(
+            self.network.disk(target["host"]),
+            target["journal"],
+            clock=self.network.clock,
+        )
+
+    def scan(self) -> list[dict[str, str]]:
+        """Find every orphan across the watched journals."""
+        rows: list[dict[str, str]] = []
+        for target in self._targets:
+            for orphan in find_orphans(self._open(target)):
+                batch = str(orphan["batch"])
+                rows.append(
+                    {"host": target["host"], "batch": batch,
+                     "key": str(orphan.get("key", ""))}
+                )
+                mark = (target["host"], batch)
+                if self.log is not None and mark not in self._reported:
+                    self._reported.add(mark)
+                    self.orphans_found += 1
+                    self.log.record(
+                        ORPHAN,
+                        f"batch {batch} accepted on {target['host']} "
+                        "but never resolved",
+                        service="reconciler",
+                        operation="scan",
+                        detail={"host": target["host"], "batch": batch},
+                    )
+        return rows
+
+    # -- repair -------------------------------------------------------------
+
+    def reconcile(self) -> list[dict[str, str]]:
+        """Re-drive every orphan to a terminal state; returns one row per
+        orphan with its outcome."""
+        from repro.faults import PortalError
+        from repro.soap.client import SoapClient
+        from repro.transport.network import TransportError
+
+        rows: list[dict[str, str]] = []
+        for target in self._targets:
+            client: SoapClient | None = None
+            for orphan in find_orphans(self._open(target)):
+                batch = str(orphan["batch"])
+                if client is None:
+                    client = SoapClient(
+                        self.network,
+                        target["endpoint"],
+                        target["namespace"],
+                        source=self.source,
+                    )
+                try:
+                    client.call("result", batch)
+                except (PortalError, TransportError) as exc:
+                    rows.append(
+                        {"host": target["host"], "batch": batch,
+                         "status": "failed"}
+                    )
+                    if self.log is not None:
+                        self.log.record(
+                            RECONCILE_FAILED,
+                            f"could not re-drive batch {batch}: {exc}",
+                            service="reconciler",
+                            operation="reconcile",
+                            detail={"host": target["host"], "batch": batch},
+                        )
+                    continue
+                rows.append(
+                    {"host": target["host"], "batch": batch,
+                     "status": "reconciled"}
+                )
+                self.orphans_reconciled += 1
+                if self.log is not None:
+                    self.log.record(
+                        RECONCILED,
+                        f"batch {batch} re-driven to a terminal state",
+                        service="reconciler",
+                        operation="reconcile",
+                        detail={"host": target["host"], "batch": batch},
+                    )
+        return rows
+
+
+def deploy_reconciler(
+    network,
+    host: str = "reconciler.gridportal.org",
+    *,
+    resilience_log=None,
+) -> tuple[ReconcilerService, str]:
+    """Stand up the reconciler as a SOAP service; returns (impl, endpoint)."""
+    from repro.soap.server import SoapService
+    from repro.transport.server import HttpServer
+
+    impl = ReconcilerService(network, resilience_log=resilience_log, source=host)
+    server = HttpServer(host, network)
+    soap = SoapService("Reconciler", RECONCILER_NAMESPACE)
+    soap.expose(impl.watch)
+    soap.expose(impl.scan)
+    soap.expose(impl.reconcile)
+    soap.expose(impl.watched)
+    return impl, soap.mount(server, "/reconciler")

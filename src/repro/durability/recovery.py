@@ -1,0 +1,36 @@
+"""The ``Recoverable`` service protocol.
+
+A stateful portal service is *recoverable* when a fresh instance, attached
+to the journal its previous incarnation wrote, can rebuild the state that
+matters: a scheduler rebuilds its queue, the context manager its tree, the
+SRB its catalog.  ``snapshot`` exists so tests (and the reconciler) can
+assert that a replayed instance converged to the same observable state as
+the original.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.durability.journal import Journal
+
+
+@runtime_checkable
+class Recoverable(Protocol):
+    """What a journaling service must offer."""
+
+    def snapshot(self) -> dict[str, Any]:
+        """A comparable summary of the durable state (for convergence
+        assertions — two instances with equal snapshots are interchangeable)."""
+        ...
+
+    def replay(self, journal: Journal) -> int:
+        """Rebuild state from a journal written by a previous incarnation;
+        returns the number of records applied."""
+        ...
+
+
+def recover(service: Recoverable, journal: Journal) -> int:
+    """Verify the journal's integrity, then replay it into *service*."""
+    journal.verify()
+    return service.replay(journal)

@@ -17,12 +17,15 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.durability.idempotency import IdempotencyIndex
 from repro.faults import (
     AuthenticationError,
     AuthorizationError,
     InvalidRequestError,
     JobError,
+    PortalError,
     ResourceNotFoundError,
+    ServiceUnavailableError,
 )
 from repro.grid.jobs import JobSpec
 from repro.grid.queuing.base import BatchScheduler
@@ -189,11 +192,14 @@ class Gatekeeper:
     RSL and submits to the local scheduler.
     """
 
-    def __init__(self, scheduler: BatchScheduler, ca: SimpleCA):
+    def __init__(self, scheduler: BatchScheduler, ca: SimpleCA, *, journal=None):
         self.scheduler = scheduler
         self.ca = ca
         self.gridmap: dict[str, str] = {}
         self.submissions = 0
+        #: journal-backed idempotency-key -> job-id map; a retried submit
+        #: (same key) returns the original job id even across a crash-restart
+        self.idempotency = IdempotencyIndex(journal)
 
     def add_gridmap_entry(self, identity: str, local_user: str) -> None:
         self.gridmap[identity] = local_user
@@ -213,12 +219,19 @@ class Gatekeeper:
 
     # -- operations -------------------------------------------------------------
 
-    def submit(self, chain_data: list[dict[str, Any]], rsl: str) -> str:
+    def submit(
+        self, chain_data: list[dict[str, Any]], rsl: str, key: str = ""
+    ) -> str:
         local_user = self._authorize(chain_data)
+        replayed = self.idempotency.get(key)
+        if replayed is not None:
+            return replayed
         spec = parse_rsl(rsl)
         spec.environment.setdefault("LOGNAME", local_user)
         self.submissions += 1
-        return self.scheduler.submit(spec)
+        job_id = self.scheduler.submit(spec)
+        self.idempotency.put(key, job_id)
+        return job_id
 
     def status(self, chain_data: list[dict[str, Any]], job_id: str) -> dict[str, Any]:
         self._authorize(chain_data)
@@ -244,7 +257,9 @@ class Gatekeeper:
             op = payload.get("op", "")
             chain = payload.get("proxy", [])
             if op == "submit":
-                result: Any = self.submit(chain, payload["rsl"])
+                result: Any = self.submit(
+                    chain, payload["rsl"], payload.get("key", "")
+                )
             elif op == "status":
                 result = self.status(chain, payload["job"])
             elif op == "output":
@@ -291,17 +306,41 @@ class GramClient:
         response = self._http.post(
             f"http://{contact}/jobmanager", json.dumps(payload)
         )
-        data = json.loads(response.body)
         if not response.ok:
+            # An error body is only JSON if the gatekeeper itself produced
+            # it; a proxy/server-boundary failure (e.g. a bare 500 page) is
+            # not, and must surface as a retryable transport-class fault —
+            # not a JSONDecodeError masking the real problem.
+            try:
+                data = json.loads(response.body)
+            except json.JSONDecodeError:
+                raise ServiceUnavailableError(
+                    f"GRAM {op} to {contact} failed: "
+                    f"HTTP {response.status} with non-JSON body "
+                    f"{response.body[:60]!r}",
+                    {"status": response.status},
+                ) from None
             code = data.get("error", "Portal.Job")
             message = data.get("message", "GRAM request failed")
-            from repro.faults import PortalError
-
             raise PortalError.from_detail({"code": code, "message": message})
+        try:
+            data = json.loads(response.body)
+        except json.JSONDecodeError:
+            raise ServiceUnavailableError(
+                f"GRAM {op} to {contact} returned a malformed success body "
+                f"{response.body[:60]!r}"
+            ) from None
         return data["result"]
 
-    def submit(self, contact: str, rsl: str) -> str:
-        """globusrun: submit an RSL job to a gatekeeper contact (host name)."""
+    def submit(self, contact: str, rsl: str, key: str = "") -> str:
+        """globusrun: submit an RSL job to a gatekeeper contact (host name).
+
+        *key*, when given, is a client idempotency key: re-submitting with
+        the same key (a retry after a lost response, a failover to a restarted
+        gatekeeper) returns the originally created job id.
+        """
+        if key:
+            return self._call(contact, "submit", rsl=rsl, key=key)
         return self._call(contact, "submit", rsl=rsl)
 
     def status(self, contact: str, job_id: str) -> dict[str, Any]:

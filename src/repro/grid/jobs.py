@@ -58,6 +58,44 @@ class JobSpec:
         return replace(self, arguments=list(self.arguments),
                        environment=dict(self.environment), **overrides)
 
+    def to_dict(self) -> dict:
+        """A JSON-safe rendering (what the scheduler journal stores)."""
+        return {
+            "name": self.name,
+            "executable": self.executable,
+            "arguments": list(self.arguments),
+            "queue": self.queue,
+            "cpus": self.cpus,
+            "wallclock_limit": self.wallclock_limit,
+            "memory_mb": self.memory_mb,
+            "stdout_path": self.stdout_path,
+            "stderr_path": self.stderr_path,
+            "directory": self.directory,
+            "account": self.account,
+            "environment": dict(self.environment),
+            "priority": self.priority,
+        }
+
+    @staticmethod
+    def from_dict(raw: dict) -> "JobSpec":
+        return JobSpec(
+            name=str(raw.get("name", "job")),
+            executable=str(raw.get("executable", "")),
+            arguments=[str(a) for a in raw.get("arguments", [])],
+            queue=str(raw.get("queue", "")),
+            cpus=int(raw.get("cpus", 1)),
+            wallclock_limit=float(raw.get("wallclock_limit", 3600.0)),
+            memory_mb=int(raw.get("memory_mb", 0)),
+            stdout_path=str(raw.get("stdout_path", "")),
+            stderr_path=str(raw.get("stderr_path", "")),
+            directory=str(raw.get("directory", "")),
+            account=str(raw.get("account", "")),
+            environment={
+                str(k): str(v) for k, v in raw.get("environment", {}).items()
+            },
+            priority=int(raw.get("priority", 0)),
+        )
+
     def validate(self) -> list[str]:
         """Sanity checks shared by every submission front end."""
         problems: list[str] = []

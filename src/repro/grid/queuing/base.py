@@ -107,6 +107,7 @@ class BatchScheduler:
         queues: Iterable[QueueDefinition] | None = None,
         registry: ApplicationRegistry | None = None,
         backfill: bool = False,
+        journal=None,
     ):
         self.host = host
         self.dialect = dialect
@@ -114,6 +115,10 @@ class BatchScheduler:
         self.cpus = cpus
         self.registry = registry or default_registry()
         self.backfill = backfill
+        #: optional write-ahead journal (repro.durability.journal.Journal);
+        #: submit/start/finish/cancel events make the queue restartable
+        self.journal = journal
+        self._replaying = False
         queue_list = list(queues) if queues is not None else [
             QueueDefinition("workq", default=True),
             QueueDefinition("express", max_wallclock=3600.0, priority=10),
@@ -165,12 +170,100 @@ class BatchScheduler:
         )
         self._jobs[job_id] = record
         self._pending.append(job_id)
+        self._journal("job-submit", job=job_id, spec=spec.to_dict())
         self._schedule(self.clock.now)
         return job_id
 
     def submit_script(self, script: str) -> str:
         """Parse a script in this scheduler's dialect and submit it."""
         return self.submit(self.dialect.parse(script))
+
+    # -- durability (the Recoverable protocol) --------------------------------
+
+    def _journal(self, kind: str, **data) -> None:
+        if self.journal is not None and not self._replaying:
+            self.journal.append(kind, **data)
+
+    def snapshot(self) -> dict:
+        """Comparable durable-state summary: every job's terminal-relevant
+        fields (equal snapshots => interchangeable schedulers)."""
+        return {
+            "host": self.host,
+            "jobs": {
+                jid: {
+                    "state": record.state.value,
+                    "exit": record.exit_code,
+                    "stdout": record.stdout,
+                }
+                for jid, record in self._jobs.items()
+            },
+        }
+
+    def replay(self, journal) -> int:
+        """Rebuild the queue from a previous incarnation's journal.
+
+        Finished and cancelled jobs are restored as terminal records; jobs
+        that were queued or running at the crash are *re-queued* under their
+        original ids (their partial run produced nothing durable, so running
+        them again is the correct at-least-once recovery — completed work is
+        never re-run).  The id counter resumes past the highest replayed id.
+        """
+        self.journal = journal
+        self._replaying = True
+        applied = 0
+        try:
+            submits: dict[str, tuple[JobSpec, float]] = {}
+            order: list[str] = []
+            finished: dict[str, dict] = {}
+            cancels: dict[str, dict] = {}
+            for record in journal.records():
+                data = record.data
+                if record.kind == "job-submit":
+                    jid = data["job"]
+                    submits[jid] = (JobSpec.from_dict(data["spec"]), record.t)
+                    order.append(jid)
+                    applied += 1
+                elif record.kind == "job-finish":
+                    finished[data["job"]] = data
+                    applied += 1
+                elif record.kind == "job-cancel":
+                    cancels[data["job"]] = data
+                    applied += 1
+                elif record.kind == "job-start":
+                    applied += 1
+            max_id = 0
+            for jid in order:
+                spec, submitted_at = submits[jid]
+                prefix = jid.split(".", 1)[0]
+                if prefix.isdigit():
+                    max_id = max(max_id, int(prefix))
+                job = JobRecord(
+                    job_id=jid,
+                    spec=spec,
+                    state=JobState.QUEUED,
+                    submit_time=submitted_at,
+                    host=self.host,
+                )
+                if jid in finished:
+                    data = finished[jid]
+                    job.state = JobState(data["state"])
+                    job.exit_code = data["exit"]
+                    job.start_time = data["start"]
+                    job.end_time = data["end"]
+                    job.stdout = data["stdout"]
+                    job.stderr = data["stderr"]
+                    self.completed_count += 1
+                elif jid in cancels:
+                    job.state = JobState.CANCELLED
+                    job.end_time = cancels[jid]["end"]
+                else:
+                    self._pending.append(jid)
+                self._jobs[jid] = job
+            self._ids = itertools.count(max_id + 1)
+        finally:
+            self._replaying = False
+        self._schedule(self.clock.now)
+        return applied
 
     # -- queries ---------------------------------------------------------------
 
@@ -210,6 +303,7 @@ class BatchScheduler:
         else:
             self._pending.remove(job_id)
         record.state = JobState.CANCELLED
+        self._journal("job-cancel", job=job_id, end=self.clock.now)
         self._schedule(self.clock.now)
 
     def run_until_complete(self) -> float:
@@ -275,6 +369,16 @@ class BatchScheduler:
                     JobState.DONE if record.exit_code == 0 else JobState.FAILED
                 )
             self.completed_count += 1
+            self._journal(
+                "job-finish",
+                job=jid,
+                state=record.state.value,
+                exit=record.exit_code,
+                start=record.start_time,
+                end=record.end_time,
+                stdout=record.stdout,
+                stderr=record.stderr,
+            )
             self._schedule(record.end_time)  # type: ignore[arg-type]
         self._schedule(now)
 
@@ -309,6 +413,7 @@ class BatchScheduler:
         result = self.registry.execute(record.spec, self.host)
         record.state = JobState.RUNNING
         record.start_time = at
+        self._journal("job-start", job=record.job_id, at=at)
         if result.duration > record.spec.wallclock_limit:
             record.end_time = at + record.spec.wallclock_limit
             record.exit_code = 137  # killed at the wallclock limit

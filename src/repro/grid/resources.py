@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.durability.journal import Journal
 from repro.grid.apps import ApplicationRegistry, default_registry
 from repro.grid.gram import Gatekeeper
 from repro.grid.queuing import make_dialect
@@ -42,8 +43,21 @@ def deploy_resource(
     cpus: int = 64,
     queues: list[QueueDefinition] | None = None,
     registry: ApplicationRegistry | None = None,
+    durable: bool = False,
 ) -> ComputeResource:
-    """Stand up one compute resource on the network."""
+    """Stand up one compute resource on the network.
+
+    With ``durable=True`` the scheduler journals its queue and the
+    gatekeeper its idempotency keys to the host's disk; deploying again on
+    the same host is then the crash-restart path — the fresh scheduler
+    replays the surviving journal and re-queues whatever had not finished.
+    """
+    scheduler_journal = None
+    gatekeeper_journal = None
+    if durable:
+        disk = network.disk(host)
+        scheduler_journal = Journal(disk, "scheduler", clock=network.clock)
+        gatekeeper_journal = Journal(disk, "gatekeeper", clock=network.clock)
     scheduler = BatchScheduler(
         host,
         make_dialect(queuing_system),
@@ -51,8 +65,11 @@ def deploy_resource(
         cpus=cpus,
         queues=queues,
         registry=registry,
+        journal=scheduler_journal,
     )
-    gatekeeper = Gatekeeper(scheduler, ca)
+    if scheduler_journal is not None and len(scheduler_journal):
+        scheduler.replay(scheduler_journal)
+    gatekeeper = Gatekeeper(scheduler, ca, journal=gatekeeper_journal)
     server = HttpServer(host, network)
     server.mount("/jobmanager", gatekeeper.handle_http)
     return ComputeResource(host, scheduler, gatekeeper, server)
@@ -74,12 +91,14 @@ def build_testbed(
     *,
     resources: list[tuple[str, str, int]] | None = None,
     registry: ApplicationRegistry | None = None,
+    durable: bool = False,
 ) -> dict[str, ComputeResource]:
     """Deploy the standard multi-site testbed; returns host -> resource."""
     registry = registry or default_registry()
     out: dict[str, ComputeResource] = {}
     for host, system, cpus in resources or DEFAULT_TESTBED:
         out[host] = deploy_resource(
-            network, ca, host, system, cpus=cpus, registry=registry
+            network, ca, host, system, cpus=cpus, registry=registry,
+            durable=durable,
         )
     return out

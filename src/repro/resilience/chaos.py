@@ -24,6 +24,7 @@ from repro.transport.network import TransportError, VirtualNetwork
 
 TAKE_DOWN = "Chaos.TakeDown"
 REPAIR = "Chaos.Repair"
+RESTART = "Chaos.Restart"
 FAULT_BURST = "Chaos.FaultBurst"
 LATENCY_SPIKE = "Chaos.LatencySpike"
 FLAP = "Chaos.Flap"
@@ -62,6 +63,7 @@ class ChaosMonkey:
         config: ChaosConfig | None = None,
         log: ResilienceLog | None = None,
         protected: tuple[str, ...] = (),
+        rebuilders: dict[str, Callable[[], Any]] | None = None,
     ):
         self.network = network
         self.clock = network.clock
@@ -70,6 +72,11 @@ class ChaosMonkey:
         # not `log or ...`: an empty ResilienceLog has len 0 and is falsy
         self.log = log if log is not None else ResilienceLog()
         self.faults_injected = 0
+        #: host -> callable that re-deploys the host's services after a
+        #: repair (the crash-restart path: process state is gone, the host
+        #: disk survived, so a durable rebuilder replays its journals)
+        self.rebuilders = dict(rebuilders or {})
+        self.restarts_performed = 0
         self._rng = random.Random(seed)
         self._repairs: list[tuple[float, str]] = []  # (due time, host)
         self._down: set[str] = set()
@@ -92,6 +99,7 @@ class ChaosMonkey:
                 self.network.bring_up(host)
                 self._down.discard(host)
                 self._record(REPAIR, f"{host} repaired", host)
+                self._restart(host)
             else:
                 still_pending.append((due, host))
         self._repairs = still_pending
@@ -157,14 +165,26 @@ class ChaosMonkey:
                         duration=f"{duration:.6f}",
                     )
 
+    def _restart(self, host: str) -> None:
+        """Re-deploy a repaired host's services from its surviving disk."""
+        rebuilder = self.rebuilders.get(host)
+        if rebuilder is None:
+            return
+        rebuilder()
+        self.restarts_performed += 1
+        self._record(RESTART, f"{host} services rebuilt from journal", host)
+
     def heal_all(self) -> None:
         """Repair everything immediately (end-of-run cleanup)."""
+        repaired = {host for _, host in self._repairs} | set(self._down)
         for _, host in self._repairs:
             self.network.bring_up(host)
         self._repairs.clear()
         for host in list(self._down):
             self.network.bring_up(host)
         self._down.clear()
+        for host in sorted(repaired):
+            self._restart(host)
         for host in self.hosts:
             self.network.set_latency_spike(host, 0.0, 0.0)
 

@@ -85,13 +85,26 @@ class ContextNode:
 
 
 class ContextStore:
-    """The shared tree: user -> problem -> session, plus archives."""
+    """The shared tree: user -> problem -> session, plus archives.
 
-    def __init__(self, clock: SimClock | None = None):
+    Every mutation funnels through this class, which is what makes the
+    store journal-able: with a ``journal`` attached, each successful
+    mutation appends one ``ctx-*`` record, and a fresh store can
+    :meth:`replay` the log to rebuild the exact tree a crashed incarnation
+    held (timestamps excepted — they are process state, not durable state).
+    """
+
+    def __init__(self, clock: SimClock | None = None, *, journal=None):
         self.clock = clock or SimClock()
         self.root = ContextNode("", created=self.clock.now, modified=self.clock.now)
         self.archives: dict[str, ContextNode] = {}
         self._placeholder_ids = itertools.count(1)
+        self.journal = journal
+        self._replaying = False
+
+    def _journal(self, kind: str, **data) -> None:
+        if self.journal is not None and not self._replaying:
+            self.journal.append(kind, **data)
 
     # -- generic node algebra -----------------------------------------------------
 
@@ -120,6 +133,7 @@ class ContextStore:
                     part, created=now, modified=now, placeholder=placeholder
                 )
             current = current.children[part]
+        self._journal("ctx-create", path=path, placeholder=placeholder)
         return current
 
     def remove(self, path: str) -> None:
@@ -131,6 +145,7 @@ class ContextStore:
             raise ContextError(f"no context {path!r}", {"path": path})
         del parent.children[parts[-1]]
         parent.modified = self.clock.now
+        self._journal("ctx-remove", path=path)
 
     def rename(self, path: str, new_name: str) -> None:
         parts = self._parts(path)
@@ -145,6 +160,7 @@ class ContextStore:
         node.name = new_name
         node.modified = self.clock.now
         parent.children[new_name] = node
+        self._journal("ctx-rename", path=path, new=new_name)
 
     def copy(self, src: str, dst: str) -> None:
         node = self.node(src)
@@ -153,10 +169,141 @@ class ContextStore:
         parent = self.create("/".join(parts[:-1])) if parts[:-1] else self.root
         clone.name = parts[-1]
         parent.children[parts[-1]] = clone
+        self._journal("ctx-copy", src=src, dst=dst)
 
     def move(self, src: str, dst: str) -> None:
         self.copy(src, dst)
         self.remove(src)
+
+    # -- journaled leaf mutations (properties, descriptors, archives) -------
+
+    def touch(self, path: str) -> None:
+        self.node(path).modified = self.clock.now
+
+    def set_property(self, path: str, key: str, value: str) -> None:
+        node = self.node(path)
+        node.properties[key] = value
+        node.modified = self.clock.now
+        self._journal("ctx-prop-set", path=path, key=key, value=value)
+
+    def remove_property(self, path: str, key: str) -> bool:
+        node = self.node(path)
+        removed = node.properties.pop(key, None) is not None
+        if removed:
+            node.modified = self.clock.now
+            self._journal("ctx-prop-del", path=path, key=key)
+        return removed
+
+    def clear_properties(self, path: str) -> None:
+        node = self.node(path)
+        node.properties.clear()
+        node.modified = self.clock.now
+        self._journal("ctx-prop-clear", path=path)
+
+    def set_descriptor(self, path: str, descriptor: str) -> None:
+        node = self.node(path)
+        node.descriptor = descriptor
+        node.modified = self.clock.now
+        self._journal("ctx-desc", path=path, descriptor=descriptor)
+
+    def archive(self, path: str, *, key: str = "") -> str:
+        node = self.node(path)
+        key = key or f"{path.strip('/')}@{self.clock.now:.3f}"
+        self.archives[key] = ContextNode.from_xml(node.to_xml(), now=self.clock.now)
+        self._journal("ctx-archive", key=key, xml=node.to_xml().serialize())
+        return key
+
+    def restore(self, archive_key: str, path: str) -> None:
+        snapshot = self.archives.get(archive_key)
+        if snapshot is None:
+            raise ContextError(f"no archive {archive_key!r}")
+        parts = self._parts(path)
+        clone = ContextNode.from_xml(snapshot.to_xml(), now=self.clock.now)
+        clone.name = parts[-1]
+        parent = self.create("/".join(parts[:-1])) if parts[:-1] else self.root
+        parent.children[parts[-1]] = clone
+        self._journal("ctx-restore", key=archive_key, path=path)
+
+    def remove_archive(self, archive_key: str) -> None:
+        if archive_key not in self.archives:
+            raise ContextError(f"no archive {archive_key!r}")
+        del self.archives[archive_key]
+        self._journal("ctx-archive-del", key=archive_key)
+
+    def import_node(self, parent_path: str, xml: str) -> str:
+        node = ContextNode.from_xml(xml, now=self.clock.now)
+        parent = self.create(parent_path)
+        parent.children[node.name] = node
+        self._journal("ctx-import", parent=parent_path, xml=xml)
+        return f"{parent_path.strip('/')}/{node.name}"
+
+    # -- durability (the Recoverable protocol) -------------------------------
+
+    def snapshot(self) -> dict:
+        """Comparable durable state: the serialized tree plus archives
+        (timestamps excluded — they are not journaled)."""
+        return {
+            "tree": self.root.to_xml().serialize(),
+            "archives": {
+                key: node.to_xml().serialize()
+                for key, node in sorted(self.archives.items())
+            },
+        }
+
+    def replay(self, journal) -> int:
+        """Rebuild the tree from a previous incarnation's journal."""
+        self.journal = journal
+        self._replaying = True
+        applied = 0
+        max_placeholder = 0
+        try:
+            for record in journal.records():
+                kind, data = record.kind, record.data
+                if kind == "ctx-create":
+                    self.create(
+                        data["path"], placeholder=bool(data.get("placeholder"))
+                    )
+                    parts = self._parts(data["path"])
+                    if (
+                        parts
+                        and parts[0] == "__placeholder__"
+                        and parts[-1].startswith("session-")
+                        and parts[-1][len("session-"):].isdigit()
+                    ):
+                        max_placeholder = max(
+                            max_placeholder, int(parts[-1][len("session-"):])
+                        )
+                elif kind == "ctx-remove":
+                    self.remove(data["path"])
+                elif kind == "ctx-rename":
+                    self.rename(data["path"], data["new"])
+                elif kind == "ctx-copy":
+                    self.copy(data["src"], data["dst"])
+                elif kind == "ctx-prop-set":
+                    self.set_property(data["path"], data["key"], data["value"])
+                elif kind == "ctx-prop-del":
+                    self.remove_property(data["path"], data["key"])
+                elif kind == "ctx-prop-clear":
+                    self.clear_properties(data["path"])
+                elif kind == "ctx-desc":
+                    self.set_descriptor(data["path"], data["descriptor"])
+                elif kind == "ctx-archive":
+                    self.archives[data["key"]] = ContextNode.from_xml(
+                        data["xml"], now=record.t
+                    )
+                elif kind == "ctx-restore":
+                    self.restore(data["key"], data["path"])
+                elif kind == "ctx-archive-del":
+                    self.archives.pop(data["key"], None)
+                elif kind == "ctx-import":
+                    self.import_node(data["parent"], data["xml"])
+                else:
+                    continue
+                applied += 1
+            self._placeholder_ids = itertools.count(max_placeholder + 1)
+        finally:
+            self._replaying = False
+        return applied
 
     @staticmethod
     def _parts(path: str) -> list[str]:
@@ -176,7 +323,7 @@ class ContextManagerService:
         self.calls = 0
 
     def _touch(self, path: str) -> None:
-        self.store.node(path).modified = self.store.clock.now
+        self.store.touch(path)
 
     # ---- user contexts -------------------------------------------------------
 
@@ -345,18 +492,14 @@ class ContextManagerService:
         self, user: str, problem: str, session: str, descriptor: str
     ) -> bool:
         self.calls += 1
-        node = self.store.node(f"{user}/{problem}/{session}")
-        node.descriptor = descriptor
-        node.modified = self.store.clock.now
+        self.store.set_descriptor(f"{user}/{problem}/{session}", descriptor)
         return True
 
     # ---- properties, one family per level --------------------------------------------
 
     def setUserProperty(self, user: str, key: str, value: str) -> bool:
         self.calls += 1
-        node = self.store.node(user)
-        node.properties[key] = value
-        node.modified = self.store.clock.now
+        self.store.set_property(user, key, value)
         return True
 
     def getUserProperty(self, user: str, key: str) -> str:
@@ -369,7 +512,7 @@ class ContextManagerService:
 
     def removeUserProperty(self, user: str, key: str) -> bool:
         self.calls += 1
-        return self.store.node(user).properties.pop(key, None) is not None
+        return self.store.remove_property(user, key)
 
     def listUserProperties(self, user: str) -> list[str]:
         self.calls += 1
@@ -377,14 +520,12 @@ class ContextManagerService:
 
     def clearUserProperties(self, user: str) -> bool:
         self.calls += 1
-        self.store.node(user).properties.clear()
+        self.store.clear_properties(user)
         return True
 
     def setProblemProperty(self, user: str, problem: str, key: str, value: str) -> bool:
         self.calls += 1
-        node = self.store.node(f"{user}/{problem}")
-        node.properties[key] = value
-        node.modified = self.store.clock.now
+        self.store.set_property(f"{user}/{problem}", key, value)
         return True
 
     def getProblemProperty(self, user: str, problem: str, key: str) -> str:
@@ -397,9 +538,7 @@ class ContextManagerService:
 
     def removeProblemProperty(self, user: str, problem: str, key: str) -> bool:
         self.calls += 1
-        return (
-            self.store.node(f"{user}/{problem}").properties.pop(key, None) is not None
-        )
+        return self.store.remove_property(f"{user}/{problem}", key)
 
     def listProblemProperties(self, user: str, problem: str) -> list[str]:
         self.calls += 1
@@ -407,16 +546,14 @@ class ContextManagerService:
 
     def clearProblemProperties(self, user: str, problem: str) -> bool:
         self.calls += 1
-        self.store.node(f"{user}/{problem}").properties.clear()
+        self.store.clear_properties(f"{user}/{problem}")
         return True
 
     def setSessionProperty(
         self, user: str, problem: str, session: str, key: str, value: str
     ) -> bool:
         self.calls += 1
-        node = self.store.node(f"{user}/{problem}/{session}")
-        node.properties[key] = value
-        node.modified = self.store.clock.now
+        self.store.set_property(f"{user}/{problem}/{session}", key, value)
         return True
 
     def getSessionProperty(
@@ -435,10 +572,7 @@ class ContextManagerService:
         self, user: str, problem: str, session: str, key: str
     ) -> bool:
         self.calls += 1
-        return (
-            self.store.node(f"{user}/{problem}/{session}").properties.pop(key, None)
-            is not None
-        )
+        return self.store.remove_property(f"{user}/{problem}/{session}", key)
 
     def listSessionProperties(self, user: str, problem: str, session: str) -> list[str]:
         self.calls += 1
@@ -446,7 +580,7 @@ class ContextManagerService:
 
     def clearSessionProperties(self, user: str, problem: str, session: str) -> bool:
         self.calls += 1
-        self.store.node(f"{user}/{problem}/{session}").properties.clear()
+        self.store.clear_properties(f"{user}/{problem}/{session}")
         return True
 
     # ---- archival ----------------------------------------------------------------------
@@ -454,24 +588,13 @@ class ContextManagerService:
     def archiveSession(self, user: str, problem: str, session: str) -> str:
         """Snapshot a session for later recovery; returns the archive key."""
         self.calls += 1
-        node = self.store.node(f"{user}/{problem}/{session}")
-        key = f"{user}/{problem}/{session}@{self.store.clock.now:.3f}"
-        self.store.archives[key] = ContextNode.from_xml(
-            node.to_xml(), now=self.store.clock.now
-        )
-        return key
+        return self.store.archive(f"{user}/{problem}/{session}")
 
     def restoreSession(self, archive_key: str, user: str, problem: str, session: str) -> bool:
         """Recover an archived session into the live tree (users 'can recover
         and edit old sessions later')."""
         self.calls += 1
-        snapshot = self.store.archives.get(archive_key)
-        if snapshot is None:
-            raise ContextError(f"no archive {archive_key!r}")
-        clone = ContextNode.from_xml(snapshot.to_xml(), now=self.store.clock.now)
-        clone.name = session
-        parent = self.store.create(f"{user}/{problem}")
-        parent.children[session] = clone
+        self.store.restore(archive_key, f"{user}/{problem}/{session}")
         return True
 
     def listArchivedSessions(self, user: str) -> list[str]:
@@ -480,9 +603,7 @@ class ContextManagerService:
 
     def removeArchivedSession(self, archive_key: str) -> bool:
         self.calls += 1
-        if archive_key not in self.store.archives:
-            raise ContextError(f"no archive {archive_key!r}")
-        del self.store.archives[archive_key]
+        self.store.remove_archive(archive_key)
         return True
 
     def exportSessionXml(self, user: str, problem: str, session: str) -> str:
@@ -491,10 +612,7 @@ class ContextManagerService:
 
     def importSessionXml(self, user: str, problem: str, xml: str) -> str:
         self.calls += 1
-        node = ContextNode.from_xml(xml, now=self.store.clock.now)
-        parent = self.store.create(f"{user}/{problem}")
-        parent.children[node.name] = node
-        return f"{user}/{problem}/{node.name}"
+        return self.store.import_node(f"{user}/{problem}", xml)
 
     def getArchiveCount(self) -> int:
         self.calls += 1
@@ -504,7 +622,7 @@ class ContextManagerService:
         self.calls += 1
         keys = [k for k in self.store.archives if k.startswith(user + "/")]
         for key in keys:
-            del self.store.archives[key]
+            self.store.remove_archive(key)
         return len(keys)
 
     # ---- placeholder contexts (the HotPage workaround) -------------------------------------
@@ -542,8 +660,8 @@ class ContextManagerService:
     def registerModule(self, name: str, descriptor: str) -> bool:
         """Gateway modules (service implementations) also exist in contexts."""
         self.calls += 1
-        node = self.store.create(f"__modules__/{name}")
-        node.descriptor = descriptor
+        self.store.create(f"__modules__/{name}")
+        self.store.set_descriptor(f"__modules__/{name}", descriptor)
         return True
 
     def unregisterModule(self, name: str) -> bool:
@@ -566,7 +684,7 @@ class ContextManagerService:
 
     def setModuleProperty(self, name: str, key: str, value: str) -> bool:
         self.calls += 1
-        self.store.node(f"__modules__/{name}").properties[key] = value
+        self.store.set_property(f"__modules__/{name}", key, value)
         return True
 
 
@@ -617,16 +735,14 @@ class PropertyService:
         self.store = store
 
     def set(self, path: str, key: str, value: str) -> bool:
-        node = self.store.node(path)
-        node.properties[key] = value
-        node.modified = self.store.clock.now
+        self.store.set_property(path, key, value)
         return True
 
     def get(self, path: str, key: str) -> str:
         return self.store.node(path).properties.get(key, "")
 
     def remove(self, path: str, key: str) -> bool:
-        return self.store.node(path).properties.pop(key, None) is not None
+        return self.store.remove_property(path, key)
 
     def list(self, path: str) -> list[str]:
         return sorted(self.store.node(path).properties)
@@ -639,22 +755,10 @@ class SessionArchiveService:
         self.store = store
 
     def archive(self, path: str) -> str:
-        node = self.store.node(path)
-        key = f"{path.strip('/')}@{self.store.clock.now:.3f}"
-        self.store.archives[key] = ContextNode.from_xml(
-            node.to_xml(), now=self.store.clock.now
-        )
-        return key
+        return self.store.archive(path)
 
     def restore(self, archive_key: str, path: str) -> bool:
-        snapshot = self.store.archives.get(archive_key)
-        if snapshot is None:
-            raise ContextError(f"no archive {archive_key!r}")
-        parts = path.strip("/").split("/")
-        clone = ContextNode.from_xml(snapshot.to_xml(), now=self.store.clock.now)
-        clone.name = parts[-1]
-        parent = self.store.create("/".join(parts[:-1])) if parts[:-1] else self.store.root
-        parent.children[parts[-1]] = clone
+        self.store.restore(archive_key, path)
         return True
 
     def list(self, prefix: str) -> list[str]:
@@ -664,10 +768,7 @@ class SessionArchiveService:
         return self.store.node(path).to_xml().serialize()
 
     def import_xml(self, parent_path: str, xml: str) -> str:
-        node = ContextNode.from_xml(xml, now=self.store.clock.now)
-        parent = self.store.create(parent_path)
-        parent.children[node.name] = node
-        return f"{parent_path.strip('/')}/{node.name}"
+        return self.store.import_node(parent_path, xml)
 
 
 def deploy_context_manager(
@@ -676,8 +777,23 @@ def deploy_context_manager(
     *,
     store: ContextStore | None = None,
     server: HttpServer | None = None,
+    durable: bool = False,
 ) -> tuple[ContextManagerService, str]:
-    """Deploy the monolith; returns (impl, endpoint URL)."""
+    """Deploy the monolith; returns (impl, endpoint URL).
+
+    With ``durable=True`` every context mutation is journalled to the
+    host's disk; deploying again on the same host replays the journal, so
+    a crash loses no committed context state.
+    """
+    if durable and store is None:
+        from repro.durability.journal import Journal
+
+        journal = Journal(network.disk(host), "context", clock=network.clock)
+        store = ContextStore(network.clock)
+        if len(journal):
+            store.replay(journal)
+        else:
+            store.journal = journal
     impl = ContextManagerService(store, network.clock)
     server = server or HttpServer(host, network)
     soap = SoapService("ContextManager", CONTEXT_NAMESPACE)
@@ -690,6 +806,7 @@ def deploy_replicated_context_manager(
     hosts: tuple[str, ...] = ("context1.iu.edu", "context2.sdsc.edu"),
     *,
     store: ContextStore | None = None,
+    durable: bool = False,
 ) -> tuple[ContextStore, list[str]]:
     """Deploy the context manager on several hosts over one shared store.
 
@@ -697,8 +814,18 @@ def deploy_replicated_context_manager(
     substitution applied to a *stateful* service: because state lives in the
     shared store, a :class:`repro.resilience.failover.FailoverClient` can
     rotate to a surviving replica mid-session without losing contexts.
-    Returns (the shared store, one endpoint URL per replica).
+    With ``durable=True`` the shared store journals to the first host's
+    disk.  Returns (the shared store, one endpoint URL per replica).
     """
+    if durable and store is None:
+        from repro.durability.journal import Journal
+
+        journal = Journal(network.disk(hosts[0]), "context", clock=network.clock)
+        store = ContextStore(network.clock)
+        if len(journal):
+            store.replay(journal)
+        else:
+            store.journal = journal
     store = store or ContextStore(network.clock)
     endpoints = [
         deploy_context_manager(network, host, store=store)[1] for host in hosts

@@ -20,17 +20,20 @@ Three services, as in the paper:
 
 from __future__ import annotations
 
+import itertools
 from typing import Any
 
-from repro.faults import InvalidRequestError, JobError
 from repro.corba.orb import CorbaSystemException, CorbaUserException, Orb
+from repro.durability.idempotency import current_key
+from repro.durability.journal import Journal
+from repro.faults import InvalidRequestError, JobError, ResourceNotFoundError
 from repro.grid.gram import GramClient, rsl_for
 from repro.grid.jobs import JobSpec
 from repro.grid.resources import ComputeResource
 from repro.security.gsi import ProxyCertificate
 from repro.soap.client import SoapClient
 from repro.soap.server import SoapService
-from repro.transport.network import VirtualNetwork
+from repro.transport.network import ServiceCrash, VirtualNetwork
 from repro.transport.server import HttpServer
 from repro.xmlutil.element import XmlElement, parse_xml
 
@@ -74,7 +77,9 @@ def jobs_from_xml(text: str) -> list[tuple[str, JobSpec]]:
         spec = JobSpec(
             name=job.findtext("name", "job") or "job",
             executable=job.findtext("executable"),
-            arguments=[arg.text for arg in job.findall("argument")],
+            # an empty <argument/> is a legitimate empty-string argument,
+            # never None — generators emit one for args like ""
+            arguments=[arg.text or "" for arg in job.findall("argument")],
             cpus=int(job.findtext("count", "1") or 1),
             queue=job.findtext("queue", "") or "",
             wallclock_limit=float(job.findtext("maxWallTime", "3600") or 3600),
@@ -105,10 +110,27 @@ class GlobusrunService:
         proxy: ProxyCertificate,
         *,
         service_host: str = "globusrun.sdsc.edu",
+        journal: Journal | None = None,
     ):
         self.resources = resources
+        self.service_host = service_host
         self.gram = GramClient(network, proxy, source=service_host)
         self.jobs_run = 0
+        #: write-ahead journal for batch acceptance/resolution; attaching a
+        #: journal with prior records rebuilds the previous incarnation's
+        #: batch state (crash recovery)
+        self.journal = journal
+        self._replaying = False
+        self._accepted: dict[str, str] = {}  # batch id -> request xml
+        self._results: dict[str, str] = {}   # batch id -> results xml
+        self._keys: dict[str, str] = {}      # idempotency key -> batch id
+        self._batch_ids = itertools.count(1)
+        self.batches_redriven = 0
+        #: chaos knob: die (ServiceCrash) after this many jobs of the
+        #: current batch have completed; one-shot, cleared when it fires
+        self.crash_after_jobs: int | None = None
+        if journal is not None and len(journal):
+            self.replay(journal)
 
     def _resource(self, contact: str) -> ComputeResource:
         resource = self.resources.get(contact)
@@ -116,14 +138,119 @@ class GlobusrunService:
             raise JobError(f"unknown gatekeeper contact {contact!r}", {"host": contact})
         return resource
 
-    def _run_one(self, contact: str, spec: JobSpec) -> tuple[str, str, int]:
-        """Submit and wait; returns (job id, stdout, exit code)."""
+    def _run_one(
+        self, contact: str, spec: JobSpec, key: str = ""
+    ) -> tuple[str, str, int]:
+        """Submit and wait; returns (job id, stdout, exit code).
+
+        *key* is forwarded to the gatekeeper as the submission's idempotency
+        key: re-running an interrupted batch re-submits with the same keys,
+        and jobs that already ran return their original ids and output.
+        """
         resource = self._resource(contact)
-        job_id = self.gram.submit(contact, rsl_for(spec))
+        job_id = self.gram.submit(contact, rsl_for(spec), key)
         record = resource.scheduler.wait_for(job_id)
         self.jobs_run += 1
         exit_code = record.exit_code if record.exit_code is not None else -1
         return job_id, record.stdout, exit_code
+
+    # -- durable batch state (the Recoverable protocol) -----------------------
+
+    def _journal(self, kind: str, **data) -> None:
+        if self.journal is not None and not self._replaying:
+            self.journal.append(kind, **data)
+
+    def snapshot(self) -> dict:
+        return {
+            "host": self.service_host,
+            "accepted": sorted(self._accepted),
+            "resolved": sorted(self._results),
+        }
+
+    def replay(self, journal: Journal) -> int:
+        """Rebuild accepted/resolved batch state from a prior incarnation's
+        journal; returns the number of records applied."""
+        self.journal = journal
+        self._replaying = True
+        applied = 0
+        try:
+            max_id = 0
+            for record in journal.records():
+                if record.kind == "batch-accept":
+                    batch = record.data["batch"]
+                    self._accepted[batch] = record.data["xml"]
+                    key = record.data.get("key", "")
+                    if key:
+                        self._keys[key] = batch
+                    suffix = batch.rsplit("-", 1)[-1]
+                    if suffix.isdigit():
+                        max_id = max(max_id, int(suffix))
+                    applied += 1
+                elif record.kind == "batch-resolve":
+                    self._results[record.data["batch"]] = record.data["results"]
+                    applied += 1
+            self._batch_ids = itertools.count(max_id + 1)
+        finally:
+            self._replaying = False
+        return applied
+
+    def _accept(self, jobs_xml: str, key: str) -> str:
+        """Durably accept a batch (write-ahead: journaled before any job
+        runs).  A repeated key returns the originally assigned batch id."""
+        jobs_from_xml(jobs_xml)  # validate before accepting anything
+        if key and key in self._keys:
+            return self._keys[key]
+        batch = f"batch-{next(self._batch_ids):06d}"
+        self._accepted[batch] = jobs_xml
+        if key:
+            self._keys[key] = batch
+        self._journal("batch-accept", batch=batch, xml=jobs_xml, key=key)
+        return batch
+
+    def _resolve(self, batch: str) -> str:
+        """Run an accepted batch to completion (idempotent: an already
+        resolved batch returns its recorded results without re-running)."""
+        done = self._results.get(batch)
+        if done is not None:
+            return done
+        jobs_xml = self._accepted.get(batch)
+        if jobs_xml is None:
+            raise ResourceNotFoundError(
+                f"no batch {batch!r}", {"batch": batch}
+            )
+        requests = jobs_from_xml(jobs_xml)
+        results = XmlElement("results")
+        completed = 0
+        for index, (contact, spec) in enumerate(requests):
+            node = results.child("result")
+            node.set("host", contact)
+            node.set("name", spec.name)
+            try:
+                job_id, stdout, exit_code = self._run_one(
+                    contact, spec, key=f"{self.service_host}:{batch}:{index}"
+                )
+            except JobError as err:
+                node.set("status", "error")
+                node.child("error", text=err.message)
+            else:
+                node.set("status", "ok" if exit_code == 0 else "failed")
+                node.set("jobId", job_id)
+                node.child("exitCode", text=str(exit_code))
+                node.child("output", text=stdout)
+            completed += 1
+            if (
+                self.crash_after_jobs is not None
+                and completed >= self.crash_after_jobs
+            ):
+                self.crash_after_jobs = None
+                raise ServiceCrash(
+                    f"globusrun process on {self.service_host} died "
+                    f"mid-batch {batch} ({completed}/{len(requests)} jobs)"
+                )
+        serialized = results.serialize(declaration=True)
+        self._results[batch] = serialized
+        self._journal("batch-resolve", batch=batch, results=serialized)
+        return serialized
 
     # -- exposed methods -----------------------------------------------------
 
@@ -145,7 +272,7 @@ class GlobusrunService:
             queue=queue,
             wallclock_limit=float(max_wall_time) if max_wall_time else 3600.0,
         )
-        _job_id, stdout, exit_code = self._run_one(host, spec)
+        _job_id, stdout, exit_code = self._run_one(host, spec, key=current_key())
         if exit_code != 0:
             raise JobError(
                 f"job exited with code {exit_code}",
@@ -157,25 +284,42 @@ class GlobusrunService:
         """XML multi-job execution: one request, sequential runs, XML results.
 
         Failures do not abort the batch; each <result> carries its own
-        status, preserving the common error vocabulary in-band.
+        status, preserving the common error vocabulary in-band.  The batch
+        is journaled as accepted before the first job runs, so a crash
+        mid-batch leaves a recoverable orphan rather than silently losing
+        the accepted work.
         """
-        requests = jobs_from_xml(jobs_xml)
-        results = XmlElement("results")
-        for contact, spec in requests:
-            node = results.child("result")
-            node.set("host", contact)
-            node.set("name", spec.name)
-            try:
-                job_id, stdout, exit_code = self._run_one(contact, spec)
-            except JobError as err:
-                node.set("status", "error")
-                node.child("error", text=err.message)
-                continue
-            node.set("status", "ok" if exit_code == 0 else "failed")
-            node.set("jobId", job_id)
-            node.child("exitCode", text=str(exit_code))
-            node.child("output", text=stdout)
-        return results.serialize(declaration=True)
+        batch = self._accept(jobs_xml, current_key())
+        return self._resolve(batch)
+
+    def submit_async(self, jobs_xml: str) -> str:
+        """Accept a batch durably and return its id without running it.
+
+        The caller follows up with :meth:`poll` / :meth:`result`; because
+        acceptance is journaled, the batch survives a service crash between
+        submission and resolution.
+        """
+        return self._accept(jobs_xml, current_key())
+
+    def poll(self, batch: str) -> str:
+        """The batch's state: ``accepted`` (not yet run) or ``done``."""
+        if batch in self._results:
+            return "done"
+        if batch in self._accepted:
+            return "accepted"
+        raise ResourceNotFoundError(f"no batch {batch!r}", {"batch": batch})
+
+    def result(self, batch: str) -> str:
+        """The batch's results XML, running it first if still unresolved.
+
+        Safe to call repeatedly and from anyone (the submitting client, a
+        failover substitute, the reconciler): resolved batches return the
+        recorded results; unresolved ones are driven to completion with
+        per-job idempotency keys, so nothing runs twice.
+        """
+        if batch not in self._results and batch in self._accepted:
+            self.batches_redriven += 1
+        return self._resolve(batch)
 
     def list_contacts(self) -> list[str]:
         """The gatekeeper contacts this deployment can reach."""
@@ -187,14 +331,33 @@ def deploy_globusrun(
     resources: dict[str, ComputeResource],
     proxy: ProxyCertificate,
     host: str = "globusrun.sdsc.edu",
+    *,
+    durable: bool = False,
 ) -> tuple[GlobusrunService, str]:
-    """Stand up the Globusrun web service; returns (impl, endpoint URL)."""
-    impl = GlobusrunService(network, resources, proxy, service_host=host)
+    """Stand up the Globusrun web service; returns (impl, endpoint URL).
+
+    With ``durable=True`` the service journals batch state to the host's
+    disk and the SOAP endpoint caches keyed responses durably.  Calling
+    this again after a crash (``take_down``/``bring_up``) *is* the restart
+    path: the fresh instance attaches to the surviving disk and replays.
+    """
+    journal = None
+    if durable:
+        disk = network.disk(host)
+        journal = Journal(disk, "globusrun", clock=network.clock)
+    impl = GlobusrunService(
+        network, resources, proxy, service_host=host, journal=journal
+    )
     server = HttpServer(host, network)
     soap = SoapService("Globusrun", GLOBUSRUN_NAMESPACE)
     soap.expose(impl.run)
     soap.expose(impl.run_xml)
+    soap.expose(impl.submit_async)
+    soap.expose(impl.poll)
+    soap.expose(impl.result)
     soap.expose(impl.list_contacts)
+    if durable:
+        soap.enable_replay(Journal(disk, "soap-replay", clock=network.clock))
     return impl, soap.mount(server, "/globusrun")
 
 
@@ -238,16 +401,27 @@ class BatchJobService:
                 words.append(token)
         if not words:
             raise InvalidRequestError(f"no executable in command {command!r}")
-        self.requests_handled += 1
-        return self._globusrun.call(
+        try:
+            count = int(settings["count"])
+            walltime = int(settings["walltime"])
+        except ValueError:
+            raise InvalidRequestError(
+                f"malformed numeric setting in {command!r} "
+                f"(count={settings['count']!r}, walltime={settings['walltime']!r})"
+            ) from None
+        result = self._globusrun.call(
             "run",
             host,
             words[0],
             " ".join(words[1:]),
-            int(settings["count"]),
+            count,
             settings["queue"],
-            int(settings["walltime"]),
+            walltime,
         )
+        # counted only after the downstream call succeeds: a request that
+        # faulted was not "handled"
+        self.requests_handled += 1
+        return result
 
 
 def deploy_batchjob(

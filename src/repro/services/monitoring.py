@@ -32,9 +32,12 @@ class JobMonitoringService:
         self,
         resources: dict[str, ComputeResource],
         resilience_log=None,
+        network: VirtualNetwork | None = None,
     ):
         self.resources = resources
         self.resilience_log = resilience_log
+        #: lets the recovery views inventory journals on host disks
+        self.network = network
         self.queries_served = 0
 
     def _resource(self, host: str) -> ComputeResource:
@@ -113,6 +116,42 @@ class JobMonitoringService:
             {"code": code, "count": counts[code]} for code in sorted(counts)
         ]
 
+    # -- recovery views (see repro.durability) -------------------------------------
+
+    def journals(self) -> list[dict[str, Any]]:
+        """One row per durable journal on any host disk: host, journal name,
+        record count — the operator's inventory of recoverable state."""
+        self.queries_served += 1
+        if self.network is None:
+            return []
+        from repro.durability.journal import Journal
+
+        rows: list[dict[str, Any]] = []
+        for host in sorted(self.network.hosts()):
+            disk = self.network.disk(host)
+            for name in sorted(disk.log_names()):
+                journal = Journal(disk, name)
+                rows.append({
+                    "host": host,
+                    "journal": name,
+                    "records": len(journal),
+                })
+        return rows
+
+    def recovery_summary(self) -> list[dict[str, Any]]:
+        """Counts of durability events (orphans found, reconciled, recovery
+        replays) from the resilience stream."""
+        self.queries_served += 1
+        if self.resilience_log is None:
+            return []
+        counts: dict[str, int] = {}
+        for event in self.resilience_log.events:
+            if event.code.startswith("Durability."):
+                counts[event.code] = counts.get(event.code, 0) + 1
+        return [
+            {"code": code, "count": counts[code]} for code in sorted(counts)
+        ]
+
 
 def deploy_monitoring(
     network: VirtualNetwork,
@@ -122,7 +161,9 @@ def deploy_monitoring(
     resilience_log=None,
 ) -> tuple[JobMonitoringService, str]:
     """Stand up the monitoring service; returns (impl, endpoint URL)."""
-    impl = JobMonitoringService(resources, resilience_log=resilience_log)
+    impl = JobMonitoringService(
+        resources, resilience_log=resilience_log, network=network
+    )
     server = HttpServer(host, network)
     soap = SoapService("JobMonitoring", MONITORING_NAMESPACE)
     soap.expose(impl.hosts)
@@ -132,6 +173,8 @@ def deploy_monitoring(
     soap.expose(impl.user_jobs)
     soap.expose(impl.resilience_events)
     soap.expose(impl.resilience_summary)
+    soap.expose(impl.journals)
+    soap.expose(impl.recovery_summary)
     return impl, soap.mount(server, "/monitor")
 
 

@@ -111,13 +111,19 @@ class SoapClient:
 
     # -- the call path --------------------------------------------------------
 
-    def _call_once(self, method: str, params: list[Any], deadline) -> Any:
+    def _call_once(
+        self, method: str, params: list[Any], deadline, idem_key: str = ""
+    ) -> Any:
         """One request/response round trip (the seed's whole call path)."""
         headers: list[XmlElement] = []
         for provider in self.header_providers:
             headers.extend(provider(method, params))
         if deadline is not None:
             headers.append(deadline.to_header())
+        if idem_key:
+            from repro.durability.idempotency import idempotency_header
+
+            headers.append(idempotency_header(idem_key))
         envelope = request_envelope(self.namespace, method, params, headers)
         response = self.http.post(
             self.endpoint,
@@ -140,12 +146,25 @@ class SoapClient:
 
         return decode_value(return_node)
 
-    def call(self, method: str, *params: Any, timeout: float | None = None) -> Any:
+    def call(
+        self,
+        method: str,
+        *params: Any,
+        timeout: float | None = None,
+        idempotency_key: str = "",
+    ) -> Any:
         """Invoke ``method(*params)`` on the remote service.
 
         ``timeout`` (virtual seconds, default: the client's ``timeout``)
         bounds the whole call including retries and backoff; it travels to
         the server as a deadline header.
+
+        ``idempotency_key`` stamps every attempt of this logical call with
+        the same key header (``urn:gce:durability``), so a provider that
+        journals keys — or a failover substitute attached to the same
+        journal — returns the first attempt's result instead of redoing the
+        work.  Essential for retried *submissions*: the request may have
+        been accepted even though the response was lost.
         """
         from repro.resilience.policy import NO_RETRY, Deadline, is_retryable
 
@@ -158,7 +177,9 @@ class SoapClient:
             if deadline is not None and deadline.expired(self.clock):
                 raise self._deadline_error(method, deadline)
             try:
-                return self._call_once(method, param_list, deadline)
+                return self._call_once(
+                    method, param_list, deadline, idempotency_key
+                )
             except Exception as exc:
                 attempts += 1
                 if not is_retryable(exc):

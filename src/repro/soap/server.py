@@ -12,6 +12,11 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.durability.idempotency import (
+    IdempotencyIndex,
+    key_from_headers,
+    set_current_key,
+)
 from repro.faults import InvalidRequestError, PortalError
 from repro.soap.encoding import decode_value
 from repro.soap.message import (
@@ -20,6 +25,7 @@ from repro.soap.message import (
     response_envelope,
 )
 from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.network import ServiceCrash
 from repro.transport.server import HttpServer
 
 # An interceptor inspects (method name, params, envelope) before dispatch and
@@ -56,6 +62,10 @@ class SoapService:
         #: the host clock (set by :meth:`mount`); enables deadline shedding
         self.clock = None
         self.requests_shed = 0
+        #: journal-backed response cache keyed by the client's idempotency
+        #: header (see :meth:`enable_replay`); ``None`` = caching off
+        self.replay_cache: IdempotencyIndex | None = None
+        self.replays_served = 0
 
     # -- registration ----------------------------------------------------------
 
@@ -94,12 +104,29 @@ class SoapService:
     def add_interceptor(self, interceptor: Interceptor) -> None:
         self.interceptors.append(interceptor)
 
+    def enable_replay(self, journal) -> "SoapService":
+        """Cache successful responses durably by idempotency key.
+
+        A request carrying a key the journal has already seen gets the
+        recorded response envelope back without re-running the method —
+        including after a crash-restart, since a fresh service instance
+        attached to the same journal replays the cache.
+        """
+        self.replay_cache = IdempotencyIndex(journal)
+        return self
+
     # -- dispatch ----------------------------------------------------------------
 
     def dispatch(self, envelope: SoapEnvelope) -> SoapEnvelope:
         """Execute one request envelope, always returning a response (faults
         included — never raising)."""
         method_name = envelope.body.tag.local
+        idem_key = key_from_headers(envelope.headers) if envelope.headers else ""
+        if self.replay_cache is not None and idem_key:
+            cached = self.replay_cache.get(idem_key)
+            if cached is not None:
+                self.replays_served += 1
+                return SoapEnvelope.parse(cached)
         try:
             self._shed_if_expired(method_name, envelope)
             exposed = self.methods.get(method_name)
@@ -111,7 +138,13 @@ class SoapService:
             params = [decode_value(child) for child in envelope.body.children]
             for interceptor in self.interceptors:
                 interceptor(method_name, params, envelope)
-            result = exposed.func(*params)
+            set_current_key(idem_key)
+            try:
+                result = exposed.func(*params)
+            finally:
+                set_current_key("")
+        except ServiceCrash:
+            raise  # the process died: no fault, no response, nothing at all
         except PortalError as err:
             self.faults_returned += 1
             return SoapEnvelope(
@@ -126,7 +159,10 @@ class SoapService:
             )
             return SoapEnvelope(fault.to_xml())
         self.calls_served += 1
-        return response_envelope(self.namespace, method_name, result)
+        response = response_envelope(self.namespace, method_name, result)
+        if self.replay_cache is not None and idem_key:
+            self.replay_cache.put(idem_key, response.serialize())
+        return response
 
     def _shed_if_expired(self, method_name: str, envelope: SoapEnvelope) -> None:
         """Reject work whose caller's deadline has already passed.

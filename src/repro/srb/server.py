@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import base64
 import itertools
 
 from repro.faults import (
@@ -40,6 +41,7 @@ class SrbServer:
         clock: SimClock | None = None,
         *,
         zone: str = "reproZone",
+        journal=None,
     ):
         self.ca = ca
         self.clock = clock or SimClock()
@@ -51,6 +53,11 @@ class SrbServer:
         self._sessions: dict[str, SrbSession] = {}
         self._session_ids = itertools.count(1)
         self.mcat.make_collection("/home", "srbAdmin")
+        #: optional write-ahead journal for catalogue mutations (see
+        #: :mod:`repro.durability`); sessions and GSI state are deliberately
+        #: *not* journalled — they are soft state a client re-establishes
+        self.journal = journal
+        self._replaying = False
 
     # -- administration -----------------------------------------------------------
 
@@ -64,6 +71,7 @@ class SrbServer:
         self._identity_map[identity] = srb_user
         home = self.mcat.make_collection(f"/home/{srb_user}", srb_user)
         home.acl[srb_user] = "rw"
+        self._journal("user", identity=identity, srb_user=srb_user)
 
     # -- sessions ---------------------------------------------------------------------
 
@@ -117,6 +125,9 @@ class SrbServer:
             collection.acl[user] = access
         else:
             raise InvalidRequestError(f"unknown access level {access!r}")
+        self._journal(
+            "chmod", path=path, user=user, access=access, actor=session.user
+        )
 
     # -- core operations ------------------------------------------------------------------
 
@@ -133,6 +144,7 @@ class SrbServer:
                 continue
         self._check(session, anchor, "rw")
         self.mcat.make_collection(path, session.user)
+        self._journal("mkdir", path=path, user=session.user)
 
     def ls(self, session: SrbSession, path: str) -> list[dict[str, object]]:
         collection = self.mcat.collection(path)
@@ -169,6 +181,14 @@ class SrbServer:
             metadata=dict(metadata or {}),
         )
         self.mcat.put_object(path, obj)
+        self._journal(
+            "put",
+            path=path,
+            data=base64.b64encode(data).decode("ascii"),
+            resource=res_name,
+            metadata=dict(metadata or {}),
+            user=session.user,
+        )
         return obj
 
     def get(self, session: SrbSession, path: str) -> bytes:
@@ -191,6 +211,7 @@ class SrbServer:
             res = self.resources.get(res_name)
             if res is not None and blob_id in res:
                 res.delete(blob_id)
+        self._journal("rm", path=path, user=session.user)
 
     def rmdir(self, session: SrbSession, path: str, *, force: bool = False) -> None:
         collection = self.mcat.collection(path)
@@ -203,6 +224,7 @@ class SrbServer:
                 else:
                     self.rm(session, child)
         self.mcat.remove_collection(path, force=force)
+        self._journal("rmdir", path=path, force=force, user=session.user)
 
     def replicate(self, session: SrbSession, path: str, resource: str) -> DataObject:
         """Create an additional replica on another storage resource."""
@@ -219,6 +241,7 @@ class SrbServer:
         data = self.get(session, path)
         obj.replicas.append((resource, res.write(data)))
         obj.modified = self.clock.now
+        self._journal("replicate", path=path, resource=resource, user=session.user)
         return obj
 
     def set_metadata(
@@ -229,6 +252,9 @@ class SrbServer:
         obj = self.mcat.data_object(path)
         obj.metadata.update(metadata)
         obj.modified = self.clock.now
+        self._journal(
+            "meta", path=path, metadata=dict(metadata), user=session.user
+        )
 
     def query_metadata(
         self, session: SrbSession, where: dict[str, str], path: str = "/"
@@ -236,3 +262,84 @@ class SrbServer:
         collection = self.mcat.collection(path)
         self._check(session, collection, "r")
         return [p for p, _obj in self.mcat.find_by_metadata(where, path)]
+
+    # -- durability (the Recoverable protocol) -------------------------------------
+
+    def _journal(self, kind: str, **data) -> None:
+        if self.journal is not None and not self._replaying:
+            self.journal.append(kind, **data)
+
+    def snapshot(self) -> dict:
+        """A JSON-safe summary of the catalogue (users, tree, replicas)."""
+        objects: dict[str, dict] = {}
+        collections: list[str] = []
+
+        def visit(node: Collection, prefix: str) -> None:
+            for name, child in sorted(node.collections.items()):
+                child_path = f"{prefix}/{name}"
+                collections.append(child_path)
+                visit(child, child_path)
+            for name, obj in sorted(node.objects.items()):
+                objects[f"{prefix}/{name}"] = {
+                    "size": obj.size,
+                    "owner": obj.owner,
+                    "replicas": [list(r) for r in obj.replicas],
+                    "metadata": dict(obj.metadata),
+                }
+
+        visit(self.mcat.root, "")
+        return {
+            "zone": self.zone,
+            "users": dict(self._identity_map),
+            "collections": collections,
+            "objects": objects,
+        }
+
+    def replay(self, journal) -> int:
+        """Rebuild the catalogue and storage blobs from a surviving journal.
+
+        Each record re-runs the original operation as the user who issued
+        it (a synthetic session — GSI re-authentication is soft state, not
+        journal state), so ACL checks replay exactly as they first ran.
+        Storage resources must be attached before calling this.
+        """
+        self.journal = journal
+        self._replaying = True
+        applied = 0
+        try:
+            for record in journal.records():
+                data = record.data
+                session = SrbSession(
+                    self, str(data.get("user", "srbAdmin")), "replay"
+                )
+                if record.kind == "user":
+                    self.register_user(data["identity"], data["srb_user"])
+                elif record.kind == "chmod":
+                    actor = SrbSession(self, str(data["actor"]), "replay")
+                    self.chmod(actor, data["path"], data["user"], data["access"])
+                elif record.kind == "mkdir":
+                    self.mkdir(session, data["path"])
+                elif record.kind == "put":
+                    self.put(
+                        session,
+                        data["path"],
+                        base64.b64decode(data["data"]),
+                        resource=data.get("resource", ""),
+                        metadata=data.get("metadata") or {},
+                    )
+                elif record.kind == "rm":
+                    if self.mcat.exists(data["path"]):
+                        self.rm(session, data["path"])
+                elif record.kind == "rmdir":
+                    # children fell to their own rm/rmdir records already
+                    self.rmdir(session, data["path"], force=bool(data.get("force")))
+                elif record.kind == "replicate":
+                    self.replicate(session, data["path"], data["resource"])
+                elif record.kind == "meta":
+                    self.set_metadata(session, data["path"], data["metadata"] or {})
+                else:
+                    continue
+                applied += 1
+        finally:
+            self._replaying = False
+        return applied

@@ -14,6 +14,42 @@ class TransportError(ConnectionError):
     """A network-level failure (host down, injected fault, no route)."""
 
 
+class ServiceCrash(TransportError):
+    """The serving process died mid-request.
+
+    Raised *inside* a handler to model process death: the caller observes a
+    dropped connection (a transport failure, hence retryable), never a
+    response.  Host disks (:class:`HostDisk`) survive the crash; process
+    state does not.
+    """
+
+
+class HostDisk:
+    """A host's durable storage: named append-only logs that survive
+    :meth:`VirtualNetwork.take_down` / :meth:`VirtualNetwork.bring_up`.
+
+    Process state (service objects, handlers) dies with the host; whatever a
+    service wrote to its disk is still there when a fresh process attaches
+    after restart.  The log entries themselves are managed by
+    :class:`repro.durability.journal.Journal`; the disk just owns the lists.
+    """
+
+    def __init__(self, host: str):
+        self.host = host
+        self._logs: dict[str, list] = {}
+
+    def log(self, name: str) -> list:
+        """The named append-only log (created empty on first access)."""
+        return self._logs.setdefault(name, [])
+
+    def log_names(self) -> list[str]:
+        return sorted(self._logs)
+
+    def wipe(self) -> None:
+        """Destroy all durable state (disk replacement, not a crash)."""
+        self._logs.clear()
+
+
 @dataclass
 class LinkSpec:
     """Timing parameters of a (directed) link between two hosts.
@@ -99,6 +135,7 @@ class VirtualNetwork:
         self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
         self._jitter = 0.0
         self._rng = random.Random(seed)
+        self._disks: dict[str, HostDisk] = {}
 
     # -- topology ------------------------------------------------------------
 
@@ -111,6 +148,18 @@ class VirtualNetwork:
 
     def hosts(self) -> list[str]:
         return sorted(self._hosts)
+
+    def disk(self, host: str) -> HostDisk:
+        """The host's durable disk (created on first access).
+
+        Disks are keyed by host name and survive :meth:`take_down`,
+        :meth:`bring_up`, and :meth:`unregister` — a restarted service
+        attaches to the same disk its previous incarnation journaled to.
+        """
+        existing = self._disks.get(host)
+        if existing is None:
+            existing = self._disks[host] = HostDisk(host)
+        return existing
 
     def set_default_link(self, link: LinkSpec) -> None:
         self._default_link = link

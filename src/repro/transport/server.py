@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.transport.http import HttpRequest, HttpResponse
-from repro.transport.network import VirtualNetwork
+from repro.transport.network import ServiceCrash, VirtualNetwork
 
 RouteHandler = Callable[[HttpRequest], HttpResponse]
 
@@ -48,5 +48,7 @@ class HttpServer:
             return HttpResponse(404, body=f"no handler for {path}")
         try:
             return self._routes[best](request)
+        except ServiceCrash:
+            raise  # the process died mid-request: no response ever leaves
         except Exception as exc:  # noqa: BLE001 - server boundary
             return HttpResponse(500, body=f"internal server error: {exc}")

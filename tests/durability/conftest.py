@@ -1,0 +1,61 @@
+"""Durability fixtures, including the CI journal-export hook.
+
+When ``REPRO_JOURNAL_DIR`` is set (the tier-2 recovery CI job does this),
+every journal a test produced is exported as one ``.jsonl`` file so
+``python -m repro.durability.check`` can re-verify the checksum chains and
+lifecycle invariants offline.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from repro.durability.journal import created_journals
+from repro.grid.resources import build_testbed
+from repro.services.jobsubmit import deploy_globusrun
+
+IDENTITY = "/O=G/CN=portal"
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", text)
+
+
+@pytest.fixture(autouse=True)
+def export_journals(request):
+    """Export every journal this test created (only with REPRO_JOURNAL_DIR)."""
+    before = len(created_journals())
+    yield
+    out_dir = os.environ.get("REPRO_JOURNAL_DIR")
+    if not out_dir:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    seen: set[tuple[str, str]] = set()
+    for journal in created_journals()[before:]:
+        ident = (journal.disk.host, journal.name)
+        # several handles over one log dump identically; export once
+        if ident in seen or not len(journal):
+            continue
+        seen.add(ident)
+        name = _slug(f"{request.node.name}-{journal.disk.host}-{journal.name}")
+        path = os.path.join(out_dir, f"{name}.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(journal.dump() + "\n")
+
+
+@pytest.fixture
+def durable_stack(network, ca):
+    """A durable testbed plus a durable Globusrun deployment.
+
+    Returns (testbed, globusrun impl, endpoint URL, portal proxy).
+    """
+    testbed = build_testbed(network, ca, durable=True)
+    cred = ca.issue_credential(IDENTITY, lifetime=10**6, now=network.clock.now)
+    proxy = cred.sign_proxy(lifetime=10**5, now=network.clock.now)
+    for resource in testbed.values():
+        resource.gatekeeper.add_gridmap_entry(IDENTITY, "portal")
+    impl, url = deploy_globusrun(network, testbed, proxy, durable=True)
+    return testbed, impl, url, proxy

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.faults import ResourceNotFoundError
+from repro.grid.jobs import JobSpec
+from repro.services.jobsubmit import (
+    GLOBUSRUN_NAMESPACE,
+    deploy_globusrun,
+    jobs_to_xml,
+)
+from repro.soap.client import SoapClient
+from repro.xmlutil.element import parse_xml
+
+
+def _xml(*names):
+    return jobs_to_xml(
+        [("modi4.iu.edu", JobSpec(name=n, executable="echo", arguments=[n]))
+         for n in names]
+    )
+
+
+def _client(network, url):
+    return SoapClient(network, url, GLOBUSRUN_NAMESPACE, source="ui")
+
+
+def test_submit_poll_result_lifecycle(network, durable_stack):
+    _testbed, impl, url, _proxy = durable_stack
+    client = _client(network, url)
+    batch = client.call("submit_async", _xml("a", "b"))
+    assert batch.startswith("batch-")
+    assert client.call("poll", batch) == "accepted"
+    assert impl.jobs_run == 0  # accepted durably, nothing run yet
+    results = client.call("result", batch)
+    assert client.call("poll", batch) == "done"
+    root = parse_xml(results)
+    assert [n.get("status") for n in root.findall("result")] == ["ok", "ok"]
+    assert impl.jobs_run == 2
+
+
+def test_result_is_idempotent(network, durable_stack):
+    _testbed, impl, url, _proxy = durable_stack
+    client = _client(network, url)
+    batch = client.call("submit_async", _xml("a"))
+    first = client.call("result", batch)
+    again = client.call("result", batch)
+    assert first == again
+    assert impl.jobs_run == 1  # resolved once, served from record after
+
+
+def test_unknown_batch_faults(network, durable_stack):
+    _testbed, _impl, url, _proxy = durable_stack
+    client = _client(network, url)
+    with pytest.raises(ResourceNotFoundError):
+        client.call("poll", "batch-999999")
+    with pytest.raises(ResourceNotFoundError):
+        client.call("result", "batch-999999")
+
+
+def test_accepted_batch_survives_restart(network, durable_stack):
+    testbed, _impl, url, proxy = durable_stack
+    client = _client(network, url)
+    batch = client.call("submit_async", _xml("a", "b"))
+
+    # crash and restart the globusrun host: redeploying durably replays
+    network.take_down("globusrun.sdsc.edu")
+    network.bring_up("globusrun.sdsc.edu")
+    impl2, url2 = deploy_globusrun(network, testbed, proxy, durable=True)
+    client2 = _client(network, url2)
+    assert client2.call("poll", batch) == "accepted"
+    results = client2.call("result", batch)
+    assert impl2.batches_redriven == 1
+    root = parse_xml(results)
+    assert [n.get("status") for n in root.findall("result")] == ["ok", "ok"]
+
+
+def test_batch_ids_continue_after_restart(network, durable_stack):
+    testbed, _impl, url, proxy = durable_stack
+    client = _client(network, url)
+    first = client.call("submit_async", _xml("a"))
+    impl2, url2 = deploy_globusrun(network, testbed, proxy, durable=True)
+    second = _client(network, url2).call("submit_async", _xml("b"))
+    assert first == "batch-000001" and second == "batch-000002"
+    assert impl2.snapshot()["accepted"] == [first, second]

@@ -1,0 +1,81 @@
+import json
+
+from repro.durability.check import check_file, check_records, main
+from repro.durability.journal import GENESIS_CRC, JournalRecord, _crc
+
+
+def _records(*entries):
+    """Build a properly chained record list from (kind, data) pairs.
+
+    Chained by hand rather than through a Journal so the deliberately
+    invalid lifecycles here never land on a disk the CI export hook would
+    ship to the checker.
+    """
+    records = []
+    prev = GENESIS_CRC
+    for seq, (kind, data) in enumerate(entries, 1):
+        bare = JournalRecord(seq=seq, kind=kind, data=data, t=0.0)
+        record = JournalRecord(
+            seq=seq, kind=kind, data=data, t=0.0, crc=_crc(bare.payload(prev))
+        )
+        records.append(record)
+        prev = record.crc
+    return records
+
+
+def test_clean_lifecycle_passes():
+    records = _records(
+        ("batch-accept", {"batch": "b1", "key": "k"}),
+        ("job-submit", {"job": "1.h"}),
+        ("job-start", {"job": "1.h"}),
+        ("job-finish", {"job": "1.h"}),
+        ("batch-resolve", {"batch": "b1"}),
+        ("idem", {"key": "k", "result": "r"}),
+    )
+    assert check_records(records, "j") == []
+
+
+def test_lifecycle_violations_are_reported():
+    records = _records(
+        ("job-submit", {"job": "1.h"}),
+        ("job-submit", {"job": "1.h"}),            # duplicate submit
+        ("job-finish", {"job": "1.h"}),
+        ("job-finish", {"job": "1.h"}),            # double finish
+        ("job-start", {"job": "ghost.h"}),         # start without submit
+        ("batch-resolve", {"batch": "b9"}),        # resolve without accept
+        ("idem", {"key": "k", "result": "a"}),
+        ("idem", {"key": "k", "result": "b"}),     # key -> two results
+    )
+    problems = check_records(records, "j")
+    assert len(problems) == 5
+    assert any("submitted twice" in p for p in problems)
+    assert any("finished twice" in p for p in problems)
+    assert any("without a prior job-submit" in p for p in problems)
+    assert any("without a prior accept" in p for p in problems)
+    assert any("two results" in p for p in problems)
+
+
+def test_check_file_detects_chain_corruption(tmp_path):
+    records = _records(("a", {}), ("b", {}))
+    lines = [json.dumps(r.to_dict(), sort_keys=True) for r in records]
+    good = tmp_path / "good.jsonl"
+    good.write_text("\n".join(lines) + "\n")
+    assert check_file(good) == []
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(lines[1] + "\n")  # truncated from the front
+    assert check_file(bad)
+
+
+def test_main_over_a_directory(tmp_path, capsys):
+    records = _records(("job-submit", {"job": "1.h"}))
+    (tmp_path / "ok.jsonl").write_text(
+        "\n".join(json.dumps(r.to_dict(), sort_keys=True) for r in records)
+    )
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ok   ok.jsonl" in out and "0 violations" in out
+
+    (tmp_path / "bad.jsonl").write_text("{not json")
+    assert main([str(tmp_path)]) == 1
+    assert main([]) == 2
+    assert main([str(tmp_path / "missing-dir")]) == 2

@@ -1,0 +1,92 @@
+import pytest
+
+from repro.durability.journal import Journal
+from repro.faults import ContextError
+from repro.services.context import (
+    CONTEXT_NAMESPACE,
+    ContextStore,
+    deploy_context_manager,
+)
+from repro.soap.client import SoapClient
+
+HOST = "gateway.iu.edu"
+
+
+def _mutate(store: ContextStore) -> str:
+    store.create("alice/cfd/run1")
+    store.set_property("alice", "email", "alice@iu.edu")
+    store.set_property("alice/cfd/run1", "solver", "mm5")
+    store.set_descriptor("alice/cfd/run1", "<d>first run</d>")
+    key = store.archive("alice/cfd/run1")
+    store.set_property("alice/cfd/run1", "solver", "mm5-v2")
+    store.restore(key, "alice/cfd/restored")
+    store.create("alice/cfd/scratch")
+    store.remove("alice/cfd/scratch")
+    store.rename("alice/cfd/run1", "run1-final")
+    store.remove_property("alice", "email")
+    return key
+
+
+def test_replay_rebuilds_the_exact_tree(network):
+    journal = Journal(network.disk(HOST), "context", clock=network.clock)
+    store = ContextStore(network.clock, journal=journal)
+    key = _mutate(store)
+
+    rebuilt = ContextStore(network.clock)
+    applied = rebuilt.replay(Journal(network.disk(HOST), "context"))
+    assert applied > 0
+    assert rebuilt.snapshot() == store.snapshot()
+    # the restored session kept the pre-archive property value
+    assert rebuilt.node("alice/cfd/restored").properties["solver"] == "mm5"
+    assert rebuilt.node("alice/cfd/run1-final").properties["solver"] == "mm5-v2"
+    assert key in rebuilt.archives
+
+
+def test_replay_restores_placeholder_counter(network):
+    from repro.services.context import ContextManagerService
+
+    journal = Journal(network.disk(HOST), "context", clock=network.clock)
+    service = ContextManagerService(ContextStore(network.clock, journal=journal))
+    first = service.createPlaceholderContext()
+
+    rebuilt = ContextStore(network.clock)
+    rebuilt.replay(Journal(network.disk(HOST), "context"))
+    second = ContextManagerService(rebuilt).createPlaceholderContext()
+    assert first != second  # no id reuse after the restart
+
+
+def test_durable_deployment_survives_crash_restart(network):
+    impl, url = deploy_context_manager(network, durable=True)
+    client = SoapClient(network, url, CONTEXT_NAMESPACE, source="ui")
+    client.call("createUserContext", "alice")
+    client.call("createProblemContext", "alice", "cfd")
+    client.call("createSessionContext", "alice", "cfd", "run1")
+    client.call("setSessionProperty", "alice", "cfd", "run1", "solver", "mm5")
+    archive_key = client.call("archiveSession", "alice", "cfd", "run1")
+    before = impl.store.snapshot()
+
+    network.take_down(HOST)
+    network.bring_up(HOST)
+    impl2, url2 = deploy_context_manager(network, durable=True)
+    assert impl2.store.snapshot() == before
+    client2 = SoapClient(network, url2, CONTEXT_NAMESPACE, source="ui")
+    assert client2.call("hasSessionContext", "alice", "cfd", "run1") is True
+    assert client2.call(
+        "getSessionProperty", "alice", "cfd", "run1", "solver"
+    ) == "mm5"
+    assert client2.call("restoreSession", archive_key, "alice", "cfd", "run2")
+    assert client2.call("listSessionContexts", "alice", "cfd") == ["run1", "run2"]
+
+
+def test_removed_archive_stays_removed_after_replay(network):
+    journal = Journal(network.disk(HOST), "context", clock=network.clock)
+    store = ContextStore(network.clock, journal=journal)
+    store.create("alice/cfd/run1")
+    key = store.archive("alice/cfd/run1")
+    store.remove_archive(key)
+    with pytest.raises(ContextError):
+        store.remove_archive(key)
+
+    rebuilt = ContextStore(network.clock)
+    rebuilt.replay(Journal(network.disk(HOST), "context"))
+    assert rebuilt.archives == {}

@@ -1,0 +1,98 @@
+from repro.durability.idempotency import (
+    IdempotencyIndex,
+    idempotency_header,
+    key_from_headers,
+)
+from repro.durability.journal import Journal
+from repro.grid.gram import GramClient, rsl_for
+from repro.grid.jobs import JobSpec
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.server import HttpServer
+
+
+def test_header_roundtrip():
+    entry = idempotency_header("portal:42")
+    assert key_from_headers([entry]) == "portal:42"
+    assert key_from_headers([]) == ""
+
+
+def test_index_first_writer_wins(network):
+    journal = Journal(network.disk("h"), "idem")
+    index = IdempotencyIndex(journal)
+    assert index.get("k1") is None
+    index.put("k1", "first")
+    index.put("k1", "second")  # ignored
+    assert index.get("k1") == "first"
+    assert index.duplicates_served == 1
+    # a fresh index over the same journal remembers across a "restart"
+    rebuilt = IdempotencyIndex(Journal(network.disk("h"), "idem"))
+    assert rebuilt.get("k1") == "first"
+    assert "k1" in rebuilt and len(rebuilt) == 1
+
+
+def test_empty_keys_are_never_recorded(network):
+    index = IdempotencyIndex(Journal(network.disk("h"), "idem"))
+    index.put("", "whatever")
+    assert len(index) == 0 and index.get("") is None
+
+
+class _Counter:
+    def __init__(self):
+        self.runs = 0
+
+    def bump(self, label: str) -> str:
+        self.runs += 1
+        return f"{label}:{self.runs}"
+
+
+def test_soap_replay_cache_survives_service_restart(network):
+    host = "svc.example.org"
+    impl = _Counter()
+
+    def deploy():
+        service = SoapService("Counter", "urn:test:counter")
+        service.expose(impl.bump)
+        service.enable_replay(Journal(network.disk(host), "soap-replay"))
+        return service, service.mount(HttpServer(host, network), "/counter")
+
+    service, url = deploy()
+    client = SoapClient(network, url, "urn:test:counter", source="c")
+    first = client.call("bump", "a", idempotency_key="req-1")
+    again = client.call("bump", "a", idempotency_key="req-1")
+    assert first == again and impl.runs == 1
+    assert service.replays_served == 1
+    # an un-keyed call is never cached
+    assert client.call("bump", "a") != first
+    # restart: a fresh service over the same disk still replays req-1
+    service2, url2 = deploy()
+    client2 = SoapClient(network, url2, "urn:test:counter", source="c")
+    assert client2.call("bump", "a", idempotency_key="req-1") == first
+    assert service2.replays_served == 1
+
+
+def test_gatekeeper_deduplicates_keyed_submissions(network, durable_stack):
+    testbed, _impl, _url, proxy = durable_stack
+    contact = "modi4.iu.edu"
+    gram = GramClient(network, proxy, source="portal")
+    rsl = rsl_for(JobSpec(name="j", executable="echo", arguments=["hi"]))
+    job_id = gram.submit(contact, rsl, "portal:batch-1:0")
+    repeat = gram.submit(contact, rsl, "portal:batch-1:0")
+    assert repeat == job_id
+    scheduler = testbed[contact].scheduler
+    assert len(scheduler.jobs()) == 1
+    assert testbed[contact].gatekeeper.idempotency.duplicates_served == 1
+    # the key -> job mapping is journaled on the resource host's disk
+    keys = Journal(network.disk(contact), "gatekeeper").by_kind("idem")
+    assert [r.data["key"] for r in keys] == ["portal:batch-1:0"]
+
+
+def test_unkeyed_submissions_are_not_deduplicated(network, durable_stack):
+    testbed, _impl, _url, proxy = durable_stack
+    contact = "modi4.iu.edu"
+    gram = GramClient(network, proxy, source="portal")
+    rsl = rsl_for(JobSpec(name="j", executable="echo"))
+    first = gram.submit(contact, rsl)
+    second = gram.submit(contact, rsl)
+    assert first != second
+    assert len(testbed[contact].scheduler.jobs()) == 2

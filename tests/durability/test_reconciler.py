@@ -1,0 +1,104 @@
+from repro.durability.journal import Journal
+from repro.durability.reconciler import (
+    ORPHAN,
+    RECONCILE_FAILED,
+    RECONCILED,
+    deploy_reconciler,
+    find_orphans,
+)
+from repro.grid.jobs import JobSpec
+from repro.resilience.events import ResilienceLog
+from repro.services.jobsubmit import GLOBUSRUN_NAMESPACE, jobs_to_xml
+from repro.services.monitoring import deploy_monitoring
+from repro.soap.client import SoapClient
+
+GLOBUSRUN_HOST = "globusrun.sdsc.edu"
+
+
+def _xml(*names):
+    return jobs_to_xml(
+        [("modi4.iu.edu", JobSpec(name=n, executable="echo", arguments=[n]))
+         for n in names]
+    )
+
+
+def test_find_orphans_pairs_accepts_with_resolves(network):
+    journal = Journal(network.disk("h"), "globusrun")
+    journal.append("batch-accept", batch="b1", xml="<jobs/>", key="k1")
+    journal.append("batch-accept", batch="b2", xml="<jobs/>", key="")
+    journal.append("batch-resolve", batch="b1", results="<results/>")
+    orphans = find_orphans(journal)
+    assert [o["batch"] for o in orphans] == ["b2"]
+
+
+def test_scan_and_reconcile_drive_orphans_to_done(network, durable_stack):
+    _testbed, impl, url, _proxy = durable_stack
+    log = ResilienceLog()
+    client = SoapClient(network, url, GLOBUSRUN_NAMESPACE, source="ui")
+    batch = client.call("submit_async", _xml("a", "b"))
+
+    reconciler, rec_url = deploy_reconciler(network, resilience_log=log)
+    rec_client = SoapClient(
+        network, rec_url, "urn:gce:reconciler", source="operator"
+    )
+    rec_client.call("watch", GLOBUSRUN_HOST, "globusrun", url, GLOBUSRUN_NAMESPACE)
+    assert rec_client.call("watched") == [f"{GLOBUSRUN_HOST}:globusrun"]
+
+    rows = rec_client.call("scan")
+    assert rows == [{"host": GLOBUSRUN_HOST, "batch": batch, "key": ""}]
+    assert reconciler.orphans_found == 1
+    # scanning again reports the same orphan but logs it only once
+    rec_client.call("scan")
+    assert [e.code for e in log.events].count(ORPHAN) == 1
+
+    outcome = rec_client.call("reconcile")
+    assert outcome == [
+        {"host": GLOBUSRUN_HOST, "batch": batch, "status": "reconciled"}
+    ]
+    assert impl.jobs_run == 2
+    assert rec_client.call("scan") == []  # no orphans left
+    codes = [e.code for e in log.events]
+    assert RECONCILED in codes and RECONCILE_FAILED not in codes
+
+
+def test_reconcile_failure_is_reported_not_raised(network, durable_stack):
+    _testbed, _impl, url, _proxy = durable_stack
+    log = ResilienceLog()
+    client = SoapClient(network, url, GLOBUSRUN_NAMESPACE, source="ui")
+    batch = client.call("submit_async", _xml("a"))
+    reconciler, _ = deploy_reconciler(network, resilience_log=log)
+    reconciler.watch(GLOBUSRUN_HOST, "globusrun", url, GLOBUSRUN_NAMESPACE)
+    network.take_down(GLOBUSRUN_HOST)  # the owning service is unreachable
+    rows = reconciler.reconcile()
+    assert rows == [
+        {"host": GLOBUSRUN_HOST, "batch": batch, "status": "failed"}
+    ]
+    assert [e.code for e in log.events].count(RECONCILE_FAILED) == 1
+    network.bring_up(GLOBUSRUN_HOST)
+    assert reconciler.reconcile()[0]["status"] == "reconciled"
+
+
+def test_monitoring_reports_durability_events_and_journals(
+    network, durable_stack
+):
+    testbed, _impl, url, _proxy = durable_stack
+    log = ResilienceLog()
+    client = SoapClient(network, url, GLOBUSRUN_NAMESPACE, source="ui")
+    client.call("submit_async", _xml("a"))
+    reconciler, _ = deploy_reconciler(network, resilience_log=log)
+    reconciler.watch(GLOBUSRUN_HOST, "globusrun", url, GLOBUSRUN_NAMESPACE)
+    reconciler.scan()
+    reconciler.reconcile()
+
+    monitoring, mon_url = deploy_monitoring(
+        network, testbed, resilience_log=log
+    )
+    mon = SoapClient(network, mon_url, "urn:gce:job-monitoring", source="ui")
+    summary = {row["code"]: row["count"] for row in mon.call("recovery_summary")}
+    assert summary[ORPHAN] == 1 and summary[RECONCILED] == 1
+    journals = mon.call("journals")
+    names = {(row["host"], row["journal"]) for row in journals}
+    assert (GLOBUSRUN_HOST, "globusrun") in names
+    assert (GLOBUSRUN_HOST, "soap-replay") in names
+    assert ("modi4.iu.edu", "scheduler") in names
+    assert all(row["records"] >= 0 for row in journals)

@@ -6,6 +6,7 @@ from repro.faults import (
     JobError,
     PortalError,
     ResourceNotFoundError,
+    ServiceUnavailableError,
 )
 from repro.grid.gram import GramClient, rsl_for, serialize_chain, deserialize_chain
 from repro.grid.jobs import JobSpec
@@ -102,3 +103,33 @@ def test_local_user_mapped_into_environment(network, grid):
     job_id = client.submit("octopus.iu.edu", rsl)
     record = testbed["octopus.iu.edu"].scheduler.job(job_id)
     assert record.spec.environment["LOGNAME"] == "alice"
+
+
+def test_non_json_error_body_is_a_retryable_fault(network, grid):
+    """A bare HTML 502 from a proxy boundary must not decode-crash."""
+    from repro.transport.http import HttpResponse
+
+    _testbed, client, _cred = grid
+    network.register(
+        "lb.example.org",
+        lambda request: HttpResponse(502, body="<html>Bad Gateway</html>"),
+    )
+    rsl = rsl_for(JobSpec(executable="echo", wallclock_limit=60))
+    with pytest.raises(ServiceUnavailableError) as exc_info:
+        client.submit("lb.example.org", rsl)
+    assert exc_info.value.retryable
+    assert "non-JSON" in exc_info.value.message
+    assert "502" in exc_info.value.message
+
+
+def test_malformed_success_body_is_a_retryable_fault(network, grid):
+    from repro.transport.http import HttpResponse
+
+    _testbed, client, _cred = grid
+    network.register(
+        "flaky.example.org", lambda request: HttpResponse(200, body="OK")
+    )
+    with pytest.raises(ServiceUnavailableError) as exc_info:
+        client.status("flaky.example.org", "1.flaky.example.org")
+    assert exc_info.value.retryable
+    assert "malformed success body" in exc_info.value.message

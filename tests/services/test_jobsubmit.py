@@ -94,6 +94,14 @@ def test_run_xml_rejects_bad_document(network, stack):
         client.call("run_xml", "<jobs><job><name>n</name></job></jobs>")
 
 
+def test_empty_argument_elements_roundtrip():
+    """``<argument/>`` means the empty string, not a dropped argument."""
+    specs = [("h", JobSpec(name="e", executable="x", arguments=["", "a", ""],
+                           wallclock_limit=60))]
+    parsed = jobs_from_xml(jobs_to_xml(specs))
+    assert parsed[0][1].arguments == ["", "a", ""]
+
+
 def test_batch_service_composes_globusrun(network, stack):
     _testbed, globusrun_impl, url = stack
     batch_impl, batch_url = deploy_batchjob(network, url)
@@ -109,6 +117,22 @@ def test_batch_service_composes_globusrun(network, stack):
         client.call("submit_batch", "blue.sdsc.edu", "   ")
     with pytest.raises(InvalidRequestError):
         client.call("submit_batch", "blue.sdsc.edu", "count=2")
+
+
+def test_batch_service_rejects_malformed_numeric_settings(network, stack):
+    _testbed, _globusrun_impl, url = stack
+    batch_impl, batch_url = deploy_batchjob(network, url)
+    client = _client(network, batch_url, BATCHJOB_NAMESPACE)
+    with pytest.raises(InvalidRequestError) as exc_info:
+        client.call("submit_batch", "blue.sdsc.edu", "echo hi count=abc")
+    assert "count" in exc_info.value.message
+    with pytest.raises(InvalidRequestError) as exc_info:
+        client.call("submit_batch", "blue.sdsc.edu", "echo hi walltime=1h")
+    assert "walltime" in exc_info.value.message
+    # failed submissions are not counted as handled requests
+    assert batch_impl.requests_handled == 0
+    client.call("submit_batch", "blue.sdsc.edu", "echo hi count=1 walltime=60")
+    assert batch_impl.requests_handled == 1
 
 
 def test_webflow_bridge_soap_to_iiop(network, stack):
