@@ -1,0 +1,95 @@
+"""Experiment O1 — the cost of watching: SOAP dispatch with tracing off/on.
+
+The observability layer instruments every client call and server dispatch
+(spans, trace headers on the wire, RED samples).  This benchmark runs the
+same echo workload on two identical networks — one bare, one with
+``Observability`` installed — and compares wall-clock dispatch cost and
+bytes on the wire.  The verdict lands in ``BENCH_observability.json`` at
+the repo root so regressions in the instrumentation hot path are diffable
+across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import record_table
+from repro.observability.runtime import Observability
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+CALLS = 400
+ECHO_NAMESPACE = "urn:bench:echo"
+
+def _stack(traced: bool):
+    network = VirtualNetwork()
+    obs = Observability.install(network, seed=1) if traced else None
+    service = SoapService("Echo", ECHO_NAMESPACE)
+    service.expose(lambda text: text.upper(), name="shout")
+    url = service.mount(HttpServer("echo.bench.org", network), "/echo")
+    client = SoapClient(network, url, ECHO_NAMESPACE, source="bench")
+    return network, obs, client
+
+def _run(traced: bool) -> dict:
+    network, obs, client = _stack(traced)
+    client.call("shout", "warm")  # warm caches outside the timed window
+    spans_before = len(obs.collector) if obs is not None else 0
+    before = network.stats.snapshot()
+    started = time.perf_counter()
+    for _ in range(CALLS):
+        client.call("shout", "payload")
+    elapsed = time.perf_counter() - started
+    delta = network.stats.delta(before)
+    spans = (len(obs.collector) - spans_before) if obs is not None else 0
+    if obs is not None:
+        Observability.uninstall(network)
+    return {
+        "calls": CALLS,
+        "wall_s": elapsed,
+        "us_per_call": 1e6 * elapsed / CALLS,
+        "bytes_sent": delta.bytes_sent,
+        "spans": spans,
+    }
+
+def test_tracing_overhead_per_dispatch():
+    off = _run(traced=False)
+    on = _run(traced=True)
+
+    # tracing must actually have traced: three spans per call (logical
+    # client call, attempt, server dispatch)
+    assert on["spans"] == 3 * CALLS
+    assert off["spans"] == 0
+    # the trace header rides in the envelope, so the wire grows a little
+    assert on["bytes_sent"] > off["bytes_sent"]
+
+    overhead = on["us_per_call"] - off["us_per_call"]
+    ratio = on["wall_s"] / off["wall_s"]
+    record_table(
+        "O1  tracing overhead per SOAP dispatch (off vs on)",
+        ["tracing", "calls", "us/call", "bytes sent", "spans"],
+        [
+            ["off", off["calls"], off["us_per_call"], off["bytes_sent"], 0],
+            ["on", on["calls"], on["us_per_call"], on["bytes_sent"],
+             on["spans"]],
+            ["delta", "", overhead, on["bytes_sent"] - off["bytes_sent"],
+             ""],
+        ],
+    )
+
+    out = Path(__file__).parent.parent / "BENCH_observability.json"
+    out.write_text(json.dumps({
+        "benchmark": "o1_tracing_overhead",
+        "calls": CALLS,
+        "untraced": off,
+        "traced": on,
+        "overhead_us_per_call": overhead,
+        "slowdown_ratio": ratio,
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    # a generous guard, not a tuning target: instrumentation must stay in
+    # the same order of magnitude as the bare dispatch path
+    assert ratio < 10, f"tracing slowed dispatch {ratio:.1f}x"

@@ -34,6 +34,29 @@ def created_journals() -> list["Journal"]:
     return list(_CREATED)
 
 
+#: single-slot observer notified on every append/replay; the observability
+#: layer installs one so journal activity shows up as span events
+_LISTENER = None
+
+
+def set_journal_listener(listener) -> None:
+    """Install (or clear, with ``None``) the journal activity listener.
+
+    ``listener(event, journal, detail)`` is called with event ``"append"``
+    (detail: the :class:`JournalRecord` written) and ``"replay"`` (detail:
+    the record count replayed).  Listener exceptions propagate — installers
+    must not raise.
+    """
+    global _LISTENER
+    _LISTENER = listener
+
+
+def notify_replay(journal: "Journal", records: int) -> None:
+    """Tell the listener a service replayed *records* from *journal*."""
+    if _LISTENER is not None:
+        _LISTENER("replay", journal, records)
+
+
 class JournalCorruptError(ValueError):
     """The journal's checksum chain or sequence numbering is broken."""
 
@@ -114,6 +137,8 @@ class Journal:
             crc=_crc(record.payload(prev_crc)),
         )
         self._log.append(record)
+        if _LISTENER is not None:
+            _LISTENER("append", self, record)
         return record
 
     # -- reading ------------------------------------------------------------

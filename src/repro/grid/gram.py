@@ -192,7 +192,14 @@ class Gatekeeper:
     RSL and submits to the local scheduler.
     """
 
-    def __init__(self, scheduler: BatchScheduler, ca: SimpleCA, *, journal=None):
+    def __init__(
+        self,
+        scheduler: BatchScheduler,
+        ca: SimpleCA,
+        *,
+        journal=None,
+        network: VirtualNetwork | None = None,
+    ):
         self.scheduler = scheduler
         self.ca = ca
         self.gridmap: dict[str, str] = {}
@@ -200,6 +207,9 @@ class Gatekeeper:
         #: journal-backed idempotency-key -> job-id map; a retried submit
         #: (same key) returns the original job id even across a crash-restart
         self.idempotency = IdempotencyIndex(journal)
+        #: lets the gatekeeper discover the ambient observability bundle
+        self.network = network
+        self.host = getattr(scheduler, "host", "")
 
     def add_gridmap_entry(self, identity: str, local_user: str) -> None:
         self.gridmap[identity] = local_user
@@ -252,6 +262,60 @@ class Gatekeeper:
     # -- HTTP face ------------------------------------------------------------------
 
     def handle_http(self, request: HttpRequest) -> HttpResponse:
+        """The gatekeeper's HTTP face, wrapped in a server span when the
+        observability layer is installed.  GRAM is JSON over HTTP, not SOAP,
+        so the trace context rides the payload's ``trace`` field instead of
+        a header entry."""
+        obs = (
+            getattr(self.network, "observability", None)
+            if self.network is not None
+            else None
+        )
+        if obs is None:
+            return self._handle(request)
+        from repro.observability.context import TraceContext
+        from repro.transport.network import ServiceCrash
+
+        op, parent = "", None
+        try:
+            payload = json.loads(request.body)
+            op = str(payload.get("op", ""))
+            trace = payload.get("trace") or {}
+            if trace.get("traceId") and trace.get("spanId"):
+                parent = TraceContext(str(trace["traceId"]), str(trace["spanId"]))
+        except (json.JSONDecodeError, AttributeError):
+            pass
+        started = obs.clock.now
+        span = obs.tracer.start(
+            f"gatekeeper.{op or 'unknown'}",
+            kind="server",
+            service="Gatekeeper",
+            host=self.host,
+            parent=parent,
+        )
+        try:
+            response = self._handle(request)
+        except ServiceCrash:
+            obs.tracer.end(span, error="ServiceCrash")
+            obs.metrics.record_call(
+                "Gatekeeper", op or "unknown", "server",
+                obs.clock.now - started, True,
+            )
+            raise
+        error = ""
+        if not response.ok:
+            try:
+                error = str(json.loads(response.body).get("error", ""))
+            except (json.JSONDecodeError, AttributeError):
+                error = f"HTTP {response.status}"
+        obs.tracer.end(span, error=error)
+        obs.metrics.record_call(
+            "Gatekeeper", op or "unknown", "server",
+            obs.clock.now - started, bool(error),
+        )
+        return response
+
+    def _handle(self, request: HttpRequest) -> HttpResponse:
         try:
             payload = json.loads(request.body)
             op = payload.get("op", "")
@@ -297,12 +361,43 @@ class GramClient:
         source: str = "client",
     ):
         self.network = network
+        self.clock = network.clock
         self.proxy = proxy
+        self.source = source
         self._http = HttpClient(network, source)
         self._chain = serialize_chain(proxy)
 
     def _call(self, contact: str, op: str, **fields: Any) -> Any:
+        obs = getattr(self.network, "observability", None)
+        if obs is None:
+            return self._call_once(contact, op, None, **fields)
+        started = self.clock.now
+        span = obs.tracer.start(
+            f"gram.{op}",
+            kind="client",
+            service="GRAM",
+            host=self.source,
+            attributes={"contact": contact},
+        )
+        try:
+            result = self._call_once(contact, op, span, **fields)
+        except Exception as exc:
+            code = exc.code if isinstance(exc, PortalError) else type(exc).__name__
+            obs.tracer.end(span, error=code)
+            obs.metrics.record_call(
+                "GRAM", op, "client", self.clock.now - started, True
+            )
+            raise
+        obs.tracer.end(span)
+        obs.metrics.record_call(
+            "GRAM", op, "client", self.clock.now - started, False
+        )
+        return result
+
+    def _call_once(self, contact: str, op: str, span, **fields: Any) -> Any:
         payload = {"op": op, "proxy": self._chain, **fields}
+        if span is not None:
+            payload["trace"] = {"traceId": span.trace_id, "spanId": span.span_id}
         response = self._http.post(
             f"http://{contact}/jobmanager", json.dumps(payload)
         )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.durability.journal import Journal
+from repro.durability.journal import Journal, notify_replay
 from repro.grid.apps import ApplicationRegistry, default_registry
 from repro.grid.gram import Gatekeeper
 from repro.grid.queuing import make_dialect
@@ -69,7 +69,10 @@ def deploy_resource(
     )
     if scheduler_journal is not None and len(scheduler_journal):
         scheduler.replay(scheduler_journal)
-    gatekeeper = Gatekeeper(scheduler, ca, journal=gatekeeper_journal)
+        notify_replay(scheduler_journal, len(scheduler_journal))
+    gatekeeper = Gatekeeper(
+        scheduler, ca, journal=gatekeeper_journal, network=network
+    )
     server = HttpServer(host, network)
     server.mount("/jobmanager", gatekeeper.handle_http)
     return ComputeResource(host, scheduler, gatekeeper, server)

@@ -1,0 +1,48 @@
+"""Distributed tracing + metrics for the portal's web-services stack.
+
+See ``docs/OBSERVABILITY.md``.  The layer is opt-in: nothing is traced
+until :meth:`Observability.install` hangs a bundle on the virtual
+network, after which every SOAP client/server and GRAM hop instruments
+itself through the same header-provider and dispatch hooks the security
+and resilience layers already use.
+"""
+
+from repro.observability.collector import (
+    TraceCollector,
+    TraceCollectorService,
+    created_collectors,
+    deploy_trace_collector,
+)
+from repro.observability.context import (
+    TRACE_HEADER,
+    TRACE_NS,
+    IdGenerator,
+    TraceContext,
+)
+from repro.observability.metrics import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    RedSeries,
+)
+from repro.observability.runtime import Observability
+from repro.observability.tracer import Span, SpanEvent, Tracer
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Histogram",
+    "IdGenerator",
+    "MetricsRegistry",
+    "Observability",
+    "RedSeries",
+    "Span",
+    "SpanEvent",
+    "TRACE_HEADER",
+    "TRACE_NS",
+    "TraceCollector",
+    "TraceCollectorService",
+    "TraceContext",
+    "Tracer",
+    "created_collectors",
+    "deploy_trace_collector",
+]

@@ -1,0 +1,171 @@
+"""Trace collection: in-memory store, SOAP face, and export.
+
+Finished spans are exported (as plain dicts) to a :class:`TraceCollector`.
+In a real deployment each host would batch spans to a collector service
+over the network; here every tracer shares one in-process collector, and
+the *service* face (:class:`TraceCollectorService`) exposes the same store
+over SOAP so portlets and remote tools read traces the same way they read
+job status — through a WSDL-described web service, per the paper's
+"everything is a service" architecture.
+
+``created_collectors()`` mirrors ``repro.durability.journal
+.created_journals()``: the CI trace job uses it to export every trace the
+test suite produced for offline re-verification by
+``python -m repro.observability.report --check``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+TRACE_COLLECTOR_NAMESPACE = "urn:gce:trace-collector"
+
+#: every collector constructed this process, for the CI export hook
+_CREATED: list["TraceCollector"] = []
+
+
+def created_collectors() -> list["TraceCollector"]:
+    """All collectors constructed so far (test/CI export hook)."""
+    return list(_CREATED)
+
+
+class TraceCollector:
+    """An append-only store of finished spans, grouped into traces.
+
+    Spans arrive in the order tracers finish them — deterministic under the
+    sim clock — and every view iterates in that insertion order, so two
+    same-seed runs export byte-identical JSON.
+    """
+
+    def __init__(self):
+        self._spans: list[dict[str, Any]] = []
+        _CREATED.append(self)
+
+    def export(self, span: dict[str, Any]) -> None:
+        self._spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans(self, trace_id: str = "") -> list[dict[str, Any]]:
+        """All spans, or those of one trace, in finish order."""
+        if not trace_id:
+            return list(self._spans)
+        return [s for s in self._spans if s["trace_id"] == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids in first-seen order."""
+        seen: dict[str, None] = {}
+        for span in self._spans:
+            seen.setdefault(span["trace_id"], None)
+        return list(seen)
+
+    def traces(self) -> list[dict[str, Any]]:
+        """One summary row per trace: span count, root name, wall time."""
+        rows = []
+        for trace_id in self.trace_ids():
+            spans = self.spans(trace_id)
+            roots = [s for s in spans if not s["parent_id"]]
+            root = roots[0] if roots else spans[0]
+            rows.append({
+                "trace_id": trace_id,
+                "root": root["name"],
+                "service": root["service"],
+                "spans": len(spans),
+                "errors": sum(1 for s in spans if s["error"]),
+                "start": min(s["start"] for s in spans),
+                "duration": max(s["end"] for s in spans)
+                - min(s["start"] for s in spans),
+            })
+        return rows
+
+    def tree(self, trace_id: str) -> list[dict[str, Any]]:
+        """The trace's spans depth-annotated in parent-before-child order.
+
+        Children sort by start time (ties by finish order); orphaned spans
+        (parent never exported, e.g. a crashed server) root at depth 0.
+        """
+        spans = [
+            dict(span, _order=index)
+            for index, span in enumerate(self.spans(trace_id))
+        ]
+        known = {s["span_id"] for s in spans}
+        children: dict[str, list[dict[str, Any]]] = {}
+        roots: list[dict[str, Any]] = []
+        for span in spans:
+            if span["parent_id"] in known:
+                children.setdefault(span["parent_id"], []).append(span)
+            else:
+                # no parent, or parent never exported (crashed server)
+                roots.append(span)
+        out: list[dict[str, Any]] = []
+
+        def walk(span: dict[str, Any], depth: int) -> None:
+            row = {k: v for k, v in span.items() if k != "_order"}
+            row["depth"] = depth
+            out.append(row)
+            kids = children.get(span["span_id"], [])
+            kids.sort(key=lambda s: (s["start"], s["_order"]))
+            for kid in kids:
+                walk(kid, depth + 1)
+
+        roots.sort(key=lambda s: (s["start"], s["_order"]))
+        for root in roots:
+            walk(root, 0)
+        return out
+
+    def to_json(self) -> str:
+        """Deterministic JSON-lines export: one span per line, sorted keys."""
+        return "\n".join(
+            json.dumps(span, sort_keys=True) for span in self._spans
+        )
+
+
+class TraceCollectorService:
+    """The SOAP face over a collector (read plus remote span reporting)."""
+
+    def __init__(self, collector: TraceCollector):
+        self.collector = collector
+
+    def report(self, span: dict[str, Any]) -> int:
+        """Accept one finished span from a remote tracer."""
+        self.collector.export(span)
+        return len(self.collector)
+
+    def traces(self) -> list[dict[str, Any]]:
+        """Summary rows, one per trace."""
+        return self.collector.traces()
+
+    def trace_tree(self, trace_id: str) -> list[dict[str, Any]]:
+        """Depth-annotated spans of one trace."""
+        return self.collector.tree(trace_id)
+
+    def span_count(self) -> int:
+        """Total spans collected."""
+        return len(self.collector)
+
+
+def deploy_trace_collector(
+    network: VirtualNetwork,
+    collector: TraceCollector,
+    host: str = "traces.gridportal.org",
+) -> tuple[TraceCollectorService, str]:
+    """Expose *collector* over SOAP; returns (impl, endpoint URL).
+
+    The service itself is never traced — the observability plane must not
+    observe itself into an infinite regress.
+    """
+    impl = TraceCollectorService(collector)
+    server = HttpServer(host, network)
+    soap = SoapService("TraceCollector", TRACE_COLLECTOR_NAMESPACE)
+    soap.traced = False
+    soap.expose(impl.report)
+    soap.expose(impl.traces)
+    soap.expose(impl.trace_tree)
+    soap.expose(impl.span_count)
+    return impl, soap.mount(server, "/traces")

@@ -1,0 +1,163 @@
+"""RED metrics: Rate, Errors, Duration — per service, per method.
+
+JClarens and Clarens (PAPERS.md) both report that per-method performance
+monitoring of the service layer became essential once portals took real
+traffic.  This module keeps the counters those papers describe: request
+and error counts plus latency histograms with *fixed exponential buckets*,
+so registries from different hosts (or different runs) merge exactly —
+bucket boundaries never depend on the data.
+
+Gauges carry last-written values for state that is a level, not a flow:
+circuit-breaker state per host, scheduler queue depth per resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: histogram bucket upper bounds, seconds: 1ms .. ~524s, doubling
+BUCKET_BOUNDS: tuple[float, ...] = tuple(0.001 * 2**i for i in range(20))
+
+#: numeric encoding of breaker states for the gauge
+BREAKER_STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
+
+
+@dataclass
+class Histogram:
+    """A latency histogram over the fixed exponential bounds.
+
+    ``counts`` has one slot per bound plus an overflow slot; identical
+    bounds everywhere make :meth:`merge` a plain vector add.
+    """
+
+    counts: list[int] = field(default_factory=lambda: [0] * (len(BUCKET_BOUNDS) + 1))
+    total: float = 0.0
+    count: int = 0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(BUCKET_BOUNDS):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.total += other.total
+        self.count += other.count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the *q* quantile (0 < q <= 1)."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank and n:
+                return BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS) else float("inf")
+        return BUCKET_BOUNDS[-1]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"counts": list(self.counts), "total": self.total, "count": self.count}
+
+
+@dataclass
+class RedSeries:
+    """One (service, method, side) row of RED state."""
+
+    requests: int = 0
+    errors: int = 0
+    latency: Histogram = field(default_factory=Histogram)
+
+    def record(self, duration: float, error: bool) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        self.latency.record(duration)
+
+    def merge(self, other: "RedSeries") -> None:
+        self.requests += other.requests
+        self.errors += other.errors
+        self.latency.merge(other.latency)
+
+
+class MetricsRegistry:
+    """All RED series, gauges, and event counters for one deployment."""
+
+    def __init__(self):
+        #: (service, method, side) -> RedSeries; side is "client" or "server"
+        self.red: dict[tuple[str, str, str], RedSeries] = {}
+        #: (name, label) -> last value
+        self.gauges: dict[tuple[str, str], float] = {}
+        #: event code -> count (resilience/durability stream totals)
+        self.events: dict[str, int] = {}
+
+    # -- recording ------------------------------------------------------------------
+
+    def record_call(
+        self, service: str, method: str, side: str, duration: float, error: bool
+    ) -> None:
+        key = (service, method, side)
+        series = self.red.get(key)
+        if series is None:
+            series = self.red[key] = RedSeries()
+        series.record(duration, error)
+
+    def set_gauge(self, name: str, label: str, value: float) -> None:
+        self.gauges[(name, label)] = float(value)
+
+    def count_event(self, code: str) -> None:
+        self.events[code] = self.events.get(code, 0) + 1
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        for key, series in other.red.items():
+            mine = self.red.get(key)
+            if mine is None:
+                mine = self.red[key] = RedSeries()
+            mine.merge(series)
+        self.gauges.update(other.gauges)
+        for code, n in other.events.items():
+            self.events[code] = self.events.get(code, 0) + n
+
+    # -- views ----------------------------------------------------------------------
+
+    def summary(self) -> dict[str, list[dict[str, Any]]]:
+        """The wire-friendly summary the monitoring service returns."""
+        red_rows = [
+            {
+                "service": service,
+                "method": method,
+                "side": side,
+                "requests": series.requests,
+                "errors": series.errors,
+                "mean_ms": round(series.latency.mean * 1000, 3),
+                "p50_ms": round(series.latency.percentile(0.50) * 1000, 3),
+                "p95_ms": round(series.latency.percentile(0.95) * 1000, 3),
+            }
+            for (service, method, side), series in sorted(self.red.items())
+        ]
+        gauge_rows = [
+            {"gauge": name, "label": label, "value": self.gauges[(name, label)]}
+            for name, label in sorted(self.gauges)
+        ]
+        event_rows = [
+            {"code": code, "count": self.events[code]} for code in sorted(self.events)
+        ]
+        return {"red": red_rows, "gauges": gauge_rows, "events": event_rows}
+
+    def slowest(self, limit: int = 10) -> list[dict[str, Any]]:
+        """Server-side operations ranked by mean latency (ties by name)."""
+        rows = [
+            row for row in self.summary()["red"] if row["side"] == "server"
+        ]
+        rows.sort(key=lambda r: (-r["mean_ms"], r["service"], r["method"]))
+        return rows[: int(limit)] if limit and int(limit) > 0 else rows

@@ -1,0 +1,324 @@
+"""The offline trace reporter (``python -m repro.observability.report``).
+
+Loads exported traces (``.jsonl``, one span per line — the format
+:meth:`TraceCollector.to_json` writes and the test suite exports under
+``REPRO_TRACE_DIR``) and prints, per trace, a span waterfall plus the
+*critical path* — the chain of spans that actually bounded the trace's wall
+time — and, across all traces, a *bottleneck* table of self-time by
+operation (time spent in a span minus time spent in its children), which is
+where an optimisation PR should aim first.
+
+``--check`` re-verifies structural invariants instead:
+
+- every non-root parent reference resolves within its trace;
+- children nest inside their parent's ``[start, end]`` window;
+- every span's end is at or after its start;
+- each trace has exactly one root span;
+- per recording host, span *end* times are non-decreasing in file order
+  (spans are exported at end time, so a regression means the host's clock
+  ran backwards).
+
+Exit status 0 means every file passed; 1 means at least one violation;
+2 means usage error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+#: tolerance for float comparison of nesting windows (virtual seconds)
+EPSILON = 1e-9
+
+
+def load_spans(text: str, *, name: str = "trace") -> list[dict[str, Any]]:
+    """Parse a JSON-lines trace export back into span dicts."""
+    spans: list[dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            span = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{name}:{lineno}: malformed JSON ({exc})") from None
+        for field in ("trace_id", "span_id", "name", "start", "end"):
+            if field not in span:
+                raise ValueError(f"{name}:{lineno}: span lacks {field!r}")
+        spans.append(span)
+    return spans
+
+
+def _by_trace(spans: list[dict[str, Any]]) -> dict[str, list[dict[str, Any]]]:
+    out: dict[str, list[dict[str, Any]]] = {}
+    for span in spans:
+        out.setdefault(span["trace_id"], []).append(span)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# --check invariants
+# ---------------------------------------------------------------------------
+
+
+def check_spans(spans: list[dict[str, Any]], name: str) -> list[str]:
+    """Structural invariants over one export's spans."""
+    problems: list[str] = []
+    for trace_id, group in _by_trace(spans).items():
+        short = trace_id[:12]
+        known = {s["span_id"] for s in group}
+        by_id = {s["span_id"]: s for s in group}
+        roots = [s for s in group if not s.get("parent_id")]
+        if len(roots) != 1:
+            problems.append(
+                f"{name}: trace {short} has {len(roots)} root spans, expected 1"
+            )
+        for span in group:
+            label = f"{name}: trace {short} span {span['name']!r}"
+            if span["end"] + EPSILON < span["start"]:
+                problems.append(
+                    f"{label} ends ({span['end']}) before it starts "
+                    f"({span['start']})"
+                )
+            parent_id = span.get("parent_id")
+            if not parent_id:
+                continue
+            if parent_id not in known:
+                problems.append(
+                    f"{label} references unknown parent {parent_id}"
+                )
+                continue
+            parent = by_id[parent_id]
+            if (
+                span["start"] + EPSILON < parent["start"]
+                or span["end"] - EPSILON > parent["end"]
+            ):
+                problems.append(
+                    f"{label} [{span['start']}, {span['end']}] does not nest "
+                    f"within parent {parent['name']!r} "
+                    f"[{parent['start']}, {parent['end']}]"
+                )
+    # spans export at end time, so per recording host the end column must be
+    # non-decreasing in file order — a regression means a clock ran backwards
+    last_end: dict[str, float] = {}
+    for span in spans:
+        host = str(span.get("host", ""))
+        previous = last_end.get(host)
+        if previous is not None and span["end"] + EPSILON < previous:
+            problems.append(
+                f"{name}: host {host!r} clock regressed: span "
+                f"{span['name']!r} ends at {span['end']} after a span "
+                f"ending at {previous}"
+            )
+        last_end[host] = max(previous or 0.0, span["end"])
+    return problems
+
+
+def check_file(path: Path) -> list[str]:
+    """Verify one exported trace file; returns its problems."""
+    try:
+        spans = load_spans(path.read_text(encoding="utf-8"), name=path.name)
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    return check_spans(spans, path.name)
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+
+def tree_rows(group: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Depth-annotate one trace's spans in parent-before-child order."""
+    known = {s["span_id"] for s in group}
+    ordered = [dict(s, _order=i) for i, s in enumerate(group)]
+    children: dict[str, list[dict[str, Any]]] = {}
+    roots: list[dict[str, Any]] = []
+    for span in ordered:
+        if span.get("parent_id") in known:
+            children.setdefault(span["parent_id"], []).append(span)
+        else:
+            roots.append(span)
+    out: list[dict[str, Any]] = []
+
+    def walk(span: dict[str, Any], depth: int) -> None:
+        span["depth"] = depth
+        out.append(span)
+        kids = children.get(span["span_id"], [])
+        kids.sort(key=lambda s: (s["start"], s["_order"]))
+        for kid in kids:
+            walk(kid, depth + 1)
+
+    roots.sort(key=lambda s: (s["start"], s["_order"]))
+    for root in roots:
+        walk(root, 0)
+    return out
+
+
+def waterfall_lines(group: list[dict[str, Any]], *, width: int = 40) -> list[str]:
+    """Render one trace as text waterfall lines."""
+    rows = tree_rows(group)
+    t0 = min(s["start"] for s in rows)
+    t1 = max(s["end"] for s in rows)
+    span_of_time = max(t1 - t0, 1e-12)
+    lines = []
+    for row in rows:
+        begin = int(width * (row["start"] - t0) / span_of_time)
+        length = max(int(width * (row["end"] - row["start"]) / span_of_time), 1)
+        bar = " " * begin + "#" * min(length, width - begin)
+        label = "  " * row["depth"] + row["name"]
+        ms = (row["end"] - row["start"]) * 1000
+        flags = []
+        if row.get("error"):
+            flags.append(f"error={row['error']}")
+        for event in row.get("events", []):
+            flags.append(event["name"])
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        lines.append(f"  {label:<38} {ms:>9.2f}ms |{bar:<{width}}|{suffix}")
+    return lines
+
+
+def critical_path(group: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """The chain of spans bounding the trace's wall time.
+
+    From the root, repeatedly descend into the child whose *end* is latest —
+    that child is what the parent was waiting on when it finished.
+    """
+    rows = tree_rows(group)
+    if not rows:
+        return []
+    children: dict[str, list[dict[str, Any]]] = {}
+    for row in rows:
+        children.setdefault(row.get("parent_id") or "", []).append(row)
+    path = [rows[0]]
+    while True:
+        kids = children.get(path[-1]["span_id"], [])
+        if not kids:
+            return path
+        path.append(max(kids, key=lambda s: (s["end"], s["_order"])))
+
+
+def self_times(spans: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Aggregate self time (own duration minus direct children's) by
+    (service, span name) across all traces — the bottleneck table."""
+    child_time: dict[tuple[str, str], float] = {}
+    for span in spans:
+        parent_id = span.get("parent_id")
+        if parent_id:
+            key = (span["trace_id"], parent_id)
+            child_time[key] = child_time.get(key, 0.0) + (
+                span["end"] - span["start"]
+            )
+    totals: dict[tuple[str, str], dict[str, Any]] = {}
+    for span in spans:
+        own = span["end"] - span["start"]
+        nested = child_time.get((span["trace_id"], span["span_id"]), 0.0)
+        key = (str(span.get("service", "")), span["name"])
+        row = totals.setdefault(
+            key,
+            {"service": key[0], "name": key[1], "spans": 0,
+             "self_s": 0.0, "total_s": 0.0},
+        )
+        row["spans"] += 1
+        row["total_s"] += own
+        row["self_s"] += max(own - nested, 0.0)
+    return sorted(
+        totals.values(),
+        key=lambda r: (-r["self_s"], r["service"], r["name"]),
+    )
+
+
+def report_lines(spans: list[dict[str, Any]], *, name: str = "") -> list[str]:
+    """The full human-readable report for one export."""
+    lines: list[str] = []
+    groups = _by_trace(spans)
+    for trace_id, group in groups.items():
+        t0 = min(s["start"] for s in group)
+        t1 = max(s["end"] for s in group)
+        errors = sum(1 for s in group if s.get("error"))
+        lines.append(
+            f"trace {trace_id[:16]}  spans={len(group)} errors={errors} "
+            f"wall={1000 * (t1 - t0):.2f}ms"
+        )
+        lines.extend(waterfall_lines(group))
+        path = critical_path(group)
+        lines.append(
+            "  critical path: "
+            + " -> ".join(s["name"] for s in path)
+            + f"  ({1000 * (path[-1]['end'] - path[0]['start']):.2f}ms)"
+        )
+        lines.append("")
+    bottlenecks = self_times(spans)
+    if bottlenecks:
+        lines.append("bottlenecks (self time, all traces):")
+        for row in bottlenecks[:10]:
+            lines.append(
+                f"  {row['service']:<24} {row['name']:<28} "
+                f"x{row['spans']:<5} self={1000 * row['self_s']:>9.2f}ms "
+                f"total={1000 * row['total_s']:>9.2f}ms"
+            )
+    return lines
+
+
+def _collect_files(paths: list[str]) -> list[Path] | None:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.jsonl")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"no such file or directory: {path}")
+            return None
+    return files
+
+
+def main(argv: list[str]) -> int:
+    check = "--check" in argv
+    paths = [a for a in argv if a != "--check"]
+    if not paths:
+        print(
+            "usage: python -m repro.observability.report [--check] "
+            "<trace-file-or-dir>..."
+        )
+        return 2
+    files = _collect_files(paths)
+    if files is None:
+        return 2
+    if check:
+        total_problems: list[str] = []
+        total_spans = 0
+        for path in files:
+            problems = check_file(path)
+            if not problems:
+                n = sum(
+                    1 for line in path.read_text().splitlines() if line.strip()
+                )
+                total_spans += n
+                print(f"ok   {path.name} ({n} spans)")
+            else:
+                total_problems.extend(problems)
+                print(f"FAIL {path.name}")
+                for problem in problems:
+                    print(f"     {problem}")
+        print(
+            f"{len(files)} trace files, {total_spans} spans, "
+            f"{len(total_problems)} violations"
+        )
+        return 1 if total_problems else 0
+    for path in files:
+        try:
+            spans = load_spans(path.read_text(encoding="utf-8"), name=path.name)
+        except (OSError, ValueError) as exc:
+            print(f"FAIL {path.name}: {exc}")
+            return 1
+        print(f"== {path.name} ==")
+        for line in report_lines(spans, name=path.name):
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,96 @@
+"""The observability runtime: one bundle wiring tracer, metrics, collector.
+
+``Observability.install(network)`` hangs the bundle on the virtual
+network's ``observability`` slot.  Every :class:`~repro.soap.client
+.SoapClient`, :class:`~repro.soap.server.SoapService`, and GRAM
+client/gatekeeper discovers it there and instruments itself — no call-site
+changes, and with the slot empty (the default) the stack behaves exactly
+like the seed.
+
+:meth:`Observability.observe_log` subscribes one bridge to a
+:class:`~repro.resilience.events.ResilienceLog` so retries, breaker trips,
+failovers, and deadline sheds become span events on whatever span was open
+when they happened, breaker transitions drive the ``breaker_state`` gauge,
+and every event code is counted.  :func:`repro.durability.journal
+.set_journal_listener` is wired the same way for journal appends/replays.
+"""
+
+from __future__ import annotations
+
+from repro.durability import journal as journal_module
+from repro.faults import ErrorReport
+from repro.observability.collector import TraceCollector
+from repro.observability.context import IdGenerator
+from repro.observability.metrics import BREAKER_STATE_VALUES, MetricsRegistry
+from repro.observability.tracer import Tracer
+from repro.resilience import events as resilience_events
+from repro.transport.clock import SimClock
+from repro.transport.network import VirtualNetwork
+
+
+class Observability:
+    """Tracer + metrics + collector sharing one clock and one id seed."""
+
+    def __init__(self, clock: SimClock, *, seed: int = 0):
+        self.clock = clock
+        self.ids = IdGenerator(seed)
+        self.collector = TraceCollector()
+        self.tracer = Tracer(clock, self.ids, self.collector)
+        self.metrics = MetricsRegistry()
+        self._observed_logs: list = []
+
+    @classmethod
+    def install(cls, network: VirtualNetwork, *, seed: int = 0) -> "Observability":
+        """Create a bundle on the network's clock and make it ambient.
+
+        Also wires the durability journal listener, so journal writes and
+        replays show up as events on the active span.
+        """
+        obs = cls(network.clock, seed=seed)
+        network.observability = obs
+        journal_module.set_journal_listener(obs._on_journal)
+        return obs
+
+    @staticmethod
+    def uninstall(network: VirtualNetwork) -> None:
+        network.observability = None
+        journal_module.set_journal_listener(None)
+
+    # -- resilience-log bridge ------------------------------------------------------
+
+    def observe_log(self, log) -> None:
+        """Bridge *log*'s event stream into spans, gauges, and counters."""
+        log.subscribe(self._on_resilience_event)
+        self._observed_logs.append(log)
+
+    def _on_resilience_event(self, report: ErrorReport) -> None:
+        self.metrics.count_event(report.code)
+        # merged into one dict (not expanded kwargs) so detail keys may
+        # shadow the standard ones without a TypeError
+        attributes = {
+            "message": report.message,
+            "service": report.service,
+            "operation": report.operation,
+        }
+        attributes.update(report.detail)
+        self.tracer.annotate(report.code, **attributes)
+        if report.code == resilience_events.BREAKER:
+            host = report.detail.get("host", "")
+            state = report.detail.get("to", "")
+            if host and state in BREAKER_STATE_VALUES:
+                self.metrics.set_gauge(
+                    "breaker_state", host, BREAKER_STATE_VALUES[state]
+                )
+
+    # -- durability-journal bridge --------------------------------------------------
+
+    def _on_journal(self, event: str, journal, detail) -> None:
+        where = f"{journal.disk.host}:{journal.name}"
+        if event == "append":
+            self.metrics.count_event("Journal.Append")
+            self.tracer.annotate(
+                "journal.append", journal=where, kind=detail.kind, seq=detail.seq
+            )
+        elif event == "replay":
+            self.metrics.count_event("Journal.Replay")
+            self.tracer.annotate("journal.replay", journal=where, records=detail)

@@ -1,0 +1,213 @@
+"""Span recording on the virtual clock.
+
+A *span* is one timed operation — a client call, a server dispatch, a
+gatekeeper job submission — identified within its trace by a span id and
+linked to its parent.  The :class:`Tracer` keeps an ambient stack of open
+spans (the simulation is single-threaded, mirroring the idempotency
+module's ``current_key`` slot) so nested work parents correctly without
+threading a context object through every call signature.
+
+Spans carry *events*: point-in-time annotations such as a retry, a breaker
+trip, a failover, or a journal append, bridged in from the resilience log
+and the durability layer so one trace tells the full retry-and-recover
+story.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.faults import PortalError
+from repro.observability.context import IdGenerator, TraceContext
+from repro.transport.clock import SimClock
+
+#: span kinds, in the OpenTelemetry sense
+CLIENT = "client"
+SERVER = "server"
+INTERNAL = "internal"
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation on a span."""
+
+    t: float
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"t": self.t, "name": self.name, "attributes": dict(self.attributes)}
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str
+    name: str
+    kind: str
+    service: str
+    host: str
+    start: float
+    end: float = 0.0
+    error: str = ""
+    attributes: dict[str, Any] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+
+    def context(self) -> TraceContext:
+        """The context a child call should propagate."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def add_event(self, t: float, name: str, /, **attributes: Any) -> None:
+        # positional-only: bridged attribute dicts may themselves contain
+        # "t" or "name" keys (the chaos log stamps a "t" detail)
+        self.events.append(SpanEvent(t, name, attributes))
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "service": self.service,
+            "host": self.host,
+            "start": self.start,
+            "end": self.end,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+
+class Tracer:
+    """Mints spans on the sim clock and exports finished ones.
+
+    ``collector`` is anything with an ``export(span_dict)`` method — in
+    practice the :class:`repro.observability.collector.TraceCollector`.
+    """
+
+    def __init__(self, clock: SimClock, ids: IdGenerator, collector=None):
+        self.clock = clock
+        self.ids = ids
+        self.collector = collector
+        self._stack: list[Span] = []
+
+    # -- ambient span ---------------------------------------------------------------
+
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # -- span lifecycle -------------------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        *,
+        kind: str = INTERNAL,
+        service: str = "",
+        host: str = "",
+        parent: TraceContext | None = None,
+        attributes: dict[str, Any] | None = None,
+    ) -> Span:
+        """Open a span.  Parentage: explicit *parent* context beats the
+        ambient current span; with neither, a fresh trace begins."""
+        if parent is None:
+            ambient = self.current()
+            if ambient is not None:
+                parent = ambient.context()
+        if parent is None:
+            trace_id, parent_id = self.ids.trace_id(), ""
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        span = Span(
+            trace_id=trace_id,
+            span_id=self.ids.span_id(),
+            parent_id=parent_id,
+            name=name,
+            kind=kind,
+            service=service,
+            host=host,
+            start=self.clock.now,
+            attributes=dict(attributes or {}),
+        )
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, *, error: str = "") -> Span:
+        """Close a span and export it to the collector."""
+        self._pop(span)
+        span.end = self.clock.now
+        span.error = error
+        if self.collector is not None:
+            self.collector.export(span.to_dict())
+        return span
+
+    def abandon(self, span: Span) -> None:
+        """Drop a span without exporting — the recording process crashed
+        mid-operation (``ServiceCrash``), so no record survives."""
+        self._pop(span)
+
+    def _pop(self, span: Span) -> None:
+        # spans close innermost-first in a single-threaded simulation, but a
+        # crash can leave descendants open; unwind them too
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                return
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        kind: str = INTERNAL,
+        service: str = "",
+        host: str = "",
+        parent: TraceContext | None = None,
+        attributes: dict[str, Any] | None = None,
+    ) -> Iterator[Span]:
+        """Context-managed span: ends with the mapped error code on
+        failure.
+
+        Caller-side semantics: a :class:`ServiceCrash` bubbling up from a
+        downstream host is an *observed* error here (the recording process
+        is alive), so the span is exported like any other failure.  (Server
+        dispatch exports its crash spans too — the collector is an
+        omniscient in-sim observer, and dropping the span would orphan
+        children exported before the crash.)
+        """
+        span = self.start(
+            name, kind=kind, service=service, host=host,
+            parent=parent, attributes=attributes,
+        )
+        try:
+            yield span
+        except PortalError as exc:
+            self.end(span, error=exc.code)
+            raise
+        except Exception as exc:
+            self.end(span, error=type(exc).__name__)
+            raise
+        else:
+            self.end(span)
+
+    # -- event bridging -------------------------------------------------------------
+
+    def annotate(self, name: str, /, **attributes: Any) -> bool:
+        """Attach an event to the current span; returns False if no span is
+        open (the event is simply dropped — tracing never fails the caller)."""
+        span = self.current()
+        if span is None:
+            return False
+        span.add_event(self.clock.now, name, **attributes)
+        return True

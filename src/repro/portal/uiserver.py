@@ -60,7 +60,9 @@ from repro.resilience.policy import RetryPolicy
 from repro.services.monitoring import (
     MONITORING_NAMESPACE,
     JobMonitoringService,
+    MetricsPortlet,
     ResilienceEventsPortlet,
+    TraceViewPortlet,
     deploy_monitoring,
 )
 from repro.soap.client import SoapClient
@@ -101,16 +103,31 @@ class PortalDeployment:
     resilience: ResilienceLog = field(default_factory=ResilienceLog)
     endpoints: dict[str, str] = field(default_factory=dict)
     users: dict[str, str] = field(default_factory=dict)
+    #: the observability bundle when built with ``observe=True``
+    observability: object | None = None
 
     @staticmethod
     def build(
         network: VirtualNetwork | None = None,
         *,
         users: dict[str, str] | None = None,
+        observe: bool = False,
+        observe_seed: int = 0,
     ) -> "PortalDeployment":
-        """Deploy the full architecture; ``users`` maps user -> password."""
+        """Deploy the full architecture; ``users`` maps user -> password.
+
+        ``observe=True`` installs the tracing/metrics layer
+        (:class:`repro.observability.Observability`) on the network *before*
+        any service deploys, bridges the deployment-wide resilience log into
+        it, and stands up the trace-collector endpoint.
+        """
         network = network or VirtualNetwork()
         users = dict(users or {"alice": "alpine", "bob": "builder"})
+        observability = None
+        if observe:
+            from repro.observability import Observability
+
+            observability = Observability.install(network, seed=observe_seed)
         ca = SimpleCA()
         kdc = Kdc("GRIDPORTAL.ORG", network.clock)
         now = network.clock.now
@@ -143,9 +160,18 @@ class PortalDeployment:
 
         # core services
         resilience = ResilienceLog()
+        traces_url = ""
+        if observability is not None:
+            observability.observe_log(resilience)
+            from repro.observability import deploy_trace_collector
+
+            _, traces_url = deploy_trace_collector(
+                network, observability.collector
+            )
         globusrun, globusrun_url = deploy_globusrun(network, testbed, service_proxy)
         monitoring, monitoring_url = deploy_monitoring(
-            network, testbed, resilience_log=resilience
+            network, testbed, resilience_log=resilience,
+            observability=observability,
         )
         srb_ws, srb_ws_url = deploy_srb_service(network, scommands)
         context, context_url = deploy_context_manager(network)
@@ -231,7 +257,9 @@ class PortalDeployment:
             appws=appws,
             monitoring=monitoring,
             resilience=resilience,
+            observability=observability,
             endpoints={
+                **({"traces": traces_url} if traces_url else {}),
                 "auth": auth_url,
                 "uddi": uddi_url,
                 "discovery": discovery_url,
@@ -324,6 +352,27 @@ class UserInterfaceServer:
             self.deployment.endpoints["monitoring"],
             source=self.host,
             tail=tail,
+        )
+        self.container.add_local_portlet(portlet)
+        return portlet
+
+    def add_trace_portlet(self, *, trace_id: str = "") -> TraceViewPortlet:
+        """Register the span-waterfall window with the portlet container."""
+        portlet = TraceViewPortlet(
+            self.network,
+            self.deployment.endpoints["monitoring"],
+            source=self.host,
+            trace_id=trace_id,
+        )
+        self.container.add_local_portlet(portlet)
+        return portlet
+
+    def add_metrics_portlet(self) -> MetricsPortlet:
+        """Register the RED-metrics window with the portlet container."""
+        portlet = MetricsPortlet(
+            self.network,
+            self.deployment.endpoints["monitoring"],
+            source=self.host,
         )
         self.container.add_local_portlet(portlet)
         return portlet

@@ -19,10 +19,18 @@ BREAKER = "Resilience.Breaker"
 FAILOVER = "Resilience.Failover"
 DEADLINE = "Resilience.Deadline"
 GIVE_UP = "Resilience.GiveUp"
+SUBSCRIBER_ERROR = "Resilience.SubscriberError"
 
 
 class ResilienceLog:
-    """An append-only, observable stream of resilience events."""
+    """An append-only, observable stream of resilience events.
+
+    Subscribers are isolated: a raising subscriber never aborts delivery to
+    later subscribers and never poisons the caller that recorded the event.
+    The failure itself is surfaced as a :data:`SUBSCRIBER_ERROR` event (which
+    is *not* redelivered to subscribers, so a persistently-broken subscriber
+    cannot recurse).
+    """
 
     def __init__(self):
         self.events: list[ErrorReport] = []
@@ -30,6 +38,13 @@ class ResilienceLog:
 
     def subscribe(self, callback: Callable[[ErrorReport], None]) -> None:
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[ErrorReport], None]) -> None:
+        """Remove *callback*; silently ignores unknown callbacks."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
 
     def record(
         self,
@@ -48,8 +63,17 @@ class ResilienceLog:
             detail={k: str(v) for k, v in (detail or {}).items()},
         )
         self.events.append(report)
-        for callback in self._subscribers:
-            callback(report)
+        for callback in list(self._subscribers):
+            try:
+                callback(report)
+            except Exception as exc:
+                self.events.append(ErrorReport(
+                    code=SUBSCRIBER_ERROR,
+                    message=f"subscriber raised {type(exc).__name__}: {exc}",
+                    service=report.service,
+                    operation=report.operation,
+                    detail={"event": report.code},
+                ))
         return report
 
     def by_code(self, code: str) -> list[ErrorReport]:

@@ -57,6 +57,7 @@ class FailoverClient:
         resilience_log=None,
         service_name: str = "",
         retry_seed: int = 0,
+        traced: bool = True,
     ):
         if not endpoints:
             raise DiscoveryError("failover client needs at least one endpoint")
@@ -65,6 +66,8 @@ class FailoverClient:
         self.network = network
         self.clock = network.clock
         self.namespace = namespace
+        self.source = source
+        self.traced = traced
         self.endpoints = list(dict.fromkeys(endpoints))  # dedupe, keep order
         self.sticky = sticky
         self.rounds = rounds
@@ -87,6 +90,7 @@ class FailoverClient:
                 resilience_log=resilience_log,
                 service_name=self.service_name,
                 retry_seed=retry_seed + index,
+                traced=traced,
             )
             for index, endpoint in enumerate(self.endpoints)
         ]
@@ -232,7 +236,30 @@ class FailoverClient:
         return index
 
     def call(self, method: str, *params: Any, timeout: float | None = None) -> Any:
-        """Invoke ``method(*params)`` on whichever provider answers."""
+        """Invoke ``method(*params)`` on whichever provider answers.
+
+        With observability installed, the whole rotation is one client span
+        (``failover <method>``) — the per-provider attempts become child
+        spans through the inner :class:`SoapClient`s, and each failover
+        event lands on this span via the resilience-log bridge.
+        """
+        obs = (
+            getattr(self.network, "observability", None) if self.traced else None
+        )
+        if obs is None:
+            return self._call_rotation(method, params, timeout)
+        with obs.tracer.span(
+            f"failover {method}",
+            kind="client",
+            service=self.service_name,
+            host=self.source,
+            attributes={"providers": len(self.clients)},
+        ):
+            return self._call_rotation(method, params, timeout)
+
+    def _call_rotation(
+        self, method: str, params: tuple[Any, ...], timeout: float | None
+    ) -> Any:
         budget = timeout if timeout is not None else self.default_timeout
         deadline = Deadline.after(self.clock, budget) if budget is not None else None
         self.calls_made += 1

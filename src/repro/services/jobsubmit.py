@@ -192,6 +192,9 @@ class GlobusrunService:
             self._batch_ids = itertools.count(max_id + 1)
         finally:
             self._replaying = False
+        from repro.durability.journal import notify_replay
+
+        notify_replay(journal, applied)
         return applied
 
     def _accept(self, jobs_xml: str, key: str) -> str:

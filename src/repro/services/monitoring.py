@@ -10,6 +10,7 @@ status, and grid-wide load — plus a ready-made portlet rendering it.
 
 from __future__ import annotations
 
+import html
 from typing import Any
 
 from repro.faults import ResourceNotFoundError
@@ -33,12 +34,20 @@ class JobMonitoringService:
         resources: dict[str, ComputeResource],
         resilience_log=None,
         network: VirtualNetwork | None = None,
+        observability=None,
     ):
         self.resources = resources
         self.resilience_log = resilience_log
         #: lets the recovery views inventory journals on host disks
         self.network = network
+        #: explicit bundle, falling back to the network's ambient one
+        self.observability = observability
         self.queries_served = 0
+
+    def _obs(self):
+        if self.observability is not None:
+            return self.observability
+        return getattr(self.network, "observability", None)
 
     def _resource(self, host: str) -> ComputeResource:
         resource = self.resources.get(host)
@@ -152,6 +161,54 @@ class JobMonitoringService:
             {"code": code, "count": counts[code]} for code in sorted(counts)
         ]
 
+    # -- observability views (see repro.observability) -----------------------------
+
+    def traces(self, limit: int = 0) -> list[dict[str, Any]]:
+        """One summary row per collected trace, oldest first.
+
+        ``limit`` > 0 returns only the trailing *limit* traces.
+        """
+        self.queries_served += 1
+        obs = self._obs()
+        if obs is None:
+            return []
+        rows = obs.collector.traces()
+        return rows[-int(limit):] if limit and int(limit) > 0 else rows
+
+    def trace_tree(self, trace_id: str) -> list[dict[str, Any]]:
+        """One trace's spans, depth-annotated in tree order."""
+        self.queries_served += 1
+        obs = self._obs()
+        if obs is None:
+            return []
+        return obs.collector.tree(trace_id)
+
+    def metrics_summary(self) -> dict[str, list[dict[str, Any]]]:
+        """RED rows, gauges, and event counters.
+
+        Queue-depth gauges are sampled from the schedulers at read time —
+        depth is a level, not a flow, so the freshest value wins.
+        """
+        self.queries_served += 1
+        obs = self._obs()
+        if obs is None:
+            return {"red": [], "gauges": [], "events": []}
+        for host in sorted(self.resources):
+            scheduler = self.resources[host].scheduler
+            queued = sum(
+                1 for r in scheduler.jobs() if r.state.value == "queued"
+            )
+            obs.metrics.set_gauge("queue_depth", host, queued)
+        return obs.metrics.summary()
+
+    def slowest_operations(self, limit: int = 10) -> list[dict[str, Any]]:
+        """Server-side operations ranked slowest-first by mean latency."""
+        self.queries_served += 1
+        obs = self._obs()
+        if obs is None:
+            return []
+        return obs.metrics.slowest(limit)
+
 
 def deploy_monitoring(
     network: VirtualNetwork,
@@ -159,13 +216,23 @@ def deploy_monitoring(
     host: str = "monitor.gridportal.org",
     *,
     resilience_log=None,
+    observability=None,
 ) -> tuple[JobMonitoringService, str]:
-    """Stand up the monitoring service; returns (impl, endpoint URL)."""
+    """Stand up the monitoring service; returns (impl, endpoint URL).
+
+    The monitoring endpoint itself is never traced: it *is* the
+    observability plane, and dashboard refreshes must not pollute the
+    traces and RED series they display.
+    """
     impl = JobMonitoringService(
-        resources, resilience_log=resilience_log, network=network
+        resources,
+        resilience_log=resilience_log,
+        network=network,
+        observability=observability,
     )
     server = HttpServer(host, network)
     soap = SoapService("JobMonitoring", MONITORING_NAMESPACE)
+    soap.traced = False
     soap.expose(impl.hosts)
     soap.expose(impl.grid_load)
     soap.expose(impl.qstat)
@@ -175,7 +242,18 @@ def deploy_monitoring(
     soap.expose(impl.resilience_summary)
     soap.expose(impl.journals)
     soap.expose(impl.recovery_summary)
+    soap.expose(impl.traces)
+    soap.expose(impl.trace_tree)
+    soap.expose(impl.metrics_summary)
+    soap.expose(impl.slowest_operations)
     return impl, soap.mount(server, "/monitor")
+
+
+def _esc(value: Any) -> str:
+    """Every portlet cell goes through here: service-returned strings are
+    untrusted (job names, hostnames, error messages) and must not inject
+    markup into the portal page."""
+    return html.escape(str(value), quote=True)
 
 
 class GridLoadPortlet(Portlet):
@@ -193,7 +271,7 @@ class GridLoadPortlet(Portlet):
     ):
         super().__init__(name, title)
         self._client = SoapClient(
-            network, endpoint, MONITORING_NAMESPACE, source=source
+            network, endpoint, MONITORING_NAMESPACE, source=source, traced=False
         )
 
     def render(self, container_base: str) -> str:
@@ -203,9 +281,9 @@ class GridLoadPortlet(Portlet):
                  "<th>running</th><th>queued</th></tr>"]
         for row in rows:
             cells.append(
-                f"<tr><td>{row['host']}</td><td>{row['system']}</td>"
-                f"<td>{row['free_cpus']}/{row['cpus']}</td>"
-                f"<td>{row['running']}</td><td>{row['queued']}</td></tr>"
+                f"<tr><td>{_esc(row['host'])}</td><td>{_esc(row['system'])}</td>"
+                f"<td>{_esc(row['free_cpus'])}/{_esc(row['cpus'])}</td>"
+                f"<td>{_esc(row['running'])}</td><td>{_esc(row['queued'])}</td></tr>"
             )
         cells.append("</table>")
         return "".join(cells)
@@ -229,7 +307,7 @@ class ResilienceEventsPortlet(Portlet):
         super().__init__(name, title)
         self.tail = tail
         self._client = SoapClient(
-            network, endpoint, MONITORING_NAMESPACE, source=source
+            network, endpoint, MONITORING_NAMESPACE, source=source, traced=False
         )
 
     def render(self, container_base: str) -> str:
@@ -239,7 +317,7 @@ class ResilienceEventsPortlet(Portlet):
                  "<tr><th>event</th><th>count</th></tr>"]
         for row in summary:
             cells.append(
-                f"<tr><td>{row['code']}</td><td>{row['count']}</td></tr>"
+                f"<tr><td>{_esc(row['code'])}</td><td>{_esc(row['count'])}</td></tr>"
             )
         cells.append("</table>")
         cells.append('<table class="resilience-events">'
@@ -247,8 +325,115 @@ class ResilienceEventsPortlet(Portlet):
                      "<th>message</th></tr>")
         for event in events:
             cells.append(
-                f"<tr><td>{event['code']}</td><td>{event['service']}</td>"
-                f"<td>{event['operation']}</td><td>{event['message']}</td></tr>"
+                f"<tr><td>{_esc(event['code'])}</td><td>{_esc(event['service'])}</td>"
+                f"<td>{_esc(event['operation'])}</td>"
+                f"<td>{_esc(event['message'])}</td></tr>"
+            )
+        cells.append("</table>")
+        return "".join(cells)
+
+
+class TraceViewPortlet(Portlet):
+    """The span-waterfall window: one trace's tree with per-span timing
+    bars, fetched over SOAP from the monitoring service.
+
+    Renders the trace named by ``trace_id`` or, by default, the most
+    recently collected one.
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        endpoint: str,
+        *,
+        name: str = "trace-view",
+        title: str = "Trace view",
+        source: str = "portal",
+        trace_id: str = "",
+    ):
+        super().__init__(name, title)
+        self.trace_id = trace_id
+        self._client = SoapClient(
+            network, endpoint, MONITORING_NAMESPACE, source=source, traced=False
+        )
+
+    def render(self, container_base: str) -> str:
+        trace_id = self.trace_id
+        if not trace_id:
+            summaries = self._client.call("traces", 1)
+            if not summaries:
+                return '<p class="trace-view">no traces collected</p>'
+            trace_id = summaries[0]["trace_id"]
+        rows = self._client.call("trace_tree", trace_id)
+        if not rows:
+            return (
+                f'<p class="trace-view">no spans for trace '
+                f"{_esc(trace_id)}</p>"
+            )
+        t0 = min(r["start"] for r in rows)
+        t1 = max(r["end"] for r in rows)
+        width = max(t1 - t0, 1e-9)
+        cells = [
+            f'<table class="trace-view" data-trace="{_esc(trace_id)}">'
+            "<tr><th>span</th><th>service</th><th>ms</th>"
+            "<th>events</th><th>waterfall</th></tr>"
+        ]
+        for row in rows:
+            offset = 100.0 * (row["start"] - t0) / width
+            length = max(100.0 * (row["end"] - row["start"]) / width, 0.5)
+            label = "&nbsp;" * 2 * int(row["depth"]) + _esc(row["name"])
+            state = "error" if row["error"] else "ok"
+            events = ", ".join(e["name"] for e in row["events"])
+            cells.append(
+                f'<tr class="span-{state}"><td>{label}</td>'
+                f"<td>{_esc(row['service'])}</td>"
+                f"<td>{(row['end'] - row['start']) * 1000:.2f}</td>"
+                f"<td>{_esc(events)}</td>"
+                f'<td><div class="bar" style="margin-left:{offset:.1f}%;'
+                f'width:{length:.1f}%"></div></td></tr>'
+            )
+        cells.append("</table>")
+        return "".join(cells)
+
+
+class MetricsPortlet(Portlet):
+    """The RED table: request/error counts and latency percentiles per
+    service method, plus the gauge table (breaker states, queue depths)."""
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        endpoint: str,
+        *,
+        name: str = "metrics",
+        title: str = "Service metrics",
+        source: str = "portal",
+    ):
+        super().__init__(name, title)
+        self._client = SoapClient(
+            network, endpoint, MONITORING_NAMESPACE, source=source, traced=False
+        )
+
+    def render(self, container_base: str) -> str:
+        summary = self._client.call("metrics_summary")
+        cells = ['<table class="red-metrics">'
+                 "<tr><th>service</th><th>method</th><th>side</th>"
+                 "<th>requests</th><th>errors</th><th>mean ms</th>"
+                 "<th>p95 ms</th></tr>"]
+        for row in summary["red"]:
+            cells.append(
+                f"<tr><td>{_esc(row['service'])}</td><td>{_esc(row['method'])}</td>"
+                f"<td>{_esc(row['side'])}</td><td>{_esc(row['requests'])}</td>"
+                f"<td>{_esc(row['errors'])}</td><td>{_esc(row['mean_ms'])}</td>"
+                f"<td>{_esc(row['p95_ms'])}</td></tr>"
+            )
+        cells.append("</table>")
+        cells.append('<table class="gauges">'
+                     "<tr><th>gauge</th><th>label</th><th>value</th></tr>")
+        for row in summary["gauges"]:
+            cells.append(
+                f"<tr><td>{_esc(row['gauge'])}</td><td>{_esc(row['label'])}</td>"
+                f"<td>{_esc(row['value'])}</td></tr>"
             )
         cells.append("</table>")
         return "".join(cells)

@@ -62,6 +62,7 @@ class SoapClient:
         resilience_log=None,
         service_name: str = "",
         retry_seed: int = 0,
+        traced: bool = True,
     ):
         self.network = network
         self.clock = network.clock
@@ -70,7 +71,12 @@ class SoapClient:
         self.retry_policy = retry_policy
         self.default_timeout = timeout
         self.log = resilience_log
+        self.source = source
         self.service_name = service_name or endpoint
+        #: the ambient observability bundle, if installed on the network and
+        #: not opted out (dashboard portlets pass ``traced=False`` so the
+        #: observability plane does not observe itself)
+        self.traced = traced
         self.http = http_client or HttpClient(
             network, source, breaker_policy=breaker_policy
         )
@@ -82,7 +88,7 @@ class SoapClient:
             http_client.breaker_policy = breaker_policy
         if self.log is not None:
             self.http.breaker_listener = self._record_breaker_transition
-        self.header_providers: list[HeaderProvider] = []
+        self.header_providers: list[HeaderProvider] = [self._trace_headers]
         self.last_response: SoapEnvelope | None = None
         self.calls_made = 0
         self.retries_performed = 0
@@ -90,6 +96,22 @@ class SoapClient:
 
     def add_header_provider(self, provider: HeaderProvider) -> None:
         self.header_providers.append(provider)
+
+    # -- observability plumbing -----------------------------------------------
+
+    @property
+    def obs(self):
+        """The network's observability bundle (lazy, so install order does
+        not matter), or ``None`` when tracing is off for this client."""
+        if not self.traced:
+            return None
+        return getattr(self.network, "observability", None)
+
+    def _trace_headers(self, method: str, params: list[Any]) -> list[XmlElement]:
+        """The built-in header provider propagating the current span."""
+        obs = self.obs
+        span = obs.tracer.current() if obs is not None else None
+        return [span.context().to_header()] if span is not None else []
 
     # -- resilience plumbing --------------------------------------------------
 
@@ -146,6 +168,33 @@ class SoapClient:
 
         return decode_value(return_node)
 
+    def _attempt(
+        self, method: str, params: list[Any], deadline, idem_key: str = ""
+    ) -> Any:
+        """One attempt, wrapped in a client span + RED sample when the
+        observability layer is installed."""
+        obs = self.obs
+        if obs is None:
+            return self._call_once(method, params, deadline, idem_key)
+        started = self.clock.now
+        span = obs.tracer.start(
+            method, kind="client", service=self.service_name, host=self.source
+        )
+        try:
+            result = self._call_once(method, params, deadline, idem_key)
+        except Exception as exc:
+            obs.tracer.end(span, error=self._error_code(exc))
+            obs.metrics.record_call(
+                self.service_name, method, "client",
+                self.clock.now - started, True,
+            )
+            raise
+        obs.tracer.end(span)
+        obs.metrics.record_call(
+            self.service_name, method, "client", self.clock.now - started, False
+        )
+        return result
+
     def call(
         self,
         method: str,
@@ -166,18 +215,38 @@ class SoapClient:
         work.  Essential for retried *submissions*: the request may have
         been accepted even though the response was lost.
         """
-        from repro.resilience.policy import NO_RETRY, Deadline, is_retryable
+        from repro.resilience.policy import Deadline
 
-        policy = self.retry_policy or NO_RETRY
         budget = timeout if timeout is not None else self.default_timeout
         deadline = Deadline.after(self.clock, budget) if budget is not None else None
         param_list = list(params)
+        obs = self.obs
+        if obs is None:
+            return self._call_loop(method, param_list, deadline, idempotency_key)
+        # the logical call (retry loop included) is one client span; each
+        # attempt below opens a child span whose context rides the headers
+        with obs.tracer.span(
+            f"call {method}",
+            kind="client",
+            service=self.service_name,
+            host=self.source,
+            attributes={"endpoint": self.endpoint},
+        ):
+            return self._call_loop(method, param_list, deadline, idempotency_key)
+
+    def _call_loop(
+        self, method: str, param_list: list[Any], deadline, idempotency_key: str
+    ) -> Any:
+        """The retry loop around individual attempts."""
+        from repro.resilience.policy import NO_RETRY, is_retryable
+
+        policy = self.retry_policy or NO_RETRY
         attempts = 0
         while True:
             if deadline is not None and deadline.expired(self.clock):
                 raise self._deadline_error(method, deadline)
             try:
-                return self._call_once(
+                return self._attempt(
                     method, param_list, deadline, idempotency_key
                 )
             except Exception as exc:

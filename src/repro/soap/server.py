@@ -66,6 +66,13 @@ class SoapService:
         #: header (see :meth:`enable_replay`); ``None`` = caching off
         self.replay_cache: IdempotencyIndex | None = None
         self.replays_served = 0
+        #: the serving host name and network (set by :meth:`mount`); the
+        #: network carries the ambient observability bundle, if installed
+        self.host = ""
+        self.network = None
+        #: observability plane services (trace collector, monitoring) set
+        #: this False so dashboards do not trace themselves
+        self.traced = True
 
     # -- registration ----------------------------------------------------------
 
@@ -119,7 +126,64 @@ class SoapService:
 
     def dispatch(self, envelope: SoapEnvelope) -> SoapEnvelope:
         """Execute one request envelope, always returning a response (faults
-        included — never raising)."""
+        included — never raising, except :class:`ServiceCrash`).
+
+        When the observability layer is installed on the serving network, a
+        server span wraps the dispatch: parented by the request's trace
+        header (``urn:gce:trace``) when present, timed on the host clock,
+        with the method's RED sample recorded on completion.  A
+        :class:`ServiceCrash` still exports the span (error
+        ``ServiceCrash``): the collector is an omniscient observer in the
+        simulation, and dropping the span would orphan any children it
+        already parented (the GRAM hops that completed before the crash).
+        """
+        obs = (
+            getattr(self.network, "observability", None) if self.traced else None
+        )
+        if obs is None:
+            return self._dispatch(envelope)
+        from repro.observability.context import TraceContext
+
+        method_name = envelope.body.tag.local
+        parent = (
+            TraceContext.from_headers(envelope.headers)
+            if envelope.headers
+            else None
+        )
+        started = obs.clock.now
+        replays_before = self.replays_served
+        span = obs.tracer.start(
+            method_name,
+            kind="server",
+            service=self.name,
+            host=self.host,
+            parent=parent,
+        )
+        try:
+            response = self._dispatch(envelope)
+        except ServiceCrash:
+            obs.tracer.end(span, error="ServiceCrash")
+            obs.metrics.record_call(
+                self.name, method_name, "server", obs.clock.now - started, True
+            )
+            raise
+        error = ""
+        if response.is_fault:
+            fault = SoapFault.from_xml(response.body)
+            portal_error = fault.to_portal_error()
+            error = (
+                portal_error.code if portal_error is not None else fault.faultcode
+            )
+        if self.replays_served > replays_before:
+            span.attributes["replayed"] = True
+        obs.tracer.end(span, error=error)
+        obs.metrics.record_call(
+            self.name, method_name, "server", obs.clock.now - started, bool(error)
+        )
+        return response
+
+    def _dispatch(self, envelope: SoapEnvelope) -> SoapEnvelope:
+        """The seed dispatch path (no instrumentation)."""
         method_name = envelope.body.tag.local
         idem_key = key_from_headers(envelope.headers) if envelope.headers else ""
         if self.replay_cache is not None and idem_key:
@@ -210,6 +274,8 @@ class SoapService:
     def mount(self, server: HttpServer, path: str = "/soap") -> str:
         """Mount this service on a host; returns the endpoint URL."""
         server.mount(path, self.handle_http)
+        self.host = server.host
         if server.network is not None:
             self.clock = server.network.clock
+            self.network = server.network
         return f"http://{server.host}{path}"

@@ -136,6 +136,10 @@ class VirtualNetwork:
         self._jitter = 0.0
         self._rng = random.Random(seed)
         self._disks: dict[str, HostDisk] = {}
+        #: the ambient observability bundle, if installed (see
+        #: repro.observability.runtime.Observability.install); clients and
+        #: services discover it here and instrument themselves
+        self.observability = None
 
     # -- topology ------------------------------------------------------------
 

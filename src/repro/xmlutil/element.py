@@ -64,6 +64,17 @@ class XmlElement:
 
     def set(self, key: QName | str, value: str) -> "XmlElement":
         qkey = key if isinstance(key, QName) else QName.parse(key)
+        # "xmlns"/"xmlns:*" are namespace declarations, not attributes: the
+        # serializer emits declarations from each tag's QName namespaces, and
+        # the parser consumes them into the namespace map, so a literal
+        # attribute by that name could never round-trip
+        if not qkey.namespace and (
+            qkey.local == "xmlns" or qkey.local.startswith("xmlns:")
+        ):
+            raise ValueError(
+                f"{qkey.local!r} is a reserved namespace declaration, "
+                "not an attribute"
+            )
         self.attributes[qkey] = str(value)
         return self
 

@@ -1,0 +1,80 @@
+"""Observability fixtures, including the CI trace-export hook.
+
+When ``REPRO_TRACE_DIR`` is set (the tier-2 trace CI job does this), every
+trace collector a test filled is exported as one ``.jsonl`` file so
+``python -m repro.observability.report --check`` can re-verify the span
+invariants — parent references resolve, children nest inside their
+parents, per-host clocks never run backwards — offline.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from repro.durability.journal import set_journal_listener
+from repro.faults import InvalidRequestError
+from repro.observability.collector import created_collectors
+from repro.observability.runtime import Observability
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.server import HttpServer
+
+ECHO_NAMESPACE = "urn:test:echo"
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", text)
+
+
+@pytest.fixture(autouse=True)
+def export_traces(request):
+    """Export every trace this test collected (only with REPRO_TRACE_DIR),
+    and always clear the module-level journal listener afterwards so an
+    installed bundle cannot leak into other suites."""
+    before = len(created_collectors())
+    yield
+    set_journal_listener(None)
+    out_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not out_dir:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    for index, collector in enumerate(created_collectors()[before:]):
+        if not len(collector):
+            continue
+        name = _slug(f"{request.node.name}-{index}")
+        path = os.path.join(out_dir, f"{name}.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(collector.to_json() + "\n")
+
+
+@pytest.fixture
+def obs(network):
+    """An observability bundle installed on the test's network."""
+    bundle = Observability.install(network, seed=7)
+    yield bundle
+    Observability.uninstall(network)
+
+
+class _Echo:
+    def shout(self, text: str) -> str:
+        return text.upper()
+
+    def reject(self, text: str) -> str:
+        raise InvalidRequestError(f"rejected {text!r}")
+
+
+@pytest.fixture
+def echo_stack(network):
+    """A tiny service + client pair on the test network.
+
+    Returns (service, client); install ``obs`` first (fixture order does
+    not matter — discovery is lazy) to see it traced.
+    """
+    service = SoapService("Echo", ECHO_NAMESPACE)
+    service.expose_object(_Echo())
+    url = service.mount(HttpServer("echo.example.org", network), "/echo")
+    client = SoapClient(network, url, ECHO_NAMESPACE, source="portal")
+    return service, client

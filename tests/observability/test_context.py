@@ -1,0 +1,76 @@
+"""Trace context: wire encoding round-trip and deterministic id minting."""
+
+from repro.observability.context import (
+    TRACE_HEADER,
+    TRACE_NS,
+    IdGenerator,
+    TraceContext,
+)
+from repro.xmlutil.element import XmlElement
+from repro.xmlutil.qname import QName
+
+
+class TestHeaderRoundTrip:
+    def test_round_trip(self):
+        ctx = TraceContext("a" * 32, "b" * 16, {"user": "alice", "tier": "gold"})
+        back = TraceContext.from_headers([ctx.to_header()])
+        assert back == ctx
+
+    def test_round_trip_without_baggage(self):
+        ctx = TraceContext("0f" * 16, "1e" * 8)
+        assert TraceContext.from_headers([ctx.to_header()]) == ctx
+
+    def test_header_namespace(self):
+        entry = TraceContext("a" * 32, "b" * 16).to_header()
+        assert entry.tag == TRACE_HEADER
+        assert entry.tag.namespace == TRACE_NS
+
+    def test_unrelated_headers_are_skipped(self):
+        other = XmlElement(QName("urn:other", "Deadline"), text="5.0")
+        ctx = TraceContext("a" * 32, "b" * 16)
+        assert TraceContext.from_headers([other, ctx.to_header()]) == ctx
+
+    def test_no_trace_header_returns_none(self):
+        other = XmlElement(QName("urn:other", "Deadline"), text="5.0")
+        assert TraceContext.from_headers([other]) is None
+        assert TraceContext.from_headers([]) is None
+
+    def test_malformed_header_returns_none(self):
+        # a TraceContext entry missing its SpanId must be ignored, not raise
+        entry = XmlElement(TRACE_HEADER)
+        entry.child(QName(TRACE_NS, "TraceId"), text="a" * 32)
+        assert TraceContext.from_headers([entry]) is None
+
+    def test_baggage_without_key_is_dropped(self):
+        entry = TraceContext("a" * 32, "b" * 16, {"k": "v"}).to_header()
+        entry.child(QName(TRACE_NS, "Baggage"), text="orphan")
+        back = TraceContext.from_headers([entry])
+        assert back.baggage == {"k": "v"}
+
+
+class TestIdGenerator:
+    def test_widths_and_alphabet(self):
+        ids = IdGenerator(seed=1)
+        trace, span = ids.trace_id(), ids.span_id()
+        assert len(trace) == 32 and len(span) == 16
+        assert set(trace + span) <= set("0123456789abcdef")
+
+    def test_same_seed_same_sequence(self):
+        a, b = IdGenerator(seed=42), IdGenerator(seed=42)
+        assert [a.trace_id() for _ in range(5)] == [b.trace_id() for _ in range(5)]
+        assert [a.span_id() for _ in range(5)] == [b.span_id() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert IdGenerator(seed=1).trace_id() != IdGenerator(seed=2).trace_id()
+
+    def test_no_collisions_in_a_long_run(self):
+        ids = IdGenerator(seed=0)
+        minted = [ids.span_id() for _ in range(500)]
+        minted += [ids.trace_id() for _ in range(500)]
+        assert len(set(minted)) == len(minted)
+
+    def test_ids_fill_their_width(self):
+        # the splitmix-style finalizer must spread small counters across all
+        # 128 bits — no run of leading zeros betraying the counter
+        ids = IdGenerator(seed=0)
+        assert all(ids.trace_id()[:8] != "0" * 8 for _ in range(20))

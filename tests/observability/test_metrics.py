@@ -1,0 +1,117 @@
+"""RED metrics: histograms with fixed bounds, merge laws, views."""
+
+import pytest
+
+from repro.observability.metrics import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    RedSeries,
+)
+
+
+class TestHistogram:
+    def test_bounds_are_fixed_and_exponential(self):
+        assert BUCKET_BOUNDS[0] == pytest.approx(0.001)
+        assert all(
+            b2 == pytest.approx(2 * b1)
+            for b1, b2 in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:])
+        )
+
+    def test_record_lands_in_the_first_covering_bucket(self):
+        h = Histogram()
+        h.record(0.0015)  # > 1ms, <= 2ms
+        assert h.counts[1] == 1 and sum(h.counts) == 1
+
+    def test_overflow_bucket(self):
+        h = Histogram()
+        h.record(BUCKET_BOUNDS[-1] * 10)
+        assert h.counts[-1] == 1
+
+    def test_mean(self):
+        h = Histogram()
+        for v in (0.010, 0.030):
+            h.record(v)
+        assert h.mean == pytest.approx(0.020)
+
+    def test_percentile_upper_bound_estimate(self):
+        h = Histogram()
+        for _ in range(99):
+            h.record(0.0005)  # first bucket (<= 1ms)
+        h.record(0.100)
+        assert h.percentile(0.50) == pytest.approx(0.001)
+        assert h.percentile(1.00) >= 0.100
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(0.95) == 0.0
+
+    def test_merge_is_a_vector_add(self):
+        a, b, both = Histogram(), Histogram(), Histogram()
+        for v in (0.002, 0.5):
+            a.record(v)
+            both.record(v)
+        for v in (0.004, 7.0):
+            b.record(v)
+            both.record(v)
+        a.merge(b)
+        assert a.counts == both.counts and a.count == both.count
+        assert a.total == pytest.approx(both.total)
+
+
+class TestRedSeries:
+    def test_counts_requests_and_errors(self):
+        series = RedSeries()
+        series.record(0.010, error=False)
+        series.record(0.020, error=True)
+        assert (series.requests, series.errors) == (2, 1)
+        assert series.latency.count == 2
+
+
+class TestMetricsRegistry:
+    def test_record_call_groups_by_service_method_side(self):
+        reg = MetricsRegistry()
+        reg.record_call("Echo", "shout", "server", 0.010, False)
+        reg.record_call("Echo", "shout", "server", 0.050, True)
+        reg.record_call("Echo", "shout", "client", 0.060, False)
+        rows = reg.summary()["red"]
+        server = next(r for r in rows if r["side"] == "server")
+        assert server["requests"] == 2 and server["errors"] == 1
+        assert server["mean_ms"] == pytest.approx(30.0)
+        assert len(rows) == 2
+
+    def test_gauges_keep_last_value(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("breaker_state", "bsg.iu.edu", 2)
+        reg.set_gauge("breaker_state", "bsg.iu.edu", 0)
+        assert reg.summary()["gauges"] == [
+            {"gauge": "breaker_state", "label": "bsg.iu.edu", "value": 0.0}
+        ]
+
+    def test_event_counters(self):
+        reg = MetricsRegistry()
+        for _ in range(3):
+            reg.count_event("Resilience.Retry")
+        assert reg.summary()["events"] == [
+            {"code": "Resilience.Retry", "count": 3}
+        ]
+
+    def test_merge_combines_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.record_call("S", "m", "server", 0.010, False)
+        b.record_call("S", "m", "server", 0.030, True)
+        b.count_event("Journal.Append")
+        b.set_gauge("queue_depth", "host", 4)
+        a.merge(b)
+        row = a.summary()["red"][0]
+        assert row["requests"] == 2 and row["errors"] == 1
+        assert a.events == {"Journal.Append": 1}
+        assert a.gauges[("queue_depth", "host")] == 4.0
+
+    def test_slowest_ranks_server_side_by_mean(self):
+        reg = MetricsRegistry()
+        reg.record_call("A", "fast", "server", 0.001, False)
+        reg.record_call("B", "slow", "server", 0.900, False)
+        reg.record_call("C", "client only", "client", 9.0, False)
+        rows = reg.slowest(limit=1)
+        assert [r["method"] for r in rows] == ["slow"]
+        assert all(r["side"] == "server" for r in reg.slowest())

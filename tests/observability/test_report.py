@@ -1,0 +1,154 @@
+"""The offline reporter: invariant checking, waterfall, critical path."""
+
+import json
+
+import pytest
+
+from repro.observability import report
+
+
+def _span(**over):
+    base = {
+        "trace_id": "t" * 32, "span_id": "root", "parent_id": "",
+        "name": "root", "kind": "server", "service": "S", "host": "h",
+        "start": 0.0, "end": 10.0, "error": "", "attributes": {}, "events": [],
+    }
+    base.update(over)
+    return base
+
+
+def _jsonl(spans):
+    return "\n".join(json.dumps(s) for s in spans)
+
+
+# spans appear in *finish* order, as a tracer exports them (children first)
+GOOD = [
+    _span(span_id="a", parent_id="root", name="childA", start=1.0, end=4.0),
+    _span(span_id="c", parent_id="b", name="leaf", start=6.0, end=8.0),
+    _span(span_id="b", parent_id="root", name="childB", start=5.0, end=9.0),
+    _span(),
+]
+
+
+class TestLoadSpans:
+    def test_round_trip(self):
+        spans = report.load_spans(_jsonl(GOOD))
+        assert [s["name"] for s in spans] == ["childA", "leaf", "childB", "root"]
+
+    def test_blank_lines_skipped(self):
+        assert len(report.load_spans("\n" + _jsonl(GOOD) + "\n\n")) == 4
+
+    def test_malformed_json_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="trace:2"):
+            report.load_spans(_jsonl(GOOD[:1]) + "\n{broken")
+
+    def test_missing_field_raises(self):
+        bad = {k: v for k, v in _span().items() if k != "span_id"}
+        with pytest.raises(ValueError, match="span_id"):
+            report.load_spans(json.dumps(bad))
+
+
+class TestCheckSpans:
+    def test_clean_export_has_no_problems(self):
+        assert report.check_spans(GOOD, "t") == []
+
+    def test_unresolved_parent(self):
+        spans = GOOD + [_span(span_id="x", parent_id="ghost", name="orphan")]
+        problems = report.check_spans(spans, "t")
+        assert any("unknown parent" in p for p in problems)
+
+    def test_child_escaping_parent_window(self):
+        spans = [_span(), _span(span_id="x", parent_id="root",
+                                name="late", start=9.0, end=11.0)]
+        problems = report.check_spans(spans, "t")
+        assert any("does not nest" in p for p in problems)
+
+    def test_end_before_start(self):
+        problems = report.check_spans([_span(start=5.0, end=1.0)], "t")
+        assert any("before it starts" in p for p in problems)
+
+    def test_multiple_roots(self):
+        spans = [_span(), _span(span_id="r2", name="second root", end=10.0)]
+        problems = report.check_spans(spans, "t")
+        assert any("2 root spans" in p for p in problems)
+
+    def test_host_clock_regression(self):
+        # spans export at end time; a later line ending earlier on the same
+        # host means that host's clock ran backwards
+        spans = [
+            _span(span_id="a", parent_id="root", name="first",
+                  start=0.0, end=8.0),
+            _span(),
+            _span(trace_id="u" * 32, span_id="z", name="rewound",
+                  start=0.0, end=3.0),
+        ]
+        problems = report.check_spans(spans, "t")
+        assert any("clock regressed" in p for p in problems)
+
+    def test_distinct_hosts_may_interleave(self):
+        spans = [
+            _span(span_id="a", parent_id="root", name="first",
+                  start=0.0, end=8.0),
+            _span(),
+            _span(trace_id="u" * 32, span_id="z", name="elsewhere",
+                  host="other", start=0.0, end=3.0),
+        ]
+        assert report.check_spans(spans, "t") == []
+
+
+class TestReporting:
+    def test_tree_rows_depths(self):
+        rows = report.tree_rows(GOOD)
+        assert [(r["name"], r["depth"]) for r in rows] == [
+            ("root", 0), ("childA", 1), ("childB", 1), ("leaf", 2)
+        ]
+
+    def test_waterfall_marks_errors_and_events(self):
+        spans = [dict(GOOD[0], error="Portal.Job",
+                      events=[{"t": 1.0, "name": "Resilience.Retry",
+                               "attributes": {}}])]
+        lines = report.waterfall_lines(spans)
+        assert "error=Portal.Job" in lines[0]
+        assert "Resilience.Retry" in lines[0]
+
+    def test_critical_path_follows_latest_ending_child(self):
+        path = [s["name"] for s in report.critical_path(GOOD)]
+        assert path == ["root", "childB", "leaf"]
+
+    def test_self_times_subtract_direct_children(self):
+        rows = {r["name"]: r for r in report.self_times(GOOD)}
+        # root: 10s own, children 3s + 4s -> 3s self
+        assert rows["root"]["self_s"] == pytest.approx(3.0)
+        # childB: 4s own, leaf 2s -> 2s self
+        assert rows["childB"]["self_s"] == pytest.approx(2.0)
+        assert rows["leaf"]["self_s"] == pytest.approx(2.0)
+
+    def test_report_lines_mention_critical_path_and_bottlenecks(self):
+        lines = report.report_lines(GOOD)
+        assert any("critical path: root -> childB -> leaf" in l for l in lines)
+        assert any(l.startswith("bottlenecks") for l in lines)
+
+
+class TestMain:
+    def test_check_ok_run(self, tmp_path, capsys):
+        (tmp_path / "good.jsonl").write_text(_jsonl(GOOD) + "\n")
+        assert report.main(["--check", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok   good.jsonl (4 spans)" in out
+        assert "0 violations" in out
+
+    def test_check_failing_run(self, tmp_path, capsys):
+        bad = GOOD + [_span(span_id="x", parent_id="ghost", name="orphan")]
+        (tmp_path / "bad.jsonl").write_text(_jsonl(bad) + "\n")
+        assert report.main(["--check", str(tmp_path)]) == 1
+        assert "FAIL bad.jsonl" in capsys.readouterr().out
+
+    def test_report_mode(self, tmp_path, capsys):
+        target = tmp_path / "good.jsonl"
+        target.write_text(_jsonl(GOOD) + "\n")
+        assert report.main([str(target)]) == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_usage_errors(self, tmp_path):
+        assert report.main([]) == 2
+        assert report.main([str(tmp_path / "missing.jsonl")]) == 2

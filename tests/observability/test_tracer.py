@@ -1,0 +1,113 @@
+"""Tracer unit tests: nesting, parenting, error mapping, events."""
+
+import pytest
+
+from repro.faults import InvalidRequestError
+from repro.observability.collector import TraceCollector
+from repro.observability.context import IdGenerator, TraceContext
+from repro.observability.tracer import Tracer
+from repro.transport.clock import SimClock
+
+
+@pytest.fixture
+def tracer():
+    clock = SimClock()
+    return Tracer(clock, IdGenerator(seed=3), TraceCollector())
+
+
+def test_root_span_starts_fresh_trace(tracer):
+    span = tracer.start("root", kind="server", service="S", host="h")
+    assert span.parent_id == ""
+    assert len(span.trace_id) == 32
+    tracer.end(span)
+    assert len(tracer.collector) == 1
+
+
+def test_ambient_nesting(tracer):
+    root = tracer.start("root")
+    child = tracer.start("child")
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+    tracer.end(child)
+    tracer.end(root)
+    # export order is finish order: innermost first
+    names = [s["name"] for s in tracer.collector.spans()]
+    assert names == ["child", "root"]
+
+
+def test_explicit_parent_beats_ambient(tracer):
+    ambient = tracer.start("ambient")
+    remote = TraceContext("f" * 32, "e" * 16)
+    span = tracer.start("server side", parent=remote)
+    assert span.trace_id == remote.trace_id
+    assert span.parent_id == remote.span_id
+    tracer.end(span)
+    tracer.end(ambient)
+    # export what the remote caller's tracer would have, so this collector's
+    # contents satisfy the offline checker the CI export hook runs
+    tracer.collector.export({
+        "trace_id": remote.trace_id, "span_id": remote.span_id,
+        "parent_id": "", "name": "remote caller", "kind": "client",
+        "service": "remote", "host": "remote", "start": span.start,
+        "end": span.end, "error": "", "attributes": {}, "events": [],
+    })
+
+
+def test_span_times_come_from_the_clock(tracer):
+    span = tracer.start("timed")
+    tracer.clock.advance(1.5)
+    tracer.end(span)
+    assert span.duration == pytest.approx(1.5)
+
+
+def test_context_manager_success(tracer):
+    with tracer.span("ok") as span:
+        pass
+    assert span.error == ""
+    assert tracer.current() is None
+
+
+def test_context_manager_maps_portal_error_code(tracer):
+    with pytest.raises(InvalidRequestError):
+        with tracer.span("bad"):
+            raise InvalidRequestError("nope")
+    exported = tracer.collector.spans()[0]
+    assert exported["error"] == "Portal.InvalidRequest"
+
+
+def test_context_manager_maps_unknown_exception_to_type_name(tracer):
+    with pytest.raises(ZeroDivisionError):
+        with tracer.span("boom"):
+            1 / 0
+    assert tracer.collector.spans()[0]["error"] == "ZeroDivisionError"
+
+
+def test_abandon_drops_without_export(tracer):
+    span = tracer.start("doomed")
+    tracer.abandon(span)
+    assert len(tracer.collector) == 0
+    assert tracer.current() is None
+
+
+def test_ending_a_parent_unwinds_open_descendants(tracer):
+    root = tracer.start("root")
+    tracer.start("leaked child")
+    tracer.end(root)
+    # the child was popped (not exported); only the root reached the collector
+    assert [s["name"] for s in tracer.collector.spans()] == ["root"]
+    assert tracer.current() is None
+
+
+def test_annotate_attaches_to_current_span(tracer):
+    with tracer.span("work") as span:
+        tracer.clock.advance(0.25)
+        assert tracer.annotate("Resilience.Retry", attempt=2) is True
+    event = span.events[0]
+    assert event.name == "Resilience.Retry"
+    assert event.t == pytest.approx(0.25)
+    assert event.attributes == {"attempt": 2}
+    assert tracer.collector.spans()[0]["events"][0]["name"] == "Resilience.Retry"
+
+
+def test_annotate_without_open_span_is_dropped(tracer):
+    assert tracer.annotate("nobody listening") is False

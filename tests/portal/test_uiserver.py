@@ -80,3 +80,34 @@ def test_remote_ui_portlet_registration(ui):
         title="Gaussian descriptor",
     )
     assert "appws-descriptors" in ui.container.available_portlets()
+
+
+def test_observed_portal_renders_trace_and_metrics_portlets():
+    """build(observe=True) wires the whole observability plane: a traced
+    request shows up in the trace portlet and the RED table on a portal
+    page, and the deployment exposes the trace-collector endpoint."""
+    from repro.portal.uiserver import PortalDeployment
+
+    deployment = PortalDeployment.build(observe=True, observe_seed=3)
+    try:
+        ui = UserInterfaceServer(deployment)
+        assert "traces" in deployment.endpoints
+        ui.failover_client().call("supportsScheduler", "LSF")
+
+        trace_portlet = ui.add_trace_portlet()
+        metrics_portlet = ui.add_metrics_portlet()
+        ui.container.set_layout("alice", [trace_portlet.name,
+                                          metrics_portlet.name])
+        page = ui.container.render_page("alice")
+        assert '<table class="trace-view"' in page
+        assert "call supportsScheduler" in page
+        assert '<table class="red-metrics">' in page
+        assert "supportsScheduler" in page
+        # rendering the dashboards added no spans of their own
+        assert "render_page" not in {
+            s["name"] for s in deployment.observability.collector.spans()
+        }
+    finally:
+        from repro.observability import Observability
+
+        Observability.uninstall(deployment.network)

@@ -1,0 +1,88 @@
+"""ResilienceLog subscriber isolation: a broken observer must never poison
+the client whose retry it was watching."""
+
+from repro.resilience.events import RETRY, SUBSCRIBER_ERROR, ResilienceLog
+
+
+def test_record_returns_report_and_notifies_subscribers():
+    log = ResilienceLog()
+    seen = []
+    log.subscribe(seen.append)
+    report = log.record(RETRY, "retrying", service="BSG", operation="call")
+    assert seen == [report]
+    assert log.events == [report]
+
+
+def test_raising_subscriber_does_not_poison_the_caller():
+    log = ResilienceLog()
+
+    def broken(report):
+        raise RuntimeError("observer bug")
+
+    log.subscribe(broken)
+    report = log.record(RETRY, "retrying")  # must not raise
+    codes = [r.code for r in log.events]
+    assert codes == [RETRY, SUBSCRIBER_ERROR]
+    failure = log.events[-1]
+    assert "RuntimeError" in failure.message and "observer bug" in failure.message
+    assert failure.detail["event"] == RETRY
+    assert failure.service == report.service
+
+
+def test_later_subscribers_still_receive_the_event():
+    log = ResilienceLog()
+    seen = []
+
+    def broken(report):
+        raise ValueError("first in line, broken")
+
+    log.subscribe(broken)
+    log.subscribe(seen.append)
+    log.record(RETRY, "retrying")
+    assert [r.code for r in seen] == [RETRY]
+
+
+def test_subscriber_error_is_not_redelivered():
+    """A persistently broken subscriber must not recurse: the failure event
+    is appended directly, bypassing delivery."""
+    log = ResilienceLog()
+    calls = []
+
+    def broken(report):
+        calls.append(report.code)
+        raise RuntimeError("always broken")
+
+    log.subscribe(broken)
+    log.record(RETRY, "retrying")
+    # delivered exactly once — never called again for its own failure event
+    assert calls == [RETRY]
+    assert [r.code for r in log.events] == [RETRY, SUBSCRIBER_ERROR]
+
+
+def test_unsubscribe_stops_delivery():
+    log = ResilienceLog()
+    seen = []
+    log.subscribe(seen.append)
+    log.record(RETRY, "one")
+    log.unsubscribe(seen.append)
+    log.record(RETRY, "two")
+    assert len(seen) == 1
+
+
+def test_unsubscribe_unknown_callback_is_silent():
+    log = ResilienceLog()
+    log.unsubscribe(print)  # no raise
+
+
+def test_subscriber_may_unsubscribe_itself_during_delivery():
+    log = ResilienceLog()
+    seen = []
+
+    def once(report):
+        seen.append(report.code)
+        log.unsubscribe(once)
+
+    log.subscribe(once)
+    log.record(RETRY, "one")
+    log.record(RETRY, "two")
+    assert seen == [RETRY]

@@ -1,0 +1,188 @@
+"""Portlet rendering: golden-row assertions for the observability portlets
+and the hostile-name escaping regression for the seed portlets.
+
+Service-returned strings (hostnames, event messages, span names) are
+untrusted input to the portal page; every cell must cross ``html.escape``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.faults import InvalidRequestError
+from repro.grid.resources import build_testbed
+from repro.observability.runtime import Observability
+from repro.resilience.events import RETRY, ResilienceLog
+from repro.services.monitoring import (
+    GridLoadPortlet,
+    MetricsPortlet,
+    ResilienceEventsPortlet,
+    TraceViewPortlet,
+    deploy_monitoring,
+)
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.server import HttpServer
+
+HOSTILE = '<script>alert(1)</script>'
+
+
+class _Echo:
+    def shout(self, text: str) -> str:
+        return text.upper()
+
+    def reject(self) -> str:
+        raise InvalidRequestError("no")
+
+
+@pytest.fixture
+def observed(network, ca):
+    """A traced monitoring stack plus a small traced workload service."""
+    obs = Observability.install(network, seed=5)
+    log = ResilienceLog()
+    obs.observe_log(log)
+    testbed = build_testbed(network, ca)
+    _, url = deploy_monitoring(
+        network, testbed, resilience_log=log, observability=obs
+    )
+    echo = SoapService("Echo", "urn:test:echo")
+    echo.expose_object(_Echo())
+    echo_url = echo.mount(HttpServer("echo.example.org", network), "/echo")
+    client = SoapClient(network, echo_url, "urn:test:echo", source="portal")
+    yield SimpleNamespace(
+        network=network, obs=obs, log=log, url=url, echo=client
+    )
+    Observability.uninstall(network)
+
+
+# -- escaping regressions (seed portlets) -----------------------------------
+
+
+def test_grid_load_portlet_escapes_hostile_host(network, ca):
+    testbed = build_testbed(
+        network, ca, resources=[(HOSTILE, "PBS", 8), ("ok.edu", "LSF", 4)]
+    )
+    _, url = deploy_monitoring(network, testbed)
+    html = GridLoadPortlet(network, url, source="p").render("/portal")
+    assert HOSTILE not in html
+    assert "&lt;script&gt;alert(1)&lt;/script&gt;" in html
+    assert "<td>ok.edu</td>" in html
+
+
+def test_resilience_portlet_escapes_hostile_event(network, ca):
+    log = ResilienceLog()
+    log.record(
+        RETRY,
+        f'retrying {HOSTILE} after "fault"',
+        service='<b onmouseover="x">svc</b>',
+        operation="op&co",
+    )
+    _, url = deploy_monitoring(
+        network, build_testbed(network, ca), resilience_log=log
+    )
+    html = ResilienceEventsPortlet(network, url, source="p").render("/portal")
+    assert "<script>" not in html and "<b " not in html
+    assert "&lt;script&gt;alert(1)&lt;/script&gt;" in html
+    assert "&quot;fault&quot;" in html
+    assert "op&amp;co" in html
+
+
+# -- the trace waterfall portlet --------------------------------------------
+
+
+def test_trace_view_portlet_renders_latest_trace(observed):
+    observed.echo.call("shout", "hi")
+    html = TraceViewPortlet(observed.network, observed.url).render("/portal")
+    trace_id = observed.obs.collector.trace_ids()[0]
+    assert f'<table class="trace-view" data-trace="{trace_id}">' in html
+    # golden-ish rows: the logical call at depth 0, indented children
+    assert '<tr class="span-ok"><td>call shout</td>' in html
+    assert "&nbsp;&nbsp;shout" in html          # the attempt, depth 1
+    assert "&nbsp;&nbsp;&nbsp;&nbsp;shout" in html  # the server, depth 2
+    assert html.count('<div class="bar"') == 3
+    assert "<td>Echo</td>" in html
+
+
+def test_trace_view_portlet_marks_error_spans(observed):
+    with pytest.raises(InvalidRequestError):
+        observed.echo.call("reject")
+    html = TraceViewPortlet(observed.network, observed.url).render("/portal")
+    assert '<tr class="span-error">' in html
+
+
+def test_trace_view_portlet_pins_an_explicit_trace(observed):
+    observed.echo.call("shout", "first")
+    observed.echo.call("shout", "second")
+    first = observed.obs.collector.trace_ids()[0]
+    html = TraceViewPortlet(
+        observed.network, observed.url, trace_id=first
+    ).render("/portal")
+    assert f'data-trace="{first}"' in html
+
+
+def test_trace_view_portlet_without_traces(observed):
+    html = TraceViewPortlet(observed.network, observed.url).render("/portal")
+    assert html == '<p class="trace-view">no traces collected</p>'
+
+
+def test_trace_view_portlet_unknown_trace(observed):
+    html = TraceViewPortlet(
+        observed.network, observed.url, trace_id="f" * 32
+    ).render("/portal")
+    assert "no spans for trace" in html
+
+
+# -- the RED metrics portlet ------------------------------------------------
+
+
+def test_metrics_portlet_renders_red_and_gauge_tables(observed):
+    observed.echo.call("shout", "hi")
+    with pytest.raises(InvalidRequestError):
+        observed.echo.call("reject")
+    html = MetricsPortlet(observed.network, observed.url).render("/portal")
+    assert '<table class="red-metrics">' in html
+    assert "<td>Echo</td><td>shout</td><td>server</td><td>1</td><td>0</td>" in html
+    assert "<td>Echo</td><td>reject</td><td>server</td><td>1</td><td>1</td>" in html
+    # queue-depth gauges are sampled per testbed host at read time
+    assert '<table class="gauges">' in html
+    assert "<td>queue_depth</td><td>blue.sdsc.edu</td><td>0.0</td>" in html
+
+
+def test_metrics_portlet_never_traces_itself(observed):
+    before = len(observed.obs.collector)
+    MetricsPortlet(observed.network, observed.url).render("/portal")
+    TraceViewPortlet(observed.network, observed.url).render("/portal")
+    assert len(observed.obs.collector) == before
+
+
+# -- the new monitoring operations over SOAP --------------------------------
+
+
+def test_monitoring_trace_and_metrics_operations(observed):
+    observed.echo.call("shout", "one")
+    observed.echo.call("shout", "two")
+    monitor = SoapClient(
+        observed.network, observed.url,
+        "urn:gce:monitoring", source="ui", traced=False,
+    )
+    rows = monitor.call("traces")
+    assert len(rows) == 2
+    assert monitor.call("traces", 1) == rows[-1:]
+    tree = monitor.call("trace_tree", rows[0]["trace_id"])
+    assert [r["depth"] for r in tree] == [0, 1, 2]
+    summary = monitor.call("metrics_summary")
+    assert any(r["service"] == "Echo" for r in summary["red"])
+    assert any(g["gauge"] == "queue_depth" for g in summary["gauges"])
+    slowest = monitor.call("slowest_operations", 3)
+    assert slowest and all(r["side"] == "server" for r in slowest)
+
+
+def test_monitoring_metrics_summary_without_observability(network, ca):
+    _, url = deploy_monitoring(network, build_testbed(network, ca))
+    monitor = SoapClient(network, url, "urn:gce:monitoring", source="ui")
+    assert monitor.call("metrics_summary") == {
+        "red": [], "gauges": [], "events": []
+    }
+    assert monitor.call("traces") == []
+    assert monitor.call("trace_tree", "f" * 32) == []
+    assert monitor.call("slowest_operations", 5) == []

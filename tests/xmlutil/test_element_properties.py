@@ -9,7 +9,11 @@ from repro.xmlutil.element import XmlElement, parse_xml
 
 names = st.text(
     alphabet=string.ascii_letters + "_", min_size=1, max_size=8
-).filter(lambda s: s[0].isalpha() or s[0] == "_")
+).filter(
+    # "xmlns" is a reserved namespace declaration, not an attribute name;
+    # XmlElement.set rejects it (see test_element.py)
+    lambda s: (s[0].isalpha() or s[0] == "_") and s != "xmlns"
+)
 
 # text content excluding the \r (XML parsers normalize CR) but including
 # markup-significant characters that must be escaped
