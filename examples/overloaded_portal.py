@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""A portal under 5x overload, kept honest by admission control.
+
+Builds the full portal with a deliberately small admission budget on the
+Globusrun service (4 requests/s) and three principals — alice, bob and
+carol — holding 3:2:1 fair-share weights.  An open-loop arrival schedule
+offers five times the service capacity for a minute of virtual time; the
+admission controller sheds the excess early with a ``retry-after`` hint
+while the weighted-fair queue keeps every principal's admitted share
+pinned to its weight.  Afterwards the example shows the hint being
+honoured by a retrying client, a metascheduler batch placement, and the
+LoadPortlet / monitoring views a portal administrator would read.
+
+Run:  python examples/overloaded_portal.py
+"""
+
+from repro.faults import PortalError
+from repro.loadmgmt import LaneConfig
+from repro.portal import PortalDeployment, UserInterfaceServer
+from repro.resilience.policy import RetryPolicy
+from repro.services.jobsubmit import GLOBUSRUN_NAMESPACE, jobs_to_xml
+from repro.grid.jobs import JobSpec
+from repro.soap.client import SoapClient
+
+CAPACITY = 4.0  # admitted requests per virtual second
+WEIGHTS = {"alice": 3.0, "bob": 2.0, "carol": 1.0}
+MULTIPLE = 5.0
+DURATION = 60.0
+
+
+def main() -> None:
+    deployment = PortalDeployment.build(
+        observe=True,
+        admission_capacity=CAPACITY,
+        admission_lanes={
+            name: LaneConfig(weight=w) for name, w in WEIGHTS.items()
+        },
+    )
+    network = deployment.network
+    ui = UserInterfaceServer(deployment)
+
+    print("== three principals offer 5x the Globusrun capacity ==")
+    clients, next_at, interval = {}, {}, {}
+    for index, name in enumerate(sorted(WEIGHTS)):
+        clients[name] = SoapClient(
+            network, deployment.endpoints["globusrun"], GLOBUSRUN_NAMESPACE,
+            source=f"{name}.org", principal=name,
+        )
+        interval[name] = len(WEIGHTS) / (MULTIPLE * CAPACITY)
+        next_at[name] = index * interval[name] / len(WEIGHTS)
+
+    started = network.clock.now
+    admitted = {name: 0 for name in WEIGHTS}
+    shed = {name: 0 for name in WEIGHTS}
+    while True:
+        name = min(next_at, key=lambda n: (next_at[n], n))
+        at = next_at[name]
+        if at - started >= DURATION:
+            break
+        network.clock.sleep_until(at)
+        try:
+            clients[name].call("run", "modi4.iu.edu", "echo", "hi", 1, "",
+                               600)
+            admitted[name] += 1
+        except PortalError:
+            shed[name] += 1
+        next_at[name] = at + interval[name]
+
+    total_ok = sum(admitted.values())
+    weight_sum = sum(WEIGHTS.values())
+    elapsed = max(network.clock.now - started, DURATION)
+    print(f"   goodput {total_ok / elapsed:.2f}/s "
+          f"(capacity {CAPACITY:.0f}/s, offered {MULTIPLE * CAPACITY:.0f}/s)")
+    for name in sorted(WEIGHTS):
+        share = admitted[name] / total_ok if total_ok else 0.0
+        print(f"   {name:<6} weight {WEIGHTS[name]:.0f}  "
+              f"admitted {admitted[name]:<4} shed {shed[name]:<4} "
+              f"share {share:5.1%} (fair {WEIGHTS[name] / weight_sum:5.1%})")
+
+    print("\n== the retry-after hint, honoured by a retrying client ==")
+    retrier = SoapClient(
+        network, deployment.endpoints["globusrun"], GLOBUSRUN_NAMESPACE,
+        source="alice.org", principal="alice",
+        retry_policy=RetryPolicy(max_attempts=6, base_delay=0.05, jitter=0.0),
+    )
+    for _ in range(40):
+        try:
+            retrier.call("run", "modi4.iu.edu", "echo", "again", 1, "", 600)
+        except PortalError:
+            pass
+    print(f"   calls retried after a ServerBusy hint: "
+          f"{retrier.busy_backoffs}")
+
+    print("\n== a batch placed across the testbed by the metascheduler ==")
+    batch = jobs_to_xml([
+        ("", JobSpec(name=f"sweep-{i}", executable="simulate",
+                     arguments=[str(i)], wallclock_limit=600))
+        for i in range(4)
+    ])
+    ui.client("metascheduler").call("run_xml", batch)
+    for row in deployment.metascheduler.placements(4):
+        print(f"   {row['job']:<8} -> {row['contact']:<28} "
+              f"queue {row['queue']:<7} policy {row['policy']}")
+
+    print("\n== what the administrator's LoadPortlet shows ==")
+    portlet = ui.add_load_portlet()
+    html = portlet.render("/portal")
+    print(f"   rendered {len(html)} chars: lanes, queue depths, placements")
+    for row in deployment.monitoring.load_lanes():
+        print(f"   lane {row['lane'] or 'anonymous':<10} "
+              f"weight {row['weight']:.0f}  admitted {row['admitted']:<5} "
+              f"shed {row['shed']:<5} mean wait {row['mean_wait']:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

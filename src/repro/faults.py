@@ -138,6 +138,52 @@ class DiscoveryError(PortalError):
     code = "Portal.Discovery"
 
 
+class ServerBusyError(PortalError):
+    """The server refused the request under load-shedding policy.
+
+    Raised by the admission-control layer (:mod:`repro.loadmgmt`) when a
+    request would wait longer than the service's queue-wait bound, when a
+    per-service rate limiter is out of tokens, or when a concurrency
+    bulkhead is full.  Always retryable — the condition is transient by
+    construction — and carries a ``retryAfter`` detail (virtual seconds)
+    that retry loops should honour instead of blind exponential backoff.
+    """
+
+    code = "Portal.ServerBusy"
+    retryable = True
+
+    @property
+    def retry_after(self) -> float | None:
+        """The server's retry hint in virtual seconds, if parseable."""
+        raw = self.detail.get("retryAfter")
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            return None
+        return value if value >= 0 else None
+
+
+def retry_after_hint(exc: BaseException) -> float | None:
+    """The server-supplied retry-after hint carried by *exc*, if any.
+
+    Works on a local :class:`ServerBusyError` and on any reconstructed
+    :class:`PortalError` whose detail carries ``retryAfter`` (the SOAP
+    fault round-trip preserves the detail map, not the subclass property).
+    """
+    if not isinstance(exc, PortalError):
+        return None
+    raw = exc.detail.get("retryAfter")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        return None
+    return value if value >= 0 else None
+
+
 class DeadlineExceededError(PortalError):
     """The caller's deadline passed before the work completed.
 
@@ -172,6 +218,7 @@ _CODE_REGISTRY: dict[str, type[PortalError]] = {
         SchemaError,
         DiscoveryError,
         DeadlineExceededError,
+        ServerBusyError,
     )
 }
 

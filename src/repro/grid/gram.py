@@ -241,11 +241,35 @@ class Gatekeeper:
         self.submissions += 1
         job_id = self.scheduler.submit(spec)
         self.idempotency.put(key, job_id)
+        self.publish_queue_gauges()
         return job_id
 
     def status(self, chain_data: list[dict[str, Any]], job_id: str) -> dict[str, Any]:
         self._authorize(chain_data)
-        return self.scheduler.job(job_id).summary()
+        summary = self.scheduler.job(job_id).summary()
+        self.publish_queue_gauges()
+        return summary
+
+    def publish_queue_gauges(self) -> list[dict[str, Any]]:
+        """Export this resource's per-queue load to the metrics registry.
+
+        Gauge labels are ``host/queue`` (the per-host ``queue_depth`` gauge
+        the monitoring service already samples keeps its bare-host label),
+        so the metascheduler's policies can weigh individual queues, not
+        just whole hosts.  Returns the scheduler's stat rows either way.
+        """
+        rows = self.scheduler.queue_stats()
+        obs = (
+            getattr(self.network, "observability", None)
+            if self.network is not None
+            else None
+        )
+        if obs is not None:
+            for row in rows:
+                label = f"{row['host']}/{row['queue']}"
+                obs.metrics.set_gauge("queue_depth", label, row["depth"])
+                obs.metrics.set_gauge("queue_drain_rate", label, row["drain_rate"])
+        return rows
 
     def output(self, chain_data: list[dict[str, Any]], job_id: str) -> dict[str, str]:
         self._authorize(chain_data)

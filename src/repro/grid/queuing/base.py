@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -132,6 +133,11 @@ class BatchScheduler:
         self._running: list[str] = []
         self._ids = itertools.count(1)
         self.completed_count = 0
+        #: per queue: recent completion times, for the drain-rate estimate
+        #: the metascheduler's placement policies read (bounded so a
+        #: long-running scheduler never grows without bound)
+        self._completions: dict[str, deque] = {}
+        self._queue_completed: dict[str, int] = {}
 
     # -- submission ----------------------------------------------------------
 
@@ -285,11 +291,51 @@ class BatchScheduler:
         return [record.summary() for record in self.jobs()]
 
     @property
+    def default_queue(self) -> str:
+        """The queue a spec without one lands in (placement needs this)."""
+        return self._default_queue
+
+    @property
     def free_cpus(self) -> int:
         self._advance()
         return self.cpus - sum(
             self._jobs[jid].spec.cpus for jid in self._running
         )
+
+    def queue_stats(self, window: float = 600.0) -> list[dict[str, object]]:
+        """Per-queue load: depth, running, completed, and drain rate.
+
+        ``drain_rate`` is completions per virtual second over the trailing
+        *window* — the backpressure signal the load-management layer feeds
+        to the metrics registry (per queue, not just per host) and the
+        metascheduler's least-loaded policy divides depth by.
+        """
+        self._advance()
+        now = self.clock.now
+        pending: dict[str, int] = {}
+        running: dict[str, int] = {}
+        for jid in self._pending:
+            queue = self._jobs[jid].spec.queue
+            pending[queue] = pending.get(queue, 0) + 1
+        for jid in self._running:
+            queue = self._jobs[jid].spec.queue
+            running[queue] = running.get(queue, 0) + 1
+        rows = []
+        for name in sorted(self.queues):
+            definition = self.queues[name]
+            recent = [
+                t for t in self._completions.get(name, ()) if t > now - window
+            ]
+            rows.append({
+                "host": self.host,
+                "queue": name,
+                "priority": definition.priority,
+                "depth": pending.get(name, 0),
+                "running": running.get(name, 0),
+                "completed": self._queue_completed.get(name, 0),
+                "drain_rate": len(recent) / window if window > 0 else 0.0,
+            })
+        return rows
 
     # -- control ------------------------------------------------------------------
 
@@ -369,6 +415,11 @@ class BatchScheduler:
                     JobState.DONE if record.exit_code == 0 else JobState.FAILED
                 )
             self.completed_count += 1
+            queue = record.spec.queue
+            self._queue_completed[queue] = self._queue_completed.get(queue, 0) + 1
+            self._completions.setdefault(queue, deque(maxlen=512)).append(
+                record.end_time
+            )
             self._journal(
                 "job-finish",
                 job=jid,

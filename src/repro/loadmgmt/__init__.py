@@ -1,0 +1,56 @@
+"""Load management: admission control, fair queuing, and metascheduling.
+
+The paper's §6 casts the portal as a distributed operating system of web
+services; an operating system arbitrates load.  This package adds that
+layer to the reproduction:
+
+- :mod:`repro.loadmgmt.bucket` / :mod:`~repro.loadmgmt.fairqueue` /
+  :mod:`~repro.loadmgmt.admission` — the admission pipeline a
+  :class:`~repro.soap.server.SoapService` runs before dispatch: token
+  bucket, concurrency bulkhead, and a weighted-fair queue over
+  per-principal lanes, shedding with retryable ``ServerBusy`` faults that
+  carry ``retryAfter`` hints;
+- :mod:`repro.loadmgmt.headers` — the ``urn:gce:loadmgmt`` principal
+  header naming each request's lane;
+- :mod:`repro.loadmgmt.metascheduler` — a SOAP service placing batches
+  across the testbed's host/queue hierarchy with pluggable,
+  metrics-driven policies;
+- :mod:`repro.loadmgmt.portlet` — the portal face: lane occupancy and
+  placement decisions.
+
+The metascheduler and portlet are imported from their submodules (they
+pull in the service/portal layers); this package root only exports the
+dependency-light admission core.
+"""
+
+from repro.loadmgmt.admission import (
+    ANONYMOUS_LANE,
+    AdmissionController,
+    LaneStats,
+    LoadRegistry,
+    Ticket,
+)
+from repro.loadmgmt.bucket import TokenBucket
+from repro.loadmgmt.fairqueue import LaneConfig, QueueEntry, WeightedFairQueue
+from repro.loadmgmt.headers import (
+    LOADMGMT_NS,
+    PRINCIPAL_HEADER,
+    principal_from_headers,
+    principal_header,
+)
+
+__all__ = [
+    "ANONYMOUS_LANE",
+    "AdmissionController",
+    "LaneConfig",
+    "LaneStats",
+    "LoadRegistry",
+    "LOADMGMT_NS",
+    "PRINCIPAL_HEADER",
+    "QueueEntry",
+    "Ticket",
+    "TokenBucket",
+    "WeightedFairQueue",
+    "principal_from_headers",
+    "principal_header",
+]

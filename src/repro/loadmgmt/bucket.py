@@ -1,0 +1,81 @@
+"""Token buckets on the virtual clock.
+
+The admission layer's rate limiter: a bucket holds up to ``burst`` tokens
+and refills continuously at ``rate`` tokens per virtual second.  Each
+admitted request takes one token; an empty bucket yields the exact virtual
+time until the next token instead of a blind "try again later", which is
+what lets :class:`repro.faults.ServerBusyError` carry a useful
+``retryAfter`` hint.
+
+Everything is lazy and deterministic: the level is recomputed from the
+shared :class:`~repro.transport.clock.SimClock` on every observation, so
+two runs with the same arrival schedule see identical admission decisions.
+"""
+
+from __future__ import annotations
+
+from repro.transport.clock import SimClock
+
+
+class TokenBucket:
+    """A continuously-refilling token bucket.
+
+    Invariants (property-tested in ``tests/loadmgmt``):
+
+    - the level never exceeds ``burst``;
+    - over any window starting from a full bucket, admitted requests never
+      exceed ``burst + rate * elapsed`` (the long-run admitted rate is at
+      most the configured rate).
+    """
+
+    def __init__(self, clock: SimClock, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError(f"token rate must be positive: {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must allow at least one token: {burst}")
+        self.clock = clock
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._level = float(burst)
+        self._stamp = clock.now
+        self.acquired = 0
+        self.rejected = 0
+
+    def _refill(self) -> None:
+        now = self.clock.now
+        if now > self._stamp:
+            self._level = min(self.burst, self._level + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    @property
+    def level(self) -> float:
+        """The current token level (refilled to now)."""
+        self._refill()
+        return self._level
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available; returns whether the take succeeded."""
+        if tokens <= 0:
+            raise ValueError(f"must acquire a positive token count: {tokens}")
+        self._refill()
+        if self._level >= tokens:
+            self._level -= tokens
+            self.acquired += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def time_until(self, tokens: float = 1.0) -> float:
+        """Virtual seconds until *tokens* will be available (0 if now).
+
+        Purely observational: nothing is taken.  ``tokens`` beyond the
+        burst capacity can never be satisfied; asking is a caller bug.
+        """
+        if tokens > self.burst:
+            raise ValueError(
+                f"bucket of burst {self.burst} can never hold {tokens} tokens"
+            )
+        self._refill()
+        if self._level >= tokens:
+            return 0.0
+        return (tokens - self._level) / self.rate

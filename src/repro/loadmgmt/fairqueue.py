@@ -1,0 +1,183 @@
+"""A weighted-fair queue over per-principal lanes with priority classes.
+
+This is start-time fair queuing (SFQ): each lane carries a *weight*, each
+entry is tagged on arrival with a virtual start/finish time, and dequeue
+order is strict priority class first, then smallest start tag, then
+arrival order.  The virtual-time arithmetic yields the three properties
+the admission layer relies on (property-tested in ``tests/loadmgmt``):
+
+- **work conservation** — whenever any lane holds an entry, ``dequeue``
+  returns one; idle lanes never reserve capacity;
+- **no starvation** — a lane's entry is bypassed by at most a bounded
+  amount of other lanes' work, however heavy their weights;
+- **lane FIFO** — entries of one lane leave in the order they arrived.
+
+The queue knows nothing about clocks or requests; the admission
+controller uses it to order virtual *capacity charges*, and tests drive
+it directly as a data structure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class LaneConfig:
+    """One lane's scheduling parameters.
+
+    ``weight`` is the lane's fair share relative to other lanes in the
+    same priority class.  ``priority`` classes drain strictly: entries of
+    a higher class always leave before any entry of a lower class.
+    """
+
+    weight: float = 1.0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"lane weight must be positive: {self.weight}")
+
+
+@dataclass
+class QueueEntry:
+    """One queued item with its fair-queuing tags."""
+
+    lane: str
+    item: Any
+    cost: float
+    seq: int
+    priority: int
+    start_tag: float
+    finish_tag: float
+
+    def order_key(self) -> tuple[float, float, int]:
+        """Dequeue order within the whole queue (smaller leaves first)."""
+        return (-self.priority, self.start_tag, self.seq)
+
+
+class WeightedFairQueue:
+    """SFQ over named lanes.
+
+    Lanes are configured up front (``lanes``) or created on first use with
+    ``default_weight`` / priority 0 — the portal cannot know every
+    principal ahead of time.
+    """
+
+    def __init__(
+        self,
+        lanes: dict[str, LaneConfig] | None = None,
+        *,
+        default_weight: float = 1.0,
+    ):
+        if default_weight <= 0:
+            raise ValueError(f"default weight must be positive: {default_weight}")
+        self.lanes: dict[str, LaneConfig] = dict(lanes or {})
+        self.default_weight = float(default_weight)
+        self._pending: dict[str, deque[QueueEntry]] = {}
+        #: per priority class: the start tag of the last dequeued entry
+        self._vtime: dict[int, float] = {}
+        #: per lane: the finish tag of the lane's last enqueued entry
+        self._lane_finish: dict[str, float] = {}
+        self._seq = itertools.count()
+        self.enqueued = 0
+        self.dequeued = 0
+
+    def lane(self, name: str) -> LaneConfig:
+        """The lane's config (created with the default weight on first use)."""
+        config = self.lanes.get(name)
+        if config is None:
+            config = self.lanes[name] = LaneConfig(weight=self.default_weight)
+        return config
+
+    # -- queue operations -----------------------------------------------------
+
+    def enqueue(self, lane: str, item: Any = None, *, cost: float = 1.0) -> QueueEntry:
+        """Add *item* to *lane*; returns the tagged entry.
+
+        ``cost`` is the entry's work in arbitrary units; a lane's virtual
+        finish advances by ``cost / weight``, so heavier work or lighter
+        weights both push the lane further back in the schedule.
+        """
+        if cost <= 0:
+            raise ValueError(f"entry cost must be positive: {cost}")
+        config = self.lane(lane)
+        start = max(
+            self._vtime.get(config.priority, 0.0),
+            self._lane_finish.get(lane, 0.0),
+        )
+        entry = QueueEntry(
+            lane=lane,
+            item=item,
+            cost=cost,
+            seq=next(self._seq),
+            priority=config.priority,
+            start_tag=start,
+            finish_tag=start + cost / config.weight,
+        )
+        self._lane_finish[lane] = entry.finish_tag
+        self._pending.setdefault(lane, deque()).append(entry)
+        self.enqueued += 1
+        return entry
+
+    def _head_entries(self) -> Iterator[QueueEntry]:
+        for queue in self._pending.values():
+            if queue:
+                yield queue[0]
+
+    def peek(self) -> QueueEntry | None:
+        """The entry :meth:`dequeue` would return, without removing it."""
+        return min(self._head_entries(), key=QueueEntry.order_key, default=None)
+
+    def dequeue(self) -> QueueEntry | None:
+        """Remove and return the next entry (``None`` on an empty queue)."""
+        entry = self.peek()
+        if entry is None:
+            return None
+        self._pending[entry.lane].popleft()
+        vtime = self._vtime.get(entry.priority, 0.0)
+        if entry.start_tag > vtime:
+            self._vtime[entry.priority] = entry.start_tag
+        self.dequeued += 1
+        return entry
+
+    def remove(self, entry: QueueEntry) -> bool:
+        """Withdraw a queued entry (a shed request takes its charge back).
+
+        Only the lane's *newest* entry may be withdrawn — admission decides
+        an entry's fate immediately, so a withdrawal always targets the
+        entry just enqueued.  Returns whether anything was removed.
+        """
+        queue = self._pending.get(entry.lane)
+        if not queue or queue[-1] is not entry:
+            return False
+        queue.pop()
+        # roll the lane's virtual finish back so the withdrawn charge does
+        # not push the lane's future work later in the schedule
+        self._lane_finish[entry.lane] = entry.start_tag
+        self.enqueued -= 1
+        return True
+
+    # -- views ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._pending.values())
+
+    def position(self, entry: QueueEntry) -> int:
+        """How many queued entries leave before *entry* would."""
+        key = entry.order_key()
+        return sum(
+            1
+            for queue in self._pending.values()
+            for other in queue
+            if other is not entry and other.order_key() < key
+        )
+
+    def depths(self) -> dict[str, int]:
+        """Per-lane queued entry counts (empty lanes omitted)."""
+        return {
+            lane: len(queue) for lane, queue in self._pending.items() if queue
+        }

@@ -1,0 +1,53 @@
+"""The principal SOAP header: which lane a request belongs to.
+
+Admission control arbitrates between *principals* — the paper's §4 user
+contexts / portal sessions — so each request must say whose work it is.
+The client stamps a ``Principal`` header entry (namespace
+``urn:gce:loadmgmt``) carrying the principal name and an optional
+priority class; the server's admission controller maps the name onto a
+fair-queue lane.  Requests without the header share the ``anonymous``
+lane, so unidentified traffic competes for exactly one fair share
+instead of bypassing arbitration.
+
+Like the deadline header, malformed values are ignored rather than
+faulted — load-management headers must never break a call.
+"""
+
+from __future__ import annotations
+
+from repro.xmlutil.element import XmlElement
+from repro.xmlutil.qname import QName
+
+LOADMGMT_NS = "urn:gce:loadmgmt"
+
+#: the SOAP header entry naming the request's principal (lane)
+PRINCIPAL_HEADER = QName(LOADMGMT_NS, "Principal")
+
+
+def principal_header(name: str, priority: int = 0) -> XmlElement:
+    """Encode *name* (and a non-default priority class) as a header entry."""
+    entry = XmlElement(PRINCIPAL_HEADER, text=name)
+    if priority:
+        entry.set("priority", str(priority))
+    return entry
+
+
+def principal_from_headers(
+    headers: list[XmlElement],
+) -> tuple[str | None, int | None]:
+    """Decode ``(principal, priority)`` from request headers.
+
+    Returns ``(None, None)`` when absent; a present header with a
+    malformed priority still yields the principal.
+    """
+    for entry in headers:
+        if entry.tag == PRINCIPAL_HEADER:
+            name = (entry.text or "").strip() or None
+            raw = entry.get("priority")
+            if raw is None:
+                return name, None
+            try:
+                return name, int(raw)
+            except (TypeError, ValueError):
+                return name, None
+    return None, None

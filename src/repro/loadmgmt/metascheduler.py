@@ -1,0 +1,513 @@
+"""The MetaScheduler web service: metrics-driven batch placement.
+
+The paper's batch service (§3.1) runs jobs on whichever gatekeeper
+contact the *caller* names; under the ROADMAP's heavy-traffic target that
+choice belongs to the portal.  The MetaScheduler accepts the same
+multi-job XML documents, fills in the ``host`` attribute each ``<job>``
+left blank, and forwards the placed batch to the Globusrun service —
+composing it over SOAP exactly the way §3's batch service does, through a
+:class:`~repro.resilience.failover.FailoverClient` so a dead Globusrun
+provider rotates away transparently.
+
+Placement consults the §5 descriptor hierarchy (application registry →
+:class:`~repro.grid.resources.ComputeResource` hosts → scheduler queue
+definitions) plus the live load signals PR 3's observability layer
+exports: per-queue depth/drain gauges and the RED latency series this
+service feeds back into the registry.  Hosts whose circuit breaker is
+open — the MetaScheduler's own per-contact breaker, or the failover
+client's transport breakers — are excluded from placement until their
+cooldown admits a probe.
+
+Policies (pluggable via ``set_policy``):
+
+========  =============================================================
+name      choice among eligible (contact, queue) candidates
+========  =============================================================
+``round-robin``      rotate in contact order (the baseline)
+``least-loaded``     smallest queue-depth gauge, drain rate as tiebreak
+``latency-weighted`` random ∝ 1 / RED p95 of past placements (seeded)
+``affinity``         configured app→host map, else stable hash (cache
+                     locality), falling back to least-loaded
+========  =============================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from repro.faults import InvalidRequestError, JobError
+from repro.grid.jobs import JobSpec
+from repro.grid.resources import ComputeResource
+from repro.observability.metrics import Histogram
+from repro.resilience import events as resilience_events
+from repro.resilience.breaker import OPEN, CircuitBreaker, CircuitBreakerPolicy
+from repro.resilience.events import ResilienceLog
+from repro.resilience.failover import FailoverClient
+from repro.services.jobsubmit import (
+    GLOBUSRUN_NAMESPACE,
+    jobs_from_xml,
+    jobs_to_xml,
+)
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+METASCHEDULER_NAMESPACE = "urn:gce:metascheduler"
+
+
+@dataclass
+class Candidate:
+    """One eligible placement target with its current load signals."""
+
+    contact: str
+    queue: str
+    depth: int
+    drain_rate: float
+    p95: float
+
+    def to_dict(self) -> dict:
+        return {
+            "contact": self.contact,
+            "queue": self.queue,
+            "depth": self.depth,
+            "drain_rate": self.drain_rate,
+            "p95": self.p95,
+        }
+
+
+class PlacementPolicy:
+    """Chooses one candidate; subclasses are stateless beyond their knobs."""
+
+    name = "abstract"
+
+    def choose(
+        self, candidates: list[Candidate], spec: JobSpec, rng: random.Random
+    ) -> Candidate:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    name = "round-robin"
+
+    def __init__(self):
+        self._rotor = 0
+
+    def choose(self, candidates, spec, rng):
+        choice = candidates[self._rotor % len(candidates)]
+        self._rotor += 1
+        return choice
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    name = "least-loaded"
+
+    def choose(self, candidates, spec, rng):
+        return min(
+            candidates, key=lambda c: (c.depth, -c.drain_rate, c.contact)
+        )
+
+
+class LatencyWeightedPolicy(PlacementPolicy):
+    """Weighted random ∝ 1/p95 — slow hosts still get probed, fast hosts
+    get most of the work.  Deterministic under the service's seed."""
+
+    name = "latency-weighted"
+
+    def choose(self, candidates, spec, rng):
+        weights = [1.0 / max(c.p95, 1e-6) for c in candidates]
+        total = sum(weights)
+        mark = rng.uniform(0.0, total)
+        acc = 0.0
+        for candidate, weight in zip(candidates, weights):
+            acc += weight
+            if mark <= acc:
+                return candidate
+        return candidates[-1]
+
+
+class AffinityPolicy(PlacementPolicy):
+    """Locality: configured application→host preferences first, then a
+    stable hash of the executable (same app keeps landing on the same
+    host — warm caches, staged data), least-loaded as the final word."""
+
+    name = "affinity"
+
+    def __init__(self, preferences: dict[str, list[str]] | None = None):
+        self.preferences = dict(preferences or {})
+        self._fallback = LeastLoadedPolicy()
+
+    def choose(self, candidates, spec, rng):
+        preferred = self.preferences.get(spec.executable, ())
+        for contact in preferred:
+            for candidate in candidates:
+                if candidate.contact == contact:
+                    return candidate
+        if not preferred:
+            digest = hashlib.sha256(spec.executable.encode("utf-8")).digest()
+            index = int.from_bytes(digest[:4], "big") % len(candidates)
+            ordered = sorted(candidates, key=lambda c: c.contact)
+            return ordered[index]
+        return self._fallback.choose(candidates, spec, rng)
+
+
+class MetaSchedulerService:
+    """The MetaScheduler implementation behind the SOAP facade.
+
+    *globusrun* is any SOAP proxy for the Globusrun interface — in the
+    deployment a :class:`FailoverClient` over every discovered provider.
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        resources: dict[str, ComputeResource],
+        globusrun,
+        *,
+        service_host: str = "metascheduler.gce.org",
+        policy: str = "least-loaded",
+        affinities: dict[str, list[str]] | None = None,
+        seed: int = 0,
+        log: ResilienceLog | None = None,
+        breaker_policy: CircuitBreakerPolicy | None = None,
+    ):
+        self.network = network
+        self.clock = network.clock
+        self.resources = resources
+        self.service_host = service_host
+        self.globusrun = globusrun
+        self.log = log
+        self._rng = random.Random(seed)
+        self._policies: dict[str, PlacementPolicy] = {
+            p.name: p
+            for p in (
+                RoundRobinPolicy(),
+                LeastLoadedPolicy(),
+                LatencyWeightedPolicy(),
+                AffinityPolicy(affinities),
+            )
+        }
+        if policy not in self._policies:
+            raise InvalidRequestError(f"unknown placement policy {policy!r}")
+        self._policy = policy
+        self._breaker_policy = breaker_policy or CircuitBreakerPolicy()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: per-contact turnaround of past placements (drives latency-weighted)
+        self._latency: dict[str, Histogram] = {}
+        self._placements: deque = deque(maxlen=256)
+        self.batches_placed = 0
+        self.jobs_placed = 0
+
+    # -- health ----------------------------------------------------------------
+
+    def _breaker(self, contact: str) -> CircuitBreaker:
+        breaker = self._breakers.get(contact)
+        if breaker is None:
+            breaker = self._breakers[contact] = CircuitBreaker(
+                contact, self.clock, self._breaker_policy
+            )
+        return breaker
+
+    def _excluded(self, contact: str) -> bool:
+        """Whether *contact* is off the placement table right now.
+
+        Checks this service's own per-contact breaker (fed by placement
+        outcomes) and, cooperating with the failover client, any open
+        transport breaker its HTTP layer holds for the same host.
+        """
+        if not self._breaker(contact).allow():
+            return True
+        http = getattr(self.globusrun, "http", None)
+        if http is not None:
+            transport_breaker = http.breaker_for(contact)
+            if transport_breaker is not None and transport_breaker.state == OPEN:
+                return True
+        return False
+
+    # -- load signals ----------------------------------------------------------
+
+    def _obs(self):
+        return getattr(self.network, "observability", None)
+
+    def _queue_signals(self, resource: ComputeResource, queue: str):
+        """(depth, drain) for one queue — the metrics gauge when the
+        gatekeeper has published one, the scheduler's own stats otherwise."""
+        obs = self._obs()
+        label = f"{resource.host}/{queue}"
+        if obs is not None and ("queue_depth", label) in obs.metrics.gauges:
+            return (
+                obs.metrics.gauges[("queue_depth", label)],
+                obs.metrics.gauges.get(("queue_drain_rate", label), 0.0),
+            )
+        for row in resource.scheduler.queue_stats():
+            if row["queue"] == queue:
+                return row["depth"], row["drain_rate"]
+        return 0, 0.0
+
+    def _candidates(self, spec: JobSpec) -> list[Candidate]:
+        """Every (contact, queue) in the descriptor hierarchy that could
+        run *spec*, with live load signals attached."""
+        out: list[Candidate] = []
+        for contact in sorted(self.resources):
+            resource = self.resources[contact]
+            if self._excluded(contact):
+                continue
+            scheduler = resource.scheduler
+            if spec.cpus > scheduler.cpus:
+                continue
+            queue_name = spec.queue or scheduler.default_queue
+            definition = scheduler.queues.get(queue_name)
+            if definition is None:
+                continue
+            if spec.cpus > definition.max_cpus:
+                continue
+            if spec.wallclock_limit > definition.max_wallclock:
+                continue
+            depth, drain = self._queue_signals(resource, queue_name)
+            histogram = self._latency.get(contact)
+            p95 = (
+                histogram.percentile(0.95)
+                if histogram is not None and histogram.count
+                else 1.0
+            )
+            out.append(
+                Candidate(contact, queue_name, int(depth), float(drain), p95)
+            )
+        return out
+
+    # -- placement -------------------------------------------------------------
+
+    def _place_one(self, spec: JobSpec) -> Candidate:
+        candidates = self._candidates(spec)
+        if not candidates:
+            raise JobError(
+                f"no eligible host for {spec.name!r} "
+                f"(cpus={spec.cpus}, queue={spec.queue or 'default'})",
+                {"job": spec.name},
+            )
+        policy = self._policies[self._policy]
+        choice = policy.choose(candidates, spec, self._rng)
+        self.jobs_placed += 1
+        decision = {
+            "at": self.clock.now,
+            "job": spec.name,
+            "executable": spec.executable,
+            "contact": choice.contact,
+            "queue": choice.queue,
+            "policy": self._policy,
+            "depth": choice.depth,
+            "candidates": len(candidates),
+        }
+        self._placements.append(decision)
+        if self.log is not None:
+            self.log.record(
+                resilience_events.PLACEMENT,
+                f"placed {spec.name!r} on {choice.contact}/{choice.queue} "
+                f"({self._policy}, {len(candidates)} candidates)",
+                service="MetaScheduler",
+                operation="place",
+                detail={
+                    "job": spec.name,
+                    "contact": choice.contact,
+                    "queue": choice.queue,
+                    "policy": self._policy,
+                },
+            )
+        return choice
+
+    def place(self, jobs_xml: str) -> str:
+        """Fill in each ``<job>``'s missing host; returns the placed XML.
+
+        Jobs that already name a host keep it — explicit placement is the
+        caller's right, exactly as in the paper's batch service.
+        """
+        requests = jobs_from_xml(jobs_xml, require_host=False)
+        placed: list[tuple[str, JobSpec]] = []
+        for contact, spec in requests:
+            if not contact:
+                choice = self._place_one(spec)
+                contact = choice.contact
+                spec = spec.copy()
+                spec.queue = choice.queue
+            placed.append((contact, spec))
+        self.batches_placed += 1
+        return jobs_to_xml(placed)
+
+    # -- the composed Globusrun interface -------------------------------------
+
+    def _record_outcomes(self, placed_xml: str, results_xml: str, elapsed: float):
+        """Feed placement outcomes back into breakers and latency series."""
+        from repro.xmlutil.element import parse_xml
+
+        contacts = {contact for contact, _spec in
+                    jobs_from_xml(placed_xml, require_host=False) if contact}
+        statuses: dict[str, list[str]] = {}
+        try:
+            root = parse_xml(results_xml)
+        except ValueError:
+            return
+        for node in root.findall("result"):
+            statuses.setdefault(node.get("host", "") or "", []).append(
+                node.get("status", "") or ""
+            )
+        obs = self._obs()
+        for contact in sorted(contacts):
+            outcomes = statuses.get(contact, [])
+            # "error" means the host/gatekeeper failed us; a job that ran
+            # and exited non-zero ("failed") is still a healthy host
+            errored = any(status == "error" for status in outcomes)
+            breaker = self._breaker(contact)
+            if errored:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+            self._latency.setdefault(contact, Histogram()).record(elapsed)
+            if obs is not None:
+                obs.metrics.record_call(
+                    "MetaScheduler", contact, "client", elapsed, errored
+                )
+
+    def run_xml(self, jobs_xml: str) -> str:
+        """Place the batch, run it via Globusrun, learn from the outcome."""
+        placed = self.place(jobs_xml)
+        started = self.clock.now
+        try:
+            results = self.globusrun.call("run_xml", placed)
+        except Exception:
+            for contact, _spec in jobs_from_xml(placed, require_host=False):
+                if contact in self.resources:
+                    self._breaker(contact).record_failure()
+            raise
+        self._record_outcomes(placed, results, self.clock.now - started)
+        return results
+
+    def submit_async(self, jobs_xml: str) -> str:
+        """Place the batch and durably accept it on the Globusrun service."""
+        return self.globusrun.call("submit_async", self.place(jobs_xml))
+
+    def poll(self, batch: str) -> str:
+        return self.globusrun.call("poll", batch)
+
+    def result(self, batch: str) -> str:
+        started = self.clock.now
+        results = self.globusrun.call("result", batch)
+        # no placed XML at hand for an async batch; still learn latency
+        for contact in sorted({
+            node.get("host", "") or ""
+            for node in self._results_nodes(results)
+        }):
+            if contact:
+                self._latency.setdefault(contact, Histogram()).record(
+                    self.clock.now - started
+                )
+        return results
+
+    @staticmethod
+    def _results_nodes(results_xml: str):
+        from repro.xmlutil.element import parse_xml
+
+        try:
+            return parse_xml(results_xml).findall("result")
+        except ValueError:
+            return []
+
+    # -- policy and introspection ----------------------------------------------
+
+    def set_policy(self, name: str) -> str:
+        if name not in self._policies:
+            raise InvalidRequestError(
+                f"unknown placement policy {name!r}",
+                {"known": ",".join(sorted(self._policies))},
+            )
+        self._policy = name
+        return name
+
+    def policy(self) -> str:
+        return self._policy
+
+    def policies(self) -> list[str]:
+        return sorted(self._policies)
+
+    def placements(self, limit: int = 20) -> list[dict]:
+        """The most recent placement decisions, oldest first."""
+        rows = list(self._placements)
+        return rows[-int(limit):] if limit else rows
+
+    def targets(self) -> list[dict]:
+        """The full placement table: every contact with health and load."""
+        rows = []
+        for contact in sorted(self.resources):
+            resource = self.resources[contact]
+            breaker = self._breaker(contact)
+            histogram = self._latency.get(contact)
+            rows.append({
+                "contact": contact,
+                "queuing_system": resource.queuing_system,
+                "cpus": resource.scheduler.cpus,
+                "breaker": breaker.state,
+                "excluded": self._excluded(contact),
+                "p95": (
+                    histogram.percentile(0.95)
+                    if histogram is not None and histogram.count
+                    else 0.0
+                ),
+                "queues": resource.scheduler.queue_stats(),
+            })
+        return rows
+
+
+def deploy_metascheduler(
+    network: VirtualNetwork,
+    resources: dict[str, ComputeResource],
+    globusrun_endpoints: list[str],
+    host: str = "metascheduler.gce.org",
+    *,
+    policy: str = "least-loaded",
+    affinities: dict[str, list[str]] | None = None,
+    seed: int = 0,
+    log: ResilienceLog | None = None,
+    admission=None,
+) -> tuple[MetaSchedulerService, str]:
+    """Stand up the MetaScheduler; returns (impl, endpoint URL).
+
+    The Globusrun composition goes through a :class:`FailoverClient` over
+    *globusrun_endpoints*, so breaker-open providers rotate away; pass an
+    :class:`~repro.loadmgmt.admission.AdmissionController` as *admission*
+    to put the placement service itself behind admission control.
+    """
+    globusrun = FailoverClient(
+        network,
+        globusrun_endpoints,
+        GLOBUSRUN_NAMESPACE,
+        source=host,
+        resilience_log=log,
+        service_name="Globusrun",
+        retry_seed=seed,
+    )
+    impl = MetaSchedulerService(
+        network,
+        resources,
+        globusrun,
+        service_host=host,
+        policy=policy,
+        affinities=affinities,
+        seed=seed,
+        log=log,
+    )
+    server = HttpServer(host, network)
+    soap = SoapService("MetaScheduler", METASCHEDULER_NAMESPACE)
+    soap.expose(impl.place)
+    soap.expose(impl.run_xml)
+    soap.expose(impl.submit_async)
+    soap.expose(impl.poll)
+    soap.expose(impl.result)
+    soap.expose(impl.set_policy)
+    soap.expose(impl.policy)
+    soap.expose(impl.policies)
+    soap.expose(impl.placements)
+    soap.expose(impl.targets)
+    if admission is not None:
+        soap.enable_admission(admission, log)
+    return impl, soap.mount(server, "/metascheduler")

@@ -53,6 +53,13 @@ from repro.services.jobsubmit import (
     GlobusrunService,
     deploy_globusrun,
 )
+from repro.loadmgmt import AdmissionController, LoadRegistry
+from repro.loadmgmt.metascheduler import (
+    METASCHEDULER_NAMESPACE,
+    MetaSchedulerService,
+    deploy_metascheduler,
+)
+from repro.loadmgmt.portlet import LoadPortlet
 from repro.resilience.breaker import CircuitBreakerPolicy
 from repro.resilience.events import ResilienceLog
 from repro.resilience.failover import FailoverClient
@@ -105,6 +112,10 @@ class PortalDeployment:
     users: dict[str, str] = field(default_factory=dict)
     #: the observability bundle when built with ``observe=True``
     observability: object | None = None
+    #: the metascheduler placement service (see repro.loadmgmt)
+    metascheduler: MetaSchedulerService | None = None
+    #: the registry of admission controllers guarding service endpoints
+    load: LoadRegistry | None = None
 
     @staticmethod
     def build(
@@ -113,6 +124,9 @@ class PortalDeployment:
         users: dict[str, str] | None = None,
         observe: bool = False,
         observe_seed: int = 0,
+        admission_capacity: float = 64.0,
+        admission_lanes: dict | None = None,
+        metascheduler_policy: str = "least-loaded",
     ) -> "PortalDeployment":
         """Deploy the full architecture; ``users`` maps user -> password.
 
@@ -120,6 +134,12 @@ class PortalDeployment:
         (:class:`repro.observability.Observability`) on the network *before*
         any service deploys, bridges the deployment-wide resilience log into
         it, and stands up the trace-collector endpoint.
+
+        The Globusrun endpoint is always deployed behind admission control
+        (``admission_capacity`` requests/s of modeled service capacity;
+        ``admission_lanes`` maps principal -> :class:`~repro.loadmgmt.LaneConfig`
+        for weighted fair sharing), and a MetaScheduler service is stood up
+        over it with ``metascheduler_policy`` as the default placement policy.
         """
         network = network or VirtualNetwork()
         users = dict(users or {"alice": "alpine", "bob": "builder"})
@@ -168,10 +188,26 @@ class PortalDeployment:
             _, traces_url = deploy_trace_collector(
                 network, observability.collector
             )
-        globusrun, globusrun_url = deploy_globusrun(network, testbed, service_proxy)
+        load = LoadRegistry()
+        admission = AdmissionController(
+            network.clock,
+            capacity=admission_capacity,
+            lanes=admission_lanes,
+            service="Globusrun",
+            log=resilience,
+        )
+        load.register(admission)
+        globusrun, globusrun_url = deploy_globusrun(
+            network, testbed, service_proxy,
+            admission=admission, resilience_log=resilience,
+        )
+        metascheduler, metascheduler_url = deploy_metascheduler(
+            network, testbed, [globusrun_url],
+            policy=metascheduler_policy, seed=observe_seed, log=resilience,
+        )
         monitoring, monitoring_url = deploy_monitoring(
             network, testbed, resilience_log=resilience,
-            observability=observability,
+            observability=observability, load=load,
         )
         srb_ws, srb_ws_url = deploy_srb_service(network, scommands)
         context, context_url = deploy_context_manager(network)
@@ -258,12 +294,15 @@ class PortalDeployment:
             monitoring=monitoring,
             resilience=resilience,
             observability=observability,
+            metascheduler=metascheduler,
+            load=load,
             endpoints={
                 **({"traces": traces_url} if traces_url else {}),
                 "auth": auth_url,
                 "uddi": uddi_url,
                 "discovery": discovery_url,
                 "globusrun": globusrun_url,
+                "metascheduler": metascheduler_url,
                 "monitoring": monitoring_url,
                 "srb": srb_ws_url,
                 "context": context_url,
@@ -299,6 +338,7 @@ class UserInterfaceServer:
         if service not in self._clients:
             namespaces = {
                 "globusrun": GLOBUSRUN_NAMESPACE,
+                "metascheduler": METASCHEDULER_NAMESPACE,
                 "monitoring": MONITORING_NAMESPACE,
                 "srb": SRBWS_NAMESPACE,
                 "context": CONTEXT_NAMESPACE,
@@ -363,6 +403,19 @@ class UserInterfaceServer:
             self.deployment.endpoints["monitoring"],
             source=self.host,
             trace_id=trace_id,
+        )
+        self.container.add_local_portlet(portlet)
+        return portlet
+
+    def add_load_portlet(self, *, tail: int = 10) -> LoadPortlet:
+        """Register the load-management window (admission lanes, queue
+        drain rates, metascheduler placements) with the portlet container."""
+        portlet = LoadPortlet(
+            self.network,
+            self.deployment.endpoints["monitoring"],
+            self.deployment.endpoints.get("metascheduler", ""),
+            source=self.host,
+            tail=tail,
         )
         self.container.add_local_portlet(portlet)
         return portlet

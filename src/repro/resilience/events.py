@@ -20,6 +20,11 @@ FAILOVER = "Resilience.Failover"
 DEADLINE = "Resilience.Deadline"
 GIVE_UP = "Resilience.GiveUp"
 SUBSCRIBER_ERROR = "Resilience.SubscriberError"
+# load-management stream (emitted by repro.loadmgmt and the SOAP server)
+SHED = "Load.Shed"
+BUSY = "Load.Busy"
+QUEUE_WAIT = "Load.QueueWait"
+PLACEMENT = "Load.Placement"
 
 
 class ResilienceLog:

@@ -64,15 +64,23 @@ def jobs_to_xml(specs: list[tuple[str, JobSpec]]) -> str:
     return root.serialize(declaration=True)
 
 
-def jobs_from_xml(text: str) -> list[tuple[str, JobSpec]]:
-    """Parse a multi-job request document."""
+def jobs_from_xml(
+    text: str, *, require_host: bool = True
+) -> list[tuple[str, JobSpec]]:
+    """Parse a multi-job request document.
+
+    With ``require_host=False`` a ``<job>`` may omit its host attribute
+    and parses with an empty contact — the MetaScheduler accepts such
+    unplaced documents and fills the hosts in; execution services keep the
+    strict default.
+    """
     root = parse_xml(text)
     if root.tag.local != "jobs":
         raise InvalidRequestError(f"expected <jobs> document, got <{root.tag.local}>")
     out: list[tuple[str, JobSpec]] = []
     for job in root.findall("job"):
         contact = job.get("host", "") or ""
-        if not contact:
+        if not contact and require_host:
             raise InvalidRequestError("<job> element lacks a host attribute")
         spec = JobSpec(
             name=job.findtext("name", "job") or "job",
@@ -336,6 +344,8 @@ def deploy_globusrun(
     host: str = "globusrun.sdsc.edu",
     *,
     durable: bool = False,
+    admission=None,
+    resilience_log=None,
 ) -> tuple[GlobusrunService, str]:
     """Stand up the Globusrun web service; returns (impl, endpoint URL).
 
@@ -343,6 +353,11 @@ def deploy_globusrun(
     disk and the SOAP endpoint caches keyed responses durably.  Calling
     this again after a crash (``take_down``/``bring_up``) *is* the restart
     path: the fresh instance attaches to the surviving disk and replays.
+
+    *admission* (an :class:`~repro.loadmgmt.admission.AdmissionController`)
+    puts the endpoint behind the load-management gates; overload then
+    sheds with retryable ``Portal.ServerBusy`` faults instead of queuing
+    without bound.  *resilience_log* receives the endpoint's shed events.
     """
     journal = None
     if durable:
@@ -361,6 +376,8 @@ def deploy_globusrun(
     soap.expose(impl.list_contacts)
     if durable:
         soap.enable_replay(Journal(disk, "soap-replay", clock=network.clock))
+    if admission is not None:
+        soap.enable_admission(admission, resilience_log)
     return impl, soap.mount(server, "/globusrun")
 
 

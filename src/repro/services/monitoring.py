@@ -35,6 +35,7 @@ class JobMonitoringService:
         resilience_log=None,
         network: VirtualNetwork | None = None,
         observability=None,
+        load=None,
     ):
         self.resources = resources
         self.resilience_log = resilience_log
@@ -42,6 +43,8 @@ class JobMonitoringService:
         self.network = network
         #: explicit bundle, falling back to the network's ambient one
         self.observability = observability
+        #: a :class:`repro.loadmgmt.LoadRegistry` of admission controllers
+        self.load = load
         self.queries_served = 0
 
     def _obs(self):
@@ -125,6 +128,32 @@ class JobMonitoringService:
             {"code": code, "count": counts[code]} for code in sorted(counts)
         ]
 
+    # -- load-management views (see repro.loadmgmt) --------------------------------
+
+    def load_lanes(self) -> list[dict[str, Any]]:
+        """One row per (service, principal lane): weight, priority, arrival
+        and shed counts, queue-wait stats — the fair-share ledger."""
+        self.queries_served += 1
+        if self.load is None:
+            return []
+        return self.load.lane_rows()
+
+    def load_summary(self) -> list[dict[str, Any]]:
+        """One headline row per admission-controlled service."""
+        self.queries_served += 1
+        if self.load is None:
+            return []
+        return self.load.summaries()
+
+    def queue_load(self) -> list[dict[str, Any]]:
+        """One row per scheduler queue across the grid: depth, running,
+        completed, and trailing drain rate."""
+        self.queries_served += 1
+        rows: list[dict[str, Any]] = []
+        for host in sorted(self.resources):
+            rows.extend(self.resources[host].scheduler.queue_stats())
+        return rows
+
     # -- recovery views (see repro.durability) -------------------------------------
 
     def journals(self) -> list[dict[str, Any]]:
@@ -199,6 +228,12 @@ class JobMonitoringService:
                 1 for r in scheduler.jobs() if r.state.value == "queued"
             )
             obs.metrics.set_gauge("queue_depth", host, queued)
+            for row in scheduler.queue_stats():
+                label = f"{row['host']}/{row['queue']}"
+                obs.metrics.set_gauge("queue_depth", label, row["depth"])
+                obs.metrics.set_gauge(
+                    "queue_drain_rate", label, row["drain_rate"]
+                )
         return obs.metrics.summary()
 
     def slowest_operations(self, limit: int = 10) -> list[dict[str, Any]]:
@@ -217,6 +252,7 @@ def deploy_monitoring(
     *,
     resilience_log=None,
     observability=None,
+    load=None,
 ) -> tuple[JobMonitoringService, str]:
     """Stand up the monitoring service; returns (impl, endpoint URL).
 
@@ -229,6 +265,7 @@ def deploy_monitoring(
         resilience_log=resilience_log,
         network=network,
         observability=observability,
+        load=load,
     )
     server = HttpServer(host, network)
     soap = SoapService("JobMonitoring", MONITORING_NAMESPACE)
@@ -240,6 +277,9 @@ def deploy_monitoring(
     soap.expose(impl.user_jobs)
     soap.expose(impl.resilience_events)
     soap.expose(impl.resilience_summary)
+    soap.expose(impl.load_lanes)
+    soap.expose(impl.load_summary)
+    soap.expose(impl.queue_load)
     soap.expose(impl.journals)
     soap.expose(impl.recovery_summary)
     soap.expose(impl.traces)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable
 
-from repro.faults import DeadlineExceededError
+from repro.faults import DeadlineExceededError, retry_after_hint
 from repro.soap.message import (
     SoapEnvelope,
     SoapFault,
@@ -63,6 +63,8 @@ class SoapClient:
         service_name: str = "",
         retry_seed: int = 0,
         traced: bool = True,
+        principal: str = "",
+        priority: int = 0,
     ):
         self.network = network
         self.clock = network.clock
@@ -88,10 +90,17 @@ class SoapClient:
             http_client.breaker_policy = breaker_policy
         if self.log is not None:
             self.http.breaker_listener = self._record_breaker_transition
+        #: the principal (fair-queue lane) this proxy's requests belong to;
+        #: empty = no header, the server's anonymous lane
+        self.principal = principal
+        self.priority = priority
         self.header_providers: list[HeaderProvider] = [self._trace_headers]
+        if principal:
+            self.header_providers.append(self._principal_headers)
         self.last_response: SoapEnvelope | None = None
         self.calls_made = 0
         self.retries_performed = 0
+        self.busy_backoffs = 0
         self._retry_rng = random.Random(retry_seed)
 
     def add_header_provider(self, provider: HeaderProvider) -> None:
@@ -112,6 +121,12 @@ class SoapClient:
         obs = self.obs
         span = obs.tracer.current() if obs is not None else None
         return [span.context().to_header()] if span is not None else []
+
+    def _principal_headers(self, method: str, params: list[Any]) -> list[XmlElement]:
+        """Stamp the request with this proxy's admission lane."""
+        from repro.loadmgmt.headers import principal_header
+
+        return [principal_header(self.principal, self.priority)]
 
     # -- resilience plumbing --------------------------------------------------
 
@@ -260,9 +275,17 @@ class SoapClient:
                         self._record_give_up(method, attempts, exc)
                     raise
                 delay = policy.backoff(attempts - 1, self._retry_rng)
+                hint = retry_after_hint(exc)
+                if hint is not None:
+                    # the server said exactly when it can take the request
+                    # again (admission control's retryAfter); waiting less
+                    # guarantees another refusal, waiting the blind
+                    # exponential amount wastes budget — honour the hint
+                    delay = hint
+                    self.busy_backoffs += 1
                 if deadline is not None and self.clock.now + delay >= deadline.at:
                     raise self._deadline_error(method, deadline) from exc
-                self._record_retry(method, attempts, delay, exc)
+                self._record_retry(method, attempts, delay, exc, hint=hint)
                 self.retries_performed += 1
                 self.clock.advance(delay)
 
@@ -284,23 +307,32 @@ class SoapClient:
         return err
 
     def _record_retry(
-        self, method: str, attempts: int, delay: float, exc: BaseException
+        self,
+        method: str,
+        attempts: int,
+        delay: float,
+        exc: BaseException,
+        *,
+        hint: float | None = None,
     ) -> None:
         if self.log is None:
             return
         from repro.resilience import events
 
+        detail = {
+            "endpoint": self.endpoint,
+            "attempt": str(attempts),
+            "backoff": f"{delay:.6f}",
+            "error": self._error_code(exc),
+        }
+        if hint is not None:
+            detail["retryAfter"] = f"{hint:.6f}"
         self.log.record(
             events.RETRY,
             f"retry {attempts} of {method!r} after {self._error_code(exc)}",
             service=self.service_name,
             operation=method,
-            detail={
-                "endpoint": self.endpoint,
-                "attempt": str(attempts),
-                "backoff": f"{delay:.6f}",
-                "error": self._error_code(exc),
-            },
+            detail=detail,
         )
 
     def _record_give_up(

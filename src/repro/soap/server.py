@@ -73,6 +73,11 @@ class SoapService:
         #: observability plane services (trace collector, monitoring) set
         #: this False so dashboards do not trace themselves
         self.traced = True
+        #: admission controller run before dispatch (see
+        #: :meth:`enable_admission`); ``None`` = accept everything
+        self.admission = None
+        #: resilience log receiving shed events; set alongside admission
+        self.resilience_log = None
 
     # -- registration ----------------------------------------------------------
 
@@ -120,6 +125,24 @@ class SoapService:
         attached to the same journal replays the cache.
         """
         self.replay_cache = IdempotencyIndex(journal)
+        return self
+
+    def enable_admission(self, controller, log=None) -> "SoapService":
+        """Run *controller*'s gates before every dispatch.
+
+        A refused request returns a retryable ``Portal.ServerBusy`` fault
+        carrying the controller's ``retryAfter`` hint; an admitted
+        request's modelled queue wait feeds the deadline shed check, so a
+        caller whose budget would expire while queued is shed up front.
+        *log* (a :class:`~repro.resilience.events.ResilienceLog`) also
+        receives this server's deadline-shed events.
+        """
+        if not controller.service:
+            controller.service = self.name
+        self.admission = controller
+        self.resilience_log = log if log is not None else controller.log
+        if controller.log is None:
+            controller.log = self.resilience_log
         return self
 
     # -- dispatch ----------------------------------------------------------------
@@ -192,21 +215,26 @@ class SoapService:
                 self.replays_served += 1
                 return SoapEnvelope.parse(cached)
         try:
-            self._shed_if_expired(method_name, envelope)
-            exposed = self.methods.get(method_name)
-            if exposed is None:
-                raise InvalidRequestError(
-                    f"service {self.name!r} has no method {method_name!r}",
-                    {"method": method_name},
-                )
-            params = [decode_value(child) for child in envelope.body.children]
-            for interceptor in self.interceptors:
-                interceptor(method_name, params, envelope)
-            set_current_key(idem_key)
+            ticket = self._admit(method_name, envelope)
             try:
-                result = exposed.func(*params)
+                self._shed_if_expired(method_name, envelope, ticket)
+                exposed = self.methods.get(method_name)
+                if exposed is None:
+                    raise InvalidRequestError(
+                        f"service {self.name!r} has no method {method_name!r}",
+                        {"method": method_name},
+                    )
+                params = [decode_value(child) for child in envelope.body.children]
+                for interceptor in self.interceptors:
+                    interceptor(method_name, params, envelope)
+                set_current_key(idem_key)
+                try:
+                    result = exposed.func(*params)
+                finally:
+                    set_current_key("")
             finally:
-                set_current_key("")
+                if ticket is not None:
+                    self.admission.release(ticket)
         except ServiceCrash:
             raise  # the process died: no fault, no response, nothing at all
         except PortalError as err:
@@ -228,13 +256,40 @@ class SoapService:
             self.replay_cache.put(idem_key, response.serialize())
         return response
 
-    def _shed_if_expired(self, method_name: str, envelope: SoapEnvelope) -> None:
-        """Reject work whose caller's deadline has already passed.
+    def _admit(self, method_name: str, envelope: SoapEnvelope):
+        """Run the admission controller, if one is attached.
+
+        Returns the admission ticket (or ``None`` with no controller); a
+        refusal propagates as the controller's retryable
+        ``Portal.ServerBusy`` fault.  The request's principal header
+        (``urn:gce:loadmgmt``) selects the fair-queue lane.
+        """
+        if self.admission is None:
+            return None
+        from repro.loadmgmt.headers import principal_from_headers
+
+        principal, priority = (
+            principal_from_headers(envelope.headers)
+            if envelope.headers
+            else (None, None)
+        )
+        return self.admission.admit(
+            principal, priority=priority, method=method_name
+        )
+
+    def _shed_if_expired(
+        self, method_name: str, envelope: SoapEnvelope, ticket=None
+    ) -> None:
+        """Reject work whose caller's deadline has passed — or *would* pass
+        while the request waits its turn in the admission queue.
 
         The client stamps each request with an absolute virtual-time
         deadline header (:mod:`repro.resilience.policy`); by the time the
         request has crossed the wire that budget may be spent, and running
         the method would only produce an answer nobody is waiting for.
+        The shed's detail always carries the modelled ``queueWait`` so
+        clients can tell "server overloaded" (large wait) from "deadline
+        too tight" (expired with no queue to blame).
         """
         if self.clock is None or not envelope.headers:
             return
@@ -242,11 +297,64 @@ class SoapService:
         from repro.resilience.policy import Deadline
 
         deadline = Deadline.from_headers(envelope.headers)
-        if deadline is not None and deadline.expired(self.clock):
-            self.requests_shed += 1
-            raise DeadlineExceededError(
-                f"deadline passed before {method_name!r} started; shedding",
-                {"method": method_name, "deadline": repr(deadline.at)},
+        if deadline is None:
+            return
+        queue_wait = ticket.queue_wait if ticket is not None else 0.0
+        if deadline.expired(self.clock):
+            detail = {
+                "method": method_name,
+                "deadline": repr(deadline.at),
+                "queueWait": f"{queue_wait:.6f}",
+                "expiredBy": f"{self.clock.now - deadline.at:.6f}",
+            }
+            message = f"deadline passed before {method_name!r} started; shedding"
+        elif queue_wait > deadline.remaining(self.clock):
+            detail = {
+                "method": method_name,
+                "deadline": repr(deadline.at),
+                "queueWait": f"{queue_wait:.6f}",
+                "remaining": f"{deadline.remaining(self.clock):.6f}",
+            }
+            message = (
+                f"deadline would pass while {method_name!r} waits "
+                f"{queue_wait:.3f}s in queue; shedding"
+            )
+        else:
+            return
+        self.requests_shed += 1
+        self._note_shed(method_name, message, detail)
+        raise DeadlineExceededError(message, detail)
+
+    def _note_shed(self, method_name: str, message: str, detail: dict) -> None:
+        """Make a deadline shed visible to the resilience stream and traces.
+
+        With a resilience log attached, one record carries the event —
+        the observability bridge (``observe_log``) turns it into a span
+        annotation and counter.  Without a log, the ambient bundle (if
+        any) is annotated directly so sheds are never invisible.
+        """
+        from repro.resilience import events as resilience_events
+
+        if self.resilience_log is not None:
+            self.resilience_log.record(
+                resilience_events.SHED,
+                message,
+                service=self.name,
+                operation=method_name,
+                detail=detail,
+            )
+            return
+        obs = (
+            getattr(self.network, "observability", None) if self.traced else None
+        )
+        if obs is not None:
+            obs.metrics.count_event(resilience_events.SHED)
+            obs.tracer.annotate(
+                resilience_events.SHED,
+                message=message,
+                service=self.name,
+                operation=method_name,
+                **detail,
             )
 
     # -- HTTP endpoint -------------------------------------------------------------

@@ -1,0 +1,100 @@
+"""Token-bucket unit and property tests.
+
+The properties pinned here are the two the admission layer relies on:
+the level never exceeds the burst, and over any run starting from a full
+bucket the admitted count never exceeds ``burst + rate * elapsed`` (the
+long-run admitted rate is at most the configured rate).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.loadmgmt import TokenBucket
+from repro.transport.clock import SimClock
+
+
+def test_starts_full_and_drains():
+    bucket = TokenBucket(SimClock(), rate=1.0, burst=3)
+    assert bucket.level == pytest.approx(3.0)
+    assert bucket.try_acquire()
+    assert bucket.try_acquire()
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+    assert bucket.acquired == 3
+    assert bucket.rejected == 1
+
+
+def test_refills_at_the_configured_rate():
+    clock = SimClock()
+    bucket = TokenBucket(clock, rate=2.0, burst=2)
+    assert bucket.try_acquire(2.0)
+    assert not bucket.try_acquire()
+    assert bucket.time_until() == pytest.approx(0.5)
+    clock.advance(0.5)
+    assert bucket.try_acquire()
+
+
+def test_time_until_is_observational():
+    clock = SimClock()
+    bucket = TokenBucket(clock, rate=1.0, burst=1)
+    assert bucket.time_until() == 0.0
+    bucket.try_acquire()
+    before = bucket.time_until()
+    assert bucket.time_until() == pytest.approx(before)  # nothing taken
+
+
+def test_tokens_beyond_burst_can_never_be_awaited():
+    bucket = TokenBucket(SimClock(), rate=1.0, burst=2)
+    with pytest.raises(ValueError):
+        bucket.time_until(3.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(SimClock(), rate=0.0, burst=1)
+    with pytest.raises(ValueError):
+        TokenBucket(SimClock(), rate=1.0, burst=0.5)
+    bucket = TokenBucket(SimClock(), rate=1.0, burst=1)
+    with pytest.raises(ValueError):
+        bucket.try_acquire(0.0)
+
+
+@given(
+    rate=st.floats(min_value=0.1, max_value=100.0),
+    burst=st.floats(min_value=1.0, max_value=50.0),
+    steps=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5.0),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=50,
+    ),
+)
+def test_level_never_exceeds_burst(rate, burst, steps):
+    clock = SimClock()
+    bucket = TokenBucket(clock, rate, burst)
+    for delta, takes in steps:
+        clock.advance(delta)
+        assert bucket.level <= burst + 1e-9
+        for _ in range(takes):
+            bucket.try_acquire()
+        assert bucket.level <= burst + 1e-9
+        assert bucket.level >= -1e-9
+
+
+@given(
+    rate=st.floats(min_value=0.1, max_value=100.0),
+    burst=st.floats(min_value=1.0, max_value=50.0),
+    gaps=st.lists(st.floats(min_value=0.0, max_value=3.0), max_size=40),
+)
+def test_long_run_admitted_rate_is_bounded(rate, burst, gaps):
+    """Greedy acquisition between arbitrary clock steps never admits more
+    than the full bucket plus what the refill rate supplied."""
+    clock = SimClock()
+    bucket = TokenBucket(clock, rate, burst)
+    admitted = 0
+    for gap in gaps:
+        clock.advance(gap)
+        while bucket.try_acquire():
+            admitted += 1
+    assert admitted <= burst + rate * clock.now + 1e-6

@@ -1,0 +1,156 @@
+"""Weighted-fair-queue unit and property tests.
+
+The three SFQ properties the admission layer relies on, property-tested
+over random operation sequences:
+
+- **work conservation** — a non-empty queue always dequeues something;
+- **lane FIFO** — one lane's entries leave in arrival order;
+- **no starvation** — under a sustained backlog every lane's share of
+  dequeues tracks its weight fraction, so no positive-weight lane waits
+  forever behind heavier ones.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.loadmgmt import LaneConfig, WeightedFairQueue
+
+
+def test_lane_config_rejects_nonpositive_weight():
+    with pytest.raises(ValueError):
+        LaneConfig(weight=0.0)
+    with pytest.raises(ValueError):
+        WeightedFairQueue(default_weight=-1.0)
+    queue = WeightedFairQueue()
+    with pytest.raises(ValueError):
+        queue.enqueue("a", cost=0.0)
+
+
+def test_unknown_lane_gets_the_default_weight():
+    queue = WeightedFairQueue(default_weight=2.5)
+    queue.enqueue("newcomer")
+    assert queue.lanes["newcomer"].weight == 2.5
+    assert queue.lanes["newcomer"].priority == 0
+
+
+def test_single_lane_is_fifo():
+    queue = WeightedFairQueue()
+    entries = [queue.enqueue("a", item=i) for i in range(5)]
+    assert [queue.dequeue().item for _ in range(5)] == [0, 1, 2, 3, 4]
+    assert queue.dequeue() is None
+    assert (queue.enqueued, queue.dequeued) == (5, 5)
+
+
+def test_weights_split_a_sustained_backlog():
+    queue = WeightedFairQueue({
+        "heavy": LaneConfig(weight=3.0),
+        "light": LaneConfig(weight=1.0),
+    })
+    for i in range(80):
+        queue.enqueue("heavy", item=i)
+        queue.enqueue("light", item=i)
+    drained = [queue.dequeue().lane for _ in range(40)]
+    assert drained.count("heavy") == 30
+    assert drained.count("light") == 10
+
+
+def test_priority_classes_drain_strictly():
+    queue = WeightedFairQueue({
+        "bulk": LaneConfig(weight=100.0, priority=0),
+        "express": LaneConfig(weight=0.1, priority=5),
+    })
+    for i in range(3):
+        queue.enqueue("bulk", item=i)
+        queue.enqueue("express", item=i)
+    lanes = [queue.dequeue().lane for _ in range(6)]
+    assert lanes == ["express"] * 3 + ["bulk"] * 3
+
+
+def test_remove_only_withdraws_the_lanes_newest_entry():
+    queue = WeightedFairQueue()
+    first = queue.enqueue("a", item=1)
+    second = queue.enqueue("a", item=2)
+    assert not queue.remove(first)  # not the newest
+    assert queue.remove(second)
+    assert not queue.remove(second)  # already gone
+    # the withdrawn charge no longer pushes the lane's future work back
+    third = queue.enqueue("a", item=3)
+    assert third.start_tag == pytest.approx(second.start_tag)
+    assert len(queue) == 2
+
+
+def test_position_counts_entries_leaving_first():
+    queue = WeightedFairQueue()
+    a = queue.enqueue("a")
+    b = queue.enqueue("b")
+    c = queue.enqueue("a")
+    assert queue.position(a) == 0
+    assert queue.position(c) == 2
+    assert queue.position(b) in (0, 1)
+    assert queue.depths() == {"a": 2, "b": 1}
+
+
+# -- properties over random operation sequences ---------------------------------
+
+lane_names = st.sampled_from(["a", "b", "c"])
+# an op is an enqueue into one lane, or a dequeue (None)
+ops = st.lists(st.one_of(lane_names, st.none()), max_size=200)
+
+
+@given(ops=ops, weights=st.tuples(*([st.floats(0.1, 10.0)] * 3)))
+def test_work_conservation_and_lane_fifo(ops, weights):
+    """Against a shadow model: whenever any lane holds entries a dequeue
+    yields one, and each lane's items leave in their arrival order."""
+    queue = WeightedFairQueue({
+        name: LaneConfig(weight=w) for name, w in zip("abc", weights)
+    })
+    shadow = {"a": [], "b": [], "c": []}
+    counter = 0
+    for op in ops:
+        if op is None:
+            entry = queue.dequeue()
+            if any(shadow.values()):
+                assert entry is not None, "non-empty queue refused to dequeue"
+                assert shadow[entry.lane][0] == entry.item, "lane not FIFO"
+                shadow[entry.lane].pop(0)
+            else:
+                assert entry is None
+        else:
+            queue.enqueue(op, item=counter)
+            shadow[op].append(counter)
+            counter += 1
+    # a full drain returns every remaining entry, still lane-FIFO
+    while any(shadow.values()):
+        entry = queue.dequeue()
+        assert entry is not None
+        assert shadow[entry.lane].pop(0) == entry.item
+    assert queue.dequeue() is None
+
+
+@given(
+    heavy=st.floats(min_value=0.5, max_value=10.0),
+    light=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_no_starvation_under_sustained_backlog(heavy, light):
+    """With both lanes continuously backlogged, each lane's share of the
+    first N dequeues is its weight fraction to within rounding — the
+    light lane is never starved however heavy the other."""
+    queue = WeightedFairQueue({
+        "heavy": LaneConfig(weight=heavy),
+        "light": LaneConfig(weight=light),
+    })
+    for i in range(400):
+        queue.enqueue("heavy", item=i)
+        queue.enqueue("light", item=i)
+    drains = 200
+    got = {"heavy": 0, "light": 0}
+    for _ in range(drains):
+        got[queue.dequeue().lane] += 1
+    for lane, weight in (("heavy", heavy), ("light", light)):
+        expected = drains * weight / (heavy + light)
+        assert got[lane] >= math.floor(expected) - 2, (
+            f"{lane} starved: {got[lane]} of {drains} "
+            f"(weight share {expected:.1f})"
+        )

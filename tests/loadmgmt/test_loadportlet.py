@@ -1,0 +1,70 @@
+"""LoadPortlet rendering: lane occupancy, queue load, placements — and
+HTML escaping of client-supplied principal names."""
+
+import pytest
+
+from repro.faults import ServerBusyError
+from repro.portal.uiserver import PortalDeployment, UserInterfaceServer
+from repro.services.jobsubmit import jobs_to_xml
+from repro.grid.jobs import JobSpec
+from repro.soap.client import SoapClient
+from repro.services.jobsubmit import GLOBUSRUN_NAMESPACE
+
+
+@pytest.fixture(scope="module")
+def ui():
+    deployment = PortalDeployment.build(observe=True)
+    return UserInterfaceServer(deployment)
+
+
+def test_portlet_renders_all_three_sections(ui):
+    # generate some traffic so every section has rows
+    shell = ui.make_shell("alice")
+    shell.run("submit modi4.iu.edu /bin/hostname")
+    ui.client("metascheduler").call(
+        "run_xml",
+        jobs_to_xml([("", JobSpec(name="placed", executable="echo",
+                                  arguments=["x"]))]),
+    )
+    portlet = ui.add_load_portlet()
+    html = portlet.render("/portal")
+    assert 'class="load-lanes"' in html
+    assert 'class="queue-load"' in html
+    assert 'class="placement-targets"' in html
+    assert 'class="placement-decisions"' in html
+    assert "anonymous" in html  # the shell's un-principaled submit
+    assert "modi4.iu.edu" in html
+
+
+def test_portlet_is_registered_with_the_container(ui):
+    portlet = ui.add_load_portlet()
+    assert portlet.name in ui.container.available_portlets()
+
+
+def test_principal_names_are_escaped(ui):
+    hostile = "<script>alert(1)</script>"
+    client = SoapClient(
+        ui.network,
+        ui.deployment.endpoints["globusrun"],
+        GLOBUSRUN_NAMESPACE,
+        source="attacker.org",
+        principal=hostile,
+    )
+    try:
+        client.call("run", "modi4.iu.edu", "echo", "hi", 1, "", 600)
+    except ServerBusyError:
+        pass  # shed or not, the lane was recorded
+    html = ui.add_load_portlet().render("/portal")
+    assert "<script>" not in html
+    assert "&lt;script&gt;" in html
+
+
+def test_monitoring_views_back_the_portlet(ui):
+    monitoring = ui.client("monitoring")
+    lanes = monitoring.call("load_lanes")
+    assert any(row["service"] == "Globusrun" for row in lanes)
+    queues = monitoring.call("queue_load")
+    hosts = {row["host"] for row in queues}
+    assert hosts == set(ui.deployment.testbed)
+    summary = monitoring.call("load_summary")
+    assert summary and summary[0]["capacity"] > 0

@@ -1,0 +1,188 @@
+"""MetaScheduler placement tests: policies, breaker exclusion, explicit
+hosts, and the Globusrun composition feeding outcomes back."""
+
+import pytest
+
+from repro.faults import InvalidRequestError, JobError
+from repro.grid.jobs import JobSpec
+from repro.grid.resources import build_testbed
+from repro.loadmgmt.metascheduler import (
+    METASCHEDULER_NAMESPACE,
+    deploy_metascheduler,
+)
+from repro.resilience import events
+from repro.resilience.breaker import OPEN
+from repro.resilience.events import ResilienceLog
+from repro.services.jobsubmit import deploy_globusrun, jobs_from_xml, jobs_to_xml
+from repro.soap.client import SoapClient
+
+IDENTITY = "/O=G/CN=portal"
+
+
+@pytest.fixture
+def stack(network, ca):
+    testbed = build_testbed(network, ca)
+    cred = ca.issue_credential(IDENTITY, lifetime=10**6, now=0.0)
+    proxy = cred.sign_proxy(lifetime=10**5, now=0.0)
+    for resource in testbed.values():
+        resource.gatekeeper.add_gridmap_entry(IDENTITY, "portal")
+    log = ResilienceLog()
+    _globusrun, globusrun_url = deploy_globusrun(network, testbed, proxy)
+    impl, url = deploy_metascheduler(
+        network, testbed, [globusrun_url], log=log, seed=7
+    )
+    return testbed, impl, url, log
+
+
+def _batch(count, **spec_kwargs):
+    spec_kwargs.setdefault("executable", "echo")
+    spec_kwargs.setdefault("arguments", ["hi"])
+    return jobs_to_xml([
+        ("", JobSpec(name=f"job-{i}", **spec_kwargs)) for i in range(count)
+    ])
+
+
+def _client(network, url):
+    return SoapClient(network, url, METASCHEDULER_NAMESPACE, source="ui")
+
+
+def test_place_fills_every_missing_host(network, stack):
+    testbed, impl, url, _log = stack
+    client = _client(network, url)
+    placed = jobs_from_xml(client.call("place", _batch(6)), require_host=False)
+    assert len(placed) == 6
+    for contact, spec in placed:
+        assert contact in testbed
+        assert spec.queue in testbed[contact].scheduler.queues
+    assert impl.jobs_placed == 6
+
+
+def test_explicit_hosts_are_honoured(network, stack):
+    _testbed, impl, url, _log = stack
+    client = _client(network, url)
+    batch = jobs_to_xml([
+        ("t3e.sdsc.edu", JobSpec(name="pinned", executable="echo")),
+        ("", JobSpec(name="floating", executable="echo")),
+    ])
+    placed = dict(
+        (spec.name, contact)
+        for contact, spec in jobs_from_xml(
+            client.call("place", batch), require_host=False
+        )
+    )
+    assert placed["pinned"] == "t3e.sdsc.edu"
+    assert placed["floating"]  # filled in
+    assert impl.jobs_placed == 1  # only the floating job was a decision
+
+
+def test_least_loaded_avoids_the_deep_queue(network, stack):
+    testbed, _impl, url, _log = stack
+    client = _client(network, url)
+    # pile queued work onto one host so its default queue is deepest
+    busy = testbed["modi4.iu.edu"].scheduler
+    for i in range(40):
+        busy.submit(JobSpec(name=f"filler-{i}", executable="sleep",
+                            arguments=["500"], cpus=64))
+    placed = jobs_from_xml(client.call("place", _batch(8)), require_host=False)
+    assert all(contact != "modi4.iu.edu" for contact, _spec in placed)
+
+
+def test_round_robin_rotates_over_all_contacts(network, stack):
+    testbed, _impl, url, _log = stack
+    client = _client(network, url)
+    client.call("set_policy", "round-robin")
+    placed = jobs_from_xml(client.call("place", _batch(8)), require_host=False)
+    contacts = [contact for contact, _spec in placed]
+    assert contacts[:4] == sorted(testbed)
+    assert contacts[4:] == contacts[:4]
+
+
+def test_latency_weighted_is_deterministic_under_the_seed():
+    from repro.security.gsi import SimpleCA
+    from repro.transport.network import VirtualNetwork
+
+    def placements(seed):
+        net = VirtualNetwork()
+        local_ca = SimpleCA()
+        testbed = build_testbed(net, local_ca)
+        cred = local_ca.issue_credential(IDENTITY, lifetime=10**6, now=0.0)
+        proxy = cred.sign_proxy(lifetime=10**5, now=0.0)
+        for resource in testbed.values():
+            resource.gatekeeper.add_gridmap_entry(IDENTITY, "portal")
+        _g, g_url = deploy_globusrun(net, testbed, proxy)
+        impl, url = deploy_metascheduler(
+            net, testbed, [g_url], policy="latency-weighted", seed=seed
+        )
+        client = _client(net, url)
+        placed = jobs_from_xml(client.call("place", _batch(10)),
+                               require_host=False)
+        return [contact for contact, _spec in placed]
+
+    assert placements(3) == placements(3)
+
+
+def test_affinity_prefers_configured_hosts_then_hashes(network, ca):
+    testbed = build_testbed(network, ca)
+    cred = ca.issue_credential(IDENTITY, lifetime=10**6, now=0.0)
+    proxy = cred.sign_proxy(lifetime=10**5, now=0.0)
+    for resource in testbed.values():
+        resource.gatekeeper.add_gridmap_entry(IDENTITY, "portal")
+    _g, g_url = deploy_globusrun(network, testbed, proxy)
+    impl, url = deploy_metascheduler(
+        network, testbed, [g_url], policy="affinity",
+        affinities={"g98": ["blue.sdsc.edu"]},
+    )
+    client = _client(network, url)
+    placed = jobs_from_xml(
+        client.call("place", jobs_to_xml([
+            ("", JobSpec(name="gauss", executable="g98")),
+            ("", JobSpec(name="anon1", executable="echo")),
+            ("", JobSpec(name="anon2", executable="echo")),
+        ])),
+        require_host=False,
+    )
+    by_name = {spec.name: contact for contact, spec in placed}
+    assert by_name["gauss"] == "blue.sdsc.edu"
+    # hash affinity: the same executable keeps landing on the same host
+    assert by_name["anon1"] == by_name["anon2"]
+
+
+def test_breaker_open_hosts_are_excluded_from_placement(network, stack):
+    testbed, impl, url, _log = stack
+    client = _client(network, url)
+    breaker = impl._breaker("blue.sdsc.edu")
+    while breaker.state != OPEN:
+        breaker.record_failure()
+    targets = {row["contact"]: row for row in client.call("targets")}
+    assert targets["blue.sdsc.edu"]["excluded"] is True
+    placed = jobs_from_xml(client.call("place", _batch(12)), require_host=False)
+    assert all(contact != "blue.sdsc.edu" for contact, _spec in placed)
+
+
+def test_no_eligible_host_is_a_job_error(network, stack):
+    _testbed, _impl, url, _log = stack
+    client = _client(network, url)
+    with pytest.raises(JobError):
+        client.call("place", _batch(1, cpus=100000))
+
+
+def test_unknown_policy_is_rejected(network, stack):
+    _testbed, _impl, url, _log = stack
+    client = _client(network, url)
+    with pytest.raises(InvalidRequestError):
+        client.call("set_policy", "coin-flip")
+    assert client.call("policy") == "least-loaded"
+
+
+def test_run_xml_executes_and_learns(network, stack):
+    _testbed, impl, url, log = stack
+    client = _client(network, url)
+    results = client.call("run_xml", _batch(4))
+    assert results.count("<result ") == 4
+    # outcomes fed back: latency histograms and healthy breakers
+    assert impl._latency, "no per-contact latency recorded"
+    placements = client.call("placements", 10)
+    assert len(placements) == 4
+    assert all(p["policy"] == "least-loaded" for p in placements)
+    codes = [event.code for event in log.events]
+    assert codes.count(events.PLACEMENT) == 4

@@ -1,0 +1,174 @@
+"""The overload acceptance criteria, end to end through the SOAP stack.
+
+Three principals with 3:2:1 fair-share weights drive an open-loop arrival
+schedule against an admission-controlled service:
+
+- at **5x capacity with admission on**, goodput stays within 10% of the
+  1x-capacity goodput and every principal's admitted share is within 15%
+  of its weight fraction;
+- with **admission off** (the controller accounts but never refuses),
+  unbounded modelled queue wait turns every late request into a deadline
+  shed and goodput collapses;
+- both runs are **deterministic under a fixed seed**.
+
+A longer 5-minute soak of the same harness runs under the ``tier2_load``
+marker (dedicated CI job).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import PortalError
+from repro.loadmgmt import AdmissionController, LaneConfig
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+ECHO_NAMESPACE = "urn:test:echo"
+CAPACITY = 4.0  # modelled requests per virtual second
+WEIGHTS = {"alice": 3.0, "bob": 2.0, "carol": 1.0}
+
+
+def run_overload(
+    *,
+    multiple: float,
+    duration: float,
+    seed: int,
+    enabled: bool = True,
+    timeout: float | None = None,
+) -> dict:
+    """Offer ``multiple`` x capacity for ``duration`` virtual seconds.
+
+    Arrivals are an open-loop schedule: each principal fires at its own
+    fixed inter-arrival interval regardless of outcomes (no closed-loop
+    backpressure masking the overload).  Returns goodput, per-principal
+    shares, and shed counts.
+    """
+    network = VirtualNetwork(seed=seed)
+    controller = AdmissionController(
+        network.clock,
+        capacity=CAPACITY,
+        max_wait=2.5,
+        lanes={name: LaneConfig(weight=w) for name, w in WEIGHTS.items()},
+        enabled=enabled,
+        service="Echo",
+    )
+    service = SoapService("Echo", ECHO_NAMESPACE)
+    service.expose(lambda text: text, name="work")
+    service.enable_admission(controller)
+    url = service.mount(HttpServer("echo.test.org", network), "/echo")
+
+    total_rate = multiple * CAPACITY
+    clients, next_at, interval = {}, {}, {}
+    for index, name in enumerate(sorted(WEIGHTS)):
+        clients[name] = SoapClient(
+            network, url, ECHO_NAMESPACE, source=f"{name}.org", principal=name
+        )
+        interval[name] = len(WEIGHTS) / total_rate
+        # stagger the lanes so arrivals interleave deterministically
+        next_at[name] = index * interval[name] / len(WEIGHTS)
+
+    started = network.clock.now
+    succeeded: dict[str, int] = {name: 0 for name in WEIGHTS}
+    shed: dict[str, int] = {name: 0 for name in WEIGHTS}
+    while True:
+        name = min(next_at, key=lambda n: (next_at[n], n))
+        at = next_at[name]
+        if at - started >= duration:
+            break
+        network.clock.sleep_until(at)
+        try:
+            clients[name].call("work", "payload", timeout=timeout)
+            succeeded[name] += 1
+        except PortalError:
+            shed[name] += 1
+        next_at[name] = at + interval[name]
+
+    # the driver is serial, so at extreme multiples the virtual clock can
+    # outrun the nominal schedule; goodput divides by real elapsed time
+    elapsed = max(network.clock.now - started, duration)
+    total_ok = sum(succeeded.values())
+    return {
+        "goodput": total_ok / elapsed,
+        "succeeded": succeeded,
+        "shed": shed,
+        "shares": {
+            name: (succeeded[name] / total_ok if total_ok else 0.0)
+            for name in WEIGHTS
+        },
+        "admitted_total": controller.admitted,
+        "shed_total": controller.shed,
+    }
+
+
+def weight_fraction(name: str) -> float:
+    return WEIGHTS[name] / sum(WEIGHTS.values())
+
+
+def test_admission_holds_goodput_and_fair_shares_at_5x():
+    baseline = run_overload(multiple=1.0, duration=60.0, seed=42)
+    overload = run_overload(multiple=5.0, duration=60.0, seed=42)
+
+    # at 1x nothing is refused and goodput is the offered rate
+    assert baseline["shed_total"] == 0
+    assert baseline["goodput"] == pytest.approx(CAPACITY, rel=0.05)
+
+    # at 5x: goodput within 10% of the 1x goodput
+    assert overload["goodput"] == pytest.approx(
+        baseline["goodput"], rel=0.10
+    ), f"goodput collapsed under admission control: {overload['goodput']}"
+
+    # fair shares: admitted share within 15% of each weight fraction
+    for name in WEIGHTS:
+        assert overload["shares"][name] == pytest.approx(
+            weight_fraction(name), rel=0.15
+        ), f"{name} share {overload['shares'][name]:.3f}"
+    # and the overload was real: most offered work was refused
+    assert overload["shed_total"] > overload["admitted_total"]
+
+
+def test_without_admission_goodput_collapses():
+    baseline = run_overload(multiple=1.0, duration=60.0, seed=42)
+    collapsed = run_overload(
+        multiple=5.0, duration=60.0, seed=42, enabled=False, timeout=3.0
+    )
+    # the unprotected server spends its time queueing work whose callers
+    # have given up: deadline sheds dominate and goodput falls away
+    assert collapsed["goodput"] < 0.5 * baseline["goodput"], (
+        f"expected collapse, got {collapsed['goodput']:.2f}/s "
+        f"vs baseline {baseline['goodput']:.2f}/s"
+    )
+    assert sum(collapsed["shed"].values()) > sum(collapsed["succeeded"].values())
+
+
+def test_runs_are_deterministic_under_a_fixed_seed():
+    first = run_overload(multiple=5.0, duration=30.0, seed=7)
+    second = run_overload(multiple=5.0, duration=30.0, seed=7)
+    assert first == second
+    off1 = run_overload(multiple=5.0, duration=20.0, seed=7, enabled=False,
+                        timeout=3.0)
+    off2 = run_overload(multiple=5.0, duration=20.0, seed=7, enabled=False,
+                        timeout=3.0)
+    assert off1 == off2
+
+
+@pytest.mark.tier2_load
+def test_overload_soak_five_minutes():
+    """The same criteria over a 300-virtual-second soak at 5x and 8x."""
+    baseline = run_overload(multiple=1.0, duration=300.0, seed=11)
+    assert baseline["goodput"] == pytest.approx(CAPACITY, rel=0.05)
+    for multiple in (5.0, 8.0):
+        overload = run_overload(multiple=multiple, duration=300.0, seed=11)
+        assert overload["goodput"] == pytest.approx(
+            baseline["goodput"], rel=0.10
+        ), f"{multiple}x goodput {overload['goodput']:.2f}"
+        for name in WEIGHTS:
+            assert overload["shares"][name] == pytest.approx(
+                weight_fraction(name), rel=0.15
+            ), f"{multiple}x {name} share {overload['shares'][name]:.3f}"
+    collapsed = run_overload(
+        multiple=5.0, duration=300.0, seed=11, enabled=False, timeout=3.0
+    )
+    assert collapsed["goodput"] < 0.25 * baseline["goodput"]

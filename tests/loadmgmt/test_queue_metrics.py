@@ -1,0 +1,102 @@
+"""Backpressure signals: per-queue scheduler stats and the gatekeeper's
+gauge publication into the metrics registry."""
+
+import pytest
+
+from repro.grid.jobs import JobSpec
+from repro.grid.queuing import make_dialect
+from repro.grid.queuing.base import BatchScheduler, QueueDefinition
+from repro.grid.resources import build_testbed
+from repro.observability import Observability
+from repro.transport.clock import SimClock
+from repro.transport.network import VirtualNetwork
+
+
+def _scheduler(clock, cpus=4):
+    return BatchScheduler(
+        "host.test.org",
+        make_dialect("PBS"),
+        clock=clock,
+        cpus=cpus,
+        queues=[
+            QueueDefinition("workq", default=True),
+            QueueDefinition("express", priority=10, max_wallclock=3600),
+        ],
+    )
+
+
+def test_queue_stats_report_depth_running_and_completions():
+    clock = SimClock()
+    scheduler = _scheduler(clock, cpus=1)
+    for i in range(3):
+        scheduler.submit(JobSpec(name=f"j{i}", executable="sleep",
+                                 arguments=["10"]))
+    rows = {row["queue"]: row for row in scheduler.queue_stats()}
+    assert set(rows) == {"workq", "express"}
+    assert rows["workq"]["running"] == 1
+    assert rows["workq"]["depth"] == 2
+    assert rows["express"]["depth"] == 0
+    clock.advance(35.0)  # all three ran to completion, serially
+    rows = {row["queue"]: row for row in scheduler.queue_stats()}
+    assert rows["workq"]["completed"] == 3
+    assert rows["workq"]["depth"] == 0
+
+
+def test_drain_rate_is_completions_over_the_trailing_window():
+    clock = SimClock()
+    scheduler = _scheduler(clock, cpus=4)
+    for i in range(4):
+        scheduler.submit(JobSpec(name=f"j{i}", executable="sleep",
+                                 arguments=["10"]))
+    clock.advance(20.0)
+    rows = {row["queue"]: row for row in scheduler.queue_stats(window=100.0)}
+    assert rows["workq"]["drain_rate"] == pytest.approx(4 / 100.0)
+    # completions age out of the window
+    clock.advance(200.0)
+    rows = {row["queue"]: row for row in scheduler.queue_stats(window=100.0)}
+    assert rows["workq"]["drain_rate"] == 0.0
+    assert rows["workq"]["completed"] == 4  # lifetime counter keeps them
+
+
+def test_gatekeeper_publishes_per_queue_gauges():
+    from repro.security.gsi import SimpleCA
+
+    network = VirtualNetwork()
+    obs = Observability.install(network)
+    ca = SimpleCA()
+    testbed = build_testbed(network, ca)
+    identity = "/O=G/CN=portal"
+    cred = ca.issue_credential(identity, lifetime=10**6, now=0.0)
+    proxy = cred.sign_proxy(lifetime=10**5, now=0.0)
+    resource = testbed["modi4.iu.edu"]
+    resource.gatekeeper.add_gridmap_entry(identity, "portal")
+
+    rows = resource.gatekeeper.publish_queue_gauges()
+    assert rows, "no stat rows returned"
+    label = "modi4.iu.edu/workq"
+    assert ("queue_depth", label) in obs.metrics.gauges
+    assert ("queue_drain_rate", label) in obs.metrics.gauges
+
+    # submission refreshes the gauges
+    from repro.grid.gram import rsl_for, serialize_chain
+
+    chain = serialize_chain(proxy)
+    rsl = rsl_for(JobSpec(name="j", executable="sleep", arguments=["500"],
+                          cpus=128, wallclock_limit=600))
+    resource.gatekeeper.submit(chain, rsl, key="first")
+    resource.gatekeeper.submit(chain, rsl, key="second")
+    assert obs.metrics.gauges[("queue_depth", label)] >= 1
+
+
+def test_monitoring_metrics_summary_samples_queue_gauges():
+    from repro.portal.uiserver import PortalDeployment
+
+    deployment = PortalDeployment.build(observe=True)
+    summary = deployment.monitoring.metrics_summary()
+    labels = {
+        (row["gauge"], row["label"]) for row in summary["gauges"]
+    }
+    for host in deployment.testbed:
+        assert ("queue_depth", host) in labels  # per-host (pre-existing)
+        assert ("queue_depth", f"{host}/workq") in labels
+        assert ("queue_drain_rate", f"{host}/workq") in labels

@@ -19,6 +19,7 @@ ALL_ERRORS = [
     faults.SchemaError,
     faults.DiscoveryError,
     faults.DeadlineExceededError,
+    faults.ServerBusyError,
 ]
 
 # every class the wire vocabulary can name, straight from the registry
