@@ -27,6 +27,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "faults",
+    "headers",
     "xmlutil",
     "template",
     "transport",

@@ -1,0 +1,124 @@
+"""The committed-baseline mechanism: land clean, then ratchet down.
+
+A baseline records accepted findings by line-independent fingerprint so the
+analyzer can be introduced to (or extended over) an imperfect tree without
+a flag day: baselined findings do not fail the build, *new* findings do,
+and re-writing the baseline can only shrink it (fixed findings leave the
+file; nothing is ever silently added on a normal run).
+
+Format (JSON, committed)::
+
+    {"version": 1, "tool": "repro.analysis",
+     "entries": [{"fingerprint": ..., "code": ..., "path": ...,
+                  "message": ..., "reason": "why this one is deliberate"}]}
+
+Entries may carry a ``reason`` — the ISSUE workflow baselines only
+deliberate exceptions, with the justification in the file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings multiset (a fingerprint may repeat when one
+    file legitimately carries identical findings on several lines)."""
+
+    path: Path | None = None
+    entries: list[dict] = field(default_factory=list)
+
+    @staticmethod
+    def load(path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return Baseline(path=path, entries=list(data.get("entries", [])))
+
+    def save(self, path: Path | None = None) -> Path:
+        target = path or self.path
+        if target is None:
+            raise ValueError("baseline has no path to save to")
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro.analysis",
+            "entries": sorted(
+                self.entries,
+                key=lambda e: (e.get("path", ""), e.get("code", ""), e.get("message", "")),
+            ),
+        }
+        target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        self.path = target
+        return target
+
+    def fingerprints(self) -> Counter:
+        return Counter(e.get("fingerprint", "") for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class BaselineResult:
+    """The three-way split a baseline induces on a finding list."""
+
+    new: list[Finding]
+    baselined: list[Finding]
+    #: entries whose finding no longer occurs — fixed code; rewrite the
+    #: baseline to drop them (the ratchet)
+    stale: list[dict]
+
+
+def apply_baseline(findings: list[Finding], baseline: Baseline) -> BaselineResult:
+    budget = baseline.fingerprints()
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale: list[dict] = []
+    remaining = dict(budget)
+    for entry in baseline.entries:
+        fp = entry.get("fingerprint", "")
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            stale.append(entry)
+    return BaselineResult(new=new, baselined=baselined, stale=stale)
+
+
+def write_baseline(findings: list[Finding], path: Path, *, reasons: dict[str, str] | None = None) -> Baseline:
+    """Capture *findings* as the new baseline (the add/ratchet operation:
+    the file always reflects exactly the current findings, so fixed ones
+    drop out and nothing un-observed survives)."""
+    reasons = reasons or {}
+    entries = [
+        {
+            "fingerprint": f.fingerprint(),
+            "code": f.code,
+            "path": f.path,
+            "message": f.message,
+            **(
+                {"reason": reasons[f.fingerprint()]}
+                if f.fingerprint() in reasons
+                else {}
+            ),
+        }
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    baseline = Baseline(path=path, entries=entries)
+    baseline.save()
+    return baseline

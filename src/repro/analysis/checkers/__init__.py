@@ -1,0 +1,13 @@
+"""Checker catalog — importing this package registers every checker.
+
+Import order fixes checker (and therefore finding-discovery) order, so it
+is explicit rather than alphabetical-by-accident.
+"""
+
+from repro.analysis.checkers import (  # noqa: F401  (registration side effects)
+    determinism,
+    faults,
+    contracts,
+    headers,
+    hygiene,
+)

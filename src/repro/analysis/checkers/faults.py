@@ -1,0 +1,291 @@
+"""REP2xx — fault taxonomy: SOAP-reachable errors speak ``Portal.*``.
+
+§3 of the paper: services "must define and relay a common set of error
+messages".  The SOAP layer maps :class:`repro.faults.PortalError` onto
+faults with a stable code/detail convention; anything else dispatched out
+of a service method degrades into an opaque ``Server`` fault that no
+client can classify or retry correctly.
+
+Reachability is resolved the way the codebase actually wires services:
+``soap.expose(impl.method)`` / ``soap.expose_object(impl)`` roots the
+dispatch surface at a class; from each exposed method the checker follows
+``self.helper()`` calls (through base classes) and same-module function
+calls.  Cross-module calls are not followed — wrapping foreign errors at
+the service boundary is exactly the discipline the rule enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.astutil import (
+    all_methods,
+    base_names,
+    dotted_name,
+    find_exposures,
+    import_aliases,
+)
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    Project,
+    SourceModule,
+    register_checker,
+)
+
+#: exception names always permitted in a dispatch path
+ALLOWED_RAISES = {
+    "NotImplementedError",  # abstract operations
+    "ServiceCrash",  # the simulation's process-death primitive
+    "StopIteration",
+}
+
+FAULT_ROOT = "PortalError"
+
+#: dotted-module prefix that marks an import as part of the taxonomy
+FAULT_MODULE = "repro.faults"
+
+
+@register_checker
+class FaultTaxonomyChecker(Checker):
+    name = "faults"
+    description = (
+        "SOAP-dispatched errors carry Portal.* fault codes and an explicit "
+        "retryable classification"
+    )
+    codes = {
+        "REP201": "raise of a non-PortalError reachable from SOAP dispatch",
+        "REP202": "PortalError subclass without an explicit `code`",
+        "REP203": "PortalError subclass without an explicit `retryable` classification",
+    }
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        portal_classes = project.subclasses_of({FAULT_ROOT})
+        yield from self._check_subclasses(project, portal_classes)
+        yield from self._check_reachable_raises(project, portal_classes)
+
+    # -- REP202/REP203: the taxonomy itself -----------------------------------
+
+    def _check_subclasses(
+        self, project: Project, portal_classes: set[str]
+    ) -> Iterable[Finding]:
+        for name in sorted(portal_classes - {FAULT_ROOT}):
+            module, node = project.class_index()[name]
+            assigned = {
+                target.id
+                for item in node.body
+                if isinstance(item, ast.Assign)
+                for target in item.targets
+                if isinstance(target, ast.Name)
+            }
+            if "code" not in assigned:
+                yield module.finding(
+                    "REP202",
+                    f"PortalError subclass {name} does not set a fault "
+                    "`code` — every vocabulary member needs a stable code",
+                    node,
+                    checker=self.name,
+                    symbol=name,
+                )
+            if "retryable" not in assigned:
+                yield module.finding(
+                    "REP203",
+                    f"PortalError subclass {name} does not classify "
+                    "`retryable` explicitly — clients retry on this flag, "
+                    "so inheriting it silently is drift waiting to happen",
+                    node,
+                    checker=self.name,
+                    symbol=name,
+                )
+
+    # -- REP201: reachable raises ----------------------------------------------
+
+    def _check_reachable_raises(
+        self, project: Project, portal_classes: set[str]
+    ) -> Iterable[Finding]:
+        index = project.class_index()
+        for module in project.parsed():
+            exposures = find_exposures(module.tree)
+            if not exposures:
+                continue
+            module_functions = self._module_functions(module.tree)
+            seen: set[tuple[str, str]] = set()
+            for exposure in exposures:
+                if exposure.class_name not in index:
+                    continue
+                for cls_name, method in self._reachable_methods(
+                    project, exposure, module_functions
+                ):
+                    key = (cls_name, method.name)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    owner_module = (
+                        index[cls_name][0] if cls_name in index else module
+                    )
+                    yield from self._check_raises(
+                        owner_module,
+                        method,
+                        cls_name,
+                        portal_classes,
+                        self._fault_imports(owner_module),
+                    )
+
+    @staticmethod
+    def _fault_imports(module: SourceModule) -> set[str]:
+        """Local names bound by imports to ``repro.faults`` members —
+        portal errors even when the class is defined outside the run."""
+        return {
+            local
+            for local, origin in import_aliases(module.tree).items()
+            if origin.startswith(FAULT_MODULE + ".")
+        }
+
+    @staticmethod
+    def _module_functions(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+        return {
+            node.name: node
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+
+    def _class_method(
+        self, project: Project, cls_name: str, method: str
+    ) -> tuple[str, ast.FunctionDef] | None:
+        """Resolve *method* on *cls_name* walking base classes by name."""
+        index = project.class_index()
+        queue = [cls_name]
+        visited = set()
+        while queue:
+            current = queue.pop(0)
+            if current in visited or current not in index:
+                continue
+            visited.add(current)
+            _module, node = index[current]
+            methods = all_methods(node)
+            if method in methods:
+                return current, methods[method]
+            queue.extend(base_names(node))
+        return None
+
+    def _reachable_methods(
+        self,
+        project: Project,
+        exposure,
+        module_functions: dict[str, ast.FunctionDef],
+    ) -> Iterable[tuple[str, ast.FunctionDef]]:
+        """The dispatch closure: exposed methods, the ``self.*`` helpers
+        they call (through bases), and same-module functions they use."""
+        index = project.class_index()
+        _module, class_node = index[exposure.class_name]
+        roots: list[str] = sorted(exposure.methods)
+        if exposure.expose_all:
+            # expose_object: every public method on the class and its bases
+            queue, visited = [exposure.class_name], set()
+            while queue:
+                current = queue.pop(0)
+                if current in visited or current not in index:
+                    continue
+                visited.add(current)
+                _m, node = index[current]
+                roots.extend(
+                    name
+                    for name in all_methods(node)
+                    if not name.startswith("_")
+                )
+                queue.extend(base_names(node))
+            roots = sorted(set(roots))
+
+        pending: list[tuple[str, str]] = [
+            (exposure.class_name, name) for name in roots
+        ]
+        visited_methods: set[tuple[str, str]] = set()
+        visited_functions: set[str] = set()
+        while pending:
+            cls_name, meth_name = pending.pop(0)
+            resolved = self._class_method(project, cls_name, meth_name)
+            if resolved is None:
+                continue
+            owner, func = resolved
+            if (owner, func.name) in visited_methods:
+                continue
+            visited_methods.add((owner, func.name))
+            yield owner, func
+            for callee in self._called_names(func):
+                kind, name = callee
+                if kind == "self":
+                    pending.append((exposure.class_name, name))
+                elif kind == "func" and name in module_functions:
+                    if name not in visited_functions:
+                        visited_functions.add(name)
+                        yield "", module_functions[name]
+                        for sub in self._called_names(module_functions[name]):
+                            if sub[0] == "func" and sub[1] in module_functions:
+                                if sub[1] not in visited_functions:
+                                    visited_functions.add(sub[1])
+                                    yield "", module_functions[sub[1]]
+
+    @staticmethod
+    def _called_names(func: ast.FunctionDef) -> list[tuple[str, str]]:
+        out: list[tuple[str, str]] = []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                out.append(("self", target.attr))
+            elif isinstance(target, ast.Name):
+                out.append(("func", target.id))
+        return out
+
+    def _check_raises(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef,
+        cls_name: str,
+        portal_classes: set[str],
+        fault_imports: set[str],
+    ) -> Iterable[Finding]:
+        symbol = f"{cls_name}.{func.name}" if cls_name else func.name
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Raise):
+                continue
+            verdict = self._raise_target(
+                node, portal_classes | fault_imports
+            )
+            if verdict is None:
+                continue
+            yield module.finding(
+                "REP201",
+                f"{symbol} raises {verdict} on a SOAP-dispatched path — "
+                "raise a PortalError subclass so the fault carries a "
+                "Portal.* code and retryable classification",
+                node,
+                checker=self.name,
+                symbol=symbol,
+            )
+
+    @staticmethod
+    def _raise_target(node: ast.Raise, portal_classes: set[str]) -> str | None:
+        """The offending exception name, or ``None`` when the raise is
+        acceptable (portal error, re-raise, unresolvable variable)."""
+        exc = node.exc
+        if exc is None:
+            return None  # bare re-raise
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = dotted_name(exc)
+        if not name:
+            return None  # dynamic construction: out of static reach
+        head = name.split(".")[0]
+        if head and head[0].islower() and head != "self":
+            return None  # a variable being re-raised (e.g. `raise err`)
+        for part in name.split("."):
+            if part in portal_classes or part in ALLOWED_RAISES:
+                return None
+        return name

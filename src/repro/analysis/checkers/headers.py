@@ -1,0 +1,154 @@
+"""REP4xx — SOAP header discipline: declared, sent, and consumed.
+
+The portal's cross-cutting concerns all travel as SOAP headers (deadline
+propagation, idempotency keys, principals for fair queuing, trace
+context).  A header is a protocol element: it must be *declared* in the
+shared registry (``repro.headers``) so tooling and operators can
+enumerate the vocabulary, it must have an *encoder* (something builds the
+``XmlElement``), and it must have a *consumer* (something matches the tag
+on receipt).  A header failing any leg is either dead weight on every
+message or an undocumented side channel.
+
+The house idiom being checked, module by module::
+
+    X_HEADER = QName(NS, "Name")           # declaration
+    register_header(X_HEADER, ...)         # registration (REP401)
+    XmlElement(X_HEADER, ...)              # encoder    (REP402)
+    if entry.tag == X_HEADER: ...          # consumer   (REP403)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    Project,
+    SourceModule,
+    register_checker,
+)
+
+HEADER_SUFFIX = "_HEADER"
+QNAME_CONSTRUCTORS = {"QName", "qname"}
+REGISTER_FUNCS = {"register_header"}
+ELEMENT_CONSTRUCTORS = {"XmlElement"}
+
+#: the registry module itself declares no headers of its own
+EXEMPT_MODULES = {"repro.headers"}
+
+
+@register_checker
+class HeaderDisciplineChecker(Checker):
+    name = "headers"
+    description = (
+        "every SOAP header constant is registered, has an encoder, and has "
+        "a consumer"
+    )
+    codes = {
+        "REP401": "header QName constant not registered via register_header()",
+        "REP402": "registered header has no XmlElement encoder in its module",
+        "REP403": "registered header has no tag-match consumer in its module",
+    }
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.parsed():
+            if module.module_name in EXEMPT_MODULES:
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: SourceModule) -> Iterable[Finding]:
+        constants = self._header_constants(module.tree)
+        if not constants:
+            return
+        registered = self._names_passed_to(module.tree, REGISTER_FUNCS)
+        encoded = self._names_passed_to(module.tree, ELEMENT_CONSTRUCTORS)
+        consumed = self._names_compared(module.tree)
+        for name, node in sorted(constants.items()):
+            if name not in registered:
+                yield module.finding(
+                    "REP401",
+                    f"header constant {name} is not registered — call "
+                    f"register_header({name}, ...) so the header vocabulary "
+                    "stays enumerable",
+                    node,
+                    checker=self.name,
+                    symbol=name,
+                )
+                continue  # unregistered: encoder/consumer checks would pile on
+            if name not in encoded:
+                yield module.finding(
+                    "REP402",
+                    f"registered header {name} has no encoder — no "
+                    f"XmlElement({name}, ...) construction in this module, "
+                    "so nothing can ever send it",
+                    node,
+                    checker=self.name,
+                    symbol=name,
+                )
+            if name not in consumed:
+                yield module.finding(
+                    "REP403",
+                    f"registered header {name} has no consumer — nothing in "
+                    "this module matches entry.tag against it, so senders "
+                    "pay for a header nobody reads",
+                    node,
+                    checker=self.name,
+                    symbol=name,
+                )
+
+    @staticmethod
+    def _header_constants(tree: ast.Module) -> dict[str, ast.Assign]:
+        """Module-level ``X_HEADER = QName(...)`` declarations."""
+        out: dict[str, ast.Assign] = {}
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            ctor = dotted_name(node.value.func).split(".")[-1]
+            if ctor not in QNAME_CONSTRUCTORS:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id.endswith(HEADER_SUFFIX)
+                    and not target.id.startswith("_")
+                ):
+                    out[target.id] = node
+        return out
+
+    @staticmethod
+    def _names_passed_to(tree: ast.Module, funcs: set[str]) -> set[str]:
+        """Names appearing as arguments to calls of any function in *funcs*."""
+        found: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func).split(".")[-1]
+            if callee not in funcs:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name):
+                    found.add(arg.id)
+                elif isinstance(arg, ast.Attribute):
+                    found.add(arg.attr)
+        return found
+
+    @staticmethod
+    def _names_compared(tree: ast.Module) -> set[str]:
+        """Names appearing on either side of an ``==``/``!=`` comparison
+        (the decode idiom: ``entry.tag == X_HEADER``)."""
+        found: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            for side in [node.left, *node.comparators]:
+                name = dotted_name(side).split(".")[-1]
+                if name:
+                    found.add(name)
+        return found

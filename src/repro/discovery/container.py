@@ -76,8 +76,8 @@ class MetadataContainer:
         """Yield (path, container) for this node and every descendant."""
         path = f"{prefix}/{self.name}" if prefix or self.name else self.name
         yield path, self
-        for child in self.children.values():
-            yield from child.walk(path)
+        for name in sorted(self.children):
+            yield from self.children[name].walk(path)
 
     def query(
         self,
@@ -110,11 +110,11 @@ class MetadataContainer:
 
     def to_xml(self) -> XmlElement:
         node = XmlElement("container", {"name": self.name})
-        for key, values in self.metadata.items():
+        for key, values in sorted(self.metadata.items()):
             for value in values:
                 node.child("meta", text=value).set("key", key)
-        for child in self.children.values():
-            node.append(child.to_xml())
+        for name in sorted(self.children):
+            node.append(self.children[name].to_xml())
         return node
 
     def serialize(self, indent: int | None = 2) -> str:

@@ -26,7 +26,7 @@ class ContainerRegistry:
         """Register (or update) a service entry at *path* with structured
         metadata, e.g. ``{"queuing-system": ["PBS", "GRD"], "wsdl": url}``."""
         node = self.root.ensure_path(path)
-        for key, value in metadata.items():
+        for key, value in sorted(metadata.items()):
             values = [value] if isinstance(value, str) else list(value)
             node.set_meta(key, *values)
 

@@ -15,6 +15,7 @@ so it crosses provider boundaries exactly like the deadline does.
 from __future__ import annotations
 
 from repro.durability.journal import Journal
+from repro.headers import register_header
 from repro.xmlutil.element import XmlElement
 from repro.xmlutil.qname import QName
 
@@ -22,6 +23,11 @@ DURABILITY_NS = "urn:gce:durability"
 
 #: the SOAP header entry carrying the caller's idempotency key
 IDEMPOTENCY_HEADER = QName(DURABILITY_NS, "IdempotencyKey")
+register_header(
+    IDEMPOTENCY_HEADER,
+    description="client-chosen key deduplicating retried submissions",
+    module=__name__,
+)
 
 
 def idempotency_header(key: str) -> XmlElement:

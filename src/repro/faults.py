@@ -77,18 +77,21 @@ class AuthenticationError(PortalError):
     unverifiable SAML assertion)."""
 
     code = "Portal.Authentication"
+    retryable = False  # a bad credential stays bad on retry
 
 
 class AuthorizationError(PortalError):
     """The caller is authenticated but not permitted to perform the action."""
 
     code = "Portal.Authorization"
+    retryable = False  # permission does not appear by retrying
 
 
 class ResourceNotFoundError(PortalError):
     """A named resource (file, collection, context, job, host) does not exist."""
 
     code = "Portal.ResourceNotFound"
+    retryable = False  # the name will still not exist
 
 
 class ResourceExhaustedError(PortalError):
@@ -104,6 +107,7 @@ class InvalidRequestError(PortalError):
     the service (bad job description, malformed XML payload, unknown queue)."""
 
     code = "Portal.InvalidRequest"
+    retryable = False  # the same request stays invalid
 
 
 class ServiceUnavailableError(PortalError):
@@ -117,6 +121,7 @@ class JobError(PortalError):
     """Job submission or execution failed on the computational backend."""
 
     code = "Portal.Job"
+    retryable = False  # resubmission is a policy decision, not a blind retry
 
 
 class DataTransferError(PortalError):
@@ -130,12 +135,14 @@ class ContextError(PortalError):
     """Context-manager specific failure (missing context, bad hierarchy)."""
 
     code = "Portal.Context"
+    retryable = False
 
 
 class DiscoveryError(PortalError):
     """Registry lookup/publication failure (UDDI or container hierarchy)."""
 
     code = "Portal.Discovery"
+    retryable = False
 
 
 class ServerBusyError(PortalError):
@@ -194,12 +201,14 @@ class DeadlineExceededError(PortalError):
     """
 
     code = "Portal.DeadlineExceeded"
+    retryable = False  # the time budget is already spent
 
 
 class SchemaError(PortalError):
     """An XML document failed schema validation or binding."""
 
     code = "Portal.Schema"
+    retryable = False  # the document will not validate twice
 
 
 _CODE_REGISTRY: dict[str, type[PortalError]] = {

@@ -15,6 +15,7 @@ faulted — load-management headers must never break a call.
 
 from __future__ import annotations
 
+from repro.headers import register_header
 from repro.xmlutil.element import XmlElement
 from repro.xmlutil.qname import QName
 
@@ -22,6 +23,11 @@ LOADMGMT_NS = "urn:gce:loadmgmt"
 
 #: the SOAP header entry naming the request's principal (lane)
 PRINCIPAL_HEADER = QName(LOADMGMT_NS, "Principal")
+register_header(
+    PRINCIPAL_HEADER,
+    description="requesting principal and priority class for fair queuing",
+    module=__name__,
+)
 
 
 def principal_header(name: str, priority: int = 0) -> XmlElement:

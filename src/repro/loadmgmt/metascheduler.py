@@ -433,7 +433,13 @@ class MetaSchedulerService:
     def placements(self, limit: int = 20) -> list[dict]:
         """The most recent placement decisions, oldest first."""
         rows = list(self._placements)
-        return rows[-int(limit):] if limit else rows
+        try:
+            count = int(limit) if limit else 0
+        except (TypeError, ValueError):
+            raise InvalidRequestError(
+                f"limit must be numeric, got {limit!r}"
+            ) from None
+        return rows[-count:] if count else rows
 
     def targets(self) -> list[dict]:
         """The full placement table: every contact with health and load."""

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 
 from repro.faults import PortalError
+from repro.headers import register_header
 from repro.transport.clock import SimClock
 from repro.transport.network import TransportError
 from repro.xmlutil.element import XmlElement
@@ -29,6 +30,11 @@ RESILIENCE_NS = "urn:gce:resilience"
 
 #: the SOAP header entry carrying the caller's absolute deadline
 DEADLINE_HEADER = QName(RESILIENCE_NS, "Deadline")
+register_header(
+    DEADLINE_HEADER,
+    description="absolute virtual-time deadline for the whole call chain",
+    module=__name__,
+)
 
 
 def is_retryable(exc: BaseException) -> bool:

@@ -221,7 +221,7 @@ class IuLegacyBatchScriptGenerator(IuBatchScriptGenerator):
         self._cm = context_manager
         self.placeholders_created = 0
 
-    def generateScript(
+    def generateScript(  # repro: ignore[REP301] - the legacy context-coupled signature is the point of experiment C4
         self, scheduler: str, params: dict[str, Any], context: str = ""
     ) -> str:
         if context:

@@ -60,8 +60,8 @@ class ContextNode:
             node.child("property", text=value).set("key", key)
         if self.descriptor:
             node.child("descriptor", text=self.descriptor)
-        for child in self.children.values():
-            node.append(child.to_xml())
+        for name in sorted(self.children):
+            node.append(self.children[name].to_xml())
         return node
 
     @staticmethod
@@ -653,7 +653,8 @@ class ContextManagerService:
         root = self.store.root.children.get("__placeholder__")
         if root is None:
             return 0
-        return sum(len(problem.children) for problem in root.children.values())
+        # a sum is order-independent, so insertion-order iteration is harmless here
+        return sum(len(problem.children) for problem in root.children.values())  # repro: ignore[REP104]
 
     # ---- module contexts (service implementations live in contexts too) ----------------------
 

@@ -74,7 +74,10 @@ def jobs_from_xml(
     unplaced documents and fills the hosts in; execution services keep the
     strict default.
     """
-    root = parse_xml(text)
+    try:
+        root = parse_xml(text)
+    except ValueError as err:
+        raise InvalidRequestError(f"malformed job document: {err}") from None
     if root.tag.local != "jobs":
         raise InvalidRequestError(f"expected <jobs> document, got <{root.tag.local}>")
     out: list[tuple[str, JobSpec]] = []
@@ -82,15 +85,22 @@ def jobs_from_xml(
         contact = job.get("host", "") or ""
         if not contact and require_host:
             raise InvalidRequestError("<job> element lacks a host attribute")
+        try:
+            cpus = int(job.findtext("count", "1") or 1)
+            wallclock = float(job.findtext("maxWallTime", "3600") or 3600)
+        except (TypeError, ValueError):
+            raise InvalidRequestError(
+                "<job> count/maxWallTime must be numeric"
+            ) from None
         spec = JobSpec(
             name=job.findtext("name", "job") or "job",
             executable=job.findtext("executable"),
             # an empty <argument/> is a legitimate empty-string argument,
             # never None — generators emit one for args like ""
             arguments=[arg.text or "" for arg in job.findall("argument")],
-            cpus=int(job.findtext("count", "1") or 1),
+            cpus=cpus,
             queue=job.findtext("queue", "") or "",
-            wallclock_limit=float(job.findtext("maxWallTime", "3600") or 3600),
+            wallclock_limit=wallclock,
         )
         if not spec.executable:
             raise InvalidRequestError("<job> element lacks an executable")
@@ -275,13 +285,21 @@ class GlobusrunService:
         max_wall_time: int,
     ) -> str:
         """Plain-strings job execution; returns the job output as a string."""
+        try:
+            cpus = int(count) if count else 1
+            wallclock = float(max_wall_time) if max_wall_time else 3600.0
+        except (TypeError, ValueError):
+            raise InvalidRequestError(
+                "count/max_wall_time must be numeric",
+                {"count": str(count), "max_wall_time": str(max_wall_time)},
+            ) from None
         spec = JobSpec(
             name="globusrun",
             executable=executable,
             arguments=arguments.split() if arguments else [],
-            cpus=int(count) if count else 1,
+            cpus=cpus,
             queue=queue,
-            wallclock_limit=float(max_wall_time) if max_wall_time else 3600.0,
+            wallclock_limit=wallclock,
         )
         _job_id, stdout, exit_code = self._run_one(host, spec, key=current_key())
         if exit_code != 0:

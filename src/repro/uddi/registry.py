@@ -108,7 +108,7 @@ class UddiRegistry:
     def find_business(self, name_pattern: str = "") -> list[BusinessEntity]:
         return [
             entity
-            for entity in self._businesses.values()
+            for entity in sorted(self._businesses.values(), key=lambda e: e.key)
             if self._name_matches(name_pattern, entity.name)
         ]
 
@@ -127,7 +127,7 @@ class UddiRegistry:
         paper used: a case-insensitive substring scan over descriptions.
         """
         results: list[BusinessService] = []
-        for service in self._services.values():
+        for service in sorted(self._services.values(), key=lambda s: s.key):
             if business_key and service.business_key != business_key:
                 continue
             if not self._name_matches(name_pattern, service.name):
@@ -149,7 +149,7 @@ class UddiRegistry:
     def find_tmodel(self, name_pattern: str = "") -> list[TModel]:
         return [
             tm
-            for tm in self._tmodels.values()
+            for tm in sorted(self._tmodels.values(), key=lambda t: t.key)
             if self._name_matches(name_pattern, tm.name)
         ]
 
@@ -174,6 +174,6 @@ class UddiRegistry:
         script interface' query."""
         return [
             service
-            for service in self._services.values()
+            for service in sorted(self._services.values(), key=lambda s: s.key)
             if any(tmodel_key in b.tmodel_keys for b in service.bindings)
         ]

@@ -195,7 +195,8 @@ class BindingGenerator:
         registry: dict[str, type[BoundObject]] = {}
         for name, ctype in self.schema.complex_types.items():
             registry[name] = self._generate_class(ctype, registry)
-        for cls in registry.values():
+        # backpatching every class with the same mapping is order-independent
+        for cls in registry.values():  # repro: ignore[REP104]
             cls._registry = registry  # type: ignore[attr-defined]
         return registry
 

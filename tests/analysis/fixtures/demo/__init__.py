@@ -1,0 +1,6 @@
+"""A deliberately unhealthy miniature portal package.
+
+Every module here seeds known violations for the analyzer's own tests;
+the expected finding codes are noted next to each sin.  Nothing imports
+this package at runtime — it exists to be *analyzed*, not executed.
+"""

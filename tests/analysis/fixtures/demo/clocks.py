@@ -1,0 +1,22 @@
+"""Determinism sins: wall clocks, ambient dates, unseeded randomness."""
+
+import random
+import time
+from datetime import datetime
+
+
+def naughty_now() -> float:
+    return time.time()  # expected: REP101
+
+
+def naughty_today() -> str:
+    return datetime.now().isoformat()  # expected: REP102
+
+
+def naughty_jitter() -> float:
+    rng = random.Random()  # expected: REP103 (no seed)
+    return rng.random() + random.random()  # expected: REP103 (module call)
+
+
+def naughty_order(registry: dict) -> list[str]:
+    return [key for key, _value in registry.items()]  # expected: REP104

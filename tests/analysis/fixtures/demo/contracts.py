@@ -1,0 +1,43 @@
+"""Contract-drift sins: WSDL literals and implementations disagreeing."""
+
+from repro.soap.server import SoapService
+from repro.wsdl.model import WsdlDocument, WsdlOperation, WsdlPart
+
+DEMO_NS = "urn:demo"
+
+
+def demo_interface_wsdl(endpoint: str) -> WsdlDocument:
+    return WsdlDocument(
+        service_name="Demo",
+        target_namespace=DEMO_NS,
+        endpoint=endpoint,
+        operations=[
+            WsdlOperation("ping", "liveness probe", [WsdlPart("token", "xsd:string")]),
+            WsdlOperation("echo", "returns its input", [WsdlPart("text", "xsd:string")]),
+        ],
+    )
+
+
+class DemoImpl:
+    def ping(self, token: str, extra: str) -> str:  # expected: REP302 (2 args vs 1 part)
+        return token + extra
+
+    def echo(self, text: str) -> str:
+        return text
+
+
+class DemoChild(DemoImpl):
+    def echo(self, message: str) -> str:  # expected: REP301 (renamed parameter)
+        return message
+
+
+class DemoSibling(DemoImpl):
+    def ping(self, token: str, extra: str = "") -> str:  # expected: REP303 (1 required vs 2)
+        return token + extra
+
+
+def deploy_demo_impl(soap: SoapService) -> DemoImpl:
+    impl = DemoImpl()
+    soap.expose(impl.ping)
+    soap.expose(impl.echo)
+    return impl

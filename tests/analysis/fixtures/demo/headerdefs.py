@@ -1,0 +1,13 @@
+"""Header-discipline sins: unregistered and half-wired SOAP headers."""
+
+from repro.headers import register_header
+from repro.xmlutil.qname import QName
+
+DEMO_NS = "urn:demo"
+
+#: never registered
+ORPHAN_HEADER = QName(DEMO_NS, "Orphan")  # expected: REP401
+
+#: registered but with neither encoder nor consumer
+SILENT_HEADER = QName(DEMO_NS, "Silent")  # expected: REP402 + REP403
+register_header(SILENT_HEADER, description="goes nowhere", module=__name__)

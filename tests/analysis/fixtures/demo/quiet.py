@@ -1,0 +1,11 @@
+"""Suppression behaviour: one earned suppression, one unused."""
+
+import time
+
+
+def stamped() -> float:
+    return time.time()  # repro: ignore[REP101] - fixture exercises suppression
+
+
+def spare() -> int:
+    return 1  # repro: ignore[REP104] - expected: REP001 (matches nothing)

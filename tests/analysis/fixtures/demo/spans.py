@@ -1,0 +1,20 @@
+"""Resource-hygiene sins: spans leaked and dropped."""
+
+
+def leaky(obs, work):
+    span = obs.tracer.start("leaky")  # expected: REP501 (no finally, no tail pair)
+    result = work()
+    obs.tracer.end(span)
+    return result
+
+
+def droppy(obs):
+    obs.tracer.start("droppy")  # expected: REP502 (handle dropped)
+
+
+def careful(obs, work):
+    span = obs.tracer.start("careful")  # clean: released in finally
+    try:
+        return work()
+    finally:
+        obs.tracer.end(span)

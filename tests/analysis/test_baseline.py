@@ -1,0 +1,105 @@
+"""Baseline mechanics: apply, multiset matching, ratchet, reasons."""
+
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    Baseline,
+    apply_baseline,
+    write_baseline,
+)
+from repro.analysis.core import Finding, Severity
+
+
+def _finding(message: str, line: int = 1, path: str = "pkg/mod.py") -> Finding:
+    return Finding(
+        code="REP101", message=message, path=path, line=line, col=0,
+        severity=Severity.ERROR, checker="determinism",
+    )
+
+
+def _baseline_of(*findings: Finding) -> Baseline:
+    return Baseline(entries=[
+        {
+            "fingerprint": f.fingerprint(),
+            "code": f.code,
+            "path": f.path,
+            "message": f.message,
+        }
+        for f in findings
+    ])
+
+
+def test_baselined_findings_do_not_fail():
+    f = _finding("wall clock")
+    split = apply_baseline([f], _baseline_of(f))
+    assert split.new == []
+    assert split.baselined == [f]
+    assert split.stale == []
+
+
+def test_new_finding_stays_new():
+    known, fresh = _finding("known"), _finding("fresh")
+    split = apply_baseline([known, fresh], _baseline_of(known))
+    assert split.new == [fresh]
+    assert split.baselined == [known]
+
+
+def test_multiset_semantics_count_duplicates():
+    # identical message on two lines -> same fingerprint twice; a baseline
+    # holding one occurrence absorbs exactly one
+    first, second = _finding("dup", line=3), _finding("dup", line=9)
+    split = apply_baseline([first, second], _baseline_of(first))
+    assert len(split.baselined) == 1
+    assert len(split.new) == 1
+
+
+def test_fixed_finding_surfaces_as_stale():
+    fixed = _finding("already fixed")
+    split = apply_baseline([], _baseline_of(fixed))
+    assert split.new == []
+    assert [e["message"] for e in split.stale] == ["already fixed"]
+
+
+def test_moved_finding_still_matches():
+    # fingerprints ignore line numbers: shifting code does not invalidate
+    # the baseline
+    original = _finding("stable", line=10)
+    moved = _finding("stable", line=99)
+    split = apply_baseline([moved], _baseline_of(original))
+    assert split.new == []
+
+
+def test_write_baseline_ratchets_and_keeps_reasons(tmp_path: Path):
+    keep, fix = _finding("deliberate"), _finding("to be fixed")
+    path = tmp_path / "baseline.json"
+    write_baseline([keep, fix], path)
+
+    # attach a justification, as the review workflow does, by hand-editing
+    loaded = Baseline.load(path)
+    for entry in loaded.entries:
+        if entry["message"] == "deliberate":
+            entry["reason"] = "paper-mandated deviation"
+    loaded.save()
+
+    # the ratchet: rewrite with only the surviving finding
+    reasons = {
+        e["fingerprint"]: e["reason"]
+        for e in Baseline.load(path).entries
+        if e.get("reason")
+    }
+    written = write_baseline([keep], path, reasons=reasons)
+    assert len(written) == 1
+    entry = Baseline.load(path).entries[0]
+    assert entry["message"] == "deliberate"
+    assert entry["reason"] == "paper-mandated deviation"
+
+
+def test_load_rejects_unknown_version(tmp_path: Path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text('{"version": 99, "entries": []}', encoding="utf-8")
+    try:
+        Baseline.load(bad)
+    except ValueError as err:
+        assert "version" in str(err)
+    else:
+        raise AssertionError("expected ValueError")

@@ -1,0 +1,160 @@
+"""ContractDriftChecker: REP301-REP303."""
+
+import textwrap
+
+from repro.analysis.checkers.contracts import ContractDriftChecker
+
+from tests.analysis.conftest import codes
+
+CHECKER = [ContractDriftChecker()]
+
+EXPOSED_BASE = """\
+class Base:
+    def op(self, left, right):
+        return left + right
+
+
+def deploy(soap):
+    impl = Base()
+    soap.expose(impl.op)
+"""
+
+
+def exposed_with(subclass: str) -> str:
+    """The exposed base plus a sibling/override, dedented to one module."""
+    return EXPOSED_BASE + "\n\n" + textwrap.dedent(subclass)
+
+
+def test_override_renaming_parameter_is_drift(analyze):
+    result = analyze({
+        "svc.py": exposed_with("""\
+            class Child(Base):
+                def op(self, lhs, rhs):
+                    return lhs + rhs
+        """)
+    }, checkers=CHECKER)
+    assert "REP301" in codes(result)
+
+
+def test_override_with_matching_surface_is_clean(analyze):
+    result = analyze({
+        "svc.py": exposed_with("""\
+            class Child(Base):
+                def op(self, left, right):
+                    return right + left
+        """)
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_override_annotation_conflict_is_drift(analyze):
+    result = analyze({
+        "svc.py": """\
+            class Base:
+                def op(self, value: str) -> str:
+                    return value
+
+
+            class Child(Base):
+                def op(self, value: int) -> str:
+                    return str(value)
+
+
+            def deploy(soap):
+                impl = Base()
+                soap.expose(impl.op)
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP301"]
+
+
+def test_unannotated_override_of_annotated_base_is_clean(analyze):
+    # annotations are compared only when both sides declare them
+    result = analyze({
+        "svc.py": """\
+            class Base:
+                def op(self, value: str) -> str:
+                    return value
+
+
+            class Child(Base):
+                def op(self, value):
+                    return value
+
+
+            def deploy(soap):
+                impl = Base()
+                soap.expose(impl.op)
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_interface_wsdl_arity_mismatch(analyze):
+    result = analyze({
+        "svc.py": """\
+            def demo_interface_wsdl(endpoint):
+                return WsdlDocument(
+                    service_name="Demo",
+                    target_namespace="urn:demo",
+                    endpoint=endpoint,
+                    operations=[
+                        WsdlOperation("op", "", [WsdlPart("a"), WsdlPart("b")]),
+                    ],
+                )
+
+
+            class Impl:
+                def op(self, a):
+                    return a
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP302"]
+
+
+def test_interface_wsdl_default_params_absorb_extra_parts(analyze):
+    result = analyze({
+        "svc.py": """\
+            def demo_interface_wsdl(endpoint):
+                return WsdlDocument(
+                    service_name="Demo",
+                    target_namespace="urn:demo",
+                    endpoint=endpoint,
+                    operations=[
+                        WsdlOperation("op", "", [WsdlPart("a"), WsdlPart("b")]),
+                    ],
+                )
+
+
+            class Impl:
+                def op(self, a, b=None, c=None):
+                    return a
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_sibling_required_arity_mismatch(analyze):
+    result = analyze({
+        "svc.py": exposed_with("""\
+            class Sibling(Base):
+                def op(self, left, right=None):
+                    return left
+        """)
+    }, checkers=CHECKER)
+    # same parameter names, but the required arity forks the port type
+    assert codes(result) == ["REP303"]
+
+
+def test_fixture_package_yields_all_three_codes():
+    from tests.analysis.conftest import FIXTURE_ROOT
+    from repro.analysis.runner import analyze_paths
+
+    result = analyze_paths(
+        [FIXTURE_ROOT / "demo" / "contracts.py"],
+        root=FIXTURE_ROOT,
+        checkers=CHECKER,
+    )
+    assert sorted({f.code for f in result.findings}) == [
+        "REP301", "REP302", "REP303",
+    ]

@@ -1,0 +1,120 @@
+"""FaultTaxonomyChecker: REP201-REP203."""
+
+from repro.analysis.checkers.faults import FaultTaxonomyChecker
+
+from tests.analysis.conftest import codes
+
+CHECKER = [FaultTaxonomyChecker()]
+
+
+def test_stdlib_raise_reachable_from_expose(analyze):
+    result = analyze({
+        "svc.py": """\
+            class Svc:
+                def op(self, x):
+                    if not x:
+                        raise ValueError("boom")
+                    return x
+
+
+            def deploy(soap):
+                impl = Svc()
+                soap.expose(impl.op)
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP201"]
+    assert result.findings[0].symbol == "Svc.op"
+
+
+def test_raise_in_helper_reached_through_self_call(analyze):
+    result = analyze({
+        "svc.py": """\
+            class Svc:
+                def op(self, x):
+                    return self._inner(x)
+
+                def _inner(self, x):
+                    raise KeyError(x)
+
+
+            def deploy(soap):
+                impl = Svc()
+                soap.expose(impl.op)
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP201"]
+    assert result.findings[0].symbol == "Svc._inner"
+
+
+def test_expose_object_covers_every_public_method(analyze):
+    result = analyze({
+        "svc.py": """\
+            class Svc:
+                def visible(self):
+                    raise RuntimeError("escapes")
+
+
+            def deploy(soap):
+                soap.expose_object(Svc())
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP201"]
+
+
+def test_portal_error_raise_is_clean(analyze):
+    result = analyze({
+        "svc.py": """\
+            from repro.faults import InvalidRequestError
+
+
+            class Svc:
+                def op(self, x):
+                    if not x:
+                        raise InvalidRequestError("x required")
+                    raise  # bare re-raise is fine
+                    err = InvalidRequestError("kept")
+                    raise err  # variable re-raise is out of static reach
+
+
+            def deploy(soap):
+                impl = Svc()
+                soap.expose(impl.op)
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_unexposed_class_raises_freely(analyze):
+    result = analyze({
+        "lib.py": """\
+            class Helper:
+                def op(self):
+                    raise ValueError("internal")
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_subclass_without_code_and_retryable(analyze):
+    result = analyze({
+        "errors.py": """\
+            from repro.faults import PortalError
+
+
+            class VagueError(PortalError):
+                pass
+
+
+            class HalfError(PortalError):
+                code = "Portal.Half"
+
+
+            class FullError(PortalError):
+                code = "Portal.Full"
+                retryable = True
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP202", "REP203", "REP203"]
+    assert [f.symbol for f in result.findings] == [
+        "VagueError", "VagueError", "HalfError",
+    ]

@@ -1,0 +1,110 @@
+"""HeaderDisciplineChecker: REP401-REP403."""
+
+from repro.analysis.checkers.headers import HeaderDisciplineChecker
+
+from tests.analysis.conftest import codes
+
+CHECKER = [HeaderDisciplineChecker()]
+
+FULLY_WIRED = """\
+    from repro.headers import register_header
+    from repro.xmlutil.element import XmlElement
+    from repro.xmlutil.qname import QName
+
+    DEMO_HEADER = QName("urn:demo", "Demo")
+    register_header(DEMO_HEADER, description="demo", module=__name__)
+
+
+    def demo_header(value):
+        return XmlElement(DEMO_HEADER, text=value)
+
+
+    def demo_from_headers(headers):
+        for entry in headers:
+            if entry.tag == DEMO_HEADER:
+                return entry.text
+        return None
+"""
+
+
+def test_fully_wired_header_is_clean(analyze):
+    assert codes(analyze({"mod.py": FULLY_WIRED}, checkers=CHECKER)) == []
+
+
+def test_unregistered_header_is_rep401(analyze):
+    result = analyze({
+        "mod.py": """\
+            from repro.xmlutil.qname import QName
+
+            LONE_HEADER = QName("urn:demo", "Lone")
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP401"]
+    assert result.findings[0].symbol == "LONE_HEADER"
+
+
+def test_registered_without_encoder_or_consumer(analyze):
+    result = analyze({
+        "mod.py": """\
+            from repro.headers import register_header
+            from repro.xmlutil.qname import QName
+
+            MUTE_HEADER = QName("urn:demo", "Mute")
+            register_header(MUTE_HEADER, module=__name__)
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP402", "REP403"]
+
+
+def test_not_equal_comparison_counts_as_consumer(analyze):
+    result = analyze({
+        "mod.py": """\
+            from repro.headers import register_header
+            from repro.xmlutil.element import XmlElement
+            from repro.xmlutil.qname import QName
+
+            SKIP_HEADER = QName("urn:demo", "Skip")
+            register_header(SKIP_HEADER, module=__name__)
+
+
+            def encode():
+                return XmlElement(SKIP_HEADER)
+
+
+            def decode(headers):
+                return [e for e in headers if e.tag != SKIP_HEADER]
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_private_constants_are_exempt(analyze):
+    # the SOAP envelope's own ``_HEADER`` element constant is structural,
+    # not part of the portal header vocabulary
+    result = analyze({
+        "mod.py": """\
+            from repro.xmlutil.qname import QName
+
+            _HEADER = QName("urn:soap", "Header")
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_real_header_modules_are_clean():
+    from pathlib import Path
+
+    from repro.analysis.runner import analyze_paths
+
+    root = Path(__file__).resolve().parents[2]
+    result = analyze_paths(
+        [
+            root / "src/repro/resilience/policy.py",
+            root / "src/repro/durability/idempotency.py",
+            root / "src/repro/loadmgmt/headers.py",
+            root / "src/repro/observability/context.py",
+        ],
+        root=root,
+        checkers=CHECKER,
+    )
+    assert codes(result) == []

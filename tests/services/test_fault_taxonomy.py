@@ -1,0 +1,94 @@
+"""External errors speak the common vocabulary (§3 of the paper).
+
+Regression suite for the fault-taxonomy contract: malformed requests to
+the job-submission surfaces come back as ``Portal.*`` faults that decode
+into :class:`~repro.faults.PortalError` subclasses with a stable code and
+an explicit retryable classification — never as opaque ``Server`` faults
+from a bare ``ValueError`` escaping SOAP dispatch.
+"""
+
+import pytest
+
+from repro.faults import InvalidRequestError, PortalError
+from repro.grid.resources import build_testbed
+from repro.loadmgmt.metascheduler import (
+    METASCHEDULER_NAMESPACE,
+    deploy_metascheduler,
+)
+from repro.services.jobsubmit import GLOBUSRUN_NAMESPACE, deploy_globusrun
+from repro.soap.client import SoapClient
+
+IDENTITY = "/O=G/CN=portal"
+
+
+@pytest.fixture
+def stack(network, ca):
+    testbed = build_testbed(network, ca)
+    cred = ca.issue_credential(IDENTITY, lifetime=10**6, now=0.0)
+    proxy = cred.sign_proxy(lifetime=10**5, now=0.0)
+    for resource in testbed.values():
+        resource.gatekeeper.add_gridmap_entry(IDENTITY, "portal")
+    _globusrun, globusrun_url = deploy_globusrun(network, testbed, proxy)
+    _meta, meta_url = deploy_metascheduler(
+        network, testbed, [globusrun_url], seed=7
+    )
+    return globusrun_url, meta_url
+
+
+def _client(network, url, ns):
+    return SoapClient(network, url, ns, source="ui")
+
+
+def test_globusrun_malformed_xml_is_invalid_request(network, stack):
+    globusrun_url, _ = stack
+    client = _client(network, globusrun_url, GLOBUSRUN_NAMESPACE)
+    with pytest.raises(InvalidRequestError) as exc_info:
+        client.call("run_xml", "<jobs><job>truncated")
+    assert exc_info.value.code == "Portal.InvalidRequest"
+    assert exc_info.value.retryable is False
+
+
+def test_globusrun_non_numeric_count_is_invalid_request(network, stack):
+    globusrun_url, _ = stack
+    client = _client(network, globusrun_url, GLOBUSRUN_NAMESPACE)
+    with pytest.raises(InvalidRequestError) as exc_info:
+        client.call("run", "modi4.iu.edu", "echo", "x", "three", "", 600)
+    assert exc_info.value.code == "Portal.InvalidRequest"
+    assert exc_info.value.retryable is False
+
+
+def test_metascheduler_malformed_xml_is_invalid_request(network, stack):
+    _, meta_url = stack
+    client = _client(network, meta_url, METASCHEDULER_NAMESPACE)
+    with pytest.raises(InvalidRequestError) as exc_info:
+        client.call("place", "not xml at all")
+    assert exc_info.value.code == "Portal.InvalidRequest"
+    assert exc_info.value.retryable is False
+
+
+def test_metascheduler_non_numeric_limit_is_invalid_request(network, stack):
+    _, meta_url = stack
+    client = _client(network, meta_url, METASCHEDULER_NAMESPACE)
+    with pytest.raises(InvalidRequestError) as exc_info:
+        client.call("placements", "many")
+    assert exc_info.value.code == "Portal.InvalidRequest"
+
+
+def test_no_bare_exceptions_escape_soap_dispatch(network, stack):
+    """Every malformed request decodes to a PortalError with a Portal.*
+    code and a boolean retryable — the interoperability contract."""
+    globusrun_url, meta_url = stack
+    attempts = [
+        (globusrun_url, GLOBUSRUN_NAMESPACE, "run_xml", ["<broken"]),
+        (globusrun_url, GLOBUSRUN_NAMESPACE,
+         "run", ["modi4.iu.edu", "echo", "x", "NaN-ish", "", "soon"]),
+        (meta_url, METASCHEDULER_NAMESPACE, "place", ["<broken"]),
+        (meta_url, METASCHEDULER_NAMESPACE, "placements", ["lots"]),
+    ]
+    for url, ns, op, args in attempts:
+        with pytest.raises(Exception) as exc_info:
+            _client(network, url, ns).call(op, *args)
+        err = exc_info.value
+        assert isinstance(err, PortalError), (op, type(err).__name__)
+        assert err.code.startswith("Portal."), (op, err.code)
+        assert isinstance(err.retryable, bool)

@@ -1,0 +1,103 @@
+"""Property test: WSDL generation and parsing are inverse operations.
+
+The paper's interoperability story depends on the WSDL surface being a
+faithful description of the live service: a client that builds its proxy
+from ``parse_wsdl(generate_wsdl(svc).serialize())`` must see exactly the
+operations (and input parts) the service dispatches.  This holds for
+every SOAP service the full portal deployment registers, and for
+arbitrary synthetic documents.
+"""
+
+from functools import lru_cache
+
+from hypothesis import given, settings, strategies as st
+
+from repro.portal import PortalDeployment
+from repro.soap.server import SoapService
+from repro.wsdl.model import (
+    WsdlDocument,
+    WsdlOperation,
+    WsdlPart,
+    generate_wsdl,
+    parse_wsdl,
+)
+
+
+@lru_cache(maxsize=1)
+def portal_catalog() -> tuple:
+    """Every SOAP service the full Figure 4 deployment registers, found by
+    walking the virtual network's HTTP servers and their mounted routes."""
+    deployment = PortalDeployment.build()
+    services = {}
+    for host in deployment.network.hosts():
+        server = deployment.network._hosts[host]
+        for path in getattr(server, "routes", lambda: [])():
+            handler = server._routes[path]
+            bound = getattr(handler, "__self__", None)
+            if isinstance(bound, SoapService):
+                services[(host, path)] = bound
+    assert len(services) >= 5, sorted(services)
+    return tuple(sorted(services.items()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_every_registered_service_round_trips(data):
+    (host, path), svc = data.draw(
+        st.sampled_from(portal_catalog()), label="service"
+    )
+    endpoint = f"http://{host}{path}"
+    generated = generate_wsdl(svc, endpoint)
+    parsed = parse_wsdl(generated.serialize())
+
+    assert parsed.service_name == generated.service_name
+    assert parsed.target_namespace == generated.target_namespace
+    assert parsed.endpoint == endpoint
+    assert parsed.operation_names() == generated.operation_names()
+    for op in generated.operations:
+        round_tripped = parsed.operation(op.name)
+        assert round_tripped is not None
+        assert [p.name for p in round_tripped.inputs] == [
+            p.name for p in op.inputs
+        ]
+    # and the WSDL surface matches the dispatch surface itself
+    assert set(parsed.operation_names()) == set(svc.methods)
+
+
+IDENT = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,15}", fullmatch=True)
+XSD_TYPES = st.sampled_from(["xsd:anyType", "xsd:string", "xsd:int"])
+
+OPERATIONS = st.lists(
+    st.builds(
+        WsdlOperation,
+        name=IDENT,
+        documentation=st.just(""),
+        inputs=st.lists(
+            st.builds(WsdlPart, name=IDENT, type=XSD_TYPES), max_size=4
+        ),
+        output=st.builds(WsdlPart, name=st.just("return"), type=XSD_TYPES),
+    ),
+    max_size=5,
+    unique_by=lambda op: op.name,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=IDENT, namespace=IDENT, operations=OPERATIONS)
+def test_synthetic_documents_round_trip(name, namespace, operations):
+    document = WsdlDocument(
+        service_name=name,
+        target_namespace=f"urn:{namespace}",
+        endpoint=f"http://{name}.example.org/soap",
+        operations=operations,
+    )
+    parsed = parse_wsdl(document.serialize())
+    assert parsed.service_name == document.service_name
+    assert parsed.target_namespace == document.target_namespace
+    assert parsed.endpoint == document.endpoint
+    assert parsed.operation_names() == document.operation_names()
+    for original, round_tripped in zip(document.operations, parsed.operations):
+        assert [(p.name, p.type) for p in round_tripped.inputs] == [
+            (p.name, p.type) for p in original.inputs
+        ]
+        assert round_tripped.output.type == original.output.type
