@@ -211,6 +211,38 @@ class SchemaError(PortalError):
     retryable = False  # the document will not validate twice
 
 
+class ReplicationError(PortalError):
+    """A replication-protocol failure (malformed sync payload, out-of-order
+    operation, region mismatch)."""
+
+    code = "Portal.Replication"
+    retryable = False  # a protocol violation does not heal on retry
+
+
+class QuorumLostError(ReplicationError):
+    """Too few replicas acknowledged a write to meet the configured quorum.
+
+    Retryable by construction: replicas come back (repair, partition heal,
+    hinted handoff) and the coordinator's operation log preserves the
+    write, so re-issuing against a healed quorum succeeds.
+    """
+
+    code = "Portal.QuorumLost"
+    retryable = True
+
+
+class StaleReadError(ReplicationError):
+    """A read could only be served by a replica whose staleness exceeds the
+    caller's bound (and the caller did not opt into stale reads).
+
+    Retryable: anti-entropy is converging the replica; the same read
+    against a healed region returns fresh data.
+    """
+
+    code = "Portal.StaleRead"
+    retryable = True
+
+
 _CODE_REGISTRY: dict[str, type[PortalError]] = {
     cls.code: cls
     for cls in (
@@ -228,6 +260,9 @@ _CODE_REGISTRY: dict[str, type[PortalError]] = {
         DiscoveryError,
         DeadlineExceededError,
         ServerBusyError,
+        ReplicationError,
+        QuorumLostError,
+        StaleReadError,
     )
 }
 

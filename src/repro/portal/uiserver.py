@@ -68,6 +68,7 @@ from repro.services.monitoring import (
     MONITORING_NAMESPACE,
     JobMonitoringService,
     MetricsPortlet,
+    ReplicationPortlet,
     ResilienceEventsPortlet,
     TraceViewPortlet,
     deploy_monitoring,
@@ -116,6 +117,9 @@ class PortalDeployment:
     metascheduler: MetaSchedulerService | None = None
     #: the registry of admission controllers guarding service endpoints
     load: LoadRegistry | None = None
+    #: the multi-region topology when built with ``regions`` (see
+    #: repro.replication) — None for the classic single-region portal
+    replication: object | None = None
 
     @staticmethod
     def build(
@@ -127,6 +131,8 @@ class PortalDeployment:
         admission_capacity: float = 64.0,
         admission_lanes: dict | None = None,
         metascheduler_policy: str = "least-loaded",
+        regions: tuple[str, ...] | None = None,
+        replication_seed: int = 0,
     ) -> "PortalDeployment":
         """Deploy the full architecture; ``users`` maps user -> password.
 
@@ -140,6 +146,13 @@ class PortalDeployment:
         ``admission_lanes`` maps principal -> :class:`~repro.loadmgmt.LaneConfig`
         for weighted fair sharing), and a MetaScheduler service is stood up
         over it with ``metascheduler_policy`` as the default placement policy.
+
+        ``regions`` (e.g. ``("iu", "sdsc")``) additionally stands up the
+        multi-region replication topology of :mod:`repro.replication` — a
+        replicated registry + context replica per region, seeded
+        anti-entropy gossip, and quorum context writes — wired into the
+        resilience log and the monitoring service's
+        ``replication_summary`` view.
         """
         network = network or VirtualNetwork()
         users = dict(users or {"alice": "alpine", "bob": "builder"})
@@ -205,9 +218,16 @@ class PortalDeployment:
             network, testbed, [globusrun_url],
             policy=metascheduler_policy, seed=observe_seed, log=resilience,
         )
+        replication = None
+        if regions:
+            from repro.replication import MultiRegionReplication
+
+            replication = MultiRegionReplication.build(
+                network, tuple(regions), seed=replication_seed, log=resilience,
+            )
         monitoring, monitoring_url = deploy_monitoring(
             network, testbed, resilience_log=resilience,
-            observability=observability, load=load,
+            observability=observability, load=load, replication=replication,
         )
         srb_ws, srb_ws_url = deploy_srb_service(network, scommands)
         context, context_url = deploy_context_manager(network)
@@ -296,6 +316,7 @@ class PortalDeployment:
             observability=observability,
             metascheduler=metascheduler,
             load=load,
+            replication=replication,
             endpoints={
                 **({"traces": traces_url} if traces_url else {}),
                 "auth": auth_url,
@@ -423,6 +444,16 @@ class UserInterfaceServer:
     def add_metrics_portlet(self) -> MetricsPortlet:
         """Register the RED-metrics window with the portlet container."""
         portlet = MetricsPortlet(
+            self.network,
+            self.deployment.endpoints["monitoring"],
+            source=self.host,
+        )
+        self.container.add_local_portlet(portlet)
+        return portlet
+
+    def add_replication_portlet(self) -> ReplicationPortlet:
+        """Register the multi-region replication window with the container."""
+        portlet = ReplicationPortlet(
             self.network,
             self.deployment.endpoints["monitoring"],
             source=self.host,

@@ -1,0 +1,71 @@
+"""Partition-tolerant multi-region replication (ROADMAP item 3).
+
+The paper's §6 "distributed operating system" vision needs its registries
+and session state to span sites; this package makes the discovery
+hierarchy, UDDI registry, and context store survive host crashes and
+network partitions on the deterministic virtual clock:
+
+- :mod:`~repro.replication.store` — LWW element maps with version vectors
+  and merkle-style digests (the convergence substrate);
+- :mod:`~repro.replication.service` — the per-region SOAP replication
+  endpoint and seeded anti-entropy gossip;
+- :mod:`~repro.replication.registry` — discovery + UDDI materialized over
+  the replicated keyspace, with region-prefixed UDDI keys;
+- :mod:`~repro.replication.context` — quorum context writes with hinted
+  handoff and explicitly-marked stale reads;
+- :mod:`~repro.replication.routing` — region-aware failover preferring
+  local replicas;
+- :mod:`~repro.replication.deploy` — one-call multi-region topology.
+"""
+
+from repro.replication.context import (
+    ContextReplicaService,
+    ReplicatedContextStore,
+    apply_context_op,
+    deploy_context_replica,
+)
+from repro.replication.deploy import (
+    MultiRegionReplication,
+    RegionNode,
+    region_host,
+)
+from repro.replication.headers import (
+    REPLICA_HEADER,
+    REPLICATION_NS,
+    replica_from_headers,
+    replica_header,
+)
+from repro.replication.registry import ReplicatedRegistry
+from repro.replication.routing import RegionAwareFailoverClient
+from repro.replication.service import (
+    AntiEntropySession,
+    GossipScheduler,
+    ReplicationPeer,
+    ReplicationService,
+    deploy_replication,
+)
+from repro.replication.store import Entry, ReplicatedStore, Version
+
+__all__ = [
+    "AntiEntropySession",
+    "ContextReplicaService",
+    "Entry",
+    "GossipScheduler",
+    "MultiRegionReplication",
+    "REPLICATION_NS",
+    "REPLICA_HEADER",
+    "RegionAwareFailoverClient",
+    "RegionNode",
+    "ReplicatedContextStore",
+    "ReplicatedRegistry",
+    "ReplicatedStore",
+    "ReplicationPeer",
+    "ReplicationService",
+    "Version",
+    "apply_context_op",
+    "deploy_context_replica",
+    "deploy_replication",
+    "region_host",
+    "replica_from_headers",
+    "replica_header",
+]

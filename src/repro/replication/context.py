@@ -1,0 +1,430 @@
+"""Quorum-replicated context state with hinted handoff.
+
+The registry replicates lazily (anti-entropy) because discovery metadata
+tolerates staleness; a user's *session* does not — the paper's §3.3 context
+tree is the portal's memory of the user's work, and an acknowledged write
+must never vanish.  So context replication is synchronous: a coordinator
+assigns every mutation a sequence number, offers it to every region's
+:class:`ContextReplicaService`, and acknowledges the caller only once a
+*quorum* of replicas applied it.  Fewer than quorum ⇒
+:class:`~repro.faults.QuorumLostError` (retryable: the op stays in the
+coordinator's log and heals forward).
+
+Replicas that missed ops — down, partitioned, or freshly restarted with an
+empty store — are healed by *hinted handoff*: the coordinator's log keeps
+every op, a per-replica watermark tracks the highest contiguously-applied
+sequence, and :meth:`ReplicatedContextStore.flush_hints` replays the gap in
+order.  A replica restarting from nothing reports ``applied_seq == 0`` and
+is simply replayed from the beginning — full state transfer is just a
+big hint gap.
+
+Reads prefer the local region and fall back across regions; a replica
+answering from behind the coordinator's log is an *explicitly stale* read,
+surfaced as a ``Replication.StaleRead`` resilience event (and therefore on
+the current span) with the lag in ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.faults import (
+    ContextError,
+    PortalError,
+    QuorumLostError,
+    StaleReadError,
+)
+from repro.replication.headers import REPLICATION_NS, replica_header
+from repro.resilience.events import HANDOFF, HINT, STALE_READ, ResilienceLog
+from repro.services.context import CONTEXT_NAMESPACE, ContextStore
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapService
+from repro.transport.network import TransportError, VirtualNetwork
+from repro.transport.server import HttpServer
+from repro.xmlutil.element import XmlElement
+
+REPLICA_CONTEXT_NAMESPACE = CONTEXT_NAMESPACE + ":replica"
+
+
+def apply_context_op(store: ContextStore, kind: str, data: dict[str, Any]) -> None:
+    """Apply one logged mutation to a plain store (shared by the replicas
+    and the coordinator's validating copy, so both stay bit-for-bit in
+    step with the op log)."""
+    if kind == "ctx-create":
+        store.create(data["path"], placeholder=bool(data.get("placeholder")))
+    elif kind == "ctx-remove":
+        store.remove(data["path"])
+    elif kind == "ctx-rename":
+        store.rename(data["path"], data["new"])
+    elif kind == "ctx-copy":
+        store.copy(data["src"], data["dst"])
+    elif kind == "ctx-prop-set":
+        store.set_property(data["path"], data["key"], data["value"])
+    elif kind == "ctx-prop-del":
+        store.remove_property(data["path"], data["key"])
+    elif kind == "ctx-prop-clear":
+        store.clear_properties(data["path"])
+    elif kind == "ctx-desc":
+        store.set_descriptor(data["path"], data["descriptor"])
+    elif kind == "ctx-archive":
+        store.archive(data["path"], key=data["key"])
+    elif kind == "ctx-restore":
+        store.restore(data["key"], data["path"])
+    elif kind == "ctx-archive-del":
+        store.remove_archive(data["key"])
+    elif kind == "ctx-import":
+        store.import_node(data["parent"], data["xml"])
+    else:
+        raise ContextError(f"unknown context op kind {kind!r}", {"kind": kind})
+
+
+class ContextReplicaService:
+    """One region's context replica: a plain store plus an op applier.
+
+    Ops arrive as ``(seq, kind, data)`` where *kind* is a ``ctx-*`` journal
+    kind; application is idempotent (a seq at or below the watermark is
+    skipped, and gaps are refused so state never diverges from the log).
+    """
+
+    def __init__(self, region: str, store: ContextStore | None = None, *, clock=None):
+        self.region = region
+        self.store = store or ContextStore(clock)
+        self.applied = 0
+        self.ops_applied = 0
+
+    def apply_op(self, seq: int, kind: str, data: dict[str, Any]) -> int:
+        """Apply one op; returns the new watermark.
+
+        Already-applied seqs are acknowledged again without effect (the
+        coordinator may re-offer during handoff); a gap faults — the
+        coordinator must replay the missing prefix first.
+        """
+        seq = int(seq)
+        if seq <= self.applied:
+            return self.applied
+        if seq != self.applied + 1:
+            raise ContextError(
+                f"op gap at replica {self.region}: got seq {seq}, "
+                f"applied {self.applied}",
+                {"seq": str(seq), "applied": str(self.applied)},
+            )
+        apply_context_op(self.store, kind, data)
+        self.applied = seq
+        self.ops_applied += 1
+        return self.applied
+
+    def applied_seq(self) -> int:
+        """The replica's watermark (for handoff reconciliation)."""
+        return self.applied
+
+    def read(self, path: str) -> dict[str, Any]:
+        """One node's XML plus the watermark it reflects."""
+        node = self.store.node(path)
+        return {"xml": node.to_xml().serialize(), "seq": self.applied}
+
+    def snapshot(self) -> dict[str, Any]:
+        """The replica's comparable durable state plus its watermark."""
+        return {"state": self.store.snapshot(), "seq": self.applied}
+
+
+def deploy_context_replica(
+    network: VirtualNetwork,
+    host: str,
+    region: str,
+    *,
+    server: HttpServer | None = None,
+) -> tuple[ContextReplicaService, str]:
+    """Mount a region's context replica; returns (impl, endpoint URL)."""
+    impl = ContextReplicaService(region, clock=network.clock)
+    server = server or HttpServer(host, network)
+    soap = SoapService("ContextReplica", REPLICA_CONTEXT_NAMESPACE)
+    soap.expose(impl.apply_op)
+    soap.expose(impl.applied_seq)
+    soap.expose(impl.read)
+    soap.expose(impl.snapshot)
+    return impl, soap.mount(server, "/context-replica")
+
+
+@dataclass
+class ContextOp:
+    """One logged mutation."""
+
+    seq: int
+    kind: str
+    data: dict[str, Any]
+
+
+class ReplicatedContextStore:
+    """The write coordinator: quorum acks, a durable op log, hinted handoff.
+
+    ``replicas`` maps region name -> replica endpoint URL.  Writes offer the
+    op to every region in sorted order; reads go local-region-first through
+    the ordered replica list.  The coordinator is deliberately client-side
+    state (it lives with the UI server, the paper's session holder) — its
+    op log is the authoritative history, replicas are its projections.
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        replicas: dict[str, str],
+        *,
+        region: str,
+        quorum: int | None = None,
+        source: str = "portal",
+        log: ResilienceLog | None = None,
+        write_timeout: float = 5.0,
+    ):
+        if not replicas:
+            raise ContextError("replicated context store needs replicas")
+        self.network = network
+        self.clock = network.clock
+        self.region = region
+        self.regions = sorted(replicas)
+        self.quorum = quorum if quorum is not None else len(replicas) // 2 + 1
+        if not 1 <= self.quorum <= len(replicas):
+            raise ContextError(
+                f"quorum {self.quorum} impossible with {len(replicas)} replicas"
+            )
+        self.log = log
+        self.write_timeout = write_timeout
+        #: the coordinator's validating copy: every op is applied here
+        #: *before* it is logged, so an invalid mutation (bad path, dup
+        #: rename) faults immediately and can never poison the op log that
+        #: handoff replays
+        self.local = ContextStore(network.clock)
+        self.oplog: list[ContextOp] = []
+        #: region -> highest seq we have confirmed applied there
+        self.acked: dict[str, int] = {name: 0 for name in self.regions}
+        self.writes_acknowledged = 0
+        self.stale_reads_served = 0
+        self.hints_replayed = 0
+        self._clients: dict[str, SoapClient] = {}
+        for name in self.regions:
+            client = SoapClient(
+                network,
+                replicas[name],
+                REPLICA_CONTEXT_NAMESPACE,
+                source=source,
+                service_name="context-replica",
+            )
+            client.add_header_provider(self._replica_headers)
+            self._clients[name] = client
+
+    def _replica_headers(self, method: str, params: list[Any]) -> list[XmlElement]:
+        return [replica_header(self.region, {"seq": len(self.oplog)})]
+
+    # -- the write path -------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        return len(self.oplog)
+
+    def _offer(self, name: str, op: ContextOp) -> bool:
+        """Push *op* (and any missing prefix) to one replica."""
+        client = self._clients[name]
+        behind = int(client.call("applied_seq", timeout=self.write_timeout))
+        if behind < self.acked[name]:
+            # the replica restarted with less state than we believed: our
+            # watermark was process gossip, its answer is ground truth
+            self.acked[name] = behind
+        for pending in self.oplog[behind:op.seq - 1]:
+            client.call(
+                "apply_op", pending.seq, pending.kind, pending.data,
+                timeout=self.write_timeout,
+            )
+        applied = int(client.call(
+            "apply_op", op.seq, op.kind, op.data, timeout=self.write_timeout
+        ))
+        self.acked[name] = max(self.acked[name], applied)
+        return applied >= op.seq
+
+    def write(self, kind: str, **data: Any) -> int:
+        """Log one mutation and replicate it to a quorum; returns its seq.
+
+        Replicas that cannot be reached keep the op as a *hint* (their
+        watermark stays behind); a quorum shortfall raises
+        :class:`QuorumLostError` — the op stays logged, so a later retry or
+        handoff still delivers it, but the caller knows the write was not
+        durably acknowledged.
+        """
+        apply_context_op(self.local, kind, dict(data))  # validate first
+        op = ContextOp(len(self.oplog) + 1, kind, dict(data))
+        self.oplog.append(op)
+        acks = 0
+        for name in self.regions:
+            try:
+                if self._offer(name, op):
+                    acks += 1
+            except (TransportError, ConnectionError, PortalError) as exc:
+                if self.log is not None:
+                    self.log.record(
+                        HINT,
+                        f"op {op.seq} ({kind}) hinted for region {name}: "
+                        f"{type(exc).__name__}",
+                        service="context-replication",
+                        operation=kind,
+                        detail={
+                            "region": name,
+                            "seq": str(op.seq),
+                            "error": type(exc).__name__,
+                        },
+                    )
+        if acks < self.quorum:
+            raise QuorumLostError(
+                f"op {op.seq} ({kind}) reached {acks}/{len(self.regions)} "
+                f"replicas, quorum is {self.quorum}",
+                {"seq": str(op.seq), "acks": str(acks), "quorum": str(self.quorum)},
+            )
+        self.writes_acknowledged += 1
+        return op.seq
+
+    # -- the mutation surface (mirrors ContextStore) --------------------------
+
+    def create(self, path: str, *, placeholder: bool = False) -> int:
+        return self.write("ctx-create", path=path, placeholder=placeholder)
+
+    def remove(self, path: str) -> int:
+        return self.write("ctx-remove", path=path)
+
+    def rename(self, path: str, new_name: str) -> int:
+        return self.write("ctx-rename", path=path, new=new_name)
+
+    def copy(self, src: str, dst: str) -> int:
+        return self.write("ctx-copy", src=src, dst=dst)
+
+    def set_property(self, path: str, key: str, value: str) -> int:
+        return self.write("ctx-prop-set", path=path, key=key, value=value)
+
+    def remove_property(self, path: str, key: str) -> int:
+        return self.write("ctx-prop-del", path=path, key=key)
+
+    def set_descriptor(self, path: str, descriptor: str) -> int:
+        return self.write("ctx-desc", path=path, descriptor=descriptor)
+
+    def archive(self, path: str, *, key: str = "") -> str:
+        key = key or f"{path.strip('/')}@{self.clock.now:.3f}"
+        self.write("ctx-archive", path=path, key=key)
+        return key
+
+    def restore(self, archive_key: str, path: str) -> int:
+        return self.write("ctx-restore", key=archive_key, path=path)
+
+    def import_node(self, parent_path: str, xml: str) -> int:
+        return self.write("ctx-import", parent=parent_path, xml=xml)
+
+    # -- hinted handoff -------------------------------------------------------
+
+    def hint_backlog(self) -> dict[str, int]:
+        """Per-region count of ops not yet confirmed applied there."""
+        return {name: self.seq - self.acked[name] for name in self.regions}
+
+    def flush_hints(self, name: str) -> int:
+        """Replay one region's hint gap in order; returns ops delivered.
+
+        Asks the replica where it actually is first — a crash-restarted
+        replica is simply a very large gap and gets the full log.
+        """
+        client = self._clients[name]
+        # the replica's own watermark is ground truth (it may have
+        # crash-restarted below our cached ack, or recovered above it)
+        behind = int(client.call("applied_seq", timeout=self.write_timeout))
+        self.acked[name] = behind
+        delivered = 0
+        for op in self.oplog[behind:]:
+            client.call(
+                "apply_op", op.seq, op.kind, op.data, timeout=self.write_timeout
+            )
+            self.acked[name] = op.seq
+            delivered += 1
+        if delivered and self.log is not None:
+            self.log.record(
+                HANDOFF,
+                f"replayed {delivered} hinted ops to region {name}",
+                service="context-replication",
+                operation="flush-hints",
+                detail={"region": name, "delivered": str(delivered)},
+            )
+        self.hints_replayed += delivered
+        return delivered
+
+    def sync_all(self) -> dict[str, int]:
+        """Flush hints to every reachable replica (the heal path)."""
+        delivered: dict[str, int] = {}
+        for name in self.regions:
+            try:
+                delivered[name] = self.flush_hints(name)
+            except (TransportError, ConnectionError, PortalError):
+                delivered[name] = -1  # still unreachable; hints kept
+        return delivered
+
+    # -- reads ----------------------------------------------------------------
+
+    def read_node(self, path: str, *, allow_stale: bool = True) -> dict[str, Any]:
+        """Read one node, local region first, any region under partition.
+
+        Returns ``{"xml", "seq", "stale", "lag"}``.  A replica behind the
+        op log yields ``stale=True`` with the lag in ops, recorded as a
+        ``Replication.StaleRead`` event (and so onto the current span);
+        with ``allow_stale=False`` it raises :class:`StaleReadError`
+        instead of degrading.
+        """
+        order = [self.region] + [n for n in self.regions if n != self.region]
+        last_error: BaseException | None = None
+        for name in order:
+            if name not in self._clients:
+                continue
+            try:
+                answer = self._clients[name].call(
+                    "read", path, timeout=self.write_timeout
+                )
+            except (TransportError, ConnectionError) as exc:
+                last_error = exc
+                continue
+            lag = self.seq - int(answer["seq"])
+            stale = lag > 0
+            if stale:
+                if not allow_stale:
+                    raise StaleReadError(
+                        f"replica {name} is {lag} ops behind for {path!r}",
+                        {"region": name, "lag": str(lag), "path": path},
+                    )
+                self.stale_reads_served += 1
+                if self.log is not None:
+                    self.log.record(
+                        STALE_READ,
+                        f"stale read of {path!r} from region {name} "
+                        f"({lag} ops behind)",
+                        service="context-replication",
+                        operation="read",
+                        detail={"region": name, "lag": str(lag), "path": path},
+                    )
+            return {
+                "xml": answer["xml"],
+                "seq": int(answer["seq"]),
+                "stale": stale,
+                "lag": lag,
+                "region": name,
+            }
+        raise QuorumLostError(
+            f"no replica answered a read of {path!r}",
+            {
+                "path": path,
+                "lastError": type(last_error).__name__ if last_error else "",
+            },
+        )
+
+    # -- the convergence witness ----------------------------------------------
+
+    def snapshots(self) -> dict[str, dict[str, Any]]:
+        """Every reachable replica's snapshot, for convergence assertions."""
+        out: dict[str, dict[str, Any]] = {}
+        for name in self.regions:
+            try:
+                out[name] = self._clients[name].call(
+                    "snapshot", timeout=self.write_timeout
+                )
+            except (TransportError, ConnectionError):
+                continue
+        return out

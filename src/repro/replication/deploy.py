@@ -1,0 +1,281 @@
+"""Multi-region deployment wiring: one call stands up the whole topology.
+
+:func:`MultiRegionReplication.build` gives every region a replica host
+carrying three services — the replicated registry's discovery facade, the
+anti-entropy replication endpoint, and the context replica — plus a
+coordinator for quorum context writes and a seeded gossip scheduler.  The
+bundle also knows how to *rebuild* a crashed region (fresh processes, state
+recovered by anti-entropy and hinted handoff), which is what the chaos
+monkey's restart hook calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.discovery.registry import DISCOVERY_NAMESPACE
+from repro.replication.context import (
+    ContextReplicaService,
+    ReplicatedContextStore,
+    deploy_context_replica,
+)
+from repro.replication.registry import ReplicatedRegistry
+from repro.replication.routing import RegionAwareFailoverClient
+from repro.replication.service import (
+    GossipScheduler,
+    ReplicationPeer,
+    ReplicationService,
+    deploy_replication,
+)
+from repro.replication.store import ReplicatedStore
+from repro.resilience.events import STALE_READ, ResilienceLog
+from repro.soap.server import SoapService
+from repro.transport.network import VirtualNetwork
+from repro.transport.server import HttpServer
+
+
+def region_host(region: str) -> str:
+    return f"replica.{region}.portal.org"
+
+
+@dataclass
+class RegionNode:
+    """Everything one region runs."""
+
+    region: str
+    host: str
+    store: ReplicatedStore
+    registry: ReplicatedRegistry
+    replication: ReplicationService
+    replication_endpoint: str
+    discovery_endpoint: str
+    context: ContextReplicaService
+    context_endpoint: str
+    peers: dict[str, ReplicationPeer] = field(default_factory=dict)
+
+
+class MultiRegionReplication:
+    """The assembled multi-region topology."""
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        regions: tuple[str, ...],
+        *,
+        seed: int = 0,
+        quorum: int | None = None,
+        log: ResilienceLog | None = None,
+        staleness_bound: float = 30.0,
+    ):
+        self.network = network
+        self.clock = network.clock
+        self.regions = tuple(sorted(regions))
+        self.log = log
+        #: a registry read from a region that has not synced within this
+        #: many virtual seconds is served, but marked (and recorded) stale
+        self.staleness_bound = staleness_bound
+        self.nodes: dict[str, RegionNode] = {}
+        self._seed = seed
+        for region in self.regions:
+            self.nodes[region] = self._build_region(region)
+        self._connect_peers()
+        self.gossip = GossipScheduler(
+            {
+                region: (node.store, node.peers)
+                for region, node in sorted(self.nodes.items())
+            },
+            clock=self.clock,
+            seed=seed,
+            log=log,
+        )
+        self.context = ReplicatedContextStore(
+            network,
+            {
+                region: node.context_endpoint
+                for region, node in sorted(self.nodes.items())
+            },
+            region=self.regions[0],
+            quorum=quorum,
+            log=log,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        network: VirtualNetwork,
+        regions: tuple[str, ...] = ("iu", "sdsc"),
+        *,
+        seed: int = 0,
+        quorum: int | None = None,
+        log: ResilienceLog | None = None,
+        staleness_bound: float = 30.0,
+    ) -> "MultiRegionReplication":
+        return cls(
+            network,
+            regions,
+            seed=seed,
+            quorum=quorum,
+            log=log,
+            staleness_bound=staleness_bound,
+        )
+
+    # -- region assembly ------------------------------------------------------
+
+    def _build_region(self, region: str) -> RegionNode:
+        host = region_host(region)
+        store = ReplicatedStore(region)
+        registry = ReplicatedRegistry(store)
+        server = HttpServer(host, self.network)
+        replication, replication_endpoint = deploy_replication(
+            self.network, host, store, server=server
+        )
+        discovery_endpoint = self._mount_discovery(registry, server)
+        context, context_endpoint = deploy_context_replica(
+            self.network, host, region, server=server
+        )
+        return RegionNode(
+            region=region,
+            host=host,
+            store=store,
+            registry=registry,
+            replication=replication,
+            replication_endpoint=replication_endpoint,
+            discovery_endpoint=discovery_endpoint,
+            context=context,
+            context_endpoint=context_endpoint,
+        )
+
+    def _mount_discovery(
+        self, registry: ReplicatedRegistry, server: HttpServer
+    ) -> str:
+        service = SoapService("ContainerDiscovery", DISCOVERY_NAMESPACE)
+        service.expose(registry.soap_register, "register")
+        service.expose(registry.soap_unregister, "unregister")
+        service.expose(registry.soap_query, "query")
+        service.expose(registry.soap_describe, "describe")
+        service.expose(registry.soap_children, "children")
+        return service.mount(server, "/discovery")
+
+    def _connect_peers(self) -> None:
+        for region, node in sorted(self.nodes.items()):
+            node.peers = {
+                other: ReplicationPeer(
+                    self.network,
+                    self.nodes[other].replication_endpoint,
+                    local_store=node.store,
+                    source=node.host,
+                )
+                for other in self.regions
+                if other != region
+            }
+
+    # -- chaos integration ----------------------------------------------------
+
+    def hosts(self) -> list[str]:
+        return [node.host for _, node in sorted(self.nodes.items())]
+
+    def region_groups(self) -> dict[str, tuple[str, ...]]:
+        """Host groups for ChaosMonkey region partitions."""
+        return {region: (region_host(region),) for region in self.regions}
+
+    def rebuilders(self) -> dict[str, Any]:
+        """Host -> closure re-deploying that region after a crash-repair."""
+        return {
+            region_host(region): (lambda r=region: self.rebuild_region(r))
+            for region in self.regions
+        }
+
+    def rebuild_region(self, region: str) -> RegionNode:
+        """Stand the region back up with empty process state.
+
+        Registry state returns via anti-entropy (a fresh store is just one
+        big digest difference); context state returns via hinted handoff (a
+        fresh replica reports watermark 0 and is replayed from the log).
+        """
+        node = self._build_region(region)
+        self.nodes[region] = node
+        self._connect_peers()
+        self.gossip.nodes[region] = (node.store, node.peers)
+        return node
+
+    # -- convergence and lag --------------------------------------------------
+
+    def run_anti_entropy(self, rounds: int = 1) -> int:
+        return self.gossip.run(rounds)
+
+    def converged(self) -> bool:
+        """True when every region holds byte-identical registry state."""
+        exports = {
+            node.registry.export_state()
+            for _, node in sorted(self.nodes.items())
+        }
+        return len(exports) <= 1
+
+    def registry_client(
+        self, region: str, **kwargs: Any
+    ) -> RegionAwareFailoverClient:
+        """A region-local discovery client failing over cross-region."""
+        return RegionAwareFailoverClient(
+            self.network,
+            {r: (node.discovery_endpoint,) for r, node in sorted(self.nodes.items())},
+            DISCOVERY_NAMESPACE,
+            region=region,
+            source=f"client.{region}",
+            resilience_log=self.log,
+            service_name="replicated-discovery",
+            **kwargs,
+        )
+
+    def query_registry(
+        self, region: str, where: dict[str, str], scope: str = ""
+    ) -> tuple[list[dict[str, Any]], bool]:
+        """Query one region's registry view; returns (rows, stale).
+
+        The answer is *stale* when the serving region has not completed an
+        anti-entropy exchange within the staleness bound — exactly the
+        partition case — and the degradation is surfaced as a
+        ``Replication.StaleRead`` event rather than hidden.
+        """
+        node = self.nodes[region]
+        rows = node.registry.soap_query(where, scope)
+        synced_at = self.gossip.last_sync.get(region)
+        stale = (
+            len(self.regions) > 1
+            and (synced_at is None
+                 or self.clock.now - synced_at > self.staleness_bound)
+        )
+        if stale and self.log is not None:
+            age = (
+                self.clock.now - synced_at if synced_at is not None else -1.0
+            )
+            self.log.record(
+                STALE_READ,
+                f"registry query served stale from region {region} "
+                f"(last sync {age:.3f}s ago)",
+                service="replicated-discovery",
+                operation="query",
+                detail={"region": region, "age": f"{age:.6f}"},
+            )
+        return rows, stale
+
+    def replication_rows(self) -> list[dict[str, Any]]:
+        """Per-region posture rows for the monitoring service."""
+        backlog = self.context.hint_backlog()
+        rows: list[dict[str, Any]] = []
+        for region, node in sorted(self.nodes.items()):
+            synced_at = self.gossip.last_sync.get(region)
+            rows.append({
+                "region": region,
+                "host": node.host,
+                "entries": len(node.store),
+                "digest": node.store.root_digest()[:12],
+                "lag_s": (
+                    round(self.clock.now - synced_at, 6)
+                    if synced_at is not None else -1.0
+                ),
+                "hint_backlog": backlog.get(region, 0),
+                "context_seq": node.context.applied,
+                "stale_reads": self.context.stale_reads_served,
+            })
+        return rows

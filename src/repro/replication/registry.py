@@ -1,0 +1,265 @@
+"""The replicated registry: discovery hierarchy + UDDI over one LWW store.
+
+A :class:`ReplicatedRegistry` is a region's read/write face over the shared
+registry keyspace.  Writes go into the region's
+:class:`~repro.replication.store.ReplicatedStore` (where anti-entropy can
+find them); reads go through *materialized views* — a plain
+:class:`~repro.discovery.registry.ContainerRegistry` and
+:class:`~repro.uddi.registry.UddiRegistry` rebuilt lazily whenever the
+store has moved — so the whole existing inquiry surface (path queries,
+UDDI find/get, WSDL metadata) works unchanged against replicated state.
+
+Keyspace layout (one flat LWW map):
+
+- ``disc:<path>``      — a discovery entry's metadata map
+- ``uddi:be:<key>``    — a businessEntity (``to_dict`` form)
+- ``uddi:bs:<key>``    — a businessService, bindings embedded
+- ``uddi:tm:<key>``    — a published tModel
+
+UDDI keys are *region-prefixed* (``uuid:be-iu-00000001``): each region
+allocates from its own namespace, so two regions publishing during a
+partition can never collide on a key — the failure mode the plain
+registry's global counter would hit immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.discovery.container import MetadataContainer
+from repro.discovery.registry import ContainerRegistry
+from repro.faults import DiscoveryError, InvalidRequestError
+from repro.replication.store import ReplicatedStore
+from repro.uddi.model import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    TModel,
+)
+from repro.uddi.registry import UddiRegistry
+
+DISC_PREFIX = "disc:"
+BUSINESS_PREFIX = "uddi:be:"
+SERVICE_PREFIX = "uddi:bs:"
+TMODEL_PREFIX = "uddi:tm:"
+
+
+class ReplicatedRegistry:
+    """One region's face over the replicated discovery/UDDI keyspace."""
+
+    def __init__(self, store: ReplicatedStore):
+        self.store = store
+        self.region = store.region
+        self._container = ContainerRegistry()
+        self._uddi = UddiRegistry()
+        self._materialized_at = -1
+
+    # -- materialization ------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Rebuild the local views if the store moved since the last build."""
+        if self.store.mutations == self._materialized_at:
+            return
+        container = ContainerRegistry()
+        uddi = UddiRegistry()
+        for key, value in self.store.items():
+            if key.startswith(DISC_PREFIX):
+                container.register_service(key[len(DISC_PREFIX):], value)
+            elif key.startswith(BUSINESS_PREFIX):
+                entity = BusinessEntity.from_dict(value)
+                uddi._businesses[entity.key] = entity
+            elif key.startswith(TMODEL_PREFIX):
+                tmodel = TModel.from_dict(value)
+                uddi._tmodels[tmodel.key] = tmodel
+        # services second: their business/category validation must see the
+        # merged businesses and tModels, not an arbitrary key-order prefix
+        for key, value in self.store.items():
+            if key.startswith(SERVICE_PREFIX):
+                service = BusinessService.from_dict(value)
+                uddi._services[service.key] = service
+        self._container = container
+        self._uddi = uddi
+        self._materialized_at = self.store.mutations
+
+    @property
+    def container(self) -> ContainerRegistry:
+        self.refresh()
+        return self._container
+
+    @property
+    def uddi(self) -> UddiRegistry:
+        self.refresh()
+        return self._uddi
+
+    # -- region-scoped UDDI key allocation -----------------------------------
+
+    def _next_key(self, store_prefix: str, kind: str) -> str:
+        """Allocate the next ``uuid:<kind>-<region>-<n>`` key.
+
+        The index resumes past the highest already present in the store for
+        this region, so a restarted region that re-synced its store never
+        re-issues a key it handed out in a previous life.
+        """
+        marker = f"uuid:{kind}-{self.region}-"
+        highest = 0
+        for key, _ in self.store.items():
+            if not key.startswith(store_prefix):
+                continue
+            raw = key[len(store_prefix):]
+            if raw.startswith(marker) and raw[len(marker):].isdigit():
+                highest = max(highest, int(raw[len(marker):]))
+        return f"{marker}{highest + 1:08d}"
+
+    # -- discovery writes -----------------------------------------------------
+
+    def register_service(
+        self, path: str, metadata: dict[str, list[str] | str]
+    ) -> str:
+        """Register (or update) a discovery entry; replicates to all regions."""
+        path = "/" + path.strip("/")
+        key = DISC_PREFIX + path
+        merged: dict[str, list[str]] = dict(self.store.get(key) or {})
+        for meta_key, value in sorted(metadata.items()):
+            merged[meta_key] = [value] if isinstance(value, str) else list(value)
+        self.store.put(key, merged)
+        return path
+
+    def unregister(self, path: str) -> None:
+        """Tombstone the entry at *path* and every entry beneath it."""
+        path = "/" + path.strip("/")
+        doomed = [
+            key for key, _ in self.store.items()
+            if key == DISC_PREFIX + path
+            or key.startswith(DISC_PREFIX + path + "/")
+        ]
+        if not doomed and self.container.root.lookup(path) is None:
+            raise DiscoveryError(f"no container at path {path!r}", {"path": path})
+        for key in doomed:
+            self.store.delete(key)
+
+    # -- discovery reads (the ContainerRegistry SOAP facade) ------------------
+
+    def soap_register(self, path: str, metadata: dict[str, Any]) -> str:
+        return self.register_service(path, metadata)
+
+    def soap_unregister(self, path: str) -> bool:
+        self.unregister(path)
+        return True
+
+    def soap_query(self, where: dict[str, Any], scope: str) -> list[dict[str, Any]]:
+        return self.container.soap_query(where, scope)
+
+    def soap_describe(self, path: str) -> str:
+        return self.container.soap_describe(path)
+
+    def soap_children(self, path: str) -> list[str]:
+        return self.container.soap_children(path)
+
+    # -- UDDI publish ---------------------------------------------------------
+
+    def save_business(self, entity: BusinessEntity) -> BusinessEntity:
+        if not entity.key:
+            entity.key = self._next_key(BUSINESS_PREFIX, "be")
+        self.store.put(BUSINESS_PREFIX + entity.key, entity.to_dict())
+        return entity
+
+    def save_tmodel(self, tmodel: TModel) -> TModel:
+        if not tmodel.key:
+            tmodel.key = self._next_key(TMODEL_PREFIX, "tm")
+        self.store.put(TMODEL_PREFIX + tmodel.key, tmodel.to_dict())
+        return tmodel
+
+    def save_service(self, service: BusinessService) -> BusinessService:
+        uddi = self.uddi
+        if (
+            service.business_key not in uddi._businesses
+            and not self.store.has(BUSINESS_PREFIX + service.business_key)
+        ):
+            raise DiscoveryError(
+                f"unknown businessKey {service.business_key!r}",
+                {"businessKey": service.business_key},
+            )
+        for ref in service.category_bag:
+            if ref.tmodel_key not in uddi._tmodels:
+                raise InvalidRequestError(
+                    f"categoryBag references unregistered tModel {ref.tmodel_key!r}",
+                    {"tModelKey": ref.tmodel_key},
+                )
+        if not service.key:
+            service.key = self._next_key(SERVICE_PREFIX, "bs")
+        for index, binding in enumerate(service.bindings, start=1):
+            if not binding.key:
+                binding.key = f"{service.key}-bt-{index:04d}"
+            binding.service_key = service.key
+        self.store.put(SERVICE_PREFIX + service.key, service.to_dict())
+        return service
+
+    def save_binding(self, binding: BindingTemplate) -> BindingTemplate:
+        """Attach a binding by rewriting its whole service entry (LWW is
+        per entry, so concurrent binding adds on *different* regions race —
+        the registry's documented staleness contract)."""
+        raw = self.store.get(SERVICE_PREFIX + binding.service_key)
+        if raw is None:
+            raise DiscoveryError(
+                f"unknown serviceKey {binding.service_key!r}",
+                {"serviceKey": binding.service_key},
+            )
+        service = BusinessService.from_dict(raw)
+        if not binding.key:
+            binding.key = (
+                f"{service.key}-bt-{len(service.bindings) + 1:04d}"
+            )
+        service.bindings.append(binding)
+        self.store.put(SERVICE_PREFIX + service.key, service.to_dict())
+        return binding
+
+    def delete_service(self, service_key: str) -> None:
+        if not self.store.has(SERVICE_PREFIX + service_key):
+            raise DiscoveryError(f"unknown serviceKey {service_key!r}")
+        self.store.delete(SERVICE_PREFIX + service_key)
+
+    # -- UDDI inquiry (delegated to the materialized view) --------------------
+
+    def find_business(self, name_pattern: str = "") -> list[BusinessEntity]:
+        return self.uddi.find_business(name_pattern)
+
+    def find_service(self, *args: Any, **kwargs: Any) -> list[BusinessService]:
+        return self.uddi.find_service(*args, **kwargs)
+
+    def find_tmodel(self, name_pattern: str = "") -> list[TModel]:
+        return self.uddi.find_tmodel(name_pattern)
+
+    def get_business_detail(self, key: str) -> BusinessEntity:
+        return self.uddi.get_business_detail(key)
+
+    def get_service_detail(self, key: str) -> BusinessService:
+        return self.uddi.get_service_detail(key)
+
+    def get_tmodel_detail(self, key: str) -> TModel:
+        return self.uddi.get_tmodel_detail(key)
+
+    def services_implementing(self, tmodel_key: str) -> list[BusinessService]:
+        return self.uddi.services_implementing(tmodel_key)
+
+    # -- the convergence witness ----------------------------------------------
+
+    def export_state(self) -> str:
+        """The region's full registry state in canonical text form.
+
+        Two regions are converged exactly when their exports are
+        byte-identical — this is what the disaster drill compares.
+        """
+        parts = [self.container.root.serialize(indent=None)]
+        uddi = self.uddi
+        for key in sorted(uddi._businesses):
+            parts.append(repr(sorted(uddi._businesses[key].to_dict().items())))
+        for key in sorted(uddi._services):
+            parts.append(repr(sorted(uddi._services[key].to_dict().items())))
+        for key in sorted(uddi._tmodels):
+            parts.append(repr(sorted(uddi._tmodels[key].to_dict().items())))
+        return "\n".join(parts)
+
+    def state_digest(self) -> str:
+        import hashlib
+
+        return hashlib.sha256(self.export_state().encode("utf-8")).hexdigest()

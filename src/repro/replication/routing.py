@@ -1,0 +1,91 @@
+"""Region-aware failover: local replicas first, cross-region when cut off.
+
+:class:`RegionAwareFailoverClient` extends the resilience layer's
+:class:`~repro.resilience.failover.FailoverClient` with topology knowledge:
+endpoints are grouped by region, the caller's own region sorts first, and
+every call *starts* at the nearest endpoint whose circuit breaker is not
+open — so traffic springs back to the local replica as soon as its breaker
+half-opens, instead of sticking with a cross-region provider forever the
+way plain sticky failover would.  Cross-region rotations are counted, which
+is what the drill uses to show degraded-but-available service during a
+partition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.faults import DiscoveryError
+from repro.resilience.failover import FailoverClient
+from repro.transport.network import VirtualNetwork
+
+
+class RegionAwareFailoverClient(FailoverClient):
+    """A failover client that prefers its own region's providers."""
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        endpoints_by_region: dict[str, Sequence[str]],
+        namespace: str,
+        *,
+        region: str,
+        **kwargs: Any,
+    ):
+        if region not in endpoints_by_region:
+            raise DiscoveryError(
+                f"caller region {region!r} has no replicas",
+                {"region": region},
+            )
+        ordered: list[str] = list(endpoints_by_region[region])
+        for name in sorted(endpoints_by_region):
+            if name != region:
+                ordered.extend(endpoints_by_region[name])
+        super().__init__(network, ordered, namespace, **kwargs)
+        self.region = region
+        self.local_endpoints = frozenset(endpoints_by_region[region])
+        #: endpoint -> owning region (for reporting which region answered)
+        self.endpoint_regions = {
+            endpoint: name
+            for name in sorted(endpoints_by_region)
+            for endpoint in endpoints_by_region[name]
+        }
+        self.cross_region_calls = 0
+        self.local_calls = 0
+
+    def _eligible(self, endpoint: str) -> bool:
+        """Whether the endpoint's breaker would admit a request now.
+
+        The breaker moves open -> half-open *lazily*, inside ``allow()``;
+        reading ``state`` alone would keep routing away from a recovered
+        local replica forever.  An open breaker whose cooldown has elapsed
+        is due a probe, so it counts as eligible here.
+        """
+        from repro.transport.http import parse_url
+
+        breaker = self.http.breaker_for(parse_url(endpoint).host)
+        if breaker is None or breaker.state != "open":
+            return True
+        return breaker.clock.now - breaker.opened_at >= breaker.policy.cooldown
+
+    def _start_index(self) -> int:
+        """Start each rotation at the nearest eligible endpoint.
+
+        ``self.endpoints`` is already ordered local-first, so scanning for
+        the first endpoint whose breaker would admit a call implements
+        "prefer local, fail over cross-region when breakers open, spring
+        back on half-open".  With every breaker open, fall back to the
+        sticky/rotor base behaviour — the rotation itself will charge
+        whichever probe is due.
+        """
+        for index, endpoint in enumerate(self.endpoints):
+            if self._eligible(endpoint):
+                if endpoint in self.local_endpoints:
+                    self.local_calls += 1
+                else:
+                    self.cross_region_calls += 1
+                return index
+        return super()._start_index()
+
+    def region_of(self, endpoint: str) -> str:
+        return self.endpoint_regions.get(endpoint, "")

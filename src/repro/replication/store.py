@@ -1,0 +1,215 @@
+"""The replicated key/value substrate: LWW entries, version vectors, digests.
+
+Each region holds one :class:`ReplicatedStore` — a last-writer-wins element
+map with tombstones.  Every write is stamped with a :class:`Version`, a
+``(counter, region)`` pair ordered lexicographically: the counter is a
+Lamport clock (bumped past any counter seen from a peer), and the region
+name breaks ties deterministically, so *every* replica resolves a conflict
+the same way regardless of delivery order.  Deletions are tombstoned, not
+erased — a tombstone must out-compete a concurrent re-create on some other
+side of a partition.
+
+Anti-entropy compares stores by *digest* rather than by shipping state:
+keys hash into a fixed set of buckets, each bucket digests its sorted
+entries with SHA-256, and a root digest covers the bucket digests
+(merkle-style, two levels deep).  Two stores with equal root digests hold
+byte-identical state; unequal roots are narrowed to the differing buckets,
+and only those entries cross the wire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.faults import ReplicationError
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """A write's Lamport timestamp: ordered by counter, then region name."""
+
+    counter: int
+    region: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"counter": self.counter, "region": self.region}
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "Version":
+        try:
+            return Version(int(data["counter"]), str(data["region"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReplicationError(f"malformed version: {data!r}") from exc
+
+
+@dataclass
+class Entry:
+    """One replicated key: its value, version, and liveness."""
+
+    key: str
+    value: Any
+    version: Version
+    deleted: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "value": self.value,
+            "version": self.version.to_dict(),
+            "deleted": self.deleted,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "Entry":
+        if "key" not in data or "version" not in data:
+            raise ReplicationError(f"malformed entry: {data!r}")
+        return Entry(
+            key=str(data["key"]),
+            value=data.get("value"),
+            version=Version.from_dict(data["version"]),
+            deleted=bool(data.get("deleted")),
+        )
+
+    def canonical(self) -> str:
+        """The digest line for this entry (stable across processes)."""
+        payload = json.dumps(self.value, sort_keys=True, separators=(",", ":"))
+        return (
+            f"{self.key}\t{self.version.counter}\t{self.version.region}"
+            f"\t{int(self.deleted)}\t{payload}"
+        )
+
+
+class ReplicatedStore:
+    """One region's LWW element map with merkle-style digests."""
+
+    def __init__(self, region: str, *, buckets: int = 16):
+        if not region:
+            raise ReplicationError("a replicated store needs a region name")
+        if buckets < 1:
+            raise ReplicationError("bucket count must be positive")
+        self.region = region
+        self.buckets = buckets
+        self._entries: dict[str, Entry] = {}
+        #: Lamport counter: strictly increases, and jumps past any counter
+        #: observed from a peer so causally-later writes order later
+        self._counter = 0
+        #: region -> highest counter seen from that region
+        self.vector: dict[str, int] = {}
+        #: bumped on every effective change; cheap "did anything move" probe
+        #: for materialized views that rebuild lazily
+        self.mutations = 0
+
+    # -- local writes ---------------------------------------------------------
+
+    def _next_version(self) -> Version:
+        self._counter += 1
+        self.vector[self.region] = self._counter
+        return Version(self._counter, self.region)
+
+    def put(self, key: str, value: Any) -> Entry:
+        """Write *value* at *key* with a fresh local version."""
+        entry = Entry(key, value, self._next_version())
+        self._entries[key] = entry
+        self.mutations += 1
+        return entry
+
+    def delete(self, key: str) -> Entry:
+        """Tombstone *key* (idempotent: deleting an absent key still leaves
+        a tombstone that out-competes concurrent remote writes)."""
+        entry = Entry(key, None, self._next_version(), deleted=True)
+        self._entries[key] = entry
+        self.mutations += 1
+        return entry
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        entry = self._entries.get(key)
+        if entry is None or entry.deleted:
+            return None
+        return entry.value
+
+    def has(self, key: str) -> bool:
+        entry = self._entries.get(key)
+        return entry is not None and not entry.deleted
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        """Live (key, value) pairs in sorted key order."""
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            if not entry.deleted:
+                yield key, entry.value
+
+    def keys(self, prefix: str = "") -> list[str]:
+        return [key for key, _ in self.items() if key.startswith(prefix)]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    # -- merge (the convergence rule) ----------------------------------------
+
+    def apply(self, data: dict[str, Any]) -> bool:
+        """Merge one remote entry; returns True when it won locally.
+
+        LWW: the higher ``(counter, region)`` version wins; ties (identical
+        versions) are already-converged duplicates and change nothing.  The
+        local Lamport counter always advances past the remote one, so the
+        next local write is ordered after everything merged so far.
+        """
+        entry = Entry.from_dict(data)
+        if entry.version.counter > self._counter:
+            self._counter = entry.version.counter
+        seen = self.vector.get(entry.version.region, 0)
+        if entry.version.counter > seen:
+            self.vector[entry.version.region] = entry.version.counter
+        current = self._entries.get(entry.key)
+        if current is not None and current.version >= entry.version:
+            return False
+        self._entries[entry.key] = entry
+        self.mutations += 1
+        return True
+
+    def apply_many(self, entries: list[dict[str, Any]]) -> int:
+        applied = 0
+        for data in entries:
+            if self.apply(data):
+                applied += 1
+        return applied
+
+    # -- merkle-style digests -------------------------------------------------
+
+    def _bucket_of(self, key: str) -> int:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % self.buckets
+
+    def bucket_digest(self, bucket: int) -> str:
+        """SHA-256 over the bucket's sorted canonical entry lines."""
+        hasher = hashlib.sha256()
+        for key in sorted(self._entries):
+            if self._bucket_of(key) == bucket:
+                hasher.update(self._entries[key].canonical().encode("utf-8"))
+                hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def bucket_digests(self) -> dict[str, str]:
+        """All bucket digests, keyed by stringified bucket index (SOAP maps
+        carry string keys)."""
+        return {str(b): self.bucket_digest(b) for b in range(self.buckets)}
+
+    def root_digest(self) -> str:
+        """One hash covering every bucket: equal roots ⇒ identical state."""
+        hasher = hashlib.sha256()
+        for bucket in range(self.buckets):
+            hasher.update(self.bucket_digest(bucket).encode("ascii"))
+        return hasher.hexdigest()
+
+    def bucket_entries(self, bucket: int) -> list[dict[str, Any]]:
+        """The bucket's entries (tombstones included) in sorted key order."""
+        return [
+            self._entries[key].to_dict()
+            for key in sorted(self._entries)
+            if self._bucket_of(key) == bucket
+        ]

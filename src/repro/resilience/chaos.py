@@ -28,11 +28,20 @@ RESTART = "Chaos.Restart"
 FAULT_BURST = "Chaos.FaultBurst"
 LATENCY_SPIKE = "Chaos.LatencySpike"
 FLAP = "Chaos.Flap"
+PARTITION = "Chaos.Partition"
+PARTITION_HEAL = "Chaos.PartitionHeal"
 
 
 @dataclass(frozen=True)
 class ChaosConfig:
-    """Per-step, per-host fault probabilities and magnitudes."""
+    """Per-step, per-host fault probabilities and magnitudes.
+
+    The ``p_partition`` family only applies when the monkey was built with
+    ``regions`` (named host groups): each step may then cut a pair of
+    regions apart — fully, one-way, or partially (per-attempt loss) — and
+    heal the cut after a drawn duration.  Defaults keep partitions off so
+    existing seeded schedules replay unchanged.
+    """
 
     p_take_down: float = 0.04
     down_duration: tuple[float, float] = (2.0, 15.0)
@@ -42,6 +51,11 @@ class ChaosConfig:
     spike_magnitude: tuple[float, float] = (0.5, 3.0)
     p_flap: float = 0.02
     flap_phases: tuple[float, float] = (1.0, 4.0)
+    p_partition: float = 0.0
+    partition_duration: tuple[float, float] = (2.0, 10.0)
+    #: split-brain shapes to draw from (see VirtualNetwork.partition*)
+    partition_modes: tuple[str, ...] = ("full", "oneway", "partial")
+    partition_loss: float = 0.75
 
 
 class ChaosMonkey:
@@ -64,6 +78,7 @@ class ChaosMonkey:
         log: ResilienceLog | None = None,
         protected: tuple[str, ...] = (),
         rebuilders: dict[str, Callable[[], Any]] | None = None,
+        regions: dict[str, tuple[str, ...]] | None = None,
     ):
         self.network = network
         self.clock = network.clock
@@ -77,9 +92,17 @@ class ChaosMonkey:
         #: disk survived, so a durable rebuilder replays its journals)
         self.rebuilders = dict(rebuilders or {})
         self.restarts_performed = 0
+        #: region name -> the hosts (and client sources) living in it; when
+        #: set, ``config.p_partition`` cuts pairs of regions apart
+        self.regions = {
+            name: tuple(members) for name, members in (regions or {}).items()
+        }
+        self.partitions_injected = 0
         self._rng = random.Random(seed)
         self._repairs: list[tuple[float, str]] = []  # (due time, host)
         self._down: set[str] = set()
+        #: (heal due time, network partition id, "a|b" label)
+        self._partition_heals: list[tuple[float, int, str]] = []
 
     def _record(self, code: str, message: str, host: str, **detail: Any) -> None:
         self.log.record(
@@ -91,7 +114,8 @@ class ChaosMonkey:
         )
 
     def step(self) -> None:
-        """Apply due repairs, then draw this step's faults."""
+        """Apply due repairs and partition heals, then draw this step's
+        faults."""
         now = self.clock.now
         still_pending: list[tuple[float, str]] = []
         for due, host in self._repairs:
@@ -103,8 +127,11 @@ class ChaosMonkey:
             else:
                 still_pending.append((due, host))
         self._repairs = still_pending
+        self._apply_due_partition_heals(now)
 
         config = self.config
+        if self.regions and config.p_partition > 0:
+            self._maybe_partition(now)
         for host in self.hosts:
             if host in self._down:
                 continue
@@ -165,6 +192,57 @@ class ChaosMonkey:
                         duration=f"{duration:.6f}",
                     )
 
+    def _apply_due_partition_heals(self, now: float) -> None:
+        still_cut: list[tuple[float, int, str]] = []
+        for due, partition_id, label in self._partition_heals:
+            if due <= now:
+                self.network.heal_partition(partition_id)
+                self._record(
+                    PARTITION_HEAL, f"partition {label} healed", label,
+                    partition=partition_id,
+                )
+            else:
+                still_cut.append((due, partition_id, label))
+        self._partition_heals = still_cut
+
+    def _maybe_partition(self, now: float) -> None:
+        """One seeded draw per step: maybe cut a pair of regions apart."""
+        config = self.config
+        if self._rng.random() >= config.p_partition:
+            return
+        if self._partition_heals:
+            return  # one split-brain at a time keeps schedules analysable
+        names = sorted(self.regions)
+        if len(names) < 2:
+            return
+        region_a, region_b = self._rng.sample(names, 2)
+        side_a = set(self.regions[region_a])
+        side_b = set(self.regions[region_b])
+        mode = config.partition_modes[
+            self._rng.randrange(len(config.partition_modes))
+        ]
+        if mode == "oneway":
+            partition_id = self.network.partition_oneway(side_a, side_b)
+        elif mode == "partial":
+            partition_id = self.network.partition_partial(
+                side_a, side_b, config.partition_loss
+            )
+        else:
+            partition_id = self.network.partition(side_a, side_b)
+        duration = self._rng.uniform(*config.partition_duration)
+        label = f"{region_a}|{region_b}"
+        self._partition_heals.append((now + duration, partition_id, label))
+        self.faults_injected += 1
+        self.partitions_injected += 1
+        self._record(
+            PARTITION,
+            f"{mode} partition {label} for {duration:.3f}s",
+            label,
+            mode=mode,
+            duration=f"{duration:.6f}",
+            partition=partition_id,
+        )
+
     def _restart(self, host: str) -> None:
         """Re-deploy a repaired host's services from its surviving disk."""
         rebuilder = self.rebuilders.get(host)
@@ -183,10 +261,18 @@ class ChaosMonkey:
         for host in list(self._down):
             self.network.bring_up(host)
         self._down.clear()
+        for _, partition_id, label in self._partition_heals:
+            self.network.heal_partition(partition_id)
+            self._record(
+                PARTITION_HEAL, f"partition {label} healed", label,
+                partition=partition_id,
+            )
+        self._partition_heals.clear()
         for host in sorted(repaired):
             self._restart(host)
         for host in self.hosts:
             self.network.set_latency_spike(host, 0.0, 0.0)
+            self.network.clear_failures(host)
 
 
 @dataclass

@@ -25,6 +25,12 @@ SHED = "Load.Shed"
 BUSY = "Load.Busy"
 QUEUE_WAIT = "Load.QueueWait"
 PLACEMENT = "Load.Placement"
+# multi-region replication stream (emitted by repro.replication)
+STALE_READ = "Replication.StaleRead"
+HINT = "Replication.Hint"
+HANDOFF = "Replication.Handoff"
+SYNC = "Replication.Sync"
+SYNC_FAILED = "Replication.SyncFailed"
 
 
 class ResilienceLog:

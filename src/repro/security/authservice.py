@@ -221,10 +221,14 @@ class ClientSecuritySession:
 class AssertionInterceptor:
     """SPP side: require a verified SAML assertion on every call.
 
-    ``cache=True`` enables the (extension) verification cache: an assertion
-    id verified once is trusted until its ``NotOnOrAfter`` — the ablation in
+    ``cache=True`` enables the verification cache (GridCertLib pattern, see
+    :mod:`repro.security.assertioncache`): a positive verification is
+    trusted until the earlier of the cache TTL and the assertion's
+    ``NotOnOrAfter``, keyed on *principal + assertion id* so a cached id
+    can never vouch for a different subject.  The ablation in
     ``benchmarks/test_fig2_auth.py`` quantifies what the extra per-request
-    hop costs without it.
+    hop costs without it; for cross-region calls the hop would otherwise be
+    paid on every replicated request.
     """
 
     def __init__(
@@ -235,15 +239,29 @@ class AssertionInterceptor:
         spp_host: str,
         clock=None,
         cache: bool = False,
+        cache_ttl: float = 300.0,
     ):
+        from repro.security.assertioncache import AssertionCache
+
         self._client = SoapClient(
             network, auth_endpoint, AUTH_NAMESPACE, source=spp_host
         )
         self.clock = clock
-        self.cache_enabled = cache
-        self._cache: dict[str, tuple[float, str]] = {}
+        self.cache_enabled = cache and clock is not None
+        self.cache = (
+            AssertionCache(clock, ttl=cache_ttl) if self.cache_enabled else None
+        )
         self.verified_calls = 0
-        self.cache_hits = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache is not None else 0
+
+    def invalidate_principal(self, principal: str) -> int:
+        """Drop cached verifications for *principal* (ticket expiry path)."""
+        if self.cache is None:
+            return 0
+        return self.cache.invalidate_principal(principal)
 
     def __call__(
         self, method: str, params: list[Any], envelope: SoapEnvelope
@@ -254,10 +272,9 @@ class AssertionInterceptor:
         assertion_xml = header.serialize()
         assertion = SamlAssertion.from_xml(parse_xml(assertion_xml))
         session_id = assertion.attributes.get("session", "")
-        if self.cache_enabled and self.clock is not None:
-            cached = self._cache.get(assertion.assertion_id)
-            if cached is not None and self.clock.now < cached[0]:
-                self.cache_hits += 1
+        if self.cache is not None:
+            cached = self.cache.get(assertion.subject, assertion.assertion_id)
+            if cached is not None:
                 return
         result = self._client.call("verify", session_id, assertion_xml)
         self.verified_calls += 1
@@ -265,8 +282,10 @@ class AssertionInterceptor:
             raise AuthenticationError(
                 f"assertion rejected: {result.get('reason', 'unknown')}"
             )
-        if self.cache_enabled:
-            self._cache[assertion.assertion_id] = (
-                float(result.get("expires", 0.0)),
+        if self.cache is not None:
+            self.cache.put(
                 str(result.get("subject", "")),
+                str(result.get("assertion_id", assertion.assertion_id)),
+                str(result.get("subject", "")),
+                expires=float(result.get("expires", 0.0)) or None,
             )

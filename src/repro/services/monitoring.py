@@ -36,6 +36,7 @@ class JobMonitoringService:
         network: VirtualNetwork | None = None,
         observability=None,
         load=None,
+        replication=None,
     ):
         self.resources = resources
         self.resilience_log = resilience_log
@@ -45,6 +46,8 @@ class JobMonitoringService:
         self.observability = observability
         #: a :class:`repro.loadmgmt.LoadRegistry` of admission controllers
         self.load = load
+        #: a :class:`repro.replication.MultiRegionReplication` topology
+        self.replication = replication
         self.queries_served = 0
 
     def _obs(self):
@@ -154,6 +157,46 @@ class JobMonitoringService:
             rows.extend(self.resources[host].scheduler.queue_stats())
         return rows
 
+    # -- replication views (see repro.replication) ---------------------------------
+
+    def replication_summary(self) -> list[dict[str, Any]]:
+        """One row per region: replication lag, hint backlog, last heal.
+
+        Lag and backlog are sampled live from the topology, and mirrored
+        into gauges (``replication_lag``, ``hint_backlog``) when the
+        observability layer is installed — a level, not a flow, so the
+        freshest value wins, like the queue-depth gauges above.
+        """
+        self.queries_served += 1
+        if self.replication is None:
+            return []
+        last_heal = self._last_partition_heal()
+        rows = self.replication.replication_rows()
+        obs = self._obs()
+        for row in rows:
+            row["last_heal_t"] = last_heal
+            if obs is not None:
+                obs.metrics.set_gauge(
+                    "replication_lag", row["region"], max(row["lag_s"], 0.0)
+                )
+                obs.metrics.set_gauge(
+                    "hint_backlog", row["region"], row["hint_backlog"]
+                )
+        return rows
+
+    def _last_partition_heal(self) -> float:
+        """Virtual time of the most recent partition heal, or -1.0."""
+        if self.resilience_log is None:
+            return -1.0
+        last = -1.0
+        for event in self.resilience_log.events:
+            if event.code == "Chaos.PartitionHeal":
+                try:
+                    last = max(last, float(event.detail.get("t", -1.0)))
+                except (TypeError, ValueError):
+                    continue
+        return last
+
     # -- recovery views (see repro.durability) -------------------------------------
 
     def journals(self) -> list[dict[str, Any]]:
@@ -253,6 +296,7 @@ def deploy_monitoring(
     resilience_log=None,
     observability=None,
     load=None,
+    replication=None,
 ) -> tuple[JobMonitoringService, str]:
     """Stand up the monitoring service; returns (impl, endpoint URL).
 
@@ -266,6 +310,7 @@ def deploy_monitoring(
         network=network,
         observability=observability,
         load=load,
+        replication=replication,
     )
     server = HttpServer(host, network)
     soap = SoapService("JobMonitoring", MONITORING_NAMESPACE)
@@ -280,6 +325,7 @@ def deploy_monitoring(
     soap.expose(impl.load_lanes)
     soap.expose(impl.load_summary)
     soap.expose(impl.queue_load)
+    soap.expose(impl.replication_summary)
     soap.expose(impl.journals)
     soap.expose(impl.recovery_summary)
     soap.expose(impl.traces)
@@ -431,6 +477,51 @@ class TraceViewPortlet(Portlet):
                 f"<td>{_esc(events)}</td>"
                 f'<td><div class="bar" style="margin-left:{offset:.1f}%;'
                 f'width:{length:.1f}%"></div></td></tr>'
+            )
+        cells.append("</table>")
+        return "".join(cells)
+
+
+class ReplicationPortlet(Portlet):
+    """The multi-region window: per-region replication lag, hint backlog,
+    store digests, and the last partition-heal time, fetched over SOAP from
+    the monitoring service.  Every cell is escaped — region names and
+    digests come back from remote services and are untrusted like any
+    other service output."""
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        endpoint: str,
+        *,
+        name: str = "replication",
+        title: str = "Replication status",
+        source: str = "portal",
+    ):
+        super().__init__(name, title)
+        self._client = SoapClient(
+            network, endpoint, MONITORING_NAMESPACE, source=source, traced=False
+        )
+
+    def render(self, container_base: str) -> str:
+        rows = self._client.call("replication_summary")
+        if not rows:
+            return '<p class="replication">no replication topology</p>'
+        cells = ['<table class="replication">'
+                 "<tr><th>region</th><th>host</th><th>entries</th>"
+                 "<th>digest</th><th>lag s</th><th>hint backlog</th>"
+                 "<th>context seq</th><th>last heal</th></tr>"]
+        for row in rows:
+            lag = row["lag_s"]
+            lag_text = f"{lag:.3f}" if lag >= 0 else "never"
+            heal = row.get("last_heal_t", -1.0)
+            heal_text = f"{heal:.3f}" if heal >= 0 else "-"
+            cells.append(
+                f"<tr><td>{_esc(row['region'])}</td><td>{_esc(row['host'])}</td>"
+                f"<td>{_esc(row['entries'])}</td><td>{_esc(row['digest'])}</td>"
+                f"<td>{_esc(lag_text)}</td><td>{_esc(row['hint_backlog'])}</td>"
+                f"<td>{_esc(row['context_seq'])}</td>"
+                f"<td>{_esc(heal_text)}</td></tr>"
             )
         cells.append("</table>")
         return "".join(cells)

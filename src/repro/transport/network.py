@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Callable
@@ -75,8 +76,11 @@ class WireStats:
     ``requests`` / ``per_host_requests`` count *attempts* to any registered
     host, including ones that fail in flight (host down, injected fault,
     partition) — that is what lets tests assert a circuit breaker caps
-    traffic to a dead provider.  ``bytes_*`` only accumulate for delivered
-    messages.
+    traffic to a dead provider.  ``partition_blocked`` counts attempts cut
+    by an active partition (full, one-way, or a partial-loss drop), with
+    ``per_pair_blocked`` keyed ``"source->host"`` so split-brain drills can
+    assert exactly which directions went dark.  ``bytes_*`` only accumulate
+    for delivered messages.
     """
 
     connections: int = 0
@@ -84,6 +88,8 @@ class WireStats:
     bytes_sent: int = 0
     bytes_received: int = 0
     per_host_requests: dict[str, int] = field(default_factory=dict)
+    partition_blocked: int = 0
+    per_pair_blocked: dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> "WireStats":
         return WireStats(
@@ -92,6 +98,8 @@ class WireStats:
             self.bytes_sent,
             self.bytes_received,
             dict(self.per_host_requests),
+            self.partition_blocked,
+            dict(self.per_pair_blocked),
         )
 
     def delta(self, earlier: "WireStats") -> "WireStats":
@@ -105,7 +113,47 @@ class WireStats:
                 host: count - earlier.per_host_requests.get(host, 0)
                 for host, count in self.per_host_requests.items()
             },
+            self.partition_blocked - earlier.partition_blocked,
+            {
+                pair: count - earlier.per_pair_blocked.get(pair, 0)
+                for pair, count in self.per_pair_blocked.items()
+            },
         )
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One active network partition between two host groups.
+
+    ``mode`` selects the failure shape:
+
+    - ``"full"``: no traffic crosses in either direction (the classic
+      split-brain cut);
+    - ``"oneway"``: traffic from ``side_a`` to ``side_b`` is cut, replies
+      and independent calls the other way still flow (an asymmetric route
+      loss — the shape that breaks naive heartbeat protocols);
+    - ``"partial"``: each crossing attempt is dropped independently with
+      probability ``loss`` (a flaky inter-region trunk), drawn from the
+      network's seeded PRNG so runs stay reproducible.
+    """
+
+    side_a: frozenset[str]
+    side_b: frozenset[str]
+    mode: str = "full"
+    loss: float = 1.0
+
+    def blocks(self, source: str, host: str) -> bool:
+        """Whether this spec (deterministically) cuts source -> host.
+
+        Partial partitions are probabilistic and resolved by the caller;
+        this returns whether the pair *crosses* the cut in a blocked
+        direction.
+        """
+        if source in self.side_a and host in self.side_b:
+            return True
+        if self.mode != "oneway" and source in self.side_b and host in self.side_a:
+            return True
+        return False
 
 
 Handler = Callable[[HttpRequest], HttpResponse]
@@ -132,7 +180,8 @@ class VirtualNetwork:
         self._error_rate: dict[str, float] = {}
         self._latency_spike: dict[str, tuple[float, float]] = {}
         self._flapping: dict[str, tuple[float, float, float]] = {}
-        self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
+        self._partitions: dict[int, PartitionSpec] = {}
+        self._partition_ids = itertools.count(1)
         self._jitter = 0.0
         self._rng = random.Random(seed)
         self._disks: dict[str, HostDisk] = {}
@@ -206,6 +255,11 @@ class VirtualNetwork:
         """How many injected :meth:`fail_next` failures are still queued."""
         return self._fail_next.get(host, 0)
 
+    def clear_failures(self, host: str) -> int:
+        """Drop any queued :meth:`fail_next` charges for *host*; returns how
+        many were still armed (the heal-everything cleanup path)."""
+        return self._fail_next.pop(host, 0)
+
     def set_error_rate(self, host: str, rate: float) -> None:
         """Fail each request to *host* independently with probability *rate*
         (drawn from the seeded PRNG — deterministic across runs).  Rate 0
@@ -241,14 +295,47 @@ class VirtualNetwork:
         base = self.clock.now if start is None else float(start)
         self._flapping[host] = (up_for, down_for, base)
 
-    def partition(self, side_a: set[str], side_b: set[str]) -> None:
+    def partition(self, side_a: set[str], side_b: set[str]) -> int:
         """Cut all traffic between two groups of hosts (both directions).
-        Client sources count as hosts for membership purposes."""
-        self._partitions.append((frozenset(side_a), frozenset(side_b)))
+        Client sources count as hosts for membership purposes.  Returns a
+        partition id for selective healing via :meth:`heal_partition`."""
+        return self._add_partition(PartitionSpec(frozenset(side_a), frozenset(side_b)))
+
+    def partition_oneway(self, src_side: set[str], dst_side: set[str]) -> int:
+        """Cut only traffic *from* ``src_side`` *to* ``dst_side`` (asymmetric:
+        the reverse direction still flows).  Returns a partition id."""
+        return self._add_partition(
+            PartitionSpec(frozenset(src_side), frozenset(dst_side), mode="oneway")
+        )
+
+    def partition_partial(
+        self, side_a: set[str], side_b: set[str], loss: float
+    ) -> int:
+        """Drop each crossing attempt independently with probability *loss*
+        (both directions, seeded PRNG).  Returns a partition id."""
+        if not 0.0 < loss <= 1.0:
+            raise ValueError(f"partial-partition loss must be in (0, 1]: {loss}")
+        return self._add_partition(
+            PartitionSpec(frozenset(side_a), frozenset(side_b), mode="partial",
+                          loss=loss)
+        )
+
+    def _add_partition(self, spec: PartitionSpec) -> int:
+        partition_id = next(self._partition_ids)
+        self._partitions[partition_id] = spec
+        return partition_id
+
+    def heal_partition(self, partition_id: int) -> bool:
+        """Remove one partition by id; returns whether it was active."""
+        return self._partitions.pop(partition_id, None) is not None
 
     def heal_partitions(self) -> None:
         """Remove every network partition."""
         self._partitions.clear()
+
+    def active_partitions(self) -> list[tuple[int, PartitionSpec]]:
+        """The live partitions as (id, spec), id-sorted (for drills/portlets)."""
+        return sorted(self._partitions.items())
 
     def is_up(self, host: str) -> bool:
         """Whether the host is currently reachable (down set + flap phase)."""
@@ -263,12 +350,30 @@ class VirtualNetwork:
         return True
 
     def _partitioned(self, source: str, host: str) -> bool:
-        for side_a, side_b in self._partitions:
-            if (source in side_a and host in side_b) or (
-                source in side_b and host in side_a
-            ):
+        """Whether an attempt source -> host is cut right now.
+
+        Full and one-way partitions block deterministically; a partial
+        partition draws from the seeded PRNG per attempt (so two same-seed
+        runs drop the same attempts).
+        """
+        for partition_id in sorted(self._partitions):
+            spec = self._partitions[partition_id]
+            if spec.mode == "partial":
+                crosses = (source in spec.side_a and host in spec.side_b) or (
+                    source in spec.side_b and host in spec.side_a
+                )
+                if crosses and self._rng.random() < spec.loss:
+                    return True
+            elif spec.blocks(source, host):
                 return True
         return False
+
+    def _note_partition_block(self, source: str, host: str) -> None:
+        self.stats.partition_blocked += 1
+        pair = f"{source}->{host}"
+        self.stats.per_pair_blocked[pair] = (
+            self.stats.per_pair_blocked.get(pair, 0) + 1
+        )
 
     # -- the wire ------------------------------------------------------------
 
@@ -295,6 +400,7 @@ class VirtualNetwork:
         if not self.is_up(host):
             raise TransportError(f"host {host!r} is down")
         if self._partitioned(source, host):
+            self._note_partition_block(source, host)
             raise TransportError(
                 f"network partition between {source!r} and {host!r}"
             )

@@ -1,0 +1,176 @@
+"""Quorum context replication: acks, hints, handoff, stale reads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    ContextError,
+    QuorumLostError,
+    StaleReadError,
+)
+from repro.replication import (
+    ContextReplicaService,
+    ReplicatedContextStore,
+    deploy_context_replica,
+)
+from repro.resilience.events import HANDOFF, HINT, STALE_READ, ResilienceLog
+from repro.services.context import ContextStore
+
+
+def topology(network, regions=("iu", "ncsa", "sdsc"), *, quorum=None, log=None):
+    replicas, endpoints = {}, {}
+    for region in regions:
+        replicas[region], endpoints[region] = deploy_context_replica(
+            network, f"ctx.{region}", region
+        )
+    coordinator = ReplicatedContextStore(
+        network, endpoints, region=regions[0], quorum=quorum, log=log
+    )
+    return replicas, coordinator
+
+
+def test_replica_applies_in_order_and_refuses_gaps(clock):
+    replica = ContextReplicaService("iu", clock=clock)
+    assert replica.apply_op(1, "ctx-create", {"path": "/users/alice"}) == 1
+    # duplicate offers are acknowledged without effect
+    assert replica.apply_op(1, "ctx-create", {"path": "/users/alice"}) == 1
+    assert replica.ops_applied == 1
+    with pytest.raises(ContextError):
+        replica.apply_op(3, "ctx-create", {"path": "/users/bob"})
+    with pytest.raises(ContextError):
+        replica.apply_op(2, "ctx-bogus", {})
+
+
+def test_apply_context_op_covers_the_mutation_surface(clock):
+    from repro.replication import apply_context_op
+
+    store = ContextStore(clock)
+    apply_context_op(store, "ctx-create", {"path": "/users/alice/job1"})
+    apply_context_op(
+        store, "ctx-prop-set",
+        {"path": "/users/alice/job1", "key": "state", "value": "queued"},
+    )
+    apply_context_op(store, "ctx-rename", {"path": "/users/alice/job1", "new": "job2"})
+    node = store.node("/users/alice/job2")
+    assert node.properties["state"] == "queued"
+    apply_context_op(store, "ctx-remove", {"path": "/users/alice/job2"})
+    with pytest.raises(ContextError):
+        apply_context_op(store, "ctx-nope", {})
+
+
+def test_quorum_write_reaches_every_replica(network):
+    replicas, coordinator = topology(network)
+    seq = coordinator.create("/users/alice/session")
+    assert seq == 1
+    assert coordinator.writes_acknowledged == 1
+    assert {r.applied for r in replicas.values()} == {1}
+    assert coordinator.hint_backlog() == {"iu": 0, "ncsa": 0, "sdsc": 0}
+
+
+def test_write_survives_one_replica_down_with_hint(network):
+    log = ResilienceLog()
+    replicas, coordinator = topology(network, log=log)
+    network.take_down("ctx.sdsc")
+    coordinator.create("/users/alice/session")
+    coordinator.set_property("/users/alice/session", "state", "active")
+    assert coordinator.writes_acknowledged == 2  # quorum 2/3 held
+    assert coordinator.hint_backlog()["sdsc"] == 2
+    assert any(e.code == HINT for e in log.events)
+    # heal: handoff replays the gap in order
+    network.bring_up("ctx.sdsc")
+    delivered = coordinator.sync_all()
+    assert delivered["sdsc"] == 2
+    assert replicas["sdsc"].applied == 2
+    assert any(e.code == HANDOFF for e in log.events)
+    snapshots = coordinator.snapshots()
+    assert len({repr(s["state"]) for s in snapshots.values()}) == 1
+
+
+def test_below_quorum_raises_but_keeps_the_op(network):
+    replicas, coordinator = topology(network)
+    network.take_down("ctx.ncsa")
+    network.take_down("ctx.sdsc")
+    with pytest.raises(QuorumLostError):
+        coordinator.create("/users/alice/session")
+    # the op stays logged; the heal path still delivers it everywhere
+    assert coordinator.seq == 1
+    network.bring_up("ctx.ncsa")
+    network.bring_up("ctx.sdsc")
+    coordinator.sync_all()
+    assert {r.applied for r in replicas.values()} == {1}
+
+
+def test_invalid_op_faults_before_logging(network):
+    replicas, coordinator = topology(network)
+    with pytest.raises(ContextError):
+        coordinator.remove("/users/never-created")
+    # the bad mutation never reached the log or any replica
+    assert coordinator.seq == 0
+    assert {r.applied for r in replicas.values()} == {0}
+    coordinator.create("/users/alice")  # the store still works
+    assert coordinator.seq == 1
+
+
+def test_crash_restarted_replica_replays_from_scratch(network):
+    replicas, coordinator = topology(network)
+    coordinator.create("/users/alice/job")
+    coordinator.set_property("/users/alice/job", "state", "done")
+    # sdsc restarts with empty process state on the same host
+    fresh, _ = deploy_context_replica(network, "ctx.sdsc", "sdsc")
+    assert fresh.applied == 0
+    delivered = coordinator.flush_hints("sdsc")
+    assert delivered == 2
+    assert fresh.applied == 2
+    assert fresh.store.node("/users/alice/job").properties["state"] == "done"
+
+
+def test_next_write_also_heals_a_restarted_replica(network):
+    """The write path itself replays missing prefixes (no explicit flush)."""
+    replicas, coordinator = topology(network)
+    coordinator.create("/users/alice")
+    fresh, _ = deploy_context_replica(network, "ctx.sdsc", "sdsc")
+    coordinator.create("/users/alice/job")
+    assert fresh.applied == 2  # prefix replayed, then the new op
+
+
+def test_reads_prefer_local_and_mark_stale(network):
+    log = ResilienceLog()
+    replicas, coordinator = topology(network, log=log)
+    coordinator.create("/users/alice")
+    answer = coordinator.read_node("/users/alice")
+    assert answer["region"] == "iu" and not answer["stale"]
+    # iu misses the next write; its answers are behind the op log
+    network.take_down("ctx.iu")
+    coordinator.set_property("/users/alice", "state", "active")
+    network.bring_up("ctx.iu")
+    answer = coordinator.read_node("/users/alice")
+    assert answer["region"] == "iu"
+    assert answer["stale"] and answer["lag"] == 1
+    assert coordinator.stale_reads_served == 1
+    assert any(e.code == STALE_READ for e in log.events)
+    with pytest.raises(StaleReadError):
+        coordinator.read_node("/users/alice", allow_stale=False)
+
+
+def test_reads_fail_over_cross_region(network):
+    replicas, coordinator = topology(network)
+    coordinator.create("/users/alice")
+    network.take_down("ctx.iu")
+    answer = coordinator.read_node("/users/alice")
+    assert answer["region"] in ("ncsa", "sdsc")
+    assert not answer["stale"]
+    network.take_down("ctx.ncsa")
+    network.take_down("ctx.sdsc")
+    with pytest.raises(QuorumLostError):
+        coordinator.read_node("/users/alice")
+
+
+def test_quorum_validation(network):
+    _, endpoints = deploy_context_replica(network, "ctx.iu", "iu")
+    with pytest.raises(ContextError):
+        ReplicatedContextStore(network, {}, region="iu")
+    with pytest.raises(ContextError):
+        ReplicatedContextStore(
+            network, {"iu": endpoints}, region="iu", quorum=2
+        )

@@ -1,0 +1,86 @@
+"""The assembled multi-region topology: build, converge, rebuild, report."""
+
+from __future__ import annotations
+
+from repro.replication import MultiRegionReplication, region_host
+from repro.resilience.events import STALE_READ, ResilienceLog
+from repro.uddi.model import BusinessEntity
+
+
+def test_build_wires_every_region(network):
+    topo = MultiRegionReplication.build(network, ("iu", "sdsc"))
+    assert topo.regions == ("iu", "sdsc")
+    assert topo.hosts() == ["replica.iu.portal.org", "replica.sdsc.portal.org"]
+    assert topo.region_groups() == {
+        "iu": (region_host("iu"),), "sdsc": (region_host("sdsc"),),
+    }
+    assert set(topo.rebuilders()) == set(topo.hosts())
+    # every node runs all three services on one host
+    node = topo.nodes["iu"]
+    assert node.replication_endpoint.startswith("http://replica.iu")
+    assert node.discovery_endpoint.startswith("http://replica.iu")
+    assert node.context_endpoint.startswith("http://replica.iu")
+
+
+def test_registry_writes_converge_through_gossip(network):
+    topo = MultiRegionReplication.build(network)
+    topo.nodes["iu"].registry.register_service(
+        "svc/batch/IU", {"os": "AIX"}
+    )
+    assert not topo.converged()
+    topo.run_anti_entropy(2)
+    assert topo.converged()
+    rows, stale = topo.query_registry("sdsc", {"os": "AIX"})
+    assert len(rows) == 1 and not stale
+
+
+def test_query_marks_stale_when_sync_is_old(network):
+    log = ResilienceLog()
+    topo = MultiRegionReplication.build(
+        network, log=log, staleness_bound=10.0
+    )
+    topo.nodes["iu"].registry.register_service("svc/a", {"os": "AIX"})
+    # never synced: the very first query is already stale
+    rows, stale = topo.query_registry("iu", {"os": "AIX"})
+    assert stale
+    assert any(e.code == STALE_READ for e in log.events)
+    topo.run_anti_entropy()
+    _, stale = topo.query_registry("iu", {"os": "AIX"})
+    assert not stale
+    network.clock.advance(11.0)
+    _, stale = topo.query_registry("iu", {"os": "AIX"})
+    assert stale
+
+
+def test_rebuild_region_recovers_registry_and_context(network):
+    topo = MultiRegionReplication.build(network)
+    topo.nodes["iu"].registry.save_business(BusinessEntity("", "IU Gateway"))
+    topo.context.create("/users/alice/session")
+    topo.run_anti_entropy(2)
+    assert topo.converged()
+    before = topo.nodes["sdsc"].registry.export_state()
+    # sdsc crashes: fresh processes, empty stores, same host
+    node = topo.rebuild_region("sdsc")
+    assert len(node.store) == 0
+    topo.run_anti_entropy(2)
+    topo.context.sync_all()
+    assert topo.converged()
+    assert topo.nodes["sdsc"].registry.export_state() == before
+    assert topo.nodes["sdsc"].context.applied == topo.context.seq
+
+
+def test_replication_rows_report_posture(network):
+    topo = MultiRegionReplication.build(network)
+    topo.nodes["iu"].registry.register_service("svc/a", {"os": "AIX"})
+    topo.context.create("/users/alice")
+    topo.run_anti_entropy()
+    rows = topo.replication_rows()
+    assert [row["region"] for row in rows] == ["iu", "sdsc"]
+    for row in rows:
+        assert row["entries"] == 1
+        assert row["lag_s"] >= 0
+        assert row["hint_backlog"] == 0
+        assert row["context_seq"] == 1
+        assert len(row["digest"]) == 12
+    digests = {row["digest"] for row in rows}
+    assert len(digests) == 1  # converged ⇒ identical digests

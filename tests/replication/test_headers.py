@@ -1,0 +1,49 @@
+"""The urn:gce:replication Replica header: encode, decode, tolerance."""
+
+from __future__ import annotations
+
+from repro.headers import is_registered
+from repro.replication.headers import (
+    REPLICA_HEADER,
+    decode_vector,
+    encode_vector,
+    replica_from_headers,
+    replica_header,
+)
+from repro.xmlutil.element import XmlElement
+from repro.xmlutil.qname import QName
+
+
+def test_vector_wire_form_is_sorted_and_roundtrips():
+    vector = {"sdsc": 5, "iu": 3}
+    wire = encode_vector(vector)
+    assert wire == "iu:3,sdsc:5"
+    assert decode_vector(wire) == vector
+
+
+def test_decode_skips_malformed_parts():
+    assert decode_vector("iu:3,,broken,sdsc:x,ncsa:7") == {"iu": 3, "ncsa": 7}
+    assert decode_vector("") == {}
+
+
+def test_header_roundtrip():
+    entry = replica_header("iu", {"iu": 3, "sdsc": 5})
+    region, vector = replica_from_headers([entry])
+    assert region == "iu"
+    assert vector == {"iu": 3, "sdsc": 5}
+
+
+def test_absent_and_malformed_headers_never_fault():
+    assert replica_from_headers([]) == (None, {})
+    other = XmlElement(QName("urn:other", "Thing"), text="x")
+    assert replica_from_headers([other]) == (None, {})
+    # a present header with a garbage vector still yields the region
+    entry = replica_header("sdsc")
+    entry.set("vector", ":::,,,")
+    region, vector = replica_from_headers([entry])
+    assert region == "sdsc"
+    assert vector == {}
+
+
+def test_header_is_registered():
+    assert is_registered(REPLICA_HEADER)

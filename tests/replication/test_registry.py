@@ -1,0 +1,156 @@
+"""The replicated registry: discovery + UDDI over the LWW keyspace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import DiscoveryError, InvalidRequestError
+from repro.replication import ReplicatedRegistry
+from repro.replication.store import ReplicatedStore
+from repro.uddi.model import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    KeyedReference,
+    TModel,
+)
+
+
+def make_pair():
+    stores = {r: ReplicatedStore(r) for r in ("iu", "sdsc")}
+    return stores, {r: ReplicatedRegistry(s) for r, s in stores.items()}
+
+
+def sync(stores):
+    """Converge a pair of bare stores without the SOAP transport."""
+    for a, b in (("iu", "sdsc"), ("sdsc", "iu")):
+        for bucket in range(stores[a].buckets):
+            stores[b].apply_many(stores[a].bucket_entries(bucket))
+
+
+def test_discovery_entry_replicates_and_queries(network):
+    stores, registries = make_pair()
+    registries["iu"].register_service(
+        "gridservices/batch/IU", {"wsdlurl": "http://iu/wsdl", "os": "AIX"}
+    )
+    sync(stores)
+    rows = registries["sdsc"].soap_query({"os": "AIX"}, "")
+    assert len(rows) == 1
+    assert rows[0]["path"] == "/gridservices/batch/IU"
+    assert registries["iu"].export_state() == registries["sdsc"].export_state()
+
+
+def test_register_merges_metadata_into_existing_entry():
+    _, registries = make_pair()
+    registry = registries["iu"]
+    registry.register_service("svc/a", {"os": "AIX"})
+    registry.register_service("svc/a", {"scheduler": ["PBS", "LSF"]})
+    node = registry.container.root.lookup("/svc/a")
+    assert node.metadata["os"] == ["AIX"]
+    assert node.metadata["scheduler"] == ["PBS", "LSF"]
+
+
+def test_unregister_tombstones_subtree_and_wins_remotely(network):
+    stores, registries = make_pair()
+    registries["iu"].register_service("svc/batch/IU", {"os": "AIX"})
+    registries["iu"].register_service("svc/batch/IU/queue", {"name": "long"})
+    sync(stores)
+    assert registries["sdsc"].soap_query({"os": "AIX"}, "")
+    registries["iu"].unregister("svc/batch/IU")
+    sync(stores)
+    assert registries["sdsc"].soap_query({"os": "AIX"}, "") == []
+    assert registries["iu"].export_state() == registries["sdsc"].export_state()
+    with pytest.raises(DiscoveryError):
+        registries["iu"].unregister("svc/never-there")
+
+
+def test_uddi_keys_are_region_prefixed_and_partition_safe():
+    stores, registries = make_pair()
+    # both regions publish *while partitioned* — no exchanges yet
+    be_iu = registries["iu"].save_business(BusinessEntity("", "IU Gateway"))
+    be_sdsc = registries["sdsc"].save_business(BusinessEntity("", "SDSC Gateway"))
+    assert be_iu.key == "uuid:be-iu-00000001"
+    assert be_sdsc.key == "uuid:be-sdsc-00000001"
+    sync(stores)
+    # after the heal both registries hold both entities under distinct keys
+    for registry in registries.values():
+        names = sorted(b.name for b in registry.find_business())
+        assert names == ["IU Gateway", "SDSC Gateway"]
+
+
+def test_key_allocation_resumes_after_state_resync():
+    stores, registries = make_pair()
+    registries["iu"].save_business(BusinessEntity("", "First"))
+    registries["iu"].save_business(BusinessEntity("", "Second"))
+    sync(stores)
+    # a crash-restarted iu: fresh empty store, state returns by anti-entropy
+    reborn_store = ReplicatedStore("iu")
+    for bucket in range(stores["sdsc"].buckets):
+        reborn_store.apply_many(stores["sdsc"].bucket_entries(bucket))
+    reborn = ReplicatedRegistry(reborn_store)
+    entity = reborn.save_business(BusinessEntity("", "Third"))
+    assert entity.key == "uuid:be-iu-00000003"  # never re-issues 1 or 2
+
+
+def test_service_publish_validates_against_merged_state():
+    stores, registries = make_pair()
+    be = registries["iu"].save_business(BusinessEntity("", "IU Gateway"))
+    tm = registries["iu"].save_tmodel(TModel("", "batch-script-v1"))
+    sync(stores)
+    # sdsc can publish a service against iu's business + tModel
+    service = registries["sdsc"].save_service(BusinessService(
+        "", be.key, "BatchScript",
+        category_bag=[KeyedReference(tm.key, "spec")],
+        bindings=[BindingTemplate("", "", "http://sdsc/soap")],
+    ))
+    assert service.key.startswith("uuid:bs-sdsc-")
+    assert service.bindings[0].key == f"{service.key}-bt-0001"
+    with pytest.raises(DiscoveryError):
+        registries["sdsc"].save_service(
+            BusinessService("", "uuid:be-nowhere-00000001", "Ghost")
+        )
+    with pytest.raises(InvalidRequestError):
+        registries["sdsc"].save_service(BusinessService(
+            "", be.key, "BadCat",
+            category_bag=[KeyedReference("uuid:tm-nowhere-00000001", "spec")],
+        ))
+
+
+def test_save_binding_rewrites_service_entry(network):
+    stores, registries = make_pair()
+    be = registries["iu"].save_business(BusinessEntity("", "IU"))
+    service = registries["iu"].save_service(
+        BusinessService("", be.key, "Job")
+    )
+    registries["iu"].save_binding(
+        BindingTemplate("", service.key, "http://iu/soap")
+    )
+    sync(stores)
+    detail = registries["sdsc"].get_service_detail(service.key)
+    assert [b.access_point for b in detail.bindings] == ["http://iu/soap"]
+    with pytest.raises(DiscoveryError):
+        registries["iu"].save_binding(
+            BindingTemplate("", "uuid:bs-nowhere-00000001", "http://x")
+        )
+
+
+def test_delete_service_replicates(network):
+    stores, registries = make_pair()
+    be = registries["iu"].save_business(BusinessEntity("", "IU"))
+    service = registries["iu"].save_service(BusinessService("", be.key, "Job"))
+    sync(stores)
+    assert registries["sdsc"].find_service(name_pattern="Job")
+    registries["sdsc"].delete_service(service.key)
+    sync(stores)
+    assert registries["iu"].find_service(name_pattern="Job") == []
+    with pytest.raises(DiscoveryError):
+        registries["iu"].delete_service(service.key)
+
+
+def test_export_state_and_digest_witness_convergence():
+    stores, registries = make_pair()
+    registries["iu"].register_service("svc/a", {"os": "AIX"})
+    assert registries["iu"].state_digest() != registries["sdsc"].state_digest()
+    sync(stores)
+    assert registries["iu"].state_digest() == registries["sdsc"].state_digest()
+    assert registries["iu"].export_state() == registries["sdsc"].export_state()

@@ -1,0 +1,87 @@
+"""Region-aware failover: local first, cross-region under failure, spring-back."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import DiscoveryError
+from repro.replication import RegionAwareFailoverClient
+from repro.resilience.breaker import CircuitBreakerPolicy
+from repro.soap.server import SoapService
+from repro.transport.server import HttpServer
+
+ECHO_NAMESPACE = "urn:test:regional-echo"
+
+
+def deploy_echo(network, host, answer):
+    service = SoapService("Echo", ECHO_NAMESPACE)
+    service.expose(lambda: answer, name="who")
+    return service.mount(HttpServer(host, network), "/echo")
+
+
+def make_client(network, **kwargs):
+    endpoints = {
+        "iu": (deploy_echo(network, "echo.iu", "iu"),),
+        "sdsc": (deploy_echo(network, "echo.sdsc", "sdsc"),),
+    }
+    client = RegionAwareFailoverClient(
+        network, endpoints, ECHO_NAMESPACE, region="iu",
+        source="client.iu", **kwargs
+    )
+    return endpoints, client
+
+
+def test_endpoints_ordered_local_first(network):
+    endpoints, client = make_client(network)
+    assert client.endpoints[0] in client.local_endpoints
+    assert client.region_of(client.endpoints[0]) == "iu"
+    assert client.region_of(client.endpoints[1]) == "sdsc"
+    assert client.region_of("http://nowhere/") == ""
+
+
+def test_unknown_caller_region_rejected(network):
+    endpoints, _ = make_client(network)
+    with pytest.raises(DiscoveryError):
+        RegionAwareFailoverClient(
+            network,
+            {"iu": endpoints["iu"]},
+            ECHO_NAMESPACE,
+            region="ncsa",
+        )
+
+
+def test_calls_stay_local_while_healthy(network):
+    _, client = make_client(network)
+    for _ in range(5):
+        assert client.call("who") == "iu"
+    assert client.local_calls == 5
+    assert client.cross_region_calls == 0
+
+
+def test_cross_region_failover_when_local_down(network):
+    _, client = make_client(
+        network,
+        breaker_policy=CircuitBreakerPolicy(failure_threshold=1, cooldown=30.0),
+    )
+    network.take_down("echo.iu")
+    # first call rotates onto sdsc (and trips iu's breaker)
+    assert client.call("who") == "sdsc"
+    assert client.failovers_performed >= 1
+    # with iu's breaker open, subsequent calls *start* cross-region
+    assert client.call("who") == "sdsc"
+    assert client.cross_region_calls >= 1
+
+
+def test_traffic_springs_back_after_cooldown(network):
+    _, client = make_client(
+        network,
+        breaker_policy=CircuitBreakerPolicy(failure_threshold=1, cooldown=5.0),
+    )
+    network.take_down("echo.iu")
+    assert client.call("who") == "sdsc"
+    assert client.call("who") == "sdsc"
+    network.bring_up("echo.iu")
+    network.clock.advance(6.0)  # iu's breaker half-opens
+    # the next rotation starts back at the local replica
+    assert client.call("who") == "iu"
+    assert client.local_calls >= 1

@@ -1,0 +1,121 @@
+"""The LWW store: versions, tombstones, merge, and merkle digests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ReplicationError
+from repro.replication.store import Entry, ReplicatedStore, Version
+
+
+def test_version_orders_by_counter_then_region():
+    assert Version(1, "sdsc") < Version(2, "iu")
+    # equal counters: the region name breaks the tie, deterministically
+    assert Version(3, "iu") < Version(3, "sdsc")
+    assert Version(3, "iu") == Version(3, "iu")
+
+
+def test_version_roundtrip_and_malformed():
+    version = Version(7, "iu")
+    assert Version.from_dict(version.to_dict()) == version
+    with pytest.raises(ReplicationError):
+        Version.from_dict({"counter": "nope"})
+    with pytest.raises(ReplicationError):
+        Entry.from_dict({"value": 1})  # no key, no version
+
+
+def test_put_get_delete_and_live_views():
+    store = ReplicatedStore("iu")
+    store.put("a", {"x": 1})
+    store.put("b", "two")
+    assert store.get("a") == {"x": 1}
+    assert store.has("b")
+    assert len(store) == 2
+    store.delete("b")
+    assert store.get("b") is None
+    assert not store.has("b")
+    assert [key for key, _ in store.items()] == ["a"]
+    assert store.keys() == ["a"]
+    # the tombstone still exists for replication purposes
+    assert store.bucket_entries(store._bucket_of("b"))
+
+
+def test_local_writes_monotonic_and_vector_tracks():
+    store = ReplicatedStore("iu")
+    first = store.put("a", 1)
+    second = store.put("a", 2)
+    assert second.version > first.version
+    assert store.vector == {"iu": 2}
+
+
+def test_lww_merge_higher_version_wins():
+    local = ReplicatedStore("iu")
+    local.put("job", "local")
+    remote = ReplicatedStore("sdsc")
+    remote.put("ignored", 0)  # bump sdsc's counter past iu's
+    remote.put("job", "remote")
+    entry = remote.bucket_entries(remote._bucket_of("job"))
+    winning = [e for e in entry if e["key"] == "job"]
+    assert local.apply_many(winning) == 1
+    assert local.get("job") == "remote"
+    # and the merge is idempotent
+    assert local.apply_many(winning) == 0
+
+
+def test_lww_merge_lower_version_loses():
+    local = ReplicatedStore("iu")
+    local.put("pad", 0)
+    local.put("job", "newer")  # counter 2
+    stale = Entry("job", "older", Version(1, "sdsc")).to_dict()
+    assert local.apply(stale) is False
+    assert local.get("job") == "newer"
+
+
+def test_counter_jumps_past_merged_remote():
+    local = ReplicatedStore("iu")
+    local.apply(Entry("k", "v", Version(41, "sdsc")).to_dict())
+    entry = local.put("k", "mine")
+    # the next local write must order after everything merged so far
+    assert entry.version > Version(41, "sdsc")
+    assert local.vector["sdsc"] == 41
+
+
+def test_tombstone_beats_concurrent_recreate():
+    alpha = ReplicatedStore("iu")
+    beta = ReplicatedStore("sdsc")
+    alpha.put("svc", "v1")
+    for data in alpha.bucket_entries(alpha._bucket_of("svc")):
+        beta.apply(data)
+    # partition: alpha deletes (counter 2), beta re-writes (counter 2);
+    # the region name is the deterministic tiebreak on both sides
+    alpha.delete("svc")
+    beta.put("svc", "recreated")
+    for data in list(beta.bucket_entries(beta._bucket_of("svc"))):
+        alpha.apply(data)
+    for data in list(alpha.bucket_entries(alpha._bucket_of("svc"))):
+        beta.apply(data)
+    assert alpha.get("svc") == beta.get("svc")
+    assert alpha.root_digest() == beta.root_digest()
+
+
+def test_digests_equal_iff_state_identical():
+    alpha = ReplicatedStore("iu")
+    beta = ReplicatedStore("iu")
+    for store in (alpha, beta):
+        store.put("x", [1, 2])
+        store.put("y", {"k": "v"})
+    assert alpha.root_digest() == beta.root_digest()
+    beta.put("y", {"k": "w"})
+    assert alpha.root_digest() != beta.root_digest()
+    differing = [
+        b for b in range(alpha.buckets)
+        if alpha.bucket_digest(b) != beta.bucket_digest(b)
+    ]
+    assert differing == [beta._bucket_of("y")]
+
+
+def test_constructor_validation():
+    with pytest.raises(ReplicationError):
+        ReplicatedStore("")
+    with pytest.raises(ReplicationError):
+        ReplicatedStore("iu", buckets=0)

@@ -7,7 +7,13 @@ from __future__ import annotations
 import pytest
 
 from repro.resilience.breaker import CircuitBreakerPolicy
-from repro.resilience.chaos import ChaosConfig, ChaosHarness, ChaosMonkey
+from repro.resilience.chaos import (
+    PARTITION,
+    PARTITION_HEAL,
+    ChaosConfig,
+    ChaosHarness,
+    ChaosMonkey,
+)
 from repro.resilience.events import ResilienceLog
 from repro.resilience.failover import FailoverClient
 from repro.resilience.policy import RetryPolicy
@@ -124,3 +130,74 @@ def test_long_chaos_run_is_deterministic_and_survivable():
     # requests are legitimately lost; the layer still serves the majority
     assert first.success_rate >= 0.5
     assert len(first.events) > 50
+
+
+def test_legacy_schedules_replay_unchanged_without_regions():
+    """Partitions default off: pre-region seeded schedules stay byte-identical."""
+    config = ChaosConfig(p_take_down=0.1, p_fault_burst=0.1,
+                         p_latency_spike=0.1, p_flap=0.05)
+    first = run_chaos(seed=77, iterations=120, config=config)
+    second = run_chaos(seed=77, iterations=120, config=config)
+    assert first.events == second.events
+    assert PARTITION not in [e["code"] for e in first.events]
+
+
+def test_region_partitions_are_drawn_and_healed():
+    network = VirtualNetwork(seed=5)
+    log = ResilienceLog()
+    for host in ("a.iu", "b.sdsc"):
+        network.register(host, lambda r: None)
+    monkey = ChaosMonkey(
+        network, ["a.iu", "b.sdsc"], seed=5, log=log,
+        config=ChaosConfig(p_take_down=0.0, p_fault_burst=0.0,
+                           p_latency_spike=0.0, p_flap=0.0,
+                           p_partition=0.5, partition_duration=(1.0, 2.0)),
+        regions={"iu": ("a.iu",), "sdsc": ("b.sdsc",)},
+    )
+    for _ in range(30):
+        monkey.step()
+        network.clock.advance(1.0)
+    monkey.heal_all()
+    codes = [e.code for e in log.events]
+    assert monkey.partitions_injected >= 1
+    assert codes.count(PARTITION) == monkey.partitions_injected
+    assert codes.count(PARTITION_HEAL) == codes.count(PARTITION)
+    assert not network.active_partitions()
+
+
+def test_heal_all_clears_partitions_and_armed_charges():
+    network = VirtualNetwork(seed=9)
+    network.register("a.iu", lambda r: None)
+    network.register("b.sdsc", lambda r: None)
+    monkey = ChaosMonkey(
+        network, ["a.iu", "b.sdsc"], seed=9,
+        config=ChaosConfig(p_partition=1.0),
+        regions={"iu": ("a.iu",), "sdsc": ("b.sdsc",)},
+    )
+    monkey.step()
+    assert network.active_partitions()
+    network.fail_next("a.iu", times=2)
+    monkey.heal_all()
+    assert not network.active_partitions()
+    assert network.pending_failures("a.iu") == 0
+
+
+def test_restart_rebuilders_run_after_repair():
+    network = VirtualNetwork(seed=2)
+    network.register("svc.iu", lambda r: None)
+    rebuilt = []
+    monkey = ChaosMonkey(
+        network, ["svc.iu"], seed=2,
+        config=ChaosConfig(p_take_down=1.0, down_duration=(1.0, 1.0),
+                           p_fault_burst=0.0, p_latency_spike=0.0, p_flap=0.0),
+        rebuilders={"svc.iu": lambda: rebuilt.append("svc.iu")},
+    )
+    monkey.step()
+    assert not network.is_up("svc.iu")
+    network.clock.advance(1.5)
+    monkey.step()  # repairs + rebuilds, then (p=1.0) cuts it down again
+    assert rebuilt == ["svc.iu"]
+    assert monkey.restarts_performed == 1
+    monkey.heal_all()
+    assert network.is_up("svc.iu")
+    assert rebuilt == ["svc.iu", "svc.iu"]

@@ -79,3 +79,70 @@ def test_shell_monitoring_commands(deployment):
     assert "blue.sdsc.edu" in load and "LSF" in load
     table = shell.run("qstat modi4.iu.edu")
     assert table  # jobs from earlier tests or "(no jobs)"
+
+
+def test_replication_summary_empty_without_topology(deployment, monitor):
+    # the classic single-region portal: the view exists but reports nothing
+    assert monitor.call("replication_summary") == []
+
+
+def test_replication_portlet_reports_missing_topology(deployment):
+    from repro.services.monitoring import ReplicationPortlet
+
+    portlet = ReplicationPortlet(
+        deployment.network, deployment.endpoints["monitoring"], source="p.rep"
+    )
+    assert "no replication topology" in portlet.render("/portal")
+
+
+@pytest.fixture(scope="module")
+def regioned():
+    from repro.portal.uiserver import PortalDeployment
+
+    return PortalDeployment.build(observe=True, regions=("iu", "sdsc"))
+
+
+def test_replication_summary_rows_and_gauges(regioned):
+    from repro.services.monitoring import MONITORING_NAMESPACE
+
+    monitor = SoapClient(
+        regioned.network, regioned.endpoints["monitoring"],
+        MONITORING_NAMESPACE, source="ui.rep",
+    )
+    regioned.replication.nodes["iu"].registry.register_service(
+        "svc/iu/monitoring-probe", {"kind": "probe"}
+    )
+    regioned.replication.run_anti_entropy()
+    rows = monitor.call("replication_summary")
+    assert [row["region"] for row in rows] == ["iu", "sdsc"]
+    for row in rows:
+        assert set(row) >= {
+            "region", "host", "entries", "digest", "lag_s",
+            "hint_backlog", "context_seq", "last_heal_t",
+        }
+        assert row["entries"] >= 1
+    # converged regions show identical digests
+    assert len({row["digest"] for row in rows}) == 1
+    # the gauges mirror the live rows (a level, not a flow)
+    gauges = regioned.observability.metrics.gauges
+    lag_gauges = {
+        key: value for key, value in gauges.items()
+        if key[0] == "replication_lag"
+    }
+    assert set(lag_gauges) == {("replication_lag", "iu"),
+                               ("replication_lag", "sdsc")}
+
+
+def test_replication_portlet_renders_and_escapes(regioned):
+    from repro.services.monitoring import ReplicationPortlet
+
+    portlet = ReplicationPortlet(
+        regioned.network, regioned.endpoints["monitoring"], source="p.rep2"
+    )
+    html = portlet.render("/portal")
+    assert '<table class="replication">' in html
+    assert "<td>iu</td>" in html and "<td>sdsc</td>" in html
+    # untrusted cells are escaped: nothing a remote row says becomes markup
+    from repro.services.monitoring import _esc
+
+    assert _esc("<img onerror=x>") == "&lt;img onerror=x&gt;"

@@ -20,6 +20,9 @@ ALL_ERRORS = [
     faults.DiscoveryError,
     faults.DeadlineExceededError,
     faults.ServerBusyError,
+    faults.ReplicationError,
+    faults.QuorumLostError,
+    faults.StaleReadError,
 ]
 
 # every class the wire vocabulary can name, straight from the registry

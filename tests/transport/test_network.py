@@ -228,3 +228,91 @@ def test_server_catches_handler_crash(network):
     response = network.send(HttpRequest("GET", Url("crashy", "/b")))
     assert response.status == 500
     assert "kaput" in response.body
+
+
+def test_oneway_partition_is_asymmetric(network):
+    network.register("east", echo)
+    network.register("west", echo)
+    network.partition_oneway({"east"}, {"west"})
+    with pytest.raises(TransportError):
+        network.send(HttpRequest("GET", Url("west", "/")), source="east")
+    # the reverse direction still flows (the heartbeat-breaking shape)
+    assert network.send(HttpRequest("GET", Url("east", "/")), source="west").ok
+    network.heal_partitions()
+    assert network.send(HttpRequest("GET", Url("west", "/")), source="east").ok
+
+
+def test_partial_partition_drops_probabilistically_and_counts(network):
+    network.register("svc", echo)
+    network.partition_partial({"client"}, {"svc"}, 0.5)
+    outcomes = []
+    for _ in range(40):
+        try:
+            network.send(HttpRequest("GET", Url("svc", "/")))
+            outcomes.append(True)
+        except TransportError:
+            outcomes.append(False)
+    # a flaky trunk: some attempts cross, some are dropped
+    assert any(outcomes) and not all(outcomes)
+    dropped = outcomes.count(False)
+    assert network.stats.partition_blocked == dropped
+    assert network.stats.per_pair_blocked["client->svc"] == dropped
+
+
+def test_partial_partition_is_seed_deterministic():
+    def run(seed):
+        net = VirtualNetwork(seed=seed)
+        net.register("svc", echo)
+        net.partition_partial({"client"}, {"svc"}, 0.5)
+        outcomes = []
+        for _ in range(20):
+            try:
+                net.send(HttpRequest("GET", Url("svc", "/")))
+                outcomes.append(True)
+            except TransportError:
+                outcomes.append(False)
+        return outcomes
+
+    assert run(5) == run(5)
+    with pytest.raises(ValueError):
+        VirtualNetwork().partition_partial({"a"}, {"b"}, 0.0)
+
+
+def test_partitions_heal_selectively_by_id(network):
+    network.register("east", echo)
+    network.register("west", echo)
+    first = network.partition({"client"}, {"east"})
+    second = network.partition({"client"}, {"west"})
+    assert [pid for pid, _ in network.active_partitions()] == [first, second]
+    assert network.heal_partition(first)
+    assert not network.heal_partition(first)  # already healed
+    assert network.send(HttpRequest("GET", Url("east", "/"))).ok
+    with pytest.raises(TransportError):
+        network.send(HttpRequest("GET", Url("west", "/")))
+    spec = network.active_partitions()[0][1]
+    assert spec.mode == "full" and "west" in spec.side_b
+
+
+def test_partition_blocked_attempts_are_counted(network):
+    network.register("svc", echo)
+    network.partition({"client"}, {"svc"})
+    for _ in range(3):
+        with pytest.raises(TransportError):
+            network.send(HttpRequest("GET", Url("svc", "/")))
+    assert network.stats.partition_blocked == 3
+    assert network.stats.per_pair_blocked == {"client->svc": 3}
+    window = network.stats.snapshot()
+    with pytest.raises(TransportError):
+        network.send(HttpRequest("GET", Url("svc", "/")))
+    delta = network.stats.delta(window)
+    assert delta.partition_blocked == 1
+    assert delta.per_pair_blocked == {"client->svc": 1}
+
+
+def test_clear_failures_drops_armed_charges(network):
+    network.register("svc", echo)
+    network.fail_next("svc", times=3)
+    assert network.pending_failures("svc") == 3
+    assert network.clear_failures("svc") == 3
+    assert network.pending_failures("svc") == 0
+    assert network.send(HttpRequest("GET", Url("svc", "/"))).ok
