@@ -10,4 +10,5 @@ from repro.analysis.checkers import (  # noqa: F401  (registration side effects)
     contracts,
     headers,
     hygiene,
+    simtest,
 )

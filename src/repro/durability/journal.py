@@ -121,7 +121,21 @@ class Journal:
     # -- writing ------------------------------------------------------------
 
     def append(self, kind: str, **data) -> JournalRecord:
-        """Durably append one record; returns it."""
+        """Durably append one record; returns it.
+
+        A full disk refuses the append with the taxonomy's retryable
+        ``Portal.ResourceExhausted`` *before* anything is written — callers
+        following the write-ahead discipline therefore never acknowledge
+        work the journal could not hold.
+        """
+        if getattr(self.disk, "full", False):
+            from repro.faults import ResourceExhaustedError
+
+            raise ResourceExhaustedError(
+                f"disk on {self.disk.host!r} is full; "
+                f"cannot append to journal {self.name!r}",
+                {"host": self.disk.host, "journal": self.name},
+            )
         prev_crc = self._log[-1].crc if self._log else GENESIS_CRC
         record = JournalRecord(
             seq=len(self._log) + 1,

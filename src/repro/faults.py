@@ -204,6 +204,21 @@ class DeadlineExceededError(PortalError):
     retryable = False  # the time budget is already spent
 
 
+class BudgetViolationError(PortalError):
+    """A SOAP hop's deadline budget *grew* instead of shrinking.
+
+    Every nested call must finish within its caller's budget, so the
+    deadline riding a request can only move earlier (or stay put) as the
+    chain deepens.  A hop that arrives with a *later* absolute deadline
+    than its enclosing call means somewhere a stale or forged budget was
+    propagated — the callee would happily work past the point the original
+    caller gave up.  Terminal: retrying re-sends the same broken budget.
+    """
+
+    code = "Portal.BudgetViolation"
+    retryable = False  # the propagated budget stays broken on retry
+
+
 class SchemaError(PortalError):
     """An XML document failed schema validation or binding."""
 
@@ -258,6 +273,7 @@ _CODE_REGISTRY: dict[str, type[PortalError]] = {
         ContextError,
         SchemaError,
         DiscoveryError,
+        BudgetViolationError,
         DeadlineExceededError,
         ServerBusyError,
         ReplicationError,

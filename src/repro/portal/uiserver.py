@@ -120,6 +120,11 @@ class PortalDeployment:
     #: the multi-region topology when built with ``regions`` (see
     #: repro.replication) — None for the classic single-region portal
     replication: object | None = None
+    #: host -> closure re-deploying that host's services from its surviving
+    #: disk (populated with ``durable=True`` and/or ``regions``); hand this
+    #: to a ChaosMonkey so a repaired host restarts instead of staying a
+    #: registered-but-empty shell
+    rebuilders: dict[str, object] = field(default_factory=dict)
 
     @staticmethod
     def build(
@@ -133,6 +138,7 @@ class PortalDeployment:
         metascheduler_policy: str = "least-loaded",
         regions: tuple[str, ...] | None = None,
         replication_seed: int = 0,
+        durable: bool = False,
     ) -> "PortalDeployment":
         """Deploy the full architecture; ``users`` maps user -> password.
 
@@ -211,7 +217,7 @@ class PortalDeployment:
         )
         load.register(admission)
         globusrun, globusrun_url = deploy_globusrun(
-            network, testbed, service_proxy,
+            network, testbed, service_proxy, durable=durable,
             admission=admission, resilience_log=resilience,
         )
         metascheduler, metascheduler_url = deploy_metascheduler(
@@ -298,7 +304,7 @@ class PortalDeployment:
             context_endpoint=context_url,
         )
 
-        return PortalDeployment(
+        deployment = PortalDeployment(
             network=network,
             ca=ca,
             kdc=kdc,
@@ -333,6 +339,23 @@ class PortalDeployment:
             },
             users=users,
         )
+        if durable:
+            globusrun_host = "globusrun.sdsc.edu"
+
+            def rebuild_globusrun() -> None:
+                # the crash-restart path: a fresh process attaches to the
+                # host's surviving disk, replays its journals, and replaces
+                # the deployment's handle so callers see the new incarnation
+                impl, _ = deploy_globusrun(
+                    network, testbed, service_proxy, durable=True,
+                    admission=admission, resilience_log=resilience,
+                )
+                deployment.globusrun = impl
+
+            deployment.rebuilders[globusrun_host] = rebuild_globusrun
+        if replication is not None:
+            deployment.rebuilders.update(replication.rebuilders())
+        return deployment
 
 
 class UserInterfaceServer:

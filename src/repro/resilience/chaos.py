@@ -10,10 +10,21 @@ Everything runs on the virtual clock, so a chaos run with a fixed seed is
 *fully deterministic*: two runs produce identical
 :class:`~repro.faults.ErrorReport` streams, which is what makes resilience
 regressions diffable.
+
+The fault *primitives* (``inject_take_down``, ``inject_fault_burst``,
+``inject_latency_spike``, ``inject_flap``, ``inject_partition``) are public:
+the seeded :meth:`ChaosMonkey.step` draw uses them, and so does the
+simulation-testing rig (:mod:`repro.simtest`), which composes them into
+explicit nemesis schedules instead of probabilistic draws.  Deferred
+effects (repairs, partition heals) live in one pending-event queue ordered
+by ``(due time, event id)`` — event ids are assigned in scheduling order
+from a single counter, so two events due at the same virtual tick always
+apply in the same total order and same-seed schedules are byte-identical.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -58,14 +69,22 @@ class ChaosConfig:
     partition_loss: float = 0.75
 
 
+#: a config with every probability zero — the simtest rig uses it to drive
+#: the primitives from an explicit schedule with no random draws at all
+SCHEDULED_ONLY = ChaosConfig(
+    p_take_down=0.0, p_fault_burst=0.0, p_latency_spike=0.0, p_flap=0.0,
+    p_partition=0.0,
+)
+
+
 class ChaosMonkey:
     """Injects a random-but-reproducible fault schedule into the network.
 
-    Call :meth:`step` between workload iterations: due repairs are applied
-    first (a downed host comes back when its outage expires on the virtual
-    clock), then each target host independently draws one fault — or none —
-    for this step.  Hosts in ``protected`` are never touched (take the
-    registry down and nothing can discover the way around the outage).
+    Call :meth:`step` between workload iterations: due repairs and partition
+    heals are applied first in ``(due, event id)`` order, then each target
+    host independently draws one fault — or none — for this step.  Hosts in
+    ``protected`` are never touched (take the registry down and nothing can
+    discover the way around the outage).
     """
 
     def __init__(
@@ -99,10 +118,14 @@ class ChaosMonkey:
         }
         self.partitions_injected = 0
         self._rng = random.Random(seed)
-        self._repairs: list[tuple[float, str]] = []  # (due time, host)
         self._down: set[str] = set()
-        #: (heal due time, network partition id, "a|b" label)
-        self._partition_heals: list[tuple[float, int, str]] = []
+        #: the unified deferred-effect queue: (due time, event id, action,
+        #: payload).  Event ids come from one counter in scheduling order,
+        #: so sorting by (due, id) gives every pending effect — repair or
+        #: partition heal — one deterministic total order even when several
+        #: fall due at the same virtual tick.
+        self._pending: list[tuple[float, int, str, Any]] = []
+        self._event_ids = itertools.count(1)
 
     def _record(self, code: str, message: str, host: str, **detail: Any) -> None:
         self.log.record(
@@ -113,62 +136,162 @@ class ChaosMonkey:
                     **{k: str(v) for k, v in detail.items()}},
         )
 
-    def step(self) -> None:
-        """Apply due repairs and partition heals, then draw this step's
-        faults."""
-        now = self.clock.now
-        still_pending: list[tuple[float, str]] = []
-        for due, host in self._repairs:
-            if due <= now:
+    def _schedule(self, due: float, action: str, payload: Any) -> None:
+        self._pending.append((due, next(self._event_ids), action, payload))
+
+    def pending_events(self) -> list[tuple[float, int, str, Any]]:
+        """The deferred repairs/heals still queued, in application order."""
+        return sorted(self._pending)
+
+    def has_active_partition(self) -> bool:
+        """Whether a monkey-injected partition is still waiting to heal."""
+        return any(action == "heal-partition" for _, _, action, _ in self._pending)
+
+    # -- the fault primitives (public: simtest nemeses call these) ----------
+
+    def inject_take_down(self, host: str, duration: float) -> None:
+        """Kill *host* now; schedule its repair (and durable rebuild)."""
+        self.network.take_down(host)
+        self._down.add(host)
+        self._schedule(self.clock.now + duration, "repair", host)
+        self.faults_injected += 1
+        self._record(
+            TAKE_DOWN, f"{host} down for {duration:.3f}s", host,
+            duration=f"{duration:.6f}",
+        )
+
+    def inject_fault_burst(self, host: str, size: int) -> bool:
+        """Arm *size* transport failures at *host*; returns whether armed.
+
+        Bursts never stack on unconsumed charges: a circuit breaker diverts
+        traffic away from a faulty host, and piled-up charges would turn a
+        blip into a permanent outage no probe can ever clear.
+        """
+        if self.network.pending_failures(host) != 0:
+            return False
+        self.network.fail_next(host, times=size)
+        self.faults_injected += 1
+        self._record(
+            FAULT_BURST, f"{size} injected failures at {host}", host, size=size,
+        )
+        return True
+
+    def inject_latency_spike(
+        self, host: str, magnitude: float, probability: float = 1.0
+    ) -> None:
+        """Add *magnitude* virtual seconds to requests hitting *host*."""
+        self.network.set_latency_spike(host, probability, magnitude)
+        self.faults_injected += 1
+        self._record(
+            LATENCY_SPIKE, f"+{magnitude:.3f}s latency at {host}", host,
+            magnitude=f"{magnitude:.6f}",
+        )
+
+    def inject_flap(
+        self, host: str, up_for: float, down_for: float, duration: float
+    ) -> None:
+        """Make *host* flap up/down until a repair ends the episode."""
+        self.network.set_flapping(host, up_for, down_for)
+        self._down.add(host)  # treat as faulted until repaired
+        self._schedule(self.clock.now + duration, "repair", host)
+        self.faults_injected += 1
+        self._record(
+            FLAP,
+            f"{host} flapping {up_for}/{down_for}s for {duration:.3f}s",
+            host,
+            duration=f"{duration:.6f}",
+        )
+
+    def inject_partition(
+        self,
+        region_a: str,
+        region_b: str,
+        mode: str,
+        duration: float,
+        *,
+        loss: float | None = None,
+    ) -> int:
+        """Cut regions *region_a* and *region_b* apart; schedule the heal.
+
+        ``mode`` is one of ``full`` / ``oneway`` / ``partial`` (see
+        :class:`~repro.transport.network.PartitionSpec`); *loss* overrides
+        the config's per-attempt drop probability for partial cuts.
+        Returns the network partition id.
+        """
+        side_a = set(self.regions[region_a])
+        side_b = set(self.regions[region_b])
+        if mode == "oneway":
+            partition_id = self.network.partition_oneway(side_a, side_b)
+        elif mode == "partial":
+            partition_id = self.network.partition_partial(
+                side_a, side_b,
+                self.config.partition_loss if loss is None else loss,
+            )
+        else:
+            partition_id = self.network.partition(side_a, side_b)
+        label = f"{region_a}|{region_b}"
+        self._schedule(
+            self.clock.now + duration, "heal-partition", (partition_id, label)
+        )
+        self.faults_injected += 1
+        self.partitions_injected += 1
+        self._record(
+            PARTITION,
+            f"{mode} partition {label} for {duration:.3f}s",
+            label,
+            mode=mode,
+            duration=f"{duration:.6f}",
+            partition=partition_id,
+        )
+        return partition_id
+
+    # -- applying deferred effects -------------------------------------------
+
+    def apply_due(self, now: float | None = None) -> None:
+        """Apply every repair/heal due by *now* in ``(due, id)`` order."""
+        if now is None:
+            now = self.clock.now
+        due = sorted(event for event in self._pending if event[0] <= now)
+        self._pending = [event for event in self._pending if event[0] > now]
+        for _due, _event_id, action, payload in due:
+            if action == "repair":
+                host = payload
                 self.network.bring_up(host)
                 self._down.discard(host)
                 self._record(REPAIR, f"{host} repaired", host)
                 self._restart(host)
-            else:
-                still_pending.append((due, host))
-        self._repairs = still_pending
-        self._apply_due_partition_heals(now)
+            elif action == "heal-partition":
+                partition_id, label = payload
+                self.network.heal_partition(partition_id)
+                self._record(
+                    PARTITION_HEAL, f"partition {label} healed", label,
+                    partition=partition_id,
+                )
+
+    def step(self) -> None:
+        """Apply due repairs and partition heals, then draw this step's
+        faults."""
+        now = self.clock.now
+        self.apply_due(now)
 
         config = self.config
         if self.regions and config.p_partition > 0:
-            self._maybe_partition(now)
+            self._maybe_partition()
         for host in self.hosts:
             if host in self._down:
                 continue
             draw = self._rng.random()
             if draw < config.p_take_down:
                 duration = self._rng.uniform(*config.down_duration)
-                self.network.take_down(host)
-                self._down.add(host)
-                self._repairs.append((now + duration, host))
-                self.faults_injected += 1
-                self._record(
-                    TAKE_DOWN, f"{host} down for {duration:.3f}s", host,
-                    duration=f"{duration:.6f}",
-                )
+                self.inject_take_down(host, duration)
             elif draw < config.p_take_down + config.p_fault_burst:
                 size = self._rng.randint(*config.burst_size)
-                # don't stack bursts on a host that hasn't consumed the last
-                # one: a circuit breaker diverts traffic away from a faulty
-                # host, and unconsumed charges would otherwise pile up into
-                # a permanent outage no probe can ever clear
-                if self.network.pending_failures(host) == 0:
-                    self.network.fail_next(host, times=size)
-                    self.faults_injected += 1
-                    self._record(
-                        FAULT_BURST, f"{size} injected failures at {host}",
-                        host, size=size,
-                    )
+                self.inject_fault_burst(host, size)
             elif draw < (
                 config.p_take_down + config.p_fault_burst + config.p_latency_spike
             ):
                 magnitude = self._rng.uniform(*config.spike_magnitude)
-                self.network.set_latency_spike(host, 1.0, magnitude)
-                self.faults_injected += 1
-                self._record(
-                    LATENCY_SPIKE, f"+{magnitude:.3f}s latency at {host}", host,
-                    magnitude=f"{magnitude:.6f}",
-                )
+                self.inject_latency_spike(host, magnitude)
             else:
                 # clear any lingering spike so they don't accumulate forever
                 self.network.set_latency_spike(host, 0.0, 0.0)
@@ -180,68 +303,25 @@ class ChaosMonkey:
                 )
                 if draw < threshold:
                     up_for, down_for = config.flap_phases
-                    self.network.set_flapping(host, up_for, down_for)
-                    self._down.add(host)  # treat as faulted until repaired
                     duration = self._rng.uniform(*config.down_duration)
-                    self._repairs.append((now + duration, host))
-                    self.faults_injected += 1
-                    self._record(
-                        FLAP,
-                        f"{host} flapping {up_for}/{down_for}s for {duration:.3f}s",
-                        host,
-                        duration=f"{duration:.6f}",
-                    )
+                    self.inject_flap(host, up_for, down_for, duration)
 
-    def _apply_due_partition_heals(self, now: float) -> None:
-        still_cut: list[tuple[float, int, str]] = []
-        for due, partition_id, label in self._partition_heals:
-            if due <= now:
-                self.network.heal_partition(partition_id)
-                self._record(
-                    PARTITION_HEAL, f"partition {label} healed", label,
-                    partition=partition_id,
-                )
-            else:
-                still_cut.append((due, partition_id, label))
-        self._partition_heals = still_cut
-
-    def _maybe_partition(self, now: float) -> None:
+    def _maybe_partition(self) -> None:
         """One seeded draw per step: maybe cut a pair of regions apart."""
         config = self.config
         if self._rng.random() >= config.p_partition:
             return
-        if self._partition_heals:
+        if self.has_active_partition():
             return  # one split-brain at a time keeps schedules analysable
         names = sorted(self.regions)
         if len(names) < 2:
             return
         region_a, region_b = self._rng.sample(names, 2)
-        side_a = set(self.regions[region_a])
-        side_b = set(self.regions[region_b])
         mode = config.partition_modes[
             self._rng.randrange(len(config.partition_modes))
         ]
-        if mode == "oneway":
-            partition_id = self.network.partition_oneway(side_a, side_b)
-        elif mode == "partial":
-            partition_id = self.network.partition_partial(
-                side_a, side_b, config.partition_loss
-            )
-        else:
-            partition_id = self.network.partition(side_a, side_b)
         duration = self._rng.uniform(*config.partition_duration)
-        label = f"{region_a}|{region_b}"
-        self._partition_heals.append((now + duration, partition_id, label))
-        self.faults_injected += 1
-        self.partitions_injected += 1
-        self._record(
-            PARTITION,
-            f"{mode} partition {label} for {duration:.3f}s",
-            label,
-            mode=mode,
-            duration=f"{duration:.6f}",
-            partition=partition_id,
-        )
+        self.inject_partition(region_a, region_b, mode, duration)
 
     def _restart(self, host: str) -> None:
         """Re-deploy a repaired host's services from its surviving disk."""
@@ -254,20 +334,24 @@ class ChaosMonkey:
 
     def heal_all(self) -> None:
         """Repair everything immediately (end-of-run cleanup)."""
-        repaired = {host for _, host in self._repairs} | set(self._down)
-        for _, host in self._repairs:
-            self.network.bring_up(host)
-        self._repairs.clear()
+        repaired = {
+            payload for _, _, action, payload in self._pending
+            if action == "repair"
+        } | set(self._down)
+        for _due, _event_id, action, payload in sorted(self._pending):
+            if action == "repair":
+                self.network.bring_up(payload)
+            elif action == "heal-partition":
+                partition_id, label = payload
+                self.network.heal_partition(partition_id)
+                self._record(
+                    PARTITION_HEAL, f"partition {label} healed", label,
+                    partition=partition_id,
+                )
+        self._pending.clear()
         for host in list(self._down):
             self.network.bring_up(host)
         self._down.clear()
-        for _, partition_id, label in self._partition_heals:
-            self.network.heal_partition(partition_id)
-            self._record(
-                PARTITION_HEAL, f"partition {label} healed", label,
-                partition=partition_id,
-            )
-        self._partition_heals.clear()
         for host in sorted(repaired):
             self._restart(host)
         for host in self.hosts:

@@ -87,6 +87,88 @@ class Deadline:
         return None
 
 
+# -- the inbound-budget stack ------------------------------------------------
+#
+# While a SOAP server dispatches a request that carried a deadline header,
+# that deadline is the *enclosing budget* for every nested call the handler
+# makes.  The server pushes it here around dispatch (see
+# repro.soap.server.SoapService); nested clients inherit it when the caller
+# gave them no explicit timeout, and every deeper hop is checked against it:
+# an inbound deadline *later* than the enclosing one means a stale budget
+# was propagated, which raises the terminal ``Portal.BudgetViolation``.
+
+_INBOUND_DEADLINES: list[Deadline] = []
+
+#: single-slot observer of every checked hop; the simtest deadline-budget
+#: oracle installs one.  ``listener(record)`` receives a dict with the
+#: service/method and the enclosing/inbound absolute deadlines.
+_HOP_LISTENER = None
+
+#: tolerance for float round-trips through the header encoding
+_BUDGET_EPSILON = 1e-9
+
+
+def set_hop_listener(listener) -> None:
+    """Install (or clear, with ``None``) the deadline-hop observer."""
+    global _HOP_LISTENER
+    _HOP_LISTENER = listener
+
+
+def push_inbound_deadline(deadline: Deadline) -> None:
+    """Enter a dispatch whose request carried *deadline*."""
+    _INBOUND_DEADLINES.append(deadline)
+
+
+def pop_inbound_deadline() -> None:
+    """Leave the innermost deadline-carrying dispatch."""
+    if _INBOUND_DEADLINES:
+        _INBOUND_DEADLINES.pop()
+
+
+def current_inbound_deadline() -> Deadline | None:
+    """The innermost in-flight request deadline, if any (the budget every
+    nested call made by the current handler must fit inside)."""
+    return _INBOUND_DEADLINES[-1] if _INBOUND_DEADLINES else None
+
+
+def check_hop_budget(
+    inbound: Deadline, *, clock: SimClock, service: str = "", method: str = ""
+) -> None:
+    """Enforce the monotone-budget invariant for one inbound hop.
+
+    Inside an enclosing dispatch, the nested request's absolute deadline
+    may only be earlier than (or equal to) the enclosing one — wire time
+    already makes the *remaining* budget strictly decrease.  A later
+    deadline is a stale/forged budget: raise the classified, terminal
+    ``Portal.BudgetViolation`` instead of silently working past the point
+    the original caller gave up.
+    """
+    enclosing = current_inbound_deadline()
+    if _HOP_LISTENER is not None:
+        _HOP_LISTENER({
+            "service": service,
+            "method": method,
+            "enclosing_at": enclosing.at if enclosing is not None else None,
+            "inbound_at": inbound.at,
+            "now": clock.now,
+        })
+    if enclosing is None:
+        return
+    if inbound.at > enclosing.at + _BUDGET_EPSILON:
+        from repro.faults import BudgetViolationError
+
+        raise BudgetViolationError(
+            f"hop {method!r} arrived with deadline {inbound.at!r} later than "
+            f"its enclosing budget {enclosing.at!r}: stale budget propagated",
+            {
+                "method": method,
+                "service": service,
+                "inbound": repr(inbound.at),
+                "enclosing": repr(enclosing.at),
+            },
+        )
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded exponential backoff with deterministic jitter.

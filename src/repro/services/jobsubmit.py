@@ -222,10 +222,14 @@ class GlobusrunService:
         if key and key in self._keys:
             return self._keys[key]
         batch = f"batch-{next(self._batch_ids):06d}"
+        # write-ahead: the journal append happens before any in-memory
+        # registration, so a refused append (disk full) leaves no state
+        # behind — a retry of the same key re-runs acceptance cleanly
+        # instead of being served a batch id that was never made durable
+        self._journal("batch-accept", batch=batch, xml=jobs_xml, key=key)
         self._accepted[batch] = jobs_xml
         if key:
             self._keys[key] = batch
-        self._journal("batch-accept", batch=batch, xml=jobs_xml, key=key)
         return batch
 
     def _resolve(self, batch: str) -> str:

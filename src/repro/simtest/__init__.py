@@ -1,0 +1,79 @@
+"""Deterministic simulation testing for the whole portal stack.
+
+The FoundationDB/Jepsen idea, scaled to this codebase: compose *nemeses*
+(:mod:`repro.simtest.nemesis`) into seeded fault schedules, drive a full
+:class:`~repro.portal.uiserver.PortalDeployment` workload under them
+(:mod:`repro.simtest.harness`), check system-wide invariant *oracles*
+continuously (:mod:`repro.simtest.oracles`), sweep seeds from the command
+line (``python -m repro.simtest --seeds 200``), and delta-debug any
+failing schedule down to a minimal, byte-identically re-runnable repro
+(:mod:`repro.simtest.shrink`).
+"""
+
+from repro.simtest.explorer import REPORT_SCHEMA, report_json, run_seed, sweep
+from repro.simtest.harness import (
+    CANARIES,
+    DEFAULT_TICKS,
+    RESULT_SCHEMA,
+    RunResult,
+    SimulationRun,
+    SimWorld,
+    default_composition,
+)
+from repro.simtest.nemesis import (
+    SCHEDULE_SCHEMA,
+    BreakerFlapNemesis,
+    ClockStallNemesis,
+    Composition,
+    CrashNemesis,
+    DiskFullNemesis,
+    FlapNemesis,
+    LatencySpikeNemesis,
+    MidWriteCrashNemesis,
+    Nemesis,
+    NemesisEvent,
+    NemesisSchedule,
+    PartitionNemesis,
+    compose,
+)
+from repro.simtest.oracles import (
+    Oracle,
+    Violation,
+    register_oracle,
+    registered_oracles,
+)
+from repro.simtest.shrink import ShrinkResult, shrink_schedule
+
+__all__ = [
+    "BreakerFlapNemesis",
+    "CANARIES",
+    "ClockStallNemesis",
+    "Composition",
+    "CrashNemesis",
+    "DEFAULT_TICKS",
+    "DiskFullNemesis",
+    "FlapNemesis",
+    "LatencySpikeNemesis",
+    "MidWriteCrashNemesis",
+    "Nemesis",
+    "NemesisEvent",
+    "NemesisSchedule",
+    "Oracle",
+    "PartitionNemesis",
+    "REPORT_SCHEMA",
+    "RESULT_SCHEMA",
+    "RunResult",
+    "SCHEDULE_SCHEMA",
+    "ShrinkResult",
+    "SimWorld",
+    "SimulationRun",
+    "Violation",
+    "compose",
+    "default_composition",
+    "register_oracle",
+    "registered_oracles",
+    "report_json",
+    "run_seed",
+    "shrink_schedule",
+    "sweep",
+]

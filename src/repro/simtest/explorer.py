@@ -1,0 +1,95 @@
+"""The seed-sweep explorer: many seeds, one verdict, machine-readable.
+
+:func:`sweep` runs :class:`SimulationRun` for each seed, shrinks every
+failure to a minimal schedule, and assembles a
+``repro.simtest.report/v1`` JSON document.  The report is canonical
+(sorted keys, no wall-clock anywhere) so the same seeds always produce a
+byte-identical report — CI can diff two sweeps of the same commit and any
+difference is a determinism bug, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.simtest.harness import DEFAULT_TICKS, RunResult, SimulationRun
+from repro.simtest.shrink import ShrinkResult, shrink_schedule
+
+REPORT_SCHEMA = "repro.simtest.report/v1"
+
+
+def run_seed(
+    seed,
+    *,
+    ticks: int = DEFAULT_TICKS,
+    schedule=None,
+    canary: str = "",
+) -> RunResult:
+    """One seeded run with the standard oracle battery."""
+    return SimulationRun(
+        seed, ticks=ticks, schedule=schedule, canary=canary
+    ).run()
+
+
+def sweep(
+    seeds,
+    *,
+    ticks: int = DEFAULT_TICKS,
+    canary: str = "",
+    shrink: bool = True,
+    max_probes: int = 200,
+    progress=None,
+) -> dict:
+    """Run every seed; returns the report/v1 dict.
+
+    ``progress`` (optional callable taking one line of text) receives a
+    human-oriented line per seed so long sweeps are watchable without
+    touching the machine-readable output.
+    """
+    results: list[dict] = []
+    failures = 0
+    for seed in seeds:
+        result = run_seed(seed, ticks=ticks, canary=canary)
+        entry = result.to_dict()
+        if not result.passed:
+            failures += 1
+            if shrink:
+                shrunk: ShrinkResult = shrink_schedule(
+                    seed,
+                    result.schedule,
+                    ticks=ticks,
+                    canary=canary,
+                    max_probes=max_probes,
+                )
+                entry["shrunk"] = shrunk.to_dict()
+                entry["shrunk_schedule"] = json.loads(
+                    shrunk.schedule.to_json()
+                )
+        results.append(entry)
+        if progress is not None:
+            status = "PASS" if result.passed else "FAIL"
+            extra = ""
+            if not result.passed:
+                first = result.violations[0]
+                extra = f"  [{first.oracle}] {first.message}"
+                if shrink:
+                    extra += (
+                        f"  (shrunk {entry['shrunk']['original_events']}"
+                        f" -> {entry['shrunk']['events']} events)"
+                    )
+            progress(f"seed {seed}: {status}{extra}")
+    report = {
+        "schema": REPORT_SCHEMA,
+        "ticks": ticks,
+        "canary": canary,
+        "seeds": len(results),
+        "failures": failures,
+        "verdict": "pass" if failures == 0 else "fail",
+        "results": results,
+    }
+    return report
+
+
+def report_json(report: dict) -> str:
+    """Canonical serialization: same report dict, same bytes, always."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"

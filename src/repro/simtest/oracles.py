@@ -1,0 +1,341 @@
+"""System-wide invariant oracles: what must hold under any fault schedule.
+
+Each :class:`Oracle` inspects the whole simulated deployment — an
+omniscient observer, not a client — and reports :class:`Violation`\\ s.
+``when`` says which phases the oracle runs in: ``"tick"`` oracles run
+continuously after every simulated tick (so a violation is caught at the
+tick that introduced it, which keeps shrunk schedules small); ``"final"``
+oracles run once after the heal phase, when the system has been given every
+chance to converge.
+
+Oracles must be deterministic: no wall-clock, no unseeded randomness —
+the ``repro.analysis`` linter's REP6xx checker enforces both, plus that
+every concrete oracle is registered via :func:`register_oracle` so the
+seed-sweep explorer cannot silently drop one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.durability.journal import (
+    JournalCorruptError,
+    JournalRecord,
+    verify_chain,
+)
+from repro.faults import PortalError, ResourceNotFoundError
+
+_BUDGET_EPSILON = 1e-9
+
+
+@dataclass
+class Violation:
+    """One observed invariant break, with enough context to debug it."""
+
+    oracle: str
+    message: str
+    t: float
+    detail: dict = field(default_factory=dict)
+    #: the most recent trace spans at violation time — the observability
+    #: layer's contribution to the repro report
+    spans: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "message": self.message,
+            "t": self.t,
+            "detail": {key: self.detail[key] for key in sorted(self.detail)},
+            "spans": list(self.spans),
+        }
+
+
+class Oracle:
+    """Base class: subclass, set ``name``/``when``, implement ``check``."""
+
+    name = "oracle"
+    description = ""
+    #: phases this oracle participates in: "tick", "final", or both
+    when: tuple = ("tick", "final")
+
+    def check(self, world) -> list[Violation]:
+        raise NotImplementedError
+
+    def violation(self, world, message: str, **detail) -> Violation:
+        return Violation(
+            oracle=self.name,
+            message=message,
+            t=world.clock.now,
+            detail={key: str(value) for key, value in detail.items()},
+            spans=world.spans_near(),
+        )
+
+
+_ORACLES: list[type] = []
+
+
+def register_oracle(cls: type) -> type:
+    """Class decorator adding an oracle to the sweep's standard battery."""
+    if cls not in _ORACLES:
+        _ORACLES.append(cls)
+    return cls
+
+
+def registered_oracles() -> list[Oracle]:
+    """Fresh instances of every registered oracle, in registration order."""
+    return [cls() for cls in _ORACLES]
+
+
+# ---------------------------------------------------------------------------
+# the standard battery
+# ---------------------------------------------------------------------------
+
+
+@register_oracle
+class NoLostAckedWritesOracle(Oracle):
+    """No acknowledged write may ever vanish.
+
+    A batch id the globusrun service returned to a client must stay
+    pollable forever — across crash/restart, disk pressure, partitions.  A
+    context seq acknowledged by the quorum coordinator must stay inside its
+    durable op log.  This is the invariant the write-ahead journal exists
+    to uphold; an ack-before-fsync bug breaks it within a few events.
+    """
+
+    name = "no-lost-acked-writes"
+    description = "every acknowledged write survives any fault schedule"
+    when = ("tick", "final")
+
+    def check(self, world):
+        violations = []
+        service = world.deployment.globusrun
+        for batch in sorted(world.acked_batches):
+            try:
+                service.poll(batch)
+            except ResourceNotFoundError:
+                violations.append(self.violation(
+                    world,
+                    f"acked batch {batch!r} is gone after "
+                    f"{world.restarts} restart(s)",
+                    batch=batch,
+                    restarts=world.restarts,
+                ))
+            except PortalError:
+                pass  # degraded (e.g. disk full) is fine; *lost* is not
+        store = world.context_store
+        if store is not None and world.acked_context:
+            highest = max(world.acked_context)
+            if store.seq < highest:
+                violations.append(self.violation(
+                    world,
+                    f"context op log ends at seq {store.seq} but seq "
+                    f"{highest} was acked to a client",
+                    oplog_seq=store.seq,
+                    acked_seq=highest,
+                ))
+        return violations
+
+
+@register_oracle
+class JournalChainOracle(Oracle):
+    """Every journal's CRC chain verifies, on every disk, at every tick.
+
+    Restart recovery replays these logs; a chain break means recovery
+    would either stop short (silent data loss) or resurrect corrupt state.
+    """
+
+    name = "journal-chain"
+    description = "all on-disk journal CRC chains verify end to end"
+    when = ("tick", "final")
+
+    def check(self, world):
+        violations = []
+        for disk in world.network.disks():
+            for log_name in disk.log_names():
+                records = disk.log(log_name)
+                if not records or not isinstance(records[0], JournalRecord):
+                    continue  # not a journal-managed log
+                label = f"{disk.host}:{log_name}"
+                try:
+                    verify_chain(list(records), name=label)
+                except JournalCorruptError as exc:
+                    violations.append(self.violation(
+                        world,
+                        f"journal {label} chain broken: {exc}",
+                        journal=label,
+                        records=len(records),
+                    ))
+        return violations
+
+
+@register_oracle
+class DeadlineBudgetOracle(Oracle):
+    """Deadline budgets decrease monotonically across SOAP hops.
+
+    Every dispatched hop reports ``(enclosing_at, inbound_at)`` through the
+    resilience layer's hop listener; a nested hop whose absolute deadline
+    lands *after* its enclosing one has manufactured budget — retries
+    would outlive the caller and work would be done for nobody.
+    """
+
+    name = "deadline-budget"
+    description = "no SOAP hop carries more budget than its caller"
+    when = ("tick", "final")
+
+    def check(self, world):
+        violations = []
+        for record in world.new_hop_records():
+            enclosing = record.get("enclosing_at")
+            inbound = record.get("inbound_at")
+            if enclosing is None or inbound is None:
+                continue
+            if inbound > enclosing + _BUDGET_EPSILON:
+                violations.append(self.violation(
+                    world,
+                    f"hop {record.get('service')}/{record.get('method')} "
+                    f"deadline {inbound:.6f} exceeds enclosing "
+                    f"{enclosing:.6f}",
+                    service=record.get("service", ""),
+                    method=record.get("method", ""),
+                    inbound_at=inbound,
+                    enclosing_at=enclosing,
+                ))
+        return violations
+
+
+@register_oracle
+class AdmissionBreakerSanityOracle(Oracle):
+    """Load-shedding bookkeeping stays coherent under churn.
+
+    Admission controllers: in-flight counts stay within ``[0,
+    max_concurrent]`` and every arrival is either admitted or shed —
+    nothing leaks.  Circuit breakers: the state machine never leaves its
+    three legal states and never records negative failure streaks.
+    """
+
+    name = "admission-breaker-sanity"
+    description = "admission counters balance; breaker states stay legal"
+    when = ("tick", "final")
+
+    _BREAKER_STATES = ("closed", "half-open", "open")
+
+    def check(self, world):
+        violations = []
+        load = world.deployment.load
+        controllers = load.controllers if load is not None else {}
+        for name in sorted(controllers):
+            ctrl = controllers[name]
+            if not 0 <= ctrl.in_flight <= ctrl.max_concurrent:
+                violations.append(self.violation(
+                    world,
+                    f"admission {name!r} in_flight {ctrl.in_flight} outside "
+                    f"[0, {ctrl.max_concurrent}]",
+                    controller=name,
+                    in_flight=ctrl.in_flight,
+                    max_concurrent=ctrl.max_concurrent,
+                ))
+            if ctrl.admitted + ctrl.shed > ctrl.arrived:
+                violations.append(self.violation(
+                    world,
+                    f"admission {name!r} accounts for more requests than "
+                    f"arrived ({ctrl.admitted}+{ctrl.shed} > {ctrl.arrived})",
+                    controller=name,
+                    arrived=ctrl.arrived,
+                    admitted=ctrl.admitted,
+                    shed=ctrl.shed,
+                ))
+        for client in world.clients():
+            breakers = getattr(client.http, "breakers", {})
+            for host in sorted(breakers):
+                breaker = breakers[host]
+                if breaker.state not in self._BREAKER_STATES:
+                    violations.append(self.violation(
+                        world,
+                        f"breaker for {host!r} in unknown state "
+                        f"{breaker.state!r}",
+                        host=host,
+                        state=breaker.state,
+                    ))
+                if breaker.consecutive_failures < 0:
+                    violations.append(self.violation(
+                        world,
+                        f"breaker for {host!r} counts "
+                        f"{breaker.consecutive_failures} failures",
+                        host=host,
+                        failures=breaker.consecutive_failures,
+                    ))
+        return violations
+
+
+@register_oracle
+class ReplicationConvergenceOracle(Oracle):
+    """After the heal phase, every region holds the same state.
+
+    Registry stores must be byte-identical, no hinted-handoff backlog may
+    remain, and every context replica must sit at the coordinator's op-log
+    watermark.  A convergence failure after healing means anti-entropy or
+    hint replay silently dropped something.
+    """
+
+    name = "replication-convergence"
+    description = "healed regions converge: registries, hints, context seqs"
+    when = ("final",)
+
+    def check(self, world):
+        replication = world.deployment.replication
+        if replication is None:
+            return []
+        violations = []
+        if not replication.converged():
+            violations.append(self.violation(
+                world,
+                "registry replicas disagree after heal + anti-entropy",
+            ))
+        store = world.context_store
+        if store is not None:
+            backlog = store.hint_backlog()
+            stuck = {name: n for name, n in sorted(backlog.items()) if n != 0}
+            if stuck:
+                violations.append(self.violation(
+                    world,
+                    f"hinted handoff backlog remains after heal: {stuck}",
+                    **{f"backlog_{name}": n for name, n in stuck.items()},
+                ))
+            for name, snap in sorted(store.snapshots().items()):
+                if int(snap.get("seq", -1)) != store.seq:
+                    violations.append(self.violation(
+                        world,
+                        f"context replica {name!r} at seq {snap.get('seq')} "
+                        f"!= coordinator log seq {store.seq}",
+                        region=name,
+                        replica_seq=snap.get("seq"),
+                        oplog_seq=store.seq,
+                    ))
+        return violations
+
+
+@register_oracle
+class SpanTreeOracle(Oracle):
+    """The trace forest stays well-formed over the whole run.
+
+    Single root per trace, children nest within parents, no host's span
+    clock runs backwards — :func:`repro.observability.check_spans` over
+    everything the collector saw.  Fault injection must degrade the
+    *system*, never the telemetry describing it.
+    """
+
+    name = "span-tree"
+    description = "collected trace spans form well-nested single-root trees"
+    when = ("final",)
+
+    def check(self, world):
+        collector = world.collector
+        if collector is None:
+            return []
+        from repro.observability.report import check_spans
+
+        problems = check_spans(collector.spans(), "simtest")
+        return [
+            self.violation(world, problem)
+            for problem in problems
+        ]

@@ -1,0 +1,146 @@
+"""Failing-schedule shrinking: delta-debug a nemesis schedule to a minimum.
+
+When a seed fails, the raw schedule usually carries dozens of events, most
+of them irrelevant.  :func:`shrink_schedule` runs Zeller's ddmin over the
+event list: split into chunks, try dropping each chunk (and each chunk's
+complement), keep any subset that still violates an oracle, refine the
+granularity, repeat until 1-minimal — removing *any single remaining
+event* makes the failure disappear.
+
+Every probe is a full deterministic re-run of :class:`SimulationRun` with
+the candidate subset (``stop_on_violation=True``, since only fail/pass
+matters), so the shrunk schedule is guaranteed to reproduce — print it,
+re-run it, same violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simtest.harness import SimulationRun
+from repro.simtest.nemesis import NemesisSchedule
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal failing schedule plus the search's accounting."""
+
+    schedule: NemesisSchedule
+    violations: list
+    probes: int
+    original_events: int
+
+    @property
+    def events(self) -> int:
+        return len(self.schedule)
+
+    def to_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "original_events": self.original_events,
+            "probes": self.probes,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def _probe(
+    seed: str, ticks: int, schedule: NemesisSchedule, events, canary: str
+):
+    """Re-run with only *events*; returns the violations (empty = passed)."""
+    run = SimulationRun(
+        seed,
+        ticks=ticks,
+        schedule=schedule.subset(events),
+        canary=canary,
+        stop_on_violation=True,
+    )
+    return run.run().violations
+
+
+def shrink_schedule(
+    seed,
+    schedule: NemesisSchedule,
+    *,
+    ticks: int,
+    canary: str = "",
+    max_probes: int = 200,
+) -> ShrinkResult:
+    """ddmin: the smallest event subset that still violates an oracle.
+
+    ``max_probes`` bounds the re-run budget; the search returns the best
+    subset found so far if it runs out (still a valid repro, maybe not
+    1-minimal).
+    """
+    seed = str(seed)
+    events = list(schedule.events)
+    probes = 0
+    violations = _probe(seed, ticks, schedule, events, canary)
+    probes += 1
+    if not violations:
+        # the full schedule does not fail — nothing to shrink
+        return ShrinkResult(
+            schedule=schedule.subset(events),
+            violations=[],
+            probes=probes,
+            original_events=len(schedule),
+        )
+
+    granularity = 2
+    while len(events) >= 2 and probes < max_probes:
+        chunk = max(1, len(events) // granularity)
+        chunks = [events[i:i + chunk] for i in range(0, len(events), chunk)]
+        reduced = False
+        # try each chunk alone, then each complement
+        candidates = [list(c) for c in chunks]
+        if len(chunks) > 2:
+            for c in chunks:
+                keys = set_ids(c)
+                candidates.append(
+                    [e for e in events if (e.t, e.id) not in keys]
+                )
+        for candidate in candidates:
+            if not candidate or len(candidate) == len(events):
+                continue
+            if probes >= max_probes:
+                break
+            result = _probe(seed, ticks, schedule, candidate, canary)
+            probes += 1
+            if result:
+                events = candidate
+                violations = result
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+
+    # final 1-minimality pass: drop single events while anything sticks
+    changed = True
+    while changed and len(events) > 1 and probes < max_probes:
+        changed = False
+        for drop in list(events):
+            candidate = [e for e in events if e is not drop]
+            if probes >= max_probes:
+                break
+            result = _probe(seed, ticks, schedule, candidate, canary)
+            probes += 1
+            if result:
+                events = candidate
+                violations = result
+                changed = True
+                break
+
+    return ShrinkResult(
+        schedule=schedule.subset(events),
+        violations=violations,
+        probes=probes,
+        original_events=len(schedule),
+    )
+
+
+def set_ids(events) -> set:
+    """Identity set for complement computation (events are frozen, but the
+    same (t, id) pair never appears twice in one schedule)."""
+    return {(e.t, e.id) for e in events}

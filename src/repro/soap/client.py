@@ -230,10 +230,20 @@ class SoapClient:
         work.  Essential for retried *submissions*: the request may have
         been accepted even though the response was lost.
         """
-        from repro.resilience.policy import Deadline
+        from repro.resilience.policy import Deadline, current_inbound_deadline
 
         budget = timeout if timeout is not None else self.default_timeout
+        # budget propagation: inside a deadline-carrying dispatch, a nested
+        # call with no explicit timeout inherits the caller's remaining
+        # budget, and an explicit timeout is clamped to it — the absolute
+        # deadline riding the headers can only move earlier down the chain
+        # (the server enforces this as Portal.BudgetViolation)
+        enclosing = current_inbound_deadline()
         deadline = Deadline.after(self.clock, budget) if budget is not None else None
+        if enclosing is not None and (
+            deadline is None or deadline.at > enclosing.at
+        ):
+            deadline = enclosing
         param_list = list(params)
         obs = self.obs
         if obs is None:

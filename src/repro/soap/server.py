@@ -207,6 +207,13 @@ class SoapService:
 
     def _dispatch(self, envelope: SoapEnvelope) -> SoapEnvelope:
         """The seed dispatch path (no instrumentation)."""
+        from repro.resilience.policy import (
+            Deadline,
+            check_hop_budget,
+            pop_inbound_deadline,
+            push_inbound_deadline,
+        )
+
         method_name = envelope.body.tag.local
         idem_key = key_from_headers(envelope.headers) if envelope.headers else ""
         if self.replay_cache is not None and idem_key:
@@ -214,7 +221,18 @@ class SoapService:
             if cached is not None:
                 self.replays_served += 1
                 return SoapEnvelope.parse(cached)
+        inbound = (
+            Deadline.from_headers(envelope.headers) if envelope.headers else None
+        )
         try:
+            if inbound is not None and self.clock is not None:
+                # the monotone-budget invariant: a nested hop's deadline can
+                # never be later than its enclosing call's (stale budgets
+                # raise the terminal Portal.BudgetViolation here)
+                check_hop_budget(
+                    inbound, clock=self.clock,
+                    service=self.name, method=method_name,
+                )
             ticket = self._admit(method_name, envelope)
             try:
                 self._shed_if_expired(method_name, envelope, ticket)
@@ -228,9 +246,15 @@ class SoapService:
                 for interceptor in self.interceptors:
                     interceptor(method_name, params, envelope)
                 set_current_key(idem_key)
+                if inbound is not None:
+                    # while the handler runs, its request's deadline is the
+                    # enclosing budget every nested call must fit inside
+                    push_inbound_deadline(inbound)
                 try:
                     result = exposed.func(*params)
                 finally:
+                    if inbound is not None:
+                        pop_inbound_deadline()
                     set_current_key("")
             finally:
                 if ticket is not None:
@@ -253,7 +277,17 @@ class SoapService:
         self.calls_served += 1
         response = response_envelope(self.namespace, method_name, result)
         if self.replay_cache is not None and idem_key:
-            self.replay_cache.put(idem_key, response.serialize())
+            try:
+                self.replay_cache.put(idem_key, response.serialize())
+            except PortalError as err:
+                # the durable response record is part of the ack: if the
+                # disk cannot hold it, refuse (retryably) rather than hand
+                # out a keyed response a crash-restarted instance would not
+                # be able to replay
+                self.faults_returned += 1
+                return SoapEnvelope(
+                    SoapFault.from_portal_error(err, actor=self.name).to_xml()
+                )
         return response
 
     def _admit(self, method_name: str, envelope: SoapEnvelope):

@@ -38,6 +38,10 @@ class HostDisk:
     def __init__(self, host: str):
         self.host = host
         self._logs: dict[str, list] = {}
+        #: when True, appends must fail (the paper's canonical error: "the
+        #: file didn't get transferred because the disk was full") — the
+        #: journal layer maps this onto ``Portal.ResourceExhausted``
+        self.full = False
 
     def log(self, name: str) -> list:
         """The named append-only log (created empty on first access)."""
@@ -46,9 +50,15 @@ class HostDisk:
     def log_names(self) -> list[str]:
         return sorted(self._logs)
 
+    def set_full(self, full: bool) -> None:
+        """Inject (or clear) the disk-full condition.  Existing records
+        stay readable; only new appends are refused while full."""
+        self.full = bool(full)
+
     def wipe(self) -> None:
         """Destroy all durable state (disk replacement, not a crash)."""
         self._logs.clear()
+        self.full = False
 
 
 @dataclass
@@ -213,6 +223,11 @@ class VirtualNetwork:
         if existing is None:
             existing = self._disks[host] = HostDisk(host)
         return existing
+
+    def disks(self) -> list[HostDisk]:
+        """Every host disk created so far, host-name sorted (the simtest
+        journal oracle walks these after restarts)."""
+        return [self._disks[host] for host in sorted(self._disks)]
 
     def set_default_link(self, link: LinkSpec) -> None:
         self._default_link = link

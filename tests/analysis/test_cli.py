@@ -18,6 +18,7 @@ FIXTURE_CODES = {
     "REP301", "REP302", "REP303",
     "REP401", "REP402", "REP403",
     "REP501", "REP502",
+    "REP601", "REP602",
 }
 
 
@@ -52,7 +53,7 @@ def test_write_baseline_then_clean_run(in_fixture_dir, tmp_path, capsys):
     report = _report(capsys)
     assert code == 0
     assert report["findings"] == []
-    assert report["counts"]["baselined"] == len(FIXTURE_CODES) + 2
+    assert report["counts"]["baselined"] == len(FIXTURE_CODES) + 6
 
 
 def test_ratchet_reports_stale_and_shrinks(tmp_path, monkeypatch, capsys):

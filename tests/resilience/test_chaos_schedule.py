@@ -1,0 +1,100 @@
+"""The chaos monkey's unified event queue: seeded total order, injectable
+primitives, deterministic same-tick tie-breaking."""
+
+from __future__ import annotations
+
+import json
+
+from repro.resilience.chaos import SCHEDULED_ONLY, ChaosConfig, ChaosMonkey
+from repro.resilience.events import ResilienceLog
+from repro.transport.network import VirtualNetwork
+
+HOSTS = ["a.example.org", "b.example.org", "c.example.org"]
+
+
+def _monkey(seed: int, config: ChaosConfig | None = None, **kwargs):
+    network = VirtualNetwork(seed=seed)
+    for host in HOSTS:
+        network.register(host, lambda request: None)
+    log = ResilienceLog()
+    return network, ChaosMonkey(
+        network, HOSTS, seed=seed, config=config, log=log, **kwargs
+    ), log
+
+
+def _run_schedule(seed: int, steps: int = 40):
+    """Drive the monkey's own random program; returns the full pending-event
+    trace (captured before each apply) as canonical JSON."""
+    network, monkey, log = _monkey(
+        seed, regions={"iu": (HOSTS[0],), "sdsc": (HOSTS[1], HOSTS[2])}
+    )
+    trace = []
+    for _ in range(steps):
+        network.clock.advance(1.0)
+        trace.append([
+            [due, event_id, action, repr(payload)]
+            for due, event_id, action, payload in monkey.pending_events()
+        ])
+        monkey.step()
+    trace.append([[r.code, r.message] for r in log.events])
+    return json.dumps(trace, sort_keys=True)
+
+
+def test_same_seed_same_schedule_byte_identical():
+    """Satellite acceptance: the pending-event queue — ids, due times,
+    actions, application order — is byte-identical for the same seed."""
+    assert _run_schedule(11) == _run_schedule(11)
+
+
+def test_different_seeds_produce_different_schedules():
+    assert _run_schedule(11) != _run_schedule(12)
+
+
+def test_event_ids_give_same_tick_events_a_total_order():
+    network, monkey, _ = _monkey(0, config=SCHEDULED_ONLY)
+    # three effects all due at the same virtual instant
+    monkey.inject_take_down(HOSTS[0], 5.0)
+    monkey.inject_take_down(HOSTS[1], 5.0)
+    monkey.inject_take_down(HOSTS[2], 5.0)
+    pending = monkey.pending_events()
+    assert [event_id for _, event_id, _, _ in pending] == [1, 2, 3]
+    dues = {due for due, _, _, _ in pending}
+    assert len(dues) == 1  # genuinely the same tick: only ids break the tie
+
+
+def test_apply_due_applies_in_id_order_at_the_same_tick():
+    network, monkey, log = _monkey(0, config=SCHEDULED_ONLY)
+    monkey.inject_take_down(HOSTS[2], 3.0)
+    monkey.inject_take_down(HOSTS[0], 3.0)
+    network.clock.advance(10.0)
+    monkey.apply_due()
+    repairs = [r for r in log.events if r.code == "Chaos.Repair"]
+    hosts = [r.detail["host"] for r in repairs]
+    # scheduling order (ids 1, 2), not alphabetical or insertion-sorted
+    assert hosts == [HOSTS[2], HOSTS[0]]
+    assert network.is_up(HOSTS[0]) and network.is_up(HOSTS[2])
+
+
+def test_scheduled_only_config_draws_no_faults():
+    network, monkey, _ = _monkey(7, config=SCHEDULED_ONLY)
+    for _ in range(50):
+        network.clock.advance(1.0)
+        monkey.step()
+    assert monkey.faults_injected == 0
+    assert monkey.partitions_injected == 0
+
+
+def test_primitives_feed_the_same_queue():
+    network, monkey, _ = _monkey(
+        0, config=SCHEDULED_ONLY,
+        regions={"iu": (HOSTS[0],), "sdsc": (HOSTS[1],)},
+    )
+    monkey.inject_take_down(HOSTS[0], 2.0)
+    monkey.inject_partition("iu", "sdsc", "full", 4.0)
+    assert monkey.has_active_partition()
+    actions = [action for _, _, action, _ in monkey.pending_events()]
+    assert actions == ["repair", "heal-partition"]
+    network.clock.advance(5.0)
+    monkey.apply_due()
+    assert monkey.pending_events() == []
+    assert not monkey.has_active_partition()

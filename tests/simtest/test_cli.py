@@ -1,0 +1,69 @@
+"""The ``python -m repro.simtest`` command line."""
+
+import json
+
+from repro.simtest.__main__ import main
+from repro.simtest.explorer import REPORT_SCHEMA
+
+
+def test_single_seed_report(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = main(["--seed", "0", "--quiet", "--out", str(out)])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["verdict"] == "pass"
+    assert report["seeds"] == 1
+    assert report["results"][0]["seed"] == "0"
+
+
+def test_report_is_byte_identical_across_runs(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    assert main(["--seed", "4", "--quiet", "--out", str(a)]) == 0
+    assert main(["--seed", "4", "--quiet", "--out", str(b)]) == 0
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_failing_canary_exits_nonzero_and_writes_artifacts(tmp_path):
+    out = tmp_path / "report.json"
+    artifacts = tmp_path / "artifacts"
+    code = main([
+        "--seed", "1", "--canary", "ack-before-fsync", "--quiet",
+        "--out", str(out), "--artifacts", str(artifacts),
+    ])
+    assert code == 1
+    report = json.loads(out.read_text())
+    assert report["verdict"] == "fail"
+    shrunk_files = sorted(artifacts.glob("seed-*-shrunk.json"))
+    assert shrunk_files
+    shrunk = json.loads(shrunk_files[0].read_text())
+    assert shrunk["schema"] == "repro.simtest.schedule/v1"
+    assert len(shrunk["events"]) <= 5
+
+
+def test_schedule_replay_round_trips_through_the_cli(tmp_path):
+    # fail once to get a shrunk schedule, then replay it explicitly
+    artifacts = tmp_path / "artifacts"
+    main([
+        "--seed", "1", "--canary", "ack-before-fsync", "--quiet",
+        "--out", str(tmp_path / "first.json"), "--artifacts", str(artifacts),
+    ])
+    shrunk_file = sorted(artifacts.glob("seed-*-shrunk.json"))[0]
+    out = tmp_path / "replay.json"
+    code = main([
+        "--seed", "1", "--canary", "ack-before-fsync", "--quiet",
+        "--schedule", str(shrunk_file), "--out", str(out),
+    ])
+    assert code == 1  # the minimal schedule still reproduces the violation
+    report = json.loads(out.read_text())
+    assert report["results"][0]["verdict"] == "fail"
+
+
+def test_schedule_flag_requires_exactly_one_seed(tmp_path, capsys):
+    schedule = tmp_path / "s.json"
+    schedule.write_text('{"schema": "repro.simtest.schedule/v1", "events": []}')
+    code = main([
+        "--seed", "1", "--seed", "2", "--schedule", str(schedule), "--quiet",
+    ])
+    assert code == 2

@@ -1,0 +1,106 @@
+"""The simulation harness: determinism, oracle verdicts, canary detection."""
+
+import json
+
+import pytest
+
+from repro.simtest.harness import (
+    CANARIES,
+    GLOBUSRUN_HOST,
+    SimulationRun,
+    default_composition,
+)
+
+
+def test_clean_run_passes_all_oracles():
+    result = SimulationRun(0).run()
+    assert result.passed, [v.message for v in result.violations]
+    # the run actually exercised the system: faults fired, work was acked
+    assert result.stats["faults_injected"] > 0
+    assert result.stats["acked_batches"] > 0
+    assert result.stats["acked_context"] > 0
+    assert result.stats["hops_observed"] > 0
+
+
+def test_same_seed_byte_identical_result():
+    a = SimulationRun(5).run().to_dict()
+    b = SimulationRun(5).run().to_dict()
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    assert a["digest"] == b["digest"]
+
+
+def test_different_seeds_take_different_paths():
+    a = SimulationRun(5).run().to_dict()
+    b = SimulationRun(6).run().to_dict()
+    assert a["digest"] != b["digest"]
+
+
+def test_explicit_schedule_replays_byte_identically():
+    """A printed seed + schedule is a complete repro."""
+    first = SimulationRun(7)
+    schedule = first.schedule
+    result_a = first.run().to_dict()
+    result_b = SimulationRun(7, schedule=schedule).run().to_dict()
+    assert result_a["digest"] == result_b["digest"]
+
+
+def test_restarts_happen_and_recovery_holds():
+    """Crash events restart hosts from disk; no acked write is lost."""
+    result = SimulationRun(2).run()
+    assert result.stats["restarts"] > 0
+    assert result.passed
+
+
+def test_canary_ack_before_fsync_is_caught():
+    """The sweep must detect a deliberately re-introduced ack-before-fsync
+    bug — otherwise the oracles are theater."""
+    result = SimulationRun(1, canary="ack-before-fsync").run()
+    assert not result.passed
+    assert any(v.oracle == "no-lost-acked-writes" for v in result.violations)
+
+
+def test_canary_violations_carry_spans():
+    result = SimulationRun(1, canary="ack-before-fsync").run()
+    flagged = [v for v in result.violations if v.oracle == "no-lost-acked-writes"]
+    assert flagged and flagged[0].spans  # telemetry attached to the report
+
+
+def test_unknown_canary_is_rejected():
+    with pytest.raises(ValueError):
+        SimulationRun(0, canary="definitely-not-a-canary")
+
+
+def test_canary_registry_names_the_acceptance_bug():
+    assert "ack-before-fsync" in CANARIES
+
+
+def test_default_composition_covers_the_fault_space():
+    schedule = default_composition().schedule(0, ticks=120)
+    kinds = {event.kind for event in schedule.events}
+    assert {
+        "partition", "crash", "crash-mid-write", "flap", "breaker-flap",
+        "latency-spike", "disk-full", "clock-stall",
+    } <= kinds
+    assert any(
+        event.args.get("host") == GLOBUSRUN_HOST for event in schedule.events
+    )
+
+
+@pytest.mark.tier2_simtest
+def test_small_sweep_is_clean():
+    from repro.simtest.explorer import sweep
+
+    report = sweep(range(40), shrink=False)
+    assert report["verdict"] == "pass"
+    assert report["failures"] == 0
+
+
+@pytest.mark.tier2_simtest
+def test_canary_sweep_catches_and_shrinks_everywhere():
+    from repro.simtest.explorer import sweep
+
+    report = sweep(range(10), canary="ack-before-fsync")
+    assert report["verdict"] == "fail"
+    assert report["failures"] == 10
+    for entry in report["results"]:
+        assert entry["shrunk"]["events"] <= 5

@@ -1,0 +1,110 @@
+"""The nemesis DSL: seeded schedules, total order, JSON round-trips."""
+
+from repro.simtest.nemesis import (
+    EVENT_KINDS,
+    BreakerFlapNemesis,
+    ClockStallNemesis,
+    CrashNemesis,
+    DiskFullNemesis,
+    NemesisEvent,
+    NemesisSchedule,
+    PartitionNemesis,
+    compose,
+)
+
+
+def battery():
+    return compose(
+        PartitionNemesis(("iu", "sdsc")),
+        CrashNemesis(("globusrun.sdsc.edu", "replica.iu.portal.org")),
+        BreakerFlapNemesis(("globusrun.sdsc.edu",)),
+        DiskFullNemesis(("globusrun.sdsc.edu",)),
+        ClockStallNemesis(),
+    )
+
+
+def test_same_seed_same_schedule_byte_identical():
+    a = battery().schedule(7, ticks=40).to_json()
+    b = battery().schedule(7, ticks=40).to_json()
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = battery().schedule(7, ticks=40)
+    b = battery().schedule(8, ticks=40)
+    assert a.to_json() != b.to_json()
+
+
+def test_events_in_seeded_total_order():
+    schedule = battery().schedule(11, ticks=60)
+    assert len(schedule) > 5
+    keys = [(e.t, e.id) for e in schedule.events]
+    assert keys == sorted(keys)
+    # every event id is unique — the tie-break is a total order
+    ids = [e.id for e in schedule.events]
+    assert len(ids) == len(set(ids))
+
+
+def test_event_ids_are_a_seeded_permutation():
+    schedule = battery().schedule(11, ticks=60)
+    assert sorted(e.id for e in schedule.events) == list(
+        range(1, len(schedule) + 1)
+    )
+
+
+def test_adding_a_nemesis_does_not_perturb_the_others():
+    """Each nemesis draws from its own derived sub-seed."""
+    base = compose(PartitionNemesis(("iu", "sdsc"))).schedule(3, ticks=50)
+    extended = compose(
+        PartitionNemesis(("iu", "sdsc")), ClockStallNemesis()
+    ).schedule(3, ticks=50)
+    partitions_base = [
+        (e.t, e.kind, e.args)
+        for e in base.events
+        if e.kind == "partition"
+    ]
+    partitions_ext = [
+        (e.t, e.kind, e.args)
+        for e in extended.events
+        if e.kind == "partition"
+    ]
+    assert partitions_base == partitions_ext
+
+
+def test_known_event_kinds_only():
+    schedule = battery().schedule(5, ticks=80)
+    assert {e.kind for e in schedule.events} <= set(EVENT_KINDS)
+
+
+def test_json_round_trip_is_lossless():
+    schedule = battery().schedule(9, ticks=40)
+    back = NemesisSchedule.from_json(schedule.to_json())
+    assert back == schedule
+    assert back.to_json() == schedule.to_json()
+
+
+def test_from_json_rejects_foreign_documents():
+    import pytest
+
+    with pytest.raises(ValueError):
+        NemesisSchedule.from_json('{"schema": "something/else"}')
+
+
+def test_subset_preserves_order_and_identity():
+    schedule = battery().schedule(13, ticks=60)
+    keep = list(schedule.events)[::2]
+    sub = schedule.subset(keep)
+    assert list(sub.events) == keep
+    assert sub.seed == schedule.seed
+
+
+def test_describe_mentions_every_event():
+    schedule = battery().schedule(2, ticks=40)
+    text = schedule.describe()
+    for event in schedule.events:
+        assert f"#{event.id}" in text
+
+
+def test_event_dict_round_trip():
+    event = NemesisEvent(t=3.5, id=2, kind="crash", args={"host": "h"})
+    assert NemesisEvent.from_dict(event.to_dict()) == event

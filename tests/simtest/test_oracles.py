@@ -1,0 +1,82 @@
+"""The oracle registry and the standard invariant battery."""
+
+from repro.simtest.oracles import (
+    AdmissionBreakerSanityOracle,
+    DeadlineBudgetOracle,
+    JournalChainOracle,
+    NoLostAckedWritesOracle,
+    Oracle,
+    ReplicationConvergenceOracle,
+    SpanTreeOracle,
+    Violation,
+    registered_oracles,
+)
+
+STANDARD = {
+    "no-lost-acked-writes",
+    "journal-chain",
+    "deadline-budget",
+    "admission-breaker-sanity",
+    "replication-convergence",
+    "span-tree",
+}
+
+
+def test_standard_battery_is_registered():
+    names = {oracle.name for oracle in registered_oracles()}
+    assert STANDARD <= names
+
+
+def test_every_concrete_oracle_subclass_is_registered():
+    registered = {type(oracle) for oracle in registered_oracles()}
+    concrete = {
+        cls for cls in Oracle.__subclasses__() if cls is not Oracle
+    }
+    assert concrete <= registered
+
+
+def test_registered_oracles_returns_fresh_instances():
+    first = registered_oracles()
+    second = registered_oracles()
+    assert [type(o) for o in first] == [type(o) for o in second]
+    assert all(a is not b for a, b in zip(first, second))
+
+
+def test_when_phases_are_legal():
+    for oracle in registered_oracles():
+        assert oracle.when
+        assert set(oracle.when) <= {"tick", "final"}
+
+
+def test_convergence_and_spans_are_final_phase_only():
+    assert ReplicationConvergenceOracle.when == ("final",)
+    assert SpanTreeOracle.when == ("final",)
+
+
+def test_continuous_oracles_run_every_tick():
+    for cls in (
+        NoLostAckedWritesOracle,
+        JournalChainOracle,
+        DeadlineBudgetOracle,
+        AdmissionBreakerSanityOracle,
+    ):
+        assert "tick" in cls.when
+
+
+def test_violation_serialization_is_canonical():
+    violation = Violation(
+        oracle="x",
+        message="m",
+        t=1.5,
+        detail={"b": "2", "a": "1"},
+        spans=[{"name": "s"}],
+    )
+    payload = violation.to_dict()
+    assert list(payload["detail"]) == ["a", "b"]
+    assert payload["oracle"] == "x"
+    assert payload["spans"] == [{"name": "s"}]
+
+
+def test_oracles_carry_descriptions():
+    for oracle in registered_oracles():
+        assert oracle.description, f"{oracle.name} has no description"

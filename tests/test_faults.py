@@ -18,6 +18,7 @@ ALL_ERRORS = [
     faults.ContextError,
     faults.SchemaError,
     faults.DiscoveryError,
+    faults.BudgetViolationError,
     faults.DeadlineExceededError,
     faults.ServerBusyError,
     faults.ReplicationError,
