@@ -1,0 +1,74 @@
+"""CI ratchet for the tracing-overhead benchmark.
+
+Compares a fresh ``BENCH_observability.json`` against the committed
+baseline and fails (exit 1) when instrumentation overhead regressed more
+than the tolerance.  The compared figure is the *normalized* overhead —
+``overhead_us_per_call / untraced us_per_call`` — because absolute
+microseconds differ machine to machine (a CI runner is not the laptop
+that committed the baseline) while the overhead *fraction* is the
+property the hot-path work actually guards.
+
+Usage::
+
+    python benchmarks/ratchet_observability.py BASELINE.json CURRENT.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: a regression is a normalized overhead more than 15% over baseline
+TOLERANCE = 1.15
+
+
+def normalized_overheads(report: dict) -> dict[str, float]:
+    """Per-mode overhead as a fraction of the untraced per-call cost."""
+    off = report["untraced"]["us_per_call"]
+    return {
+        "traced": report["overhead_us_per_call"] / off,
+        "sampled": report["sampled_overhead_us_per_call"] / off,
+    }
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float = TOLERANCE
+) -> list[str]:
+    """Regression messages, empty when the ratchet holds."""
+    base = normalized_overheads(baseline)
+    cur = normalized_overheads(current)
+    failures = []
+    for mode in sorted(base):
+        if base[mode] <= 0:  # degenerate baseline: nothing to ratchet against
+            continue
+        if cur[mode] > base[mode] * tolerance:
+            failures.append(
+                f"{mode} tracing overhead regressed: {cur[mode]:.3f}x of an "
+                f"untraced call vs {base[mode]:.3f}x at baseline "
+                f"(tolerance {tolerance:g}x)"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = json.loads(Path(argv[1]).read_text(encoding="utf-8"))
+    current = json.loads(Path(argv[2]).read_text(encoding="utf-8"))
+    failures = compare(baseline, current)
+    for line in failures:
+        print(f"RATCHET FAIL: {line}", file=sys.stderr)
+    if not failures:
+        cur = normalized_overheads(current)
+        print(
+            "ratchet holds: traced "
+            f"{cur['traced']:.3f}x, sampled {cur['sampled']:.3f}x "
+            f"of an untraced call (tolerance {TOLERANCE:g}x vs baseline)"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,28 +2,40 @@
 """One portal request, watched end to end.
 
 Builds the full portal with the observability layer installed
-(``observe=True``), pushes a batch submission through the composed-service
-chain — portal → Globusrun → GRAM gatekeeper — under a little injected
-trouble, and then reads the story back three ways: the span waterfall with
-its retry/failover events, the critical-path and bottleneck analysis from
-the offline reporter, and the RED metrics table the portal's
-MetricsPortlet renders.
+(``observe=True``) plus tail-based sampling and the default SLOs, pushes a
+batch submission through the composed-service chain — portal → Globusrun →
+GRAM gatekeeper — under a little injected trouble, and then reads the
+story back four ways: the span waterfall with its retry/failover events,
+the critical-path and bottleneck analysis from the offline reporter, the
+RED metrics table the portal's MetricsPortlet renders, and a burn-rate SLO
+breach paged with exemplar traces attached.
 
 Run:  python examples/traced_portal.py
 """
 
+from repro.faults import InvalidRequestError
+from repro.grid.jobs import JobSpec
 from repro.observability.report import (
     critical_path,
     self_times,
     waterfall_lines,
 )
+from repro.observability.sampling import TailSampler
+from repro.observability.slo import default_slos
 from repro.portal import PortalDeployment, UserInterfaceServer
-from repro.services.jobsubmit import GLOBUSRUN_NAMESPACE
+from repro.services.jobsubmit import GLOBUSRUN_NAMESPACE, jobs_to_xml
 from repro.soap.client import SoapClient
 
 
 def main() -> None:
-    deployment = PortalDeployment.build(observe=True, observe_seed=2026)
+    # tail sampling at a demo-friendly keep rate: errors, resilience
+    # events, and latency outliers are always kept; the seeded coin keeps
+    # half of the boring traffic (production would run far lower)
+    deployment = PortalDeployment.build(
+        observe=True, observe_seed=2026,
+        sampling=TailSampler(seed=2026, rate=0.5),
+        slos=default_slos(),
+    )
     network = deployment.network
     obs = deployment.observability
     ui = UserInterfaceServer(deployment)
@@ -70,8 +82,56 @@ def main() -> None:
               f"n={row['requests']:<4} err={row['errors']:<3} "
               f"mean={row['mean_ms']:7.2f}ms p95={row['p95_ms']:7.2f}ms")
 
+    print("\n== an SLO breach, paged with the exemplar trace attached ==")
+    engine = obs.slo
+    clock = network.clock
+    # a buggy client floods submit_async with malformed XML: every call is
+    # a server-side error, so the availability budget burns fast and the
+    # multi-window alert pages within a few virtual seconds
+    while not engine.active:
+        clock.advance(1.0)
+        for _ in range(3):
+            try:
+                globusrun.call("submit_async", "<not-a-jobs-document/>")
+            except InvalidRequestError:
+                pass
+        engine.evaluate()
+    alert = engine.alerts()[0]
+    print(f"   firing: {alert['slo']} "
+          f"(burn {alert['slow_burn']:.1f}x over {alert['slow_window']:.0f}s, "
+          f"{alert['fast_burn']:.1f}x over {alert['fast_window']:.0f}s, "
+          f"threshold {alert['factor']:.0f}x)")
+    # the tail sampler never drops errors, so the page carries evidence:
+    # follow the first exemplar link straight to a failing trace
+    exemplar = alert["exemplars"][0]
+    print(f"   exemplar trace {exemplar[:16]}…:")
+    for line in waterfall_lines(obs.collector.spans(exemplar)):
+        print(f"   {line}")
+
+    # healthy submissions drain the fast window first, then the slow one,
+    # and the alert resolves on its own — no operator reset
+    good_xml = jobs_to_xml(
+        [("modi4.iu.edu", JobSpec(name="heal", executable="echo"))]
+    )
+    while engine.active:
+        clock.advance(1.0)
+        for _ in range(4):
+            globusrun.call("submit_async", good_xml)
+        engine.evaluate()
+    resolved = engine.alerts(active_only=False)[-1]
+    print(f"   resolved after {resolved['duration']:.0f}s of healthy traffic")
+
+    print("\n== the SLO table, as the monitoring service serves it ==")
+    ui.add_slo_portlet()
+    for row in deployment.monitoring.slo_summary():
+        print(f"   {row['slo']:<32} {row['objective']:<13} "
+              f"target={row['target']:.2f} good={row['good_fraction']:.3f} "
+              f"burn={row['burn_rate']:5.2f}x state={row['state']}")
+
+    acct = obs.sampler.accounting()
     print(f"\n   spans collected: {len(obs.collector)}  "
-          f"traces: {len(obs.collector.trace_ids())}")
+          f"traces kept: {acct['kept_traces']}  "
+          f"dropped by sampling: {acct['dropped_traces']}")
 
 
 if __name__ == "__main__":

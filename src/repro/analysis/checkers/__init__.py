@@ -11,4 +11,5 @@ from repro.analysis.checkers import (  # noqa: F401  (registration side effects)
     headers,
     hygiene,
     simtest,
+    slo,
 )

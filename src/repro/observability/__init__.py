@@ -16,33 +16,75 @@ from repro.observability.collector import (
 from repro.observability.context import (
     TRACE_HEADER,
     TRACE_NS,
+    TRACEPARENT,
     IdGenerator,
     TraceContext,
+    traceparent,
 )
 from repro.observability.metrics import (
     BUCKET_BOUNDS,
     Histogram,
     MetricsRegistry,
+    QuantileSketch,
     RedSeries,
 )
 from repro.observability.runtime import Observability
+from repro.observability.sampling import (
+    SAMPLING_HEADER,
+    SAMPLING_NS,
+    KeepErrorsPolicy,
+    KeepEventsPolicy,
+    LatencyOutlierPolicy,
+    ProbabilisticPolicy,
+    SamplingPolicy,
+    TailSampler,
+    default_policies,
+    sampling_from_headers,
+    sampling_header,
+)
+from repro.observability.slo import (
+    SLO,
+    BurnRatePair,
+    SloEngine,
+    default_pairs,
+    default_slos,
+)
 from repro.observability.tracer import Span, SpanEvent, Tracer
 
 __all__ = [
     "BUCKET_BOUNDS",
+    "BurnRatePair",
     "Histogram",
     "IdGenerator",
+    "KeepErrorsPolicy",
+    "KeepEventsPolicy",
+    "LatencyOutlierPolicy",
     "MetricsRegistry",
     "Observability",
+    "ProbabilisticPolicy",
+    "QuantileSketch",
     "RedSeries",
+    "SAMPLING_HEADER",
+    "SAMPLING_NS",
+    "SLO",
+    "SamplingPolicy",
+    "SloEngine",
     "Span",
     "SpanEvent",
     "TRACE_HEADER",
     "TRACE_NS",
+    "TRACEPARENT",
+    "TailSampler",
     "TraceCollector",
     "TraceCollectorService",
     "TraceContext",
     "Tracer",
     "created_collectors",
+    "default_pairs",
+    "default_policies",
+    "default_slos",
     "deploy_trace_collector",
+    "sampling_from_headers",
+    "sampling_header",
+    "traceparent",
 ]

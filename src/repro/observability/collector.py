@@ -19,9 +19,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.soap.server import SoapService
 from repro.transport.network import VirtualNetwork
-from repro.transport.server import HttpServer
 
 TRACE_COLLECTOR_NAMESPACE = "urn:gce:trace-collector"
 
@@ -40,14 +38,46 @@ class TraceCollector:
     Spans arrive in the order tracers finish them — deterministic under the
     sim clock — and every view iterates in that insertion order, so two
     same-seed runs export byte-identical JSON.
+
+    ``capacity`` (spans; 0 = unbounded, the seed behavior) turns the store
+    into a ring: when an export pushes the span count past capacity, the
+    *oldest whole traces* are evicted — never individual spans, which
+    would leave orphaned subtrees — until the store fits again.  Long
+    soaks and 200-seed simtest sweeps stay memory-bounded; the eviction
+    counters feed a gauge so a dashboard can tell "quiet system" from
+    "ring ate the history".
     """
 
-    def __init__(self):
+    def __init__(self, capacity: int = 0):
+        self.capacity = int(capacity)
         self._spans: list[dict[str, Any]] = []
+        self.trace_evictions = 0
+        self.spans_evicted = 0
+        #: called with this collector after each eviction pass (the
+        #: runtime wires eviction gauges through it)
+        self.on_evict = None
         _CREATED.append(self)
 
     def export(self, span: dict[str, Any]) -> None:
         self._spans.append(span)
+        if self.capacity and len(self._spans) > self.capacity:
+            self._evict(span["trace_id"])
+
+    def _evict(self, current_trace: str) -> None:
+        evicted = False
+        while len(self._spans) > self.capacity:
+            victim = self._spans[0]["trace_id"]
+            if victim == current_trace:
+                # never evict the trace still being exported — its later
+                # spans would arrive orphaned; tolerate transient overflow
+                break
+            before = len(self._spans)
+            self._spans = [s for s in self._spans if s["trace_id"] != victim]
+            self.spans_evicted += before - len(self._spans)
+            self.trace_evictions += 1
+            evicted = True
+        if evicted and self.on_evict is not None:
+            self.on_evict(self)
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -160,6 +190,12 @@ def deploy_trace_collector(
     The service itself is never traced — the observability plane must not
     observe itself into an infinite regress.
     """
+    # imported here, not at module top: the SOAP layer imports this
+    # package's context/sampling modules for its hot path, so the
+    # observability package must not import repro.soap at import time
+    from repro.soap.server import SoapService
+    from repro.transport.server import HttpServer
+
     impl = TraceCollectorService(collector)
     server = HttpServer(host, network)
     soap = SoapService("TraceCollector", TRACE_COLLECTOR_NAMESPACE)

@@ -13,6 +13,8 @@ circuit-breaker state per host, scheduler queue depth per resource.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -38,11 +40,8 @@ class Histogram:
     def record(self, value: float) -> None:
         self.count += 1
         self.total += value
-        for i, bound in enumerate(BUCKET_BOUNDS):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        # first bound with value <= bound; past the last bound = overflow slot
+        self.counts[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     def merge(self, other: "Histogram") -> None:
         for i, n in enumerate(other.counts):
@@ -66,8 +65,73 @@ class Histogram:
                 return BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS) else float("inf")
         return BUCKET_BOUNDS[-1]
 
+    def count_at_most(self, threshold: float) -> int:
+        """Samples recorded at or below *threshold* (bucket granularity).
+
+        A sample is attributed to the first bound that fits it, so this is
+        exact whenever *threshold* is one of :data:`BUCKET_BOUNDS` — the
+        SLO engine's latency objectives snap thresholds to bounds for that
+        reason.
+        """
+        return sum(self.counts[: bisect_right(BUCKET_BOUNDS, threshold)])
+
     def to_dict(self) -> dict[str, Any]:
         return {"counts": list(self.counts), "total": self.total, "count": self.count}
+
+
+class QuantileSketch:
+    """A streaming quantile estimator over *fixed* log-spaced buckets.
+
+    Like :class:`Histogram`, the bucket geometry never depends on the data:
+    bucket ``i`` covers ``(MIN * GAMMA**i, MIN * GAMMA**(i+1)]``, with
+    ``GAMMA = 2**(1/8)`` (about 9% relative error per bucket).  Merging two
+    sketches is a plain vector add, so merge is exactly associative and
+    commutative — the property the tail sampler's per-operation p99
+    tracking and the SLO window math both lean on.
+    """
+
+    __slots__ = ("counts", "count")
+
+    #: lower edge of bucket 0: 1µs — everything smaller lands in bucket 0
+    MIN = 1e-6
+    #: buckets per doubling (GAMMA = 2 ** (1 / STEPS_PER_DOUBLING))
+    STEPS_PER_DOUBLING = 8
+    #: 256 buckets cover 1µs .. ~4.3e3 s before the overflow slot
+    BUCKETS = 256
+
+    def __init__(self):
+        self.counts: list[int] = [0] * (self.BUCKETS + 1)
+        self.count = 0
+
+    def _index(self, value: float) -> int:
+        if value <= self.MIN:
+            return 0
+        idx = int(math.log2(value / self.MIN) * self.STEPS_PER_DOUBLING) + 1
+        return idx if idx <= self.BUCKETS else self.BUCKETS
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.counts[self._index(value)] += 1
+
+    def merge(self, other: "QuantileSketch") -> None:
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the *q* quantile (0 < q <= 1)."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank and n:
+                return self.MIN * 2 ** (i / self.STEPS_PER_DOUBLING)
+        return self.MIN * 2 ** (self.BUCKETS / self.STEPS_PER_DOUBLING)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"count": self.count, "counts": list(self.counts)}
 
 
 @dataclass
@@ -103,14 +167,22 @@ class MetricsRegistry:
 
     # -- recording ------------------------------------------------------------------
 
-    def record_call(
-        self, service: str, method: str, side: str, duration: float, error: bool
-    ) -> None:
+    def series(self, service: str, method: str, side: str) -> RedSeries:
+        """The (create-on-first-use) series for one call site.
+
+        Hot callers hold the returned series and record on it directly,
+        skipping the key-tuple build and dict probe per call.
+        """
         key = (service, method, side)
         series = self.red.get(key)
         if series is None:
             series = self.red[key] = RedSeries()
-        series.record(duration, error)
+        return series
+
+    def record_call(
+        self, service: str, method: str, side: str, duration: float, error: bool
+    ) -> None:
+        self.series(service, method, side).record(duration, error)
 
     def set_gauge(self, name: str, label: str, value: float) -> None:
         self.gauges[(name, label)] = float(value)
@@ -155,9 +227,32 @@ class MetricsRegistry:
         return {"red": red_rows, "gauges": gauge_rows, "events": event_rows}
 
     def slowest(self, limit: int = 10) -> list[dict[str, Any]]:
-        """Server-side operations ranked by mean latency (ties by name)."""
+        """Server-side operations ranked by mean latency (ties by name).
+
+        Iteration is over *sorted* operation keys and ranking uses the
+        unrounded mean, so the order is a pure function of the recorded
+        data — never of dict insertion order, and never of two distinct
+        means rounding to the same displayed value.
+        """
+        ranked = sorted(
+            (
+                (key, series)
+                for key, series in sorted(self.red.items())
+                if key[2] == "server"
+            ),
+            key=lambda item: (-item[1].latency.mean, item[0][0], item[0][1]),
+        )
         rows = [
-            row for row in self.summary()["red"] if row["side"] == "server"
+            {
+                "service": service,
+                "method": method,
+                "side": side,
+                "requests": series.requests,
+                "errors": series.errors,
+                "mean_ms": round(series.latency.mean * 1000, 3),
+                "p50_ms": round(series.latency.percentile(0.50) * 1000, 3),
+                "p95_ms": round(series.latency.percentile(0.95) * 1000, 3),
+            }
+            for (service, method, side), series in ranked
         ]
-        rows.sort(key=lambda r: (-r["mean_ms"], r["service"], r["method"]))
         return rows[: int(limit)] if limit and int(limit) > 0 else rows

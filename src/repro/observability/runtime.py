@@ -13,15 +13,28 @@ failovers, and deadline sheds become span events on whatever span was open
 when they happened, breaker transitions drive the ``breaker_state`` gauge,
 and every event code is counted.  :func:`repro.durability.journal
 .set_journal_listener` is wired the same way for journal appends/replays.
+
+Two opt-in additions ride the same bundle:
+
+* ``sampling`` — a :class:`~repro.observability.sampling.TailSampler`
+  (or ``True`` for the seeded default chain) slots between tracer and
+  collector, so only kept traces are materialized and stored;
+* ``slos`` — :class:`~repro.observability.slo.SLO` definitions feed the
+  bundle's :class:`~repro.observability.slo.SloEngine`, whose
+  ``evaluate()`` the harness (or any driver) calls periodically.
 """
 
 from __future__ import annotations
+
+from typing import Iterable
 
 from repro.durability import journal as journal_module
 from repro.faults import ErrorReport
 from repro.observability.collector import TraceCollector
 from repro.observability.context import IdGenerator
 from repro.observability.metrics import BREAKER_STATE_VALUES, MetricsRegistry
+from repro.observability.sampling import TailSampler
+from repro.observability.slo import SLO, SloEngine
 from repro.observability.tracer import Tracer
 from repro.resilience import events as resilience_events
 from repro.transport.clock import SimClock
@@ -29,32 +42,85 @@ from repro.transport.network import VirtualNetwork
 
 
 class Observability:
-    """Tracer + metrics + collector sharing one clock and one id seed."""
+    """Tracer + metrics + collector (+ sampler + SLO engine) sharing one
+    clock and one id seed."""
 
-    def __init__(self, clock: SimClock, *, seed: int = 0):
+    def __init__(
+        self,
+        clock: SimClock,
+        *,
+        seed: int = 0,
+        sampling: TailSampler | bool | None = None,
+        collector_capacity: int = 0,
+        slos: Iterable[SLO] | None = None,
+    ):
         self.clock = clock
         self.ids = IdGenerator(seed)
-        self.collector = TraceCollector()
-        self.tracer = Tracer(clock, self.ids, self.collector)
+        self.collector = TraceCollector(capacity=collector_capacity)
+        self.collector.on_evict = self._on_evict
+        if sampling is True:
+            sampling = TailSampler(seed=seed)
+        self.sampler: TailSampler | None = sampling or None
+        if self.sampler is not None:
+            self.sampler.bind(self.collector)
+        self.tracer = Tracer(
+            clock, self.ids, self.collector, sampler=self.sampler
+        )
         self.metrics = MetricsRegistry()
+        self.slo = SloEngine(clock, self.metrics, collector=self.collector)
+        for slo in slos or ():
+            self.slo.define(slo)
         self._observed_logs: list = []
 
     @classmethod
-    def install(cls, network: VirtualNetwork, *, seed: int = 0) -> "Observability":
+    def install(
+        cls,
+        network: VirtualNetwork,
+        *,
+        seed: int = 0,
+        sampling: TailSampler | bool | None = None,
+        collector_capacity: int = 0,
+        slos: Iterable[SLO] | None = None,
+    ) -> "Observability":
         """Create a bundle on the network's clock and make it ambient.
 
         Also wires the durability journal listener, so journal writes and
         replays show up as events on the active span.
         """
-        obs = cls(network.clock, seed=seed)
+        obs = cls(
+            network.clock,
+            seed=seed,
+            sampling=sampling,
+            collector_capacity=collector_capacity,
+            slos=slos,
+        )
         network.observability = obs
         journal_module.set_journal_listener(obs._on_journal)
         return obs
 
     @staticmethod
     def uninstall(network: VirtualNetwork) -> None:
+        obs = getattr(network, "observability", None)
+        if obs is not None and obs.sampler is not None:
+            # decide still-buffered traces so the export is complete
+            obs.sampler.flush()
         network.observability = None
         journal_module.set_journal_listener(None)
+
+    def flush(self) -> None:
+        """Force sampling decisions for every still-buffered trace."""
+        if self.sampler is not None:
+            self.sampler.flush()
+
+    # -- eviction gauge -------------------------------------------------------------
+
+    def _on_evict(self, collector: TraceCollector) -> None:
+        self.metrics.set_gauge(
+            "collector_evictions", "traces", collector.trace_evictions
+        )
+        self.metrics.set_gauge(
+            "collector_evictions", "spans", collector.spans_evicted
+        )
 
     # -- resilience-log bridge ------------------------------------------------------
 

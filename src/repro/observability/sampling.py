@@ -1,0 +1,401 @@
+"""Tail-based trace sampling: buffer cheaply, decide at trace completion.
+
+Always-on full tracing is the product tax at portal scale — but *head*
+sampling (deciding at trace start) throws away exactly the traces worth
+keeping, because whether a request erred, blew its deadline, or tripped a
+breaker is only known at the end.  The :class:`TailSampler` therefore
+buffers every trace's raw :class:`~repro.observability.tracer.Span`
+objects (no dict materialization, no export) until the root span
+completes, then runs a deterministic policy chain:
+
+1. :class:`KeepErrorsPolicy` — any failed span keeps the whole trace;
+2. :class:`KeepEventsPolicy` — deadline sheds, breaker trips, failovers,
+   give-ups keep the trace even when the call eventually succeeded;
+3. :class:`LatencyOutlierPolicy` — per-operation streaming quantile
+   sketches keep the slow tail (p99 by default);
+4. :class:`ProbabilisticPolicy` — a seeded hash of the trace id keeps a
+   deterministic fraction of the boring rest.
+
+Everything is seeded — two same-seed runs keep byte-identical trace sets
+(the determinism the ``repro.analysis`` REP701 checker enforces).  RED
+metrics are recorded *before* the sampler sees anything, so rates, error
+counts, and latency histograms stay unsampled and exact; the sampler's
+:meth:`~TailSampler.accounting` reconciles kept/dropped totals so nobody
+mistakes the collector's contents for the full population.
+
+The sampling decision context crosses the wire as the registered
+``urn:gce:sampling`` SOAP header (:func:`sampling_header` /
+:func:`sampling_from_headers`): a client under tail sampling stamps each
+request with the mode so downstream hops know the trace is tail-buffered
+and must not head-sample it away.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.headers import register_header
+from repro.observability.context import _RawHeader
+from repro.observability.metrics import QuantileSketch
+from repro.observability.tracer import Span
+from repro.xmlutil.element import XmlElement
+from repro.xmlutil.qname import QName
+
+SAMPLING_NS = "urn:gce:sampling"
+
+#: the SOAP header entry carrying the caller's sampling mode
+SAMPLING_HEADER = QName(SAMPLING_NS, "SamplingMode")
+register_header(
+    SAMPLING_HEADER,
+    description="tail-sampling decision context: the caller's sampling mode",
+    module=__name__,
+)
+
+def always_keep_events() -> frozenset[str]:
+    """Event codes that always keep a trace, success or not.
+
+    Computed lazily: the SOAP client imports this module for its header
+    hot path, and ``repro.resilience`` imports the SOAP client, so the
+    vocabulary cannot be pulled in at import time.
+    """
+    from repro.resilience import events as resilience_events
+
+    return frozenset({
+        resilience_events.BREAKER,
+        resilience_events.DEADLINE,
+        resilience_events.FAILOVER,
+        resilience_events.GIVE_UP,
+        resilience_events.SHED,
+    })
+
+#: one immutable header element per mode, built once — attached to every
+#: outgoing request, so construction must not be per-call work
+_MODE_ENTRIES: dict[str, XmlElement] = {}
+
+
+def sampling_header(mode: str) -> XmlElement:
+    """Encode the sampling mode as its SOAP header entry (cached).
+
+    The raw prebuilt form: the header rides every outgoing request under
+    tail sampling, so neither element construction nor generic
+    serialization may be per-call work (modes are short tokens — no
+    escaping needed).
+    """
+    entry = _MODE_ENTRIES.get(mode)
+    if entry is None:
+        raw = f'<s:SamplingMode xmlns:s="{SAMPLING_NS}" mode="{mode}"/>'
+        entry = _RawHeader(SAMPLING_HEADER, raw, {"mode": mode})
+        _MODE_ENTRIES[mode] = entry
+    return entry
+
+
+def sampling_from_headers(headers: list[XmlElement]) -> str:
+    """The sampling mode riding *headers*, or ``""`` when absent."""
+    for entry in headers:
+        if entry.tag == SAMPLING_HEADER:
+            return (entry.get("mode") or "").strip()
+    return ""
+
+
+class TraceBuffer:
+    """One in-flight trace: raw spans in finish order, root when known."""
+
+    __slots__ = ("trace_id", "spans", "root")
+
+    def __init__(self, trace_id: str):
+        self.trace_id = trace_id
+        self.spans: list[Span] = []
+        self.root: Span | None = None
+
+
+class SamplingPolicy:
+    """One link of the retention chain.
+
+    ``decide`` returns ``True`` to keep the trace (the chain stops) or
+    ``None`` for no opinion (the chain continues); a trace no policy
+    claims is dropped.  Policies must be deterministic: any randomness
+    must come from an explicit seed (REP701).
+    """
+
+    name = "policy"
+
+    def decide(self, trace: TraceBuffer) -> bool | None:
+        raise NotImplementedError
+
+
+class KeepErrorsPolicy(SamplingPolicy):
+    """Any span error keeps the whole trace — failures are never sampled
+    away, so every alert exemplar and postmortem trace link resolves."""
+
+    name = "errors"
+
+    def decide(self, trace: TraceBuffer) -> bool | None:
+        for span in trace.spans:
+            if span.error:
+                return True
+        return None
+
+
+class KeepEventsPolicy(SamplingPolicy):
+    """Resilience events keep the trace even when the call succeeded.
+
+    A request that tripped a breaker, shed under deadline pressure, failed
+    over, or exhausted retries tells the capacity-planning story precisely
+    *because* it recovered — dropping it would hide the near-miss.
+    """
+
+    name = "events"
+
+    def __init__(self, codes: frozenset[str] | None = None):
+        self.codes = codes if codes is not None else always_keep_events()
+
+    def decide(self, trace: TraceBuffer) -> bool | None:
+        for span in trace.spans:
+            for event in span._events or ():
+                if event.name in self.codes:
+                    return True
+        return None
+
+
+class LatencyOutlierPolicy(SamplingPolicy):
+    """Keep traces whose root latency sits in the slow tail of its
+    operation.
+
+    One streaming :class:`~repro.observability.metrics.QuantileSketch`
+    per (service, root-operation) observes *every* root duration — the
+    baseline is unsampled — and a trace at or above the sketch's current
+    ``quantile`` estimate is kept.  The first ``min_baseline`` roots of an
+    operation only feed the sketch (an empty baseline makes everything an
+    outlier).
+    """
+
+    name = "latency-outlier"
+
+    #: recompute the cached quantile threshold every this many roots — a
+    #: full sketch scan per trace would dominate the decision cost, and
+    #: the refresh schedule depends only on counts, so it is deterministic
+    REFRESH_EVERY = 16
+
+    def __init__(self, quantile: float = 0.99, min_baseline: int = 32):
+        self.quantile = quantile
+        self.min_baseline = min_baseline
+        self.sketches: dict[tuple[str, str], QuantileSketch] = {}
+        self._thresholds: dict[tuple[str, str], tuple[int, float]] = {}
+
+    def decide(self, trace: TraceBuffer) -> bool | None:
+        root = trace.root
+        if root is None:
+            return None
+        key = (root.service or root.host, root.name)
+        sketch = self.sketches.get(key)
+        if sketch is None:
+            sketch = self.sketches[key] = QuantileSketch()
+        duration = root.end - root.start
+        keep = False
+        if sketch.count >= self.min_baseline:
+            cached = self._thresholds.get(key)
+            if cached is None or sketch.count >= cached[0]:
+                cached = (
+                    sketch.count + self.REFRESH_EVERY,
+                    sketch.quantile(self.quantile),
+                )
+                self._thresholds[key] = cached
+            keep = duration >= cached[1]
+        sketch.record(duration)
+        return True if keep else None
+
+
+class ProbabilisticPolicy(SamplingPolicy):
+    """Keep a seeded, deterministic fraction of the remaining traces.
+
+    The coin is a splitmix64-style hash of (trace id, seed) — no
+    ``random`` module, no per-process state — so the same seed keeps the
+    same trace set on every run, and the decision is reproducible from
+    the trace id alone.
+    """
+
+    name = "probabilistic"
+
+    _M64 = 0xFFFFFFFFFFFFFFFF
+
+    def __init__(self, rate: float = 0.05, seed: int = 0):
+        self.rate = rate
+        self.seed = seed & self._M64
+
+    def _coin(self, trace_id: str) -> float:
+        try:
+            key = int(trace_id[:16] or "0", 16)
+        except ValueError:
+            key = sum(ord(ch) for ch in trace_id)
+        v = (key ^ self.seed) & self._M64
+        v = ((v ^ (v >> 30)) * 0xBF58476D1CE4E5B9) & self._M64
+        v = ((v ^ (v >> 27)) * 0x94D049BB133111EB) & self._M64
+        v ^= v >> 31
+        return (v >> 11) / float(1 << 53)
+
+    def decide(self, trace: TraceBuffer) -> bool | None:
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return None
+        return True if self._coin(trace.trace_id) < self.rate else None
+
+
+def default_policies(
+    *,
+    seed: int = 0,
+    rate: float = 0.05,
+    outlier_quantile: float = 0.99,
+    min_outlier_baseline: int = 32,
+) -> list[SamplingPolicy]:
+    """The standard chain: errors, resilience events, outliers, coin."""
+    return [
+        KeepErrorsPolicy(),
+        KeepEventsPolicy(),
+        LatencyOutlierPolicy(outlier_quantile, min_outlier_baseline),
+        ProbabilisticPolicy(rate=rate, seed=seed),
+    ]
+
+
+class TailSampler:
+    """Buffers whole traces and applies the policy chain at completion.
+
+    Sits between :class:`~repro.observability.tracer.Tracer` and
+    :class:`~repro.observability.collector.TraceCollector`: finished spans
+    are *offered* here, and only kept traces are materialized (``to_dict``)
+    and exported — dropped traces never pay the dict cost at all.  Spans
+    of one trace export contiguously in finish order, so same-seed runs
+    stay byte-identical.
+    """
+
+    mode = "tail"
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        rate: float = 0.05,
+        outlier_quantile: float = 0.99,
+        min_outlier_baseline: int = 32,
+        max_buffered_traces: int = 512,
+        policies: Iterable[SamplingPolicy] | None = None,
+    ):
+        self.policies = (
+            list(policies)
+            if policies is not None
+            else default_policies(
+                seed=seed,
+                rate=rate,
+                outlier_quantile=outlier_quantile,
+                min_outlier_baseline=min_outlier_baseline,
+            )
+        )
+        self.max_buffered_traces = max_buffered_traces
+        #: the export target; bound by the runtime (anything with
+        #: ``export(span_dict)``)
+        self.collector = None
+        self._buffers: dict[str, TraceBuffer] = {}
+        self.kept_traces = 0
+        self.dropped_traces = 0
+        self.kept_spans = 0
+        self.dropped_spans = 0
+        self.overflow_decisions = 0
+        self.kept_by_policy: dict[str, int] = {}
+        #: sampling modes seen on inbound requests (the header consumer's
+        #: tally — lets operators spot mixed-mode deployments)
+        self.inbound_modes: dict[str, int] = {}
+
+    def bind(self, collector) -> None:
+        self.collector = collector
+
+    # -- the hot path ---------------------------------------------------------------
+
+    def offer(self, span: Span) -> None:
+        """Buffer one finished span; a completing root decides its trace."""
+        buf = self._buffers.get(span.trace_id)
+        if buf is None:
+            if len(self._buffers) >= self.max_buffered_traces:
+                self._decide_oldest()
+            buf = self._buffers[span.trace_id] = TraceBuffer(span.trace_id)
+        buf.spans.append(span)
+        if not span.parent_id:
+            buf.root = span
+            del self._buffers[span.trace_id]
+            self._decide(buf)
+
+    def note_inbound(self, mode: str) -> None:
+        """Tally a sampling-mode header seen on an inbound request."""
+        self.inbound_modes[mode] = self.inbound_modes.get(mode, 0) + 1
+
+    # -- decisions ------------------------------------------------------------------
+
+    def _decide_oldest(self) -> None:
+        """Buffer overflow: decide the oldest incomplete trace early (its
+        root, e.g. abandoned by a crash, may never arrive)."""
+        trace_id = next(iter(self._buffers))
+        buf = self._buffers.pop(trace_id)
+        if buf.root is None and buf.spans:
+            buf.root = buf.spans[0]
+        self.overflow_decisions += 1
+        self._decide(buf)
+
+    def _decide(self, buf: TraceBuffer) -> None:
+        for policy in self.policies:
+            if policy.decide(buf):
+                self._keep(buf, policy.name)
+                return
+        self.dropped_traces += 1
+        self.dropped_spans += len(buf.spans)
+
+    def _keep(self, buf: TraceBuffer, policy_name: str) -> None:
+        self.kept_traces += 1
+        self.kept_spans += len(buf.spans)
+        self.kept_by_policy[policy_name] = (
+            self.kept_by_policy.get(policy_name, 0) + 1
+        )
+        if self.collector is not None:
+            for span in buf.spans:
+                self.collector.export(span.to_dict())
+
+    def flush(self) -> None:
+        """Decide every still-buffered trace (end of run / uninstall).
+
+        Incomplete traces — roots abandoned by crashes — go through the
+        same chain, with the first buffered span standing in as root.
+        """
+        for trace_id in list(self._buffers):
+            buf = self._buffers.pop(trace_id)
+            if buf.root is None and buf.spans:
+                buf.root = buf.spans[0]
+            self._decide(buf)
+
+    # -- accounting -----------------------------------------------------------------
+
+    @property
+    def buffered_traces(self) -> int:
+        return len(self._buffers)
+
+    def accounting(self) -> dict[str, Any]:
+        """The sampled/dropped ledger: exact totals, per-policy keeps.
+
+        RED metrics never pass through the sampler, so this is the one
+        place the "collector holds N spans" number is reconciled against
+        the true population.
+        """
+        return {
+            "mode": self.mode,
+            "kept_traces": self.kept_traces,
+            "dropped_traces": self.dropped_traces,
+            "kept_spans": self.kept_spans,
+            "dropped_spans": self.dropped_spans,
+            "buffered_traces": self.buffered_traces,
+            "overflow_decisions": self.overflow_decisions,
+            "kept_by_policy": {
+                name: self.kept_by_policy[name]
+                for name in sorted(self.kept_by_policy)
+            },
+            "inbound_modes": {
+                mode: self.inbound_modes[mode]
+                for mode in sorted(self.inbound_modes)
+            },
+        }

@@ -1,0 +1,380 @@
+"""Service-level objectives with multi-window burn-rate alerting.
+
+RED counters say what the system *did*; an SLO says what it *promised*.
+This module evaluates declarative per-operation objectives — availability
+("99% of submits succeed") and latency ("99% of polls finish within the
+threshold") — over sliding windows built from the already-mergeable RED
+histograms, and raises alerts on the *burn rate*: how fast the error
+budget is being spent, as a multiple of the rate that would exactly
+exhaust it over the objective window.
+
+Alerting is multi-window (the fast/slow pairs popularized by the Google
+SRE workbook): an alert fires only when **both** windows of a pair exceed
+the pair's factor — the slow window proves the problem is real, the fast
+window proves it is *still happening* — which keeps pages off transient
+blips while still catching fast burns quickly.  Each fired alert links
+exemplar traces: kept traces (the tail sampler never drops errors) whose
+spans violate the objective, so the page lands with the evidence attached.
+
+Everything iterates in sorted order and runs on the virtual clock, so two
+same-seed simulation runs produce byte-identical alert logs — the
+``slo-burn`` simtest oracle depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.observability.metrics import MetricsRegistry
+
+AVAILABILITY = "availability"
+LATENCY = "latency"
+
+_OBJECTIVES = (AVAILABILITY, LATENCY)
+
+
+@dataclass(frozen=True)
+class BurnRatePair:
+    """One fast/slow alerting window pair.
+
+    ``factor`` is the burn-rate threshold both windows must exceed: burn
+    rate 1.0 spends the budget exactly over the objective window, so a
+    factor of 6 over a short window means "at this rate the whole budget
+    is gone in window/6".
+    """
+
+    slow: float
+    fast: float
+    factor: float
+
+
+def default_pairs(window: float) -> tuple[BurnRatePair, ...]:
+    """The standard pairs, scaled to the objective window: a fast burn
+    page (factor 6) and a slow burn ticket (factor 2)."""
+    return (
+        BurnRatePair(slow=window / 3.0, fast=window / 12.0, factor=6.0),
+        BurnRatePair(slow=window, fast=window / 4.0, factor=2.0),
+    )
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over one server-side operation.
+
+    ``window`` (seconds) and ``budget`` (allowed bad fraction, e.g. 0.01
+    for 99%) are keyword-only and required — an SLO without both is a
+    slogan, not an objective, and the REP702 checker rejects definitions
+    that omit either.  ``threshold`` (seconds) is the latency objective's
+    "fast enough" bound; it is snapped to histogram bucket math by the
+    engine, so choose a value near a ``BUCKET_BOUNDS`` entry for exact
+    accounting.
+    """
+
+    name: str
+    service: str
+    method: str
+    objective: str = AVAILABILITY
+    threshold: float = 1.0
+    description: str = ""
+    window: float = field(kw_only=True)
+    budget: float = field(kw_only=True)
+
+    def __post_init__(self):
+        if self.objective not in _OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; have {_OBJECTIVES}"
+            )
+        if self.window <= 0:
+            raise ValueError(f"SLO {self.name!r}: window must be positive")
+        if not 0 < self.budget < 1:
+            raise ValueError(
+                f"SLO {self.name!r}: budget must be a fraction in (0, 1)"
+            )
+
+    @property
+    def target(self) -> float:
+        """The promised good fraction (1 - budget)."""
+        return 1.0 - self.budget
+
+
+class SloEngine:
+    """Evaluates defined SLOs against the live metrics registry.
+
+    Call :meth:`evaluate` periodically (the simtest harness does so every
+    tick); each call snapshots the cumulative RED counters per SLO, stores
+    the delta as one time bucket, recomputes burn rates over every
+    window, and transitions alerts.  Window queries sum buckets in
+    insertion order over sorted SLO names — no dict-order dependence
+    anywhere, so reports are byte-identical across same-seed runs.
+    """
+
+    def __init__(
+        self,
+        clock,
+        metrics: MetricsRegistry,
+        *,
+        collector=None,
+        min_requests: int = 1,
+        max_exemplars: int = 3,
+    ):
+        self.clock = clock
+        self.metrics = metrics
+        #: the trace collector exemplars are drawn from (kept traces only)
+        self.collector = collector
+        #: windows with fewer requests than this have no opinion (burn 0)
+        self.min_requests = min_requests
+        self.max_exemplars = max_exemplars
+        self._slos: dict[str, SLO] = {}
+        self._pairs: dict[str, tuple[BurnRatePair, ...]] = {}
+        #: per-SLO cumulative (requests, bad) at the last evaluation
+        self._snapshots: dict[str, tuple[int, int]] = {}
+        #: (t, {slo name: (delta requests, delta bad)}) buckets, append-only
+        self._deltas: list[tuple[float, dict[str, tuple[int, int]]]] = []
+        #: currently-firing alerts by SLO name
+        self.active: dict[str, dict[str, Any]] = {}
+        #: every firing/resolved transition, in order
+        self.alert_log: list[dict[str, Any]] = []
+        self.evaluations = 0
+
+    # -- definitions ----------------------------------------------------------------
+
+    def define(
+        self, slo: SLO, pairs: Iterable[BurnRatePair] | None = None
+    ) -> SLO:
+        """Register one objective (optionally with custom alert pairs)."""
+        if slo.name in self._slos:
+            raise ValueError(f"SLO {slo.name!r} is already defined")
+        self._slos[slo.name] = slo
+        self._pairs[slo.name] = (
+            tuple(pairs) if pairs is not None else default_pairs(slo.window)
+        )
+        return slo
+
+    def slos(self) -> list[SLO]:
+        """Defined objectives, sorted by name."""
+        return [self._slos[name] for name in sorted(self._slos)]
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def _cumulative(self, slo: SLO) -> tuple[int, int]:
+        """(requests, bad) totals for *slo*'s operation since boot."""
+        series = self.metrics.red.get((slo.service, slo.method, "server"))
+        if series is None:
+            return 0, 0
+        if slo.objective == AVAILABILITY:
+            return series.requests, series.errors
+        good = series.latency.count_at_most(slo.threshold)
+        return series.requests, series.requests - good
+
+    def evaluate(self) -> list[dict[str, Any]]:
+        """Take one time bucket and transition alerts; returns the active
+        alerts (sorted by SLO name)."""
+        now = self.clock.now
+        bucket: dict[str, tuple[int, int]] = {}
+        for name in sorted(self._slos):
+            requests, bad = self._cumulative(self._slos[name])
+            prev_requests, prev_bad = self._snapshots.get(name, (0, 0))
+            self._snapshots[name] = (requests, bad)
+            bucket[name] = (requests - prev_requests, bad - prev_bad)
+        self._deltas.append((now, bucket))
+        self._trim(now)
+        self._transition(now)
+        self.evaluations += 1
+        return self.alerts()
+
+    def _trim(self, now: float) -> None:
+        horizon = max(
+            (
+                max(slo.window, *(p.slow for p in self._pairs[name]))
+                for name, slo in sorted(self._slos.items())
+            ),
+            default=0.0,
+        )
+        cutoff = now - horizon
+        drop = 0
+        for t, _ in self._deltas:
+            if t > cutoff:
+                break
+            drop += 1
+        if drop:
+            del self._deltas[:drop]
+
+    def window_totals(self, name: str, window: float) -> tuple[int, int]:
+        """(requests, bad) summed over buckets newer than now - window."""
+        cutoff = self.clock.now - window
+        requests = bad = 0
+        for t, bucket in self._deltas:
+            if t <= cutoff:
+                continue
+            delta = bucket.get(name)
+            if delta is not None:
+                requests += delta[0]
+                bad += delta[1]
+        return requests, bad
+
+    def burn_rate(self, name: str, window: float) -> float:
+        """Budget spend rate over *window*, as a multiple of sustainable.
+
+        1.0 means the bad fraction equals the budget exactly; below
+        :attr:`min_requests` observed requests the window has no opinion.
+        """
+        slo = self._slos[name]
+        requests, bad = self.window_totals(name, window)
+        if requests < self.min_requests:
+            return 0.0
+        return (bad / requests) / slo.budget
+
+    def firing_pair(
+        self, name: str
+    ) -> tuple[BurnRatePair, float, float] | None:
+        """The first alert pair both of whose windows exceed its factor,
+        with the two burn rates — or ``None`` when the SLO is healthy."""
+        for pair in self._pairs[name]:
+            slow_burn = self.burn_rate(name, pair.slow)
+            if slow_burn < pair.factor:
+                continue
+            fast_burn = self.burn_rate(name, pair.fast)
+            if fast_burn >= pair.factor:
+                return pair, slow_burn, fast_burn
+        return None
+
+    def _transition(self, now: float) -> None:
+        for name in sorted(self._slos):
+            firing = self.firing_pair(name)
+            held = self.active.get(name)
+            if firing is not None and held is None:
+                pair, slow_burn, fast_burn = firing
+                slo = self._slos[name]
+                alert = {
+                    "slo": name,
+                    "service": slo.service,
+                    "method": slo.method,
+                    "objective": slo.objective,
+                    "since": now,
+                    "factor": pair.factor,
+                    "slow_window": pair.slow,
+                    "fast_window": pair.fast,
+                    "slow_burn": round(slow_burn, 6),
+                    "fast_burn": round(fast_burn, 6),
+                    "exemplars": self._exemplars(slo),
+                }
+                self.active[name] = alert
+                self.alert_log.append(dict(alert, t=now, state="firing"))
+            elif firing is not None:
+                pair, slow_burn, fast_burn = firing
+                held.update(
+                    factor=pair.factor,
+                    slow_window=pair.slow,
+                    fast_window=pair.fast,
+                    slow_burn=round(slow_burn, 6),
+                    fast_burn=round(fast_burn, 6),
+                )
+            elif held is not None:
+                del self.active[name]
+                self.alert_log.append({
+                    "t": now,
+                    "state": "resolved",
+                    "slo": name,
+                    "since": held["since"],
+                    "duration": round(now - held["since"], 6),
+                })
+
+    def _exemplars(self, slo: SLO) -> list[str]:
+        """Trace ids of recent kept traces violating *slo*'s objective.
+
+        Scanned newest-first from the collector; errors are never sampled
+        away, so an availability breach always has evidence to link.
+        """
+        if self.collector is None:
+            return []
+        found: list[str] = []
+        for span in reversed(self.collector.spans()):
+            if span.get("kind") != "server":
+                continue
+            if span.get("service") != slo.service:
+                continue
+            if span.get("name") != slo.method:
+                continue
+            if slo.objective == AVAILABILITY:
+                if not span.get("error"):
+                    continue
+            elif span.get("end", 0.0) - span.get("start", 0.0) <= slo.threshold:
+                continue
+            trace_id = span.get("trace_id", "")
+            if trace_id and trace_id not in found:
+                found.append(trace_id)
+                if len(found) >= self.max_exemplars:
+                    break
+        return found
+
+    def exemplars_for(self, name: str) -> list[str]:
+        """The exemplar trace ids the named SLO would link right now —
+        what :meth:`evaluate` attaches when an alert fires this instant.
+        The ``slo-burn`` oracle uses it to hold fired alerts to their
+        evidence."""
+        return self._exemplars(self._slos[name])
+
+    # -- views ----------------------------------------------------------------------
+
+    def slo_summary(self) -> list[dict[str, Any]]:
+        """One wire-friendly row per objective, sorted by name."""
+        rows = []
+        for name in sorted(self._slos):
+            slo = self._slos[name]
+            requests, bad = self.window_totals(name, slo.window)
+            good_fraction = 1.0 - (bad / requests) if requests else 1.0
+            rows.append({
+                "slo": name,
+                "service": slo.service,
+                "method": slo.method,
+                "objective": slo.objective,
+                "window_s": slo.window,
+                "budget": slo.budget,
+                "target": round(slo.target, 6),
+                "requests": requests,
+                "bad": bad,
+                "good_fraction": round(good_fraction, 6),
+                "burn_rate": round(self.burn_rate(name, slo.window), 6),
+                "state": "firing" if name in self.active else "ok",
+            })
+        return rows
+
+    def alerts(self, active_only: bool = True) -> list[dict[str, Any]]:
+        """Firing alerts (sorted by SLO name), or the full transition log."""
+        if active_only:
+            return [dict(self.active[name]) for name in sorted(self.active)]
+        return [dict(entry) for entry in self.alert_log]
+
+
+def default_slos(
+    *, window: float = 12.0, budget: float = 0.1, latency_threshold: float = 4.096
+) -> tuple[SLO, ...]:
+    """The portal deployment's standard objectives.
+
+    Scaled to the simulation's timebase (1s ticks): availability and
+    latency promises on the job-submission path.  The latency threshold
+    defaults to a histogram bucket bound (4.096s) so good/bad accounting
+    is exact.
+    """
+    return (
+        SLO(
+            "globusrun-submit-availability",
+            service="Globusrun",
+            method="submit_async",
+            objective=AVAILABILITY,
+            description="async job submissions succeed",
+            window=window,
+            budget=budget,
+        ),
+        SLO(
+            "globusrun-result-latency",
+            service="Globusrun",
+            method="result",
+            objective=LATENCY,
+            threshold=latency_threshold,
+            description="job results return fast enough",
+            window=window,
+            budget=budget,
+        ),
+    )

@@ -41,22 +41,59 @@ class SpanEvent:
         return {"t": self.t, "name": self.name, "attributes": dict(self.attributes)}
 
 
-@dataclass
 class Span:
-    """One timed operation in a trace tree."""
+    """One timed operation in a trace tree.
 
-    trace_id: str
-    span_id: str
-    parent_id: str
-    name: str
-    kind: str
-    service: str
-    host: str
-    start: float
-    end: float = 0.0
-    error: str = ""
-    attributes: dict[str, Any] = field(default_factory=dict)
-    events: list[SpanEvent] = field(default_factory=list)
+    A plain ``__slots__`` class on the hot path: every SOAP call opens
+    three of these, so construction cost is product cost.  The attribute
+    and event stores are created lazily — most spans carry neither, and a
+    dict plus a list per span is measurable at wire rates.
+    """
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name", "kind", "service",
+        "host", "start", "end", "error", "_attributes", "_events",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: str,
+        name: str,
+        kind: str,
+        service: str,
+        host: str,
+        start: float,
+        end: float = 0.0,
+        error: str = "",
+        attributes: dict[str, Any] | None = None,
+        events: list[SpanEvent] | None = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.service = service
+        self.host = host
+        self.start = start
+        self.end = end
+        self.error = error
+        self._attributes = attributes
+        self._events = events
+
+    @property
+    def attributes(self) -> dict[str, Any]:
+        if self._attributes is None:
+            self._attributes = {}
+        return self._attributes
+
+    @property
+    def events(self) -> list[SpanEvent]:
+        if self._events is None:
+            self._events = []
+        return self._events
 
     def context(self) -> TraceContext:
         """The context a child call should propagate."""
@@ -83,8 +120,8 @@ class Span:
             "start": self.start,
             "end": self.end,
             "error": self.error,
-            "attributes": dict(self.attributes),
-            "events": [event.to_dict() for event in self.events],
+            "attributes": dict(self._attributes) if self._attributes else {},
+            "events": [e.to_dict() for e in self._events] if self._events else [],
         }
 
 
@@ -93,13 +130,26 @@ class Tracer:
 
     ``collector`` is anything with an ``export(span_dict)`` method — in
     practice the :class:`repro.observability.collector.TraceCollector`.
+
+    With a ``sampler`` attached (:class:`repro.observability.sampling
+    .TailSampler`), finished spans are *offered* instead of exported:
+    the sampler buffers the raw ``Span`` objects per trace and only
+    materializes the dict form for traces its policy chain keeps — the
+    deferred half of the cheap span hot path.
     """
 
-    def __init__(self, clock: SimClock, ids: IdGenerator, collector=None):
+    def __init__(
+        self, clock: SimClock, ids: IdGenerator, collector=None, *, sampler=None
+    ):
         self.clock = clock
         self.ids = ids
         self.collector = collector
+        self.sampler = sampler
         self._stack: list[Span] = []
+        # bound fast paths: three spans per SOAP call makes even the
+        # attribute-chain lookups (`self.ids.span_id`) per-call cost
+        self._trace_id = ids.trace_id
+        self._span_id = ids.span_id
 
     # -- ambient span ---------------------------------------------------------------
 
@@ -112,7 +162,6 @@ class Tracer:
     def start(
         self,
         name: str,
-        *,
         kind: str = INTERNAL,
         service: str = "",
         host: str = "",
@@ -121,34 +170,37 @@ class Tracer:
     ) -> Span:
         """Open a span.  Parentage: explicit *parent* context beats the
         ambient current span; with neither, a fresh trace begins."""
-        if parent is None:
-            ambient = self.current()
-            if ambient is not None:
-                parent = ambient.context()
-        if parent is None:
-            trace_id, parent_id = self.ids.trace_id(), ""
-        else:
+        if parent is not None:
             trace_id, parent_id = parent.trace_id, parent.span_id
+        elif self._stack:
+            ambient = self._stack[-1]
+            trace_id, parent_id = ambient.trace_id, ambient.span_id
+        else:
+            trace_id, parent_id = self._trace_id(), ""
         span = Span(
-            trace_id=trace_id,
-            span_id=self.ids.span_id(),
-            parent_id=parent_id,
-            name=name,
-            kind=kind,
-            service=service,
-            host=host,
-            start=self.clock.now,
-            attributes=dict(attributes or {}),
+            trace_id,
+            self._span_id(),
+            parent_id,
+            name,
+            kind,
+            service,
+            host,
+            self.clock.now,
+            attributes=dict(attributes) if attributes else None,
         )
         self._stack.append(span)
         return span
 
     def end(self, span: Span, *, error: str = "") -> Span:
-        """Close a span and export it to the collector."""
+        """Close a span and hand it off — to the tail sampler when one is
+        attached, else straight to the collector."""
         self._pop(span)
         span.end = self.clock.now
         span.error = error
-        if self.collector is not None:
+        sampler = self.sampler
+        if sampler is not None:
+            sampler.offer(span)
+        elif self.collector is not None:
             self.collector.export(span.to_dict())
         return span
 
@@ -169,7 +221,6 @@ class Tracer:
     def span(
         self,
         name: str,
-        *,
         kind: str = INTERNAL,
         service: str = "",
         host: str = "",
@@ -186,10 +237,7 @@ class Tracer:
         omniscient in-sim observer, and dropping the span would orphan
         children exported before the crash.)
         """
-        span = self.start(
-            name, kind=kind, service=service, host=host,
-            parent=parent, attributes=attributes,
-        )
+        span = self.start(name, kind, service, host, parent, attributes)
         try:
             yield span
         except PortalError as exc:

@@ -70,6 +70,7 @@ from repro.services.monitoring import (
     MetricsPortlet,
     ReplicationPortlet,
     ResilienceEventsPortlet,
+    SLOPortlet,
     TraceViewPortlet,
     deploy_monitoring,
 )
@@ -133,6 +134,9 @@ class PortalDeployment:
         users: dict[str, str] | None = None,
         observe: bool = False,
         observe_seed: int = 0,
+        sampling: bool | object = False,
+        collector_capacity: int = 0,
+        slos: tuple | None = None,
         admission_capacity: float = 64.0,
         admission_lanes: dict | None = None,
         metascheduler_policy: str = "least-loaded",
@@ -145,7 +149,12 @@ class PortalDeployment:
         ``observe=True`` installs the tracing/metrics layer
         (:class:`repro.observability.Observability`) on the network *before*
         any service deploys, bridges the deployment-wide resilience log into
-        it, and stands up the trace-collector endpoint.
+        it, and stands up the trace-collector endpoint.  ``sampling``
+        (``True`` for the seeded default chain, or a preconfigured
+        :class:`~repro.observability.sampling.TailSampler`),
+        ``collector_capacity`` (ring-buffer bound, 0 = unbounded), and
+        ``slos`` (:class:`~repro.observability.slo.SLO` definitions for
+        the bundle's burn-rate engine) pass through to the install.
 
         The Globusrun endpoint is always deployed behind admission control
         (``admission_capacity`` requests/s of modeled service capacity;
@@ -166,7 +175,13 @@ class PortalDeployment:
         if observe:
             from repro.observability import Observability
 
-            observability = Observability.install(network, seed=observe_seed)
+            observability = Observability.install(
+                network,
+                seed=observe_seed,
+                sampling=sampling,
+                collector_capacity=collector_capacity,
+                slos=slos,
+            )
         ca = SimpleCA()
         kdc = Kdc("GRIDPORTAL.ORG", network.clock)
         now = network.clock.now
@@ -477,6 +492,16 @@ class UserInterfaceServer:
     def add_replication_portlet(self) -> ReplicationPortlet:
         """Register the multi-region replication window with the container."""
         portlet = ReplicationPortlet(
+            self.network,
+            self.deployment.endpoints["monitoring"],
+            source=self.host,
+        )
+        self.container.add_local_portlet(portlet)
+        return portlet
+
+    def add_slo_portlet(self) -> SLOPortlet:
+        """Register the SLO/burn-rate window with the portlet container."""
+        portlet = SLOPortlet(
             self.network,
             self.deployment.endpoints["monitoring"],
             source=self.host,

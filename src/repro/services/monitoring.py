@@ -287,6 +287,35 @@ class JobMonitoringService:
             return []
         return obs.metrics.slowest(limit)
 
+    def slo_summary(self) -> list[dict[str, Any]]:
+        """One row per defined SLO: window totals, burn rate, alert state."""
+        self.queries_served += 1
+        obs = self._obs()
+        if obs is None:
+            return []
+        return obs.slo.slo_summary()
+
+    def slo_alerts(self, active_only: bool = True) -> list[dict[str, Any]]:
+        """Firing burn-rate alerts with exemplar trace links — or, with
+        ``active_only`` false, the full firing/resolved transition log."""
+        self.queries_served += 1
+        obs = self._obs()
+        if obs is None:
+            return []
+        return obs.slo.alerts(bool(active_only))
+
+    def sampling_summary(self) -> dict[str, Any]:
+        """The tail sampler's retention ledger (kept/dropped, per-policy).
+
+        An empty dict means sampling is off and the collector holds the
+        full span population.
+        """
+        self.queries_served += 1
+        obs = self._obs()
+        if obs is None or obs.sampler is None:
+            return {}
+        return obs.sampler.accounting()
+
 
 def deploy_monitoring(
     network: VirtualNetwork,
@@ -332,6 +361,9 @@ def deploy_monitoring(
     soap.expose(impl.trace_tree)
     soap.expose(impl.metrics_summary)
     soap.expose(impl.slowest_operations)
+    soap.expose(impl.slo_summary)
+    soap.expose(impl.slo_alerts)
+    soap.expose(impl.sampling_summary)
     return impl, soap.mount(server, "/monitor")
 
 
@@ -524,6 +556,67 @@ class ReplicationPortlet(Portlet):
                 f"<td>{_esc(heal_text)}</td></tr>"
             )
         cells.append("</table>")
+        return "".join(cells)
+
+
+class SLOPortlet(Portlet):
+    """The promises window: one row per objective with its burn rate and
+    alert state, then the firing alerts with their exemplar trace links
+    (each exemplar renders as a ``trace_tree`` query URL against the
+    monitoring endpoint, so the on-call click lands on the waterfall)."""
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        endpoint: str,
+        *,
+        name: str = "slo",
+        title: str = "Service-level objectives",
+        source: str = "portal",
+    ):
+        super().__init__(name, title)
+        self.endpoint = endpoint
+        self._client = SoapClient(
+            network, endpoint, MONITORING_NAMESPACE, source=source, traced=False
+        )
+
+    def render(self, container_base: str) -> str:
+        rows = self._client.call("slo_summary")
+        if not rows:
+            return '<p class="slo">no objectives defined</p>'
+        cells = ['<table class="slo-summary">'
+                 "<tr><th>slo</th><th>operation</th><th>objective</th>"
+                 "<th>target</th><th>good</th><th>burn</th><th>state</th></tr>"]
+        for row in rows:
+            cells.append(
+                f'<tr class="slo-{_esc(row["state"])}">'
+                f"<td>{_esc(row['slo'])}</td>"
+                f"<td>{_esc(row['service'])}.{_esc(row['method'])}</td>"
+                f"<td>{_esc(row['objective'])}</td>"
+                f"<td>{_esc(row['target'])}</td>"
+                f"<td>{_esc(row['good_fraction'])}</td>"
+                f"<td>{_esc(row['burn_rate'])}</td>"
+                f"<td>{_esc(row['state'])}</td></tr>"
+            )
+        cells.append("</table>")
+        alerts = self._client.call("slo_alerts")
+        if alerts:
+            cells.append('<table class="slo-alerts">'
+                         "<tr><th>alert</th><th>since</th><th>burn slow/fast</th>"
+                         "<th>exemplars</th></tr>")
+            for alert in alerts:
+                links = " ".join(
+                    f'<a href="{_esc(self.endpoint)}?method=trace_tree'
+                    f'&amp;trace_id={_esc(trace_id)}">{_esc(trace_id[:8])}</a>'
+                    for trace_id in alert["exemplars"]
+                )
+                cells.append(
+                    f"<tr><td>{_esc(alert['slo'])}</td>"
+                    f"<td>{_esc(alert['since'])}</td>"
+                    f"<td>{_esc(alert['slow_burn'])}/{_esc(alert['fast_burn'])}</td>"
+                    f"<td>{links or '-'}</td></tr>"
+                )
+            cells.append("</table>")
         return "".join(cells)
 
 

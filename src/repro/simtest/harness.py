@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.faults import PortalError
 from repro.grid.jobs import JobSpec
 from repro.loadmgmt.metascheduler import METASCHEDULER_NAMESPACE
-from repro.observability import Observability
+from repro.observability import Observability, default_slos
 from repro.portal.uiserver import PortalDeployment
 from repro.resilience.chaos import SCHEDULED_ONLY, ChaosMonkey
 from repro.resilience.policy import RetryPolicy, set_hop_listener
@@ -60,6 +60,10 @@ GLOBUSRUN_HOST = "globusrun.sdsc.edu"
 REGIONS = ("iu", "sdsc")
 DEFAULT_TICKS = 30
 MAX_HEAL_ROUNDS = 12
+#: trace-collector ring bound (spans) — 200-seed sweeps must not grow
+#: memory without bound, and the bound must be generous enough that a
+#: normal run never evicts (eviction order is deterministic regardless)
+COLLECTOR_CAPACITY = 4096
 
 #: errors the workload absorbs — the *system* may degrade under faults;
 #: only the oracles decide whether an invariant actually broke
@@ -173,6 +177,11 @@ class SimWorld:
     def collector(self):
         obs = self.deployment.observability
         return obs.collector if obs is not None else None
+
+    @property
+    def slo_engine(self):
+        obs = self.deployment.observability
+        return obs.slo if obs is not None else None
 
     @property
     def context_store(self):
@@ -320,6 +329,9 @@ class SimulationRun:
             network,
             observe=True,
             observe_seed=self._seed_int("observe"),
+            sampling=True,
+            collector_capacity=COLLECTOR_CAPACITY,
+            slos=default_slos(),
             regions=REGIONS,
             replication_seed=self._seed_int("replication"),
             durable=True,
@@ -518,6 +530,12 @@ class SimulationRun:
                     world.client_errors += 1
         if tick % 3 == 2:
             replication.run_anti_entropy(1)
+        # one SLO evaluation per tick: snapshot the RED counters into a
+        # time bucket and transition burn-rate alerts, so the slo-burn
+        # oracle checks alert state at the tick that changed it
+        engine = world.slo_engine
+        if engine is not None:
+            engine.evaluate()
 
     # -- oracle plumbing ------------------------------------------------------
 
@@ -550,6 +568,18 @@ class SimulationRun:
         store = world.context_store
         if store is not None:
             store.sync_all()
+        engine = world.slo_engine
+        if engine is not None:
+            # drain the burn-rate windows on the healed clock: with the
+            # faults gone and no new bad requests, every alert's fast
+            # window must empty within a few rounds — "alerts clear after
+            # heal" is an invariant the slo-burn oracle holds us to
+            engine.evaluate()
+            rounds = 0
+            while engine.active and rounds < MAX_HEAL_ROUNDS:
+                world.clock.advance(1.0)
+                engine.evaluate()
+                rounds += 1
 
     # -- entry point ----------------------------------------------------------
 
@@ -580,6 +610,9 @@ class SimulationRun:
         finally:
             set_hop_listener(None)
             Observability.uninstall(world.network)
+        obs = world.deployment.observability
+        engine = obs.slo if obs is not None else None
+        sampler = obs.sampler if obs is not None else None
         stats = {
             "faults_injected": world.monkey.faults_injected,
             "partitions_injected": world.monkey.partitions_injected,
@@ -588,6 +621,14 @@ class SimulationRun:
             "acked_batches": len(world.acked_batches),
             "acked_context": len(world.acked_context),
             "hops_observed": len(world.hop_records),
+            "slo_alerts_fired": sum(
+                1 for entry in (engine.alert_log if engine else ())
+                if entry["state"] == "firing"
+            ),
+            "slo_alerts_active": len(engine.active) if engine else 0,
+            # the sampler was flushed by uninstall, so the ledger is final
+            "traces_kept": sampler.kept_traces if sampler else 0,
+            "traces_dropped": sampler.dropped_traces if sampler else 0,
             "final_clock": round(world.clock.now, 6),
         }
         return RunResult(

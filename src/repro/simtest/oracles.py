@@ -339,3 +339,81 @@ class SpanTreeOracle(Oracle):
             self.violation(world, problem)
             for problem in problems
         ]
+
+
+@register_oracle
+class SloBurnOracle(Oracle):
+    """Burn-rate alerting stays honest across the whole fault schedule.
+
+    After every tick's evaluation: the set of active alerts must match a
+    recomputation of every SLO's firing pair from the stored window
+    buckets (the alert state machine may never drift from the window
+    math), every active alert's recorded burn rates must actually exceed
+    its own factor, and an alert fired this tick must link exemplar
+    traces whenever the collector holds matching evidence — the tail
+    sampler never drops errors, so an evidence-free availability page is
+    a sampling regression, not bad luck.  After heal the windows are
+    drained; an alert still firing then is stuck.
+    """
+
+    name = "slo-burn"
+    description = "SLO alerts match window math, carry exemplars, clear"
+    when = ("tick", "final")
+
+    def check(self, world):
+        engine = getattr(world, "slo_engine", None)
+        if engine is None or not engine.slos():
+            return []
+        violations = []
+        now = world.clock.now
+        for slo in engine.slos():
+            firing = engine.firing_pair(slo.name)
+            held = engine.active.get(slo.name)
+            if firing is not None and held is None:
+                pair, slow_burn, fast_burn = firing
+                violations.append(self.violation(
+                    world,
+                    f"SLO {slo.name!r} burns {slow_burn:.3f}/{fast_burn:.3f}"
+                    f"x (factor {pair.factor:g}) but no alert is active",
+                    slo=slo.name,
+                    slow_burn=round(slow_burn, 6),
+                    fast_burn=round(fast_burn, 6),
+                ))
+            elif firing is None and held is not None:
+                violations.append(self.violation(
+                    world,
+                    f"alert for SLO {slo.name!r} is active but its burn "
+                    f"rates no longer exceed any pair",
+                    slo=slo.name,
+                    since=held["since"],
+                ))
+            if held is None:
+                continue
+            if min(held["slow_burn"], held["fast_burn"]) < held["factor"]:
+                violations.append(self.violation(
+                    world,
+                    f"alert for SLO {slo.name!r} records burn rates "
+                    f"{held['slow_burn']}/{held['fast_burn']} below its own "
+                    f"factor {held['factor']}",
+                    slo=slo.name,
+                    slow_burn=held["slow_burn"],
+                    fast_burn=held["fast_burn"],
+                    factor=held["factor"],
+                ))
+            newly_fired = held["since"] == now
+            if newly_fired and not held["exemplars"]:
+                if engine.exemplars_for(slo.name):
+                    violations.append(self.violation(
+                        world,
+                        f"alert for SLO {slo.name!r} fired without exemplar "
+                        f"links although the collector holds matching traces",
+                        slo=slo.name,
+                    ))
+        if world.phase == "final" and engine.active:
+            stuck = ", ".join(sorted(engine.active))
+            violations.append(self.violation(
+                world,
+                f"alerts still firing after heal and window drain: {stuck}",
+                stuck=stuck,
+            ))
+        return violations

@@ -21,7 +21,9 @@ from __future__ import annotations
 import random
 from typing import Any, Callable
 
-from repro.faults import DeadlineExceededError, retry_after_hint
+from repro.faults import DeadlineExceededError, PortalError, retry_after_hint
+from repro.observability.context import TRACEPARENT, traceparent
+from repro.observability.sampling import sampling_header
 from repro.soap.message import (
     SoapEnvelope,
     SoapFault,
@@ -98,6 +100,14 @@ class SoapClient:
         if principal:
             self.header_providers.append(self._principal_headers)
         self.last_response: SoapEnvelope | None = None
+        self._sampling_announced = False
+        # per-call span furniture, built once: the wrapper span's name and
+        # attribute dict are identical for every call of a given method
+        self._span_names: dict[str, str] = {}
+        self._endpoint_attrs = {"endpoint": self.endpoint}
+        # RED series cache, invalidated when the registry changes (the
+        # observability bundle was reinstalled): (registry, {method: series})
+        self._red_cache: tuple[Any, dict[str, Any]] | None = None
         self.calls_made = 0
         self.retries_performed = 0
         self.busy_backoffs = 0
@@ -117,10 +127,32 @@ class SoapClient:
         return getattr(self.network, "observability", None)
 
     def _trace_headers(self, method: str, params: list[Any]) -> list[XmlElement]:
-        """The built-in header provider propagating the current span."""
+        """The built-in header provider for sampling-decision context.
+
+        The trace context itself rides the *transport* header
+        (``Traceparent``, attached in :meth:`_call_once`) — one dict entry
+        instead of an XML element the server must parse on every dispatch.
+        Under tail sampling the client's *first* traced request announces
+        the sampling-mode SOAP header (``urn:gce:sampling``, prebuilt raw
+        form) so the receiving hop knows this caller's traces are
+        tail-buffered and must not be head-sampled away.  The mode is
+        static for the sampler's lifetime, so announcing once per client
+        keeps the steady-state envelope header-free — an envelope with
+        *any* header entry pays the Header-block serialize + parse plus
+        every server-side header scan on each dispatch.
+        """
+        if self._sampling_announced:
+            return []
         obs = self.obs
-        span = obs.tracer.current() if obs is not None else None
-        return [span.context().to_header()] if span is not None else []
+        if obs is None or obs.tracer.current() is None:
+            return []
+        # settled either way: with no sampler there is nothing to announce,
+        # ever, and the flag keeps later calls out of the lookups above
+        self._sampling_announced = True
+        sampler = obs.sampler
+        if sampler is None:
+            return []
+        return [sampling_header(sampler.mode)]
 
     def _principal_headers(self, method: str, params: list[Any]) -> list[XmlElement]:
         """Stamp the request with this proxy's admission lane."""
@@ -149,9 +181,14 @@ class SoapClient:
     # -- the call path --------------------------------------------------------
 
     def _call_once(
-        self, method: str, params: list[Any], deadline, idem_key: str = ""
+        self, method: str, params: list[Any], deadline, idem_key: str = "",
+        span=None,
     ) -> Any:
-        """One request/response round trip (the seed's whole call path)."""
+        """One request/response round trip (the seed's whole call path).
+
+        *span* is the caller's attempt span, when tracing — its context
+        rides the ``Traceparent`` transport header.
+        """
         headers: list[XmlElement] = []
         for provider in self.header_providers:
             headers.extend(provider(method, params))
@@ -162,10 +199,14 @@ class SoapClient:
 
             headers.append(idempotency_header(idem_key))
         envelope = request_envelope(self.namespace, method, params, headers)
+        http_headers = {
+            "Content-Type": "text/xml",
+            "SOAPAction": f"{self.namespace}#{method}",
+        }
+        if span is not None:
+            http_headers[TRACEPARENT] = traceparent(span.trace_id, span.span_id)
         response = self.http.post(
-            self.endpoint,
-            envelope.serialize(),
-            {"Content-Type": "text/xml", "SOAPAction": f"{self.namespace}#{method}"},
+            self.endpoint, envelope.serialize(), http_headers
         )
         self.calls_made += 1
         parsed = SoapEnvelope.parse(response.body)
@@ -184,30 +225,33 @@ class SoapClient:
         return decode_value(return_node)
 
     def _attempt(
-        self, method: str, params: list[Any], deadline, idem_key: str = ""
+        self, method: str, params: list[Any], deadline, idem_key: str = "",
+        obs=None,
     ) -> Any:
         """One attempt, wrapped in a client span + RED sample when the
         observability layer is installed."""
-        obs = self.obs
         if obs is None:
             return self._call_once(method, params, deadline, idem_key)
-        started = self.clock.now
-        span = obs.tracer.start(
-            method, kind="client", service=self.service_name, host=self.source
-        )
-        try:
-            result = self._call_once(method, params, deadline, idem_key)
-        except Exception as exc:
-            obs.tracer.end(span, error=self._error_code(exc))
-            obs.metrics.record_call(
-                self.service_name, method, "client",
-                self.clock.now - started, True,
+        cache = self._red_cache
+        if cache is None or cache[0] is not obs.metrics:
+            cache = self._red_cache = (obs.metrics, {})
+        series = cache[1].get(method)
+        if series is None:
+            series = cache[1][method] = obs.metrics.series(
+                self.service_name, method, "client"
             )
+        tracer = obs.tracer
+        clock = self.clock
+        started = clock.now
+        span = tracer.start(method, "client", self.service_name, self.source)
+        try:
+            result = self._call_once(method, params, deadline, idem_key, span)
+        except Exception as exc:
+            tracer.end(span, error=self._error_code(exc))
+            series.record(clock.now - started, True)
             raise
-        obs.tracer.end(span)
-        obs.metrics.record_call(
-            self.service_name, method, "client", self.clock.now - started, False
-        )
+        tracer.end(span)
+        series.record(clock.now - started, False)
         return result
 
     def call(
@@ -248,19 +292,41 @@ class SoapClient:
         obs = self.obs
         if obs is None:
             return self._call_loop(method, param_list, deadline, idempotency_key)
+        return self._traced_call(
+            method, param_list, deadline, idempotency_key, obs
+        )
+
+    def _traced_call(
+        self, method: str, param_list: list[Any], deadline,
+        idempotency_key: str, obs,
+    ) -> Any:
         # the logical call (retry loop included) is one client span; each
-        # attempt below opens a child span whose context rides the headers
-        with obs.tracer.span(
-            f"call {method}",
-            kind="client",
-            service=self.service_name,
-            host=self.source,
-            attributes={"endpoint": self.endpoint},
-        ):
-            return self._call_loop(method, param_list, deadline, idempotency_key)
+        # attempt below opens a child span whose context rides the
+        # transport header.  Inlined start/end rather than the span()
+        # context manager: the generator machinery is measurable per call.
+        name = self._span_names.get(method)
+        if name is None:
+            name = self._span_names[method] = f"call {method}"
+        span = obs.tracer.start(
+            name, "client", self.service_name, self.source,
+            attributes=self._endpoint_attrs,
+        )
+        try:
+            result = self._call_loop(
+                method, param_list, deadline, idempotency_key, obs
+            )
+        except PortalError as exc:
+            obs.tracer.end(span, error=exc.code)
+            raise
+        except Exception as exc:
+            obs.tracer.end(span, error=type(exc).__name__)
+            raise
+        obs.tracer.end(span)
+        return result
 
     def _call_loop(
-        self, method: str, param_list: list[Any], deadline, idempotency_key: str
+        self, method: str, param_list: list[Any], deadline,
+        idempotency_key: str, obs=None,
     ) -> Any:
         """The retry loop around individual attempts."""
         from repro.resilience.policy import NO_RETRY, is_retryable
@@ -272,7 +338,7 @@ class SoapClient:
                 raise self._deadline_error(method, deadline)
             try:
                 return self._attempt(
-                    method, param_list, deadline, idempotency_key
+                    method, param_list, deadline, idempotency_key, obs
                 )
             except Exception as exc:
                 attempts += 1

@@ -18,6 +18,8 @@ from repro.durability.idempotency import (
     set_current_key,
 )
 from repro.faults import InvalidRequestError, PortalError
+from repro.observability.context import TRACEPARENT, TraceContext
+from repro.observability.sampling import sampling_from_headers
 from repro.soap.encoding import decode_value
 from repro.soap.message import (
     SoapEnvelope,
@@ -78,6 +80,9 @@ class SoapService:
         self.admission = None
         #: resilience log receiving shed events; set alongside admission
         self.resilience_log = None
+        # RED series cache, invalidated when the registry changes (the
+        # observability bundle was reinstalled): (registry, {method: series})
+        self._red_cache: tuple[Any, dict[str, Any]] | None = None
 
     # -- registration ----------------------------------------------------------
 
@@ -147,48 +152,58 @@ class SoapService:
 
     # -- dispatch ----------------------------------------------------------------
 
-    def dispatch(self, envelope: SoapEnvelope) -> SoapEnvelope:
+    def dispatch(
+        self, envelope: SoapEnvelope, *, parent: "TraceContext | None" = None
+    ) -> SoapEnvelope:
         """Execute one request envelope, always returning a response (faults
         included — never raising, except :class:`ServiceCrash`).
 
         When the observability layer is installed on the serving network, a
-        server span wraps the dispatch: parented by the request's trace
-        header (``urn:gce:trace``) when present, timed on the host clock,
-        with the method's RED sample recorded on completion.  A
-        :class:`ServiceCrash` still exports the span (error
-        ``ServiceCrash``): the collector is an omniscient observer in the
-        simulation, and dropping the span would orphan any children it
-        already parented (the GRAM hops that completed before the crash).
+        server span wraps the dispatch: parented by *parent* (the transport
+        ``Traceparent`` header, decoded in :meth:`handle_http`) or by the
+        request's SOAP trace header (``urn:gce:trace``, the interop form)
+        when present, timed on the host clock, with the method's RED sample
+        recorded on completion.  A :class:`ServiceCrash` still exports the
+        span (error ``ServiceCrash``): the collector is an omniscient
+        observer in the simulation, and dropping the span would orphan any
+        children it already parented (the GRAM hops that completed before
+        the crash).
         """
         obs = (
             getattr(self.network, "observability", None) if self.traced else None
         )
         if obs is None:
             return self._dispatch(envelope)
-        from repro.observability.context import TraceContext
-
         method_name = envelope.body.tag.local
-        parent = (
-            TraceContext.from_headers(envelope.headers)
-            if envelope.headers
-            else None
-        )
-        started = obs.clock.now
+        headers = envelope.headers
+        if headers:
+            if parent is None:
+                parent = TraceContext.from_headers(headers)
+            sampler = getattr(obs, "sampler", None)
+            if sampler is not None:
+                # the sampling-decision header: tally the caller's mode so
+                # mixed-mode deployments surface in the accounting
+                mode = sampling_from_headers(headers)
+                if mode:
+                    sampler.note_inbound(mode)
+        cache = self._red_cache
+        if cache is None or cache[0] is not obs.metrics:
+            cache = self._red_cache = (obs.metrics, {})
+        series = cache[1].get(method_name)
+        if series is None:
+            series = cache[1][method_name] = obs.metrics.series(
+                self.name, method_name, "server"
+            )
+        tracer = obs.tracer
+        clock = obs.clock
+        started = clock.now
         replays_before = self.replays_served
-        span = obs.tracer.start(
-            method_name,
-            kind="server",
-            service=self.name,
-            host=self.host,
-            parent=parent,
-        )
+        span = tracer.start(method_name, "server", self.name, self.host, parent)
         try:
             response = self._dispatch(envelope)
         except ServiceCrash:
-            obs.tracer.end(span, error="ServiceCrash")
-            obs.metrics.record_call(
-                self.name, method_name, "server", obs.clock.now - started, True
-            )
+            tracer.end(span, error="ServiceCrash")
+            series.record(clock.now - started, True)
             raise
         error = ""
         if response.is_fault:
@@ -199,10 +214,8 @@ class SoapService:
             )
         if self.replays_served > replays_before:
             span.attributes["replayed"] = True
-        obs.tracer.end(span, error=error)
-        obs.metrics.record_call(
-            self.name, method_name, "server", obs.clock.now - started, bool(error)
-        )
+        tracer.end(span, error=error)
+        series.record(clock.now - started, bool(error))
         return response
 
     def _dispatch(self, envelope: SoapEnvelope) -> SoapEnvelope:
@@ -407,7 +420,11 @@ class SoapService:
                 {"Content-Type": "text/xml"},
                 SoapEnvelope(fault.to_xml()).serialize(),
             )
-        response = self.dispatch(envelope)
+        raw_parent = request.headers.get(TRACEPARENT)
+        parent = (
+            TraceContext.from_traceparent(raw_parent) if raw_parent else None
+        )
+        response = self.dispatch(envelope, parent=parent)
         status = 500 if response.is_fault else 200
         return HttpResponse(
             status, {"Content-Type": "text/xml"}, response.serialize()

@@ -18,37 +18,39 @@ class SimClock:
     """
 
     def __init__(self, start: float = 0.0):
-        self._now = float(start)
+        #: current virtual time — a plain attribute, not a property: every
+        #: traced call reads it ~10 times (span starts/ends, RED samples,
+        #: transport stamps), and descriptor dispatch at that rate shows
+        #: up in the dispatch benchmark.  Treat as read-only; advance via
+        #: :meth:`advance` / :meth:`sleep_until`.
+        self.now = float(start)
         self._comp = 0.0  # Kahan compensation term
-
-    @property
-    def now(self) -> float:
-        return self._now
 
     def advance(self, seconds: float) -> float:
         """Advance time by a non-negative duration; returns the new time."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds}")
         y = seconds - self._comp
-        t = self._now + y
-        self._comp = (t - self._now) - y
+        t = self.now + y
+        self._comp = (t - self.now) - y
         # compensation can momentarily make t dip below now by < 1 ulp;
         # clamp so time never runs backwards
-        self._now = t if t >= self._now else self._now
-        return self._now
+        if t >= self.now:
+            self.now = t
+        return self.now
 
     def sleep_until(self, t: float) -> float:
         """Advance to absolute time *t* (no-op if *t* is in the past);
         returns the new time.  The virtual analogue of sleeping until a
         deadline or a breaker cooldown expiry."""
-        if t > self._now:
-            self._now = float(t)
+        if t > self.now:
+            self.now = float(t)
             self._comp = 0.0
-        return self._now
+        return self.now
 
     def reset(self, start: float = 0.0) -> None:
-        self._now = float(start)
+        self.now = float(start)
         self._comp = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SimClock(now={self._now:.6f})"
+        return f"SimClock(now={self.now:.6f})"

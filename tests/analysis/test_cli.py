@@ -19,6 +19,7 @@ FIXTURE_CODES = {
     "REP401", "REP402", "REP403",
     "REP501", "REP502",
     "REP601", "REP602",
+    "REP701", "REP702",
 }
 
 
@@ -53,7 +54,10 @@ def test_write_baseline_then_clean_run(in_fixture_dir, tmp_path, capsys):
     report = _report(capsys)
     assert code == 0
     assert report["findings"] == []
-    assert report["counts"]["baselined"] == len(FIXTURE_CODES) + 6
+    # +7: fixture lines that trip two rules at once (e.g. the unseeded
+    # random call inside an oracle or sampling policy is both a global
+    # REP103 and the suite-specific REP602/REP701)
+    assert report["counts"]["baselined"] == len(FIXTURE_CODES) + 7
 
 
 def test_ratchet_reports_stale_and_shrinks(tmp_path, monkeypatch, capsys):

@@ -1,0 +1,161 @@
+"""SloSamplingChecker: REP701-REP702."""
+
+from repro.analysis.checkers.slo import SloSamplingChecker
+
+from tests.analysis.conftest import codes
+
+CHECKER = [SloSamplingChecker()]
+
+POLICY_BASE = """\
+    class SamplingPolicy:
+        name = ""
+
+        def decide(self, trace):
+            raise NotImplementedError
+"""
+
+
+def test_unseeded_random_in_retention_decision(analyze):
+    result = analyze({
+        "mod.py": POLICY_BASE + """\
+
+    import random
+
+
+    class CoinPolicy(SamplingPolicy):
+        def decide(self, trace):
+            return "coin" if random.random() < 0.5 else None
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP701"]
+
+
+def test_argless_random_instance_in_policy(analyze):
+    result = analyze({
+        "mod.py": POLICY_BASE + """\
+
+    import random
+
+
+    class LazyPolicy(SamplingPolicy):
+        def decide(self, trace):
+            return "lazy" if random.Random().random() < 0.5 else None
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP701"]
+
+
+def test_seeded_generator_in_policy_is_clean(analyze):
+    result = analyze({
+        "mod.py": POLICY_BASE + """\
+
+    import random
+
+
+    class SeededPolicy(SamplingPolicy):
+        def __init__(self, seed):
+            self.rng = random.Random(seed)
+
+        def decide(self, trace):
+            return "seeded" if self.rng.random() < 0.5 else None
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_unseeded_random_outside_a_policy_is_not_rep701(analyze):
+    # that's the determinism checker's REP103; REP701 stays scoped to
+    # the retention-policy hierarchy
+    result = analyze({
+        "mod.py": """\
+    import random
+
+
+    def jitter():
+        return random.random()
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_transitive_policy_subclass_is_checked(analyze):
+    result = analyze({
+        "mod.py": POLICY_BASE + """\
+
+    import random
+
+
+    class RatePolicy(SamplingPolicy):
+        rate = 0.5
+
+
+    class DriftingPolicy(RatePolicy):
+        def decide(self, trace):
+            return "drift" if random.random() < self.rate else None
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP701"]
+
+
+def test_slo_missing_window_and_budget(analyze):
+    result = analyze({
+        "mod.py": """\
+    from repro.observability.slo import SLO
+
+    VAGUE = SLO("x", service="Job", method="submit")
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP702"]
+    finding = result.findings[0]
+    assert "window=" in finding.message and "budget=" in finding.message
+
+
+def test_slo_missing_only_budget(analyze):
+    result = analyze({
+        "mod.py": """\
+    from repro.observability.slo import SLO
+
+    HALF = SLO("x", service="Job", method="submit", window=12.0)
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP702"]
+    message = result.findings[0].message
+    assert "omits budget=" in message
+    assert "window=" not in message
+
+
+def test_fully_declared_slo_is_clean(analyze):
+    result = analyze({
+        "mod.py": """\
+    from repro.observability.slo import SLO
+
+    FULL = SLO("x", service="Job", method="submit",
+               objective="availability", window=12.0, budget=0.1)
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_attribute_form_slo_call_is_checked(analyze):
+    result = analyze({
+        "mod.py": """\
+    from repro.observability import slo
+
+    VAGUE = slo.SLO("x", service="Job", method="submit")
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP702"]
+
+
+def test_double_splat_is_given_the_benefit_of_the_doubt(analyze):
+    # **kwargs may carry window/budget; the dataclass still enforces at
+    # runtime, so the lint stays quiet rather than guessing
+    result = analyze({
+        "mod.py": """\
+    from repro.observability.slo import SLO
+
+    def build(**kwargs):
+        return SLO("x", service="Job", method="submit", **kwargs)
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []

@@ -126,3 +126,62 @@ def test_collector_service_soap_face(obs, echo_stack, network):
         "start": 0.0, "end": 1.0, "error": "", "attributes": {}, "events": [],
     })
     assert total == 4 and impl.span_count() == 4
+
+
+# -- ring-buffer retention (bounded soaks, evict-oldest whole traces) ---------
+
+from repro.observability import Observability, TraceCollector  # noqa: E402
+from repro.transport.clock import SimClock  # noqa: E402
+
+
+def _span_dict(trace_id, span_id, parent_id=""):
+    return {
+        "trace_id": trace_id, "span_id": span_id, "parent_id": parent_id,
+        "name": "op", "kind": "server", "service": "S", "host": "h",
+        "start": 0.0, "end": 1.0, "error": "", "attributes": {}, "events": [],
+    }
+
+
+def test_ring_capacity_evicts_oldest_whole_traces():
+    ring = TraceCollector(capacity=4)
+    for tid in ("t1", "t2", "t3"):
+        ring.export(_span_dict(tid, f"{tid}-root"))
+        ring.export(_span_dict(tid, f"{tid}-child", f"{tid}-root"))
+    # t3's first span pushed the count to 5 > 4: t1 went, whole
+    assert ring.trace_ids() == ["t2", "t3"]
+    assert len(ring) == 4
+    assert ring.trace_evictions == 1
+    assert ring.spans_evicted == 2
+
+
+def test_eviction_never_splits_the_trace_being_exported():
+    ring = TraceCollector(capacity=1)
+    ring.export(_span_dict("t1", "a"))
+    ring.export(_span_dict("t1", "b", "a"))  # same trace: overflow tolerated
+    assert len(ring) == 2
+    assert ring.trace_evictions == 0
+    ring.export(_span_dict("t2", "c"))  # next trace evicts the old one
+    assert ring.trace_ids() == ["t2"]
+    assert ring.trace_evictions == 1 and ring.spans_evicted == 2
+
+
+def test_zero_capacity_is_unbounded():
+    store = TraceCollector(capacity=0)
+    for i in range(100):
+        store.export(_span_dict(f"t{i}", f"s{i}"))
+    assert len(store) == 100 and store.trace_evictions == 0
+
+
+def test_eviction_accounting_feeds_the_gauges():
+    obs = Observability(SimClock(), collector_capacity=2)
+    for i in range(4):
+        obs.collector.export(_span_dict(f"t{i}", f"s{i}"))
+    gauges = obs.metrics.gauges
+    assert gauges[("collector_evictions", "traces")] == obs.collector.trace_evictions
+    assert gauges[("collector_evictions", "spans")] == obs.collector.spans_evicted
+    assert obs.collector.trace_evictions == 2
+    summary = {
+        (row["gauge"], row["label"]): row["value"]
+        for row in obs.metrics.summary()["gauges"]
+    }
+    assert summary[("collector_evictions", "traces")] == 2.0

@@ -115,3 +115,79 @@ class TestMetricsRegistry:
         rows = reg.slowest(limit=1)
         assert [r["method"] for r in rows] == ["slow"]
         assert all(r["side"] == "server" for r in reg.slowest())
+
+
+# -- merge laws (hypothesis): associative, commutative, lossless --------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.observability.metrics import QuantileSketch  # noqa: E402
+
+durations = st.lists(
+    st.floats(min_value=1e-7, max_value=1e4,
+              allow_nan=False, allow_infinity=False),
+    max_size=30,
+)
+
+
+def _hist(values) -> Histogram:
+    h = Histogram()
+    for v in values:
+        h.record(v)
+    return h
+
+
+def _sketch(values) -> QuantileSketch:
+    s = QuantileSketch()
+    for v in values:
+        s.record(v)
+    return s
+
+
+@given(a=durations, b=durations, c=durations)
+@settings(max_examples=50, deadline=None)
+def test_histogram_merge_is_associative_and_commutative(a, b, c):
+    left = _hist(a)
+    left.merge(_hist(b))
+    left.merge(_hist(c))
+
+    bc = _hist(b)
+    bc.merge(_hist(c))
+    right = _hist(a)
+    right.merge(bc)
+
+    flipped = _hist(b)
+    flipped.merge(_hist(a))
+    flipped.merge(_hist(c))
+
+    direct = _hist(a + b + c)
+    for other in (right, flipped, direct):
+        assert left.counts == other.counts
+        assert left.count == other.count
+        assert left.total == pytest.approx(other.total)
+    assert left.percentile(0.99) == direct.percentile(0.99)
+
+
+@given(a=durations, b=durations, c=durations)
+@settings(max_examples=50, deadline=None)
+def test_quantile_sketch_merge_is_associative_and_commutative(a, b, c):
+    left = _sketch(a)
+    left.merge(_sketch(b))
+    left.merge(_sketch(c))
+
+    bc = _sketch(b)
+    bc.merge(_sketch(c))
+    right = _sketch(a)
+    right.merge(bc)
+
+    flipped = _sketch(c)
+    flipped.merge(_sketch(b))
+    flipped.merge(_sketch(a))
+
+    direct = _sketch(a + b + c)
+    for other in (right, flipped, direct):
+        assert left.counts == other.counts
+        assert left.count == other.count
+    assert left.quantile(0.5) == direct.quantile(0.5)
+    assert left.quantile(0.99) == direct.quantile(0.99)
