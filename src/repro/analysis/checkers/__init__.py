@@ -12,4 +12,5 @@ from repro.analysis.checkers import (  # noqa: F401  (registration side effects)
     hygiene,
     simtest,
     slo,
+    workflow,
 )

@@ -246,6 +246,19 @@ class QuorumLostError(ReplicationError):
     retryable = True
 
 
+class WorkflowError(PortalError):
+    """A workflow-engine failure: invalid DAG wiring, a stage driven past
+    its retry budget, or a provenance-chain integrity break.
+
+    Terminal: the DAG (or the chain) is wrong, and re-running the same
+    definition reproduces the same failure.  Individual stage *attempts*
+    retry under :mod:`repro.resilience` before this error is raised.
+    """
+
+    code = "Portal.Workflow"
+    retryable = False  # the definition or the chain is wrong; retries ran already
+
+
 class StaleReadError(ReplicationError):
     """A read could only be served by a replica whose staleness exceeds the
     caller's bound (and the caller did not opt into stale reads).
@@ -279,6 +292,7 @@ _CODE_REGISTRY: dict[str, type[PortalError]] = {
         ReplicationError,
         QuorumLostError,
         StaleReadError,
+        WorkflowError,
     )
 }
 

@@ -388,6 +388,7 @@ class UserInterfaceServer:
         self.sessions: dict[str, ClientSecuritySession] = {}
         self.container = PortletContainer(self.network, host + ":portal")
         self._clients: dict[str, SoapClient] = {}
+        self._workflow_runtime = None
         self.wizard = SchemaWizard(self.network, source_host=host)
 
     # -- proxies ------------------------------------------------------------------
@@ -506,6 +507,67 @@ class UserInterfaceServer:
             self.deployment.endpoints["monitoring"],
             source=self.host,
         )
+        self.container.add_local_portlet(portlet)
+        return portlet
+
+    # -- the workflow engine (repro.shell) ------------------------------------
+
+    def workflow_runtime(self):
+        """The (cached) :class:`~repro.shell.runtime.WorkflowRuntime` binding
+        the stage catalog to this deployment's endpoints from this host."""
+        if getattr(self, "_workflow_runtime", None) is None:
+            from repro.shell.runtime import WorkflowRuntime
+
+            self._workflow_runtime = WorkflowRuntime.from_deployment(
+                self.deployment, source=self.host
+            )
+        return self._workflow_runtime
+
+    def workflow_executor(
+        self,
+        workflow,
+        *,
+        run_id: str = "run-0",
+        seed: int = 0,
+        journal_name: str = "",
+        max_width: int = 4,
+    ):
+        """A journaled :class:`~repro.shell.executor.WorkflowExecutor` for
+        *workflow* on this host's disk.
+
+        The journal lives on the UI host's surviving disk, so a crashed
+        portal process resumes the run by asking a fresh server for an
+        executor with the same ``journal_name`` — the constructor recovers
+        completed stages and only unfinished ones are re-driven.  Stage
+        attempts pass through the deployment's Globusrun admission
+        controller, competing with interactive portal traffic.
+        """
+        from repro.durability.journal import Journal
+        from repro.shell.executor import WorkflowExecutor
+
+        journal = Journal(
+            self.network.disk(self.host),
+            journal_name or f"wf-{workflow.name}-{run_id}",
+            clock=self.network.clock,
+        )
+        admission = None
+        if self.deployment.load is not None:
+            admission = self.deployment.load.controllers.get("Globusrun")
+        return WorkflowExecutor(
+            workflow,
+            self.workflow_runtime(),
+            journal=journal,
+            run_id=run_id,
+            seed=seed,
+            admission=admission,
+            max_width=max_width,
+        )
+
+    def add_workflow_portlet(self, store, run: str):
+        """Register the provenance-tree window for one workflow run."""
+        from repro.shell.portlet import WorkflowPortlet
+
+        portlet = WorkflowPortlet(store, run)
         self.container.add_local_portlet(portlet)
         return portlet
 

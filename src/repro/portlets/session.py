@@ -128,7 +128,9 @@ class DistributedSessionContainer(PortletContainer):
         """Push every remote portlet's state to the shared service;
         returns the number of portlets checkpointed."""
         count = 0
-        for (owner, name), portlet in self._instances.items():
+        # sorted walk: checkpoint order (and therefore the session service's
+        # journal and any report built over it) must be seed-stable
+        for (owner, name), portlet in sorted(self._instances.items()):
             if owner != user or not isinstance(portlet, WebPagePortlet):
                 continue
             self._sessions.call("save", user, name, _portlet_state(portlet))

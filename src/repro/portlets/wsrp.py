@@ -96,7 +96,7 @@ class WsrpProducer:
             base_url,
             target=target,
             method=method or "GET",
-            fields={k: str(v) for k, v in (fields or {}).items()},
+            fields={k: str(v) for k, v in sorted((fields or {}).items())},
         )
 
     def release_session(self, handle: str, user: str) -> bool:

@@ -1,0 +1,85 @@
+"""repro.shell — the portal workflow engine with immutable provenance.
+
+The paper's §6 "distributed operating system" pictured composable
+core-service commands connected by pipes.  This package is that layer,
+generalized from pipes to DAGs:
+
+- :mod:`repro.shell.stages` — the typed stage catalog (batch-script
+  generation, metascheduled placement, Globusrun, SRB get/put, and a
+  generic SOAP call), each with explicit idempotency keys;
+- :mod:`repro.shell.dag` — workflows as build-time-validated DAGs with
+  named ports and canonical content digests;
+- :mod:`repro.shell.runtime` — the binding to a live deployment's SOAP
+  endpoints;
+- :mod:`repro.shell.executor` — the deterministic, journaled, resumable
+  executor on the virtual clock;
+- :mod:`repro.shell.provenance` — the content-addressed, append-only
+  provenance store (``repro.shell.provenance/v1`` records);
+- :mod:`repro.shell.report` / :mod:`repro.shell.portlet` — the offline
+  reporter and the portal window over a run's provenance tree.
+
+See ``docs/SHELL.md``.
+"""
+
+from repro.shell.dag import Binding, Workflow, const, ref
+from repro.shell.executor import (
+    STAGE_ERRORS,
+    WorkflowExecutor,
+    WorkflowResult,
+)
+from repro.shell.portlet import WorkflowPortlet
+from repro.shell.provenance import (
+    PROVENANCE_SCHEMA,
+    ProvenanceStore,
+    content_address,
+    make_record,
+)
+from repro.shell.report import (
+    critical_path,
+    provenance_tree,
+    render_report,
+    stage_timings,
+)
+from repro.shell.runtime import (
+    SERVICE_NAMESPACES,
+    StageContext,
+    WorkflowRuntime,
+)
+from repro.shell.stages import (
+    BatchScriptStage,
+    GlobusrunStage,
+    MetaScheduleStage,
+    SoapCallStage,
+    SrbGetStage,
+    SrbPutStage,
+    WorkflowStage,
+)
+
+__all__ = [
+    "PROVENANCE_SCHEMA",
+    "SERVICE_NAMESPACES",
+    "STAGE_ERRORS",
+    "BatchScriptStage",
+    "Binding",
+    "GlobusrunStage",
+    "MetaScheduleStage",
+    "ProvenanceStore",
+    "SoapCallStage",
+    "SrbGetStage",
+    "SrbPutStage",
+    "StageContext",
+    "Workflow",
+    "WorkflowExecutor",
+    "WorkflowPortlet",
+    "WorkflowResult",
+    "WorkflowRuntime",
+    "WorkflowStage",
+    "const",
+    "content_address",
+    "critical_path",
+    "make_record",
+    "provenance_tree",
+    "ref",
+    "render_report",
+    "stage_timings",
+]

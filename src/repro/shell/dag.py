@@ -1,0 +1,226 @@
+"""The workflow definition layer: typed stages wired into a validated DAG.
+
+The paper's §6 "distributed operating system" sketches a portal shell of
+composable core-service commands connected by pipes.  A pipe is a DAG of
+width one; this module is the general form: stages (each one core-service
+call — batch script generation, Globusrun, SRB, the metascheduler) are
+wired together through *named ports*, and the whole graph is validated at
+build time so a portal user learns about a dangling input or a cycle when
+the workflow is *defined*, not three stages into a two-hour sweep.
+
+Validation covers:
+
+* duplicate or empty stage names;
+* input bindings referencing an unknown stage or an undeclared output port;
+* cycles (Kahn's algorithm over the binding edges);
+* for the generic SOAP-call stage, call arity against the target service's
+  WSDL operation signature.
+
+Everything about a :class:`Workflow` is canonically serializable
+(:meth:`Workflow.to_dict` / :meth:`Workflow.digest`), because the
+provenance store records *which* definition produced an output and the
+resuming executor refuses a journal written by a different definition.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.faults import WorkflowError
+from repro.shell.stages import (
+    Binding,
+    SoapCallStage,
+    WorkflowStage,
+    const,
+    ref,
+)
+from repro.wsdl.model import WsdlDocument
+
+__all__ = ["Binding", "Workflow", "const", "ref"]
+
+
+class Workflow:
+    """A named, validated DAG of :class:`WorkflowStage` instances."""
+
+    def __init__(
+        self,
+        name: str,
+        stages: list[WorkflowStage],
+        *,
+        wsdls: dict[str, WsdlDocument] | None = None,
+    ):
+        """Validate and freeze the definition.
+
+        ``wsdls`` maps a service short name to its parsed WSDL document;
+        every :class:`SoapCallStage` targeting a mapped service has its
+        method existence and argument arity checked at build time.
+        """
+        self.name = name
+        self.stages: dict[str, WorkflowStage] = {}
+        self._wsdls = dict(wsdls or {})
+        for stage in stages:
+            if not stage.name:
+                raise WorkflowError(
+                    f"workflow {name!r} contains a stage with an empty name"
+                )
+            if stage.name in self.stages:
+                raise WorkflowError(
+                    f"workflow {name!r} defines stage {stage.name!r} twice",
+                    {"stage": stage.name},
+                )
+            self.stages[stage.name] = stage
+        self._parents: dict[str, tuple[str, ...]] = {}
+        self._children: dict[str, tuple[str, ...]] = {}
+        self._validate_bindings()
+        self._order = self._topo_order()
+        self._validate_arity()
+
+    # -- validation -----------------------------------------------------------
+
+    def _validate_bindings(self) -> None:
+        children: dict[str, set[str]] = {name: set() for name in self.stages}
+        for name in sorted(self.stages):
+            stage = self.stages[name]
+            parents: set[str] = set()
+            for port in sorted(stage.inputs):
+                binding = stage.inputs[port]
+                if binding.kind == "const":
+                    continue
+                if binding.kind != "ref":
+                    raise WorkflowError(
+                        f"stage {name!r} input {port!r} has unknown binding "
+                        f"kind {binding.kind!r}",
+                        {"stage": name, "port": port},
+                    )
+                producer = self.stages.get(binding.stage)
+                if producer is None:
+                    raise WorkflowError(
+                        f"stage {name!r} input {port!r} references unknown "
+                        f"stage {binding.stage!r} — dangling input",
+                        {"stage": name, "port": port, "ref": binding.stage},
+                    )
+                if binding.stage == name:
+                    raise WorkflowError(
+                        f"stage {name!r} input {port!r} references itself",
+                        {"stage": name, "port": port},
+                    )
+                if binding.port not in producer.output_ports:
+                    raise WorkflowError(
+                        f"stage {name!r} input {port!r} references "
+                        f"undeclared output port {binding.port!r} of stage "
+                        f"{binding.stage!r} (has: "
+                        f"{', '.join(producer.output_ports)})",
+                        {"stage": name, "port": port, "ref": binding.stage},
+                    )
+                parents.add(binding.stage)
+                children[binding.stage].add(name)
+            self._parents[name] = tuple(sorted(parents))
+        for name in sorted(children):
+            self._children[name] = tuple(sorted(children[name]))
+
+    def _topo_order(self) -> tuple[str, ...]:
+        """Kahn's algorithm with a sorted ready set: deterministic order,
+        and the cycle check in the same pass."""
+        remaining = {name: set(self._parents[name]) for name in self.stages}
+        order: list[str] = []
+        while remaining:
+            ready = sorted(
+                name for name, parents in remaining.items() if not parents
+            )
+            if not ready:
+                cycle = ", ".join(sorted(remaining))
+                raise WorkflowError(
+                    f"workflow {self.name!r} contains a cycle among stages: "
+                    f"{cycle}",
+                    {"stages": cycle},
+                )
+            for name in ready:
+                order.append(name)
+                del remaining[name]
+                for other in sorted(remaining):
+                    remaining[other].discard(name)
+        return tuple(order)
+
+    def _validate_arity(self) -> None:
+        for name in sorted(self.stages):
+            stage = self.stages[name]
+            if not isinstance(stage, SoapCallStage):
+                continue
+            wsdl = self._wsdls.get(stage.service)
+            if wsdl is None:
+                continue  # no contract on file; runtime faults still apply
+            operation = wsdl.operation(stage.method)
+            if operation is None:
+                raise WorkflowError(
+                    f"stage {name!r} calls {stage.method!r} which "
+                    f"{wsdl.service_name!r} does not define (has: "
+                    f"{', '.join(wsdl.operation_names())})",
+                    {"stage": name, "method": stage.method},
+                )
+            if len(stage.args) != len(operation.inputs):
+                raise WorkflowError(
+                    f"stage {name!r} passes {len(stage.args)} argument(s) "
+                    f"to {stage.method!r} but the WSDL declares "
+                    f"{len(operation.inputs)} part(s)",
+                    {
+                        "stage": name,
+                        "method": stage.method,
+                        "given": str(len(stage.args)),
+                        "declared": str(len(operation.inputs)),
+                    },
+                )
+
+    # -- structure ------------------------------------------------------------
+
+    def parents(self, name: str) -> tuple[str, ...]:
+        """The stages whose outputs *name* consumes, sorted."""
+        return self._parents[name]
+
+    def children(self, name: str) -> tuple[str, ...]:
+        """The stages consuming *name*'s outputs, sorted."""
+        return self._children[name]
+
+    def topo_order(self) -> tuple[str, ...]:
+        """A deterministic topological order of the stage names."""
+        return self._order
+
+    def roots(self) -> tuple[str, ...]:
+        """Stages with no parents, sorted."""
+        return tuple(
+            name for name in sorted(self.stages) if not self._parents[name]
+        )
+
+    def descendants(self, name: str) -> tuple[str, ...]:
+        """Every stage downstream of *name* (the branch a terminal failure
+        of *name* blocks), sorted."""
+        seen: set[str] = set()
+        frontier = list(self._children[name])
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._children[current])
+        return tuple(sorted(seen))
+
+    # -- canonical form --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The definition in canonical, content-addressable form."""
+        return {
+            "schema": "repro.shell.workflow/v1",
+            "name": self.name,
+            "stages": {
+                name: self.stages[name].to_dict()
+                for name in sorted(self.stages)
+            },
+        }
+
+    def digest(self) -> str:
+        """sha256 of the canonical definition — stamped into journals so a
+        resume against a different definition is refused, not misapplied."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

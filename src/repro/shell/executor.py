@@ -1,0 +1,372 @@
+"""The deterministic workflow executor.
+
+Drives a validated :class:`~repro.shell.dag.Workflow` over a live
+deployment on the virtual clock.  Determinism is the design center:
+
+* the ready set is tie-broken by a *seeded* priority — the sha256 of
+  ``"{seed}:{stage}"`` — so two same-seed runs start stages in the same
+  order regardless of dict history;
+* stage concurrency is bounded (``max_width``) and each attempt passes
+  through the deployment's admission controller, so workflow fan-out
+  competes for service capacity like any other portal client;
+* per-stage retry/deadline budgets are delegated to
+  :mod:`repro.resilience`: attempts back off under a per-stage seeded
+  PRNG, honour server ``retryAfter`` hints, and the stage's ``deadline``
+  rides to the service as a SOAP deadline header.
+
+Everything the executor decides is journaled *before* it is acted on
+(:mod:`repro.durability` write-ahead discipline), and every sealed stage
+lands in the :class:`~repro.shell.provenance.ProvenanceStore` backed by
+the same journal.  Recovery is therefore structural: build a new executor
+over the surviving journal and call :meth:`WorkflowExecutor.run` — the
+constructor replays ``stage-done`` records into the completed/failed
+maps, and only unfinished stages are re-driven.  Stage idempotency keys
+are stable across attempts *and* incarnations, so a stage that was
+accepted by a durable service before the crash deduplicates instead of
+double-submitting.
+
+A :class:`~repro.transport.network.ServiceCrash` is *not* retried: it is
+the simulation's process-death primitive, and the executor dies with it —
+exactly the mid-DAG crash the journal protects against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.faults import PortalError, WorkflowError, retry_after_hint
+from repro.resilience.policy import RetryPolicy, is_retryable
+from repro.shell.dag import Workflow
+from repro.shell.provenance import ProvenanceStore, make_record
+from repro.shell.runtime import StageContext, WorkflowRuntime
+from repro.soap.message import SoapFaultError
+from repro.transport.network import ServiceCrash, TransportError
+
+#: exception families a stage attempt may surface without killing the
+#: executor (classified into the failure record when retries exhaust)
+STAGE_ERRORS = (PortalError, SoapFaultError, TransportError, ConnectionError)
+
+
+@dataclass
+class WorkflowResult:
+    """What one :meth:`WorkflowExecutor.run` call accomplished."""
+
+    run: str
+    workflow: str
+    #: stage -> sealed record address, every stage finished so far
+    completed: dict[str, str] = field(default_factory=dict)
+    #: stage -> sealed failure-record address
+    failed: dict[str, str] = field(default_factory=dict)
+    #: stages blocked behind a failed ancestor, sorted
+    skipped: tuple[str, ...] = ()
+    #: stages *this call* drove, in start order (the determinism witness)
+    stage_order: tuple[str, ...] = ()
+    #: virtual seconds from wf-start to the last stage completion
+    makespan: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return not self.failed
+
+    def to_dict(self) -> dict:
+        return {
+            "run": self.run,
+            "workflow": self.workflow,
+            "completed": dict(sorted(self.completed.items())),
+            "failed": dict(sorted(self.failed.items())),
+            "skipped": list(self.skipped),
+            "stage_order": list(self.stage_order),
+            "makespan": self.makespan,
+        }
+
+
+class WorkflowExecutor:
+    """One (resumable) run of one workflow against one deployment."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        runtime: WorkflowRuntime,
+        *,
+        journal=None,
+        store: ProvenanceStore | None = None,
+        run_id: str = "run-0",
+        seed: int = 0,
+        admission=None,
+        max_width: int = 4,
+    ):
+        """``journal`` makes the run durable (and resumable: a non-empty
+        journal is *recovered from*, not restarted).  ``store`` defaults
+        to a :class:`ProvenanceStore` over the same journal.  ``admission``
+        is the deployment's controller bounding stage attempts;
+        ``max_width`` caps the admission window the scheduler exposes
+        (stages are driven one at a time so the start order stays a pure
+        function of the settled set).
+        """
+        self.workflow = workflow
+        self.runtime = runtime
+        self.journal = journal
+        self.store = store if store is not None else ProvenanceStore(journal)
+        self.run_id = run_id
+        self.seed = seed
+        self.admission = admission
+        self.max_width = max(1, int(max_width))
+        self.clock = runtime.network.clock
+        self.completed: dict[str, str] = {}  # stage -> record address
+        self.failed: dict[str, str] = {}
+        self._outputs: dict[str, dict[str, str]] = {}  # stage -> port -> blob
+        self._started_at: float | None = None
+        self._finished_at: float | None = None
+        if journal is not None and len(journal):
+            self._recover()
+        elif journal is not None:
+            journal.append(
+                "wf-start",
+                run=run_id,
+                workflow=workflow.name,
+                digest=workflow.digest(),
+                seed=seed,
+            )
+
+    # -- recovery --------------------------------------------------------------
+
+    def _recover(self) -> None:
+        starts = self.journal.by_kind("wf-start")
+        if not starts:
+            raise WorkflowError(
+                "journal has records but no wf-start; refusing to resume",
+                {"journal": self.journal.name},
+            )
+        head = starts[0].data
+        if head.get("digest") != self.workflow.digest():
+            raise WorkflowError(
+                f"journal {self.journal.name!r} was written by workflow "
+                f"{head.get('workflow')!r} (digest {head.get('digest')!r}); "
+                "refusing to resume a different definition",
+                {"journal": self.journal.name, "digest": str(head.get("digest"))},
+            )
+        self.run_id = str(head.get("run", self.run_id))
+        self.seed = int(head.get("seed", self.seed))
+        self._started_at = starts[0].t
+        for entry in self.journal.by_kind("stage-done"):
+            stage = entry.data["stage"]
+            address = entry.data["record"]
+            if entry.data.get("status") == "ok":
+                self.completed[stage] = address
+                self._outputs[stage] = dict(entry.data.get("outputs", {}))
+            else:
+                self.failed[stage] = address
+            self._finished_at = entry.t
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _priority(self, stage: str) -> str:
+        return hashlib.sha256(f"{self.seed}:{stage}".encode("utf-8")).hexdigest()
+
+    def blocked(self) -> tuple[str, ...]:
+        """Stages that can never run: downstream of a failed stage."""
+        out: set[str] = set()
+        for name in sorted(self.failed):
+            out.update(self.workflow.descendants(name))
+        out -= set(self.completed)
+        out -= set(self.failed)
+        return tuple(sorted(out))
+
+    def _ready(self) -> list[str]:
+        settled = set(self.completed) | set(self.failed) | set(self.blocked())
+        ready = [
+            name
+            for name in self.workflow.stages
+            if name not in settled
+            and all(p in self.completed for p in self.workflow.parents(name))
+        ]
+        ready.sort(key=lambda name: (self._priority(name), name))
+        return ready
+
+    def pending(self) -> tuple[str, ...]:
+        """Stages not yet settled (neither finished, failed, nor blocked)."""
+        settled = set(self.completed) | set(self.failed) | set(self.blocked())
+        return tuple(sorted(set(self.workflow.stages) - settled))
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self, *, max_stages: int | None = None) -> WorkflowResult:
+        """Drive ready stages until the DAG settles (or *max_stages* were
+        driven this call — the hook tests use to stop mid-DAG)."""
+        if self._started_at is None:
+            self._started_at = self.clock.now
+        order: list[str] = []
+        while True:
+            if max_stages is not None and len(order) >= max_stages:
+                break
+            # recompute after every stage: the next stage to start is a pure
+            # function of the settled set, so a resumed executor continues in
+            # exactly the order the uninterrupted run would have used — wave
+            # batching would let a mid-wave crash reshuffle submission order
+            # (and with it service-side id allocation) on resume
+            ready = self._ready()
+            if not ready:
+                break
+            name = ready[0]
+            order.append(name)
+            self._drive(name)
+        if self.journal is not None and not self.pending():
+            if not self.journal.by_kind("wf-done"):
+                self.journal.append(
+                    "wf-done",
+                    run=self.run_id,
+                    completed=len(self.completed),
+                    failed=len(self.failed),
+                )
+        makespan = 0.0
+        if self._started_at is not None and self._finished_at is not None:
+            makespan = max(0.0, self._finished_at - self._started_at)
+        return WorkflowResult(
+            run=self.run_id,
+            workflow=self.workflow.name,
+            completed=dict(self.completed),
+            failed=dict(self.failed),
+            skipped=self.blocked(),
+            stage_order=tuple(order),
+            makespan=makespan,
+        )
+
+    # -- one stage -------------------------------------------------------------
+
+    def _resolve_inputs(self, stage) -> tuple[dict[str, str], dict[str, str]]:
+        """(port -> blob address, port -> blob content) for a ready stage."""
+        addresses: dict[str, str] = {}
+        for port in sorted(stage.inputs):
+            binding = stage.inputs[port]
+            if binding.kind == "const":
+                addresses[port] = self.store.put_blob(binding.value)
+            else:
+                addresses[port] = self._outputs[binding.stage][binding.port]
+        return addresses, {
+            port: self.store.blob(addr) for port, addr in addresses.items()
+        }
+
+    def _drive(self, name: str) -> None:
+        stage = self.workflow.stages[name]
+        key = stage.idempotency_key(self.run_id)
+        if self.journal is not None:
+            self.journal.append("stage-start", stage=name, key=key)
+        input_addrs, input_contents = self._resolve_inputs(stage)
+        parents = {p: self.completed[p] for p in self.workflow.parents(name)}
+        obs = getattr(self.runtime.network, "observability", None)
+        span = None
+        error_code = ""
+        if obs is not None:
+            span = obs.tracer.start(
+                f"stage {name}",
+                "internal",
+                "workflow",
+                self.runtime.source,
+                attributes={
+                    "workflow": self.workflow.name,
+                    "run": self.run_id,
+                    "stage": name,
+                    "stage.kind": stage.kind,
+                },
+            )
+        started = self.clock.now
+        try:
+            outputs, failure = self._attempts(stage, key, input_contents)
+            if failure is not None:
+                error_code = failure.get("code", "")
+        except ServiceCrash:
+            # the process-death primitive: no stage-done record lands, so a
+            # post-crash executor over the same journal re-drives this stage
+            error_code = "ServiceCrash"
+            raise
+        finally:
+            if span is not None:
+                obs.tracer.end(span, error=error_code)
+        status = "ok" if failure is None else "failed"
+        output_addrs = {
+            port: self.store.put_blob(outputs[port]) for port in sorted(outputs)
+        }
+        record = make_record(
+            workflow=self.workflow.name,
+            workflow_digest=self.workflow.digest(),
+            run=self.run_id,
+            stage=name,
+            kind=stage.kind,
+            command=stage.command(),
+            inputs=input_addrs,
+            outputs=output_addrs,
+            parents=parents,
+            status=status,
+            error=failure,
+        )
+        address = self.store.seal(record)
+        if span is not None:
+            self.store.link_trace(address, span.trace_id)
+        if self.journal is not None:
+            self.journal.append(
+                "stage-done",
+                stage=name,
+                record=address,
+                outputs=output_addrs,
+                status=status,
+                elapsed=self.clock.now - started,
+                key=key,
+            )
+        self._finished_at = self.clock.now
+        if status == "ok":
+            self.completed[name] = address
+            self._outputs[name] = output_addrs
+        else:
+            self.failed[name] = address
+
+    def _attempts(
+        self, stage, key: str, inputs: dict[str, str]
+    ) -> tuple[dict[str, str], dict[str, str] | None]:
+        """The stage retry loop: (outputs, None) or ({}, classified error)."""
+        ctx = StageContext(self.runtime, stage, key)
+        policy = RetryPolicy(max_attempts=max(1, stage.retries))
+        rng = random.Random(f"{self.seed}:{self.run_id}:{stage.name}")
+        attempts = 0
+        while True:
+            attempts += 1
+            ticket = None
+            try:
+                if self.admission is not None:
+                    ticket = self.admission.admit("workflow", method=stage.kind)
+                raw = stage.execute(ctx, inputs)
+                return (
+                    {port: str(raw[port]) for port in sorted(raw)},
+                    None,
+                )
+            except ServiceCrash:
+                raise
+            except STAGE_ERRORS as exc:
+                if is_retryable(exc) and policy.retries_remaining(attempts):
+                    delay = policy.backoff(attempts - 1, rng)
+                    hint = retry_after_hint(exc)
+                    if hint is not None:
+                        delay = hint
+                    self.clock.advance(delay)
+                    continue
+                return {}, self._classify(stage, exc, attempts)
+            finally:
+                if ticket is not None:
+                    self.admission.release(ticket)
+
+    @staticmethod
+    def _classify(stage, exc: BaseException, attempts: int) -> dict[str, str]:
+        """The failure record's error map, under the common taxonomy."""
+        if isinstance(exc, PortalError):
+            code, message = exc.code, exc.message
+        elif isinstance(exc, SoapFaultError):
+            code, message = "Soap.Fault", str(exc)
+        else:
+            code, message = "Portal.Workflow", str(exc)
+        return {
+            "code": code,
+            "message": message,
+            "stage": stage.name,
+            "attempts": str(attempts),
+        }

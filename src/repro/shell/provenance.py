@@ -1,0 +1,247 @@
+"""The immutable, content-addressed provenance store.
+
+Every stage output is a *blob* addressed by the sha256 of its bytes; every
+completed stage attempt seals a ``repro.shell.provenance/v1`` *record* —
+itself content-addressed over its canonical JSON — linking input blob
+addresses, the stage's command, output blob addresses, and the parent
+stages' record addresses.  Records referencing records by content address
+form a Merkle chain: re-running any prefix of a workflow either reproduces
+byte-identical content (same address — a no-op ``seal``) or produces *new*
+addresses, but can never change what an existing address means.  That is
+the WebMEV discipline the roadmap asks for: no in-place modification,
+every intermediate addressable.
+
+Two deliberate exclusions keep addresses stable across crash-resume:
+
+* no virtual-clock timestamps and no attempt counts in sealed records —
+  both diverge between an uninterrupted run and a resumed one (timings
+  live in the executor's journal instead);
+* no trace ids in sealed records — the exemplar span of a resumed stage is
+  a different span.  Trace links ride in a *side channel*
+  (:meth:`ProvenanceStore.link_trace`), journaled but outside the chain.
+
+The store itself follows the write-ahead discipline of
+:mod:`repro.durability`: every blob and record is appended to a journal
+*before* it is registered in memory, so a post-crash store rebuilt over
+the same journal resolves every address the pre-crash store ever handed
+out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.faults import ResourceNotFoundError, WorkflowError
+
+#: the record schema this store seals and verifies
+PROVENANCE_SCHEMA = "repro.shell.provenance/v1"
+
+
+def _canonical(value: dict) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def content_address(text: str) -> str:
+    """The sha256 address of a byte payload (its UTF-8 encoding)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def make_record(
+    *,
+    workflow: str,
+    workflow_digest: str,
+    run: str,
+    stage: str,
+    kind: str,
+    command: dict,
+    inputs: dict[str, str],
+    outputs: dict[str, str],
+    parents: dict[str, str],
+    status: str = "ok",
+    error: dict[str, str] | None = None,
+) -> dict:
+    """Assemble a v1 record dict (not yet sealed).
+
+    ``inputs``/``outputs`` map port name -> blob address; ``parents`` maps
+    parent stage name -> parent *record* address (the Merkle link).
+    """
+    record = {
+        "schema": PROVENANCE_SCHEMA,
+        "workflow": workflow,
+        "workflow_digest": workflow_digest,
+        "run": run,
+        "stage": stage,
+        "kind": kind,
+        "command": command,
+        "inputs": {port: inputs[port] for port in sorted(inputs)},
+        "outputs": {port: outputs[port] for port in sorted(outputs)},
+        "parents": {name: parents[name] for name in sorted(parents)},
+        "status": status,
+    }
+    if error:
+        record["error"] = {key: str(error[key]) for key in sorted(error)}
+    return record
+
+
+class ProvenanceStore:
+    """Content-addressed blobs and sealed records, with journal replay.
+
+    Pass a :class:`~repro.durability.journal.Journal` to make the store
+    durable; ``__init__`` replays any existing ``wf-blob`` / ``wf-prov`` /
+    ``wf-trace`` records, so recovery is just "open a store over the same
+    journal".  Without a journal the store is memory-only (handy for
+    property tests).
+    """
+
+    def __init__(self, journal=None):
+        self._journal = journal
+        self._blobs: dict[str, str] = {}
+        self._records: dict[str, str] = {}  # address -> canonical JSON
+        self._traces: dict[str, str] = {}  # record address -> trace id
+        if journal is not None:
+            for entry in journal.records():
+                if entry.kind == "wf-blob":
+                    content = entry.data["content"]
+                    self._blobs[content_address(content)] = content
+                elif entry.kind == "wf-prov":
+                    canonical = entry.data["record"]
+                    self._records[content_address(canonical)] = canonical
+                elif entry.kind == "wf-trace":
+                    self._traces[entry.data["record"]] = entry.data["trace"]
+
+    # -- blobs ---------------------------------------------------------------
+
+    def put_blob(self, content: str) -> str:
+        """Store a payload, returning its address.  Idempotent: the same
+        bytes land at the same address, and re-putting is a no-op (no
+        journal append, nothing overwritten)."""
+        content = str(content)
+        address = content_address(content)
+        if address not in self._blobs:
+            if self._journal is not None:
+                self._journal.append("wf-blob", content=content)
+            self._blobs[address] = content
+        return address
+
+    def blob(self, address: str) -> str:
+        if address not in self._blobs:
+            raise ResourceNotFoundError(
+                f"no blob at address {address!r}", {"address": address}
+            )
+        return self._blobs[address]
+
+    def has_blob(self, address: str) -> bool:
+        return address in self._blobs
+
+    # -- records -------------------------------------------------------------
+
+    def seal(self, record: dict) -> str:
+        """Durably freeze a record, returning its content address.
+
+        Idempotent by construction: identical content seals to the same
+        address and is not re-journaled.  A record is never *updated* —
+        there is no API for that — and :meth:`record` returns a fresh
+        parse of the stored canonical JSON, so a caller mutating the
+        returned dict cannot reach the sealed state.
+        """
+        if record.get("schema") != PROVENANCE_SCHEMA:
+            raise WorkflowError(
+                f"refusing to seal record with schema "
+                f"{record.get('schema')!r} (want {PROVENANCE_SCHEMA!r})",
+                {"schema": str(record.get("schema"))},
+            )
+        canonical = _canonical(record)
+        address = content_address(canonical)
+        if address not in self._records:
+            if self._journal is not None:
+                self._journal.append("wf-prov", record=canonical)
+            self._records[address] = canonical
+        return address
+
+    def record(self, address: str) -> dict:
+        if address not in self._records:
+            raise ResourceNotFoundError(
+                f"no provenance record at address {address!r}",
+                {"address": address},
+            )
+        return json.loads(self._records[address])
+
+    def has_record(self, address: str) -> bool:
+        return address in self._records
+
+    def records(self) -> dict[str, dict]:
+        """Every sealed record, address -> fresh parse, sorted by address."""
+        return {
+            address: json.loads(self._records[address])
+            for address in sorted(self._records)
+        }
+
+    # -- the trace side channel ----------------------------------------------
+
+    def link_trace(self, address: str, trace_id: str) -> None:
+        """Attach the exemplar trace id for a sealed record.
+
+        Deliberately *outside* the sealed content: a resumed stage re-runs
+        under a new trace, and linking it must not change the record's
+        address.  First link wins — the exemplar is the trace that did
+        the work, not the latest one to mention it.
+        """
+        if address not in self._records:
+            raise ResourceNotFoundError(
+                f"cannot link trace to unknown record {address!r}",
+                {"address": address},
+            )
+        if not trace_id or address in self._traces:
+            return
+        if self._journal is not None:
+            self._journal.append("wf-trace", record=address, trace=trace_id)
+        self._traces[address] = trace_id
+
+    def exemplar(self, address: str) -> str:
+        """The linked exemplar trace id, or ``""``."""
+        return self._traces.get(address, "")
+
+    # -- integrity -----------------------------------------------------------
+
+    def verify(self) -> list[str]:
+        """Recompute every address and walk every link; return problems.
+
+        An empty list means the chain holds: every blob and record hashes
+        to its address, every record is schema-valid, and every input,
+        output, and parent reference resolves within the store.
+        """
+        problems: list[str] = []
+        for address in sorted(self._blobs):
+            if content_address(self._blobs[address]) != address:
+                problems.append(f"blob {address}: content does not hash to address")
+        for address in sorted(self._records):
+            canonical = self._records[address]
+            if content_address(canonical) != address:
+                problems.append(
+                    f"record {address}: content does not hash to address"
+                )
+            record = json.loads(canonical)
+            if record.get("schema") != PROVENANCE_SCHEMA:
+                problems.append(f"record {address}: bad schema")
+                continue
+            for port in sorted(record.get("inputs", {})):
+                blob = record["inputs"][port]
+                if blob not in self._blobs:
+                    problems.append(
+                        f"record {address}: input {port!r} -> missing blob {blob}"
+                    )
+            for port in sorted(record.get("outputs", {})):
+                blob = record["outputs"][port]
+                if blob not in self._blobs:
+                    problems.append(
+                        f"record {address}: output {port!r} -> missing blob {blob}"
+                    )
+            for parent in sorted(record.get("parents", {})):
+                link = record["parents"][parent]
+                if link not in self._records:
+                    problems.append(
+                        f"record {address}: parent {parent!r} -> "
+                        f"missing record {link}"
+                    )
+        return problems

@@ -1,0 +1,126 @@
+"""The offline workflow reporter: provenance trees and DAG critical paths.
+
+``provenance_tree`` renders a run's sealed records as an indented tree —
+deliberately from *content only* (stage names, statuses, full content
+addresses), never from clocks, attempt counts, or trace ids, so the tree
+of a crashed-and-resumed run is byte-identical to the uninterrupted
+same-seed run's.  That byte identity is the acceptance check the simtest
+oracle and the property tests lean on.
+
+``critical_path`` is the timing view: per-stage elapsed times come from
+the executor's journal (``stage-done`` records), and the longest
+weighted path through the DAG is the lower bound an ideally-wide
+executor cannot beat.  Comparing it to the journal's actual makespan
+says how much of the schedule was width-limited.
+"""
+
+from __future__ import annotations
+
+from repro.shell.dag import Workflow
+from repro.shell.provenance import ProvenanceStore
+
+
+def provenance_tree(store: ProvenanceStore, run: str) -> str:
+    """Render one run's provenance chain as a deterministic tree.
+
+    A stage with several parents renders fully under its first parent
+    (sorted order) and as a one-line back-reference elsewhere.
+    """
+    by_stage: dict[str, tuple[str, dict]] = {}
+    for address, record in store.records().items():
+        if record.get("run") == run:
+            by_stage[record["stage"]] = (address, record)
+    children: dict[str, list[str]] = {stage: [] for stage in by_stage}
+    roots: list[str] = []
+    for stage in sorted(by_stage):
+        _, record = by_stage[stage]
+        parents = sorted(
+            name for name in record.get("parents", {}) if name in by_stage
+        )
+        if parents:
+            children[parents[0]].append(stage)
+        else:
+            roots.append(stage)
+    lines: list[str] = [f"workflow run {run}: {len(by_stage)} stage record(s)"]
+
+    def walk(stage: str, depth: int) -> None:
+        address, record = by_stage[stage]
+        indent = "  " * depth
+        status = record.get("status", "ok")
+        line = f"{indent}- {stage} [{record.get('kind', '?')}] {status} {address}"
+        if status != "ok":
+            line += f" error={record.get('error', {}).get('code', '?')}"
+        lines.append(line)
+        for port in sorted(record.get("outputs", {})):
+            lines.append(f"{indent}    {port} = {record['outputs'][port]}")
+        extra = sorted(record.get("parents", {}))[1:]
+        for parent in extra:
+            lines.append(f"{indent}    (also from {parent})")
+        for child in sorted(children[stage]):
+            walk(child, depth + 1)
+
+    for root in sorted(roots):
+        walk(root, 1)
+    return "\n".join(lines)
+
+
+def stage_timings(journal) -> dict[str, float]:
+    """Stage -> elapsed virtual seconds, latest ``stage-done`` per stage."""
+    timings: dict[str, float] = {}
+    for entry in journal.by_kind("stage-done"):
+        timings[entry.data["stage"]] = float(entry.data.get("elapsed", 0.0))
+    return timings
+
+
+def critical_path(workflow: Workflow, timings: dict[str, float]) -> dict:
+    """The longest weighted root-to-leaf path through the DAG.
+
+    ``timings`` maps stage -> elapsed seconds (missing stages count 0.0 —
+    they never ran).  Returns ``{"length": seconds, "path": [stages]}``;
+    the length is the makespan lower bound no executor width can beat.
+    """
+    total: dict[str, float] = {}
+    via: dict[str, str] = {}
+    for name in workflow.topo_order():
+        best_parent, best = "", 0.0
+        for parent in workflow.parents(name):
+            if total.get(parent, 0.0) > best or not best_parent:
+                best_parent, best = parent, total.get(parent, 0.0)
+        total[name] = timings.get(name, 0.0) + best
+        if best_parent:
+            via[name] = best_parent
+    if not total:
+        return {"length": 0.0, "path": []}
+    tail = sorted(total, key=lambda name: (-total[name], name))[0]
+    path = [tail]
+    while path[-1] in via:
+        path.append(via[path[-1]])
+    return {"length": total[tail], "path": list(reversed(path))}
+
+
+def render_report(
+    workflow: Workflow, store: ProvenanceStore, journal, run: str
+) -> str:
+    """The full offline report: tree, timings, critical path, makespan."""
+    timings = stage_timings(journal)
+    path = critical_path(workflow, timings)
+    starts = journal.by_kind("wf-start")
+    dones = journal.by_kind("stage-done")
+    makespan = 0.0
+    if starts and dones:
+        makespan = max(0.0, dones[-1].t - starts[0].t)
+    lines = [
+        f"workflow {workflow.name!r} digest {workflow.digest()[:16]}…",
+        provenance_tree(store, run),
+        "",
+        f"makespan: {makespan:.6f}s over {len(timings)} stage(s)",
+        f"critical path ({path['length']:.6f}s): "
+        + (" -> ".join(path["path"]) or "(none)"),
+    ]
+    problems = store.verify()
+    lines.append(
+        "provenance chain: OK"
+        if not problems
+        else "provenance chain: " + "; ".join(problems)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Binding the stage catalog to a live deployment.
+
+:class:`WorkflowRuntime` owns one cached :class:`~repro.soap.client.SoapClient`
+per core service, built *without* a client-side retry policy — the executor
+drives retries itself through :mod:`repro.resilience` so a stage's budget is
+accounted in exactly one place.  :class:`StageContext` is the narrow surface
+a stage's ``execute`` sees: ``call`` attaches the stage's per-attempt
+deadline and (when asked) its idempotency key, and ``call_bsg`` routes a
+scheduler name to whichever batch-script provider supports it, mirroring
+the portal shell's ``genscript`` command.
+"""
+
+from __future__ import annotations
+
+from repro.appws.service import APPWS_NAMESPACE
+from repro.loadmgmt.metascheduler import METASCHEDULER_NAMESPACE
+from repro.resilience.policy import NO_RETRY
+from repro.services.batchscript import BSG_NAMESPACE
+from repro.services.context import CONTEXT_NAMESPACE
+from repro.services.datamgmt import SRBWS_NAMESPACE
+from repro.services.jobsubmit import GLOBUSRUN_NAMESPACE
+from repro.services.monitoring import MONITORING_NAMESPACE
+from repro.soap.client import SoapClient
+
+#: service short name -> SOAP namespace, for every endpoint a stock
+#: :class:`~repro.portal.uiserver.PortalDeployment` exposes
+SERVICE_NAMESPACES: dict[str, str] = {
+    "globusrun": GLOBUSRUN_NAMESPACE,
+    "metascheduler": METASCHEDULER_NAMESPACE,
+    "monitoring": MONITORING_NAMESPACE,
+    "srb": SRBWS_NAMESPACE,
+    "context": CONTEXT_NAMESPACE,
+    "bsg-iu": BSG_NAMESPACE,
+    "bsg-sdsc": BSG_NAMESPACE,
+    "appws": APPWS_NAMESPACE,
+}
+
+#: schedulers the IU generator supports; everything else routes to SDSC
+IU_SCHEDULERS = ("GRD", "PBS")
+
+
+class WorkflowRuntime:
+    """Lazily-built SOAP clients for every service the stage catalog drives."""
+
+    def __init__(
+        self,
+        network,
+        endpoints: dict[str, tuple[str, str]],
+        *,
+        source: str = "ui.gridportal.org",
+        resilience_log=None,
+    ):
+        """``endpoints`` maps service short name -> (url, namespace)."""
+        self.network = network
+        self.source = source
+        self.resilience_log = resilience_log
+        self._endpoints = dict(endpoints)
+        self._clients: dict[str, SoapClient] = {}
+
+    @classmethod
+    def from_deployment(
+        cls, deployment, *, source: str = "ui.gridportal.org"
+    ) -> "WorkflowRuntime":
+        """Wire a runtime over every known endpoint of a deployment."""
+        endpoints = {
+            service: (deployment.endpoints[service], namespace)
+            for service, namespace in sorted(SERVICE_NAMESPACES.items())
+            if service in deployment.endpoints
+        }
+        return cls(
+            deployment.network,
+            endpoints,
+            source=source,
+            resilience_log=deployment.resilience,
+        )
+
+    def register(self, service: str, endpoint: str, namespace: str) -> None:
+        """Expose an extra endpoint to :class:`SoapCallStage` by short name."""
+        self._endpoints[service] = (endpoint, namespace)
+        self._clients.pop(service, None)
+
+    def services(self) -> tuple[str, ...]:
+        return tuple(sorted(self._endpoints))
+
+    def client(self, service: str) -> SoapClient:
+        """The cached no-retry client for a service; the executor owns
+        the retry loop, so a failed attempt surfaces immediately."""
+        if service not in self._clients:
+            if service not in self._endpoints:
+                raise KeyError(f"unknown workflow service {service!r}")
+            url, namespace = self._endpoints[service]
+            self._clients[service] = SoapClient(
+                self.network,
+                url,
+                namespace,
+                source=self.source,
+                retry_policy=NO_RETRY,
+                resilience_log=self.resilience_log,
+                service_name=f"workflow:{service}",
+            )
+        return self._clients[service]
+
+    def bsg_for(self, scheduler: str) -> str:
+        """Which batch-script provider speaks *scheduler* (the §3.1 common
+        interface makes them substitutable; routing picks the one whose
+        advertised scheduler list matches)."""
+        return "bsg-iu" if scheduler.upper() in IU_SCHEDULERS else "bsg-sdsc"
+
+
+class StageContext:
+    """What one stage attempt may do: deadline-bounded SOAP calls under
+    the stage's idempotency key."""
+
+    def __init__(self, runtime: WorkflowRuntime, stage, key: str):
+        self.runtime = runtime
+        self.stage = stage
+        self.key = key
+
+    def call(self, service: str, method: str, *args, idempotent: bool = False):
+        """One SOAP call bounded by the stage's per-attempt deadline.
+
+        ``idempotent=True`` sends the stage's key as the idempotency
+        header so a durable service deduplicates re-driven attempts
+        (crash-resume, retry after an ambiguous timeout).
+        """
+        return self.runtime.client(service).call(
+            method,
+            *args,
+            timeout=self.stage.deadline,
+            idempotency_key=self.key if idempotent else "",
+        )
+
+    def call_bsg(self, scheduler: str, method: str, *args):
+        """Route a batch-script call to the provider supporting *scheduler*."""
+        return self.call(self.runtime.bsg_for(scheduler), method, *args)

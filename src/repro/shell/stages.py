@@ -1,0 +1,314 @@
+"""The typed stage catalog: one stage class per core-service command.
+
+Each stage is the workflow-engine form of a §6 shell command: it names the
+core service it drives, declares its output ports, and knows how to turn
+resolved input port contents into SOAP calls.  Stages carry their own
+resilience budget (``retries`` attempts, ``deadline`` virtual seconds per
+attempt) which the executor delegates to :mod:`repro.resilience`, and every
+concrete stage declares an explicit idempotency key — the REP801 contract —
+so a re-driven stage deduplicates instead of double-submitting.
+
+Stage ``execute`` methods receive a :class:`StageContext` (built by the
+executor) and the resolved input contents; they return ``{port: content}``.
+They never touch the provenance store or the journal — sealing outputs is
+the executor's job, which is what keeps the immutability discipline in one
+place.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+
+from repro.faults import WorkflowError
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One wired input: either a reference to another stage's output port
+    (``kind == "ref"``) or an inline constant (``kind == "const"``)."""
+
+    kind: str
+    stage: str = ""
+    port: str = ""
+    value: str = ""
+
+    def to_dict(self) -> dict:
+        if self.kind == "ref":
+            return {"kind": "ref", "stage": self.stage, "port": self.port}
+        return {"kind": "const", "value": self.value}
+
+
+def ref(stage: str, port: str = "out") -> Binding:
+    """Bind an input to another stage's named output port."""
+    return Binding(kind="ref", stage=stage, port=port)
+
+
+def const(value: str) -> Binding:
+    """Bind an input to an inline constant (content-addressed at run
+    start, so constants participate in provenance like any other blob)."""
+    return Binding(kind="const", value=str(value))
+
+
+class WorkflowStage:
+    """One node of the DAG: a named command with wired input ports.
+
+    Subclasses set ``kind`` and ``output_ports``, implement ``execute``,
+    and *must* declare an explicit ``idempotency_key`` — there is no
+    inherited default, by design: the key is the stage's contract with the
+    durable services it drives, and an implicit one is how double
+    submissions happen.  The REP801 checker enforces the declaration.
+    """
+
+    kind = "stage"
+    output_ports: tuple[str, ...] = ("out",)
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        inputs: dict[str, Binding] | None = None,
+        retries: int = 3,
+        deadline: float = 30.0,
+    ):
+        self.name = name
+        self.inputs: dict[str, Binding] = dict(inputs or {})
+        self.retries = int(retries)
+        self.deadline = float(deadline)
+
+    def _require_input(self, port: str) -> None:
+        if port not in self.inputs:
+            raise WorkflowError(
+                f"stage {self.name!r} ({self.kind}) requires an input "
+                f"bound to port {port!r}",
+                {"stage": self.name, "port": port},
+            )
+
+    def command(self) -> dict:
+        """The stage's own parameters, canonically — what the provenance
+        record stores between ``inputs`` and ``outputs``."""
+        return {}
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "command": self.command(),
+            "inputs": {
+                port: self.inputs[port].to_dict()
+                for port in sorted(self.inputs)
+            },
+            "outputs": list(self.output_ports),
+            "retries": self.retries,
+            "deadline": self.deadline,
+        }
+
+    def idempotency_key(self, run: str) -> str:
+        raise NotImplementedError(
+            f"stage class {type(self).__name__} must declare an explicit "
+            "idempotency_key"
+        )
+
+    def execute(self, ctx: "StageContext", inputs: dict[str, str]) -> dict[str, str]:
+        raise NotImplementedError
+
+
+class BatchScriptStage(WorkflowStage):
+    """Generate a batch script through the common BSG interface (§3.1);
+    routed to whichever provider supports the scheduler."""
+
+    kind = "batch-script"
+    output_ports = ("script",)
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        scheduler: str,
+        params: dict[str, str] | None = None,
+        **kw,
+    ):
+        super().__init__(name, **kw)
+        self.scheduler = scheduler.upper()
+        self.params = {
+            key: str(value) for key, value in sorted((params or {}).items())
+        }
+
+    def command(self) -> dict:
+        return {"scheduler": self.scheduler, "params": dict(self.params)}
+
+    def idempotency_key(self, run: str) -> str:
+        return f"wf:{run}:{self.name}:bsg"
+
+    def execute(self, ctx, inputs):
+        script = ctx.call_bsg(
+            self.scheduler, "generateScript", self.scheduler, self.params
+        )
+        return {"script": script}
+
+
+class GlobusrunStage(WorkflowStage):
+    """Submit a jobs XML batch durably and collect its results.
+
+    The ``jobs`` input port carries the batch document (typically a
+    :class:`MetaScheduleStage`'s ``placed`` output).  Submission goes
+    through ``submit_async`` under this stage's idempotency key, so a
+    re-driven stage is handed the originally accepted batch id and
+    ``result`` returns the recorded outcome instead of re-running jobs.
+    Extra bound ports (a generated script, staged data) ride along as
+    provenance inputs.
+    """
+
+    kind = "globusrun"
+    output_ports = ("results",)
+
+    def __init__(self, name: str, **kw):
+        super().__init__(name, **kw)
+        self._require_input("jobs")
+
+    def idempotency_key(self, run: str) -> str:
+        return f"wf:{run}:{self.name}:globusrun"
+
+    def execute(self, ctx, inputs):
+        batch = ctx.call(
+            "globusrun", "submit_async", inputs["jobs"], idempotent=True
+        )
+        return {"results": ctx.call("globusrun", "result", batch)}
+
+
+class MetaScheduleStage(WorkflowStage):
+    """Fill in host-less jobs through the MetaScheduler's placement policy.
+
+    The ``jobs`` input is a batch document whose ``<job>`` elements may
+    omit ``host``; the output is the placed document.  Placement and
+    submission are deliberately *separate* stages: the placed XML is
+    sealed into provenance, so a crash between placement and submission
+    resumes with the recorded placement instead of re-consulting load
+    signals that have since moved.
+    """
+
+    kind = "metaschedule"
+    output_ports = ("placed",)
+
+    def __init__(self, name: str, **kw):
+        super().__init__(name, **kw)
+        self._require_input("jobs")
+
+    def idempotency_key(self, run: str) -> str:
+        return f"wf:{run}:{self.name}:metaschedule"
+
+    def execute(self, ctx, inputs):
+        placed = ctx.call(
+            "metascheduler", "place", inputs["jobs"], idempotent=True
+        )
+        return {"placed": placed}
+
+
+class SrbGetStage(WorkflowStage):
+    """Read a file out of the SRB (§3.2 ``cat``) onto the ``data`` port."""
+
+    kind = "srb-get"
+    output_ports = ("data",)
+
+    def __init__(self, name: str, *, path: str, **kw):
+        super().__init__(name, **kw)
+        self.path = path
+
+    def command(self) -> dict:
+        return {"path": self.path}
+
+    def idempotency_key(self, run: str) -> str:
+        return f"wf:{run}:{self.name}:srb-get"
+
+    def execute(self, ctx, inputs):
+        return {"data": ctx.call("srb", "cat", self.path)}
+
+
+class SrbPutStage(WorkflowStage):
+    """Store input contents into the SRB (§3.2 ``put``).
+
+    All bound input ports are concatenated in port-name order — the
+    collect step of a fan-out sweep — and the stored path plus byte count
+    come back on ``stored``.
+    """
+
+    kind = "srb-put"
+    output_ports = ("stored",)
+
+    def __init__(self, name: str, *, path: str, **kw):
+        super().__init__(name, **kw)
+        self.path = path
+        if not self.inputs:
+            raise WorkflowError(
+                f"stage {name!r} (srb-put) needs at least one input port "
+                "to store",
+                {"stage": name},
+            )
+
+    def command(self) -> dict:
+        return {"path": self.path}
+
+    def idempotency_key(self, run: str) -> str:
+        return f"wf:{run}:{self.name}:srb-put"
+
+    def execute(self, ctx, inputs):
+        data = "\n".join(inputs[port] for port in sorted(inputs))
+        encoded = base64.b64encode(data.encode("utf-8")).decode("ascii")
+        size = ctx.call("srb", "put", self.path, encoded, idempotent=True)
+        return {"stored": f"{self.path}:{size}"}
+
+
+class SoapCallStage(WorkflowStage):
+    """The generic escape hatch: one SOAP operation on any deployed service.
+
+    ``args`` mixes literal strings and :class:`Binding`\\ s; bindings are
+    registered as input ports (``arg0``, ``arg1``, ...) so the DAG layer
+    validates them, and :class:`~repro.shell.dag.Workflow` checks call
+    arity against the service's WSDL when one is on file.
+    """
+
+    kind = "soap-call"
+    output_ports = ("out",)
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        service: str,
+        method: str,
+        args: list | tuple = (),
+        **kw,
+    ):
+        inputs = dict(kw.pop("inputs", None) or {})
+        self.arg_slots: list[tuple[str, str]] = []  # ("port"|"literal", value)
+        for index, arg in enumerate(args):
+            if isinstance(arg, Binding):
+                port = f"arg{index}"
+                inputs[port] = arg
+                self.arg_slots.append(("port", port))
+            else:
+                self.arg_slots.append(("literal", str(arg)))
+        super().__init__(name, inputs=inputs, **kw)
+        self.service = service
+        self.method = method
+
+    @property
+    def args(self) -> list[tuple[str, str]]:
+        return list(self.arg_slots)
+
+    def command(self) -> dict:
+        return {
+            "service": self.service,
+            "method": self.method,
+            "args": [list(slot) for slot in self.arg_slots],
+        }
+
+    def idempotency_key(self, run: str) -> str:
+        return f"wf:{run}:{self.name}:{self.service}.{self.method}"
+
+    def execute(self, ctx, inputs):
+        params = [
+            inputs[value] if slot == "port" else value
+            for slot, value in self.arg_slots
+        ]
+        result = ctx.call(self.service, self.method, *params, idempotent=True)
+        return {"out": "" if result is None else str(result)}

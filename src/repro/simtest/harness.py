@@ -161,6 +161,14 @@ class SimWorld:
     acked_context: list = field(default_factory=list)
     #: every dispatched SOAP hop's (enclosing, inbound) deadline pair
     hop_records: list = field(default_factory=list)
+    #: every ProvenanceStore a workflow run produced (one per journal)
+    workflow_stores: list = field(default_factory=list)
+    #: (store, sealed record address) for every stage completion the
+    #: executor acknowledged in a WorkflowResult
+    acked_stage_records: list = field(default_factory=list)
+    workflows_run: int = 0
+    workflow_stages_ok: int = 0
+    workflow_stages_failed: int = 0
     restarts: int = 0
     client_errors: int = 0
     phase: str = "build"
@@ -395,6 +403,9 @@ class SimulationRun:
         )
         world._clients = [submit, meta, plain]
         self._submit, self._meta, self._plain = submit, meta, plain
+        from repro.shell.runtime import WorkflowRuntime
+
+        self._wf_runtime = WorkflowRuntime.from_deployment(world.deployment)
 
     # -- fault-event application ----------------------------------------------
 
@@ -530,12 +541,88 @@ class SimulationRun:
                     world.client_errors += 1
         if tick % 3 == 2:
             replication.run_anti_entropy(1)
+        if tick % 6 == 3:
+            # a three-stage pipeline through the workflow engine: placement
+            # -> durable submission -> SRB collect, journaled on the UI
+            # host's disk; the workflow-provenance oracle audits its stores
+            self._run_workflow(world, tick)
         # one SLO evaluation per tick: snapshot the RED counters into a
         # time bucket and transition burn-rate alerts, so the slo-burn
         # oracle checks alert state at the tick that changed it
         engine = world.slo_engine
         if engine is not None:
             engine.evaluate()
+
+    def _run_workflow(self, world: SimWorld, tick: int) -> None:
+        """One seeded pipeline run through :mod:`repro.shell`.
+
+        A :class:`ServiceCrash` surfacing mid-DAG kills the executor;
+        the harness plays supervisor — bounce the host, open a *new*
+        executor over the same journal, and let recovery re-drive only
+        the unfinished stages.
+        """
+        from repro.durability.journal import Journal
+        from repro.shell import (
+            GlobusrunStage,
+            MetaScheduleStage,
+            SrbPutStage,
+            Workflow,
+            WorkflowExecutor,
+            const,
+            ref,
+        )
+
+        jobs = jobs_to_xml([
+            ("", JobSpec(
+                name=f"wf{tick}", executable="echo", arguments=[f"wf-{tick}"],
+            ))
+        ])
+        workflow = Workflow("sim-pipeline", [
+            MetaScheduleStage("place", inputs={"jobs": const(jobs)}),
+            GlobusrunStage("run", inputs={"jobs": ref("place", "placed")}),
+            SrbPutStage(
+                "collect",
+                path=f"/home/portal/sim-wf-{tick}.out",
+                inputs={"results": ref("run", "results")},
+            ),
+        ])
+        disk = world.network.disk("ui.gridportal.org")
+        load = world.deployment.load
+        admission = load.controllers.get("Globusrun") if load else None
+
+        def attempt():
+            journal = Journal(disk, f"wf-sim-{tick}", clock=world.clock)
+            executor = WorkflowExecutor(
+                workflow,
+                self._wf_runtime,
+                journal=journal,
+                run_id=f"sim-{self.seed}-wf-{tick}",
+                seed=self._seed_int(f"wf-{tick}"),
+                admission=admission,
+                max_width=2,
+            )
+            return executor, executor.run()
+
+        try:
+            executor, result = attempt()
+        except ServiceCrash:
+            world.restart(GLOBUSRUN_HOST)
+            try:
+                executor, result = attempt()  # resume from the journal
+            except (ServiceCrash, *WORKLOAD_ERRORS):
+                world.client_errors += 1
+                return
+        except WORKLOAD_ERRORS:
+            world.client_errors += 1
+            return
+        world.workflow_stores.append(executor.store)
+        world.workflows_run += 1
+        world.workflow_stages_ok += len(result.completed)
+        world.workflow_stages_failed += len(result.failed)
+        for stage in sorted(result.completed):
+            world.acked_stage_records.append(
+                (executor.store, result.completed[stage])
+            )
 
     # -- oracle plumbing ------------------------------------------------------
 
@@ -620,6 +707,10 @@ class SimulationRun:
             "client_errors": world.client_errors,
             "acked_batches": len(world.acked_batches),
             "acked_context": len(world.acked_context),
+            "workflows_run": world.workflows_run,
+            "workflow_stages_ok": world.workflow_stages_ok,
+            "workflow_stages_failed": world.workflow_stages_failed,
+            "acked_stage_records": len(world.acked_stage_records),
             "hops_observed": len(world.hop_records),
             "slo_alerts_fired": sum(
                 1 for entry in (engine.alert_log if engine else ())

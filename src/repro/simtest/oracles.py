@@ -417,3 +417,53 @@ class SloBurnOracle(Oracle):
                 stuck=stuck,
             ))
         return violations
+
+
+@register_oracle
+class WorkflowProvenanceOracle(Oracle):
+    """Workflow provenance is immutable and acked stage outputs survive.
+
+    Every provenance store the workload created must verify end to end —
+    each blob and record hashes to its address, and every input, output,
+    and parent link resolves — at every tick and after heal.  And every
+    stage completion the executor acknowledged (sealed record address
+    returned in a :class:`~repro.shell.executor.WorkflowResult`) must
+    still resolve, with all its output blobs present: a crash-resumed
+    executor re-drives *unfinished* stages, never un-writes finished
+    ones.
+    """
+
+    name = "workflow-provenance"
+    description = "provenance chains verify; no acked stage output is lost"
+    when = ("tick", "final")
+
+    def check(self, world):
+        violations = []
+        for index, store in enumerate(getattr(world, "workflow_stores", [])):
+            for problem in store.verify():
+                violations.append(self.violation(
+                    world,
+                    f"workflow store {index} provenance broken: {problem}",
+                    store=index,
+                ))
+        for store, address in getattr(world, "acked_stage_records", []):
+            if not store.has_record(address):
+                violations.append(self.violation(
+                    world,
+                    f"acked stage record {address} vanished from its store",
+                    record=address,
+                ))
+                continue
+            record = store.record(address)
+            for port in sorted(record.get("outputs", {})):
+                blob = record["outputs"][port]
+                if not store.has_blob(blob):
+                    violations.append(self.violation(
+                        world,
+                        f"stage {record.get('stage')!r} acked output "
+                        f"{port!r} blob {blob} is gone",
+                        record=address,
+                        port=port,
+                        blob=blob,
+                    ))
+        return violations

@@ -1,0 +1,22 @@
+"""Workflow sins: a keyless stage, a tampered sealed record."""
+
+
+class WorkflowStage:
+    """Stand-in for the shell base (matched by name, like the real one)."""
+
+    def idempotency_key(self, run):
+        raise NotImplementedError
+
+    def execute(self, ctx, inputs):
+        raise NotImplementedError
+
+
+class KeylessStage(WorkflowStage):  # expected: REP801 (no idempotency_key)
+    def execute(self, ctx, inputs):
+        return {"out": "done"}
+
+
+def tamper(store, address):
+    record = store.record(address)
+    record["status"] = "ok"  # expected: REP802 (sealed record mutated)
+    return record

@@ -20,6 +20,7 @@ FIXTURE_CODES = {
     "REP501", "REP502",
     "REP601", "REP602",
     "REP701", "REP702",
+    "REP801", "REP802",
 }
 
 

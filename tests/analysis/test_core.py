@@ -124,11 +124,11 @@ def test_select_and_ignore_filter_codes(analyze):
     assert codes(no_time) == ["REP102"]
 
 
-def test_registry_exposes_all_seven_checkers():
+def test_registry_exposes_all_eight_checkers():
     names = [c.name for c in all_checkers()]
     assert names == [
         "determinism", "faults", "contracts", "headers", "hygiene",
-        "simtest", "slo",
+        "simtest", "slo", "workflow",
     ]
     assert get_checker("faults").codes.keys() >= {"REP201", "REP202", "REP203"}
 

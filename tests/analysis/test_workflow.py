@@ -1,0 +1,158 @@
+"""WorkflowChecker: REP801-REP802."""
+
+from repro.analysis.checkers.workflow import WorkflowChecker
+
+from tests.analysis.conftest import codes
+
+CHECKER = [WorkflowChecker()]
+
+STAGE_BASE = """\
+    class WorkflowStage:
+        output_ports = ("out",)
+
+        def idempotency_key(self, run):
+            raise NotImplementedError
+
+        def execute(self, ctx, inputs):
+            raise NotImplementedError
+"""
+
+
+def test_stage_without_idempotency_key(analyze):
+    result = analyze({
+        "mod.py": STAGE_BASE + """\
+
+
+    class KeylessStage(WorkflowStage):
+        def execute(self, ctx, inputs):
+            return {"out": "x"}
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP801"]
+
+
+def test_stage_declaring_its_key_is_clean(analyze):
+    result = analyze({
+        "mod.py": STAGE_BASE + """\
+
+
+    class KeyedStage(WorkflowStage):
+        def idempotency_key(self, run):
+            return f"wf:{run}:keyed"
+
+        def execute(self, ctx, inputs):
+            return {"out": "x"}
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_key_inherited_from_intermediate_base_is_clean(analyze):
+    # the key may live on an abstract stem between the root and the leaf
+    result = analyze({
+        "mod.py": STAGE_BASE + """\
+
+
+    class KeyedStem(WorkflowStage):
+        def idempotency_key(self, run):
+            return f"wf:{run}:stem"
+
+
+    class LeafStage(KeyedStem):
+        def execute(self, ctx, inputs):
+            return {"out": "x"}
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_root_definition_does_not_satisfy_rep801(analyze):
+    # the root's idempotency_key only raises; inheriting it is the bug
+    result = analyze({
+        "mod.py": STAGE_BASE + """\
+
+
+    class Stem(WorkflowStage):
+        retries = 5
+
+
+    class StillKeyless(Stem):
+        def execute(self, ctx, inputs):
+            return {"out": "x"}
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP801"]
+
+
+def test_abstract_stem_without_execute_is_skipped(analyze):
+    result = analyze({
+        "mod.py": STAGE_BASE + """\
+
+
+    class Stem(WorkflowStage):
+        retries = 5
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_stage_lookalike_outside_hierarchy_is_ignored(analyze):
+    result = analyze({
+        "mod.py": """\
+    class FreeAgent:
+        def execute(self, ctx, inputs):
+            return {"out": "x"}
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_subscript_assignment_to_sealed_record(analyze):
+    result = analyze({
+        "mod.py": """\
+    def tamper(store, address):
+        record = store.record(address)
+        record["status"] = "ok"
+        return record
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP802"]
+    assert "sealed provenance record" in result.findings[0].message
+
+
+def test_delete_and_mutator_call_on_sealed_record(analyze):
+    result = analyze({
+        "mod.py": """\
+    def scrub(store, address):
+        rec = store.get_record(address)
+        del rec["error"]
+        rec.update({"status": "ok"})
+        return rec
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == ["REP802", "REP802"]
+
+
+def test_reading_a_sealed_record_is_clean(analyze):
+    result = analyze({
+        "mod.py": """\
+    def inspect(store, address):
+        record = store.record(address)
+        outputs = record.get("outputs", {})
+        return sorted(outputs)
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []
+
+
+def test_mutating_an_ordinary_dict_is_not_rep802(analyze):
+    result = analyze({
+        "mod.py": """\
+    def build(store):
+        draft = {"status": "pending"}
+        draft["status"] = "ok"
+        draft.update({"stage": "collect"})
+        return draft
+        """
+    }, checkers=CHECKER)
+    assert codes(result) == []

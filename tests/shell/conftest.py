@@ -1,0 +1,134 @@
+"""Shared helpers for the workflow-engine tests.
+
+``sweep_workflow`` is the acceptance shape: one batch-script root fanning
+out into *width* metaschedule→globusrun branches, collected by one SRB
+put.  ``EchoStage`` / ``FlakyStage`` / ``CrashingStage`` are pure in-memory
+stages for the executor-semantics and property tests — no SOAP calls, so a
+:class:`~repro.shell.runtime.WorkflowRuntime` over an empty endpoint map
+suffices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ServiceUnavailableError
+from repro.grid.jobs import JobSpec
+from repro.services.jobsubmit import jobs_to_xml
+from repro.shell import (
+    BatchScriptStage,
+    GlobusrunStage,
+    MetaScheduleStage,
+    SrbPutStage,
+    Workflow,
+    WorkflowRuntime,
+    WorkflowStage,
+    const,
+    ref,
+)
+from repro.transport.network import ServiceCrash, VirtualNetwork
+
+
+def branch_jobs(tag: str, index: int) -> str:
+    """A host-less single-job batch document for one sweep branch."""
+    return jobs_to_xml([
+        ("", JobSpec(
+            name=f"{tag}-{index}",
+            executable="echo",
+            arguments=[f"{tag}-{index}"],
+        )),
+    ])
+
+
+def sweep_workflow(width: int = 8, *, tag: str = "sweep") -> Workflow:
+    """The acceptance fan-out: script -> (place -> run) x width -> collect."""
+    stages: list[WorkflowStage] = [
+        BatchScriptStage(
+            "script",
+            scheduler="PBS",
+            params={"executable": "/bin/sweep", "cpus": "1"},
+        ),
+    ]
+    collect_inputs = {}
+    for index in range(width):
+        stages.append(MetaScheduleStage(
+            f"place-{index}",
+            inputs={"jobs": const(branch_jobs(tag, index))},
+        ))
+        stages.append(GlobusrunStage(
+            f"run-{index}",
+            inputs={
+                "jobs": ref(f"place-{index}", "placed"),
+                "script": ref("script", "script"),
+            },
+        ))
+        collect_inputs[f"r{index}"] = ref(f"run-{index}", "results")
+    stages.append(SrbPutStage(
+        "collect", path=f"/home/portal/{tag}.out", inputs=collect_inputs,
+    ))
+    return Workflow(f"{tag}-wf", stages)
+
+
+class EchoStage(WorkflowStage):
+    """A pure stage: output is a deterministic function of name + inputs."""
+
+    kind = "echo"
+    output_ports = ("out",)
+
+    def idempotency_key(self, run: str) -> str:
+        return f"wf:{run}:{self.name}:echo"
+
+    def execute(self, ctx, inputs):
+        payload = ";".join(f"{port}={inputs[port]}" for port in sorted(inputs))
+        return {"out": f"{self.name}({payload})"}
+
+
+class FlakyStage(EchoStage):
+    """Fails with a retryable fault the first *failures* attempts."""
+
+    kind = "flaky"
+
+    def __init__(self, name, *, failures, **kw):
+        super().__init__(name, **kw)
+        self.failures = failures
+        self.attempts_seen = 0
+
+    def execute(self, ctx, inputs):
+        self.attempts_seen += 1
+        if self.attempts_seen <= self.failures:
+            raise ServiceUnavailableError(
+                f"stage {self.name} transiently down "
+                f"(attempt {self.attempts_seen})"
+            )
+        return super().execute(ctx, inputs)
+
+
+class CrashingStage(EchoStage):
+    """Dies with the process-death primitive on its first drive only."""
+
+    kind = "crashing"
+
+    def __init__(self, name, **kw):
+        super().__init__(name, **kw)
+        self.crashes = 0
+
+    def execute(self, ctx, inputs):
+        if self.crashes == 0:
+            self.crashes += 1
+            raise ServiceCrash(f"host died driving {self.name}")
+        return super().execute(ctx, inputs)
+
+
+@pytest.fixture
+def stub_runtime() -> WorkflowRuntime:
+    """A runtime over an empty endpoint map: enough for pure stages."""
+    return WorkflowRuntime(VirtualNetwork(), {})
+
+
+@pytest.fixture
+def fresh_deployment():
+    """A private full deployment (the shared module-scoped one must not
+    see hosts crashed or services driven to terminal failure)."""
+    from repro.portal.uiserver import PortalDeployment
+
+    return PortalDeployment.build()

@@ -1,0 +1,114 @@
+"""The acceptance drill: crash mid-DAG, resume from journals, and get a
+provenance tree byte-identical to the uninterrupted same-seed run.
+
+Two *fresh* deployments (own networks, own clocks) run the same seeded
+width-8 fan-out.  One runs straight through.  The other loses its executor
+process seven stages in **and** has the Globusrun host crash and restart
+from its journal; a new executor over the surviving UI-disk journal then
+finishes the DAG.  Because sealed records carry no clocks, no attempt
+counts, and no trace ids — and because stage idempotency keys make
+re-driven submissions deduplicate — the two provenance trees must match
+byte for byte.
+"""
+
+import pytest
+
+from repro.durability.journal import Journal
+from repro.portal.uiserver import PortalDeployment, UserInterfaceServer
+from repro.shell import ProvenanceStore, WorkflowExecutor, provenance_tree
+from tests.shell.conftest import sweep_workflow
+
+WIDTH = 8
+SEED = 13
+RUN = "run-accept"
+JOURNAL = "wf-accept"
+UI_HOST = "ui.gridportal.org"
+GLOBUSRUN_HOST = "globusrun.sdsc.edu"
+CUT = 7  # stages driven before the crash (mid-DAG: 7 of 18)
+
+
+def _executor(deployment):
+    ui = UserInterfaceServer(deployment, host=UI_HOST)
+    return ui.workflow_executor(
+        sweep_workflow(WIDTH, tag="accept"),
+        run_id=RUN,
+        seed=SEED,
+        journal_name=JOURNAL,
+    )
+
+
+def _crash_and_restart_globusrun(deployment):
+    """Supervisor semantics: the host dies and is rebuilt from its disk."""
+    network = deployment.network
+    if network.is_up(GLOBUSRUN_HOST):
+        network.take_down(GLOBUSRUN_HOST)
+    network.bring_up(GLOBUSRUN_HOST)
+    deployment.rebuilders[GLOBUSRUN_HOST]()
+
+
+@pytest.fixture(scope="module")
+def uninterrupted():
+    deployment = PortalDeployment.build(durable=True)
+    executor = _executor(deployment)
+    result = executor.run()
+    assert result.done, result.failed
+    return executor, result
+
+
+@pytest.fixture(scope="module")
+def resumed():
+    deployment = PortalDeployment.build(durable=True)
+    first = _executor(deployment)
+    partial = first.run(max_stages=CUT)
+    assert len(partial.stage_order) == CUT
+    assert first.pending()  # genuinely mid-DAG
+    # the crash: the executor process is gone, and so is the Globusrun host
+    _crash_and_restart_globusrun(deployment)
+    second = _executor(deployment)  # same journal name -> recovery path
+    result = second.run()
+    assert result.done, result.failed
+    return deployment, first, second, result
+
+
+def test_resume_recovers_finished_stages_and_drives_the_rest(resumed):
+    _deployment, first, second, result = resumed
+    redriven = set(result.stage_order)
+    assert len(redriven) == 2 * WIDTH + 2 - CUT
+    assert redriven.isdisjoint(first.completed)  # finished stages stay done
+    for stage, address in first.completed.items():
+        assert result.completed[stage] == address
+
+
+def test_provenance_tree_byte_identical_to_uninterrupted(uninterrupted,
+                                                         resumed):
+    baseline_executor, baseline = uninterrupted
+    _deployment, _first, second, result = resumed
+    assert result.completed == baseline.completed
+    tree_a = provenance_tree(baseline_executor.store, RUN)
+    tree_b = provenance_tree(second.store, RUN)
+    assert tree_a == tree_b
+    assert baseline_executor.store.verify() == []
+    assert second.store.verify() == []
+
+
+def test_store_rebuilt_from_surviving_journal_resolves_everything(resumed):
+    deployment, _first, _second, result = resumed
+    journal = Journal(deployment.network.disk(UI_HOST), JOURNAL)
+    rebuilt = ProvenanceStore(journal)
+    assert rebuilt.verify() == []
+    for address in result.completed.values():
+        assert rebuilt.has_record(address)
+
+
+def test_stage_starts_never_double_submit(resumed):
+    """Idempotency keys hold across incarnations: the re-driven stages
+    used the same keys, so the journal shows one key per stage even where
+    a stage was started by both incarnations."""
+    deployment, _first, _second, _result = resumed
+    journal = Journal(deployment.network.disk(UI_HOST), JOURNAL)
+    keys: dict[str, set] = {}
+    for entry in journal.by_kind("stage-start"):
+        keys.setdefault(entry.data["stage"], set()).add(entry.data["key"])
+    assert keys
+    for stage, stage_keys in sorted(keys.items()):
+        assert len(stage_keys) == 1, (stage, stage_keys)

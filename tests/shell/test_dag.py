@@ -1,0 +1,189 @@
+"""The workflow definition layer: build-time validation and canonical form."""
+
+import pytest
+
+from repro.faults import WorkflowError
+from repro.shell import (
+    GlobusrunStage,
+    MetaScheduleStage,
+    SoapCallStage,
+    SrbGetStage,
+    SrbPutStage,
+    Workflow,
+    const,
+    ref,
+)
+from repro.wsdl.model import WsdlDocument, WsdlOperation, WsdlPart
+from tests.shell.conftest import EchoStage, sweep_workflow
+
+
+def chain(*names):
+    """name[0] -> name[1] -> ... as EchoStages."""
+    stages = [EchoStage(names[0], inputs={"seed": const("s")})]
+    for prev, name in zip(names, names[1:]):
+        stages.append(EchoStage(name, inputs={"in": ref(prev)}))
+    return stages
+
+
+# -- stage-level validation -----------------------------------------------------
+
+
+def test_globusrun_stage_requires_jobs_input():
+    with pytest.raises(WorkflowError, match="jobs"):
+        GlobusrunStage("run")
+
+
+def test_metaschedule_stage_requires_jobs_input():
+    with pytest.raises(WorkflowError, match="jobs"):
+        MetaScheduleStage("place")
+
+
+def test_srb_put_requires_at_least_one_input():
+    with pytest.raises(WorkflowError, match="at least one input"):
+        SrbPutStage("collect", path="/home/x")
+
+
+def test_soap_call_bindings_become_arg_ports():
+    stage = SoapCallStage(
+        "probe",
+        service="monitoring",
+        method="tail",
+        args=["literal-first", ref("other", "out")],
+    )
+    assert stage.args == [("literal", "literal-first"), ("port", "arg1")]
+    assert set(stage.inputs) == {"arg1"}
+
+
+# -- graph validation ------------------------------------------------------------
+
+
+def test_duplicate_stage_name_rejected():
+    with pytest.raises(WorkflowError, match="twice"):
+        Workflow("w", [
+            EchoStage("a", inputs={"seed": const("x")}),
+            EchoStage("a", inputs={"seed": const("y")}),
+        ])
+
+
+def test_empty_stage_name_rejected():
+    with pytest.raises(WorkflowError, match="empty name"):
+        Workflow("w", [EchoStage("", inputs={"seed": const("x")})])
+
+
+def test_dangling_input_rejected():
+    with pytest.raises(WorkflowError, match="dangling"):
+        Workflow("w", [EchoStage("a", inputs={"in": ref("ghost")})])
+
+
+def test_undeclared_output_port_rejected():
+    with pytest.raises(WorkflowError, match="undeclared output port"):
+        Workflow("w", [
+            SrbGetStage("fetch", path="/home/x"),
+            # SrbGetStage only declares "data", not "out"
+            EchoStage("use", inputs={"in": ref("fetch", "out")}),
+        ])
+
+
+def test_self_reference_rejected():
+    with pytest.raises(WorkflowError, match="references itself"):
+        Workflow("w", [EchoStage("a", inputs={"in": ref("a")})])
+
+
+def test_cycle_rejected():
+    with pytest.raises(WorkflowError, match="cycle"):
+        Workflow("w", [
+            EchoStage("a", inputs={"in": ref("b")}),
+            EchoStage("b", inputs={"in": ref("a")}),
+        ])
+
+
+# -- structure accessors ---------------------------------------------------------
+
+
+def test_topo_order_respects_edges_and_is_deterministic():
+    wf = sweep_workflow(4)
+    order = wf.topo_order()
+    position = {name: index for index, name in enumerate(order)}
+    for name in wf.stages:
+        for parent in wf.parents(name):
+            assert position[parent] < position[name]
+    assert wf.topo_order() == order
+    assert sweep_workflow(4).topo_order() == order
+
+
+def test_roots_parents_children_descendants():
+    wf = Workflow("w", chain("a", "b", "c"))
+    assert wf.roots() == ("a",)
+    assert wf.parents("c") == ("b",)
+    assert wf.children("a") == ("b",)
+    assert wf.descendants("a") == ("b", "c")
+    assert wf.descendants("c") == ()
+
+
+# -- canonical form --------------------------------------------------------------
+
+
+def test_digest_stable_across_rebuilds():
+    assert sweep_workflow(3).digest() == sweep_workflow(3).digest()
+
+
+def test_digest_changes_with_definition():
+    assert sweep_workflow(3).digest() != sweep_workflow(4).digest()
+
+
+def test_to_dict_carries_schema_and_bindings():
+    wf = Workflow("w", chain("a", "b"))
+    doc = wf.to_dict()
+    assert doc["schema"] == "repro.shell.workflow/v1"
+    assert doc["stages"]["b"]["inputs"]["in"] == {
+        "kind": "ref", "stage": "a", "port": "out",
+    }
+
+
+# -- WSDL arity checking ---------------------------------------------------------
+
+
+ADDER = WsdlDocument(
+    service_name="Adder",
+    target_namespace="urn:test:adder",
+    endpoint="http://adder/soap",
+    operations=[
+        WsdlOperation(name="add", inputs=[WsdlPart("a"), WsdlPart("b")]),
+    ],
+)
+
+
+def test_soap_call_arity_checked_against_wsdl():
+    with pytest.raises(WorkflowError, match="declares 2 part"):
+        Workflow(
+            "w",
+            [SoapCallStage("sum", service="adder", method="add", args=["1"])],
+            wsdls={"adder": ADDER},
+        )
+
+
+def test_soap_call_unknown_method_rejected():
+    with pytest.raises(WorkflowError, match="does not define"):
+        Workflow(
+            "w",
+            [SoapCallStage("sub", service="adder", method="subtract",
+                           args=["1", "2"])],
+            wsdls={"adder": ADDER},
+        )
+
+
+def test_soap_call_matching_arity_accepted():
+    wf = Workflow(
+        "w",
+        [SoapCallStage("sum", service="adder", method="add", args=["1", "2"])],
+        wsdls={"adder": ADDER},
+    )
+    assert wf.topo_order() == ("sum",)
+
+
+def test_soap_call_without_wsdl_on_file_is_unchecked():
+    wf = Workflow(
+        "w",
+        [SoapCallStage("any", service="unknown", method="anything", args=[])],
+    )
+    assert wf.topo_order() == ("any",)

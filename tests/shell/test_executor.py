@@ -1,0 +1,138 @@
+"""The deterministic executor over a live deployment: end-to-end, resume,
+reporting, and the portal surface."""
+
+import pytest
+
+from repro.durability.journal import Journal
+from repro.faults import WorkflowError
+from repro.portal.uiserver import UserInterfaceServer
+from repro.shell import (
+    ProvenanceStore,
+    Workflow,
+    WorkflowExecutor,
+    const,
+    critical_path,
+    provenance_tree,
+    render_report,
+    stage_timings,
+)
+from tests.shell.conftest import EchoStage, sweep_workflow
+
+WIDTH = 8
+UI_HOST = "ui.gridportal.org"
+
+
+@pytest.fixture(scope="module")
+def ui(deployment):
+    return UserInterfaceServer(deployment, host="ui.shell-tests")
+
+
+def test_sweep_runs_end_to_end(ui):
+    workflow = sweep_workflow(WIDTH, tag="e2e")
+    executor = ui.workflow_executor(workflow, run_id="run-e2e", seed=7)
+    result = executor.run()
+    assert result.done, result.failed
+    # script + width x (place, run) + collect, all sealed
+    assert len(result.completed) == 2 + 2 * WIDTH
+    assert result.skipped == ()
+    assert len(result.stage_order) == len(result.completed)
+    assert executor.store.verify() == []
+    # every sealed record resolves its output blobs to real content
+    for address in result.completed.values():
+        record = executor.store.record(address)
+        for port in record["outputs"]:
+            assert executor.store.blob(record["outputs"][port])
+
+
+def test_stage_order_is_seeded_not_alphabetical(ui):
+    order_a = ui.workflow_executor(
+        sweep_workflow(WIDTH, tag="ord-a"), run_id="run-oa", seed=3,
+    ).run().stage_order
+    order_b = ui.workflow_executor(
+        sweep_workflow(WIDTH, tag="ord-b"), run_id="run-ob", seed=4,
+    ).run().stage_order
+    # same DAG shape, different seeds: the branch start order differs
+    # (the root and the collect barrier are forced by the DAG itself)
+    assert order_a != order_b
+
+
+def test_resume_refuses_a_different_definition(ui):
+    workflow = sweep_workflow(2, tag="refuse")
+    ui.workflow_executor(
+        workflow, run_id="run-refuse", journal_name="wf-refuse",
+    ).run()
+    with pytest.raises(WorkflowError, match="refusing to resume"):
+        ui.workflow_executor(
+            sweep_workflow(3, tag="refuse"),
+            run_id="run-refuse",
+            journal_name="wf-refuse",
+        )
+
+
+def test_report_renders_tree_timings_and_critical_path(ui, deployment):
+    workflow = sweep_workflow(3, tag="report")
+    executor = ui.workflow_executor(
+        workflow, run_id="run-report", seed=11, journal_name="wf-report",
+    )
+    result = executor.run()
+    assert result.done
+
+    journal = Journal(deployment.network.disk("ui.shell-tests"), "wf-report")
+    timings = stage_timings(journal)
+    assert set(timings) == set(result.completed)
+    path = critical_path(workflow, timings)
+    # the critical path is a real root-to-leaf chain ending at the barrier
+    assert path["path"][-1] == "collect"
+    assert path["length"] <= result.makespan or path["length"] == 0.0
+
+    report = render_report(workflow, executor.store, journal, "run-report")
+    assert "provenance chain: OK" in report
+    assert "critical path" in report
+    for stage in result.completed:
+        assert stage in report
+
+
+def test_provenance_tree_is_content_only(ui):
+    workflow = sweep_workflow(2, tag="tree")
+    executor = ui.workflow_executor(workflow, run_id="run-tree", seed=1)
+    result = executor.run()
+    tree = provenance_tree(executor.store, "run-tree")
+    assert tree.startswith("workflow run run-tree: 6 stage record(s)")
+    for stage, address in result.completed.items():
+        assert stage in tree
+        assert address in tree
+
+
+def test_workflow_portlet_renders_the_chain(ui):
+    workflow = sweep_workflow(2, tag="portlet")
+    executor = ui.workflow_executor(workflow, run_id="run-portlet", seed=2)
+    result = executor.run()
+    portlet = ui.add_workflow_portlet(executor.store, "run-portlet")
+    markup = portlet.render("http://portal/page")
+    for stage in result.completed:
+        assert stage in markup
+    assert "chain verified" in markup
+
+
+def test_unjournaled_executor_is_memory_only(stub_runtime):
+    workflow = Workflow("mem", [EchoStage("a", inputs={"seed": const("x")})])
+    executor = WorkflowExecutor(workflow, stub_runtime, run_id="run-m", seed=0)
+    result = executor.run()
+    assert result.done
+    assert isinstance(executor.store, ProvenanceStore)
+    assert executor.journal is None
+
+
+def test_max_stages_stops_mid_dag(stub_runtime):
+    workflow = Workflow("partial", [
+        EchoStage("a", inputs={"seed": const("x")}),
+        EchoStage("b", inputs={"in": const("y")}),
+        EchoStage("c", inputs={"in": const("z")}),
+    ])
+    executor = WorkflowExecutor(workflow, stub_runtime, run_id="run-p", seed=0)
+    result = executor.run(max_stages=2)
+    assert len(result.stage_order) == 2
+    assert len(executor.pending()) == 1
+    rest = executor.run()
+    assert not executor.pending()
+    assert len(rest.stage_order) == 1

@@ -1,0 +1,149 @@
+"""Failure paths: retry budgets, terminal branches, crash semantics.
+
+The contract under test: a stage that exhausts its retry budget lands as a
+*failed terminal* node — classified under the common fault taxonomy,
+sealed into provenance — its descendants are skipped, and independent
+branches keep running.  A :class:`ServiceCrash` is different in kind: it
+kills the executor (no stage-done lands) so a resumed incarnation
+re-drives the stage.
+"""
+
+import pytest
+
+from repro.durability.journal import Journal
+from repro.portal.uiserver import UserInterfaceServer
+from repro.shell import (
+    BatchScriptStage,
+    GlobusrunStage,
+    MetaScheduleStage,
+    SrbPutStage,
+    Workflow,
+    WorkflowExecutor,
+    const,
+    provenance_tree,
+    ref,
+)
+from repro.transport.network import ServiceCrash, VirtualNetwork
+from tests.shell.conftest import (
+    CrashingStage,
+    EchoStage,
+    FlakyStage,
+    branch_jobs,
+)
+
+
+def test_non_retryable_failure_is_terminal_and_branch_is_skipped(
+    fresh_deployment,
+):
+    ui = UserInterfaceServer(fresh_deployment, host="ui.fail")
+    workflow = Workflow("half-broken", [
+        # missing the required 'executable' param: Portal.InvalidRequest,
+        # non-retryable, so the budget is not even spent
+        BatchScriptStage("bad-script", scheduler="PBS", params={}),
+        SrbPutStage("bad-collect", path="/home/portal/bad.out",
+                    inputs={"s": ref("bad-script", "script")}),
+        # an independent good branch
+        MetaScheduleStage("good-place",
+                          inputs={"jobs": const(branch_jobs("good", 0))}),
+        GlobusrunStage("good-run",
+                       inputs={"jobs": ref("good-place", "placed")}),
+        SrbPutStage("good-collect", path="/home/portal/good.out",
+                    inputs={"r": ref("good-run", "results")}),
+    ])
+    executor = ui.workflow_executor(workflow, run_id="run-fail", seed=5)
+    result = executor.run()
+
+    assert not result.done
+    assert set(result.failed) == {"bad-script"}
+    assert result.skipped == ("bad-collect",)
+    assert set(result.completed) == {"good-place", "good-run", "good-collect"}
+
+    record = executor.store.record(result.failed["bad-script"])
+    assert record["status"] == "failed"
+    assert record["error"]["code"] == "Portal.InvalidRequest"
+    assert record["error"]["attempts"] == "1"  # non-retryable: no budget spent
+    assert executor.store.verify() == []
+
+    tree = provenance_tree(executor.store, "run-fail")
+    assert "error=Portal.InvalidRequest" in tree
+
+
+def test_retryable_failure_exhausts_the_declared_budget(stub_runtime):
+    stage = FlakyStage("always-down", failures=99,
+                       inputs={"seed": const("x")}, retries=3)
+    workflow = Workflow("doomed", [stage])
+    executor = WorkflowExecutor(workflow, stub_runtime, run_id="run-x", seed=0)
+    result = executor.run()
+    assert set(result.failed) == {"always-down"}
+    record = executor.store.record(result.failed["always-down"])
+    assert record["error"]["code"] == "Portal.ServiceUnavailable"
+    assert record["error"]["attempts"] == "3"
+    assert stage.attempts_seen == 3
+
+
+def test_retryable_failure_within_budget_recovers(stub_runtime):
+    clock = stub_runtime.network.clock
+    before = clock.now
+    stage = FlakyStage("shaky", failures=2,
+                       inputs={"seed": const("x")}, retries=3)
+    workflow = Workflow("shaken", [stage])
+    result = WorkflowExecutor(
+        workflow, stub_runtime, run_id="run-y", seed=0,
+    ).run()
+    assert result.done
+    assert stage.attempts_seen == 3
+    assert clock.now > before  # backoff advanced the virtual clock
+
+
+def test_backoff_schedule_is_seeded(stub_runtime):
+    def elapsed(seed):
+        runtime = type(stub_runtime)(VirtualNetwork(), {})
+        stage = FlakyStage("shaky", failures=2,
+                           inputs={"seed": const("x")}, retries=3)
+        WorkflowExecutor(
+            Workflow("w", [stage]), runtime, run_id="run-z", seed=seed,
+        ).run()
+        return runtime.network.clock.now
+
+    assert elapsed(1) == elapsed(1)
+    assert elapsed(1) != elapsed(2)
+
+
+def test_service_crash_kills_the_executor_and_resume_redrives(stub_runtime):
+    network = stub_runtime.network
+    disk = network.disk("ui.crash")
+    stage = CrashingStage("fragile", inputs={"seed": const("x")})
+    workflow = Workflow("crashy", [
+        stage,
+        EchoStage("after", inputs={"in": ref("fragile")}),
+    ])
+    journal = Journal(disk, "wf-crash", clock=network.clock)
+    executor = WorkflowExecutor(
+        workflow, stub_runtime, journal=journal, run_id="run-c", seed=0,
+    )
+    with pytest.raises(ServiceCrash):
+        executor.run()
+    # the stage started but never settled: that is what resume keys off
+    starts = [r.data["stage"] for r in journal.by_kind("stage-start")]
+    dones = [r.data["stage"] for r in journal.by_kind("stage-done")]
+    assert "fragile" in starts and "fragile" not in dones
+
+    resumed = WorkflowExecutor(
+        workflow, stub_runtime,
+        journal=Journal(disk, "wf-crash", clock=network.clock),
+    )
+    result = resumed.run()
+    assert result.done
+    assert result.stage_order == ("fragile", "after")
+    assert resumed.store.verify() == []
+
+
+def test_crash_is_not_counted_against_the_retry_budget(stub_runtime):
+    stage = CrashingStage("fragile", inputs={"seed": const("x")}, retries=1)
+    workflow = Workflow("w", [stage])
+    executor = WorkflowExecutor(workflow, stub_runtime, run_id="run-d", seed=0)
+    with pytest.raises(ServiceCrash):
+        executor.run()
+    # a crash is not a classified stage failure: nothing settled
+    assert executor.failed == {}
+    assert executor.pending() == ("fragile",)

@@ -1,0 +1,188 @@
+"""The content-addressed provenance store: immutability and recovery."""
+
+import json
+
+import pytest
+
+from repro.durability.journal import Journal
+from repro.faults import (
+    ResourceExhaustedError,
+    ResourceNotFoundError,
+    WorkflowError,
+)
+from repro.shell import (
+    PROVENANCE_SCHEMA,
+    ProvenanceStore,
+    content_address,
+    make_record,
+)
+from repro.transport.network import VirtualNetwork
+
+
+def record_for(stage: str, *, inputs=None, outputs=None, parents=None,
+               status="ok", error=None) -> dict:
+    return make_record(
+        workflow="w",
+        workflow_digest="d" * 64,
+        run="run-t",
+        stage=stage,
+        kind="echo",
+        command={},
+        inputs=dict(inputs or {}),
+        outputs=dict(outputs or {}),
+        parents=dict(parents or {}),
+        status=status,
+        error=error,
+    )
+
+
+# -- blobs -----------------------------------------------------------------------
+
+
+def test_blob_address_is_sha256_of_content():
+    store = ProvenanceStore()
+    address = store.put_blob("hello")
+    assert address == content_address("hello")
+    assert store.blob(address) == "hello"
+    assert store.has_blob(address)
+
+
+def test_put_blob_is_idempotent():
+    store = ProvenanceStore()
+    assert store.put_blob("x") == store.put_blob("x")
+
+
+def test_missing_blob_raises():
+    store = ProvenanceStore()
+    with pytest.raises(ResourceNotFoundError):
+        store.blob("0" * 64)
+
+
+# -- records ---------------------------------------------------------------------
+
+
+def test_seal_rejects_wrong_schema():
+    store = ProvenanceStore()
+    bad = record_for("a")
+    bad["schema"] = "something/v9"
+    with pytest.raises(WorkflowError, match="schema"):
+        store.seal(bad)
+
+
+def test_seal_is_idempotent_and_content_addressed():
+    store = ProvenanceStore()
+    record = record_for("a")
+    address = store.seal(record)
+    assert store.seal(record_for("a")) == address
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    assert address == content_address(canonical)
+
+
+def test_mutating_a_retrieved_record_cannot_reach_the_sealed_state():
+    store = ProvenanceStore()
+    address = store.seal(record_for("a"))
+    fetched = store.record(address)
+    fetched.clear()
+    assert store.record(address)["stage"] == "a"
+    assert store.verify() == []
+
+
+def test_error_map_only_present_on_failures():
+    ok = record_for("a")
+    assert "error" not in ok
+    failed = record_for("a", status="failed",
+                        error={"code": "Portal.Workflow", "message": "x"})
+    assert failed["error"]["code"] == "Portal.Workflow"
+
+
+# -- integrity -------------------------------------------------------------------
+
+
+def test_verify_clean_on_linked_chain():
+    store = ProvenanceStore()
+    blob = store.put_blob("payload")
+    parent = store.seal(record_for("a", outputs={"out": blob}))
+    store.seal(record_for(
+        "b", inputs={"in": blob}, outputs={"out": blob},
+        parents={"a": parent},
+    ))
+    assert store.verify() == []
+
+
+def test_verify_reports_dangling_references():
+    store = ProvenanceStore()
+    store.seal(record_for(
+        "a",
+        inputs={"in": "1" * 64},
+        outputs={"out": "2" * 64},
+        parents={"ghost": "3" * 64},
+    ))
+    problems = store.verify()
+    assert any("missing blob" in p and "'in'" in p for p in problems)
+    assert any("missing blob" in p and "'out'" in p for p in problems)
+    assert any("missing record" in p for p in problems)
+
+
+def test_verify_detects_tampered_backing_content():
+    store = ProvenanceStore()
+    address = store.put_blob("original")
+    store._blobs[address] = "tampered"  # reach behind the API, as a fault would
+    assert any("does not hash" in p for p in store.verify())
+
+
+# -- the trace side channel ------------------------------------------------------
+
+
+def test_link_trace_first_wins_and_skips_empty():
+    store = ProvenanceStore()
+    address = store.seal(record_for("a"))
+    store.link_trace(address, "")
+    assert store.exemplar(address) == ""
+    store.link_trace(address, "trace-1")
+    store.link_trace(address, "trace-2")
+    assert store.exemplar(address) == "trace-1"
+
+
+def test_link_trace_to_unknown_record_raises():
+    store = ProvenanceStore()
+    with pytest.raises(ResourceNotFoundError):
+        store.link_trace("f" * 64, "trace-1")
+
+
+def test_trace_links_do_not_change_record_addresses():
+    with_link = ProvenanceStore()
+    address = with_link.seal(record_for("a"))
+    with_link.link_trace(address, "trace-1")
+    bare = ProvenanceStore()
+    assert bare.seal(record_for("a")) == address
+
+
+# -- journal-backed recovery -----------------------------------------------------
+
+
+def test_store_rebuilt_over_journal_resolves_everything():
+    network = VirtualNetwork()
+    disk = network.disk("ui.gridportal.org")
+    store = ProvenanceStore(Journal(disk, "wf", clock=network.clock))
+    blob = store.put_blob("payload")
+    address = store.seal(record_for("a", outputs={"out": blob}))
+    store.link_trace(address, "trace-1")
+
+    recovered = ProvenanceStore(Journal(disk, "wf"))
+    assert recovered.blob(blob) == "payload"
+    assert recovered.record(address)["stage"] == "a"
+    assert recovered.exemplar(address) == "trace-1"
+    assert recovered.verify() == []
+
+
+def test_disk_full_fails_before_registering():
+    network = VirtualNetwork()
+    disk = network.disk("ui.gridportal.org")
+    store = ProvenanceStore(Journal(disk, "wf", clock=network.clock))
+    disk.set_full(True)
+    with pytest.raises(ResourceExhaustedError):
+        store.put_blob("payload")
+    # write-ahead discipline: nothing registered that the disk never saw
+    assert not store.has_blob(content_address("payload"))
+    disk.set_full(False)
+    assert store.has_blob(store.put_blob("payload"))

@@ -24,6 +24,7 @@ ALL_ERRORS = [
     faults.ReplicationError,
     faults.QuorumLostError,
     faults.StaleReadError,
+    faults.WorkflowError,
 ]
 
 # every class the wire vocabulary can name, straight from the registry
