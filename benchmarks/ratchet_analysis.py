@@ -1,0 +1,65 @@
+"""CI ratchet for the analysis-speed benchmark.
+
+Compares a fresh ``BENCH_analysis.json`` against the committed baseline
+and fails (exit 1) when the warm-cache speedup regressed more than the
+tolerance.  The compared figure is the *speedup ratio* — cold seconds
+over warm seconds — because absolute timings differ machine to machine
+while the ratio is the property the incremental cache actually guards:
+a warm run must skip the checkers, not merely run them faster.
+
+Usage::
+
+    python benchmarks/ratchet_analysis.py BASELINE.json CURRENT.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: a regression is a warm-cache speedup more than 25% below baseline
+TOLERANCE = 1.25
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float = TOLERANCE
+) -> list[str]:
+    """Regression messages, empty when the ratchet holds."""
+    base = baseline["warm_speedup"]
+    cur = current["warm_speedup"]
+    failures = []
+    if base > 0 and cur < base / tolerance:
+        failures.append(
+            f"warm-cache speedup regressed: {cur:.2f}x vs {base:.2f}x at "
+            f"baseline (tolerance: within {tolerance:g}x of baseline)"
+        )
+    floor = current.get("min_warm_speedup", 0)
+    if cur < floor:
+        failures.append(
+            f"warm-cache speedup {cur:.2f}x is below the hard floor "
+            f"{floor:g}x — the fast path is no longer skipping the checkers"
+        )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = json.loads(Path(argv[1]).read_text(encoding="utf-8"))
+    current = json.loads(Path(argv[2]).read_text(encoding="utf-8"))
+    failures = compare(baseline, current)
+    for line in failures:
+        print(f"RATCHET FAIL: {line}", file=sys.stderr)
+    if not failures:
+        print(
+            f"ratchet holds: warm cache {current['warm_speedup']:.2f}x "
+            f"faster than cold (baseline {baseline['warm_speedup']:.2f}x, "
+            f"tolerance {TOLERANCE:g}x)"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,4 +13,5 @@ from repro.analysis.checkers import (  # noqa: F401  (registration side effects)
     simtest,
     slo,
     workflow,
+    propagation,
 )

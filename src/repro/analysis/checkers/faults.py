@@ -6,12 +6,13 @@ faults with a stable code/detail convention; anything else dispatched out
 of a service method degrades into an opaque ``Server`` fault that no
 client can classify or retry correctly.
 
-Reachability is resolved the way the codebase actually wires services:
-``soap.expose(impl.method)`` / ``soap.expose_object(impl)`` roots the
-dispatch surface at a class; from each exposed method the checker follows
-``self.helper()`` calls (through base classes) and same-module function
-calls.  Cross-module calls are not followed — wrapping foreign errors at
-the service boundary is exactly the discipline the rule enforces.
+Reachability comes from the whole-program call graph
+(:mod:`repro.analysis.graph`): dispatch roots are the
+``soap.expose(impl.method)`` / ``soap.expose_object(impl)`` surface, and
+the REP201 closure follows ``self.helper()`` edges (through resolved base
+classes) and same-module function calls.  Cross-module calls are left to
+REP901 — wrapping foreign errors at the service boundary is exactly the
+discipline that split enforces.
 """
 
 from __future__ import annotations
@@ -19,13 +20,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from repro.analysis.astutil import (
-    all_methods,
-    base_names,
-    dotted_name,
-    find_exposures,
-    import_aliases,
-)
+from repro.analysis.astutil import dotted_name, import_aliases
 from repro.analysis.core import (
     Checker,
     Finding,
@@ -33,6 +28,7 @@ from repro.analysis.core import (
     SourceModule,
     register_checker,
 )
+from repro.analysis.graph.dataflow import reachable
 
 #: exception names always permitted in a dispatch path
 ALLOWED_RAISES = {
@@ -45,6 +41,32 @@ FAULT_ROOT = "PortalError"
 
 #: dotted-module prefix that marks an import as part of the taxonomy
 FAULT_MODULE = "repro.faults"
+
+
+def _same_module_filter(edge) -> bool:
+    """The REP201 closure follows dispatch *within* the service: method
+    calls on the object itself, and function calls that stay inside the
+    defining module.  (``self`` edges may land in a base class defined in
+    another module — inheritance is one service, so they count.)"""
+    if edge.kind == "self":
+        return True
+    return edge.kind == "name" and not edge.cross_module
+
+
+def rep201_closure(project: Project) -> set[tuple[str, str, str]]:
+    """(module, class, function) triples in the same-module dispatch
+    closure REP201 covers.  REP901 reports exactly the complement, so
+    both rules derive it from the same graph walk."""
+    calls = project.graph().calls
+    roots = calls.dispatch_roots(project)
+    reach = reachable(
+        calls, roots, follow_guarded=True, edge_filter=_same_module_filter
+    )
+    return {
+        (calls.nodes[node_id].module, calls.nodes[node_id].cls,
+         calls.nodes[node_id].name)
+        for node_id in reach
+    }
 
 
 @register_checker
@@ -104,33 +126,28 @@ class FaultTaxonomyChecker(Checker):
     def _check_reachable_raises(
         self, project: Project, portal_classes: set[str]
     ) -> Iterable[Finding]:
-        index = project.class_index()
-        for module in project.parsed():
-            exposures = find_exposures(module.tree)
-            if not exposures:
+        calls = project.graph().calls
+        by_module = {
+            m.module_name: m
+            for m in project.parsed()
+            if project.graph().modules.modules.get(m.module_name) == m.rel
+        }
+        roots = calls.dispatch_roots(project)
+        reach = reachable(
+            calls, roots, follow_guarded=True, edge_filter=_same_module_filter
+        )
+        for node_id in sorted(reach):
+            node = calls.nodes[node_id]
+            module = by_module.get(node.module)
+            if module is None:
                 continue
-            module_functions = self._module_functions(module.tree)
-            seen: set[tuple[str, str]] = set()
-            for exposure in exposures:
-                if exposure.class_name not in index:
-                    continue
-                for cls_name, method in self._reachable_methods(
-                    project, exposure, module_functions
-                ):
-                    key = (cls_name, method.name)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    owner_module = (
-                        index[cls_name][0] if cls_name in index else module
-                    )
-                    yield from self._check_raises(
-                        owner_module,
-                        method,
-                        cls_name,
-                        portal_classes,
-                        self._fault_imports(owner_module),
-                    )
+            yield from self._check_raises(
+                module,
+                calls.funcs[node_id],
+                node.cls,
+                portal_classes,
+                self._fault_imports(module),
+            )
 
     @staticmethod
     def _fault_imports(module: SourceModule) -> set[str]:
@@ -141,107 +158,6 @@ class FaultTaxonomyChecker(Checker):
             for local, origin in import_aliases(module.tree).items()
             if origin.startswith(FAULT_MODULE + ".")
         }
-
-    @staticmethod
-    def _module_functions(tree: ast.Module) -> dict[str, ast.FunctionDef]:
-        return {
-            node.name: node
-            for node in tree.body
-            if isinstance(node, ast.FunctionDef)
-        }
-
-    def _class_method(
-        self, project: Project, cls_name: str, method: str
-    ) -> tuple[str, ast.FunctionDef] | None:
-        """Resolve *method* on *cls_name* walking base classes by name."""
-        index = project.class_index()
-        queue = [cls_name]
-        visited = set()
-        while queue:
-            current = queue.pop(0)
-            if current in visited or current not in index:
-                continue
-            visited.add(current)
-            _module, node = index[current]
-            methods = all_methods(node)
-            if method in methods:
-                return current, methods[method]
-            queue.extend(base_names(node))
-        return None
-
-    def _reachable_methods(
-        self,
-        project: Project,
-        exposure,
-        module_functions: dict[str, ast.FunctionDef],
-    ) -> Iterable[tuple[str, ast.FunctionDef]]:
-        """The dispatch closure: exposed methods, the ``self.*`` helpers
-        they call (through bases), and same-module functions they use."""
-        index = project.class_index()
-        _module, class_node = index[exposure.class_name]
-        roots: list[str] = sorted(exposure.methods)
-        if exposure.expose_all:
-            # expose_object: every public method on the class and its bases
-            queue, visited = [exposure.class_name], set()
-            while queue:
-                current = queue.pop(0)
-                if current in visited or current not in index:
-                    continue
-                visited.add(current)
-                _m, node = index[current]
-                roots.extend(
-                    name
-                    for name in all_methods(node)
-                    if not name.startswith("_")
-                )
-                queue.extend(base_names(node))
-            roots = sorted(set(roots))
-
-        pending: list[tuple[str, str]] = [
-            (exposure.class_name, name) for name in roots
-        ]
-        visited_methods: set[tuple[str, str]] = set()
-        visited_functions: set[str] = set()
-        while pending:
-            cls_name, meth_name = pending.pop(0)
-            resolved = self._class_method(project, cls_name, meth_name)
-            if resolved is None:
-                continue
-            owner, func = resolved
-            if (owner, func.name) in visited_methods:
-                continue
-            visited_methods.add((owner, func.name))
-            yield owner, func
-            for callee in self._called_names(func):
-                kind, name = callee
-                if kind == "self":
-                    pending.append((exposure.class_name, name))
-                elif kind == "func" and name in module_functions:
-                    if name not in visited_functions:
-                        visited_functions.add(name)
-                        yield "", module_functions[name]
-                        for sub in self._called_names(module_functions[name]):
-                            if sub[0] == "func" and sub[1] in module_functions:
-                                if sub[1] not in visited_functions:
-                                    visited_functions.add(sub[1])
-                                    yield "", module_functions[sub[1]]
-
-    @staticmethod
-    def _called_names(func: ast.FunctionDef) -> list[tuple[str, str]]:
-        out: list[tuple[str, str]] = []
-        for node in ast.walk(func):
-            if not isinstance(node, ast.Call):
-                continue
-            target = node.func
-            if (
-                isinstance(target, ast.Attribute)
-                and isinstance(target.value, ast.Name)
-                and target.value.id == "self"
-            ):
-                out.append(("self", target.attr))
-            elif isinstance(target, ast.Name):
-                out.append(("func", target.id))
-        return out
 
     def _check_raises(
         self,

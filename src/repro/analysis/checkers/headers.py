@@ -9,12 +9,19 @@ enumerate the vocabulary, it must have an *encoder* (something builds the
 on receipt).  A header failing any leg is either dead weight on every
 message or an undocumented side channel.
 
-The house idiom being checked, module by module::
+The house idiom being checked::
 
     X_HEADER = QName(NS, "Name")           # declaration
     register_header(X_HEADER, ...)         # registration (REP401)
     XmlElement(X_HEADER, ...)              # encoder    (REP402)
     if entry.tag == X_HEADER: ...          # consumer   (REP403)
+
+Encoder and consumer are resolved *project-wide* through the symbol
+table: the deadline header is declared next to the resilience policy,
+encoded by the SOAP client, and consumed by the SOAP server — three
+modules, one header.  A use site reaches the declaration through a
+``from`` import, a module alias, or a re-export, exactly like any other
+symbol.
 """
 
 from __future__ import annotations
@@ -27,7 +34,6 @@ from repro.analysis.core import (
     Checker,
     Finding,
     Project,
-    SourceModule,
     register_checker,
 )
 
@@ -47,29 +53,55 @@ class HeaderDisciplineChecker(Checker):
     name = "headers"
     description = (
         "every SOAP header constant is registered, has an encoder, and has "
-        "a consumer"
+        "a consumer (resolved project-wide)"
     )
     codes = {
         "REP401": "header QName constant not registered via register_header()",
-        "REP402": "registered header has no XmlElement encoder in its module",
-        "REP403": "registered header has no tag-match consumer in its module",
+        "REP402": "registered header has no XmlElement encoder anywhere in the project",
+        "REP403": "registered header has no tag-match consumer anywhere in the project",
     }
 
     def check(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph()
+        modules = graph.modules
+        symbols = graph.symbols
+
+        # declarations: (defining module, NAME) -> (SourceModule, node)
+        decls: dict[tuple[str, str], tuple] = {}
         for module in project.parsed():
             if module.module_name in EXEMPT_MODULES:
                 continue
-            yield from self._check_module(module)
+            if modules.modules.get(module.module_name) != module.rel:
+                continue
+            for name, node in self._header_constants(module.tree).items():
+                decls[(module.module_name, name)] = (module, node)
 
-    def _check_module(self, module: SourceModule) -> Iterable[Finding]:
-        constants = self._header_constants(module.tree)
-        if not constants:
-            return
-        registered = self._names_passed_to(module.tree, REGISTER_FUNCS)
-        encoded = self._names_passed_to(module.tree, ELEMENT_CONSTRUCTORS)
-        consumed = self._names_compared(module.tree)
-        for name, node in sorted(constants.items()):
-            if name not in registered:
+        registered: set[tuple[str, str]] = set()
+        encoded: set[tuple[str, str]] = set()
+        consumed: set[tuple[str, str]] = set()
+        for module in project.parsed():
+            mod = module.module_name
+            if not mod or modules.modules.get(mod) != module.rel:
+                continue
+            imports = symbols.imports.get(mod, {})
+            for token in self._tokens_passed_to(module.tree, REGISTER_FUNCS):
+                key = self._resolve_token(mod, token, decls, imports, modules)
+                if key is not None:
+                    registered.add(key)
+            for token in self._tokens_passed_to(
+                module.tree, ELEMENT_CONSTRUCTORS
+            ):
+                key = self._resolve_token(mod, token, decls, imports, modules)
+                if key is not None:
+                    encoded.add(key)
+            for token in self._tokens_compared(module.tree):
+                key = self._resolve_token(mod, token, decls, imports, modules)
+                if key is not None:
+                    consumed.add(key)
+
+        for mod, name in sorted(decls):
+            module, node = decls[(mod, name)]
+            if (mod, name) not in registered:
                 yield module.finding(
                     "REP401",
                     f"header constant {name} is not registered — call "
@@ -80,26 +112,75 @@ class HeaderDisciplineChecker(Checker):
                     symbol=name,
                 )
                 continue  # unregistered: encoder/consumer checks would pile on
-            if name not in encoded:
+            if (mod, name) not in encoded:
                 yield module.finding(
                     "REP402",
                     f"registered header {name} has no encoder — no "
-                    f"XmlElement({name}, ...) construction in this module, "
-                    "so nothing can ever send it",
+                    f"XmlElement({name}, ...) construction anywhere in the "
+                    "project, so nothing can ever send it",
                     node,
                     checker=self.name,
                     symbol=name,
                 )
-            if name not in consumed:
+            if (mod, name) not in consumed:
                 yield module.finding(
                     "REP403",
                     f"registered header {name} has no consumer — nothing in "
-                    "this module matches entry.tag against it, so senders "
+                    "the project matches entry.tag against it, so senders "
                     "pay for a header nobody reads",
                     node,
                     checker=self.name,
                     symbol=name,
                 )
+
+    # -- use-site resolution ---------------------------------------------------
+
+    @staticmethod
+    def _resolve_token(
+        mod: str,
+        dotted: str,
+        decls: dict,
+        imports: dict[str, str],
+        modules,
+    ) -> tuple[str, str] | None:
+        """Resolve a use-site token (``X_HEADER`` or ``alias.X_HEADER``)
+        to the declaring ``(module, NAME)`` key.  Unresolvable tokens with
+        a *unique* project-wide declaration still match — uses through
+        receivers the symbol table cannot type (``self.policy.X_HEADER``)
+        should not demote a real encoder to a false REP402."""
+        head, _, rest = dotted.partition(".")
+        name = dotted.split(".")[-1]
+        if not name.endswith(HEADER_SUFFIX):
+            return None
+        if not rest:
+            if (mod, head) in decls:
+                return (mod, head)
+            origin = imports.get(head)
+            if origin is not None:
+                owner = modules.resolve_module(origin)
+                if owner is not None:
+                    leftover = origin[len(owner):].lstrip(".")
+                    if leftover and (owner, leftover) in decls:
+                        return (owner, leftover)
+        else:
+            prefix = dotted[: len(dotted) - len(name) - 1]
+            origin = imports.get(head)
+            base = None
+            if origin is not None:
+                mid = prefix[len(head):].lstrip(".")
+                base = modules.resolve_module(
+                    origin + ("." + mid if mid else "")
+                )
+            if base is None:
+                base = modules.resolve_module(prefix)
+            if base is not None and (base, name) in decls:
+                return (base, name)
+        matches = [key for key in decls if key[1] == name]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    # -- syntax collectors -----------------------------------------------------
 
     @staticmethod
     def _header_constants(tree: ast.Module) -> dict[str, ast.Assign]:
@@ -123,8 +204,8 @@ class HeaderDisciplineChecker(Checker):
         return out
 
     @staticmethod
-    def _names_passed_to(tree: ast.Module, funcs: set[str]) -> set[str]:
-        """Names appearing as arguments to calls of any function in *funcs*."""
+    def _tokens_passed_to(tree: ast.Module, funcs: set[str]) -> set[str]:
+        """Dotted tokens appearing as arguments to calls of *funcs*."""
         found: set[str] = set()
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
@@ -133,15 +214,14 @@ class HeaderDisciplineChecker(Checker):
             if callee not in funcs:
                 continue
             for arg in list(node.args) + [kw.value for kw in node.keywords]:
-                if isinstance(arg, ast.Name):
-                    found.add(arg.id)
-                elif isinstance(arg, ast.Attribute):
-                    found.add(arg.attr)
+                token = dotted_name(arg)
+                if token:
+                    found.add(token)
         return found
 
     @staticmethod
-    def _names_compared(tree: ast.Module) -> set[str]:
-        """Names appearing on either side of an ``==``/``!=`` comparison
+    def _tokens_compared(tree: ast.Module) -> set[str]:
+        """Dotted tokens on either side of an ``==``/``!=`` comparison
         (the decode idiom: ``entry.tag == X_HEADER``)."""
         found: set[str] = set()
         for node in ast.walk(tree):
@@ -150,7 +230,7 @@ class HeaderDisciplineChecker(Checker):
             if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
                 continue
             for side in [node.left, *node.comparators]:
-                name = dotted_name(side).split(".")[-1]
-                if name:
-                    found.add(name)
+                token = dotted_name(side)
+                if token:
+                    found.add(token)
         return found

@@ -15,7 +15,7 @@ from repro.analysis.reporting import (
     render_text,
     split_without_baseline,
 )
-from repro.analysis.runner import analyze_paths
+from repro.analysis.runner import analyze_paths_cached
 
 DEFAULT_BASELINE = "analysis-baseline.json"
 
@@ -78,6 +78,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the checker catalog and exit",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the incremental cache (neither read nor written)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="incremental cache directory (default: .analysis-cache)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "fast CI pre-step: re-analyze only files whose content or "
+            "import closure changed since the cached run, merging cached "
+            "findings for the rest (never writes the cache)"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache hit/miss statistics to stderr",
+    )
     return parser
 
 
@@ -112,11 +136,20 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    result = analyze_paths(
+    result, cache_stats = analyze_paths_cached(
         paths,
         select=_codes(args.select),
         ignore=_codes(args.ignore),
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        use_cache=not args.no_cache,
+        changed_only=args.changed_only,
     )
+    if args.stats:
+        if cache_stats.enabled:
+            for line in cache_stats.lines():
+                print(line, file=sys.stderr)
+        else:
+            print("cache: disabled (--no-cache)", file=sys.stderr)
 
     baseline: Baseline | None = None
     if not args.no_baseline:

@@ -177,6 +177,17 @@ class Project:
 
     modules: list[SourceModule]
     _class_index: dict[str, tuple[SourceModule, ast.ClassDef]] | None = None
+    _graph: object | None = None
+
+    def graph(self):
+        """The whole-program :class:`~repro.analysis.graph.ProjectGraph`
+        (module graph, symbol table, call graph), built once per run and
+        shared by every graph-aware checker."""
+        if self._graph is None:
+            from repro.analysis.graph import ProjectGraph
+
+            self._graph = ProjectGraph(self)
+        return self._graph
 
     def parsed(self) -> Iterator[SourceModule]:
         for module in self.modules:

@@ -1,0 +1,109 @@
+"""A small deterministic worklist framework over the call graph.
+
+Two shapes cover what the propagation checkers need:
+
+- :func:`reachable` — forward reachability from a root set, bounded
+  depth, with per-edge filtering (skip guarded call sites, skip
+  constructor edges, stay inside one module).  BFS over sorted
+  adjacency, so the visit order — and therefore every downstream report
+  — is a pure function of the graph.
+
+- :class:`Dataflow` — fixpoint summaries: each function node carries a
+  summary value, a transfer function recomputes a node's summary from
+  its AST and its callees' summaries, and the worklist re-queues callers
+  whenever a callee's summary changes.  Summaries must grow
+  monotonically (set union / flag saturation) so the fixpoint
+  terminates; the iteration cap is a backstop, not a tuning knob.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+#: default bound on call-chain depth for reachability passes — deep
+#: enough for every real dispatch chain in this tree (the longest is 7
+#: hops), shallow enough to stay predictable on adversarial input
+MAX_DEPTH = 16
+
+#: backstop on fixpoint sweeps (each sweep touches every dirty node once)
+MAX_PASSES = 50
+
+
+def reachable(
+    graph,
+    roots: Iterable[str],
+    *,
+    max_depth: int = MAX_DEPTH,
+    follow_guarded: bool = False,
+    follow_ctor: bool = False,
+    cross_module: bool = True,
+    edge_filter: Callable | None = None,
+) -> dict[str, int]:
+    """Node id -> minimum call depth, for everything reachable from
+    *roots* (roots at depth 0), deterministic BFS order."""
+    depths: dict[str, int] = {}
+    frontier = sorted(set(roots) & set(graph.nodes))
+    for node in frontier:
+        depths[node] = 0
+    depth = 0
+    while frontier and depth < max_depth:
+        depth += 1
+        nxt: list[str] = []
+        for node in frontier:
+            for edge in graph.edges_from.get(node, []):
+                if edge.guarded and not follow_guarded:
+                    continue
+                if edge.kind == "ctor" and not follow_ctor:
+                    continue
+                if edge.cross_module and not cross_module:
+                    continue
+                if edge_filter is not None and not edge_filter(edge):
+                    continue
+                if edge.callee not in depths:
+                    depths[edge.callee] = depth
+                    nxt.append(edge.callee)
+        frontier = sorted(set(nxt))
+    return depths
+
+
+class Dataflow:
+    """Fixpoint summary computation over call-graph nodes.
+
+    ``transfer(node_id, summaries) -> summary`` must be monotone in its
+    callees' summaries.  Runs sweeps in sorted node order until no
+    summary changes (or the pass cap trips), then exposes ``summaries``.
+    """
+
+    def __init__(
+        self,
+        graph,
+        transfer: Callable[[str, dict], object],
+        *,
+        initial: Callable[[str], object] | None = None,
+        max_passes: int = MAX_PASSES,
+    ):
+        self.graph = graph
+        self.transfer = transfer
+        self.max_passes = max_passes
+        self.summaries: dict[str, object] = {}
+        if initial is not None:
+            for node_id in sorted(graph.nodes):
+                self.summaries[node_id] = initial(node_id)
+
+    def run(self) -> dict[str, object]:
+        callers: dict[str, list[str]] = {n: [] for n in self.graph.nodes}
+        for caller in sorted(self.graph.edges_from):
+            for edge in self.graph.edges_from[caller]:
+                callers.setdefault(edge.callee, []).append(caller)
+        dirty = sorted(self.graph.nodes)
+        passes = 0
+        while dirty and passes < self.max_passes:
+            passes += 1
+            requeue: set[str] = set()
+            for node_id in dirty:
+                new = self.transfer(node_id, self.summaries)
+                if new != self.summaries.get(node_id):
+                    self.summaries[node_id] = new
+                    requeue.update(callers.get(node_id, []))
+            dirty = sorted(requeue)
+        return self.summaries

@@ -65,7 +65,9 @@ def render_json(
     payload = {
         "tool": "repro.analysis",
         "schema": REPORT_SCHEMA,
-        "paths": paths,
+        # sorted: the report is a function of the analyzed tree, not of
+        # the order the paths were typed in
+        "paths": sorted(paths),
         "files": result.files_scanned,
         "checkers": [
             {

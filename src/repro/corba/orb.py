@@ -146,13 +146,16 @@ class RemoteStub:
 
 
 def _parse_ior(ior: str) -> tuple[str, str, str]:
+    # CORBA system exceptions are the CORBA protocol's own error
+    # vocabulary (the paper's CORBA/SOAP bridge keeps the two distinct);
+    # the bridge maps them at its boundary, so they stay unclassified here
     if not ior.startswith("IOR:"):
-        raise CorbaSystemException(f"not a stringified IOR: {ior[:30]!r}")
+        raise CorbaSystemException(f"not a stringified IOR: {ior[:30]!r}")  # repro: ignore[REP901]
     body = ior[4:]
     address, _, interface = body.partition("#")
     host, _, key = address.partition("/")
     if not host or not key:
-        raise CorbaSystemException(f"malformed IOR: {ior!r}")
+        raise CorbaSystemException(f"malformed IOR: {ior!r}")  # repro: ignore[REP901]
     return host, key, interface
 
 

@@ -340,6 +340,36 @@ class Gatekeeper:
         return response
 
     def _handle(self, request: HttpRequest) -> HttpResponse:
+        from repro.resilience.policy import (
+            Deadline,
+            pop_inbound_deadline,
+            push_inbound_deadline,
+        )
+
+        deadline = None
+        try:
+            raw = json.loads(request.body).get("deadline")
+            if raw is not None:
+                deadline = Deadline(float(raw))
+        except (json.JSONDecodeError, AttributeError, TypeError, ValueError):
+            deadline = None  # budget metadata must never break a call
+        if deadline is not None and deadline.expired(self.scheduler.clock):
+            return HttpResponse(
+                503,
+                body=json.dumps({
+                    "error": "Portal.DeadlineExceeded",
+                    "message": "request deadline passed before dispatch",
+                }),
+            )
+        if deadline is not None:
+            push_inbound_deadline(deadline)
+        try:
+            return self._dispatch(request)
+        finally:
+            if deadline is not None:
+                pop_inbound_deadline()
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
         try:
             payload = json.loads(request.body)
             op = payload.get("op", "")
@@ -419,9 +449,17 @@ class GramClient:
         return result
 
     def _call_once(self, contact: str, op: str, span, **fields: Any) -> Any:
+        from repro.resilience.policy import current_inbound_deadline
+
         payload = {"op": op, "proxy": self._chain, **fields}
         if span is not None:
             payload["trace"] = {"traceId": span.trace_id, "spanId": span.span_id}
+        # GRAM is JSON over HTTP, not SOAP, so the inbound request's budget
+        # rides the payload the way the trace context does: a gatekeeper
+        # working past the point the original caller gave up is wasted work.
+        inherited = current_inbound_deadline()
+        if inherited is not None:
+            payload["deadline"] = inherited.at
         response = self._http.post(
             f"http://{contact}/jobmanager", json.dumps(payload)
         )

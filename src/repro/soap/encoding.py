@@ -13,6 +13,7 @@ from __future__ import annotations
 import base64
 from typing import Any
 
+from repro.faults import PortalError
 from repro.xmlutil.element import XmlElement
 from repro.xmlutil.qname import QName
 
@@ -25,8 +26,18 @@ _NIL_ATTR = QName(XSI_NS, "nil")
 _ARRAY_TYPE_ATTR = QName(SOAP_ENC_NS, "arrayType")
 
 
-class SoapEncodingError(ValueError):
-    """Raised when a value cannot be encoded or decoded."""
+class SoapEncodingError(PortalError, ValueError):
+    """Raised when a value cannot be encoded or decoded.
+
+    Part of the portal error vocabulary (it crosses the wire as
+    ``Portal.Encoding``): an encoding failure inside one service's
+    dispatch must reach the remote caller classified, not as an opaque
+    ``Server`` fault.  Still a ``ValueError`` for callers that treat it
+    as a plain bad-value signal.
+    """
+
+    code = "Portal.Encoding"
+    retryable = False  # the same value will still not encode
 
 
 def encode_value(name: str | QName, value: Any) -> XmlElement:

@@ -130,8 +130,19 @@ class SoapFault:
         return None
 
 
-class SoapFaultError(RuntimeError):
-    """Raised by :class:`repro.soap.client.SoapClient` on a fault response."""
+class SoapFaultError(PortalError, RuntimeError):
+    """Raised by :class:`repro.soap.client.SoapClient` on a fault response
+    that carries no portal error detail.
+
+    Classified into the portal vocabulary as ``Portal.UpstreamFault`` so
+    that a service relaying a foreign fault still crosses the wire with a
+    stable code (§3: services "must define and relay a common set of
+    error messages").  Still a ``RuntimeError`` for callers that treat an
+    unmapped fault as a programming-level failure.
+    """
+
+    code = "Portal.UpstreamFault"
+    retryable = False  # the upstream fault carried no retry classification
 
     def __init__(self, fault: SoapFault):
         super().__init__(f"{fault.faultcode}: {fault.faultstring}")

@@ -37,16 +37,24 @@ class Url:
 
 
 def parse_url(url: str) -> Url:
-    """Parse an absolute http(s) URL into a :class:`Url`."""
+    """Parse an absolute http(s) URL into a :class:`Url`.
+
+    Malformed URLs raise the transport-class :class:`TransportError` (late
+    import: :mod:`repro.transport.network` imports this module): on a
+    dispatch path an unroutable URL is a transport failure, and the
+    resilience layer already classifies those.
+    """
+    from repro.transport.network import TransportError
+
     for scheme in ("http://", "https://"):
         if url.startswith(scheme):
             rest = url[len(scheme):]
             break
     else:
-        raise ValueError(f"not an absolute http URL: {url!r}")
+        raise TransportError(f"not an absolute http URL: {url!r}")
     host, slash, tail = rest.partition("/")
     if not host:
-        raise ValueError(f"URL has no host: {url!r}")
+        raise TransportError(f"URL has no host: {url!r}")
     path, _, query = (slash + tail).partition("?")
     return Url(host, path or "/", query)
 

@@ -28,7 +28,9 @@ class HttpServer:
     def mount(self, path: str, handler: RouteHandler) -> None:
         """Mount a handler at a path prefix (``/soap``, ``/wsdl/...``)."""
         if not path.startswith("/"):
-            raise ValueError(f"mount path must start with '/': {path!r}")
+            # deployment-time wiring bug: must crash the deploy loudly, not
+            # cross the wire as a classified request fault
+            raise ValueError(f"mount path must start with '/': {path!r}")  # repro: ignore[REP901]
         self._routes[path.rstrip("/") or "/"] = handler
 
     def unmount(self, path: str) -> None:

@@ -224,7 +224,9 @@ class XsdSchema:
                 return self.complex_types[ref]
             if ref in self.simple_types:
                 return self.simple_types[ref]
-            raise KeyError(f"schema has no type named {ref!r}")
+            # a dangling type name is a schema-authoring bug (schemas are
+            # built in-process, never from the wire): crash loudly
+            raise KeyError(f"schema has no type named {ref!r}")  # repro: ignore[REP901]
         return ref
 
     def resolve(self) -> "XsdSchema":
@@ -236,7 +238,8 @@ class XsdSchema:
                 if isinstance(attr.type, str):
                     resolved = self.resolve_type(attr.type)
                     if isinstance(resolved, XsdComplexType):
-                        raise ValueError(
+                        # schema-authoring bug, same policy as resolve_type
+                        raise ValueError(  # repro: ignore[REP901]
                             f"attribute {attr.name!r} cannot have complex type"
                         )
                     attr.type = resolved

@@ -1,0 +1,26 @@
+"""Cross-module helpers the relay service leans on (REP9xx seeds).
+
+Each helper is innocent in isolation — the violations only appear when
+the whole-program analysis connects them to the dispatch paths and sinks
+in :mod:`.relay`.
+"""
+
+import time
+
+
+def lookup_route(table, name):
+    if name not in table:
+        raise KeyError(name)  # expected: REP901 (reachable via relay dispatch)
+    return table[name]
+
+
+def fresh_stamp():
+    return time.time()  # expected: REP101 (and the REP903 taint source)
+
+
+def journal_write(journal, entry):
+    journal.append(entry)  # a durable sink reached through a parameter
+
+
+def open_span(tracer, name):
+    return tracer.start(name)  # ownership transfers to the caller

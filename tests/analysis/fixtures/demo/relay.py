@@ -1,0 +1,41 @@
+"""Propagation sins: context, determinism, and ownership dropped
+*across* module boundaries — every violating flow here crosses into
+:mod:`.pipeline`, so only the whole-program REP9xx rules can see it."""
+
+from repro.soap.server import SoapService
+from repro.transport.http import HttpClient
+
+from .pipeline import fresh_stamp, journal_write, lookup_route, open_span
+
+
+class RelayService:
+    def __init__(self, journal, tracer):
+        self.http = HttpClient()
+        self.journal = journal
+        self.tracer = tracer
+        self.routes = {"default": "/relay"}
+
+    def route(self, name: str) -> str:
+        return lookup_route(self.routes, name)
+
+    def forward(self, body: str):
+        return self.http.post("/relay", body)  # expected: REP902 (deadline dropped)
+
+    def record(self, entry: str) -> None:
+        stamp = fresh_stamp()
+        self.journal.append((entry, stamp))  # expected: REP903 (helper-returned clock)
+
+    def audit(self, entry: str) -> None:
+        journal_write(self.journal, (entry, fresh_stamp()))  # expected: REP903 (via helper parameter)
+
+    def timed(self, name: str) -> str:
+        span = open_span(self.tracer, name)  # expected: REP904 (no finally)
+        value = lookup_route(self.routes, name)
+        self.tracer.end(span)
+        return value
+
+
+def deploy_relay(soap: SoapService, journal, tracer) -> RelayService:
+    impl = RelayService(journal, tracer)
+    soap.expose_object(impl)
+    return impl

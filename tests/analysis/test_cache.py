@@ -1,0 +1,197 @@
+"""The incremental cache: invalidation, fast path, and byte-identity.
+
+The property at the bottom is the report's core guarantee, stated once
+and machine-checked: the rendered JSON artifact is a pure function of
+the analyzed tree — not of input path order, not of cache state (cold
+vs warm), and not of ``--changed-only`` on an unchanged tree.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cache import CACHE_FILE, AnalysisCache
+from repro.analysis.reporting import (
+    exit_code_for,
+    render_json,
+    split_without_baseline,
+)
+from repro.analysis.runner import analyze_paths_cached
+
+CLEAN_PKG = {
+    "pkg/__init__.py": "",
+    "pkg/helper.py": "def h():\n    return 1\n",
+    "pkg/user.py": "from pkg.helper import h\n\n\ndef u():\n    return h()\n",
+}
+
+DIRTY_PKG = {
+    "pkg/__init__.py": "",
+    "pkg/clock.py": "import time\n\n\ndef now():\n    return time.time()\n",
+    "pkg/pure.py": "def double(x):\n    return 2 * x\n",
+}
+
+
+def write_tree(root: Path, files: dict) -> None:
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+
+def run(root: Path, **kwargs):
+    kwargs.setdefault("cache_dir", root / ".analysis-cache")
+    return analyze_paths_cached([root / "pkg"], root=root, **kwargs)
+
+
+def report_of(result, paths) -> str:
+    split = split_without_baseline(result.findings)
+    return render_json(
+        result, split, None,
+        paths=[str(p) for p in paths],
+        exit_code=exit_code_for(split),
+    )
+
+
+def test_cold_then_warm_fast_path(tmp_path):
+    write_tree(tmp_path, CLEAN_PKG)
+    cold, stats = run(tmp_path)
+    assert (stats.hits, stats.misses, stats.fast_path) == (0, 3, False)
+    assert stats.wrote
+    warm, stats = run(tmp_path)
+    assert (stats.hits, stats.misses, stats.fast_path) == (3, 0, True)
+    assert report_of(warm, ["pkg"]) == report_of(cold, ["pkg"])
+
+
+def test_body_edit_invalidates_file_and_dependents(tmp_path):
+    write_tree(tmp_path, CLEAN_PKG)
+    run(tmp_path)
+    helper = tmp_path / "pkg/helper.py"
+    helper.write_text(
+        helper.read_text(encoding="utf-8") + "\n\ndef h2():\n    return 2\n",
+        encoding="utf-8",
+    )
+    _result, stats = run(tmp_path)
+    assert sorted(stats.dirty) == ["pkg/helper.py", "pkg/user.py"]
+    assert stats.hits == 1  # __init__ does not import the helper
+
+
+def test_interface_change_invalidates_everything(tmp_path):
+    write_tree(tmp_path, CLEAN_PKG)
+    run(tmp_path)
+    init = tmp_path / "pkg/__init__.py"
+    # a new class changes __init__'s interface facts -> global digest
+    init.write_text("class Registry:\n    pass\n", encoding="utf-8")
+    _result, stats = run(tmp_path)
+    assert stats.misses == 3 and stats.hits == 0
+
+
+def test_no_cache_reads_and_writes_nothing(tmp_path):
+    write_tree(tmp_path, CLEAN_PKG)
+    _result, stats = run(tmp_path, use_cache=False)
+    assert not stats.enabled
+    assert not (tmp_path / ".analysis-cache").exists()
+
+
+def test_corrupt_cache_degrades_to_cold(tmp_path):
+    write_tree(tmp_path, CLEAN_PKG)
+    run(tmp_path)
+    cache_file = tmp_path / ".analysis-cache" / CACHE_FILE
+    cache_file.write_text("{not json", encoding="utf-8")
+    assert AnalysisCache.load(cache_file).files == {}
+    _result, stats = run(tmp_path)
+    assert stats.misses == 3 and stats.wrote
+
+
+def test_changed_only_merges_cached_findings(tmp_path):
+    write_tree(tmp_path, DIRTY_PKG)
+    full, _ = run(tmp_path)  # populates the cache; clock.py carries REP101
+    pure = tmp_path / "pkg/pure.py"
+    pure.write_text(
+        pure.read_text(encoding="utf-8") + "\n\ndef triple(x):\n    return 3 * x\n",
+        encoding="utf-8",
+    )
+    merged, stats = run(tmp_path, changed_only=True)
+    assert stats.dirty == ["pkg/pure.py"]
+    assert not stats.wrote  # the pre-step never writes the cache
+    # the untouched clock.py finding came from the cache, verbatim
+    assert report_of(merged, ["pkg"]) == report_of(run(tmp_path, use_cache=False)[0], ["pkg"])
+    assert any(f.code == "REP101" for f in merged.findings)
+    assert merged.files_scanned == 3
+
+
+def test_deleting_cache_reproduces_bytes(tmp_path):
+    write_tree(tmp_path, DIRTY_PKG)
+    first, _ = run(tmp_path)
+    import shutil
+
+    shutil.rmtree(tmp_path / ".analysis-cache")
+    second, stats = run(tmp_path)
+    assert stats.misses == 3
+    assert report_of(second, ["pkg"]) == report_of(first, ["pkg"])
+
+
+# -- the byte-identity property ------------------------------------------------
+
+DEMO_DIR = Path(__file__).parent / "fixtures" / "demo"
+DEMO_FILES = sorted(p.name for p in DEMO_DIR.glob("*.py"))
+
+
+@pytest.fixture(scope="module")
+def demo_env(tmp_path_factory):
+    """A module-scoped cache dir plus the reference (cold, cache-less)
+    rendering of the demo fixture report."""
+    cache_dir = tmp_path_factory.mktemp("analysis-cache")
+    root = DEMO_DIR.parents[1]  # tests/analysis: rels match the golden report
+    paths = [DEMO_DIR / name for name in DEMO_FILES]
+    result, _ = analyze_paths_cached(
+        paths, root=root, use_cache=False
+    )
+    reference = report_of(result, DEMO_FILES)
+    return {"cache_dir": cache_dir, "root": root, "reference": reference}
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    order=st.permutations(DEMO_FILES),
+    warm=st.booleans(),
+    changed_only=st.booleans(),
+)
+def test_report_is_a_pure_function_of_the_tree(demo_env, order, warm, changed_only):
+    import shutil
+
+    cache_dir = demo_env["cache_dir"]
+    root = demo_env["root"]
+    if warm:
+        # ensure the cache is populated (a no-op when already warm)
+        analyze_paths_cached(
+            [DEMO_DIR], root=root, cache_dir=cache_dir
+        )
+    elif cache_dir.exists():
+        shutil.rmtree(cache_dir)
+    result, _ = analyze_paths_cached(
+        [DEMO_DIR / name for name in order],
+        root=root,
+        cache_dir=cache_dir,
+        changed_only=changed_only,
+    )
+    assert report_of(result, list(order)) == demo_env["reference"]
+
+
+def test_rendered_report_matches_golden_via_cache(demo_env):
+    """The cached rendering equals the committed golden artifact minus
+    the ``paths`` field (the golden run analyzed the directory)."""
+    result, stats = analyze_paths_cached(
+        [DEMO_DIR], root=demo_env["root"], cache_dir=demo_env["cache_dir"]
+    )
+    rendered = json.loads(report_of(result, ["fixtures/demo"]))
+    golden = json.loads(
+        (Path(__file__).parent / "golden_report.json").read_text(encoding="utf-8")
+    )
+    assert rendered == golden

@@ -21,6 +21,7 @@ FIXTURE_CODES = {
     "REP601", "REP602",
     "REP701", "REP702",
     "REP801", "REP802",
+    "REP901", "REP902", "REP903", "REP904",
 }
 
 
@@ -55,10 +56,12 @@ def test_write_baseline_then_clean_run(in_fixture_dir, tmp_path, capsys):
     report = _report(capsys)
     assert code == 0
     assert report["findings"] == []
-    # +7: fixture lines that trip two rules at once (e.g. the unseeded
+    # +9: fixture lines that trip two rules at once (e.g. the unseeded
     # random call inside an oracle or sampling policy is both a global
-    # REP103 and the suite-specific REP602/REP701)
-    assert report["counts"]["baselined"] == len(FIXTURE_CODES) + 7
+    # REP103 and the suite-specific REP602/REP701), plus the codes the
+    # relay/pipeline pair seeds twice (two REP903 flows, the helper's
+    # own REP101)
+    assert report["counts"]["baselined"] == len(FIXTURE_CODES) + 9
 
 
 def test_ratchet_reports_stale_and_shrinks(tmp_path, monkeypatch, capsys):

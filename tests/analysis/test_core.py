@@ -124,13 +124,16 @@ def test_select_and_ignore_filter_codes(analyze):
     assert codes(no_time) == ["REP102"]
 
 
-def test_registry_exposes_all_eight_checkers():
+def test_registry_exposes_all_nine_checkers():
     names = [c.name for c in all_checkers()]
     assert names == [
         "determinism", "faults", "contracts", "headers", "hygiene",
-        "simtest", "slo", "workflow",
+        "simtest", "slo", "workflow", "propagation",
     ]
     assert get_checker("faults").codes.keys() >= {"REP201", "REP202", "REP203"}
+    assert get_checker("propagation").codes.keys() == {
+        "REP901", "REP902", "REP903", "REP904",
+    }
 
 
 def test_module_name_derivation():

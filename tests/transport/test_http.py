@@ -18,11 +18,13 @@ def test_parse_url_forms():
 
 
 def test_parse_url_defaults_and_errors():
+    from repro.transport.network import TransportError
+
     assert parse_url("http://h").path == "/"
     assert parse_url("https://h/x").host == "h"
-    with pytest.raises(ValueError):
+    with pytest.raises(TransportError):
         parse_url("ftp://h/x")
-    with pytest.raises(ValueError):
+    with pytest.raises(TransportError):
         parse_url("http:///nohost")
 
 
